@@ -1,0 +1,390 @@
+// Benchmark harness: one bench per experiment in DESIGN.md's index
+// (E1–E13), regenerating the quantitative claims of Kate & Goldberg's
+// evaluation discussion. Custom metrics report the complexity
+// measures the paper argues about (messages, bytes, causal depth);
+// ns/op measures the simulator+crypto cost of a full protocol run.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for recorded results and paper-vs-measured
+// commentary (cmd/dkgsim prints the full tables).
+package hybriddkg_test
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/thresh"
+)
+
+// BenchmarkE1HybridVSSSharing times one complete HybridVSS sharing
+// (n=10, t=3) including all verification crypto.
+func BenchmarkE1HybridVSSSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunVSS(harness.VSSOptions{N: 10, T: 3, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.HonestDone() != 10 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkE2VSSMessages sweeps n and reports the crash-free message
+// count and its ratio to n² (paper: exactly 2n²+n).
+func BenchmarkE2VSSMessages(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13, 16, 19} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunVSS(harness.VSSOptions{N: n, T: (n - 1) / 3, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Stats.TotalMsgs
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(msgs)/float64(n*n), "msgs/n²")
+		})
+	}
+}
+
+// BenchmarkE3VSSCommunication compares full-matrix and hashed
+// echo/ready byte volume (paper: O(κn⁴) vs O(κn³)).
+func BenchmarkE3VSSCommunication(b *testing.B) {
+	for _, n := range []int{7, 13, 19} {
+		for _, hashed := range []bool{false, true} {
+			mode := "full"
+			if hashed {
+				mode = "hashed"
+			}
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				var bytes int64
+				for i := 0; i < b.N; i++ {
+					res, err := harness.RunVSS(harness.VSSOptions{
+						N: n, T: (n - 1) / 3, Seed: uint64(i + 1), HashedEcho: hashed,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytes = res.Stats.TotalBytes
+				}
+				b.ReportMetric(float64(bytes), "wire-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkE4VSSRecovery measures the extra messages caused by d
+// crash/recover events (paper: O(n²) per recovery, linear in d).
+func BenchmarkE4VSSRecovery(b *testing.B) {
+	for _, d := range []int{0, 1, 2, 3} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				opts := harness.VSSOptions{
+					N: 10, T: 2, F: 1, Seed: uint64(i + 1),
+					CrashAt:   map[msg.NodeID]int64{},
+					RecoverAt: map[msg.NodeID]int64{},
+				}
+				for k := 0; k < d; k++ {
+					id := msg.NodeID(2 + k)
+					opts.CrashAt[id] = int64(20 + 5000*k)
+					opts.RecoverAt[id] = int64(20 + 5000*k + 2500)
+				}
+				res, err := harness.RunVSS(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.HonestDone() != 10 {
+					b.Fatal("incomplete")
+				}
+				msgs = res.Stats.TotalMsgs
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+		})
+	}
+}
+
+// BenchmarkE5DKGOptimistic sweeps n for the full DKG (paper: O(n³)
+// messages, O(κn⁴) bits in the optimistic phase).
+func BenchmarkE5DKGOptimistic(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var msgs int
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunDKG(harness.DKGOptions{N: n, T: (n - 1) / 3, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.HonestDone() != n {
+					b.Fatal("incomplete")
+				}
+				msgs, bytes = res.Stats.TotalMsgs, res.Stats.TotalBytes
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(msgs)/float64(n*n*n), "msgs/n³")
+			b.ReportMetric(float64(bytes), "wire-bytes")
+		})
+	}
+}
+
+// BenchmarkE6DKGLeaderChange measures the pessimistic phase: k
+// consecutive crashed leaders before a live one (paper: O(tdn²)
+// messages per change plus one timeout each).
+func BenchmarkE6DKGLeaderChange(b *testing.B) {
+	for _, k := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("faultyLeaders=%d", k), func(b *testing.B) {
+			var msgs int
+			var vtime int64
+			for i := 0; i < b.N; i++ {
+				opts := harness.DKGOptions{N: 13, T: 2, F: 3, Seed: uint64(i + 1), TimeoutBase: 2000}
+				for j := 1; j <= k; j++ {
+					opts.CrashedFromStart = append(opts.CrashedFromStart, msg.NodeID(j))
+				}
+				res, err := harness.RunDKG(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.HonestDone() != 13-k {
+					b.Fatal("incomplete")
+				}
+				msgs = res.Stats.TotalMsgs
+				vtime = res.Net.Now()
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(vtime), "virtual-time")
+		})
+	}
+}
+
+// BenchmarkE7Resilience runs boundary configurations n = 3t+2f+1
+// exactly (paper: the minimum viable group sizes).
+func BenchmarkE7Resilience(b *testing.B) {
+	for _, cfg := range []struct{ n, t, f int }{{4, 1, 0}, {7, 2, 0}, {9, 2, 1}, {11, 2, 2}} {
+		b.Run(fmt.Sprintf("n=%d,t=%d,f=%d", cfg.n, cfg.t, cfg.f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunDKG(harness.DKGOptions{N: cfg.n, T: cfg.t, F: cfg.f, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.HonestDone() != cfg.n {
+					b.Fatal("incomplete at the resilience bound")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8LatencyDegree reports the causal message depth of a full
+// DKG (paper §2.1: asynchrony costs messages, not rounds — depth
+// should not grow with n).
+func BenchmarkE8LatencyDegree(b *testing.B) {
+	for _, n := range []int{4, 10, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var depth int
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunDKG(harness.DKGOptions{N: n, T: (n - 1) / 3, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				depth = res.Stats.MaxDepth
+			}
+			b.ReportMetric(float64(depth), "causal-depth")
+		})
+	}
+}
+
+// BenchmarkE9Renewal times one proactive share-renewal phase for
+// n=7, t=2 (paper §5.2: one DKG-shaped protocol run per phase).
+func BenchmarkE9Renewal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pres, err := harness.SetupProactive(harness.DKGOptions{N: 7, T: 2, Seed: uint64(i + 1)}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pres.RunPhase(1, 0) {
+			b.Fatal("renewal incomplete")
+		}
+	}
+}
+
+// BenchmarkE10ShareRecovery times a DKG in which one node crashes and
+// recovers mid-run via the help protocol (§5.3).
+func BenchmarkE10ShareRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunDKG(harness.DKGOptions{
+			N: 9, T: 2, F: 1, Seed: uint64(i + 1),
+			CrashAt:   map[msg.NodeID]int64{5: 40},
+			RecoverAt: map[msg.NodeID]int64{5: 100_000},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Nodes[5].Done() {
+			b.Fatal("recovered node incomplete")
+		}
+	}
+}
+
+// BenchmarkE11GroupMod times the §6.2 node-addition protocol end to
+// end (resharing + subshare transfer to the joiner).
+func BenchmarkE11GroupMod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := runAdditionOnce(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12FeldmanVsPedersen compares the two commitment schemes
+// the paper discusses (§1): commit and verify-share costs.
+func BenchmarkE12FeldmanVsPedersen(b *testing.B) {
+	gr := group.Test256()
+	r := randutil.NewReader(1)
+	const t = 4
+	a, err := poly.NewRandom(gr.Q(), t, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blind, err := poly.NewRandom(gr.Q(), t, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := commit.PedersenH(gr)
+	share, blindShare := a.EvalInt(3), blind.EvalInt(3)
+
+	b.Run("feldman/commit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			commit.NewVector(gr, a)
+		}
+	})
+	b.Run("pedersen/commit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := commit.NewPedersenVector(gr, h, a, blind); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fv := commit.NewVector(gr, a)
+	pv, err := commit.NewPedersenVector(gr, h, a, blind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("feldman/verify-share", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !fv.VerifyShare(3, share) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	b.Run("pedersen/verify-share", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !pv.VerifyShare(3, share, blindShare) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	b.Run("feldman/matrix-verify-point", func(b *testing.B) {
+		secret, _ := gr.RandScalar(r)
+		f, err := poly.NewRandomSymmetric(gr.Q(), secret, t, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := commit.NewMatrix(gr, f)
+		alpha := f.Eval(2, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !m.VerifyPoint(3, 2, alpha) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}
+
+// BenchmarkE13ThresholdApps times the application-layer operations
+// over fixed key material (crypto only, no network).
+func BenchmarkE13ThresholdApps(b *testing.B) {
+	gr := group.Test256()
+	const t = 2
+	r := randutil.NewReader(2)
+	keyPoly, _ := poly.NewRandom(gr.Q(), t, r)
+	noncePoly, _ := poly.NewRandom(gr.Q(), t, r)
+	keyV, nonceV := commit.NewVector(gr, keyPoly), commit.NewVector(gr, noncePoly)
+	message := []byte("benchmark")
+	keyShare := func(i int64, p *poly.Poly, v *commit.Vector) thresh.KeyShare {
+		return thresh.KeyShare{Self: msg.NodeID(i), Share: p.EvalInt(i), V: v}
+	}
+
+	b.Run("schnorr/partial-sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := thresh.PartialSign(gr, keyShare(1, keyPoly, keyV), keyShare(1, noncePoly, nonceV), message); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	partials := make([]thresh.PartialSig, 0, t+1)
+	for i := int64(1); i <= t+1; i++ {
+		p, err := thresh.PartialSign(gr, keyShare(i, keyPoly, keyV), keyShare(i, noncePoly, nonceV), message)
+		if err != nil {
+			b.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	b.Run("schnorr/combine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := thresh.Combine(gr, keyV, nonceV, t, message, partials); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m := gr.GExp(big.NewInt(777))
+	ct, err := thresh.Encrypt(gr, keyV.PublicKey(), m, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("elgamal/partial-decrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := thresh.PartialDecrypt(gr, keyShare(1, keyPoly, keyV), ct, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	parts := make([]thresh.PartialDecryption, 0, t+1)
+	for i := int64(1); i <= t+1; i++ {
+		pd, err := thresh.PartialDecrypt(gr, keyShare(i, keyPoly, keyV), ct, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts = append(parts, pd)
+	}
+	b.Run("elgamal/combine-decrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := thresh.CombineDecrypt(gr, keyV, t, ct, parts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// runAdditionOnce performs the E11 node-addition workload.
+func runAdditionOnce(seed uint64) error {
+	gr := group.Test256()
+	const n, t = 7, 2
+	dres, err := harness.RunDKG(harness.DKGOptions{N: n, T: t, Seed: seed, Group: gr})
+	if err != nil {
+		return err
+	}
+	return harness.RunAddition(dres, msg.NodeID(n+1), 1000+seed)
+}

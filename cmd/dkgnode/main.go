@@ -1,0 +1,315 @@
+// Command dkgnode runs one DKG participant over real TCP — the
+// deployment form of the protocol (one process per node, §7 system
+// design). A cluster is prepared with `dkgnode keygen` (generates the
+// signature-key directory all nodes need) and then one `dkgnode run`
+// per node.
+//
+// Example 4-node cluster on one machine:
+//
+//	dkgnode keygen -n 4 -out keys.json
+//	for i in 1 2 3 4; do
+//	  dkgnode run -id $i -listen 127.0.0.1:900$i \
+//	    -peers "1=127.0.0.1:9001,2=127.0.0.1:9002,3=127.0.0.1:9003,4=127.0.0.1:9004" \
+//	    -keys keys.json -n 4 -t 1 &
+//	done
+//
+// Each node prints a JSON document with the public key and its own
+// share when the DKG completes.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/groupmod"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/proactive"
+	"hybriddkg/internal/rbc"
+	"hybriddkg/internal/sig"
+	"hybriddkg/internal/transport"
+	"hybriddkg/internal/vss"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: dkgnode <keygen|run> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = keygen(os.Args[2:])
+	case "run":
+		err = runNode(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dkgnode:", err)
+		os.Exit(1)
+	}
+}
+
+// keyFile is the operator-distributed key directory. In a real
+// deployment each node receives only its own private key plus all
+// public keys (the paper's certificate model, §2.3); the single file
+// keeps the demo simple.
+type keyFile struct {
+	Scheme string     `json:"scheme"`
+	Secret string     `json:"transportSecret"`
+	Nodes  []keyEntry `json:"nodes"`
+}
+
+type keyEntry struct {
+	ID   int64  `json:"id"`
+	Pub  string `json:"pub"`
+	Priv string `json:"priv"`
+}
+
+func keygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	n := fs.Int("n", 4, "number of nodes")
+	schemeName := fs.String("scheme", "ed25519", "signature scheme")
+	out := fs.String("out", "keys.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := sig.ByName(*schemeName)
+	if err != nil {
+		return err
+	}
+	kf := keyFile{Scheme: *schemeName}
+	var secret [32]byte
+	if _, err := rand.Read(secret[:]); err != nil {
+		return err
+	}
+	kf.Secret = hex.EncodeToString(secret[:])
+	for i := 1; i <= *n; i++ {
+		priv, pub, err := scheme.GenerateKey(rand.Reader)
+		if err != nil {
+			return err
+		}
+		kf.Nodes = append(kf.Nodes, keyEntry{
+			ID:   int64(i),
+			Pub:  hex.EncodeToString(pub),
+			Priv: hex.EncodeToString(priv),
+		})
+	}
+	data, err := json.MarshalIndent(kf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d nodes, scheme %s)\n", *out, *n, *schemeName)
+	return nil
+}
+
+func runNode(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		id        = fs.Int64("id", 0, "this node's index (1-based)")
+		listen    = fs.String("listen", "", "listen address host:port")
+		peersSpec = fs.String("peers", "", "comma-separated id=host:port list for all nodes")
+		keysPath  = fs.String("keys", "keys.json", "key directory file from `dkgnode keygen`")
+		n         = fs.Int("n", 0, "group size")
+		t         = fs.Int("t", 0, "Byzantine threshold")
+		f         = fs.Int("f", 0, "crash limit")
+		groupName = fs.String("group", "test256", "discrete-log parameter set")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "overall deadline")
+		tau       = fs.Uint64("tau", 1, "session counter")
+		leader    = fs.Int64("leader", 1, "initial leader index")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id < 1 || *listen == "" || *peersSpec == "" || *n == 0 {
+		return fmt.Errorf("missing -id/-listen/-peers/-n")
+	}
+	gr, err := group.ByName(*groupName)
+	if err != nil {
+		return err
+	}
+	kf, dir, priv, secret, err := loadKeys(*keysPath, *id)
+	if err != nil {
+		return err
+	}
+	_ = kf
+	peers, err := parsePeers(*peersSpec)
+	if err != nil {
+		return err
+	}
+	codec := msg.NewCodec()
+	if err := vss.RegisterCodec(codec, gr); err != nil {
+		return err
+	}
+	if err := dkg.RegisterCodec(codec); err != nil {
+		return err
+	}
+	if err := rbc.RegisterCodec(codec); err != nil {
+		return err
+	}
+	if err := proactive.RegisterCodec(codec); err != nil {
+		return err
+	}
+	if err := groupmod.RegisterCodec(codec, gr); err != nil {
+		return err
+	}
+
+	done := make(chan dkg.CompletedEvent, 1)
+	relay := &lateHandler{}
+	tnode, err := transport.Listen(transport.Config{
+		Self:      msg.NodeID(*id),
+		Listen:    *listen,
+		Peers:     peers,
+		Codec:     codec,
+		Secret:    secret,
+		Handler:   relay,
+		TimerUnit: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer tnode.Close()
+
+	params := dkg.Params{
+		Group:         gr,
+		N:             *n,
+		T:             *t,
+		F:             *f,
+		Directory:     dir,
+		SignKey:       priv,
+		InitialLeader: msg.NodeID(*leader),
+		TimeoutBase:   10_000, // 10s at 1ms/unit before first leader change
+	}
+	node, err := dkg.NewNode(params, *tau, msg.NodeID(*id), tnode, dkg.Options{
+		OnCompleted: func(ev dkg.CompletedEvent) {
+			select {
+			case done <- ev:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	relay.set(node)
+	tnode.Do(func() {
+		if err := node.Start(rand.Reader); err != nil {
+			fmt.Fprintln(os.Stderr, "start:", err)
+		}
+	})
+	fmt.Fprintf(os.Stderr, "node %d listening on %s, session %d, waiting for DKG…\n", *id, tnode.Addr(), *tau)
+
+	select {
+	case ev := <-done:
+		out := map[string]any{
+			"node":      *id,
+			"session":   ev.Tau,
+			"finalView": ev.FinalView,
+			"publicKey": ev.PublicKey.Text(16),
+			"share":     ev.Share.Text(16),
+			"qset":      ev.Q,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	case <-time.After(*timeout):
+		return fmt.Errorf("timed out after %v", *timeout)
+	}
+}
+
+// lateHandler lets the transport start before the protocol node
+// exists.
+type lateHandler struct {
+	node *dkg.Node
+}
+
+func (h *lateHandler) set(node *dkg.Node) { h.node = node }
+func (h *lateHandler) HandleMessage(from msg.NodeID, body msg.Body) {
+	if h.node != nil {
+		h.node.Handle(from, body)
+	}
+}
+func (h *lateHandler) HandleTimer(id uint64) {
+	if h.node != nil {
+		h.node.HandleTimer(id)
+	}
+}
+func (h *lateHandler) HandleRecover() {
+	if h.node != nil {
+		h.node.HandleRecover()
+	}
+}
+
+func loadKeys(path string, self int64) (*keyFile, *sig.Directory, []byte, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	var kf keyFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	scheme, err := sig.ByName(kf.Scheme)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	dir := sig.NewDirectory(scheme)
+	var priv []byte
+	for _, e := range kf.Nodes {
+		pub, err := hex.DecodeString(e.Pub)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if err := dir.Add(e.ID, pub); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if e.ID == self {
+			priv, err = hex.DecodeString(e.Priv)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+		}
+	}
+	if priv == nil {
+		return nil, nil, nil, nil, fmt.Errorf("no private key for node %d in %s", self, path)
+	}
+	secret, err := hex.DecodeString(kf.Secret)
+	if err != nil || len(secret) == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("bad transport secret in %s", path)
+	}
+	return &kf, dir, priv, secret, nil
+}
+
+func parsePeers(spec string) ([]transport.Peer, error) {
+	var out []transport.Peer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad peer spec %q (want id=host:port)", part)
+		}
+		var id int64
+		if _, err := fmt.Sscanf(part[:eq], "%d", &id); err != nil {
+			return nil, fmt.Errorf("bad peer id in %q", part)
+		}
+		out = append(out, transport.Peer{ID: msg.NodeID(id), Addr: part[eq+1:]})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty peer list")
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package hybriddkg_test
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    hybriddkg.Options
+		wantErr bool
+	}{
+		{name: "ok", opts: hybriddkg.Options{N: 4, T: 1}},
+		{name: "bound", opts: hybriddkg.Options{N: 4, T: 2}, wantErr: true},
+		{name: "zero n", opts: hybriddkg.Options{}, wantErr: true},
+		{name: "bad group", opts: hybriddkg.Options{N: 4, T: 1, GroupName: "nope"}, wantErr: true},
+		{name: "bad scheme", opts: hybriddkg.Options{N: 4, T: 1, SignatureScheme: "nope"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := hybriddkg.NewCluster(tt.opts)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewCluster error = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateKeyAndSign(t *testing.T) {
+	cluster, err := hybriddkg.NewCluster(hybriddkg.Options{N: 7, T: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cluster.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.PublicKey == nil || len(key.Shares) != 7 {
+		t.Fatalf("key: pk=%v shares=%d", key.PublicKey, len(key.Shares))
+	}
+	for id, share := range key.Shares {
+		if !key.Commitment.VerifyShare(int64(id), share) {
+			t.Fatalf("share %d invalid", id)
+		}
+	}
+	message := []byte("hello, threshold world")
+	sig, err := cluster.Sign(key, message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.Verify(message, sig) {
+		t.Fatal("signature rejected")
+	}
+	if key.Verify([]byte("other"), sig) {
+		t.Fatal("signature accepted for wrong message")
+	}
+	// Secret consistency.
+	secret, err := cluster.Reconstruct(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Group().GExp(secret).Cmp(key.PublicKey) != 0 {
+		t.Fatal("reconstructed secret does not match public key")
+	}
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	cluster, err := hybriddkg.NewCluster(hybriddkg.Options{N: 4, T: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cluster.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cluster.Group().GExp(big.NewInt(123456))
+	ct, err := cluster.Encrypt(key, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.Decrypt(key, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatal("decrypt mismatch")
+	}
+}
+
+func TestRenewSharesPreservesKey(t *testing.T) {
+	cluster, err := hybriddkg.NewCluster(hybriddkg.Options{N: 7, T: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cluster.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkBefore := new(big.Int).Set(key.PublicKey)
+	secretBefore, err := cluster.Reconstruct(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldShare1 := new(big.Int).Set(key.Shares[1])
+
+	if err := cluster.RenewShares(key); err != nil {
+		t.Fatal(err)
+	}
+	if key.PublicKey.Cmp(pkBefore) != 0 {
+		t.Fatal("public key changed by renewal")
+	}
+	if key.Shares[1].Cmp(oldShare1) == 0 {
+		t.Fatal("share unchanged by renewal")
+	}
+	secretAfter, err := cluster.Reconstruct(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secretAfter.Cmp(secretBefore) != 0 {
+		t.Fatal("secret changed by renewal")
+	}
+	// Signing still works after renewal.
+	sig, err := cluster.Sign(key, []byte("post-renewal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.Verify([]byte("post-renewal"), sig) {
+		t.Fatal("post-renewal signature rejected")
+	}
+}
+
+func TestCrashRecoverThroughFacade(t *testing.T) {
+	cluster, err := hybriddkg.NewCluster(hybriddkg.Options{N: 9, T: 2, F: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Crash(9)
+	key, err := cluster.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.PublicKey == nil {
+		t.Fatal("no key despite f-crash budget")
+	}
+	cluster.Recover(9)
+	if cluster.N() != 9 || cluster.T() != 2 {
+		t.Fatal("accessors broken")
+	}
+	if cluster.Stats().TotalMsgs == 0 {
+		t.Fatal("no traffic accounted")
+	}
+}

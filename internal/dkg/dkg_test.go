@@ -1,0 +1,529 @@
+package dkg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/sig"
+	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/vss"
+)
+
+func TestParamsValidate(t *testing.T) {
+	gr := group.Test256()
+	dir, privs, err := harness.BuildDirectory(sig.Ed25519{}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := dkg.Params{Group: gr, N: 4, T: 1, Directory: dir, SignKey: privs[1]}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		mod  func(p dkg.Params) dkg.Params
+	}{
+		{name: "nil group", mod: func(p dkg.Params) dkg.Params { p.Group = nil; return p }},
+		{name: "bound", mod: func(p dkg.Params) dkg.Params { p.N = 3; return p }},
+		{name: "no directory", mod: func(p dkg.Params) dkg.Params { p.Directory = nil; return p }},
+		{name: "no key", mod: func(p dkg.Params) dkg.Params { p.SignKey = nil; return p }},
+		{name: "bad leader", mod: func(p dkg.Params) dkg.Params { p.InitialLeader = 9; return p }},
+		{name: "negative timeout", mod: func(p dkg.Params) dkg.Params { p.TimeoutBase = -1; return p }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.mod(good).Validate(); err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+// TestOptimisticPhase is the Fig. 2 conformance test: with an honest
+// leader and no faults, every node completes in the initial view with
+// zero leader changes, and Definition 4.1 consistency holds.
+func TestOptimisticPhase(t *testing.T) {
+	for _, n := range []int{4, 7, 10} {
+		tt := (n - 1) / 3
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("n=%d,seed=%d", n, seed), func(t *testing.T) {
+				res, err := harness.RunDKG(harness.DKGOptions{N: n, T: tt, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := res.HonestDone(); got != n {
+					t.Fatalf("completed %d/%d", got, n)
+				}
+				if err := res.CheckConsistency(); err != nil {
+					t.Fatal(err)
+				}
+				if lc := res.MaxLeaderChanges(); lc != 0 {
+					t.Errorf("leader changes = %d in optimistic run", lc)
+				}
+				for id, ev := range res.Completed {
+					if ev.FinalView != 1 {
+						t.Errorf("node %d final view %d", id, ev.FinalView)
+					}
+					if len(ev.Q) != tt+1 {
+						t.Errorf("node %d |Q| = %d, want %d", id, len(ev.Q), tt+1)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOptimisticMessageComplexity pins the exact crash-free message
+// counts: n parallel sharings cost n·(n+2n²) VSS messages and the
+// leader broadcast adds n + 2n² DKG messages (§4 Efficiency).
+func TestOptimisticMessageComplexity(t *testing.T) {
+	const n, tt = 7, 2
+	res, err := harness.RunDKG(harness.DKGOptions{N: n, T: tt, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	checks := []struct {
+		typ  msg.Type
+		want int
+	}{
+		{typ: msg.TVSSSend, want: n * n},
+		{typ: msg.TVSSEcho, want: n * n * n},
+		{typ: msg.TVSSReady, want: n * n * n},
+		{typ: msg.TDKGSend, want: n},
+		{typ: msg.TDKGEcho, want: n * n},
+		{typ: msg.TDKGReady, want: n * n},
+	}
+	for _, c := range checks {
+		if got := st.MsgCount[c.typ]; got != c.want {
+			t.Errorf("%v count = %d, want %d", c.typ, got, c.want)
+		}
+	}
+}
+
+// TestCrashedLeaderTriggersLeaderChange: the initial leader is down
+// from the start; the pessimistic phase replaces it and the protocol
+// completes under the next leader.
+func TestCrashedLeaderTriggersLeaderChange(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 9, T: 2, F: 1, Seed: 5,
+		CrashedFromStart: []msg.NodeID{1}, // node 1 = initial leader
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HonestDone(); got != 8 {
+		t.Fatalf("completed %d/8 live nodes", got)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if lc := res.MaxLeaderChanges(); lc < 1 {
+		t.Error("no leader change despite crashed leader")
+	}
+	for id, ev := range res.Completed {
+		if ev.FinalView < 2 {
+			t.Errorf("node %d finished in view %d under a dead leader", id, ev.FinalView)
+		}
+	}
+}
+
+// TestConsecutiveCrashedLeaders: leaders of views 1 and 2 are both
+// down; completion happens under the third leader.
+func TestConsecutiveCrashedLeaders(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 11, T: 2, F: 2, Seed: 6,
+		CrashedFromStart: []msg.NodeID{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HonestDone(); got != 9 {
+		t.Fatalf("completed %d/9 live nodes", got)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for id, ev := range res.Completed {
+		if got := res.Nodes[id].Leader(ev.FinalView); got == 1 || got == 2 {
+			t.Errorf("node %d finished under crashed leader %d", id, got)
+		}
+	}
+}
+
+// TestCrashedFollowers: f non-leader nodes down from the start leaves
+// the optimistic path intact.
+func TestCrashedFollowers(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 11, T: 2, F: 2, Seed: 7,
+		CrashedFromStart: []msg.NodeID{10, 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HonestDone(); got != 9 {
+		t.Fatalf("completed %d/9", got)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if lc := res.MaxLeaderChanges(); lc != 0 {
+		t.Errorf("unexpected leader changes: %d", lc)
+	}
+}
+
+// silentHandler is a Byzantine node that does nothing at all.
+type silentHandler struct{}
+
+func (silentHandler) HandleMessage(msg.NodeID, msg.Body) {}
+func (silentHandler) HandleTimer(uint64)                 {}
+func (silentHandler) HandleRecover()                     {}
+
+// TestSilentByzantineLeader: a mute (but not crashed) leader is
+// replaced; the run completes and stays consistent.
+func TestSilentByzantineLeader(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 7, T: 2, Seed: 8,
+		Byzantine: map[msg.NodeID]func(env *simnet.Env) simnet.Handler{
+			1: func(*simnet.Env) simnet.Handler { return silentHandler{} },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HonestDone(); got != 6 {
+		t.Fatalf("completed %d/6 honest", got)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLeaderChanges() < 1 {
+		t.Error("silent leader was never replaced")
+	}
+}
+
+// partialProposalLeader relays a real inner DKG node but suppresses
+// the leader's proposal towards a subset of nodes: an equivocation-
+// style partial broadcast that cannot assemble an echo quorum.
+type partialProposalLeader struct {
+	inner *dkg.Node
+	// suppressTo receives no SendMsg from us.
+	suppressTo map[msg.NodeID]bool
+}
+
+type filteringRuntime struct {
+	env        *simnet.Env
+	suppressTo map[msg.NodeID]bool
+}
+
+func (f *filteringRuntime) Send(to msg.NodeID, body msg.Body) {
+	if _, isSend := body.(*dkg.SendMsg); isSend && f.suppressTo[to] {
+		return
+	}
+	f.env.Send(to, body)
+}
+func (f *filteringRuntime) SetTimer(id uint64, delay int64) { f.env.SetTimer(id, delay) }
+func (f *filteringRuntime) StopTimer(id uint64)             { f.env.StopTimer(id) }
+
+func (p *partialProposalLeader) HandleMessage(from msg.NodeID, body msg.Body) {
+	p.inner.Handle(from, body)
+}
+func (p *partialProposalLeader) HandleTimer(id uint64) { p.inner.HandleTimer(id) }
+func (p *partialProposalLeader) HandleRecover()        { p.inner.HandleRecover() }
+
+// TestPartialProposalLeader: the leader shows its proposal to too few
+// nodes for an echo quorum; timeouts replace it and the protocol
+// completes consistently — nodes that echoed the first proposal but
+// never locked are free to support the new one.
+func TestPartialProposalLeader(t *testing.T) {
+	const n, tt = 7, 2
+	dir, privs, err := harness.BuildDirectory(sig.Ed25519{}, n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byzNode *partialProposalLeader
+	res, err := harness.SetupDKG(&harness.DKGOptions{
+		N: n, T: tt, Seed: 9,
+		Byzantine: map[msg.NodeID]func(env *simnet.Env) simnet.Handler{
+			1: func(env *simnet.Env) simnet.Handler {
+				rt := &filteringRuntime{
+					env:        env,
+					suppressTo: map[msg.NodeID]bool{4: true, 5: true, 6: true, 7: true},
+				}
+				inner, err := dkg.NewNode(dkg.Params{
+					Group: group.Test256(), N: n, T: tt,
+					Directory: dir, SignKey: privs[1],
+				}, 1, 1, rt, dkg.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				byzNode = &partialProposalLeader{inner: inner}
+				return byzNode
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The harness-built directory must match the adversary's: rebuild
+	// with same seed gives identical keys (deterministic).
+	if err := byzNode.inner.Start(randutil.NewReader(1001)); err != nil {
+		t.Fatal(err)
+	}
+	for id, node := range res.Nodes {
+		if err := node.Start(randutil.NewReader(uint64(id) * 77)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res.Net.RunUntil(func() bool {
+		for _, node := range res.Nodes {
+			if !node.Done() {
+				return false
+			}
+		}
+		return true
+	}, 0)
+	res.Net.Run(0)
+	done := res.HonestDone()
+	if done != n-1 {
+		t.Fatalf("completed %d/%d honest", done, n-1)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDealParticipants: nodes that never deal still complete (only
+// t+1 sharings are needed).
+func TestNoDealParticipants(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 7, T: 2, Seed: 10,
+		NoDeal: []msg.NodeID{6, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HonestDone(); got != 7 {
+		t.Fatalf("completed %d/7", got)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Completed {
+		for _, d := range ev.Q {
+			if d == 6 || d == 7 {
+				t.Errorf("non-dealing node %d in Q", d)
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryMidRun: a node crashes during the run and recovers;
+// DKG-level help retransmission completes it.
+func TestCrashRecoveryMidRun(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 9, T: 2, F: 1, Seed: 11,
+		CrashAt:   map[msg.NodeID]int64{5: 40},
+		RecoverAt: map[msg.NodeID]int64{5: 100_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Nodes[5].Done() {
+		t.Fatal("recovered node did not complete")
+	}
+	if got := res.HonestDone(); got != 9 {
+		t.Fatalf("completed %d/9", got)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MsgCount[msg.TDKGHelp] == 0 {
+		t.Error("no DKG help messages sent during recovery")
+	}
+}
+
+// TestHashedEchoDKG: hashed-commitment mode completes with fewer
+// bytes.
+func TestHashedEchoDKG(t *testing.T) {
+	full, err := harness.RunDKG(harness.DKGOptions{N: 7, T: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := harness.RunDKG(harness.DKGOptions{N: 7, T: 2, Seed: 12, HashedEcho: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashed.HonestDone(); got != 7 {
+		t.Fatalf("hashed completed %d/7", got)
+	}
+	if err := hashed.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if hashed.Stats.TotalBytes >= full.Stats.TotalBytes {
+		t.Errorf("hashed %d bytes ≥ full %d bytes", hashed.Stats.TotalBytes, full.Stats.TotalBytes)
+	}
+}
+
+// TestForgedLeaderProofRejected: a send message claiming a future view
+// without valid lead-ch signatures must be ignored.
+func TestForgedLeaderProofRejected(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{N: 4, T: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := res.Nodes[2]
+	viewBefore := node.CurrentView()
+	// Node 3 forges a view-9 proposal with no leadership proof. Use
+	// node 3's own completed event material so the proposal itself is
+	// well-formed.
+	ev := res.Completed[3]
+	prop := &dkg.Proposal{
+		Q:       ev.Q,
+		CHashes: make([][32]byte, len(ev.Q)),
+		Kind:    dkg.KindReady,
+	}
+	// Node 1 is the legitimate leader of view 9 (((9−1) mod 4)+1), so
+	// rejection must come from the missing leadership proof.
+	node.Handle(1, &dkg.SendMsg{Tau: 1, View: 9, Prop: prop})
+	if node.CurrentView() != viewBefore {
+		t.Error("forged send advanced the view")
+	}
+}
+
+// TestInitialLeaderConfigurable: any node can be the first leader.
+func TestInitialLeaderConfigurable(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{N: 4, T: 1, Seed: 14, InitialLeader: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HonestDone(); got != 4 {
+		t.Fatalf("completed %d/4", got)
+	}
+	for id, ev := range res.Completed {
+		if res.Nodes[id].Leader(ev.FinalView) != 3 {
+			t.Errorf("node %d finished under leader %d, want 3", id, res.Nodes[id].Leader(ev.FinalView))
+		}
+	}
+}
+
+// TestMessageCodecRoundTrips round-trips every DKG message type.
+func TestMessageCodecRoundTrips(t *testing.T) {
+	codec := msg.NewCodec()
+	if err := dkg.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	var h1, h2 [32]byte
+	h1[0], h2[0] = 1, 2
+	propVSS := &dkg.Proposal{
+		Q:       []msg.NodeID{1, 2},
+		CHashes: [][32]byte{h1, h2},
+		Kind:    dkg.KindVSS,
+		VSSProofs: [][]vss.SignedReady{
+			{{Signer: 3, Sig: []byte{1}}, {Signer: 4, Sig: []byte{2}}},
+			{{Signer: 5, Sig: []byte{3}}},
+		},
+	}
+	propEcho := &dkg.Proposal{
+		Q:       []msg.NodeID{1, 2},
+		CHashes: [][32]byte{h1, h2},
+		Kind:    dkg.KindEcho,
+		QSigs:   []dkg.SignedQ{{Signer: 1, Sig: []byte{9}}},
+	}
+	bodies := []msg.Body{
+		&dkg.SendMsg{Tau: 1, View: 2, Prop: propVSS, LeaderProof: []dkg.SignedQ{{Signer: 1, Sig: []byte{7}}}},
+		&dkg.SendMsg{Tau: 1, View: 1, Prop: propEcho},
+		&dkg.EchoMsg{Tau: 1, Prop: propEcho.Slim(), Sig: []byte{5}},
+		&dkg.ReadyMsg{Tau: 1, Prop: propEcho.Slim(), Sig: []byte{6}},
+		&dkg.LeadChMsg{Tau: 1, NewView: 3, Prop: propVSS, Sig: []byte{8}},
+		&dkg.HelpMsg{Tau: 1},
+	}
+	for i, body := range bodies {
+		env, err := msg.Seal(1, 2, body)
+		if err != nil {
+			t.Fatalf("body %d: %v", i, err)
+		}
+		back, err := codec.Open(env)
+		if err != nil {
+			t.Fatalf("body %d: open: %v", i, err)
+		}
+		reEnc, _ := back.MarshalBinary()
+		orig, _ := body.MarshalBinary()
+		if string(reEnc) != string(orig) {
+			t.Errorf("body %d (%v): not canonical", i, body.MsgType())
+		}
+	}
+	for i, body := range bodies {
+		enc, _ := body.MarshalBinary()
+		if _, err := codec.Decode(body.MsgType(), enc[:len(enc)-1]); err == nil {
+			t.Errorf("body %d: truncated decode succeeded", i)
+		}
+	}
+}
+
+// TestProposalWellFormed covers structural proposal validation.
+func TestProposalWellFormed(t *testing.T) {
+	var h [32]byte
+	mk := func(q []msg.NodeID) *dkg.Proposal {
+		hs := make([][32]byte, len(q))
+		for i := range hs {
+			hs[i] = h
+		}
+		return &dkg.Proposal{Q: q, CHashes: hs, Kind: dkg.KindEcho}
+	}
+	tests := []struct {
+		name    string
+		p       *dkg.Proposal
+		wantErr bool
+	}{
+		{name: "ok", p: mk([]msg.NodeID{1, 2})},
+		{name: "too small", p: mk([]msg.NodeID{1}), wantErr: true},
+		{name: "unsorted", p: mk([]msg.NodeID{2, 1}), wantErr: true},
+		{name: "duplicate", p: mk([]msg.NodeID{2, 2}), wantErr: true},
+		{name: "out of range", p: mk([]msg.NodeID{1, 9}), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.WellFormed(7, 2)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("WellFormed = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+	bad := mk([]msg.NodeID{1, 2})
+	bad.CHashes = bad.CHashes[:1]
+	if err := bad.WellFormed(7, 2); err == nil {
+		t.Error("misaligned hashes accepted")
+	}
+	badKind := mk([]msg.NodeID{1, 2})
+	badKind.Kind = 99
+	if err := badKind.WellFormed(7, 2); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestDoubleStart: Start twice errors.
+func TestDoubleStart(t *testing.T) {
+	dir, privs, err := harness.BuildDirectory(sig.Ed25519{}, 4, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(simnet.Options{Seed: 15})
+	node, err := dkg.NewNode(dkg.Params{
+		Group: group.Test256(), N: 4, T: 1, Directory: dir, SignKey: privs[1],
+	}, 1, 1, net.Env(1), dkg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(randutil.NewReader(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(randutil.NewReader(2)); err == nil {
+		t.Error("double Start succeeded")
+	}
+}

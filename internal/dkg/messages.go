@@ -1,0 +1,413 @@
+package dkg
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/vss"
+)
+
+// ProofKind distinguishes the three validity proofs a proposal or
+// lead-ch message can carry (the R̂ and M sets of Figures 2–3).
+type ProofKind uint8
+
+// Proof kinds.
+const (
+	// KindVSS is the R̂ set: per-dealer collections of n−t−f signed
+	// VSS ready messages proving each sharing in Q̂ completed.
+	KindVSS ProofKind = iota + 1
+	// KindEcho is an M set of ⌈(n+t+1)/2⌉ signed DKG echo messages.
+	KindEcho
+	// KindReady is an M set of t+1 signed DKG ready messages.
+	KindReady
+)
+
+// SignedQ is one node's signature over a DKG transcript (echo, ready
+// or lead-ch), the building block of M sets and leadership proofs.
+type SignedQ struct {
+	Signer msg.NodeID
+	Sig    []byte
+}
+
+func encodeSignedQs(w *msg.Writer, sigs []SignedQ) {
+	w.U32(uint32(len(sigs)))
+	for _, s := range sigs {
+		w.Node(s.Signer)
+		w.Blob(s.Sig)
+	}
+}
+
+func decodeSignedQs(r *msg.Reader) []SignedQ {
+	n := r.U32()
+	if r.Err() != nil || n > 65536 {
+		return nil
+	}
+	out := make([]SignedQ, n)
+	for i := range out {
+		out[i].Signer = r.Node()
+		out[i].Sig = r.Blob()
+	}
+	return out
+}
+
+// Proposal is a leader's proposed VSS set: the dealer identities Q,
+// the commitment digest of each dealer's sharing, and a validity
+// proof (R̂ for fresh Q̂ proposals, an M set for previously locked Qs).
+type Proposal struct {
+	Q       []msg.NodeID // sorted ascending, distinct
+	CHashes [][32]byte   // aligned with Q: Hash of dealer d's matrix
+	Kind    ProofKind
+	// VSSProofs is set iff Kind == KindVSS, aligned with Q.
+	VSSProofs [][]vss.SignedReady
+	// QSigs is set iff Kind is KindEcho or KindReady.
+	QSigs []SignedQ
+}
+
+// Digest binds the session, the VSS set and its commitments; echo and
+// ready signatures cover it.
+func (p *Proposal) Digest(tau uint64) [32]byte {
+	w := msg.NewWriter(64 + len(p.Q)*40)
+	w.Blob([]byte("hybriddkg/dkg-proposal/v1"))
+	w.U64(tau)
+	w.U32(uint32(len(p.Q)))
+	for i, d := range p.Q {
+		w.Node(d)
+		w.Blob(p.CHashes[i][:])
+	}
+	return sha256.Sum256(w.Bytes())
+}
+
+// Slim returns a copy without the validity proofs, as carried in echo
+// and ready messages (they convey the set; quorums convey validity).
+func (p *Proposal) Slim() *Proposal {
+	return &Proposal{Q: p.Q, CHashes: p.CHashes, Kind: p.Kind}
+}
+
+// WellFormedBase performs the structural validation shared by slim
+// and full proposals: sorted distinct dealers within [1,n], aligned
+// hashes, at least qMin entries. Echo and ready messages (which carry
+// slim proposals without proofs) are checked with this.
+func (p *Proposal) WellFormedBase(n, qMin int) error {
+	if len(p.Q) < qMin {
+		return fmt.Errorf("dkg: proposal has %d dealers, need at least %d", len(p.Q), qMin)
+	}
+	if len(p.CHashes) != len(p.Q) {
+		return fmt.Errorf("dkg: %d commitment hashes for %d dealers", len(p.CHashes), len(p.Q))
+	}
+	if !sort.SliceIsSorted(p.Q, func(i, j int) bool { return p.Q[i] < p.Q[j] }) {
+		return fmt.Errorf("dkg: proposal dealers not sorted")
+	}
+	for i, d := range p.Q {
+		if d < 1 || int(d) > n {
+			return fmt.Errorf("dkg: dealer %d out of range", d)
+		}
+		if i > 0 && p.Q[i-1] == d {
+			return fmt.Errorf("dkg: duplicate dealer %d", d)
+		}
+	}
+	return nil
+}
+
+// WellFormed validates a full proposal (as carried by send and
+// lead-ch messages): base structure plus the proof shape.
+func (p *Proposal) WellFormed(n, qMin int) error {
+	if err := p.WellFormedBase(n, qMin); err != nil {
+		return err
+	}
+	switch p.Kind {
+	case KindVSS:
+		if len(p.VSSProofs) != len(p.Q) {
+			return fmt.Errorf("dkg: %d VSS proofs for %d dealers", len(p.VSSProofs), len(p.Q))
+		}
+	case KindEcho, KindReady:
+		// QSigs length is checked against thresholds by the verifier.
+	default:
+		return fmt.Errorf("dkg: unknown proof kind %d", p.Kind)
+	}
+	return nil
+}
+
+func (p *Proposal) encode(w *msg.Writer) {
+	w.U32(uint32(len(p.Q)))
+	for i, d := range p.Q {
+		w.Node(d)
+		w.Blob(p.CHashes[i][:])
+	}
+	w.U8(uint8(p.Kind))
+	switch p.Kind {
+	case KindVSS:
+		w.U32(uint32(len(p.VSSProofs)))
+		for _, proof := range p.VSSProofs {
+			vss.EncodeSignedReadies(w, proof)
+		}
+	default:
+		encodeSignedQs(w, p.QSigs)
+	}
+}
+
+func decodeProposal(r *msg.Reader) *Proposal {
+	n := r.U32()
+	if r.Err() != nil || n > 65536 {
+		return nil
+	}
+	p := &Proposal{
+		Q:       make([]msg.NodeID, n),
+		CHashes: make([][32]byte, n),
+	}
+	for i := range p.Q {
+		p.Q[i] = r.Node()
+		h := r.Blob()
+		if len(h) != 32 {
+			return nil
+		}
+		copy(p.CHashes[i][:], h)
+	}
+	p.Kind = ProofKind(r.U8())
+	switch p.Kind {
+	case KindVSS:
+		m := r.U32()
+		if r.Err() != nil || m > 65536 {
+			return nil
+		}
+		p.VSSProofs = make([][]vss.SignedReady, m)
+		for i := range p.VSSProofs {
+			p.VSSProofs[i] = vss.DecodeSignedReadies(r)
+		}
+	case KindEcho, KindReady:
+		p.QSigs = decodeSignedQs(r)
+	default:
+		return nil
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return p
+}
+
+// SendMsg is the leader's (L, τ, send, Q, R̂/M) proposal broadcast.
+// For views after the first, LeaderProof carries the n−t−f signed
+// lead-ch messages that legitimise the leadership change.
+type SendMsg struct {
+	Tau         uint64
+	View        uint64
+	Prop        *Proposal
+	LeaderProof []SignedQ
+}
+
+var _ msg.Body = (*SendMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *SendMsg) MsgType() msg.Type { return msg.TDKGSend }
+
+// MarshalBinary implements msg.Body.
+func (m *SendMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(512)
+	w.U64(m.Tau)
+	w.U64(m.View)
+	m.Prop.encode(w)
+	encodeSignedQs(w, m.LeaderProof)
+	return w.Bytes(), nil
+}
+
+func decodeSend(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &SendMsg{Tau: r.U64(), View: r.U64()}
+	out.Prop = decodeProposal(r)
+	if out.Prop == nil {
+		return nil, fmt.Errorf("dkg: bad proposal encoding")
+	}
+	out.LeaderProof = decodeSignedQs(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EchoMsg is the signed (L, τ, echo, Q) message.
+type EchoMsg struct {
+	Tau  uint64
+	Prop *Proposal // slim (no proofs)
+	Sig  []byte
+}
+
+var _ msg.Body = (*EchoMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *EchoMsg) MsgType() msg.Type { return msg.TDKGEcho }
+
+// MarshalBinary implements msg.Body.
+func (m *EchoMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(256)
+	w.U64(m.Tau)
+	m.Prop.encode(w)
+	w.Blob(m.Sig)
+	return w.Bytes(), nil
+}
+
+func decodeEcho(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &EchoMsg{Tau: r.U64()}
+	out.Prop = decodeProposal(r)
+	if out.Prop == nil {
+		return nil, fmt.Errorf("dkg: bad proposal encoding")
+	}
+	out.Sig = r.Blob()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadyMsg is the signed (L, τ, ready, Q) message.
+type ReadyMsg struct {
+	Tau  uint64
+	Prop *Proposal // slim
+	Sig  []byte
+}
+
+var _ msg.Body = (*ReadyMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *ReadyMsg) MsgType() msg.Type { return msg.TDKGReady }
+
+// MarshalBinary implements msg.Body.
+func (m *ReadyMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(256)
+	w.U64(m.Tau)
+	m.Prop.encode(w)
+	w.Blob(m.Sig)
+	return w.Bytes(), nil
+}
+
+func decodeReady(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &ReadyMsg{Tau: r.U64()}
+	out.Prop = decodeProposal(r)
+	if out.Prop == nil {
+		return nil, fmt.Errorf("dkg: bad proposal encoding")
+	}
+	out.Sig = r.Blob()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LeadChMsg is the signed (τ, lead-ch, L̄, Q, R̂/M) leader-change
+// request of Fig. 3.
+type LeadChMsg struct {
+	Tau     uint64
+	NewView uint64
+	Prop    *Proposal // the sender's best material (Q̂/R̂ or Q/M)
+	Sig     []byte    // over LeadChTranscript(tau, NewView)
+}
+
+var _ msg.Body = (*LeadChMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *LeadChMsg) MsgType() msg.Type { return msg.TDKGLeadCh }
+
+// MarshalBinary implements msg.Body.
+func (m *LeadChMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(512)
+	w.U64(m.Tau)
+	w.U64(m.NewView)
+	m.Prop.encode(w)
+	w.Blob(m.Sig)
+	return w.Bytes(), nil
+}
+
+func decodeLeadCh(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &LeadChMsg{Tau: r.U64(), NewView: r.U64()}
+	out.Prop = decodeProposal(r)
+	if out.Prop == nil {
+		return nil, fmt.Errorf("dkg: bad proposal encoding")
+	}
+	out.Sig = r.Blob()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HelpMsg is the DKG-session-level retransmission request (L, τ,
+// help); helpers replay both their DKG log and every embedded VSS log
+// destined for the requester.
+type HelpMsg struct {
+	Tau uint64
+}
+
+var _ msg.Body = (*HelpMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *HelpMsg) MsgType() msg.Type { return msg.TDKGHelp }
+
+// MarshalBinary implements msg.Body.
+func (m *HelpMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(8)
+	w.U64(m.Tau)
+	return w.Bytes(), nil
+}
+
+func decodeHelp(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &HelpMsg{Tau: r.U64()}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RegisterCodec installs decoders for all DKG message types.
+func RegisterCodec(c *msg.Codec) error {
+	if err := c.Register(msg.TDKGSend, decodeSend); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TDKGEcho, decodeEcho); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TDKGReady, decodeReady); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TDKGLeadCh, decodeLeadCh); err != nil {
+		return err
+	}
+	return c.Register(msg.TDKGHelp, decodeHelp)
+}
+
+// Transcripts covered by signatures. Echo/ready signatures bind the
+// proposal digest; lead-ch signatures bind the target view.
+
+// EchoTranscript is what a DKG echo signature covers.
+func EchoTranscript(tau uint64, digest [32]byte) []byte {
+	return transcript("hybriddkg/dkg-echo/v1", tau, digest[:])
+}
+
+// ReadyTranscript is what a DKG ready signature covers.
+func ReadyTranscript(tau uint64, digest [32]byte) []byte {
+	return transcript("hybriddkg/dkg-ready/v1", tau, digest[:])
+}
+
+// LeadChTranscript is what a lead-ch signature covers.
+func LeadChTranscript(tau uint64, view uint64) []byte {
+	var viewBytes [8]byte
+	for i := 0; i < 8; i++ {
+		viewBytes[i] = byte(view >> (56 - 8*i))
+	}
+	return transcript("hybriddkg/dkg-lead-ch/v1", tau, viewBytes[:])
+}
+
+func transcript(domain string, tau uint64, payload []byte) []byte {
+	w := msg.NewWriter(64)
+	w.Blob([]byte(domain))
+	w.U64(tau)
+	w.Blob(payload)
+	return w.Bytes()
+}
+
+// equalDigests is a constant-free helper for comparing digests.
+func equalDigests(a, b [32]byte) bool { return bytes.Equal(a[:], b[:]) }

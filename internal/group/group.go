@@ -1,0 +1,394 @@
+// Package group implements the discrete-logarithm setting of Kate &
+// Goldberg (ICDCS 2009), §2.3: a prime p with a κ-bit prime q dividing
+// p−1, and a generator g of the multiplicative subgroup G ⊂ Z_p* of
+// order q. All HybridVSS/DKG commitments and threshold-cryptography
+// operations in this repository are computed in this group.
+//
+// Conventions used throughout the module:
+//
+//   - A "scalar" is a *big.Int in [0, q). Scalars are exponents and
+//     polynomial coefficients; arithmetic on them is mod q.
+//   - An "element" is a *big.Int in [1, p) with elementʰq ≡ 1 (mod p),
+//     i.e. a member of the order-q subgroup. Arithmetic on elements is
+//     mod p.
+//
+// Functions never mutate their *big.Int arguments and always return
+// freshly allocated values, so callers may share inputs freely.
+package group
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Common errors returned by validation helpers.
+var (
+	ErrNotScalar  = errors.New("group: value is not a scalar in [0, q)")
+	ErrNotElement = errors.New("group: value is not an element of the order-q subgroup")
+	ErrBadParams  = errors.New("group: invalid group parameters")
+)
+
+var (
+	one = big.NewInt(1)
+	two = big.NewInt(2)
+)
+
+// Group holds Schnorr group parameters (p, q, g) with q | p−1 and g a
+// generator of the order-q subgroup of Z_p*. The zero value is not
+// usable; construct with New, Generate, or one of the pinned
+// parameter sets (Toy64, Test256, Prod2048, Prod3072).
+type Group struct {
+	p *big.Int // modulus of the ambient group Z_p*
+	q *big.Int // prime order of the subgroup
+	g *big.Int // generator of the subgroup
+
+	// cofactor = (p−1)/q, used to map arbitrary residues into the
+	// subgroup (hash-to-group, validation shortcuts).
+	cofactor *big.Int
+}
+
+// New validates (p, q, g) and returns the corresponding Group. It
+// checks primality of p and q probabilistically, that q divides p−1,
+// and that g generates a subgroup of order exactly q.
+func New(p, q, g *big.Int) (*Group, error) {
+	if p == nil || q == nil || g == nil {
+		return nil, fmt.Errorf("%w: nil parameter", ErrBadParams)
+	}
+	if !p.ProbablyPrime(32) {
+		return nil, fmt.Errorf("%w: p is not prime", ErrBadParams)
+	}
+	if !q.ProbablyPrime(32) {
+		return nil, fmt.Errorf("%w: q is not prime", ErrBadParams)
+	}
+	pm1 := new(big.Int).Sub(p, one)
+	cofactor, rem := new(big.Int).QuoRem(pm1, q, new(big.Int))
+	if rem.Sign() != 0 {
+		return nil, fmt.Errorf("%w: q does not divide p-1", ErrBadParams)
+	}
+	if g.Cmp(one) <= 0 || g.Cmp(p) >= 0 {
+		return nil, fmt.Errorf("%w: generator out of range", ErrBadParams)
+	}
+	if new(big.Int).Exp(g, q, p).Cmp(one) != 0 {
+		return nil, fmt.Errorf("%w: generator order does not divide q", ErrBadParams)
+	}
+	return &Group{p: p, q: q, g: g, cofactor: cofactor}, nil
+}
+
+// Generate creates fresh group parameters with the requested bit sizes
+// by sampling a bitsQ-bit prime q and searching for a bitsP-bit prime
+// p = q·m + 1, then deriving a generator. Randomness is drawn from r
+// (use crypto/rand.Reader for real parameters).
+func Generate(bitsP, bitsQ int, r io.Reader) (*Group, error) {
+	if bitsQ < 16 || bitsP < bitsQ+8 {
+		return nil, fmt.Errorf("%w: sizes too small (p=%d q=%d bits)", ErrBadParams, bitsP, bitsQ)
+	}
+	q, err := randPrime(r, bitsQ)
+	if err != nil {
+		return nil, fmt.Errorf("generate q: %w", err)
+	}
+	// Search p = q*m + 1 with m random of the right size.
+	mBits := bitsP - bitsQ
+	for {
+		m, err := randBits(r, mBits)
+		if err != nil {
+			return nil, fmt.Errorf("generate cofactor: %w", err)
+		}
+		// Force m even so p-1 = q*m keeps q odd-prime structure and p odd.
+		m.And(m, new(big.Int).Not(one))
+		if m.Sign() == 0 {
+			continue
+		}
+		p := new(big.Int).Mul(q, m)
+		p.Add(p, one)
+		if p.BitLen() != bitsP || !p.ProbablyPrime(32) {
+			continue
+		}
+		// Derive a generator: h^((p-1)/q) for successive small h.
+		for h := int64(2); ; h++ {
+			g := new(big.Int).Exp(big.NewInt(h), m, p)
+			if g.Cmp(one) != 0 {
+				return New(p, q, g)
+			}
+		}
+	}
+}
+
+// P returns the ambient modulus p.
+func (gr *Group) P() *big.Int { return new(big.Int).Set(gr.p) }
+
+// Q returns the subgroup order q.
+func (gr *Group) Q() *big.Int { return new(big.Int).Set(gr.q) }
+
+// G returns the subgroup generator g.
+func (gr *Group) G() *big.Int { return new(big.Int).Set(gr.g) }
+
+// SecurityBits returns the bit length of q (the κ security parameter
+// of the paper governs |q|).
+func (gr *Group) SecurityBits() int { return gr.q.BitLen() }
+
+// ElementLen returns the byte length needed to encode an element.
+func (gr *Group) ElementLen() int { return (gr.p.BitLen() + 7) / 8 }
+
+// ScalarLen returns the byte length needed to encode a scalar.
+func (gr *Group) ScalarLen() int { return (gr.q.BitLen() + 7) / 8 }
+
+// Equal reports whether two groups have identical parameters.
+func (gr *Group) Equal(o *Group) bool {
+	if gr == nil || o == nil {
+		return gr == o
+	}
+	return gr.p.Cmp(o.p) == 0 && gr.q.Cmp(o.q) == 0 && gr.g.Cmp(o.g) == 0
+}
+
+// String implements fmt.Stringer with a short description.
+func (gr *Group) String() string {
+	return fmt.Sprintf("Group(|p|=%d,|q|=%d)", gr.p.BitLen(), gr.q.BitLen())
+}
+
+// IsScalar reports whether x is a canonical scalar in [0, q).
+func (gr *Group) IsScalar(x *big.Int) bool {
+	return x != nil && x.Sign() >= 0 && x.Cmp(gr.q) < 0
+}
+
+// CheckScalar returns ErrNotScalar unless x is a canonical scalar.
+func (gr *Group) CheckScalar(x *big.Int) error {
+	if !gr.IsScalar(x) {
+		return ErrNotScalar
+	}
+	return nil
+}
+
+// IsElement reports whether y is a member of the order-q subgroup.
+func (gr *Group) IsElement(y *big.Int) bool {
+	if y == nil || y.Sign() <= 0 || y.Cmp(gr.p) >= 0 {
+		return false
+	}
+	return new(big.Int).Exp(y, gr.q, gr.p).Cmp(one) == 0
+}
+
+// CheckElement returns ErrNotElement unless y is a subgroup element.
+func (gr *Group) CheckElement(y *big.Int) error {
+	if !gr.IsElement(y) {
+		return ErrNotElement
+	}
+	return nil
+}
+
+// RandScalar samples a uniform scalar in [0, q) from r.
+func (gr *Group) RandScalar(r io.Reader) (*big.Int, error) {
+	return randInt(r, gr.q)
+}
+
+// RandNonZeroScalar samples a uniform scalar in [1, q).
+func (gr *Group) RandNonZeroScalar(r io.Reader) (*big.Int, error) {
+	for {
+		x, err := gr.RandScalar(r)
+		if err != nil {
+			return nil, err
+		}
+		if x.Sign() != 0 {
+			return x, nil
+		}
+	}
+}
+
+// --- Scalar (mod q) arithmetic -------------------------------------
+
+// AddQ returns a+b mod q.
+func (gr *Group) AddQ(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Add(a, b), gr.q)
+}
+
+// SubQ returns a−b mod q.
+func (gr *Group) SubQ(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Sub(a, b), gr.q)
+}
+
+// MulQ returns a·b mod q.
+func (gr *Group) MulQ(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Mul(a, b), gr.q)
+}
+
+// NegQ returns −a mod q.
+func (gr *Group) NegQ(a *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Neg(a), gr.q)
+}
+
+// InvQ returns a⁻¹ mod q, or an error if a ≡ 0.
+func (gr *Group) InvQ(a *big.Int) (*big.Int, error) {
+	red := new(big.Int).Mod(a, gr.q)
+	if red.Sign() == 0 {
+		return nil, errors.New("group: no inverse of zero scalar")
+	}
+	return new(big.Int).ModInverse(red, gr.q), nil
+}
+
+// ModQ reduces an arbitrary integer into canonical scalar range.
+func (gr *Group) ModQ(a *big.Int) *big.Int {
+	return new(big.Int).Mod(a, gr.q)
+}
+
+// --- Element (mod p) arithmetic ------------------------------------
+
+// Mul returns a·b mod p.
+func (gr *Group) Mul(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Mul(a, b), gr.p)
+}
+
+// Inv returns a⁻¹ mod p.
+func (gr *Group) Inv(a *big.Int) (*big.Int, error) {
+	red := new(big.Int).Mod(a, gr.p)
+	if red.Sign() == 0 {
+		return nil, errors.New("group: no inverse of zero element")
+	}
+	return new(big.Int).ModInverse(red, gr.p), nil
+}
+
+// Div returns a·b⁻¹ mod p.
+func (gr *Group) Div(a, b *big.Int) (*big.Int, error) {
+	bi, err := gr.Inv(b)
+	if err != nil {
+		return nil, err
+	}
+	return gr.Mul(a, bi), nil
+}
+
+// Exp returns base^e mod p. The exponent may be any non-negative
+// integer (it is reduced mod q only implicitly via group order).
+func (gr *Group) Exp(base, e *big.Int) *big.Int {
+	return new(big.Int).Exp(base, e, gr.p)
+}
+
+// GExp returns g^e mod p.
+func (gr *Group) GExp(e *big.Int) *big.Int {
+	return new(big.Int).Exp(gr.g, e, gr.p)
+}
+
+// ExpInt returns base^k mod p for a small non-negative machine-word
+// exponent (node indices in Horner-in-the-exponent verification).
+func (gr *Group) ExpInt(base *big.Int, k int64) *big.Int {
+	return new(big.Int).Exp(base, big.NewInt(k), gr.p)
+}
+
+// Identity returns the multiplicative identity element 1.
+func (gr *Group) Identity() *big.Int { return big.NewInt(1) }
+
+// --- Hashing --------------------------------------------------------
+
+// HashToScalar maps an arbitrary byte string to a scalar via SHA-256
+// in counter mode (used for Fiat–Shamir challenges). The output is
+// statistically close to uniform in [0, q) for |q| ≤ 512 bits.
+func (gr *Group) HashToScalar(domain string, data ...[]byte) *big.Int {
+	need := gr.ScalarLen() + 16 // oversample to reduce mod bias
+	buf := make([]byte, 0, need+sha256.Size)
+	var ctr uint32
+	for len(buf) < need {
+		h := sha256.New()
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		io.WriteString(h, domain)
+		for _, d := range data {
+			var lb [4]byte
+			binary.BigEndian.PutUint32(lb[:], uint32(len(d)))
+			h.Write(lb[:])
+			h.Write(d)
+		}
+		buf = h.Sum(buf)
+		ctr++
+	}
+	return new(big.Int).Mod(new(big.Int).SetBytes(buf[:need]), gr.q)
+}
+
+// HashToElement maps an arbitrary byte string to a subgroup element
+// with unknown discrete logarithm relative to g, by hashing to Z_p*
+// and raising to the cofactor. Used to derive the Pedersen generator
+// h. The result is never the identity.
+func (gr *Group) HashToElement(domain string, data ...[]byte) *big.Int {
+	var ctr uint32
+	for {
+		need := gr.ElementLen() + 16
+		buf := make([]byte, 0, need+sha256.Size)
+		inner := ctr
+		for len(buf) < need {
+			h := sha256.New()
+			var cb [8]byte
+			binary.BigEndian.PutUint32(cb[:4], ctr)
+			binary.BigEndian.PutUint32(cb[4:], inner)
+			h.Write(cb[:])
+			io.WriteString(h, domain)
+			for _, d := range data {
+				var lb [4]byte
+				binary.BigEndian.PutUint32(lb[:], uint32(len(d)))
+				h.Write(lb[:])
+				h.Write(d)
+			}
+			buf = h.Sum(buf)
+			inner++
+		}
+		x := new(big.Int).Mod(new(big.Int).SetBytes(buf[:need]), gr.p)
+		y := new(big.Int).Exp(x, gr.cofactor, gr.p)
+		if y.Cmp(one) > 0 {
+			return y
+		}
+		ctr++
+	}
+}
+
+// --- internal randomness helpers ------------------------------------
+
+// randInt returns a uniform integer in [0, max) from r.
+func randInt(r io.Reader, max *big.Int) (*big.Int, error) {
+	if max.Sign() <= 0 {
+		return nil, errors.New("group: non-positive sampling bound")
+	}
+	bitLen := max.BitLen()
+	byteLen := (bitLen + 7) / 8
+	buf := make([]byte, byteLen)
+	excess := uint(byteLen*8 - bitLen)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("group: read randomness: %w", err)
+		}
+		buf[0] >>= excess
+		v := new(big.Int).SetBytes(buf)
+		if v.Cmp(max) < 0 {
+			return v, nil
+		}
+	}
+}
+
+// randBits returns a uniform integer with exactly bits bits (top bit set).
+func randBits(r io.Reader, bits int) (*big.Int, error) {
+	if bits <= 0 {
+		return nil, errors.New("group: non-positive bit count")
+	}
+	byteLen := (bits + 7) / 8
+	buf := make([]byte, byteLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("group: read randomness: %w", err)
+	}
+	excess := uint(byteLen*8 - bits)
+	buf[0] >>= excess
+	v := new(big.Int).SetBytes(buf)
+	v.SetBit(v, bits-1, 1)
+	return v, nil
+}
+
+// randPrime returns a probable prime with exactly bits bits.
+func randPrime(r io.Reader, bits int) (*big.Int, error) {
+	for {
+		v, err := randBits(r, bits)
+		if err != nil {
+			return nil, err
+		}
+		v.SetBit(v, 0, 1) // odd
+		if v.ProbablyPrime(32) {
+			return v, nil
+		}
+	}
+}

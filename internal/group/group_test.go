@@ -1,0 +1,304 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"hybriddkg/internal/randutil"
+)
+
+func TestPinnedParamsValid(t *testing.T) {
+	tests := []struct {
+		name      string
+		gr        *Group
+		wantPBits int
+		wantQBits int
+	}{
+		{name: "toy64", gr: Toy64(), wantPBits: 64, wantQBits: 32},
+		{name: "test256", gr: Test256(), wantPBits: 256, wantQBits: 160},
+		{name: "test512", gr: Test512(), wantPBits: 512, wantQBits: 192},
+		{name: "prod2048", gr: Prod2048(), wantPBits: 2048, wantQBits: 256},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.gr.P().BitLen(); got != tt.wantPBits {
+				t.Errorf("|p| = %d, want %d", got, tt.wantPBits)
+			}
+			if got := tt.gr.Q().BitLen(); got != tt.wantQBits {
+				t.Errorf("|q| = %d, want %d", got, tt.wantQBits)
+			}
+			if !tt.gr.IsElement(tt.gr.G()) {
+				t.Error("generator is not a subgroup element")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"toy64", "test256", "test512", "prod2048"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded, want error")
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	g := Test256()
+	tests := []struct {
+		name     string
+		p, q, gg *big.Int
+	}{
+		{name: "nil", p: nil, q: g.Q(), gg: g.G()},
+		{name: "composite p", p: new(big.Int).Add(g.P(), big.NewInt(1)), q: g.Q(), gg: g.G()},
+		{name: "composite q", p: g.P(), q: new(big.Int).Add(g.Q(), big.NewInt(1)), gg: g.G()},
+		{name: "q not dividing p-1", p: g.P(), q: Toy64().Q(), gg: g.G()},
+		{name: "generator 1", p: g.P(), q: g.Q(), gg: big.NewInt(1)},
+		{name: "generator out of range", p: g.P(), q: g.Q(), gg: g.P()},
+		{name: "generator wrong order", p: g.P(), q: g.Q(), gg: big.NewInt(7)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.p, tt.q, tt.gg); err == nil {
+				t.Error("New accepted invalid parameters")
+			}
+		})
+	}
+}
+
+func TestGenerateRoundTrip(t *testing.T) {
+	r := randutil.NewReader(1)
+	g, err := Generate(128, 64, r)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.P().BitLen() != 128 || g.Q().BitLen() != 64 {
+		t.Fatalf("sizes: |p|=%d |q|=%d", g.P().BitLen(), g.Q().BitLen())
+	}
+	if _, err := New(g.P(), g.Q(), g.G()); err != nil {
+		t.Fatalf("generated params rejected by New: %v", err)
+	}
+}
+
+func TestGenerateRejectsTinySizes(t *testing.T) {
+	if _, err := Generate(20, 15, randutil.NewReader(1)); err == nil {
+		t.Error("Generate accepted too-small sizes")
+	}
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	g := Toy64()
+	r := randutil.NewReader(42)
+	for i := 0; i < 200; i++ {
+		a, err := g.RandScalar(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.RandScalar(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// a + b - b == a
+		if got := g.SubQ(g.AddQ(a, b), b); got.Cmp(a) != 0 {
+			t.Fatalf("(a+b)-b = %v, want %v", got, a)
+		}
+		// a * b * b^-1 == a (b != 0)
+		if b.Sign() != 0 {
+			bi, err := g.InvQ(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.MulQ(g.MulQ(a, b), bi); got.Cmp(a) != 0 {
+				t.Fatalf("a*b*b^-1 = %v, want %v", got, a)
+			}
+		}
+		// a + (-a) == 0
+		if got := g.AddQ(a, g.NegQ(a)); got.Sign() != 0 {
+			t.Fatalf("a + (-a) = %v, want 0", got)
+		}
+	}
+}
+
+func TestInvQZero(t *testing.T) {
+	g := Toy64()
+	if _, err := g.InvQ(big.NewInt(0)); err == nil {
+		t.Error("InvQ(0) succeeded")
+	}
+}
+
+func TestInvZeroElement(t *testing.T) {
+	g := Toy64()
+	if _, err := g.Inv(big.NewInt(0)); err == nil {
+		t.Error("Inv(0) succeeded")
+	}
+	if _, err := g.Div(big.NewInt(3), big.NewInt(0)); err == nil {
+		t.Error("Div by 0 succeeded")
+	}
+}
+
+// TestExpHomomorphism checks g^(a+b) == g^a * g^b and g^(ab) == (g^a)^b,
+// the identities all Feldman commitment verification rests on.
+func TestExpHomomorphism(t *testing.T) {
+	g := Test256()
+	r := randutil.NewReader(7)
+	for i := 0; i < 50; i++ {
+		a, _ := g.RandScalar(r)
+		b, _ := g.RandScalar(r)
+		lhs := g.GExp(g.AddQ(a, b))
+		rhs := g.Mul(g.GExp(a), g.GExp(b))
+		if lhs.Cmp(rhs) != 0 {
+			t.Fatalf("g^(a+b) != g^a g^b for a=%v b=%v", a, b)
+		}
+		lhs2 := g.GExp(g.MulQ(a, b))
+		rhs2 := g.Exp(g.GExp(a), b)
+		if lhs2.Cmp(rhs2) != 0 {
+			t.Fatalf("g^(ab) != (g^a)^b for a=%v b=%v", a, b)
+		}
+	}
+}
+
+// TestQuickScalarRoundTrip property-tests canonical scalar reduction:
+// for arbitrary non-negative x, ModQ(x) is a scalar and congruent to x.
+func TestQuickScalarRoundTrip(t *testing.T) {
+	g := Toy64()
+	f := func(raw uint64) bool {
+		x := new(big.Int).SetUint64(raw)
+		red := g.ModQ(x)
+		if !g.IsScalar(red) {
+			return false
+		}
+		diff := new(big.Int).Sub(x, red)
+		return new(big.Int).Mod(diff, g.Q()).Sign() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsElementRejects(t *testing.T) {
+	g := Test256()
+	tests := []struct {
+		name string
+		v    *big.Int
+	}{
+		{name: "nil", v: nil},
+		{name: "zero", v: big.NewInt(0)},
+		{name: "p", v: g.P()},
+		{name: "non-subgroup", v: big.NewInt(2)}, // 2 generates a larger group whp
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if g.IsElement(tt.v) {
+				t.Errorf("IsElement(%v) = true, want false", tt.v)
+			}
+		})
+	}
+	if err := g.CheckElement(big.NewInt(0)); err == nil {
+		t.Error("CheckElement(0) = nil")
+	}
+	if err := g.CheckScalar(g.Q()); err == nil {
+		t.Error("CheckScalar(q) = nil")
+	}
+}
+
+func TestHashToScalarDeterministicAndInRange(t *testing.T) {
+	g := Test256()
+	a := g.HashToScalar("dom", []byte("hello"))
+	b := g.HashToScalar("dom", []byte("hello"))
+	if a.Cmp(b) != 0 {
+		t.Error("HashToScalar not deterministic")
+	}
+	c := g.HashToScalar("dom", []byte("world"))
+	if a.Cmp(c) == 0 {
+		t.Error("different inputs hash equal")
+	}
+	d := g.HashToScalar("other", []byte("hello"))
+	if a.Cmp(d) == 0 {
+		t.Error("different domains hash equal")
+	}
+	if !g.IsScalar(a) {
+		t.Error("hash output not a scalar")
+	}
+}
+
+func TestHashToElementInSubgroup(t *testing.T) {
+	g := Test256()
+	h := g.HashToElement("pedersen", []byte("h"))
+	if !g.IsElement(h) {
+		t.Error("HashToElement output not in subgroup")
+	}
+	h2 := g.HashToElement("pedersen", []byte("h"))
+	if h.Cmp(h2) != 0 {
+		t.Error("HashToElement not deterministic")
+	}
+	if h.Cmp(g.HashToElement("pedersen", []byte("x"))) == 0 {
+		t.Error("different inputs map to same element")
+	}
+}
+
+func TestRandScalarUniformRange(t *testing.T) {
+	g := Toy64()
+	r := randutil.NewReader(3)
+	for i := 0; i < 1000; i++ {
+		s, err := g.RandScalar(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsScalar(s) {
+			t.Fatalf("RandScalar out of range: %v", s)
+		}
+	}
+	nz, err := g.RandNonZeroScalar(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nz.Sign() == 0 {
+		t.Error("RandNonZeroScalar returned 0")
+	}
+}
+
+func TestExpIntMatchesExp(t *testing.T) {
+	g := Test256()
+	r := randutil.NewReader(5)
+	base, _ := g.RandScalar(r)
+	be := g.GExp(base) // arbitrary element
+	for k := int64(0); k < 20; k++ {
+		if g.ExpInt(be, k).Cmp(g.Exp(be, big.NewInt(k))) != 0 {
+			t.Fatalf("ExpInt(%d) mismatch", k)
+		}
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a, b := Test256(), Test256()
+	if !a.Equal(b) {
+		t.Error("identical groups not Equal")
+	}
+	if a.Equal(Toy64()) {
+		t.Error("different groups Equal")
+	}
+	var nilg *Group
+	if a.Equal(nilg) || !nilg.Equal(nil) {
+		t.Error("nil Equal semantics wrong")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+	if a.ElementLen() != 32 || a.ScalarLen() != 20 {
+		t.Errorf("lengths: element=%d scalar=%d", a.ElementLen(), a.ScalarLen())
+	}
+	if a.SecurityBits() != 160 {
+		t.Errorf("SecurityBits = %d", a.SecurityBits())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	g := Toy64()
+	x := g.GExp(big.NewInt(17))
+	if g.Mul(x, g.Identity()).Cmp(x) != 0 {
+		t.Error("x * 1 != x")
+	}
+}

@@ -1,0 +1,304 @@
+package groupmod
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/vss"
+)
+
+// SubshareMsg carries one member's subshare s_{i,new} = h(i) to the
+// joining node together with the commitment V to h (§6.2). h is the
+// degree-t polynomial Σ_d λ_d^{Q,new}·f_d(x,0) with h(0) = S(new),
+// the joiner's share of the original secret sharing S.
+type SubshareMsg struct {
+	Tau      uint64
+	NewNode  msg.NodeID
+	Subshare *big.Int
+	V        *commit.Vector
+}
+
+var _ msg.Body = (*SubshareMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *SubshareMsg) MsgType() msg.Type { return msg.TSubshare }
+
+// MarshalBinary implements msg.Body.
+func (m *SubshareMsg) MarshalBinary() ([]byte, error) {
+	vEnc, err := m.V.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w := msg.NewWriter(64 + len(vEnc))
+	w.U64(m.Tau)
+	w.Node(m.NewNode)
+	w.Big(m.Subshare)
+	w.Blob(vEnc)
+	return w.Bytes(), nil
+}
+
+// RegisterCodec installs the subshare decoder.
+func RegisterCodec(c *msg.Codec, gr *group.Group) error {
+	return c.Register(msg.TSubshare, func(data []byte) (msg.Body, error) {
+		r := msg.NewReader(data)
+		out := &SubshareMsg{Tau: r.U64(), NewNode: r.Node()}
+		out.Subshare = r.Big()
+		vEnc := r.Blob()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		v, err := commit.UnmarshalVector(gr, vEnc)
+		if err != nil {
+			return nil, err
+		}
+		out.V = v
+		return out, nil
+	})
+}
+
+// AdditionConfig configures the member-side addition protocol.
+type AdditionConfig struct {
+	// DKG carries the current group's parameters and keys.
+	DKG dkg.Params
+	// Tau is the session identifier for the addition resharing
+	// (choose distinct from renewal phases).
+	Tau uint64
+	// NewNode is the joiner's index (outside the current [1,n]).
+	NewNode msg.NodeID
+	// CurrentV is the group's current vector commitment, used for
+	// resharing linkage checks and the joiner's expected key.
+	CurrentV *commit.Vector
+	// Rand supplies dealing randomness.
+	Rand io.Reader
+}
+
+// AdditionEngine is the member side of §6.2: reshare the current
+// share, agree on a set Q, Lagrange-combine at the joiner's index and
+// push the resulting subshare to the joiner. Members' own shares are
+// untouched.
+type AdditionEngine struct {
+	cfg     AdditionConfig
+	self    msg.NodeID
+	runtime dkg.Runtime
+	node    *dkg.Node
+	sent    bool
+}
+
+// NewAdditionEngine creates the member endpoint holding the node's
+// current share.
+func NewAdditionEngine(cfg AdditionConfig, self msg.NodeID, runtime dkg.Runtime, share *big.Int) (*AdditionEngine, error) {
+	if cfg.CurrentV == nil {
+		return nil, fmt.Errorf("%w: nil current commitment", ErrBadProposal)
+	}
+	if cfg.NewNode >= 1 && int(cfg.NewNode) <= cfg.DKG.N {
+		return nil, fmt.Errorf("%w: new node %d already in [1,%d]", ErrBadProposal, cfg.NewNode, cfg.DKG.N)
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("%w: nil randomness", ErrBadProposal)
+	}
+	eng := &AdditionEngine{cfg: cfg, self: self, runtime: runtime}
+	curV := cfg.CurrentV
+	node, err := dkg.NewNode(cfg.DKG, cfg.Tau, self, runtime, dkg.Options{
+		ShareSource: share,
+		ValidateDealing: func(ev vss.SharedEvent) bool {
+			// The resharing's constant term must be the dealer's
+			// current share.
+			return ev.C.PublicKey().Cmp(curV.Eval(int64(ev.Session.Dealer))) == 0
+		},
+		Combine:     subshareCombiner(cfg.DKG.Group, int64(cfg.NewNode), curV),
+		OnCompleted: func(ev dkg.CompletedEvent) { eng.pushSubshare(ev) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.node = node
+	return eng, nil
+}
+
+// Start begins the resharing.
+func (e *AdditionEngine) Start() error {
+	if err := e.node.Start(e.cfg.Rand); err != nil {
+		return err
+	}
+	e.node.VSSNode(e.self).EraseDealingSecrets()
+	return nil
+}
+
+// Done reports whether the subshare was computed and pushed.
+func (e *AdditionEngine) Done() bool { return e.sent }
+
+// HandleMessage routes addition-session traffic.
+func (e *AdditionEngine) HandleMessage(from msg.NodeID, body msg.Body) {
+	e.node.Handle(from, body)
+}
+
+// HandleTimer forwards view timers.
+func (e *AdditionEngine) HandleTimer(id uint64) { e.node.HandleTimer(id) }
+
+// HandleRecover forwards the recover signal.
+func (e *AdditionEngine) HandleRecover() { e.node.HandleRecover() }
+
+func (e *AdditionEngine) pushSubshare(ev dkg.CompletedEvent) {
+	if e.sent {
+		return
+	}
+	e.sent = true
+	e.runtime.Send(e.cfg.NewNode, &SubshareMsg{
+		Tau:      e.cfg.Tau,
+		NewNode:  e.cfg.NewNode,
+		Subshare: ev.Share,
+		V:        ev.V,
+	})
+}
+
+// subshareCombiner Lagrange-combines the decided resharings at the
+// joiner's index: subshare = Σ_d λ_d^{Q,new}·s_{i,d} and
+// V_ℓ = Π_d ((C_d)_{ℓ0})^{λ_d^{Q,new}}. The combined public key must
+// equal g^{S(new)} derived from the current group commitment.
+func subshareCombiner(gr *group.Group, newIdx int64, curV *commit.Vector) dkg.Combiner {
+	return func(_ msg.NodeID, q []msg.NodeID, events map[msg.NodeID]vss.SharedEvent) (dkg.CombineResult, error) {
+		indices := make([]int64, len(q))
+		for i, d := range q {
+			indices[i] = int64(d)
+		}
+		lambdas, err := poly.LagrangeCoeffsAt(gr.Q(), indices, newIdx)
+		if err != nil {
+			return dkg.CombineResult{}, err
+		}
+		sub := new(big.Int)
+		mats := make([]*commit.Matrix, len(q))
+		for i, d := range q {
+			ev, ok := events[d]
+			if !ok {
+				return dkg.CombineResult{}, fmt.Errorf("groupmod: missing sharing for dealer %d", d)
+			}
+			sub.Add(sub, new(big.Int).Mul(lambdas[i], ev.Share))
+			mats[i] = ev.C
+		}
+		sub.Mod(sub, gr.Q())
+		vec, err := commit.CombineColumn0(mats, lambdas)
+		if err != nil {
+			return dkg.CombineResult{}, err
+		}
+		if vec.PublicKey().Cmp(curV.Eval(newIdx)) != 0 {
+			return dkg.CombineResult{}, fmt.Errorf("groupmod: subshare commitment does not match group commitment at index %d", newIdx)
+		}
+		return dkg.CombineResult{Share: sub, V: vec}, nil
+	}
+}
+
+// JoinedEvent reports the joiner's acquired share.
+type JoinedEvent struct {
+	Share *big.Int
+	// PublicKey is g^{share} (= CurrentV.Eval(newIdx)).
+	PublicKey *big.Int
+}
+
+// Joiner is the new node's side of §6.2: collect subshares for the
+// same commitment vector, verify each against it, and interpolate t+1
+// of them at index 0 to obtain the share s_new.
+type Joiner struct {
+	gr       *group.Group
+	n, t     int
+	newIdx   int64
+	expectPK *big.Int // optional: CurrentV.Eval(newIdx)
+	onJoined func(JoinedEvent)
+
+	buckets map[[32]byte]*joinBucket
+	share   *big.Int
+}
+
+type joinBucket struct {
+	v      *commit.Vector
+	points map[msg.NodeID]*big.Int
+}
+
+// NewJoiner creates the joiner endpoint. expectPK (optional) pins the
+// expected share public key g^{S(new)} derived from the group's
+// published commitment.
+func NewJoiner(gr *group.Group, n, t int, newIdx msg.NodeID, expectPK *big.Int, onJoined func(JoinedEvent)) (*Joiner, error) {
+	if gr == nil || n <= 0 || t < 0 {
+		return nil, fmt.Errorf("%w: bad joiner parameters", ErrBadProposal)
+	}
+	return &Joiner{
+		gr:       gr,
+		n:        n,
+		t:        t,
+		newIdx:   int64(newIdx),
+		expectPK: expectPK,
+		onJoined: onJoined,
+		buckets:  make(map[[32]byte]*joinBucket),
+	}, nil
+}
+
+// Share returns the acquired share (nil until joined).
+func (j *Joiner) Share() *big.Int {
+	if j.share == nil {
+		return nil
+	}
+	return new(big.Int).Set(j.share)
+}
+
+// HandleMessage consumes subshare messages.
+func (j *Joiner) HandleMessage(from msg.NodeID, body msg.Body) {
+	m, ok := body.(*SubshareMsg)
+	if !ok || j.share != nil {
+		return
+	}
+	if from < 1 || int(from) > j.n || int64(m.NewNode) != j.newIdx {
+		return
+	}
+	if m.V == nil || m.V.T() != j.t || m.Subshare == nil {
+		return
+	}
+	if !m.V.VerifyShare(int64(from), m.Subshare) {
+		return
+	}
+	if j.expectPK != nil && m.V.PublicKey().Cmp(j.expectPK) != 0 {
+		return
+	}
+	h := m.V.Hash()
+	b := j.buckets[h]
+	if b == nil {
+		b = &joinBucket{v: m.V, points: make(map[msg.NodeID]*big.Int)}
+		j.buckets[h] = b
+	}
+	if _, dup := b.points[from]; dup {
+		return
+	}
+	b.points[from] = m.Subshare
+	if len(b.points) == j.t+1 {
+		j.finish(b)
+	}
+}
+
+// HandleTimer implements the runtime interface (unused).
+func (j *Joiner) HandleTimer(uint64) {}
+
+// HandleRecover implements the runtime interface (unused).
+func (j *Joiner) HandleRecover() {}
+
+func (j *Joiner) finish(b *joinBucket) {
+	pts := make([]poly.Point, 0, j.t+1)
+	for from, y := range b.points {
+		pts = append(pts, poly.Point{X: int64(from), Y: y})
+	}
+	share, err := poly.Interpolate(j.gr.Q(), pts, 0)
+	if err != nil {
+		return
+	}
+	pk := j.gr.GExp(share)
+	if j.expectPK != nil && pk.Cmp(j.expectPK) != 0 {
+		return
+	}
+	j.share = share
+	if j.onJoined != nil {
+		j.onJoined(JoinedEvent{Share: new(big.Int).Set(share), PublicKey: pk})
+	}
+}

@@ -1,0 +1,381 @@
+// Package groupmod implements the group modification protocols of
+// Kate & Goldberg §6: agreement on node addition/removal proposals
+// (§6.1, over reliable broadcast, exploiting the commutativity of
+// add/remove operations), the node-addition subshare protocol (§6.2),
+// node removal (§6.3) and the threshold/crash-limit modification
+// policy applied at phase boundaries (§6.4).
+//
+// One deliberate substitution, recorded in DESIGN.md: after removals
+// the paper leaves index gaps implicit; this implementation renumbers
+// the surviving members contiguously (Apply returns the index map).
+// Because phase boundaries already replace every share via renewal,
+// re-indexing is sound as long as the renewal combiner interpolates
+// against the dealers' previous indices — which
+// proactive.Config.PrevIndexOf provides.
+package groupmod
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/rbc"
+)
+
+// Errors returned by the group modification layer.
+var (
+	ErrBadProposal = errors.New("groupmod: invalid proposal")
+	ErrBoundBreak  = errors.New("groupmod: modification would violate n ≥ 3t+2f+1")
+)
+
+// Kind distinguishes proposal flavours.
+type Kind uint8
+
+// Proposal kinds.
+const (
+	// AddNode admits a new member.
+	AddNode Kind = iota + 1
+	// RemoveNode expels a member at the next phase boundary.
+	RemoveNode
+)
+
+// Proposal is one commutative group modification. AffectThreshold
+// states whether the ±1 group-size change is budgeted toward the
+// Byzantine threshold t or the crash limit f (§6.4: t/f changes ride
+// on add/remove proposals because they do not commute on their own).
+type Proposal struct {
+	Kind            Kind
+	Node            msg.NodeID
+	AffectThreshold bool
+}
+
+// Validate checks structural validity.
+func (p Proposal) Validate() error {
+	if p.Kind != AddNode && p.Kind != RemoveNode {
+		return fmt.Errorf("%w: kind %d", ErrBadProposal, p.Kind)
+	}
+	if p.Node < 1 {
+		return fmt.Errorf("%w: node %d", ErrBadProposal, p.Node)
+	}
+	return nil
+}
+
+// Encode serialises the proposal as a reliable-broadcast payload.
+func (p Proposal) Encode() []byte {
+	w := msg.NewWriter(16)
+	w.U8(uint8(p.Kind))
+	w.Node(p.Node)
+	w.Bool(p.AffectThreshold)
+	return w.Bytes()
+}
+
+// DecodeProposal parses a broadcast payload.
+func DecodeProposal(data []byte) (Proposal, error) {
+	r := msg.NewReader(data)
+	p := Proposal{Kind: Kind(r.U8()), Node: r.Node(), AffectThreshold: r.Bool()}
+	if err := r.Done(); err != nil {
+		return Proposal{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Proposal{}, err
+	}
+	return p, nil
+}
+
+// key identifies a proposal for dedup.
+func (p Proposal) key() [32]byte { return sha256.Sum256(p.Encode()) }
+
+// String implements fmt.Stringer.
+func (p Proposal) String() string {
+	verb := "add"
+	if p.Kind == RemoveNode {
+		verb = "remove"
+	}
+	budget := "f"
+	if p.AffectThreshold {
+		budget = "t"
+	}
+	return fmt.Sprintf("%s(P%d,%s)", verb, p.Node, budget)
+}
+
+// Group describes a membership configuration.
+type Group struct {
+	N, T, F int
+	// Members lists the active node indices (sorted).
+	Members []msg.NodeID
+}
+
+// Validate checks the resilience bound and membership consistency.
+func (g Group) Validate() error {
+	if len(g.Members) != g.N {
+		return fmt.Errorf("%w: %d members for n=%d", ErrBadProposal, len(g.Members), g.N)
+	}
+	if g.N < 3*g.T+2*g.F+1 {
+		return ErrBoundBreak
+	}
+	return nil
+}
+
+// Change is the outcome of applying a proposal queue at a phase
+// boundary.
+type Change struct {
+	Old, New Group
+	// IndexMap maps each surviving/new member to its index in the new
+	// (contiguously renumbered) group; PrevIndex is the inverse view:
+	// new index → previous index (0 for freshly added members).
+	IndexMap  map[msg.NodeID]msg.NodeID
+	PrevIndex map[msg.NodeID]msg.NodeID
+	// Applied lists the proposals that took effect, canonically
+	// sorted; Rejected lists proposals dropped to preserve the bound.
+	Applied  []Proposal
+	Rejected []Proposal
+}
+
+// Apply computes the next configuration from the agreed proposal set
+// (§6.3–§6.4). Removals that would break n ≥ 3t+2f+1 are rejected,
+// honouring the paper's "an honest node should not carry out a node
+// removal if that would invalidate the resilience bound". The t and f
+// budgets move by one for every three threshold-flagged or two
+// crash-flagged net additions (and symmetrically down for removals),
+// then are clamped to the bound.
+func Apply(old Group, proposals []Proposal) (Change, error) {
+	if err := old.Validate(); err != nil {
+		return Change{}, err
+	}
+	// Canonical order: kind, node, flag — agreement guarantees the
+	// same *set* everywhere; sorting makes application deterministic.
+	sorted := make([]Proposal, len(proposals))
+	copy(sorted, proposals)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Kind != sorted[j].Kind {
+			return sorted[i].Kind < sorted[j].Kind
+		}
+		if sorted[i].Node != sorted[j].Node {
+			return sorted[i].Node < sorted[j].Node
+		}
+		return !sorted[i].AffectThreshold && sorted[j].AffectThreshold
+	})
+
+	members := make(map[msg.NodeID]bool, old.N)
+	for _, m := range old.Members {
+		members[m] = true
+	}
+	var (
+		applied, rejected []Proposal
+		tPool, fPool      int
+	)
+	n, t, f := old.N, old.T, old.F
+	for _, p := range sorted {
+		if err := p.Validate(); err != nil {
+			rejected = append(rejected, p)
+			continue
+		}
+		switch p.Kind {
+		case AddNode:
+			if members[p.Node] {
+				rejected = append(rejected, p)
+				continue
+			}
+			members[p.Node] = true
+			n++
+			if p.AffectThreshold {
+				tPool++
+			} else {
+				fPool++
+			}
+			applied = append(applied, p)
+		case RemoveNode:
+			if !members[p.Node] {
+				rejected = append(rejected, p)
+				continue
+			}
+			// Tentatively apply; revert if the bound breaks even
+			// after budget adjustment.
+			tTry, fTry := tPool, fPool
+			if p.AffectThreshold {
+				tTry--
+			} else {
+				fTry--
+			}
+			newT, newF := adjust(t, f, tTry, fTry)
+			if n-1 < 3*newT+2*newF+1 {
+				rejected = append(rejected, p)
+				continue
+			}
+			delete(members, p.Node)
+			n--
+			tPool, fPool = tTry, fTry
+			applied = append(applied, p)
+		}
+	}
+	newT, newF := adjust(t, f, tPool, fPool)
+	// Clamp to the bound (prefer shrinking f, then t).
+	for n < 3*newT+2*newF+1 && newF > 0 {
+		newF--
+	}
+	for n < 3*newT+2*newF+1 && newT > 0 {
+		newT--
+	}
+	newMembers := make([]msg.NodeID, 0, len(members))
+	for m := range members {
+		newMembers = append(newMembers, m)
+	}
+	sort.Slice(newMembers, func(i, j int) bool { return newMembers[i] < newMembers[j] })
+
+	change := Change{
+		Old:       old,
+		New:       Group{N: n, T: newT, F: newF, Members: newMembers},
+		IndexMap:  make(map[msg.NodeID]msg.NodeID, len(newMembers)),
+		PrevIndex: make(map[msg.NodeID]msg.NodeID, len(newMembers)),
+		Applied:   applied,
+		Rejected:  rejected,
+	}
+	oldSet := make(map[msg.NodeID]bool, old.N)
+	for _, m := range old.Members {
+		oldSet[m] = true
+	}
+	for i, m := range newMembers {
+		newIdx := msg.NodeID(i + 1)
+		change.IndexMap[m] = newIdx
+		if oldSet[m] {
+			change.PrevIndex[newIdx] = m
+		}
+	}
+	if err := change.New.Validate(); err != nil {
+		return Change{}, err
+	}
+	return change, nil
+}
+
+// adjust moves t and f by one per three/two pooled size changes,
+// rounding toward −∞ so removals bite immediately.
+func adjust(t, f, tPool, fPool int) (int, int) {
+	newT := t + floorDiv(tPool, 3)
+	newF := f + floorDiv(fPool, 2)
+	if newT < 0 {
+		newT = 0
+	}
+	if newF < 0 {
+		newF = 0
+	}
+	return newT, newF
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Agreement runs the §6.1 proposal agreement for one node: each
+// proposal travels through its own reliable-broadcast instance; a
+// delivered proposal (n−t−f readies) enters the modification queue.
+type Agreement struct {
+	params  rbc.Params
+	self    msg.NodeID
+	sender  rbc.Sender
+	onQueue func(Proposal)
+
+	sessions map[rbc.SessionID]*rbc.Node
+	queue    []Proposal
+	seen     map[[32]byte]bool
+	nextTag  uint64
+}
+
+// NewAgreement creates the agreement endpoint. onQueue (optional)
+// fires once per newly queued proposal.
+func NewAgreement(params rbc.Params, self msg.NodeID, sender rbc.Sender, onQueue func(Proposal)) (*Agreement, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if sender == nil {
+		return nil, fmt.Errorf("%w: nil sender", ErrBadProposal)
+	}
+	return &Agreement{
+		params:   params,
+		self:     self,
+		sender:   sender,
+		onQueue:  onQueue,
+		sessions: make(map[rbc.SessionID]*rbc.Node),
+		seen:     make(map[[32]byte]bool),
+		nextTag:  1,
+	}, nil
+}
+
+// Propose broadcasts a modification proposal to the group.
+func (a *Agreement) Propose(p Proposal) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	session := rbc.SessionID{Broadcaster: a.self, Tag: a.nextTag}
+	a.nextTag++
+	node, err := a.session(session)
+	if err != nil {
+		return err
+	}
+	return node.Broadcast(p.Encode())
+}
+
+// Handle routes reliable-broadcast traffic into per-session instances.
+func (a *Agreement) Handle(from msg.NodeID, body msg.Body) {
+	var session rbc.SessionID
+	switch m := body.(type) {
+	case *rbc.SendMsg:
+		session = m.Session
+	case *rbc.EchoMsg:
+		session = m.Session
+	case *rbc.ReadyMsg:
+		session = m.Session
+	default:
+		return
+	}
+	node, err := a.session(session)
+	if err != nil {
+		return
+	}
+	node.Handle(from, body)
+}
+
+// Queue returns the agreed proposals so far (copy).
+func (a *Agreement) Queue() []Proposal {
+	out := make([]Proposal, len(a.queue))
+	copy(out, a.queue)
+	return out
+}
+
+// DrainQueue empties and returns the queue (phase boundary).
+func (a *Agreement) DrainQueue() []Proposal {
+	out := a.queue
+	a.queue = nil
+	return out
+}
+
+func (a *Agreement) session(id rbc.SessionID) (*rbc.Node, error) {
+	if node, ok := a.sessions[id]; ok {
+		return node, nil
+	}
+	node, err := rbc.NewNode(a.params, id, a.self, a.sender, func(_ rbc.SessionID, payload []byte) {
+		p, err := DecodeProposal(payload)
+		if err != nil {
+			return // garbage broadcast; ignore
+		}
+		k := p.key()
+		if a.seen[k] {
+			return // duplicate proposal via another session
+		}
+		a.seen[k] = true
+		a.queue = append(a.queue, p)
+		if a.onQueue != nil {
+			a.onQueue(p)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.sessions[id] = node
+	return node, nil
+}

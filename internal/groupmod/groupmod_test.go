@@ -1,0 +1,325 @@
+package groupmod_test
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/groupmod"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/rbc"
+	"hybriddkg/internal/simnet"
+)
+
+func members(ids ...msg.NodeID) []msg.NodeID { return ids }
+
+func TestProposalValidateAndEncode(t *testing.T) {
+	good := groupmod.Proposal{Kind: groupmod.AddNode, Node: 8, AffectThreshold: true}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := groupmod.DecodeProposal(good.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != good {
+		t.Errorf("round trip: %+v != %+v", back, good)
+	}
+	if good.String() == "" {
+		t.Error("empty String")
+	}
+	bad := []groupmod.Proposal{
+		{Kind: 0, Node: 1},
+		{Kind: groupmod.AddNode, Node: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid proposal accepted: %+v", p)
+		}
+	}
+	if _, err := groupmod.DecodeProposal([]byte{1}); err == nil {
+		t.Error("truncated proposal decoded")
+	}
+	if _, err := groupmod.DecodeProposal(append(good.Encode(), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestApplyAdditions(t *testing.T) {
+	old := groupmod.Group{N: 4, T: 1, F: 0, Members: members(1, 2, 3, 4)}
+	// Three threshold-flagged additions raise t by one.
+	change, err := groupmod.Apply(old, []groupmod.Proposal{
+		{Kind: groupmod.AddNode, Node: 5, AffectThreshold: true},
+		{Kind: groupmod.AddNode, Node: 6, AffectThreshold: true},
+		{Kind: groupmod.AddNode, Node: 7, AffectThreshold: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if change.New.N != 7 || change.New.T != 2 || change.New.F != 0 {
+		t.Errorf("new group %+v", change.New)
+	}
+	if len(change.Applied) != 3 || len(change.Rejected) != 0 {
+		t.Errorf("applied %d rejected %d", len(change.Applied), len(change.Rejected))
+	}
+	// Index map: members keep order 1..7 (contiguous already).
+	for _, m := range change.New.Members {
+		if change.IndexMap[m] != m {
+			t.Errorf("member %d remapped to %d", m, change.IndexMap[m])
+		}
+	}
+}
+
+func TestApplyCrashBudgetAdditions(t *testing.T) {
+	old := groupmod.Group{N: 4, T: 1, F: 0, Members: members(1, 2, 3, 4)}
+	// Two crash-flagged additions raise f by one: n=6 ≥ 3·1+2·1+1=6.
+	change, err := groupmod.Apply(old, []groupmod.Proposal{
+		{Kind: groupmod.AddNode, Node: 5},
+		{Kind: groupmod.AddNode, Node: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if change.New.N != 6 || change.New.T != 1 || change.New.F != 1 {
+		t.Errorf("new group %+v", change.New)
+	}
+}
+
+func TestApplyRemovalWithReindex(t *testing.T) {
+	old := groupmod.Group{N: 7, T: 2, F: 0, Members: members(1, 2, 3, 4, 5, 6, 7)}
+	change, err := groupmod.Apply(old, []groupmod.Proposal{
+		{Kind: groupmod.RemoveNode, Node: 3, AffectThreshold: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if change.New.N != 6 {
+		t.Fatalf("new n = %d", change.New.N)
+	}
+	// t stays 2? Pool -1/3 floors to -1 → t=1; n=6 ≥ 3·1+0+1 ✓.
+	if change.New.T != 1 {
+		t.Errorf("new t = %d, want 1", change.New.T)
+	}
+	// Members 4..7 shift down by one.
+	wantPrev := map[msg.NodeID]msg.NodeID{1: 1, 2: 2, 3: 4, 4: 5, 5: 6, 6: 7}
+	for newIdx, prev := range wantPrev {
+		if change.PrevIndex[newIdx] != prev {
+			t.Errorf("PrevIndex[%d] = %d, want %d", newIdx, change.PrevIndex[newIdx], prev)
+		}
+	}
+}
+
+func TestApplyRejectsBoundBreakingRemovals(t *testing.T) {
+	old := groupmod.Group{N: 4, T: 1, F: 0, Members: members(1, 2, 3, 4)}
+	// Removing any node (crash-flagged) would give n=3 < 3·1+1.
+	change, err := groupmod.Apply(old, []groupmod.Proposal{
+		{Kind: groupmod.RemoveNode, Node: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if change.New.N != 4 {
+		t.Errorf("removal applied despite bound: %+v", change.New)
+	}
+	if len(change.Rejected) != 1 {
+		t.Errorf("rejected = %v", change.Rejected)
+	}
+	// But a threshold-flagged removal lowers t and is fine:
+	// n=3, t=0, f=0 → 3 ≥ 1 ✓.
+	change2, err := groupmod.Apply(old, []groupmod.Proposal{
+		{Kind: groupmod.RemoveNode, Node: 4, AffectThreshold: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if change2.New.N != 3 || change2.New.T != 0 {
+		t.Errorf("threshold-flagged removal: %+v", change2.New)
+	}
+}
+
+func TestApplyDuplicatesAndUnknownRejected(t *testing.T) {
+	old := groupmod.Group{N: 4, T: 1, F: 0, Members: members(1, 2, 3, 4)}
+	change, err := groupmod.Apply(old, []groupmod.Proposal{
+		{Kind: groupmod.AddNode, Node: 2},     // already a member
+		{Kind: groupmod.RemoveNode, Node: 99}, // not a member
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(change.Applied) != 0 || len(change.Rejected) != 2 {
+		t.Errorf("applied %v rejected %v", change.Applied, change.Rejected)
+	}
+}
+
+func TestApplyDeterministicAcrossOrder(t *testing.T) {
+	old := groupmod.Group{N: 7, T: 2, F: 0, Members: members(1, 2, 3, 4, 5, 6, 7)}
+	props := []groupmod.Proposal{
+		{Kind: groupmod.AddNode, Node: 8, AffectThreshold: true},
+		{Kind: groupmod.RemoveNode, Node: 2},
+		{Kind: groupmod.AddNode, Node: 9},
+	}
+	rev := []groupmod.Proposal{props[2], props[0], props[1]}
+	a, err := groupmod.Apply(old, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := groupmod.Apply(old, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.New.N != b.New.N || a.New.T != b.New.T || a.New.F != b.New.F {
+		t.Errorf("order-dependent result: %+v vs %+v", a.New, b.New)
+	}
+	for i := range a.New.Members {
+		if a.New.Members[i] != b.New.Members[i] {
+			t.Fatal("order-dependent membership")
+		}
+	}
+}
+
+// agreementCluster wires n agreement endpoints over the simulator.
+type agreementCluster struct {
+	net    *simnet.Network
+	agents map[msg.NodeID]*groupmod.Agreement
+	queued map[msg.NodeID][]groupmod.Proposal
+}
+
+type agreementAdapter struct{ a *groupmod.Agreement }
+
+func (ad *agreementAdapter) HandleMessage(from msg.NodeID, body msg.Body) {
+	ad.a.Handle(from, body)
+}
+func (ad *agreementAdapter) HandleTimer(uint64) {}
+func (ad *agreementAdapter) HandleRecover()     {}
+
+func newAgreementCluster(t *testing.T, n, tt, f int, seed uint64) *agreementCluster {
+	t.Helper()
+	c := &agreementCluster{
+		net:    simnet.New(simnet.Options{Seed: seed}),
+		agents: make(map[msg.NodeID]*groupmod.Agreement, n),
+		queued: make(map[msg.NodeID][]groupmod.Proposal, n),
+	}
+	for i := 1; i <= n; i++ {
+		id := msg.NodeID(i)
+		a, err := groupmod.NewAgreement(rbc.Params{N: n, T: tt, F: f}, id, c.net.Env(id), func(p groupmod.Proposal) {
+			c.queued[id] = append(c.queued[id], p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.agents[id] = a
+		c.net.Register(id, &agreementAdapter{a: a})
+	}
+	return c
+}
+
+// TestAgreementDeliversToAll: proposals reach every node's queue
+// exactly once, in an agreed set.
+func TestAgreementDeliversToAll(t *testing.T) {
+	c := newAgreementCluster(t, 7, 2, 0, 31)
+	p1 := groupmod.Proposal{Kind: groupmod.AddNode, Node: 8, AffectThreshold: true}
+	p2 := groupmod.Proposal{Kind: groupmod.RemoveNode, Node: 5}
+	if err := c.agents[1].Propose(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.agents[3].Propose(p2); err != nil {
+		t.Fatal(err)
+	}
+	c.net.Run(0)
+	for id, q := range c.queued {
+		if len(q) != 2 {
+			t.Fatalf("node %d queue %v", id, q)
+		}
+	}
+	for id, a := range c.agents {
+		if len(a.Queue()) != 2 {
+			t.Fatalf("node %d Queue() size %d", id, len(a.Queue()))
+		}
+		drained := a.DrainQueue()
+		if len(drained) != 2 || len(a.Queue()) != 0 {
+			t.Fatalf("node %d drain broken", id)
+		}
+	}
+}
+
+// TestAgreementDedupAcrossProposers: the same proposal from two
+// proposers queues once.
+func TestAgreementDedupAcrossProposers(t *testing.T) {
+	c := newAgreementCluster(t, 4, 1, 0, 32)
+	p := groupmod.Proposal{Kind: groupmod.AddNode, Node: 9}
+	if err := c.agents[1].Propose(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.agents[2].Propose(p); err != nil {
+		t.Fatal(err)
+	}
+	c.net.Run(0)
+	for id, q := range c.queued {
+		if len(q) != 1 {
+			t.Fatalf("node %d queued %d copies", id, len(q))
+		}
+	}
+}
+
+// TestAgreementGarbagePayloadIgnored: a Byzantine proposer
+// broadcasting junk does not poison queues.
+func TestAgreementGarbagePayloadIgnored(t *testing.T) {
+	c := newAgreementCluster(t, 4, 1, 0, 33)
+	// Node 2 broadcasts garbage directly through RBC.
+	env := c.net.Env(2)
+	sess := rbc.SessionID{Broadcaster: 2, Tag: 1}
+	for j := 1; j <= 4; j++ {
+		env.Send(msg.NodeID(j), &rbc.SendMsg{Session: sess, Payload: []byte{0xff, 0xfe}})
+	}
+	c.net.Run(0)
+	for id, q := range c.queued {
+		if len(q) != 0 {
+			t.Fatalf("node %d queued garbage: %v", id, q)
+		}
+	}
+}
+
+func TestAgreementRejectsInvalidProposal(t *testing.T) {
+	c := newAgreementCluster(t, 4, 1, 0, 34)
+	if err := c.agents[1].Propose(groupmod.Proposal{Kind: 77, Node: 1}); err == nil {
+		t.Error("invalid proposal accepted")
+	}
+}
+
+func TestGroupValidate(t *testing.T) {
+	if err := (groupmod.Group{N: 4, T: 1, F: 0, Members: members(1, 2, 3, 4)}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (groupmod.Group{N: 4, T: 1, F: 1, Members: members(1, 2, 3, 4)}).Validate(); err == nil {
+		t.Error("bound-violating group accepted")
+	}
+	if err := (groupmod.Group{N: 4, T: 1, F: 0, Members: members(1, 2)}).Validate(); err == nil {
+		t.Error("member-count mismatch accepted")
+	}
+}
+
+// TestSubshareCodec round-trips the subshare wire format.
+func TestSubshareCodec(t *testing.T) {
+	gr := testGroup()
+	codec := msg.NewCodec()
+	if err := groupmod.RegisterCodec(codec, gr); err != nil {
+		t.Fatal(err)
+	}
+	v := testVector(t, gr)
+	body := &groupmod.SubshareMsg{Tau: 5, NewNode: 8, Subshare: big.NewInt(123), V: v}
+	env, err := msg.Seal(1, 8, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.(*groupmod.SubshareMsg)
+	if got.Tau != 5 || got.NewNode != 8 || got.Subshare.Int64() != 123 || !got.V.Equal(v) {
+		t.Error("round trip mismatch")
+	}
+	enc, _ := body.MarshalBinary()
+	if _, err := codec.Decode(msg.TSubshare, enc[:len(enc)-2]); err == nil {
+		t.Error("truncated subshare decoded")
+	}
+}

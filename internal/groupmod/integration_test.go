@@ -1,0 +1,294 @@
+package groupmod_test
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/groupmod"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/proactive"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/simnet"
+)
+
+func testGroup() *group.Group { return group.Test256() }
+
+func newSimnet(seed uint64) *simnet.Network {
+	return simnet.New(simnet.Options{Seed: seed})
+}
+
+func testVector(t *testing.T, gr *group.Group) *commit.Vector {
+	t.Helper()
+	p, err := poly.NewRandom(gr.Q(), 2, randutil.NewReader(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return commit.NewVector(gr, p)
+}
+
+// TestNodeAdditionEndToEnd reproduces §6.2: after a DKG, the existing
+// members run the addition protocol for a joiner at index n+1; the
+// joiner acquires a share of the original secret sharing that
+// verifies against the group's published commitment.
+func TestNodeAdditionEndToEnd(t *testing.T) {
+	const n, tt = 7, 2
+	gr := testGroup()
+	dres, err := harness.RunDKG(harness.DKGOptions{N: n, T: tt, Seed: 41, Group: gr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.HonestDone() != n {
+		t.Fatal("DKG incomplete")
+	}
+	groupV := dres.Completed[1].V
+	newIdx := msg.NodeID(n + 1)
+
+	// Joiner listens at index n+1 on the same network.
+	var joined *groupmod.JoinedEvent
+	joiner, err := groupmod.NewJoiner(gr, n, tt, newIdx, groupV.Eval(int64(newIdx)), func(ev groupmod.JoinedEvent) {
+		joined = &ev
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres.Net.Register(newIdx, joiner)
+
+	// Members run the addition protocol.
+	engines := make(map[msg.NodeID]*groupmod.AdditionEngine, n)
+	for id := range dres.Nodes {
+		cfg := groupmod.AdditionConfig{
+			DKG: dkg.Params{
+				Group:     gr,
+				N:         n,
+				T:         tt,
+				Directory: dres.Directory,
+				SignKey:   dres.Privs[id],
+			},
+			Tau:      1000,
+			NewNode:  newIdx,
+			CurrentV: groupV,
+			Rand:     randutil.NewReader(7_000 + uint64(id)),
+		}
+		eng, err := groupmod.NewAdditionEngine(cfg, id, dres.Net.Env(id), dres.Completed[id].Share)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[id] = eng
+		dres.Net.Register(id, additionAdapter{eng})
+	}
+	for _, eng := range engines {
+		if err := eng.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dres.Net.RunUntil(func() bool { return joined != nil }, 0)
+	dres.Net.Run(0)
+
+	if joined == nil {
+		t.Fatal("joiner never acquired a share")
+	}
+	// The joiner's share must verify against the ORIGINAL group
+	// commitment at its index: it is a share of the same secret.
+	if !groupV.VerifyShare(int64(newIdx), joined.Share) {
+		t.Fatal("joiner share does not verify against group commitment")
+	}
+	// t existing shares + the joiner's share reconstruct the secret.
+	pts := []poly.Point{
+		{X: 1, Y: dres.Completed[1].Share},
+		{X: 2, Y: dres.Completed[2].Share},
+		{X: int64(newIdx), Y: joined.Share},
+	}
+	got, err := poly.Interpolate(gr.Q(), pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dres.Secret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatal("joiner share does not lie on the secret sharing polynomial")
+	}
+	// Existing members' shares are untouched by addition.
+	if !groupV.VerifyShare(1, dres.Completed[1].Share) {
+		t.Fatal("existing share invalidated by addition")
+	}
+}
+
+type additionAdapter struct{ eng *groupmod.AdditionEngine }
+
+func (a additionAdapter) HandleMessage(from msg.NodeID, body msg.Body) {
+	a.eng.HandleMessage(from, body)
+}
+func (a additionAdapter) HandleTimer(id uint64) { a.eng.HandleTimer(id) }
+func (a additionAdapter) HandleRecover()        { a.eng.HandleRecover() }
+
+// TestJoinerRejectsBadSubshares: corrupted or mismatched subshares are
+// discarded; t+1 honest subshares still complete the join.
+func TestJoinerRejectsBadSubshares(t *testing.T) {
+	gr := testGroup()
+	const n, tt = 4, 1
+	r := randutil.NewReader(55)
+	// Build an explicit h(x) with commitment V.
+	h, err := poly.NewRandom(gr.Q(), tt, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := commit.NewVector(gr, h)
+	var joined *groupmod.JoinedEvent
+	joiner, err := groupmod.NewJoiner(gr, n, tt, 5, nil, func(ev groupmod.JoinedEvent) { joined = &ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt subshare from node 1: rejected.
+	joiner.HandleMessage(1, &groupmod.SubshareMsg{Tau: 1, NewNode: 5, Subshare: gr.AddQ(h.EvalInt(1), big.NewInt(1)), V: v})
+	if joiner.Share() != nil {
+		t.Fatal("corrupt subshare accepted")
+	}
+	// Wrong target index: ignored.
+	joiner.HandleMessage(2, &groupmod.SubshareMsg{Tau: 1, NewNode: 9, Subshare: h.EvalInt(2), V: v})
+	// Sender outside the group: ignored.
+	joiner.HandleMessage(9, &groupmod.SubshareMsg{Tau: 1, NewNode: 5, Subshare: h.EvalInt(9), V: v})
+	// Duplicate sender: counted once.
+	joiner.HandleMessage(3, &groupmod.SubshareMsg{Tau: 1, NewNode: 5, Subshare: h.EvalInt(3), V: v})
+	joiner.HandleMessage(3, &groupmod.SubshareMsg{Tau: 1, NewNode: 5, Subshare: h.EvalInt(3), V: v})
+	if joined != nil {
+		t.Fatal("joined with a single valid subshare")
+	}
+	// Second valid subshare completes (t+1 = 2).
+	joiner.HandleMessage(4, &groupmod.SubshareMsg{Tau: 1, NewNode: 5, Subshare: h.EvalInt(4), V: v})
+	if joined == nil {
+		t.Fatal("join did not complete")
+	}
+	if joined.Share.Cmp(h.Secret()) != 0 {
+		t.Fatal("joined share != h(0)")
+	}
+}
+
+// TestRemovalWithRenewalReindex reproduces §6.3 + §6.4 end to end:
+// node 3 is removed at a phase boundary; the survivors renumber
+// contiguously, renew shares under the new (n,t,f), keep the public
+// key, and the removed node's old share is useless against the new
+// sharing.
+func TestRemovalWithRenewalReindex(t *testing.T) {
+	const n, tt = 7, 2
+	gr := testGroup()
+	dres, err := harness.RunDKG(harness.DKGOptions{N: n, T: tt, Seed: 42, Group: gr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSecret, err := dres.Secret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldV := dres.Completed[1].V
+	oldPK := oldV.PublicKey()
+
+	// Agree on the removal (policy application).
+	change, err := groupmod.Apply(
+		groupmod.Group{N: n, T: tt, F: 0, Members: []msg.NodeID{1, 2, 3, 4, 5, 6, 7}},
+		[]groupmod.Proposal{{Kind: groupmod.RemoveNode, Node: 3, AffectThreshold: true}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newN, newT := change.New.N, change.New.T // 6, 1
+
+	// Fresh cluster for the new phase: new indices 1..6, engines
+	// seeded with the survivors' old shares and PrevIndexOf mapping.
+	// QSize must cover the OLD threshold for interpolation.
+	dir, privs, err := harness.BuildDirectory(dres.Directory.Scheme(), newN, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := newSimnet(43)
+	engines := make(map[msg.NodeID]*proactive.Engine, newN)
+	prevIdx := func(d msg.NodeID) int64 { return int64(change.PrevIndex[d]) }
+	for i := 1; i <= newN; i++ {
+		id := msg.NodeID(i)
+		oldID := change.PrevIndex[id]
+		cfg := proactive.Config{
+			DKG: dkg.Params{
+				Group:     gr,
+				N:         newN,
+				T:         newT,
+				Directory: dir,
+				SignKey:   privs[id],
+				QSize:     tt + 1, // old threshold + 1 dealers needed
+			},
+			Rand:        randutil.NewReader(9_000 + uint64(id)),
+			PrevIndexOf: prevIdx,
+		}
+		eng, err := proactive.NewEngine(cfg, id, net.Env(id), dres.Completed[oldID].Share, oldV, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[id] = eng
+		net.Register(id, proactiveAdapter{eng})
+	}
+	for _, eng := range engines {
+		if err := eng.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := net.RunUntil(func() bool {
+		for _, eng := range engines {
+			if eng.Phase() < 1 {
+				return false
+			}
+		}
+		return true
+	}, 0)
+	net.Run(0)
+	if !ok {
+		t.Fatal("post-removal renewal did not complete")
+	}
+
+	// Same public key; new shares verify under new indices.
+	newShares := make(map[msg.NodeID]*big.Int, newN)
+	for id, eng := range engines {
+		if eng.Commitment().PublicKey().Cmp(oldPK) != 0 {
+			t.Fatalf("node %d: public key changed", id)
+		}
+		s := eng.Share()
+		if s == nil || !eng.Commitment().VerifyShare(int64(id), s) {
+			t.Fatalf("node %d: invalid renewed share", id)
+		}
+		newShares[id] = s
+	}
+	// Secret preserved (new threshold: t+1 = 2 shares).
+	pts := []poly.Point{{X: 1, Y: newShares[1]}, {X: 2, Y: newShares[2]}}
+	got, err := poly.Interpolate(gr.Q(), pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(oldSecret) != 0 {
+		t.Fatal("secret changed across removal+renewal")
+	}
+	// The removed node's old share is useless: combined with any new
+	// share it does not reconstruct the secret.
+	mix := []poly.Point{
+		{X: 3, Y: dres.Completed[3].Share}, // removed node's old share
+		{X: 1, Y: newShares[1]},
+	}
+	wrong, err := poly.Interpolate(gr.Q(), mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrong.Cmp(oldSecret) == 0 {
+		t.Fatal("removed node's share still reconstructs the secret")
+	}
+}
+
+type proactiveAdapter struct{ eng *proactive.Engine }
+
+func (a proactiveAdapter) HandleMessage(from msg.NodeID, body msg.Body) {
+	a.eng.HandleMessage(from, body)
+}
+func (a proactiveAdapter) HandleTimer(id uint64) { a.eng.HandleTimer(id) }
+func (a proactiveAdapter) HandleRecover()        { a.eng.HandleRecover() }

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/groupmod"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/randutil"
+)
+
+type additionAdapter struct {
+	eng *groupmod.AdditionEngine
+}
+
+func (a additionAdapter) HandleMessage(from msg.NodeID, body msg.Body) {
+	a.eng.HandleMessage(from, body)
+}
+func (a additionAdapter) HandleTimer(id uint64) { a.eng.HandleTimer(id) }
+func (a additionAdapter) HandleRecover()        { a.eng.HandleRecover() }
+
+// RunAddition performs the §6.2 node-addition protocol on top of a
+// completed DKG run: every member reshares toward the joiner's index
+// and the joiner interpolates its share. It validates the acquired
+// share against the group commitment.
+func RunAddition(dres *DKGResult, newIdx msg.NodeID, seed uint64) error {
+	groupV := dres.Completed[1].V
+	if groupV == nil {
+		return errors.New("harness: DKG result lacks vector commitment")
+	}
+	var joined *groupmod.JoinedEvent
+	joiner, err := groupmod.NewJoiner(dres.Opts.Group, dres.Opts.N, dres.Opts.T, newIdx,
+		groupV.Eval(int64(newIdx)), func(ev groupmod.JoinedEvent) { joined = &ev })
+	if err != nil {
+		return err
+	}
+	dres.Net.Register(newIdx, joiner)
+	for id := range dres.Nodes {
+		cfg := groupmod.AdditionConfig{
+			DKG: dkg.Params{
+				Group:     dres.Opts.Group,
+				N:         dres.Opts.N,
+				T:         dres.Opts.T,
+				F:         dres.Opts.F,
+				Directory: dres.Directory,
+				SignKey:   dres.Privs[id],
+			},
+			Tau:      1_000_000,
+			NewNode:  newIdx,
+			CurrentV: groupV,
+			Rand:     randutil.NewReader(seed ^ uint64(id)<<7),
+		}
+		eng, err := groupmod.NewAdditionEngine(cfg, id, dres.Net.Env(id), dres.Completed[id].Share)
+		if err != nil {
+			return err
+		}
+		dres.Net.Register(id, additionAdapter{eng})
+		if err := eng.Start(); err != nil {
+			return err
+		}
+	}
+	dres.Net.RunUntil(func() bool { return joined != nil }, 0)
+	dres.Net.Run(0)
+	if joined == nil {
+		return fmt.Errorf("%w: joiner never acquired a share", ErrIncomplete)
+	}
+	if !groupV.VerifyShare(int64(newIdx), joined.Share) {
+		return fmt.Errorf("%w: joiner share invalid", ErrInconsistency)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"fmt"
+	"math/big"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/sig"
+	"hybriddkg/internal/simnet"
+)
+
+// DKGOptions configures a DKG cluster run.
+type DKGOptions struct {
+	N, T, F int
+	Seed    uint64
+	// Group defaults to group.Test256().
+	Group *group.Group
+	// HashedEcho configures the embedded VSS instances.
+	HashedEcho bool
+	// InitialLeader defaults to 1.
+	InitialLeader msg.NodeID
+	// TimeoutBase defaults to the dkg package default.
+	TimeoutBase int64
+	// Scheme defaults to Ed25519.
+	Scheme sig.Scheme
+	// NoDeal lists honest nodes that participate but never deal a
+	// sharing (their VSS instance stays idle).
+	NoDeal []msg.NodeID
+	// Fault injection (same semantics as VSSOptions).
+	CrashedFromStart []msg.NodeID
+	CrashAt          map[msg.NodeID]int64
+	RecoverAt        map[msg.NodeID]int64
+	Byzantine        map[msg.NodeID]func(env *simnet.Env) simnet.Handler
+	Filter           simnet.FilterFunc
+	// Simulation bounds.
+	DisableAccounting bool
+	MaxEvents         int
+}
+
+// DKGResult is the outcome of a cluster run.
+type DKGResult struct {
+	Opts      DKGOptions
+	Nodes     map[msg.NodeID]*dkg.Node
+	Completed map[msg.NodeID]dkg.CompletedEvent
+	Net       *simnet.Network
+	Stats     simnet.Stats
+	Directory *sig.Directory
+	Privs     map[msg.NodeID][]byte
+}
+
+// dkgAdapter adapts dkg.Node to simnet.Handler.
+type dkgAdapter struct {
+	node *dkg.Node
+}
+
+func (a *dkgAdapter) HandleMessage(from msg.NodeID, body msg.Body) { a.node.Handle(from, body) }
+func (a *dkgAdapter) HandleTimer(id uint64)                        { a.node.HandleTimer(id) }
+func (a *dkgAdapter) HandleRecover()                               { a.node.HandleRecover() }
+
+// SetupDKG constructs the cluster without starting any dealing.
+func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
+	if opts.Group == nil {
+		opts.Group = group.Test256()
+	}
+	if opts.Scheme == nil {
+		opts.Scheme = sig.Ed25519{}
+	}
+	dir, privs, err := BuildDirectory(opts.Scheme, opts.N, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	net := simnet.New(simnet.Options{
+		Seed:              opts.Seed,
+		Filter:            opts.Filter,
+		DisableAccounting: opts.DisableAccounting,
+	})
+	res := &DKGResult{
+		Opts:      *opts,
+		Nodes:     make(map[msg.NodeID]*dkg.Node, opts.N),
+		Completed: make(map[msg.NodeID]dkg.CompletedEvent, opts.N),
+		Net:       net,
+		Directory: dir,
+		Privs:     privs,
+	}
+	for i := 1; i <= opts.N; i++ {
+		id := msg.NodeID(i)
+		env := net.Env(id)
+		if mk, byz := opts.Byzantine[id]; byz {
+			net.Register(id, mk(env))
+			continue
+		}
+		params := dkg.Params{
+			Group:         opts.Group,
+			N:             opts.N,
+			T:             opts.T,
+			F:             opts.F,
+			HashedEcho:    opts.HashedEcho,
+			Directory:     dir,
+			SignKey:       privs[id],
+			InitialLeader: opts.InitialLeader,
+			TimeoutBase:   opts.TimeoutBase,
+		}
+		node, err := dkg.NewNode(params, 1, id, env, dkg.Options{
+			OnCompleted: func(ev dkg.CompletedEvent) { res.Completed[id] = ev },
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes[id] = node
+		net.Register(id, &dkgAdapter{node: node})
+	}
+	for _, id := range opts.CrashedFromStart {
+		net.Crash(id)
+	}
+	scheduleFaults(net, opts.CrashAt, net.Crash)
+	scheduleFaults(net, opts.RecoverAt, net.Recover)
+	return res, nil
+}
+
+// RunDKG builds the cluster, starts every live honest dealer and runs
+// to completion (or the event budget).
+func RunDKG(opts DKGOptions) (*DKGResult, error) {
+	res, err := SetupDKG(&opts)
+	if err != nil {
+		return nil, err
+	}
+	noDeal := make(map[msg.NodeID]bool, len(opts.NoDeal))
+	for _, id := range opts.NoDeal {
+		noDeal[id] = true
+	}
+	// Iterate in index order: map order would perturb the event
+	// schedule and break run determinism.
+	for i := 1; i <= opts.N; i++ {
+		id := msg.NodeID(i)
+		node, ok := res.Nodes[id]
+		if !ok || res.Net.Crashed(id) || noDeal[id] {
+			continue
+		}
+		if err := node.Start(randutil.NewReader(opts.Seed ^ uint64(id)<<24 ^ 0xd ^ uint64(id))); err != nil {
+			return nil, fmt.Errorf("harness: start node %d: %w", id, err)
+		}
+	}
+	res.Net.RunUntil(func() bool { return res.allHonestLiveDone() }, opts.MaxEvents)
+	res.Net.Run(opts.MaxEvents)
+	res.Stats = res.Net.Stats()
+	return res, nil
+}
+
+func (r *DKGResult) allHonestLiveDone() bool {
+	for id, node := range r.Nodes {
+		if r.Net.Crashed(id) {
+			continue
+		}
+		if !node.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// HonestDone counts honest nodes that completed the DKG.
+func (r *DKGResult) HonestDone() int {
+	done := 0
+	for _, node := range r.Nodes {
+		if node.Done() {
+			done++
+		}
+	}
+	return done
+}
+
+// MaxLeaderChanges returns the largest leader-change count any honest
+// node observed.
+func (r *DKGResult) MaxLeaderChanges() int {
+	maxLC := 0
+	for _, node := range r.Nodes {
+		if lc := node.LeaderChanges(); lc > maxLC {
+			maxLC = lc
+		}
+	}
+	return maxLC
+}
+
+// CheckConsistency verifies Definition 4.1's consistency across all
+// completed honest nodes: identical Q, commitment and public key;
+// every share valid against the joint commitment; any t+1 shares
+// interpolating to a secret matching the public key.
+func (r *DKGResult) CheckConsistency() error {
+	var ref *dkg.CompletedEvent
+	pts := make([]poly.Point, 0, r.Opts.T+1)
+	for id, node := range r.Nodes {
+		if !node.Done() {
+			continue
+		}
+		ev := r.Completed[id]
+		if ref == nil {
+			ev2 := ev
+			ref = &ev2
+		} else {
+			if ref.C.Hash() != ev.C.Hash() {
+				return fmt.Errorf("%w: different joint commitments", ErrInconsistency)
+			}
+			if len(ref.Q) != len(ev.Q) {
+				return fmt.Errorf("%w: different Q sizes", ErrInconsistency)
+			}
+			for i := range ref.Q {
+				if ref.Q[i] != ev.Q[i] {
+					return fmt.Errorf("%w: different Q sets", ErrInconsistency)
+				}
+			}
+			if ref.PublicKey.Cmp(ev.PublicKey) != 0 {
+				return fmt.Errorf("%w: different public keys", ErrInconsistency)
+			}
+		}
+		if !ev.C.VerifyShare(int64(id), ev.Share) {
+			return fmt.Errorf("%w: node %d share invalid", ErrInconsistency, id)
+		}
+		if len(pts) < r.Opts.T+1 {
+			pts = append(pts, poly.Point{X: int64(id), Y: ev.Share})
+		}
+	}
+	if ref == nil {
+		return fmt.Errorf("%w: no node completed", ErrIncomplete)
+	}
+	if len(pts) < r.Opts.T+1 {
+		return fmt.Errorf("%w: only %d shares", ErrIncomplete, len(pts))
+	}
+	secret, err := poly.Interpolate(r.Opts.Group.Q(), pts, 0)
+	if err != nil {
+		return err
+	}
+	if r.Opts.Group.GExp(secret).Cmp(ref.PublicKey) != 0 {
+		return fmt.Errorf("%w: interpolated secret does not match public key", ErrInconsistency)
+	}
+	return nil
+}
+
+// Secret reconstructs the joint secret from t+1 honest shares (test
+// oracle only — real deployments never do this).
+func (r *DKGResult) Secret() (*big.Int, error) {
+	pts := make([]poly.Point, 0, r.Opts.T+1)
+	for id, node := range r.Nodes {
+		if !node.Done() {
+			continue
+		}
+		pts = append(pts, poly.Point{X: int64(id), Y: r.Completed[id].Share})
+		if len(pts) == r.Opts.T+1 {
+			break
+		}
+	}
+	if len(pts) < r.Opts.T+1 {
+		return nil, ErrIncomplete
+	}
+	return poly.Interpolate(r.Opts.Group.Q(), pts, 0)
+}

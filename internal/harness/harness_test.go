@@ -1,0 +1,83 @@
+package harness_test
+
+import (
+	"testing"
+
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+)
+
+// TestDKGRunsAreDeterministic: the whole stack — crypto, scheduling,
+// leader logic — reproduces byte-identical accounting from one seed.
+// This is the property every adversarial test in the repository leans
+// on.
+func TestDKGRunsAreDeterministic(t *testing.T) {
+	run := func() (int, int64, string) {
+		res, err := harness.RunDKG(harness.DKGOptions{N: 7, T: 2, Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.TotalMsgs, res.Stats.TotalBytes, res.Completed[1].PublicKey.Text(16)
+	}
+	m1, b1, pk1 := run()
+	m2, b2, pk2 := run()
+	if m1 != m2 || b1 != b2 || pk1 != pk2 {
+		t.Fatalf("non-deterministic: (%d,%d,%s) vs (%d,%d,%s)", m1, b1, pk1, m2, b2, pk2)
+	}
+}
+
+// TestSeedsChangeSchedules: different seeds give different schedules
+// (and thus keys), while correctness holds for all of them.
+func TestSeedsChangeSchedules(t *testing.T) {
+	keys := make(map[string]bool)
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, err := harness.RunDKG(harness.DKGOptions{N: 4, T: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsistency(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		keys[res.Completed[1].PublicKey.Text(16)] = true
+	}
+	if len(keys) != 5 {
+		t.Errorf("expected 5 distinct keys, got %d", len(keys))
+	}
+}
+
+// TestVSSSecretOverride: a caller-chosen secret is the one shared.
+func TestVSSSecretOverride(t *testing.T) {
+	res, err := harness.RunVSS(harness.VSSOptions{N: 4, T: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsistency(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunAddition covers the harness addition helper end to end.
+func TestRunAddition(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{N: 4, T: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := harness.RunAddition(res, msg.NodeID(5), 99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDKGSecretOracle: the Secret() oracle matches the public key.
+func TestDKGSecretOracle(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{N: 4, T: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := res.Secret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opts.Group.GExp(secret).Cmp(res.Completed[1].PublicKey) != 0 {
+		t.Fatal("oracle secret mismatch")
+	}
+}

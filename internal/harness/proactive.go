@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"math/big"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/proactive"
+	"hybriddkg/internal/randutil"
+)
+
+// ProactiveResult wraps a DKG cluster whose nodes have been upgraded
+// to proactive engines.
+type ProactiveResult struct {
+	DKG     *DKGResult
+	Engines map[msg.NodeID]*proactive.Engine
+	Renewed map[msg.NodeID][]proactive.RenewedEvent
+}
+
+type engineAdapter struct {
+	eng *proactive.Engine
+}
+
+func (a *engineAdapter) HandleMessage(from msg.NodeID, body msg.Body) {
+	a.eng.HandleMessage(from, body)
+}
+func (a *engineAdapter) HandleTimer(id uint64) { a.eng.HandleTimer(id) }
+func (a *engineAdapter) HandleRecover()        { a.eng.HandleRecover() }
+
+// SetupProactive runs a DKG and re-registers every completed node as
+// a proactive engine on the same simulated network. TamperShare lets
+// tests model Byzantine dealers that reshare a wrong value: the named
+// nodes' engines are seeded with share+delta.
+func SetupProactive(opts DKGOptions, tamperShare map[msg.NodeID]*big.Int) (*ProactiveResult, error) {
+	if opts.Group == nil {
+		opts.Group = group.Test256()
+	}
+	dres, err := RunDKG(opts)
+	if err != nil {
+		return nil, err
+	}
+	if got := dres.HonestDone(); got != opts.N-len(opts.Byzantine) {
+		return nil, fmt.Errorf("%w: DKG completed only %d nodes", ErrIncomplete, got)
+	}
+	pres := &ProactiveResult{
+		DKG:     dres,
+		Engines: make(map[msg.NodeID]*proactive.Engine, opts.N),
+		Renewed: make(map[msg.NodeID][]proactive.RenewedEvent, opts.N),
+	}
+	for id, node := range dres.Nodes {
+		ev := dres.Completed[id]
+		share := ev.Share
+		if delta, tampered := tamperShare[id]; tampered {
+			share = opts.Group.AddQ(share, delta)
+		}
+		cfg := proactive.Config{
+			DKG: dkg.Params{
+				Group:         opts.Group,
+				N:             opts.N,
+				T:             opts.T,
+				F:             opts.F,
+				HashedEcho:    opts.HashedEcho,
+				Directory:     dres.Directory,
+				SignKey:       dres.Privs[id],
+				InitialLeader: opts.InitialLeader,
+				TimeoutBase:   opts.TimeoutBase,
+			},
+			Rand: randutil.NewReader(opts.Seed ^ (uint64(id) << 13) ^ 0x9e37),
+		}
+		eng, err := proactive.NewEngine(cfg, id, dres.Net.Env(id), share, ev.V, func(rev proactive.RenewedEvent) {
+			pres.Renewed[id] = append(pres.Renewed[id], rev)
+		})
+		if err != nil {
+			return nil, err
+		}
+		pres.Engines[id] = eng
+		dres.Net.Register(id, &engineAdapter{eng: eng})
+		_ = node
+	}
+	return pres, nil
+}
+
+// RunPhase ticks every live engine and runs the network until all of
+// them complete the target phase (or the event budget runs out).
+// Returns whether all live engines reached the phase.
+func (p *ProactiveResult) RunPhase(target uint64, maxEvents int) bool {
+	for i := 1; i <= p.DKG.Opts.N; i++ {
+		id := msg.NodeID(i)
+		eng, ok := p.Engines[id]
+		if !ok || p.DKG.Net.Crashed(id) {
+			continue
+		}
+		if err := eng.Tick(); err != nil {
+			return false
+		}
+	}
+	ok := p.DKG.Net.RunUntil(func() bool {
+		for id, eng := range p.Engines {
+			if p.DKG.Net.Crashed(id) {
+				continue
+			}
+			if eng.Phase() < target {
+				return false
+			}
+		}
+		return true
+	}, maxEvents)
+	p.DKG.Net.Run(maxEvents)
+	return ok
+}

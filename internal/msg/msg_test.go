@@ -1,0 +1,197 @@
+package msg
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// fakeBody is a minimal Body for codec tests.
+type fakeBody struct {
+	payload []byte
+}
+
+func (f fakeBody) MsgType() Type                  { return TVSSSend }
+func (f fakeBody) MarshalBinary() ([]byte, error) { return f.payload, nil }
+
+func TestTypeStrings(t *testing.T) {
+	seen := make(map[string]Type)
+	for tt := TVSSSend; tt <= TSubshare; tt++ {
+		s := tt.String()
+		if s == "" {
+			t.Fatalf("empty String for %d", tt)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("types %d and %d share string %q", prev, tt, s)
+		}
+		seen[s] = tt
+	}
+	if Type(200).String() == "" {
+		t.Error("unknown type has empty string")
+	}
+}
+
+func TestCodecRegisterDecode(t *testing.T) {
+	c := NewCodec()
+	if err := c.Register(TVSSSend, func(data []byte) (Body, error) {
+		return fakeBody{payload: data}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(TVSSSend, nil); err == nil {
+		t.Error("duplicate registration succeeded")
+	}
+	body, err := c.Decode(TVSSSend, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body.(fakeBody).payload) != "hi" {
+		t.Error("payload mismatch")
+	}
+	if _, err := c.Decode(TVSSEcho, nil); err == nil {
+		t.Error("decode of unregistered type succeeded")
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	c := NewCodec()
+	if err := c.Register(TVSSSend, func(data []byte) (Body, error) {
+		return fakeBody{payload: data}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Seal(1, 2, fakeBody{payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != 1 || env.To != 2 || env.Type != TVSSSend {
+		t.Errorf("envelope fields: %+v", env)
+	}
+	body, err := c.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body.(fakeBody).payload) != "x" {
+		t.Error("round-trip mismatch")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	if got := WireSize(fakeBody{payload: []byte("abcd")}); got != 5 {
+		t.Errorf("WireSize = %d, want 5", got)
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(7)
+	w.U32(1 << 20)
+	w.U64(1 << 40)
+	w.Node(33)
+	w.Nodes([]NodeID{1, 2, 3})
+	w.Big(big.NewInt(123456789))
+	w.Big(nil)
+	w.Blob([]byte("blob"))
+	w.Bool(true)
+	w.Bool(false)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 1<<20 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.Node(); got != 33 {
+		t.Errorf("Node = %d", got)
+	}
+	nodes := r.Nodes()
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[2] != 3 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if got := r.Big(); got.Int64() != 123456789 {
+		t.Errorf("Big = %v", got)
+	}
+	if got := r.Big(); got.Sign() != 0 {
+		t.Errorf("nil Big decoded to %v", got)
+	}
+	if got := r.Blob(); !bytes.Equal(got, []byte("blob")) {
+		t.Errorf("Blob = %q", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := NewWriter(16)
+	w.U64(42)
+	data := w.Bytes()
+	r := NewReader(data[:4])
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Error("truncated U64 not detected")
+	}
+	// Error sticks.
+	_ = r.U8()
+	if r.Err() == nil {
+		t.Error("sticky error cleared")
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	w := NewWriter(8)
+	w.U8(1)
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	_ = r.U8()
+	if err := r.Done(); err == nil {
+		t.Error("trailing byte not detected")
+	}
+}
+
+func TestReaderHostileLengths(t *testing.T) {
+	// A node list claiming 2^31 entries must not allocate.
+	w := NewWriter(8)
+	w.U32(1 << 31)
+	r := NewReader(w.Bytes())
+	if nodes := r.Nodes(); nodes != nil || r.Err() == nil {
+		t.Error("hostile node list length accepted")
+	}
+	// A blob claiming more bytes than remain must fail cleanly.
+	w2 := NewWriter(8)
+	w2.U32(1000)
+	r2 := NewReader(w2.Bytes())
+	if b := r2.Blob(); b != nil || r2.Err() == nil {
+		t.Error("hostile blob length accepted")
+	}
+}
+
+// TestQuickWireRoundTrip fuzzes the primitive round trip.
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(a uint8, b uint32, c uint64, blob []byte, flag bool) bool {
+		w := NewWriter(32)
+		w.U8(a)
+		w.U32(b)
+		w.U64(c)
+		w.Blob(blob)
+		w.Bool(flag)
+		r := NewReader(w.Bytes())
+		okA := r.U8() == a
+		okB := r.U32() == b
+		okC := r.U64() == c
+		okBlob := bytes.Equal(r.Blob(), blob)
+		okFlag := r.Bool() == flag
+		return okA && okB && okC && okBlob && okFlag && r.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

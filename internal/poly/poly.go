@@ -1,0 +1,406 @@
+// Package poly implements univariate and symmetric bivariate
+// polynomials over Z_q together with Lagrange interpolation. These are
+// the secret-sharing substrate of HybridVSS (Kate & Goldberg §3): a
+// dealer shares a secret s by choosing a random symmetric bivariate
+// polynomial f(x,y) with f(0,0)=s and giving node i the univariate
+// polynomial a_i(y) = f(i,y); node i's share of s is a_i(0) = f(i,0).
+//
+// Node indices are small positive integers (1..n) and are represented
+// as int64; coefficients and evaluations are scalars (*big.Int in
+// [0,q)) following the conventions of internal/group.
+package poly
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Errors returned by polynomial operations.
+var (
+	ErrNoPoints        = errors.New("poly: no interpolation points")
+	ErrDuplicatePoint  = errors.New("poly: duplicate interpolation index")
+	ErrDegreeMismatch  = errors.New("poly: operand degrees differ")
+	ErrModulusMismatch = errors.New("poly: operand moduli differ")
+	ErrBadDegree       = errors.New("poly: invalid degree")
+)
+
+// Poly is a univariate polynomial over Z_q of degree ≤ t, stored as
+// t+1 coefficients in ascending order. The zero value is not usable.
+type Poly struct {
+	q      *big.Int
+	coeffs []*big.Int
+}
+
+// NewRandom returns a uniformly random polynomial of degree t over Z_q.
+func NewRandom(q *big.Int, t int, r io.Reader) (*Poly, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDegree, t)
+	}
+	coeffs := make([]*big.Int, t+1)
+	for i := range coeffs {
+		c, err := randScalar(r, q)
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = c
+	}
+	return &Poly{q: new(big.Int).Set(q), coeffs: coeffs}, nil
+}
+
+// NewRandomWithConstant returns a random degree-t polynomial with
+// constant term fixed to s (the shared secret).
+func NewRandomWithConstant(q, s *big.Int, t int, r io.Reader) (*Poly, error) {
+	p, err := NewRandom(q, t, r)
+	if err != nil {
+		return nil, err
+	}
+	p.coeffs[0] = new(big.Int).Mod(s, q)
+	return p, nil
+}
+
+// FromCoeffs builds a polynomial from explicit coefficients (ascending
+// order). Coefficients are reduced mod q and copied.
+func FromCoeffs(q *big.Int, coeffs []*big.Int) (*Poly, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("%w: empty coefficient list", ErrBadDegree)
+	}
+	cp := make([]*big.Int, len(coeffs))
+	for i, c := range coeffs {
+		if c == nil {
+			return nil, fmt.Errorf("poly: nil coefficient %d", i)
+		}
+		cp[i] = new(big.Int).Mod(c, q)
+	}
+	return &Poly{q: new(big.Int).Set(q), coeffs: cp}, nil
+}
+
+// Degree returns the nominal degree t (len(coeffs)−1); trailing zero
+// coefficients are not trimmed because secret sharing fixes the degree
+// by construction.
+func (p *Poly) Degree() int { return len(p.coeffs) - 1 }
+
+// Q returns the modulus.
+func (p *Poly) Q() *big.Int { return new(big.Int).Set(p.q) }
+
+// Coeff returns the i-th coefficient (a copy).
+func (p *Poly) Coeff(i int) *big.Int { return new(big.Int).Set(p.coeffs[i]) }
+
+// Coeffs returns a copy of all coefficients in ascending order.
+func (p *Poly) Coeffs() []*big.Int {
+	out := make([]*big.Int, len(p.coeffs))
+	for i, c := range p.coeffs {
+		out[i] = new(big.Int).Set(c)
+	}
+	return out
+}
+
+// Secret returns the constant term p(0), the shared secret.
+func (p *Poly) Secret() *big.Int { return p.Coeff(0) }
+
+// Eval evaluates p at x via Horner's rule.
+func (p *Poly) Eval(x *big.Int) *big.Int {
+	acc := new(big.Int)
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		acc.Mul(acc, x)
+		acc.Add(acc, p.coeffs[i])
+		acc.Mod(acc, p.q)
+	}
+	return acc
+}
+
+// EvalInt evaluates p at a small integer index (node index).
+func (p *Poly) EvalInt(x int64) *big.Int { return p.Eval(big.NewInt(x)) }
+
+// Add returns p + o.
+func (p *Poly) Add(o *Poly) (*Poly, error) {
+	if p.q.Cmp(o.q) != 0 {
+		return nil, ErrModulusMismatch
+	}
+	if len(p.coeffs) != len(o.coeffs) {
+		return nil, ErrDegreeMismatch
+	}
+	out := make([]*big.Int, len(p.coeffs))
+	for i := range out {
+		out[i] = new(big.Int).Add(p.coeffs[i], o.coeffs[i])
+		out[i].Mod(out[i], p.q)
+	}
+	return &Poly{q: new(big.Int).Set(p.q), coeffs: out}, nil
+}
+
+// ScalarMul returns c·p.
+func (p *Poly) ScalarMul(c *big.Int) *Poly {
+	out := make([]*big.Int, len(p.coeffs))
+	for i := range out {
+		out[i] = new(big.Int).Mul(p.coeffs[i], c)
+		out[i].Mod(out[i], p.q)
+	}
+	return &Poly{q: new(big.Int).Set(p.q), coeffs: out}
+}
+
+// Equal reports coefficient-wise equality.
+func (p *Poly) Equal(o *Poly) bool {
+	if o == nil || p.q.Cmp(o.q) != 0 || len(p.coeffs) != len(o.coeffs) {
+		return false
+	}
+	for i := range p.coeffs {
+		if p.coeffs[i].Cmp(o.coeffs[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (p *Poly) Clone() *Poly {
+	return &Poly{q: new(big.Int).Set(p.q), coeffs: p.Coeffs()}
+}
+
+// BiPoly is a symmetric bivariate polynomial f(x,y) = Σ f_{jℓ} x^j y^ℓ
+// over Z_q with f_{jℓ} = f_{ℓj} for j,ℓ ∈ [0,t]. The symmetry is what
+// lets HybridVSS nodes cross-verify points: f(m,i) = f(i,m).
+type BiPoly struct {
+	q      *big.Int
+	t      int
+	coeffs [][]*big.Int // coeffs[j][l], symmetric
+}
+
+// NewRandomSymmetric returns a random symmetric bivariate polynomial
+// of degree t in each variable with f(0,0) = secret.
+func NewRandomSymmetric(q, secret *big.Int, t int, r io.Reader) (*BiPoly, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDegree, t)
+	}
+	coeffs := make([][]*big.Int, t+1)
+	for j := range coeffs {
+		coeffs[j] = make([]*big.Int, t+1)
+	}
+	for j := 0; j <= t; j++ {
+		for l := j; l <= t; l++ {
+			c, err := randScalar(r, q)
+			if err != nil {
+				return nil, err
+			}
+			coeffs[j][l] = c
+			coeffs[l][j] = c
+		}
+	}
+	coeffs[0][0] = new(big.Int).Mod(secret, q)
+	return &BiPoly{q: new(big.Int).Set(q), t: t, coeffs: coeffs}, nil
+}
+
+// T returns the per-variable degree.
+func (b *BiPoly) T() int { return b.t }
+
+// Q returns the modulus.
+func (b *BiPoly) Q() *big.Int { return new(big.Int).Set(b.q) }
+
+// Coeff returns f_{jℓ} (a copy).
+func (b *BiPoly) Coeff(j, l int) *big.Int { return new(big.Int).Set(b.coeffs[j][l]) }
+
+// Secret returns f(0,0).
+func (b *BiPoly) Secret() *big.Int { return b.Coeff(0, 0) }
+
+// Row returns the univariate polynomial a_i(y) = f(i, y) sent by the
+// dealer to node i.
+func (b *BiPoly) Row(i int64) *Poly {
+	x := big.NewInt(i)
+	coeffs := make([]*big.Int, b.t+1)
+	for l := 0; l <= b.t; l++ {
+		// coefficient of y^l is Σ_j f_{jl} x^j  — Horner over j.
+		acc := new(big.Int)
+		for j := b.t; j >= 0; j-- {
+			acc.Mul(acc, x)
+			acc.Add(acc, b.coeffs[j][l])
+			acc.Mod(acc, b.q)
+		}
+		coeffs[l] = acc
+	}
+	return &Poly{q: new(big.Int).Set(b.q), coeffs: coeffs}
+}
+
+// Eval evaluates f(x, y) at small integer coordinates.
+func (b *BiPoly) Eval(x, y int64) *big.Int {
+	return b.Row(x).EvalInt(y)
+}
+
+// IsSymmetric verifies the symmetry invariant (used in tests and when
+// reconstructing from untrusted coefficients).
+func (b *BiPoly) IsSymmetric() bool {
+	for j := 0; j <= b.t; j++ {
+		for l := j + 1; l <= b.t; l++ {
+			if b.coeffs[j][l].Cmp(b.coeffs[l][j]) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Point is an interpolation point (X, Y) with Y = f(X).
+type Point struct {
+	X int64
+	Y *big.Int
+}
+
+// LagrangeCoeffsAt computes Lagrange coefficients λ_i such that for
+// any polynomial f of degree < len(indices),
+//
+//	f(at) = Σ_i λ_i · f(indices[i])  (mod q).
+//
+// Indices must be distinct and distinct from at unless at itself is in
+// indices (in which case the coefficient pattern degenerates to a
+// selector, which the formula handles naturally).
+func LagrangeCoeffsAt(q *big.Int, indices []int64, at int64) ([]*big.Int, error) {
+	if len(indices) == 0 {
+		return nil, ErrNoPoints
+	}
+	seen := make(map[int64]struct{}, len(indices))
+	for _, x := range indices {
+		if _, dup := seen[x]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicatePoint, x)
+		}
+		seen[x] = struct{}{}
+	}
+	atB := big.NewInt(at)
+	out := make([]*big.Int, len(indices))
+	for i, xi := range indices {
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		xiB := big.NewInt(xi)
+		for j, xj := range indices {
+			if j == i {
+				continue
+			}
+			xjB := big.NewInt(xj)
+			num.Mul(num, new(big.Int).Sub(atB, xjB))
+			num.Mod(num, q)
+			den.Mul(den, new(big.Int).Sub(xiB, xjB))
+			den.Mod(den, q)
+		}
+		if den.Sign() == 0 {
+			return nil, fmt.Errorf("poly: singular denominator at index %d", xi)
+		}
+		out[i] = num.Mul(num, new(big.Int).ModInverse(den, q)).Mod(num, q)
+	}
+	return out, nil
+}
+
+// Interpolate evaluates the unique polynomial of degree
+// < len(points) passing through points at position at.
+func Interpolate(q *big.Int, points []Point, at int64) (*big.Int, error) {
+	indices := make([]int64, len(points))
+	for i, pt := range points {
+		indices[i] = pt.X
+	}
+	lambda, err := LagrangeCoeffsAt(q, indices, at)
+	if err != nil {
+		return nil, err
+	}
+	acc := new(big.Int)
+	for i, pt := range points {
+		if pt.Y == nil {
+			return nil, fmt.Errorf("poly: nil value at index %d", pt.X)
+		}
+		acc.Add(acc, new(big.Int).Mul(lambda[i], pt.Y))
+		acc.Mod(acc, q)
+	}
+	return acc, nil
+}
+
+// InterpolatePoly recovers the full coefficient vector of the unique
+// polynomial of degree len(points)−1 through the given points, using
+// Newton's divided differences followed by conversion to the monomial
+// basis. HybridVSS uses this when a node must reconstruct its row
+// polynomial from echo/ready points (Fig. 1 Lagrange-interpolation
+// steps).
+func InterpolatePoly(q *big.Int, points []Point) (*Poly, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	xs := make([]*big.Int, n)
+	seen := make(map[int64]struct{}, n)
+	div := make([]*big.Int, n) // divided-difference table, in place
+	for i, pt := range points {
+		if _, dup := seen[pt.X]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicatePoint, pt.X)
+		}
+		seen[pt.X] = struct{}{}
+		xs[i] = big.NewInt(pt.X)
+		if pt.Y == nil {
+			return nil, fmt.Errorf("poly: nil value at index %d", pt.X)
+		}
+		div[i] = new(big.Int).Mod(pt.Y, q)
+	}
+	for level := 1; level < n; level++ {
+		for i := n - 1; i >= level; i-- {
+			num := new(big.Int).Sub(div[i], div[i-1])
+			den := new(big.Int).Sub(xs[i], xs[i-level])
+			den.Mod(den, q)
+			if den.Sign() == 0 {
+				return nil, fmt.Errorf("poly: singular divided difference")
+			}
+			num.Mul(num, new(big.Int).ModInverse(den, q))
+			div[i] = num.Mod(num, q)
+		}
+	}
+	// Convert Newton form Σ div[k]·Π_{j<k}(y−x_j) to monomial basis.
+	coeffs := make([]*big.Int, n)
+	for i := range coeffs {
+		coeffs[i] = new(big.Int)
+	}
+	// Running product basis polynomial, starts at 1.
+	basis := make([]*big.Int, 1, n)
+	basis[0] = big.NewInt(1)
+	for k := 0; k < n; k++ {
+		for d := 0; d < len(basis); d++ {
+			tmp := new(big.Int).Mul(div[k], basis[d])
+			coeffs[d].Add(coeffs[d], tmp)
+			coeffs[d].Mod(coeffs[d], q)
+		}
+		if k < n-1 {
+			basis = mulLinear(basis, xs[k], q)
+		}
+	}
+	return &Poly{q: new(big.Int).Set(q), coeffs: coeffs}, nil
+}
+
+// mulLinear multiplies the polynomial given by coeffs with (y − root).
+func mulLinear(coeffs []*big.Int, root, q *big.Int) []*big.Int {
+	out := make([]*big.Int, len(coeffs)+1)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	negRoot := new(big.Int).Neg(root)
+	negRoot.Mod(negRoot, q)
+	for i, c := range coeffs {
+		// coefficient shifts up by one for the y term…
+		out[i+1].Add(out[i+1], c)
+		out[i+1].Mod(out[i+1], q)
+		// …and multiplies by −root for the constant term.
+		tmp := new(big.Int).Mul(c, negRoot)
+		out[i].Add(out[i], tmp)
+		out[i].Mod(out[i], q)
+	}
+	return out
+}
+
+// randScalar samples uniformly from [0, q).
+func randScalar(r io.Reader, q *big.Int) (*big.Int, error) {
+	bitLen := q.BitLen()
+	byteLen := (bitLen + 7) / 8
+	buf := make([]byte, byteLen)
+	excess := uint(byteLen*8 - bitLen)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("poly: read randomness: %w", err)
+		}
+		buf[0] >>= excess
+		v := new(big.Int).SetBytes(buf)
+		if v.Cmp(q) < 0 {
+			return v, nil
+		}
+	}
+}

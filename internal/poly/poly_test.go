@@ -1,0 +1,354 @@
+package poly
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/randutil"
+)
+
+func testQ() *big.Int { return group.Toy64().Q() }
+
+func TestNewRandomDegreeAndRange(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(1)
+	p, err := NewRandom(q, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degree() != 5 {
+		t.Fatalf("Degree = %d, want 5", p.Degree())
+	}
+	for i := 0; i <= 5; i++ {
+		c := p.Coeff(i)
+		if c.Sign() < 0 || c.Cmp(q) >= 0 {
+			t.Fatalf("coefficient %d out of range: %v", i, c)
+		}
+	}
+}
+
+func TestNewRandomRejectsNegativeDegree(t *testing.T) {
+	if _, err := NewRandom(testQ(), -1, randutil.NewReader(1)); err == nil {
+		t.Error("NewRandom(-1) succeeded")
+	}
+	if _, err := NewRandomSymmetric(testQ(), big.NewInt(1), -1, randutil.NewReader(1)); err == nil {
+		t.Error("NewRandomSymmetric(-1) succeeded")
+	}
+}
+
+func TestNewRandomWithConstant(t *testing.T) {
+	q := testQ()
+	s := big.NewInt(12345)
+	p, err := NewRandomWithConstant(q, s, 3, randutil.NewReader(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Secret().Cmp(s) != 0 {
+		t.Fatalf("Secret = %v, want %v", p.Secret(), s)
+	}
+	if p.EvalInt(0).Cmp(s) != 0 {
+		t.Fatalf("p(0) = %v, want %v", p.EvalInt(0), s)
+	}
+}
+
+func TestFromCoeffsAndEval(t *testing.T) {
+	q := big.NewInt(97)
+	// p(y) = 3 + 2y + y^2 mod 97
+	p, err := FromCoeffs(q, []*big.Int{big.NewInt(3), big.NewInt(2), big.NewInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    int64
+		want int64
+	}{
+		{x: 0, want: 3},
+		{x: 1, want: 6},
+		{x: 2, want: 11},
+		{x: 10, want: (3 + 20 + 100) % 97},
+	}
+	for _, tt := range tests {
+		if got := p.EvalInt(tt.x); got.Int64() != tt.want {
+			t.Errorf("p(%d) = %v, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestFromCoeffsRejects(t *testing.T) {
+	q := big.NewInt(97)
+	if _, err := FromCoeffs(q, nil); err == nil {
+		t.Error("FromCoeffs(empty) succeeded")
+	}
+	if _, err := FromCoeffs(q, []*big.Int{nil}); err == nil {
+		t.Error("FromCoeffs(nil coeff) succeeded")
+	}
+}
+
+func TestAddAndScalarMul(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(3)
+	a, _ := NewRandom(q, 4, r)
+	b, _ := NewRandom(q, 4, r)
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(0); x < 10; x++ {
+		want := new(big.Int).Add(a.EvalInt(x), b.EvalInt(x))
+		want.Mod(want, q)
+		if got := sum.EvalInt(x); got.Cmp(want) != 0 {
+			t.Fatalf("(a+b)(%d) = %v, want %v", x, got, want)
+		}
+	}
+	c := big.NewInt(7)
+	scaled := a.ScalarMul(c)
+	for x := int64(0); x < 10; x++ {
+		want := new(big.Int).Mul(a.EvalInt(x), c)
+		want.Mod(want, q)
+		if got := scaled.EvalInt(x); got.Cmp(want) != 0 {
+			t.Fatalf("(7a)(%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestAddMismatch(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(4)
+	a, _ := NewRandom(q, 4, r)
+	b, _ := NewRandom(q, 3, r)
+	if _, err := a.Add(b); err == nil {
+		t.Error("Add with degree mismatch succeeded")
+	}
+	c, _ := NewRandom(big.NewInt(97), 4, r)
+	if _, err := a.Add(c); err == nil {
+		t.Error("Add with modulus mismatch succeeded")
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(5)
+	a, _ := NewRandom(q, 4, r)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+	c, _ := NewRandom(q, 4, r)
+	if a.Equal(c) {
+		t.Error("random polynomials equal")
+	}
+}
+
+func TestSymmetricBivariate(t *testing.T) {
+	q := testQ()
+	s := big.NewInt(424242)
+	b, err := NewRandomSymmetric(q, s, 4, randutil.NewReader(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsSymmetric() {
+		t.Fatal("not symmetric")
+	}
+	if b.Secret().Cmp(new(big.Int).Mod(s, q)) != 0 {
+		t.Fatalf("Secret = %v", b.Secret())
+	}
+	if b.T() != 4 {
+		t.Fatalf("T = %d", b.T())
+	}
+	// f(m, i) == f(i, m) — the cross-verification identity.
+	for i := int64(1); i <= 6; i++ {
+		for m := int64(1); m <= 6; m++ {
+			if b.Eval(i, m).Cmp(b.Eval(m, i)) != 0 {
+				t.Fatalf("f(%d,%d) != f(%d,%d)", i, m, m, i)
+			}
+		}
+	}
+	// Row(i) evaluated at j equals Coeff-based evaluation.
+	row3 := b.Row(3)
+	for y := int64(0); y < 8; y++ {
+		if row3.EvalInt(y).Cmp(b.Eval(3, y)) != 0 {
+			t.Fatalf("Row(3)(%d) mismatch", y)
+		}
+	}
+	// Shares interpolate to the secret: f(i,0) for t+1 nodes.
+	pts := make([]Point, 0, 5)
+	for i := int64(1); i <= 5; i++ {
+		pts = append(pts, Point{X: i, Y: b.Eval(i, 0)})
+	}
+	got, err := Interpolate(q, pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(b.Secret()) != 0 {
+		t.Fatalf("interpolated secret %v, want %v", got, b.Secret())
+	}
+}
+
+func TestLagrangeCoeffs(t *testing.T) {
+	q := big.NewInt(97)
+	// f(x) = 5 + 3x over F_97; points at 1, 2.
+	lambda, err := LagrangeCoeffsAt(q, []int64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x int64) *big.Int { return big.NewInt((5 + 3*x) % 97) }
+	acc := new(big.Int)
+	acc.Add(acc, new(big.Int).Mul(lambda[0], f(1)))
+	acc.Add(acc, new(big.Int).Mul(lambda[1], f(2)))
+	acc.Mod(acc, q)
+	if acc.Int64() != 5 {
+		t.Fatalf("Σ λ_i f(i) = %v, want 5", acc)
+	}
+}
+
+func TestLagrangeErrors(t *testing.T) {
+	q := big.NewInt(97)
+	if _, err := LagrangeCoeffsAt(q, nil, 0); err == nil {
+		t.Error("empty index list accepted")
+	}
+	if _, err := LagrangeCoeffsAt(q, []int64{1, 1}, 0); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := Interpolate(q, []Point{{X: 1, Y: nil}}, 0); err == nil {
+		t.Error("nil Y accepted")
+	}
+	if _, err := InterpolatePoly(q, nil); err == nil {
+		t.Error("InterpolatePoly(empty) accepted")
+	}
+	if _, err := InterpolatePoly(q, []Point{{X: 1, Y: big.NewInt(1)}, {X: 1, Y: big.NewInt(2)}}); err == nil {
+		t.Error("InterpolatePoly(duplicate) accepted")
+	}
+}
+
+// TestInterpolateRoundTrip: evaluating a random polynomial at t+1
+// points and interpolating at a fresh index agrees with direct
+// evaluation. This is the core share-reconstruction invariant.
+func TestInterpolateRoundTrip(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(7)
+	for trial := 0; trial < 30; trial++ {
+		deg := 1 + r.IntN(8)
+		p, err := NewRandom(q, deg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := make([]Point, deg+1)
+		for i := range pts {
+			x := int64(i + 1)
+			pts[i] = Point{X: x, Y: p.EvalInt(x)}
+		}
+		for _, at := range []int64{0, int64(deg) + 2, 77} {
+			got, err := Interpolate(q, pts, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(p.EvalInt(at)) != 0 {
+				t.Fatalf("deg %d at %d: interpolation mismatch", deg, at)
+			}
+		}
+	}
+}
+
+// TestInterpolatePolyRoundTrip: recovering the full coefficient vector
+// from evaluations reproduces the original polynomial.
+func TestInterpolatePolyRoundTrip(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(8)
+	for trial := 0; trial < 30; trial++ {
+		deg := r.IntN(9)
+		p, err := NewRandom(q, deg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := make([]Point, deg+1)
+		perm := r.Perm(deg + 1) // points in random order
+		for i, k := range perm {
+			x := int64(k + 1)
+			pts[i] = Point{X: x, Y: p.EvalInt(x)}
+		}
+		got, err := InterpolatePoly(q, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("deg %d: recovered polynomial differs", deg)
+		}
+	}
+}
+
+// TestQuickShareAdditivity property-tests the DKG share-summation
+// invariant: shares of f and g sum to shares of f+g, and the summed
+// shares interpolate to the summed secret.
+func TestQuickShareAdditivity(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(9)
+	f := func(seed uint32) bool {
+		deg := 2 + int(seed%4)
+		a, err := NewRandom(q, deg, r)
+		if err != nil {
+			return false
+		}
+		b, err := NewRandom(q, deg, r)
+		if err != nil {
+			return false
+		}
+		sum, err := a.Add(b)
+		if err != nil {
+			return false
+		}
+		pts := make([]Point, deg+1)
+		for i := range pts {
+			x := int64(i + 1)
+			y := new(big.Int).Add(a.EvalInt(x), b.EvalInt(x))
+			y.Mod(y, q)
+			pts[i] = Point{X: x, Y: y}
+		}
+		got, err := Interpolate(q, pts, 0)
+		if err != nil {
+			return false
+		}
+		return got.Cmp(sum.Secret()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSymmetry property-tests that rows of a symmetric bivariate
+// polynomial satisfy a_i(m) == a_m(i) for arbitrary indices.
+func TestQuickSymmetry(t *testing.T) {
+	q := testQ()
+	r := randutil.NewReader(10)
+	b, err := NewRandomSymmetric(q, big.NewInt(99), 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(iRaw, mRaw uint16) bool {
+		i := int64(iRaw%64) + 1
+		m := int64(mRaw%64) + 1
+		return b.Row(i).EvalInt(m).Cmp(b.Row(m).EvalInt(i)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoeffsCopySemantics(t *testing.T) {
+	q := big.NewInt(97)
+	p, _ := FromCoeffs(q, []*big.Int{big.NewInt(1), big.NewInt(2)})
+	cs := p.Coeffs()
+	cs[0].SetInt64(55)
+	if p.Coeff(0).Int64() != 1 {
+		t.Error("Coeffs() exposed internal state")
+	}
+	c := p.Coeff(1)
+	c.SetInt64(99)
+	if p.Coeff(1).Int64() != 2 {
+		t.Error("Coeff() exposed internal state")
+	}
+}

@@ -1,0 +1,376 @@
+// Package proactive implements the share renewal and share recovery
+// protocols of Kate & Goldberg §5: at each phase boundary every node
+// reshares its current share through a fresh extended-HybridVSS
+// dealing, the cluster agrees on a set Q of t+1 valid resharings via
+// the DKG machinery, and new shares are obtained by Lagrange-
+// interpolating the subshares at index 0. The new sharing is
+// independent of the old one except that it interpolates to the same
+// secret, so a mobile adversary's t old shares become useless.
+//
+// Phase discipline follows §5.1: local clock ticks define local
+// phases; a node broadcasts its tick and waits for t+1 identical
+// ticks before processing the renewal; old shares and the dealing
+// polynomials are erased as soon as resharing starts (safety over
+// liveness, no phase overlap).
+package proactive
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/vss"
+)
+
+// Errors returned by the proactive layer.
+var (
+	ErrBadConfig  = errors.New("proactive: invalid configuration")
+	ErrNoShare    = errors.New("proactive: no share held (renewal in progress or never completed)")
+	ErrStalePhase = errors.New("proactive: phase already passed")
+)
+
+// ClockTickMsg announces a node's local clock tick for a phase.
+type ClockTickMsg struct {
+	Phase uint64
+}
+
+var _ msg.Body = (*ClockTickMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *ClockTickMsg) MsgType() msg.Type { return msg.TClockTick }
+
+// MarshalBinary implements msg.Body.
+func (m *ClockTickMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(8)
+	w.U64(m.Phase)
+	return w.Bytes(), nil
+}
+
+// RegisterCodec installs the clock-tick decoder.
+func RegisterCodec(c *msg.Codec) error {
+	return c.Register(msg.TClockTick, func(data []byte) (msg.Body, error) {
+		r := msg.NewReader(data)
+		out := &ClockTickMsg{Phase: r.U64()}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
+
+// RenewedEvent reports a completed share renewal.
+type RenewedEvent struct {
+	Phase     uint64
+	Share     *big.Int
+	V         *commit.Vector
+	PublicKey *big.Int
+}
+
+// Config configures a proactive engine. The embedded dkg.Params are
+// reused for every renewal session.
+type Config struct {
+	DKG dkg.Params
+	// Rand supplies dealing randomness for resharings.
+	Rand io.Reader
+	// PrevIndexOf maps a dealer's current index to the index its
+	// held share corresponds to in the previous sharing. It is the
+	// identity for ordinary renewals and non-trivial right after a
+	// group modification renumbered the members (groupmod.Change).
+	// Nil means identity.
+	PrevIndexOf func(dealer msg.NodeID) int64
+}
+
+func (c Config) prevIndex(d msg.NodeID) int64 {
+	if c.PrevIndexOf == nil {
+		return int64(d)
+	}
+	return c.PrevIndexOf(d)
+}
+
+// Engine drives proactive share renewal for one node across phases.
+// It owns the node's current share and vector commitment, creates one
+// renewal DKG per phase, and enforces the clock-tick gate.
+type Engine struct {
+	cfg     Config
+	self    msg.NodeID
+	runtime dkg.Runtime
+
+	onRenewed func(RenewedEvent)
+
+	phase uint64 // current completed phase
+	share *big.Int
+	vec   *commit.Vector
+
+	renewal      *dkg.Node // active renewal session (tau = target phase)
+	renewalPhase uint64
+	dealt        bool
+
+	ticks    map[uint64]map[msg.NodeID]bool
+	buffered map[uint64][]bufferedMsg
+}
+
+type bufferedMsg struct {
+	from msg.NodeID
+	body msg.Body
+}
+
+// NewEngine creates the engine holding the node's phase-0 state (the
+// share and vector commitment produced by the initial DKG).
+func NewEngine(cfg Config, self msg.NodeID, runtime dkg.Runtime, share *big.Int, vec *commit.Vector, onRenewed func(RenewedEvent)) (*Engine, error) {
+	if err := cfg.DKG.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("%w: nil randomness source", ErrBadConfig)
+	}
+	if share == nil || vec == nil {
+		return nil, fmt.Errorf("%w: nil initial share or commitment", ErrBadConfig)
+	}
+	if runtime == nil {
+		return nil, fmt.Errorf("%w: nil runtime", ErrBadConfig)
+	}
+	return &Engine{
+		cfg:       cfg,
+		self:      self,
+		runtime:   runtime,
+		onRenewed: onRenewed,
+		share:     new(big.Int).Set(share),
+		vec:       vec,
+		ticks:     make(map[uint64]map[msg.NodeID]bool),
+		buffered:  make(map[uint64][]bufferedMsg),
+	}, nil
+}
+
+// Phase returns the last completed phase.
+func (e *Engine) Phase() uint64 { return e.phase }
+
+// Share returns the current share, or nil while a renewal is in
+// flight (the old share is erased at renewal start, §5.1).
+func (e *Engine) Share() *big.Int {
+	if e.share == nil {
+		return nil
+	}
+	return new(big.Int).Set(e.share)
+}
+
+// Commitment returns the current vector commitment.
+func (e *Engine) Commitment() *commit.Vector { return e.vec }
+
+// Renewing reports whether a renewal is in flight.
+func (e *Engine) Renewing() bool { return e.renewal != nil && !e.renewal.Done() }
+
+// Tick is the operator's local clock tick: announce the next phase to
+// everyone (including ourselves; the t+1 gate counts our own tick).
+func (e *Engine) Tick() error {
+	target := e.phase + 1
+	if e.renewal != nil && e.renewalPhase >= target {
+		return nil // already renewing this phase
+	}
+	tick := &ClockTickMsg{Phase: target}
+	for j := 1; j <= e.cfg.DKG.N; j++ {
+		e.runtime.Send(msg.NodeID(j), tick)
+	}
+	return nil
+}
+
+// HandleMessage consumes clock ticks and renewal-session traffic.
+func (e *Engine) HandleMessage(from msg.NodeID, body msg.Body) {
+	if tick, ok := body.(*ClockTickMsg); ok {
+		e.handleTick(from, tick)
+		return
+	}
+	phase, ok := sessionPhase(body)
+	if !ok {
+		return
+	}
+	switch {
+	case e.renewal != nil && phase == e.renewalPhase:
+		e.renewal.Handle(from, body)
+	case phase > e.phase:
+		// Renewal traffic for a phase we have not started (our clock
+		// is behind): buffer and replay at start.
+		e.buffered[phase] = append(e.buffered[phase], bufferedMsg{from: from, body: body})
+	}
+}
+
+// HandleTimer forwards view timers to the active renewal.
+func (e *Engine) HandleTimer(id uint64) {
+	if e.renewal != nil {
+		e.renewal.HandleTimer(id)
+	}
+}
+
+// HandleRecover forwards the operator recover signal (§5.3 share
+// recovery: the help/retransmission machinery restores the session).
+func (e *Engine) HandleRecover() {
+	if e.renewal != nil {
+		e.renewal.HandleRecover()
+	}
+}
+
+// handleTick records a tick and starts the renewal at t+1 identical
+// ticks (§5.1).
+func (e *Engine) handleTick(from msg.NodeID, tick *ClockTickMsg) {
+	if tick.Phase <= e.phase {
+		return
+	}
+	if from < 1 || int(from) > e.cfg.DKG.N {
+		return
+	}
+	set := e.ticks[tick.Phase]
+	if set == nil {
+		set = make(map[msg.NodeID]bool)
+		e.ticks[tick.Phase] = set
+	}
+	if set[from] {
+		return
+	}
+	set[from] = true
+	if len(set) >= e.cfg.DKG.T+1 && (e.renewal == nil || e.renewalPhase < tick.Phase) {
+		e.startRenewal(tick.Phase)
+	}
+}
+
+// startRenewal begins resharing for the target phase: erase the old
+// share, create the renewal DKG with the Lagrange combiner and the
+// constant-term linkage validation, deal, and replay buffered traffic.
+func (e *Engine) startRenewal(target uint64) {
+	if e.share == nil {
+		// We lost our share (e.g. freshly recovered) — we cannot deal,
+		// but we still participate in everyone else's resharing.
+	}
+	prevVec := e.vec
+	node, err := dkg.NewNode(e.cfg.DKG, target, e.self, e.runtime, dkg.Options{
+		ShareSource: e.share,
+		ValidateDealing: func(ev vss.SharedEvent) bool {
+			// Modification check (§5.2): the resharing's constant
+			// term must equal the dealer's previous share commitment
+			// g^{s_d}, evaluated at the dealer's previous index.
+			return ev.C.PublicKey().Cmp(prevVec.Eval(e.cfg.prevIndex(ev.Session.Dealer))) == 0
+		},
+		Combine: LagrangeCombiner(e.cfg.DKG.Group, prevVec, e.cfg.PrevIndexOf),
+		OnCompleted: func(ev dkg.CompletedEvent) {
+			e.finishRenewal(ev)
+		},
+	})
+	if err != nil {
+		return
+	}
+	e.renewal = node
+	e.renewalPhase = target
+	canDeal := e.share != nil
+	// Erase the old share before any renewal message is sent: no
+	// phase overlap (§5.1).
+	e.share = nil
+	if canDeal {
+		if err := node.Start(e.cfg.Rand); err == nil {
+			// Redact dealing polynomials from the retransmission log
+			// (§5.2: retransmitted sends carry only commitments).
+			node.VSSNode(e.self).EraseDealingSecrets()
+		}
+	}
+	buf := e.buffered[target]
+	delete(e.buffered, target)
+	for _, bm := range buf {
+		node.Handle(bm.from, bm.body)
+	}
+}
+
+// finishRenewal installs the renewed share.
+func (e *Engine) finishRenewal(ev dkg.CompletedEvent) {
+	e.phase = ev.Tau
+	e.share = new(big.Int).Set(ev.Share)
+	e.vec = ev.V
+	for p := range e.ticks {
+		if p <= e.phase {
+			delete(e.ticks, p)
+		}
+	}
+	if e.onRenewed != nil {
+		e.onRenewed(RenewedEvent{
+			Phase:     ev.Tau,
+			Share:     new(big.Int).Set(ev.Share),
+			V:         ev.V,
+			PublicKey: ev.PublicKey,
+		})
+	}
+}
+
+// LagrangeCombiner implements the §5.2 combination: the renewed share
+// is Σ_d λ_d·s_{i,d} for Lagrange-at-0 coefficients over Q, and the
+// commitment is V_ℓ = Π_d ((C_d)_{ℓ0})^{λ_d}. The λ coefficients are
+// computed against the dealers' *previous* indices (prevIndexOf, nil
+// = identity) because the reshared constant terms are shares of the
+// previous sharing polynomial. It also insists the renewed public key
+// matches the previous one.
+func LagrangeCombiner(gr interface {
+	Q() *big.Int
+}, prevVec *commit.Vector, prevIndexOf func(msg.NodeID) int64) dkg.Combiner {
+	return func(_ msg.NodeID, q []msg.NodeID, events map[msg.NodeID]vss.SharedEvent) (dkg.CombineResult, error) {
+		indices := make([]int64, len(q))
+		for i, d := range q {
+			if prevIndexOf != nil {
+				indices[i] = prevIndexOf(d)
+			} else {
+				indices[i] = int64(d)
+			}
+		}
+		lambdas, err := poly.LagrangeCoeffsAt(gr.Q(), indices, 0)
+		if err != nil {
+			return dkg.CombineResult{}, err
+		}
+		share := new(big.Int)
+		mats := make([]*commit.Matrix, len(q))
+		for i, d := range q {
+			ev, ok := events[d]
+			if !ok {
+				return dkg.CombineResult{}, fmt.Errorf("proactive: missing sharing for dealer %d", d)
+			}
+			share.Add(share, new(big.Int).Mul(lambdas[i], ev.Share))
+			mats[i] = ev.C
+		}
+		share.Mod(share, gr.Q())
+		vec, err := commit.CombineColumn0(mats, lambdas)
+		if err != nil {
+			return dkg.CombineResult{}, err
+		}
+		if prevVec != nil && vec.PublicKey().Cmp(prevVec.PublicKey()) != 0 {
+			return dkg.CombineResult{}, errors.New("proactive: renewal changed the public key")
+		}
+		return dkg.CombineResult{Share: share, V: vec}, nil
+	}
+}
+
+// sessionPhase extracts the session counter (phase) from renewal
+// traffic.
+func sessionPhase(body msg.Body) (uint64, bool) {
+	switch m := body.(type) {
+	case *vss.SendMsg:
+		return m.Session.Tau, true
+	case *vss.EchoMsg:
+		return m.Session.Tau, true
+	case *vss.ReadyMsg:
+		return m.Session.Tau, true
+	case *vss.HelpMsg:
+		return m.Session.Tau, true
+	case *vss.RecShareMsg:
+		return m.Session.Tau, true
+	case *dkg.SendMsg:
+		return m.Tau, true
+	case *dkg.EchoMsg:
+		return m.Tau, true
+	case *dkg.ReadyMsg:
+		return m.Tau, true
+	case *dkg.LeadChMsg:
+		return m.Tau, true
+	case *dkg.HelpMsg:
+		return m.Tau, true
+	default:
+		return 0, false
+	}
+}

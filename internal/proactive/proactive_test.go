@@ -1,0 +1,298 @@
+package proactive_test
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/proactive"
+)
+
+// interpolateSecret recovers the secret from the given (id, share)
+// points (test oracle).
+func interpolateSecret(t *testing.T, gr *group.Group, shares map[msg.NodeID]*big.Int, tt int) *big.Int {
+	t.Helper()
+	pts := make([]poly.Point, 0, tt+1)
+	for id, s := range shares {
+		pts = append(pts, poly.Point{X: int64(id), Y: s})
+		if len(pts) == tt+1 {
+			break
+		}
+	}
+	secret, err := poly.Interpolate(gr.Q(), pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return secret
+}
+
+// TestSingleRenewal is the §5.2 conformance test: one renewal phase
+// preserves the secret and public key while replacing every share
+// with a fresh, valid one.
+func TestSingleRenewal(t *testing.T) {
+	const n, tt = 7, 2
+	gr := group.Test256()
+	pres, err := harness.SetupProactive(harness.DKGOptions{N: n, T: tt, Seed: 21, Group: gr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldShares := make(map[msg.NodeID]*big.Int, n)
+	for id, eng := range pres.Engines {
+		oldShares[id] = eng.Share()
+	}
+	oldSecret := interpolateSecret(t, gr, oldShares, tt)
+	oldPK := pres.DKG.Completed[1].PublicKey
+
+	if !pres.RunPhase(1, 0) {
+		t.Fatal("renewal phase did not complete")
+	}
+	newShares := make(map[msg.NodeID]*big.Int, n)
+	for id, eng := range pres.Engines {
+		if eng.Phase() != 1 {
+			t.Fatalf("node %d still in phase %d", id, eng.Phase())
+		}
+		s := eng.Share()
+		if s == nil {
+			t.Fatalf("node %d has no share after renewal", id)
+		}
+		newShares[id] = s
+		// Fresh share must verify against the renewed commitment.
+		if !eng.Commitment().VerifyShare(int64(id), s) {
+			t.Fatalf("node %d renewed share invalid", id)
+		}
+		// And must differ from the old share (statistically certain).
+		if s.Cmp(oldShares[id]) == 0 {
+			t.Fatalf("node %d share did not change", id)
+		}
+		if eng.Commitment().PublicKey().Cmp(oldPK) != 0 {
+			t.Fatalf("node %d public key changed", id)
+		}
+		if len(pres.Renewed[id]) != 1 {
+			t.Fatalf("node %d renewal events: %d", id, len(pres.Renewed[id]))
+		}
+	}
+	newSecret := interpolateSecret(t, gr, newShares, tt)
+	if newSecret.Cmp(oldSecret) != 0 {
+		t.Fatalf("secret changed: %v -> %v", oldSecret, newSecret)
+	}
+}
+
+// TestShareIndependenceAcrossPhases: mixing t shares from the old
+// phase with new-phase shares interpolates to garbage — the renewed
+// sharing is independent of the old one (mobile-adversary defence).
+func TestShareIndependenceAcrossPhases(t *testing.T) {
+	const n, tt = 7, 2
+	gr := group.Test256()
+	pres, err := harness.SetupProactive(harness.DKGOptions{N: n, T: tt, Seed: 22, Group: gr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldShares := make(map[msg.NodeID]*big.Int, n)
+	for id, eng := range pres.Engines {
+		oldShares[id] = eng.Share()
+	}
+	secret := interpolateSecret(t, gr, oldShares, tt)
+	if !pres.RunPhase(1, 0) {
+		t.Fatal("renewal did not complete")
+	}
+	// Adversary: t old shares (nodes 1,2) + one new share (node 3).
+	pts := []poly.Point{
+		{X: 1, Y: oldShares[1]},
+		{X: 2, Y: oldShares[2]},
+		{X: 3, Y: pres.Engines[3].Share()},
+	}
+	mixed, err := poly.Interpolate(gr.Q(), pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Cmp(secret) == 0 {
+		t.Fatal("mixed-phase shares reconstructed the secret: sharings are not independent")
+	}
+}
+
+// TestMultiplePhases: three consecutive renewals all preserve the
+// secret.
+func TestMultiplePhases(t *testing.T) {
+	const n, tt = 7, 2
+	gr := group.Test256()
+	pres, err := harness.SetupProactive(harness.DKGOptions{N: n, T: tt, Seed: 23, Group: gr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := make(map[msg.NodeID]*big.Int, n)
+	for id, eng := range pres.Engines {
+		shares[id] = eng.Share()
+	}
+	want := interpolateSecret(t, gr, shares, tt)
+	for phase := uint64(1); phase <= 3; phase++ {
+		if !pres.RunPhase(phase, 0) {
+			t.Fatalf("phase %d did not complete", phase)
+		}
+		got := make(map[msg.NodeID]*big.Int, n)
+		for id, eng := range pres.Engines {
+			got[id] = eng.Share()
+		}
+		if s := interpolateSecret(t, gr, got, tt); s.Cmp(want) != 0 {
+			t.Fatalf("phase %d changed the secret", phase)
+		}
+	}
+}
+
+// TestByzantineReshareExcluded: a node resharing a corrupted value is
+// excluded from Q by the constant-term linkage check, and the renewal
+// still completes with the right key.
+func TestByzantineReshareExcluded(t *testing.T) {
+	const n, tt = 7, 2
+	gr := group.Test256()
+	pres, err := harness.SetupProactive(
+		harness.DKGOptions{N: n, T: tt, Seed: 24, Group: gr},
+		map[msg.NodeID]*big.Int{2: big.NewInt(1)}, // node 2 reshares share+1
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldShares := make(map[msg.NodeID]*big.Int, n)
+	for id, eng := range pres.Engines {
+		oldShares[id] = eng.Share()
+	}
+	// Node 2's "real" old share was share+1 of the true polynomial, so
+	// compute the true secret from other nodes.
+	delete(oldShares, 2)
+	secret := interpolateSecret(t, gr, oldShares, tt)
+	oldPK := pres.DKG.Completed[1].PublicKey
+
+	if !pres.RunPhase(1, 0) {
+		t.Fatal("renewal did not complete despite honest majority")
+	}
+	newShares := make(map[msg.NodeID]*big.Int, n)
+	for id, eng := range pres.Engines {
+		if id == 2 {
+			continue
+		}
+		newShares[id] = eng.Share()
+		if eng.Commitment().PublicKey().Cmp(oldPK) != 0 {
+			t.Fatalf("node %d public key changed", id)
+		}
+	}
+	if got := interpolateSecret(t, gr, newShares, tt); got.Cmp(secret) != 0 {
+		t.Fatal("secret changed after excluding Byzantine resharer")
+	}
+}
+
+// TestTickGate: a single tick (below t+1) must not start the renewal.
+func TestTickGate(t *testing.T) {
+	const n, tt = 7, 2
+	pres, err := harness.SetupProactive(harness.DKGOptions{N: n, T: tt, Seed: 25}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only node 1 ticks: its tick reaches everyone, but one tick < t+1.
+	if err := pres.Engines[1].Tick(); err != nil {
+		t.Fatal(err)
+	}
+	pres.DKG.Net.Run(0)
+	for id, eng := range pres.Engines {
+		if eng.Renewing() {
+			t.Fatalf("node %d started renewing on a single tick", id)
+		}
+		if eng.Phase() != 0 {
+			t.Fatalf("node %d advanced phase", id)
+		}
+	}
+	// t+1 = 3 ticks release the gate.
+	if err := pres.Engines[2].Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pres.Engines[3].Tick(); err != nil {
+		t.Fatal(err)
+	}
+	done := pres.DKG.Net.RunUntil(func() bool {
+		for _, eng := range pres.Engines {
+			if eng.Phase() < 1 {
+				return false
+			}
+		}
+		return true
+	}, 0)
+	if !done {
+		t.Fatal("renewal did not complete after t+1 ticks")
+	}
+}
+
+// TestShareErasedDuringRenewal: between renewal start and completion
+// the old share is unavailable (no phase overlap, §5.1).
+func TestShareErasedDuringRenewal(t *testing.T) {
+	const n, tt = 7, 2
+	pres, err := harness.SetupProactive(harness.DKGOptions{N: n, T: tt, Seed: 26}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range pres.Engines {
+		if err := eng.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Run just enough events for ticks to propagate and renewals to
+	// start, but not complete.
+	pres.DKG.Net.Run(60)
+	erasedSeen := false
+	for _, eng := range pres.Engines {
+		if eng.Renewing() && eng.Share() == nil {
+			erasedSeen = true
+		}
+	}
+	if !erasedSeen {
+		t.Skip("no node observed mid-renewal at this event budget")
+	}
+	pres.DKG.Net.Run(0)
+	for id, eng := range pres.Engines {
+		if eng.Share() == nil {
+			t.Fatalf("node %d share still nil after completion", id)
+		}
+	}
+}
+
+// TestCodecRoundTrip: clock-tick wire format.
+func TestCodecRoundTrip(t *testing.T) {
+	codec := msg.NewCodec()
+	if err := proactive.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	body := &proactive.ClockTickMsg{Phase: 42}
+	env, err := msg.Seal(1, 2, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(*proactive.ClockTickMsg).Phase != 42 {
+		t.Error("phase mismatch")
+	}
+	if _, err := codec.Decode(msg.TClockTick, []byte{1, 2}); err == nil {
+		t.Error("truncated tick decoded")
+	}
+}
+
+// TestStaleTicksIgnored: ticks for completed phases do nothing.
+func TestStaleTicksIgnored(t *testing.T) {
+	const n, tt = 4, 1
+	pres, err := harness.SetupProactive(harness.DKGOptions{N: n, T: tt, Seed: 27}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.RunPhase(1, 0) {
+		t.Fatal("phase 1 did not complete")
+	}
+	eng := pres.Engines[1]
+	eng.HandleMessage(2, &proactive.ClockTickMsg{Phase: 1}) // stale
+	eng.HandleMessage(3, &proactive.ClockTickMsg{Phase: 1})
+	eng.HandleMessage(4, &proactive.ClockTickMsg{Phase: 1})
+	if eng.Renewing() {
+		t.Error("stale ticks started a renewal")
+	}
+}

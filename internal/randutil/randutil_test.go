@@ -1,0 +1,70 @@
+package randutil
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	a, b := NewReader(42), NewReader(42)
+	bufA, bufB := make([]byte, 1024), make([]byte, 1024)
+	if _, err := a.Read(bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Error("same seed produced different streams")
+	}
+	c := NewReader(43)
+	bufC := make([]byte, 1024)
+	if _, err := c.Read(bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA, bufC) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestOddLengthReads(t *testing.T) {
+	r := NewReader(7)
+	for _, n := range []int{1, 3, 7, 9, 15, 17} {
+		buf := make([]byte, n)
+		got, err := r.Read(buf)
+		if err != nil || got != n {
+			t.Fatalf("Read(%d) = %d, %v", n, got, err)
+		}
+	}
+}
+
+func TestStructuralHelpers(t *testing.T) {
+	r := NewReader(9)
+	for i := 0; i < 100; i++ {
+		if v := r.IntN(10); v < 0 || v >= 10 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		if v := r.Int64N(1000); v < 0 || v >= 1000 {
+			t.Fatalf("Int64N out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+	perm := r.Perm(10)
+	seen := make(map[int]bool, 10)
+	for _, p := range perm {
+		if p < 0 || p >= 10 || seen[p] {
+			t.Fatalf("bad permutation %v", perm)
+		}
+		seen[p] = true
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	if len(vals) != 5 {
+		t.Fatal("shuffle changed length")
+	}
+	if r.Rand() == nil {
+		t.Fatal("nil underlying rand")
+	}
+}

@@ -1,0 +1,311 @@
+// Package rbc implements reliable broadcast in the paper's hybrid
+// fault model — Bracha's protocol with the echo threshold
+// ⌈(n+t+1)/2⌉ and completion quorum n−t−f of Kate & Goldberg, plus
+// the Backes–Cachin retransmission machinery for crash recovery. The
+// group-modification agreement of §6.1 runs proposals through this
+// primitive; it is also exercised standalone.
+package rbc
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"hybriddkg/internal/msg"
+)
+
+// Errors returned by the broadcast layer.
+var (
+	ErrBadParams    = errors.New("rbc: invalid parameters")
+	ErrNotSender    = errors.New("rbc: broadcast input on a non-broadcaster node")
+	ErrAlreadySent  = errors.New("rbc: broadcaster already started")
+	ErrEmptyPayload = errors.New("rbc: empty payload")
+)
+
+// SessionID identifies a broadcast instance: the broadcaster plus a
+// caller-chosen tag.
+type SessionID struct {
+	Broadcaster msg.NodeID
+	Tag         uint64
+}
+
+// String implements fmt.Stringer.
+func (s SessionID) String() string { return fmt.Sprintf("rbc(P%d,%d)", s.Broadcaster, s.Tag) }
+
+func (s SessionID) encode(w *msg.Writer) {
+	w.Node(s.Broadcaster)
+	w.U64(s.Tag)
+}
+
+func decodeSession(r *msg.Reader) SessionID {
+	return SessionID{Broadcaster: r.Node(), Tag: r.U64()}
+}
+
+// SendMsg carries the broadcaster's value.
+type SendMsg struct {
+	Session SessionID
+	Payload []byte
+}
+
+var _ msg.Body = (*SendMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *SendMsg) MsgType() msg.Type { return msg.TRBCSend }
+
+// MarshalBinary implements msg.Body.
+func (m *SendMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(32 + len(m.Payload))
+	m.Session.encode(w)
+	w.Blob(m.Payload)
+	return w.Bytes(), nil
+}
+
+// EchoMsg echoes the value (full payload so late nodes can learn it).
+type EchoMsg struct {
+	Session SessionID
+	Payload []byte
+}
+
+var _ msg.Body = (*EchoMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *EchoMsg) MsgType() msg.Type { return msg.TRBCEcho }
+
+// MarshalBinary implements msg.Body.
+func (m *EchoMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(32 + len(m.Payload))
+	m.Session.encode(w)
+	w.Blob(m.Payload)
+	return w.Bytes(), nil
+}
+
+// ReadyMsg amplifies and completes the broadcast.
+type ReadyMsg struct {
+	Session SessionID
+	Payload []byte
+}
+
+var _ msg.Body = (*ReadyMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *ReadyMsg) MsgType() msg.Type { return msg.TRBCReady }
+
+// MarshalBinary implements msg.Body.
+func (m *ReadyMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(32 + len(m.Payload))
+	m.Session.encode(w)
+	w.Blob(m.Payload)
+	return w.Bytes(), nil
+}
+
+// RegisterCodec installs decoders for RBC messages.
+func RegisterCodec(c *msg.Codec) error {
+	dec := func(mk func(SessionID, []byte) msg.Body) msg.Decoder {
+		return func(data []byte) (msg.Body, error) {
+			r := msg.NewReader(data)
+			session := decodeSession(r)
+			payload := r.Blob()
+			if err := r.Done(); err != nil {
+				return nil, err
+			}
+			return mk(session, payload), nil
+		}
+	}
+	if err := c.Register(msg.TRBCSend, dec(func(s SessionID, p []byte) msg.Body {
+		return &SendMsg{Session: s, Payload: p}
+	})); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TRBCEcho, dec(func(s SessionID, p []byte) msg.Body {
+		return &EchoMsg{Session: s, Payload: p}
+	})); err != nil {
+		return err
+	}
+	return c.Register(msg.TRBCReady, dec(func(s SessionID, p []byte) msg.Body {
+		return &ReadyMsg{Session: s, Payload: p}
+	}))
+}
+
+// Params configures a broadcast endpoint.
+type Params struct {
+	N, T, F int
+}
+
+// EchoThreshold returns ⌈(n+t+1)/2⌉.
+func (p Params) EchoThreshold() int { return (p.N + p.T + 2) / 2 }
+
+// ReadyThreshold returns n − t − f.
+func (p Params) ReadyThreshold() int { return p.N - p.T - p.F }
+
+// Validate checks the resilience bound.
+func (p Params) Validate() error {
+	if p.N <= 0 || p.T < 0 || p.F < 0 || p.N < 3*p.T+2*p.F+1 {
+		return fmt.Errorf("%w: n=%d t=%d f=%d", ErrBadParams, p.N, p.T, p.F)
+	}
+	return nil
+}
+
+// Sender is the outgoing network interface.
+type Sender interface {
+	Send(to msg.NodeID, body msg.Body)
+}
+
+// payloadState tracks quorums for one payload hash.
+type payloadState struct {
+	payload    []byte
+	echoCount  int
+	readyCount int
+}
+
+// Node is one endpoint of a single broadcast session.
+type Node struct {
+	params    Params
+	session   SessionID
+	self      msg.NodeID
+	sender    Sender
+	onDeliver func(SessionID, []byte)
+
+	sent         bool // broadcaster dispatched its send
+	sendSeen     bool
+	echoSeen     map[msg.NodeID]bool
+	readySeen    map[msg.NodeID]bool
+	states       map[[32]byte]*payloadState
+	sentEcho     bool
+	sentReady    bool
+	delivered    bool
+	deliveredVal []byte
+}
+
+// NewNode creates a broadcast endpoint.
+func NewNode(params Params, session SessionID, self msg.NodeID, sender Sender, onDeliver func(SessionID, []byte)) (*Node, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if self < 1 || int(self) > params.N {
+		return nil, fmt.Errorf("%w: self %d", ErrBadParams, self)
+	}
+	if session.Broadcaster < 1 || int(session.Broadcaster) > params.N {
+		return nil, fmt.Errorf("%w: broadcaster %d", ErrBadParams, session.Broadcaster)
+	}
+	if sender == nil {
+		return nil, fmt.Errorf("%w: nil sender", ErrBadParams)
+	}
+	return &Node{
+		params:    params,
+		session:   session,
+		self:      self,
+		sender:    sender,
+		onDeliver: onDeliver,
+		echoSeen:  make(map[msg.NodeID]bool, params.N),
+		readySeen: make(map[msg.NodeID]bool, params.N),
+		states:    make(map[[32]byte]*payloadState),
+	}, nil
+}
+
+// Delivered reports completion; value is nil until then.
+func (nd *Node) Delivered() ([]byte, bool) { return nd.deliveredVal, nd.delivered }
+
+// Broadcast is the broadcaster's input.
+func (nd *Node) Broadcast(payload []byte) error {
+	if nd.self != nd.session.Broadcaster {
+		return ErrNotSender
+	}
+	if nd.sent {
+		return ErrAlreadySent
+	}
+	if len(payload) == 0 {
+		return ErrEmptyPayload
+	}
+	nd.sent = true
+	for j := 1; j <= nd.params.N; j++ {
+		nd.sender.Send(msg.NodeID(j), &SendMsg{Session: nd.session, Payload: payload})
+	}
+	return nil
+}
+
+// Handle processes one network message.
+func (nd *Node) Handle(from msg.NodeID, body msg.Body) {
+	switch m := body.(type) {
+	case *SendMsg:
+		nd.handleSend(from, m)
+	case *EchoMsg:
+		nd.handleEcho(from, m)
+	case *ReadyMsg:
+		nd.handleReady(from, m)
+	}
+}
+
+func (nd *Node) handleSend(from msg.NodeID, m *SendMsg) {
+	if m.Session != nd.session || from != nd.session.Broadcaster || nd.sendSeen {
+		return
+	}
+	if len(m.Payload) == 0 {
+		return
+	}
+	nd.sendSeen = true
+	if nd.sentEcho {
+		return
+	}
+	nd.sentEcho = true
+	for j := 1; j <= nd.params.N; j++ {
+		nd.sender.Send(msg.NodeID(j), &EchoMsg{Session: nd.session, Payload: m.Payload})
+	}
+}
+
+func (nd *Node) handleEcho(from msg.NodeID, m *EchoMsg) {
+	if m.Session != nd.session || nd.echoSeen[from] || len(m.Payload) == 0 {
+		return
+	}
+	nd.echoSeen[from] = true
+	st := nd.state(m.Payload)
+	st.echoCount++
+	if st.echoCount == nd.params.EchoThreshold() && st.readyCount < nd.params.T+1 {
+		nd.sendReady(st)
+	}
+}
+
+func (nd *Node) handleReady(from msg.NodeID, m *ReadyMsg) {
+	if m.Session != nd.session || nd.readySeen[from] || len(m.Payload) == 0 {
+		return
+	}
+	nd.readySeen[from] = true
+	st := nd.state(m.Payload)
+	st.readyCount++
+	switch {
+	case st.readyCount == nd.params.T+1 && st.echoCount < nd.params.EchoThreshold():
+		nd.sendReady(st)
+	case st.readyCount == nd.params.ReadyThreshold():
+		nd.deliver(st)
+	}
+}
+
+func (nd *Node) sendReady(st *payloadState) {
+	if nd.sentReady {
+		return
+	}
+	nd.sentReady = true
+	for j := 1; j <= nd.params.N; j++ {
+		nd.sender.Send(msg.NodeID(j), &ReadyMsg{Session: nd.session, Payload: st.payload})
+	}
+}
+
+func (nd *Node) deliver(st *payloadState) {
+	if nd.delivered {
+		return
+	}
+	nd.delivered = true
+	nd.deliveredVal = st.payload
+	if nd.onDeliver != nil {
+		nd.onDeliver(nd.session, st.payload)
+	}
+}
+
+func (nd *Node) state(payload []byte) *payloadState {
+	h := sha256.Sum256(payload)
+	st, ok := nd.states[h]
+	if !ok {
+		st = &payloadState{payload: payload}
+		nd.states[h] = st
+	}
+	return st
+}

@@ -1,0 +1,330 @@
+package rbc_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/rbc"
+	"hybriddkg/internal/simnet"
+)
+
+// cluster builds an n-node broadcast session on the simulator.
+type cluster struct {
+	net       *simnet.Network
+	nodes     map[msg.NodeID]*rbc.Node
+	delivered map[msg.NodeID][]byte
+}
+
+type adapter struct{ n *rbc.Node }
+
+func (a *adapter) HandleMessage(from msg.NodeID, body msg.Body) { a.n.Handle(from, body) }
+func (a *adapter) HandleTimer(uint64)                           {}
+func (a *adapter) HandleRecover()                               {}
+
+func newCluster(t *testing.T, n, tt, f int, seed uint64, byzantine map[msg.NodeID]simnet.Handler) *cluster {
+	t.Helper()
+	params := rbc.Params{N: n, T: tt, F: f}
+	session := rbc.SessionID{Broadcaster: 1, Tag: 7}
+	net := simnet.New(simnet.Options{Seed: seed})
+	c := &cluster{
+		net:       net,
+		nodes:     make(map[msg.NodeID]*rbc.Node, n),
+		delivered: make(map[msg.NodeID][]byte, n),
+	}
+	for i := 1; i <= n; i++ {
+		id := msg.NodeID(i)
+		if h, ok := byzantine[id]; ok {
+			net.Register(id, h)
+			continue
+		}
+		node, err := rbc.NewNode(params, session, id, net.Env(id), func(_ rbc.SessionID, payload []byte) {
+			c.delivered[id] = payload
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes[id] = node
+		net.Register(id, &adapter{n: node})
+	}
+	return c
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (rbc.Params{N: 4, T: 1}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, p := range []rbc.Params{{N: 3, T: 1}, {N: 0}, {N: 4, T: -1}, {N: 8, T: 2, F: 1}} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestNewNodeRejects(t *testing.T) {
+	params := rbc.Params{N: 4, T: 1}
+	sess := rbc.SessionID{Broadcaster: 1, Tag: 1}
+	sender := senderFunc(func(msg.NodeID, msg.Body) {})
+	if _, err := rbc.NewNode(params, sess, 0, sender, nil); err == nil {
+		t.Error("self 0 accepted")
+	}
+	if _, err := rbc.NewNode(params, rbc.SessionID{Broadcaster: 7}, 1, sender, nil); err == nil {
+		t.Error("broadcaster out of range accepted")
+	}
+	if _, err := rbc.NewNode(params, sess, 1, nil, nil); err == nil {
+		t.Error("nil sender accepted")
+	}
+}
+
+type senderFunc func(msg.NodeID, msg.Body)
+
+func (f senderFunc) Send(to msg.NodeID, body msg.Body) { f(to, body) }
+
+func TestBroadcastGuards(t *testing.T) {
+	params := rbc.Params{N: 4, T: 1}
+	sess := rbc.SessionID{Broadcaster: 1, Tag: 1}
+	sender := senderFunc(func(msg.NodeID, msg.Body) {})
+	follower, err := rbc.NewNode(params, sess, 2, sender, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Broadcast([]byte("x")); err == nil {
+		t.Error("non-broadcaster broadcast succeeded")
+	}
+	caster, err := rbc.NewNode(params, sess, 1, sender, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := caster.Broadcast(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := caster.Broadcast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := caster.Broadcast([]byte("y")); err == nil {
+		t.Error("double broadcast succeeded")
+	}
+}
+
+// TestDeliveryAllHonest: everyone delivers the broadcaster's value.
+func TestDeliveryAllHonest(t *testing.T) {
+	for _, cfg := range []struct{ n, tt, f int }{{4, 1, 0}, {7, 2, 0}, {9, 2, 1}} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("n=%d,f=%d,seed=%d", cfg.n, cfg.f, seed), func(t *testing.T) {
+				c := newCluster(t, cfg.n, cfg.tt, cfg.f, seed, nil)
+				payload := []byte("group modification proposal")
+				if err := c.nodes[1].Broadcast(payload); err != nil {
+					t.Fatal(err)
+				}
+				c.net.Run(0)
+				for id := range c.nodes {
+					if !bytes.Equal(c.delivered[id], payload) {
+						t.Fatalf("node %d delivered %q", id, c.delivered[id])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeliveryWithCrashedNodes: f crashed nodes do not block delivery.
+func TestDeliveryWithCrashedNodes(t *testing.T) {
+	c := newCluster(t, 9, 2, 1, 4, nil)
+	c.net.Crash(9)
+	if err := c.nodes[1].Broadcast([]byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.net.Run(0)
+	for id := range c.nodes {
+		if id == 9 {
+			continue
+		}
+		if c.delivered[id] == nil {
+			t.Fatalf("node %d did not deliver", id)
+		}
+	}
+}
+
+// equivocator sends different values to different halves.
+type equivocator struct {
+	env *simnet.Env
+	n   int
+}
+
+func (e *equivocator) HandleMessage(msg.NodeID, msg.Body) {}
+func (e *equivocator) HandleTimer(uint64)                 {}
+func (e *equivocator) HandleRecover()                     {}
+
+func (e *equivocator) deal() {
+	sess := rbc.SessionID{Broadcaster: 1, Tag: 7}
+	for j := 1; j <= e.n; j++ {
+		v := []byte("AAAA")
+		if j > e.n/2 {
+			v = []byte("BBBB")
+		}
+		e.env.Send(msg.NodeID(j), &rbc.SendMsg{Session: sess, Payload: v})
+	}
+}
+
+// TestEquivocatingBroadcasterAgreement: honest nodes never deliver
+// different values (they may deliver nothing).
+func TestEquivocatingBroadcasterAgreement(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		eq := &equivocator{n: 7}
+		c := newClusterWithByz(t, 7, 2, 0, seed, func(env *simnet.Env) simnet.Handler {
+			eq.env = env
+			return eq
+		})
+		eq.deal()
+		c.net.Run(0)
+		var ref []byte
+		for id := range c.nodes {
+			v := c.delivered[id]
+			if v == nil {
+				continue
+			}
+			if ref == nil {
+				ref = v
+			} else if !bytes.Equal(ref, v) {
+				t.Fatalf("seed %d: honest nodes delivered different values", seed)
+			}
+		}
+	}
+}
+
+func newClusterWithByz(t *testing.T, n, tt, f int, seed uint64, mk func(env *simnet.Env) simnet.Handler) *cluster {
+	t.Helper()
+	params := rbc.Params{N: n, T: tt, F: f}
+	session := rbc.SessionID{Broadcaster: 1, Tag: 7}
+	net := simnet.New(simnet.Options{Seed: seed})
+	c := &cluster{
+		net:       net,
+		nodes:     make(map[msg.NodeID]*rbc.Node, n),
+		delivered: make(map[msg.NodeID][]byte, n),
+	}
+	net.Register(1, mk(net.Env(1)))
+	for i := 2; i <= n; i++ {
+		id := msg.NodeID(i)
+		node, err := rbc.NewNode(params, session, id, net.Env(id), func(_ rbc.SessionID, payload []byte) {
+			c.delivered[id] = payload
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes[id] = node
+		net.Register(id, &adapter{n: node})
+	}
+	return c
+}
+
+// TestLateNodeDeliversViaEchoes: a node that never receives the send
+// message still delivers through echoes.
+func TestLateNodeDeliversViaEchoes(t *testing.T) {
+	params := rbc.Params{N: 4, T: 1}
+	session := rbc.SessionID{Broadcaster: 1, Tag: 7}
+	net := simnet.New(simnet.Options{
+		Seed: 6,
+		Filter: func(from, to msg.NodeID, body msg.Body) simnet.Verdict {
+			if _, isSend := body.(*rbc.SendMsg); isSend && to == 4 {
+				return simnet.Verdict{Drop: true}
+			}
+			return simnet.Verdict{}
+		},
+	})
+	delivered := make(map[msg.NodeID][]byte)
+	nodes := make(map[msg.NodeID]*rbc.Node)
+	for i := 1; i <= 4; i++ {
+		id := msg.NodeID(i)
+		node, err := rbc.NewNode(params, session, id, net.Env(id), func(_ rbc.SessionID, payload []byte) {
+			delivered[id] = payload
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+		net.Register(id, &adapter{n: node})
+	}
+	if err := nodes[1].Broadcast([]byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if !bytes.Equal(delivered[4], []byte("v")) {
+		t.Fatalf("node 4 delivered %q without send", delivered[4])
+	}
+}
+
+// TestDuplicateMessagesIgnored: replaying echoes/readies does not
+// double-count.
+func TestDuplicateMessagesIgnored(t *testing.T) {
+	var outbox []msg.Body
+	sender := senderFunc(func(to msg.NodeID, body msg.Body) {
+		if to == 2 {
+			outbox = append(outbox, body)
+		}
+	})
+	params := rbc.Params{N: 4, T: 1}
+	session := rbc.SessionID{Broadcaster: 1, Tag: 7}
+	node, err := rbc.NewNode(params, session, 2, sender, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := &rbc.EchoMsg{Session: session, Payload: []byte("v")}
+	for i := 0; i < 10; i++ {
+		node.Handle(3, echo) // same sender repeatedly
+	}
+	if _, done := node.Delivered(); done {
+		t.Fatal("delivered from one echo sender")
+	}
+	// Three distinct senders reach the echo threshold ⌈(4+1+1)/2⌉=3.
+	node.Handle(4, echo)
+	node.Handle(1, echo)
+	ready := &rbc.ReadyMsg{Session: session, Payload: []byte("v")}
+	for i := 0; i < 10; i++ {
+		node.Handle(3, ready)
+	}
+	node.Handle(4, ready)
+	node.Handle(1, ready)
+	if _, done := node.Delivered(); !done {
+		t.Fatal("not delivered despite quorums")
+	}
+}
+
+// TestCodecRoundTrips: wire round-trips for all RBC messages.
+func TestCodecRoundTrips(t *testing.T) {
+	codec := msg.NewCodec()
+	if err := rbc.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	sess := rbc.SessionID{Broadcaster: 2, Tag: 5}
+	bodies := []msg.Body{
+		&rbc.SendMsg{Session: sess, Payload: []byte("a")},
+		&rbc.EchoMsg{Session: sess, Payload: []byte("bb")},
+		&rbc.ReadyMsg{Session: sess, Payload: []byte("ccc")},
+	}
+	for i, body := range bodies {
+		env, err := msg.Seal(1, 2, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := codec.Open(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, _ := back.MarshalBinary()
+		orig, _ := body.MarshalBinary()
+		if !bytes.Equal(re, orig) {
+			t.Errorf("body %d: round trip mismatch", i)
+		}
+		if _, err := codec.Decode(body.MsgType(), orig[:len(orig)-1]); err == nil {
+			t.Errorf("body %d: truncated decode succeeded", i)
+		}
+	}
+}
+
+func TestSessionString(t *testing.T) {
+	sess := rbc.SessionID{Broadcaster: 3, Tag: 9}
+	if sess.String() == "" {
+		t.Error("empty session string")
+	}
+}

@@ -1,0 +1,280 @@
+// Package sig provides the digital-signature layer of the paper's
+// system model (§2.3): each node holds a long-term signing key whose
+// public key is known to all nodes (the PKI substitute), and protocol
+// messages that feed agreement decisions (ready, echo, lead-ch) are
+// signed so that sets of them act as transferable validity proofs
+// (the R/M sets of Figures 2–3).
+//
+// Three schemes are provided:
+//
+//   - Schnorr signatures over the library's own discrete-log group
+//     (self-contained, no curve dependencies),
+//   - Ed25519 (crypto/ed25519, fast), and
+//   - a Null scheme that signs nothing and verifies everything, for
+//     benchmarks that isolate protocol cost from signature cost.
+//
+// Keys and signatures are opaque byte strings so they move through the
+// wire codec unchanged.
+package sig
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"hybriddkg/internal/group"
+)
+
+// Errors returned by signature operations.
+var (
+	ErrBadKey       = errors.New("sig: malformed key")
+	ErrUnknownNode  = errors.New("sig: unknown node index")
+	ErrUnknownName  = errors.New("sig: unknown scheme name")
+	ErrSignFailed   = errors.New("sig: signing failed")
+	ErrDuplicateKey = errors.New("sig: duplicate node index")
+)
+
+// Scheme is a digital-signature scheme secure against adaptive
+// chosen-message attack (the paper's requirement in §2.3).
+type Scheme interface {
+	// Name identifies the scheme on the wire and in configs.
+	Name() string
+	// GenerateKey creates a key pair using randomness from r.
+	GenerateKey(r io.Reader) (priv, pub []byte, err error)
+	// Sign signs msg with priv.
+	Sign(priv, msg []byte) ([]byte, error)
+	// Verify reports whether sigBytes is a valid signature on msg
+	// under pub.
+	Verify(pub, msg, sigBytes []byte) bool
+}
+
+// ByName returns the scheme registered under name ("schnorr-test256",
+// "schnorr-prod2048", "ed25519", "null").
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "ed25519":
+		return Ed25519{}, nil
+	case "null":
+		return Null{}, nil
+	case "schnorr-test256":
+		return NewSchnorr(group.Test256()), nil
+	case "schnorr-prod2048":
+		return NewSchnorr(group.Prod2048()), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+}
+
+// Schnorr implements Schnorr signatures over a discrete-log group.
+// Nonces are derived deterministically from the key and message
+// (hash-based, RFC 6979 style) so signing needs no randomness source.
+type Schnorr struct {
+	gr *group.Group
+}
+
+var _ Scheme = Schnorr{}
+
+// NewSchnorr returns a Schnorr scheme over gr.
+func NewSchnorr(gr *group.Group) Schnorr { return Schnorr{gr: gr} }
+
+// Name implements Scheme.
+func (s Schnorr) Name() string { return fmt.Sprintf("schnorr-%d", s.gr.P().BitLen()) }
+
+// GenerateKey implements Scheme. The private key encodes the scalar x;
+// the public key encodes the element y = g^x.
+func (s Schnorr) GenerateKey(r io.Reader) ([]byte, []byte, error) {
+	x, err := s.gr.RandNonZeroScalar(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	y := s.gr.GExp(x)
+	return x.Bytes(), y.Bytes(), nil
+}
+
+// Sign implements Scheme. The signature is (c, z) with
+// c = H(R ‖ pub ‖ msg), z = k − c·x, R = g^k.
+func (s Schnorr) Sign(priv, msg []byte) ([]byte, error) {
+	x := new(big.Int).SetBytes(priv)
+	if err := s.gr.CheckScalar(x); err != nil || x.Sign() == 0 {
+		return nil, fmt.Errorf("%w: private scalar out of range", ErrBadKey)
+	}
+	y := s.gr.GExp(x)
+	// Deterministic nonce: k = H(x ‖ y ‖ msg) reduced mod q.
+	k := s.gr.HashToScalar("hybriddkg/schnorr-nonce/v1", priv, y.Bytes(), msg)
+	if k.Sign() == 0 {
+		k = big.NewInt(1)
+	}
+	bigR := s.gr.GExp(k)
+	c := s.gr.HashToScalar("hybriddkg/schnorr-chal/v1", bigR.Bytes(), y.Bytes(), msg)
+	z := s.gr.SubQ(k, s.gr.MulQ(c, x))
+	return encodePair(c, z), nil
+}
+
+// Verify implements Scheme: recompute R' = g^z · y^c and check the
+// challenge.
+func (s Schnorr) Verify(pub, msg, sigBytes []byte) bool {
+	y := new(big.Int).SetBytes(pub)
+	if !s.gr.IsElement(y) {
+		return false
+	}
+	c, z, ok := decodePair(sigBytes)
+	if !ok || !s.gr.IsScalar(c) || !s.gr.IsScalar(z) {
+		return false
+	}
+	rPrime := s.gr.Mul(s.gr.GExp(z), s.gr.Exp(y, c))
+	cPrime := s.gr.HashToScalar("hybriddkg/schnorr-chal/v1", rPrime.Bytes(), y.Bytes(), msg)
+	return c.Cmp(cPrime) == 0
+}
+
+// Ed25519 wraps crypto/ed25519 as a Scheme.
+type Ed25519 struct{}
+
+var _ Scheme = Ed25519{}
+
+// Name implements Scheme.
+func (Ed25519) Name() string { return "ed25519" }
+
+// GenerateKey implements Scheme.
+func (Ed25519) GenerateKey(r io.Reader) ([]byte, []byte, error) {
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return priv, pub, nil
+}
+
+// Sign implements Scheme.
+func (Ed25519) Sign(priv, msg []byte) ([]byte, error) {
+	if len(priv) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("%w: ed25519 private key size %d", ErrBadKey, len(priv))
+	}
+	return ed25519.Sign(ed25519.PrivateKey(priv), msg), nil
+}
+
+// Verify implements Scheme.
+func (Ed25519) Verify(pub, msg, sigBytes []byte) bool {
+	if len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), msg, sigBytes)
+}
+
+// Null is an insecure no-op scheme: it exists so benchmarks can
+// subtract signature cost from protocol cost. Never use outside
+// benchmarks — Verify accepts everything.
+type Null struct{}
+
+var _ Scheme = Null{}
+
+// Name implements Scheme.
+func (Null) Name() string { return "null" }
+
+// GenerateKey implements Scheme.
+func (Null) GenerateKey(io.Reader) ([]byte, []byte, error) {
+	return []byte{0}, []byte{0}, nil
+}
+
+// Sign implements Scheme.
+func (Null) Sign(_, _ []byte) ([]byte, error) { return []byte{0}, nil }
+
+// Verify implements Scheme.
+func (Null) Verify(_, _, _ []byte) bool { return true }
+
+// Directory maps node indices to their long-term public keys — the
+// paper's "indices and public keys for all nodes are publicly
+// available in the form of certificates" (§2.3).
+type Directory struct {
+	scheme Scheme
+	keys   map[int64][]byte
+}
+
+// NewDirectory creates an empty directory for the given scheme.
+func NewDirectory(scheme Scheme) *Directory {
+	return &Directory{scheme: scheme, keys: make(map[int64][]byte)}
+}
+
+// Scheme returns the directory's signature scheme.
+func (d *Directory) Scheme() Scheme { return d.scheme }
+
+// Add registers a node's public key.
+func (d *Directory) Add(node int64, pub []byte) error {
+	if _, dup := d.keys[node]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateKey, node)
+	}
+	cp := make([]byte, len(pub))
+	copy(cp, pub)
+	d.keys[node] = cp
+	return nil
+}
+
+// Replace installs a new public key for a node (certificate rotation
+// after a trusted reboot, §5.1).
+func (d *Directory) Replace(node int64, pub []byte) {
+	cp := make([]byte, len(pub))
+	copy(cp, pub)
+	d.keys[node] = cp
+}
+
+// Remove drops a node from the directory (node removal, §6.3).
+func (d *Directory) Remove(node int64) { delete(d.keys, node) }
+
+// PublicKey returns the key registered for node.
+func (d *Directory) PublicKey(node int64) ([]byte, error) {
+	pub, ok := d.keys[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+	}
+	return pub, nil
+}
+
+// Nodes returns the sorted-insertion-free list of registered indices.
+func (d *Directory) Nodes() []int64 {
+	out := make([]int64, 0, len(d.keys))
+	for n := range d.keys {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Verify checks a signature attributed to node.
+func (d *Directory) Verify(node int64, msg, sigBytes []byte) bool {
+	pub, ok := d.keys[node]
+	if !ok {
+		return false
+	}
+	return d.scheme.Verify(pub, msg, sigBytes)
+}
+
+// --- signature encoding helpers -------------------------------------
+
+func encodePair(a, b *big.Int) []byte {
+	ab, bb := a.Bytes(), b.Bytes()
+	out := make([]byte, 0, 4+len(ab)+len(bb))
+	out = append(out, byte(len(ab)>>8), byte(len(ab)))
+	out = append(out, ab...)
+	out = append(out, byte(len(bb)>>8), byte(len(bb)))
+	out = append(out, bb...)
+	return out
+}
+
+func decodePair(data []byte) (a, b *big.Int, ok bool) {
+	if len(data) < 2 {
+		return nil, nil, false
+	}
+	la := int(data[0])<<8 | int(data[1])
+	data = data[2:]
+	if len(data) < la+2 {
+		return nil, nil, false
+	}
+	a = new(big.Int).SetBytes(data[:la])
+	data = data[la:]
+	lb := int(data[0])<<8 | int(data[1])
+	data = data[2:]
+	if len(data) != lb {
+		return nil, nil, false
+	}
+	b = new(big.Int).SetBytes(data)
+	return a, b, true
+}

@@ -1,0 +1,456 @@
+// Package simnet is a deterministic simulator of the paper's network
+// model (§2.1–2.2): an asynchronous message-passing network in which
+// the adversary schedules delivery, non-Byzantine nodes may crash and
+// recover (losing in-flight messages but keeping state, per the
+// Backes–Cachin crash-recovery model), and links are authenticated
+// FIFO channels (the TLS links of §2.3).
+//
+// The simulator drives protocol state machines (vss.Node, dkg.Node, …)
+// through a virtual-time event queue. All scheduling randomness comes
+// from a single seed, so every run — including adversarial ones — is
+// exactly reproducible. It also keeps the books the complexity
+// benches need: per-message-type counts, encoded byte volume, crash
+// and drop counts, and the causal depth of the longest message chain
+// (the protocol's latency degree).
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/randutil"
+)
+
+// Handler is a protocol node: a deterministic state machine consuming
+// network and timer messages (§7 of the paper). Implementations must
+// do all their I/O through the Env they were constructed with.
+type Handler interface {
+	// HandleMessage delivers a network message from another node.
+	HandleMessage(from msg.NodeID, body msg.Body)
+	// HandleTimer delivers an expired timer previously set via Env.
+	HandleTimer(id uint64)
+	// HandleRecover delivers the operator's recover signal after a
+	// crash (the paper's (in, recover) message).
+	HandleRecover()
+}
+
+// Verdict is an adversarial scheduling decision for one message.
+type Verdict struct {
+	// ExtraDelay postpones delivery by the given virtual time.
+	ExtraDelay int64
+	// Drop discards the message. The hybrid model only permits
+	// dropping messages to/from crashed nodes; tests that drop
+	// arbitrary traffic are modelling *stronger* adversaries
+	// (e.g. the sub-resilience negative experiments).
+	Drop bool
+}
+
+// FilterFunc lets a test play the adversary: it sees every message at
+// send time and can delay or drop it.
+type FilterFunc func(from, to msg.NodeID, body msg.Body) Verdict
+
+// Options configures a Network.
+type Options struct {
+	// Seed drives all scheduling randomness.
+	Seed uint64
+	// MinDelay/MaxDelay bound the random per-message delivery delay
+	// in virtual time units. Defaults: 1 and 100.
+	MinDelay, MaxDelay int64
+	// DisableFIFO turns off per-link in-order delivery. The default
+	// (false) delivers in order per link, matching the TLS/TCP
+	// channel semantics of §2.3; disabling it models a maximally
+	// reordering adversary.
+	DisableFIFO bool
+	// Account enables byte accounting (encodes every message).
+	// Defaults to true; disable for very large sweeps.
+	DisableAccounting bool
+	// Filter, when set, is consulted for every message.
+	Filter FilterFunc
+}
+
+// Stats aggregates what the complexity experiments measure.
+type Stats struct {
+	// MsgCount and MsgBytes are keyed by message type.
+	MsgCount map[msg.Type]int
+	MsgBytes map[msg.Type]int64
+	// TotalMsgs and TotalBytes are the headline complexity numbers.
+	TotalMsgs  int
+	TotalBytes int64
+	// DroppedCrash counts messages lost because the receiver was
+	// crashed at delivery time; DroppedFilter counts adversarial
+	// drops.
+	DroppedCrash  int
+	DroppedFilter int
+	// Crashes and Recoveries count operator events.
+	Crashes    int
+	Recoveries int
+	// MaxDepth is the longest causal message chain observed — the
+	// latency degree of the run.
+	MaxDepth int
+	// Events is the number of events processed.
+	Events int
+}
+
+type eventKind uint8
+
+const (
+	evMessage eventKind = iota + 1
+	evTimer
+	evOp
+)
+
+type event struct {
+	at   int64
+	seq  uint64
+	kind eventKind
+
+	// evMessage fields.
+	from, to msg.NodeID
+	body     msg.Body
+	depth    int
+
+	// evTimer fields.
+	node      msg.NodeID
+	timerID   uint64
+	cancelled bool
+
+	// evOp fields.
+	op func()
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+type nodeSlot struct {
+	id      msg.NodeID
+	handler Handler
+	crashed bool
+	depth   int
+	timers  map[uint64]*event
+}
+
+// Network is the simulated asynchronous network.
+type Network struct {
+	opts  Options
+	rng   *randutil.Reader
+	queue eventQueue
+	seq   uint64
+	now   int64
+	nodes map[msg.NodeID]*nodeSlot
+	stats Stats
+	// lastLink tracks per-link delivery horizons for FIFO ordering.
+	lastLink map[[2]msg.NodeID]int64
+	// currentDepth is the causal depth of the event being dispatched.
+	currentDepth int
+}
+
+// New creates a Network with the given options.
+func New(opts Options) *Network {
+	if opts.MinDelay <= 0 {
+		opts.MinDelay = 1
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 100
+	}
+	if opts.MaxDelay < opts.MinDelay {
+		opts.MaxDelay = opts.MinDelay
+	}
+	return &Network{
+		opts:  opts,
+		rng:   randutil.NewReader(opts.Seed),
+		nodes: make(map[msg.NodeID]*nodeSlot),
+		stats: Stats{
+			MsgCount: make(map[msg.Type]int),
+			MsgBytes: make(map[msg.Type]int64),
+		},
+		lastLink: make(map[[2]msg.NodeID]int64),
+	}
+}
+
+// Register adds a node to the network. It must be called before Run.
+func (n *Network) Register(id msg.NodeID, h Handler) {
+	n.nodes[id] = &nodeSlot{id: id, handler: h, timers: make(map[uint64]*event)}
+}
+
+// Env returns the per-node environment protocol constructors use for
+// sending and timers.
+func (n *Network) Env(id msg.NodeID) *Env { return &Env{net: n, id: id} }
+
+// Now returns the current virtual time.
+func (n *Network) Now() int64 { return n.now }
+
+// Stats returns a snapshot of the accounting counters.
+func (n *Network) Stats() Stats {
+	out := n.stats
+	out.MsgCount = make(map[msg.Type]int, len(n.stats.MsgCount))
+	for k, v := range n.stats.MsgCount {
+		out.MsgCount[k] = v
+	}
+	out.MsgBytes = make(map[msg.Type]int64, len(n.stats.MsgBytes))
+	for k, v := range n.stats.MsgBytes {
+		out.MsgBytes[k] = v
+	}
+	return out
+}
+
+// Crashed reports whether a node is currently crashed.
+func (n *Network) Crashed(id msg.NodeID) bool {
+	slot, ok := n.nodes[id]
+	return ok && slot.crashed
+}
+
+// Crash marks a node crashed immediately: it stops receiving messages
+// and timer fires until Recover. Its protocol state is preserved
+// (crash-recovery model: state survives on stable storage; in-flight
+// messages are lost).
+func (n *Network) Crash(id msg.NodeID) {
+	slot, ok := n.nodes[id]
+	if !ok || slot.crashed {
+		return
+	}
+	slot.crashed = true
+	n.stats.Crashes++
+}
+
+// Recover un-crashes a node and delivers the operator recover signal,
+// which triggers the protocol's help/retransmission machinery.
+func (n *Network) Recover(id msg.NodeID) {
+	slot, ok := n.nodes[id]
+	if !ok || !slot.crashed {
+		return
+	}
+	slot.crashed = false
+	n.stats.Recoveries++
+	n.currentDepth = slot.depth
+	slot.handler.HandleRecover()
+}
+
+// Schedule runs fn at now+delay virtual time (operator actions such as
+// crashes, recoveries and clock ticks).
+func (n *Network) Schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	n.push(&event{at: n.now + delay, kind: evOp, op: fn})
+}
+
+// send enqueues a message for delivery; called via Env.
+func (n *Network) send(from, to msg.NodeID, body msg.Body) {
+	if slot, ok := n.nodes[from]; ok && slot.crashed {
+		// A crashed node cannot send; protocol code should not be
+		// running on a crashed node at all, but guard anyway.
+		return
+	}
+	verdict := Verdict{}
+	if n.opts.Filter != nil {
+		verdict = n.opts.Filter(from, to, body)
+	}
+	if verdict.Drop {
+		n.stats.DroppedFilter++
+		return
+	}
+	n.stats.MsgCount[body.MsgType()]++
+	n.stats.TotalMsgs++
+	if !n.opts.DisableAccounting {
+		sz := int64(msg.WireSize(body))
+		n.stats.MsgBytes[body.MsgType()] += sz
+		n.stats.TotalBytes += sz
+	}
+	delay := n.opts.MinDelay
+	if n.opts.MaxDelay > n.opts.MinDelay {
+		delay += n.rng.Int64N(n.opts.MaxDelay - n.opts.MinDelay + 1)
+	}
+	delay += verdict.ExtraDelay
+	at := n.now + delay
+	if !n.opts.DisableFIFO {
+		key := [2]msg.NodeID{from, to}
+		if last := n.lastLink[key]; at <= last {
+			at = last + 1
+		}
+		n.lastLink[key] = at
+	}
+	n.push(&event{
+		at:    at,
+		kind:  evMessage,
+		from:  from,
+		to:    to,
+		body:  body,
+		depth: n.currentDepth + 1,
+	})
+}
+
+// setTimer enqueues a timer fire; called via Env.
+func (n *Network) setTimer(node msg.NodeID, id uint64, delay int64) {
+	slot, ok := n.nodes[node]
+	if !ok {
+		return
+	}
+	if prev, live := slot.timers[id]; live {
+		prev.cancelled = true
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: n.now + delay, kind: evTimer, node: node, timerID: id}
+	slot.timers[id] = ev
+	n.push(ev)
+}
+
+// stopTimer cancels a pending timer; called via Env.
+func (n *Network) stopTimer(node msg.NodeID, id uint64) {
+	slot, ok := n.nodes[node]
+	if !ok {
+		return
+	}
+	if ev, live := slot.timers[id]; live {
+		ev.cancelled = true
+		delete(slot.timers, id)
+	}
+}
+
+func (n *Network) push(ev *event) {
+	ev.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, ev)
+}
+
+// Step processes a single event. It returns false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	for len(n.queue) > 0 {
+		ev := heap.Pop(&n.queue).(*event)
+		if ev.kind == evTimer && ev.cancelled {
+			continue
+		}
+		n.now = ev.at
+		n.stats.Events++
+		switch ev.kind {
+		case evMessage:
+			n.dispatchMessage(ev)
+		case evTimer:
+			n.dispatchTimer(ev)
+		case evOp:
+			n.currentDepth = 0
+			ev.op()
+		}
+		return true
+	}
+	return false
+}
+
+func (n *Network) dispatchMessage(ev *event) {
+	slot, ok := n.nodes[ev.to]
+	if !ok {
+		return
+	}
+	if slot.crashed {
+		n.stats.DroppedCrash++
+		return
+	}
+	if ev.depth > slot.depth {
+		slot.depth = ev.depth
+	}
+	if ev.depth > n.stats.MaxDepth {
+		n.stats.MaxDepth = ev.depth
+	}
+	n.currentDepth = slot.depth
+	slot.handler.HandleMessage(ev.from, ev.body)
+}
+
+func (n *Network) dispatchTimer(ev *event) {
+	slot, ok := n.nodes[ev.node]
+	if !ok {
+		return
+	}
+	if cur, live := slot.timers[ev.timerID]; live && cur == ev {
+		delete(slot.timers, ev.timerID)
+	}
+	if slot.crashed {
+		return
+	}
+	n.currentDepth = slot.depth
+	slot.handler.HandleTimer(ev.timerID)
+}
+
+// Run processes events until the queue drains or limit events have
+// been handled (0 means no limit). It returns the number of events
+// processed.
+func (n *Network) Run(limit int) int {
+	processed := 0
+	for limit == 0 || processed < limit {
+		if !n.Step() {
+			break
+		}
+		processed++
+	}
+	return processed
+}
+
+// RunUntil processes events until done() returns true, the queue
+// drains, or limit events pass (0 = no limit). It reports whether
+// done() was satisfied.
+func (n *Network) RunUntil(done func() bool, limit int) bool {
+	if done() {
+		return true
+	}
+	processed := 0
+	for limit == 0 || processed < limit {
+		if !n.Step() {
+			return done()
+		}
+		processed++
+		if done() {
+			return true
+		}
+	}
+	return done()
+}
+
+// Pending returns the number of queued events (cancelled timers
+// included until they surface).
+func (n *Network) Pending() int { return len(n.queue) }
+
+// Env is the per-node I/O environment handed to protocol
+// constructors: it routes sends and timers back into the simulator.
+type Env struct {
+	net *Network
+	id  msg.NodeID
+}
+
+// ID returns the owning node's identifier.
+func (e *Env) ID() msg.NodeID { return e.id }
+
+// Send transmits body to the given node (including self-sends, which
+// the paper's "send to each Pj" loops include).
+func (e *Env) Send(to msg.NodeID, body msg.Body) { e.net.send(e.id, to, body) }
+
+// SetTimer (re)arms timer id to fire after delay virtual time units.
+func (e *Env) SetTimer(id uint64, delay int64) { e.net.setTimer(e.id, id, delay) }
+
+// StopTimer cancels timer id if pending.
+func (e *Env) StopTimer(id uint64) { e.net.stopTimer(e.id, id) }
+
+// Now returns the current virtual time.
+func (e *Env) Now() int64 { return e.net.now }
+
+// String implements fmt.Stringer.
+func (e *Env) String() string { return fmt.Sprintf("env(node %d)", e.id) }

@@ -1,0 +1,35 @@
+package thresh
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+
+	"hybriddkg/internal/group"
+)
+
+// BeaconOutput derives the round's public random value from a
+// reconstructed DKG secret. The beacon pattern (§1's distributed
+// coin-tossing motivation) is: each round runs a fresh DKG, the nodes
+// then run Rec to open the secret, and everyone hashes the opening.
+// No participant knows the secret before the opening quorum forms, so
+// the output is unpredictable; Feldman-based DKG admits the classical
+// Gennaro et al. bias caveat (the adversary may bias a few bits by
+// aborting), which is acceptable for the lottery/beacon use cases the
+// paper cites and is documented in EXPERIMENTS.md.
+func BeaconOutput(gr *group.Group, round uint64, opened *big.Int) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("hybriddkg/beacon/v1"))
+	var rb [8]byte
+	binary.BigEndian.PutUint64(rb[:], round)
+	h.Write(rb[:])
+	h.Write(gr.P().Bytes())
+	h.Write(opened.Bytes())
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// BeaconBit reduces a beacon output to a single unbiased-looking coin
+// (the distributed coin-tossing primitive of §1).
+func BeaconBit(out [32]byte) bool { return out[0]&1 == 1 }

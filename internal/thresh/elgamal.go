@@ -1,0 +1,141 @@
+package thresh
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+)
+
+// Ciphertext is an ElGamal ciphertext (c1, c2) = (g^r, m·pk^r) over
+// group elements.
+type Ciphertext struct {
+	C1, C2 *big.Int
+}
+
+// Encrypt encrypts a group element under the shared public key.
+// Callers encrypting arbitrary bytes should map them into the group
+// first (e.g. hybrid encryption with a KEM around a random element).
+func Encrypt(gr *group.Group, pk, m *big.Int, rand io.Reader) (Ciphertext, error) {
+	if !gr.IsElement(pk) || !gr.IsElement(m) {
+		return Ciphertext{}, fmt.Errorf("%w: inputs not group elements", ErrBadArguments)
+	}
+	r, err := gr.RandNonZeroScalar(rand)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return Ciphertext{
+		C1: gr.GExp(r),
+		C2: gr.Mul(m, gr.Exp(pk, r)),
+	}, nil
+}
+
+// DLEQProof is a Chaum–Pedersen proof that log_g(Y) = log_{C1}(D):
+// the partial decryption D = C1^{s_i} was produced with the same
+// scalar as the public share Y = g^{s_i}.
+type DLEQProof struct {
+	E, Z *big.Int
+}
+
+// PartialDecryption is one node's decryption share with its proof of
+// correctness.
+type PartialDecryption struct {
+	Decryptor msg.NodeID
+	D         *big.Int
+	Proof     DLEQProof
+}
+
+// PartialDecrypt produces node i's decryption share D = C1^{s_i}
+// along with a DLEQ proof binding it to the share commitment.
+func PartialDecrypt(gr *group.Group, key KeyShare, ct Ciphertext, rand io.Reader) (PartialDecryption, error) {
+	if err := key.Validate(); err != nil {
+		return PartialDecryption{}, err
+	}
+	if !gr.IsElement(ct.C1) {
+		return PartialDecryption{}, ErrBadCipher
+	}
+	d := gr.Exp(ct.C1, key.Share)
+	w, err := gr.RandNonZeroScalar(rand)
+	if err != nil {
+		return PartialDecryption{}, err
+	}
+	a1 := gr.GExp(w)
+	a2 := gr.Exp(ct.C1, w)
+	y := key.V.Eval(int64(key.Self))
+	e := gr.HashToScalar("hybriddkg/thresh-dleq/v1",
+		y.Bytes(), ct.C1.Bytes(), d.Bytes(), a1.Bytes(), a2.Bytes())
+	z := gr.AddQ(w, gr.MulQ(e, key.Share))
+	return PartialDecryption{
+		Decryptor: key.Self,
+		D:         d,
+		Proof:     DLEQProof{E: e, Z: z},
+	}, nil
+}
+
+// VerifyPartialDecryption checks the DLEQ proof: with Y = V(i),
+// a1 = g^z·Y^{−e} and a2 = C1^z·D^{−e} must hash back to e.
+func VerifyPartialDecryption(gr *group.Group, v *commit.Vector, ct Ciphertext, pd PartialDecryption) bool {
+	if pd.D == nil || pd.Proof.E == nil || pd.Proof.Z == nil {
+		return false
+	}
+	if !gr.IsElement(pd.D) || !gr.IsScalar(pd.Proof.E) || !gr.IsScalar(pd.Proof.Z) {
+		return false
+	}
+	y := v.Eval(int64(pd.Decryptor))
+	yInvE, err := gr.Inv(gr.Exp(y, pd.Proof.E))
+	if err != nil {
+		return false
+	}
+	dInvE, err := gr.Inv(gr.Exp(pd.D, pd.Proof.E))
+	if err != nil {
+		return false
+	}
+	a1 := gr.Mul(gr.GExp(pd.Proof.Z), yInvE)
+	a2 := gr.Mul(gr.Exp(ct.C1, pd.Proof.Z), dInvE)
+	e := gr.HashToScalar("hybriddkg/thresh-dleq/v1",
+		y.Bytes(), ct.C1.Bytes(), pd.D.Bytes(), a1.Bytes(), a2.Bytes())
+	return e.Cmp(pd.Proof.E) == 0
+}
+
+// CombineDecrypt verifies partial decryptions and combines t+1 of
+// them in the exponent: C1^s = Π D_i^{λ_i}, then m = C2 / C1^s.
+func CombineDecrypt(gr *group.Group, v *commit.Vector, t int, ct Ciphertext, parts []PartialDecryption) (*big.Int, error) {
+	if !gr.IsElement(ct.C1) || !gr.IsElement(ct.C2) {
+		return nil, ErrBadCipher
+	}
+	valid := make([]PartialDecryption, 0, t+1)
+	seen := make(map[msg.NodeID]bool, len(parts))
+	for _, pd := range parts {
+		if seen[pd.Decryptor] {
+			continue
+		}
+		if !VerifyPartialDecryption(gr, v, ct, pd) {
+			continue
+		}
+		seen[pd.Decryptor] = true
+		valid = append(valid, pd)
+		if len(valid) == t+1 {
+			break
+		}
+	}
+	if len(valid) < t+1 {
+		return nil, fmt.Errorf("%w: %d of %d needed", ErrNotEnough, len(valid), t+1)
+	}
+	indices := make([]int64, len(valid))
+	for i, pd := range valid {
+		indices[i] = int64(pd.Decryptor)
+	}
+	lambdas, err := poly.LagrangeCoeffsAt(gr.Q(), indices, 0)
+	if err != nil {
+		return nil, err
+	}
+	acc := gr.Identity()
+	for i, pd := range valid {
+		acc = gr.Mul(acc, gr.Exp(pd.D, lambdas[i]))
+	}
+	return gr.Div(ct.C2, acc)
+}

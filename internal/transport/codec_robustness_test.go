@@ -1,0 +1,76 @@
+package transport_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/randutil"
+)
+
+// TestDecoderRobustness throws random byte strings at every
+// registered message decoder: nothing may panic, and errors must be
+// returned cleanly. This is the wire-facing attack surface of a real
+// deployment (a Byzantine peer controls every payload byte).
+func TestDecoderRobustness(t *testing.T) {
+	gr := group.Test256()
+	codec := buildCodec(t, gr)
+	types := []msg.Type{
+		msg.TVSSSend, msg.TVSSEcho, msg.TVSSReady, msg.TVSSHelp, msg.TRecShare,
+		msg.TDKGSend, msg.TDKGEcho, msg.TDKGReady, msg.TDKGLeadCh, msg.TDKGHelp,
+		msg.TRBCSend, msg.TRBCEcho, msg.TRBCReady,
+		msg.TClockTick, msg.TSubshare,
+	}
+	r := randutil.NewReader(0xfeed)
+	for _, typ := range types {
+		typ := typ
+		t.Run(fmt.Sprint(typ), func(t *testing.T) {
+			for trial := 0; trial < 500; trial++ {
+				n := r.IntN(256)
+				payload := make([]byte, n)
+				if _, err := r.Read(payload); err != nil {
+					t.Fatal(err)
+				}
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							t.Fatalf("decoder for %v panicked on %d random bytes: %v", typ, n, rec)
+						}
+					}()
+					body, err := codec.Decode(typ, payload)
+					if err == nil && body != nil {
+						// Rare but legal: random bytes formed a valid
+						// message. It must re-marshal without panic.
+						if _, err := body.MarshalBinary(); err != nil {
+							t.Fatalf("accepted message fails to re-marshal: %v", err)
+						}
+					}
+				}()
+			}
+		})
+	}
+}
+
+// TestDecoderLengthBombs: length prefixes claiming enormous sizes
+// must fail fast without allocating.
+func TestDecoderLengthBombs(t *testing.T) {
+	gr := group.Test256()
+	codec := buildCodec(t, gr)
+	// A VSS send whose commitment blob claims 2^31 bytes.
+	w := msg.NewWriter(32)
+	w.Node(1)
+	w.U64(1)
+	w.U32(1 << 31)
+	if _, err := codec.Decode(msg.TVSSSend, w.Bytes()); err == nil {
+		t.Fatal("length bomb accepted")
+	}
+	// A DKG proposal claiming 2^20 dealers.
+	w2 := msg.NewWriter(32)
+	w2.U64(1)
+	w2.U64(1)
+	w2.U32(1 << 20)
+	if _, err := codec.Decode(msg.TDKGSend, w2.Bytes()); err == nil {
+		t.Fatal("dealer-count bomb accepted")
+	}
+}

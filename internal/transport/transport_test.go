@@ -1,0 +1,294 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/groupmod"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/proactive"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/rbc"
+	"hybriddkg/internal/sig"
+	"hybriddkg/internal/transport"
+	"hybriddkg/internal/vss"
+)
+
+// buildCodec registers every protocol decoder (what cmd/dkgnode does).
+func buildCodec(t *testing.T, gr *group.Group) *msg.Codec {
+	t.Helper()
+	codec := msg.NewCodec()
+	if err := vss.RegisterCodec(codec, gr); err != nil {
+		t.Fatal(err)
+	}
+	if err := dkg.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rbc.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	if err := proactive.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	if err := groupmod.RegisterCodec(codec, gr); err != nil {
+		t.Fatal(err)
+	}
+	return codec
+}
+
+// relay defers handler installation so transport nodes can start
+// before the protocol nodes exist.
+type relay struct {
+	inner transport.Handler
+}
+
+func (r *relay) HandleMessage(from msg.NodeID, body msg.Body) {
+	if r.inner != nil {
+		r.inner.HandleMessage(from, body)
+	}
+}
+func (r *relay) HandleTimer(id uint64) {
+	if r.inner != nil {
+		r.inner.HandleTimer(id)
+	}
+}
+func (r *relay) HandleRecover() {
+	if r.inner != nil {
+		r.inner.HandleRecover()
+	}
+}
+
+type dkgHandler struct{ node *dkg.Node }
+
+func (h dkgHandler) HandleMessage(from msg.NodeID, body msg.Body) { h.node.Handle(from, body) }
+func (h dkgHandler) HandleTimer(id uint64)                        { h.node.HandleTimer(id) }
+func (h dkgHandler) HandleRecover()                               { h.node.HandleRecover() }
+
+// TestDKGOverTCP runs a full 4-node DKG over real localhost TCP
+// connections — the same state machines the simulator drives, behind
+// the transport event loop.
+func TestDKGOverTCP(t *testing.T) {
+	const n, tt = 4, 1
+	gr := group.Test256()
+	codec := buildCodec(t, gr)
+	dir, privs, err := harness.BuildDirectory(sig.Ed25519{}, n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("cluster-shared-transport-secret")
+
+	// Start transports on ephemeral ports, then exchange addresses.
+	relays := make([]*relay, n+1)
+	nodesT := make([]*transport.Node, n+1)
+	peers := make([]transport.Peer, 0, n)
+	for i := 1; i <= n; i++ {
+		relays[i] = &relay{}
+		tn, err := transport.Listen(transport.Config{
+			Self:      msg.NodeID(i),
+			Listen:    "127.0.0.1:0",
+			Codec:     codec,
+			Secret:    secret,
+			Handler:   relays[i],
+			TimerUnit: time.Microsecond * 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tn.Close()
+		nodesT[i] = tn
+		peers = append(peers, transport.Peer{ID: msg.NodeID(i), Addr: tn.Addr()})
+	}
+	for i := 1; i <= n; i++ {
+		nodesT[i].SetPeers(peers)
+	}
+
+	// Protocol nodes on top.
+	dkgNodes := make([]*dkg.Node, n+1)
+	completed := make(chan msg.NodeID, n)
+	for i := 1; i <= n; i++ {
+		id := msg.NodeID(i)
+		params := dkg.Params{
+			Group:       gr,
+			N:           n,
+			T:           tt,
+			Directory:   dir,
+			SignKey:     privs[id],
+			TimeoutBase: 500_000, // generous: no leader change expected
+		}
+		node, err := dkg.NewNode(params, 1, id, nodesT[i], dkg.Options{
+			OnCompleted: func(dkg.CompletedEvent) { completed <- id },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dkgNodes[i] = node
+		relays[i].inner = dkgHandler{node: node}
+	}
+	for i := 1; i <= n; i++ {
+		node, tn, seed := dkgNodes[i], nodesT[i], uint64(1000+i)
+		tn.Do(func() {
+			if err := node.Start(randutil.NewReader(seed)); err != nil {
+				t.Errorf("start: %v", err)
+			}
+		})
+	}
+
+	deadline := time.After(30 * time.Second)
+	for got := 0; got < n; {
+		select {
+		case <-completed:
+			got++
+		case <-deadline:
+			t.Fatalf("timeout: %d/%d nodes completed", got, n)
+		}
+	}
+	// Consistency across processes-over-TCP.
+	ref := dkgNodes[1].Result()
+	for i := 2; i <= n; i++ {
+		res := dkgNodes[i].Result()
+		if res.PublicKey.Cmp(ref.PublicKey) != 0 {
+			t.Fatalf("node %d public key differs", i)
+		}
+		if !res.V.VerifyShare(int64(i), res.Share) {
+			t.Fatalf("node %d share invalid", i)
+		}
+	}
+}
+
+// TestFrameAuthentication: frames with a wrong MAC secret are dropped.
+func TestFrameAuthentication(t *testing.T) {
+	gr := group.Test256()
+	codec := buildCodec(t, gr)
+	got := make(chan msg.Body, 4)
+	sink := &relay{inner: sinkHandler{ch: got}}
+	recv, err := transport.Listen(transport.Config{
+		Self:    2,
+		Listen:  "127.0.0.1:0",
+		Codec:   codec,
+		Secret:  []byte("right-secret"),
+		Handler: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	peers := []transport.Peer{{ID: 2, Addr: recv.Addr()}}
+
+	evil, err := transport.Listen(transport.Config{
+		Self:    1,
+		Listen:  "127.0.0.1:0",
+		Peers:   peers,
+		Codec:   codec,
+		Secret:  []byte("wrong-secret"),
+		Handler: &relay{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evil.Close()
+	good, err := transport.Listen(transport.Config{
+		Self:    3,
+		Listen:  "127.0.0.1:0",
+		Peers:   peers,
+		Codec:   codec,
+		Secret:  []byte("right-secret"),
+		Handler: &relay{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+
+	evil.Send(2, &vss.HelpMsg{Session: vss.SessionID{Dealer: 1, Tau: 1}})
+	good.Send(2, &vss.HelpMsg{Session: vss.SessionID{Dealer: 1, Tau: 1}})
+
+	select {
+	case body := <-got:
+		if _, ok := body.(*vss.HelpMsg); !ok {
+			t.Fatalf("unexpected body %T", body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("authenticated frame never arrived")
+	}
+	select {
+	case <-got:
+		t.Fatal("forged frame was delivered")
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+type sinkHandler struct{ ch chan msg.Body }
+
+func (s sinkHandler) HandleMessage(_ msg.NodeID, body msg.Body) { s.ch <- body }
+func (s sinkHandler) HandleTimer(uint64)                        {}
+func (s sinkHandler) HandleRecover()                            {}
+
+// TestTimerService: timers fire through the event loop and can be
+// cancelled.
+func TestTimerService(t *testing.T) {
+	gr := group.Test256()
+	codec := buildCodec(t, gr)
+	fired := make(chan uint64, 4)
+	node, err := transport.Listen(transport.Config{
+		Self:      1,
+		Listen:    "127.0.0.1:0",
+		Codec:     codec,
+		Secret:    []byte("s"),
+		Handler:   &relay{inner: timerSink{ch: fired}},
+		TimerUnit: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.SetTimer(1, 10)
+	node.SetTimer(2, 5000)
+	node.StopTimer(2)
+	select {
+	case id := <-fired:
+		if id != 1 {
+			t.Fatalf("fired %d", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	select {
+	case id := <-fired:
+		t.Fatalf("cancelled timer %d fired", id)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Recover signal round-trips.
+	node.SignalRecover()
+	select {
+	case id := <-fired:
+		if id != 999 {
+			t.Fatalf("unexpected event %d", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recover signal lost")
+	}
+}
+
+type timerSink struct{ ch chan uint64 }
+
+func (s timerSink) HandleMessage(msg.NodeID, msg.Body) {}
+func (s timerSink) HandleTimer(id uint64)              { s.ch <- id }
+func (s timerSink) HandleRecover()                     { s.ch <- 999 }
+
+// TestListenErrors: invalid configs are rejected.
+func TestListenErrors(t *testing.T) {
+	gr := group.Test256()
+	codec := buildCodec(t, gr)
+	if _, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0"}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := transport.Listen(transport.Config{
+		Self: 1, Listen: "256.256.256.256:1", Codec: codec,
+		Secret: []byte("s"), Handler: &relay{},
+	}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

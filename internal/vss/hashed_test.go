@@ -1,0 +1,189 @@
+package vss
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/randutil"
+)
+
+// White-box tests for the hashed-commitment mode's buffering path and
+// the renewal-hygiene redaction, which the cluster-level suites only
+// exercise indirectly.
+
+type captureSender struct {
+	sent []msg.Body
+}
+
+func (c *captureSender) Send(_ msg.NodeID, body msg.Body) { c.sent = append(c.sent, body) }
+
+func hashedFixture(t *testing.T) (*group.Group, *poly.BiPoly, *commit.Matrix, *Node, *captureSender) {
+	t.Helper()
+	gr := group.Test256()
+	r := randutil.NewReader(61)
+	secret, err := gr.RandScalar(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := poly.NewRandomSymmetric(gr.Q(), secret, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := commit.NewMatrix(gr, f)
+	sender := &captureSender{}
+	params := Params{Group: gr, N: 4, T: 1, HashedEcho: true}
+	node, err := NewNode(params, SessionID{Dealer: 1, Tau: 1}, 2, sender, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr, f, c, node, sender
+}
+
+// TestHashedEchoBufferedUntilSendArrives: hashed echoes arriving
+// before the commitment matrix are buffered, then replayed once the
+// send message supplies C.
+func TestHashedEchoBufferedUntilSendArrives(t *testing.T) {
+	_, f, c, node, sender := hashedFixture(t)
+	sess := SessionID{Dealer: 1, Tau: 1}
+	h := c.Hash()
+	// Echoes from 3 and 4 arrive first (hash only, no matrix).
+	node.Handle(3, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(3, 2)})
+	node.Handle(4, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(4, 2)})
+	if len(sender.sent) != 0 {
+		t.Fatalf("node acted on unverifiable echoes: %d sends", len(sender.sent))
+	}
+	// The dealer's send arrives: verify-poly passes, echoes replay.
+	node.Handle(1, &SendMsg{Session: sess, C: c, A: f.Row(2).Coeffs()})
+	// Node echoes to all 4 peers; the replayed buffered echoes (now
+	// verifiable) plus its own echo cross the threshold ⌈(4+1+1)/2⌉=3
+	// only when its own echo comes back — so count sends: 4 echoes.
+	echoes := 0
+	for _, b := range sender.sent {
+		if _, ok := b.(*EchoMsg); ok {
+			echoes++
+		}
+	}
+	if echoes != 4 {
+		t.Fatalf("echo broadcast count = %d, want 4", echoes)
+	}
+	// Deliver its own echo back plus continue the ready flow.
+	node.Handle(2, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(2, 2)})
+	readies := 0
+	for _, b := range sender.sent {
+		if r, ok := b.(*ReadyMsg); ok {
+			readies++
+			if r.C != nil {
+				t.Fatal("hashed mode leaked full matrix in ready")
+			}
+		}
+	}
+	if readies != 4 {
+		t.Fatalf("ready broadcast count = %d, want 4 (buffered echoes replayed)", readies)
+	}
+}
+
+// TestHashedEchoGarbageHashBounded: echoes with unknown hashes burn
+// the sender's slot and never accumulate state beyond one entry.
+func TestHashedEchoGarbageHashBounded(t *testing.T) {
+	_, _, _, node, sender := hashedFixture(t)
+	sess := SessionID{Dealer: 1, Tau: 1}
+	var junk [32]byte
+	junk[5] = 0xee
+	for i := 0; i < 50; i++ {
+		node.Handle(3, &EchoMsg{Session: sess, CHash: junk, Alpha: big.NewInt(int64(i))})
+	}
+	if len(sender.sent) != 0 {
+		t.Fatal("junk echoes triggered sends")
+	}
+}
+
+// TestEraseDealingSecretsRedactsLog: after redaction, retransmitted
+// send messages carry commitments only (§5.2), and recipients treat
+// them as commitment announcements without echoing.
+func TestEraseDealingSecretsRedactsLog(t *testing.T) {
+	gr := group.Test256()
+	params := Params{Group: gr, N: 4, T: 1}
+	sess := SessionID{Dealer: 1, Tau: 1}
+	sender := &captureSender{}
+	dealer, err := NewNode(params, sess, 1, sender, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dealer.ShareSecret(big.NewInt(5), randutil.NewReader(3)); err != nil {
+		t.Fatal(err)
+	}
+	dealer.EraseDealingSecrets()
+	before := len(sender.sent)
+	// A help request triggers retransmission of B_3.
+	dealer.Handle(3, &HelpMsg{Session: sess})
+	resent := sender.sent[before:]
+	if len(resent) == 0 {
+		t.Fatal("help served nothing")
+	}
+	for _, b := range resent {
+		sm, ok := b.(*SendMsg)
+		if !ok {
+			continue
+		}
+		if !sm.OmitPoly || sm.A != nil {
+			t.Fatal("redacted send still carries the row polynomial")
+		}
+	}
+	// A recipient of a redacted send learns C but must not echo.
+	recvSender := &captureSender{}
+	recv, err := NewNode(params, sess, 3, recvSender, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range resent {
+		if sm, ok := b.(*SendMsg); ok {
+			recv.Handle(1, sm)
+		}
+	}
+	for _, b := range recvSender.sent {
+		if _, ok := b.(*EchoMsg); ok {
+			t.Fatal("recipient echoed a redacted send")
+		}
+	}
+}
+
+// TestResendLoggedTo: B_ℓ retransmission replays exactly the messages
+// destined for one peer.
+func TestResendLoggedTo(t *testing.T) {
+	gr := group.Test256()
+	params := Params{Group: gr, N: 4, T: 1}
+	sess := SessionID{Dealer: 1, Tau: 1}
+	type addressed struct {
+		to   msg.NodeID
+		body msg.Body
+	}
+	var log []addressed
+	sender := senderAddrFunc(func(to msg.NodeID, body msg.Body) {
+		log = append(log, addressed{to: to, body: body})
+	})
+	dealer, err := NewNode(params, sess, 1, sender, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dealer.ShareSecret(big.NewInt(9), randutil.NewReader(4)); err != nil {
+		t.Fatal(err)
+	}
+	before := len(log)
+	dealer.ResendLoggedTo(2)
+	for _, e := range log[before:] {
+		if e.to != 2 {
+			t.Fatalf("ResendLoggedTo(2) sent to %d", e.to)
+		}
+	}
+	if len(log) == before {
+		t.Fatal("nothing resent")
+	}
+}
+
+type senderAddrFunc func(msg.NodeID, msg.Body)
+
+func (f senderAddrFunc) Send(to msg.NodeID, body msg.Body) { f(to, body) }

@@ -1,0 +1,351 @@
+package vss
+
+import (
+	"fmt"
+	"math/big"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+)
+
+// SessionID identifies a sharing (P_d, τ): the dealer plus a counter.
+type SessionID struct {
+	Dealer msg.NodeID
+	Tau    uint64
+}
+
+// String implements fmt.Stringer.
+func (s SessionID) String() string { return fmt.Sprintf("(P%d,%d)", s.Dealer, s.Tau) }
+
+func (s SessionID) encode(w *msg.Writer) {
+	w.Node(s.Dealer)
+	w.U64(s.Tau)
+}
+
+func decodeSession(r *msg.Reader) SessionID {
+	return SessionID{Dealer: r.Node(), Tau: r.U64()}
+}
+
+// SendMsg is the dealer's (P_d, τ, send, C, a) message: the full
+// commitment matrix plus the recipient's row polynomial a_i(y)=f(i,y).
+// During share renewal the dealer omits the polynomials when
+// retransmitting (only the commitments are resent, §5.2); OmitPoly
+// marks such redacted retransmissions.
+type SendMsg struct {
+	Session  SessionID
+	C        *commit.Matrix
+	A        []*big.Int // coefficients of a_i(y), ascending; nil if OmitPoly
+	OmitPoly bool
+}
+
+var _ msg.Body = (*SendMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *SendMsg) MsgType() msg.Type { return msg.TVSSSend }
+
+// MarshalBinary implements msg.Body.
+func (m *SendMsg) MarshalBinary() ([]byte, error) {
+	cEnc, err := m.C.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w := msg.NewWriter(64 + len(cEnc))
+	m.Session.encode(w)
+	w.Blob(cEnc)
+	w.Bool(m.OmitPoly)
+	if !m.OmitPoly {
+		w.U32(uint32(len(m.A)))
+		for _, c := range m.A {
+			w.Big(c)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+func decodeSend(gr *group.Group) msg.Decoder {
+	return func(data []byte) (msg.Body, error) {
+		r := msg.NewReader(data)
+		out := &SendMsg{Session: decodeSession(r)}
+		cEnc := r.Blob()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		c, err := commit.UnmarshalMatrix(gr, cEnc)
+		if err != nil {
+			return nil, err
+		}
+		out.C = c
+		out.OmitPoly = r.Bool()
+		if !out.OmitPoly {
+			n := r.U32()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if n > 4096 {
+				return nil, fmt.Errorf("vss: polynomial too large: %d", n)
+			}
+			out.A = make([]*big.Int, n)
+			for i := range out.A {
+				out.A[i] = r.Big()
+			}
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// EchoMsg is (P_d, τ, echo, C, α). In the default protocol the full
+// commitment matrix travels in every echo (the O(κn⁴) configuration);
+// with the hashed-commitment optimisation only its digest does
+// (O(κn³), §3 efficiency discussion).
+type EchoMsg struct {
+	Session SessionID
+	C       *commit.Matrix // nil in hashed mode
+	CHash   [32]byte       // always set
+	Alpha   *big.Int
+}
+
+var _ msg.Body = (*EchoMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *EchoMsg) MsgType() msg.Type { return msg.TVSSEcho }
+
+// MarshalBinary implements msg.Body.
+func (m *EchoMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(128)
+	m.Session.encode(w)
+	if m.C != nil {
+		cEnc, err := m.C.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Bool(true)
+		w.Blob(cEnc)
+	} else {
+		w.Bool(false)
+		w.Blob(m.CHash[:])
+	}
+	w.Big(m.Alpha)
+	return w.Bytes(), nil
+}
+
+func decodeEcho(gr *group.Group) msg.Decoder {
+	return func(data []byte) (msg.Body, error) {
+		r := msg.NewReader(data)
+		out := &EchoMsg{Session: decodeSession(r)}
+		hasC := r.Bool()
+		blob := r.Blob()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if hasC {
+			c, err := commit.UnmarshalMatrix(gr, blob)
+			if err != nil {
+				return nil, err
+			}
+			out.C = c
+			out.CHash = c.Hash()
+		} else {
+			if len(blob) != 32 {
+				return nil, fmt.Errorf("vss: bad commitment hash length %d", len(blob))
+			}
+			copy(out.CHash[:], blob)
+		}
+		out.Alpha = r.Big()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// ReadyMsg is (P_d, τ, ready, C, α), optionally signed (extended
+// HybridVSS, §4): the signature covers ReadyTranscript so that a set
+// of n−t−f of them is a transferable completion proof R_d for the DKG
+// leader's proposal.
+type ReadyMsg struct {
+	Session SessionID
+	C       *commit.Matrix // nil in hashed mode
+	CHash   [32]byte
+	Alpha   *big.Int
+	Sig     []byte // empty outside extended mode
+}
+
+var _ msg.Body = (*ReadyMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *ReadyMsg) MsgType() msg.Type { return msg.TVSSReady }
+
+// MarshalBinary implements msg.Body.
+func (m *ReadyMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(160)
+	m.Session.encode(w)
+	if m.C != nil {
+		cEnc, err := m.C.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Bool(true)
+		w.Blob(cEnc)
+	} else {
+		w.Bool(false)
+		w.Blob(m.CHash[:])
+	}
+	w.Big(m.Alpha)
+	w.Blob(m.Sig)
+	return w.Bytes(), nil
+}
+
+func decodeReady(gr *group.Group) msg.Decoder {
+	return func(data []byte) (msg.Body, error) {
+		r := msg.NewReader(data)
+		out := &ReadyMsg{Session: decodeSession(r)}
+		hasC := r.Bool()
+		blob := r.Blob()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if hasC {
+			c, err := commit.UnmarshalMatrix(gr, blob)
+			if err != nil {
+				return nil, err
+			}
+			out.C = c
+			out.CHash = c.Hash()
+		} else {
+			if len(blob) != 32 {
+				return nil, fmt.Errorf("vss: bad commitment hash length %d", len(blob))
+			}
+			copy(out.CHash[:], blob)
+		}
+		out.Alpha = r.Big()
+		out.Sig = r.Blob()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// HelpMsg is (P_d, τ, help): a recovering node's request for
+// retransmission of the messages it missed while crashed.
+type HelpMsg struct {
+	Session SessionID
+}
+
+var _ msg.Body = (*HelpMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *HelpMsg) MsgType() msg.Type { return msg.TVSSHelp }
+
+// MarshalBinary implements msg.Body.
+func (m *HelpMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(16)
+	m.Session.encode(w)
+	return w.Bytes(), nil
+}
+
+func decodeHelp(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &HelpMsg{Session: decodeSession(r)}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecShareMsg carries a node's share during the Rec protocol.
+type RecShareMsg struct {
+	Session SessionID
+	Share   *big.Int
+}
+
+var _ msg.Body = (*RecShareMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *RecShareMsg) MsgType() msg.Type { return msg.TRecShare }
+
+// MarshalBinary implements msg.Body.
+func (m *RecShareMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(48)
+	m.Session.encode(w)
+	w.Big(m.Share)
+	return w.Bytes(), nil
+}
+
+func decodeRecShare(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &RecShareMsg{Session: decodeSession(r)}
+	out.Share = r.Big()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RegisterCodec installs decoders for all VSS message types.
+func RegisterCodec(c *msg.Codec, gr *group.Group) error {
+	if err := c.Register(msg.TVSSSend, decodeSend(gr)); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TVSSEcho, decodeEcho(gr)); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TVSSReady, decodeReady(gr)); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TVSSHelp, decodeHelp); err != nil {
+		return err
+	}
+	return c.Register(msg.TRecShare, decodeRecShare)
+}
+
+// SignedReady is one node's signed attestation that it sent ready for
+// commitment CHash in this session. n−t−f of them form the R_d
+// completion proof used by the DKG (Fig. 2).
+type SignedReady struct {
+	Signer msg.NodeID
+	Sig    []byte
+}
+
+// ReadyTranscript is the byte string a ReadyMsg signature covers. It
+// binds the dealer, the session counter and the commitment, but not
+// the recipient-specific evaluation α (whose integrity verify-point
+// enforces cryptographically).
+func ReadyTranscript(session SessionID, cHash [32]byte) []byte {
+	w := msg.NewWriter(64)
+	w.Blob([]byte("hybriddkg/vss-ready/v1"))
+	session.encode(w)
+	w.Blob(cHash[:])
+	return w.Bytes()
+}
+
+// EncodeSignedReadies / DecodeSignedReadies serialise proof sets for
+// embedding in DKG messages.
+func EncodeSignedReadies(w *msg.Writer, proofs []SignedReady) {
+	w.U32(uint32(len(proofs)))
+	for _, p := range proofs {
+		w.Node(p.Signer)
+		w.Blob(p.Sig)
+	}
+}
+
+// DecodeSignedReadies reads a proof set written by EncodeSignedReadies.
+func DecodeSignedReadies(r *msg.Reader) []SignedReady {
+	n := r.U32()
+	if r.Err() != nil {
+		return nil
+	}
+	if n > 65536 {
+		return nil
+	}
+	out := make([]SignedReady, n)
+	for i := range out {
+		out[i].Signer = r.Node()
+		out[i].Sig = r.Blob()
+	}
+	return out
+}

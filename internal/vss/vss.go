@@ -1,0 +1,657 @@
+// Package vss implements HybridVSS, the verifiable secret sharing
+// protocol of Kate & Goldberg (ICDCS 2009), Figure 1: an asynchronous
+// VSS for the hybrid fault model (t Byzantine nodes plus f
+// crash-recovery nodes, n ≥ 3t + 2f + 1) built from the AVSS protocol
+// of Cachin et al. with the recovery machinery of Backes–Cachin
+// reliable broadcast, using symmetric bivariate polynomials and
+// Feldman commitments.
+//
+// A Node is a deterministic state machine for one session (P_d, τ).
+// It emits messages through a Sender and reports completion through
+// callbacks; timers are not needed (HybridVSS is timer-free — only
+// the DKG layer above uses timers).
+package vss
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/sig"
+)
+
+// Errors returned by the VSS layer.
+var (
+	ErrBadParams    = errors.New("vss: invalid parameters")
+	ErrNotDealer    = errors.New("vss: share input on a non-dealer node")
+	ErrAlreadyDealt = errors.New("vss: dealer already shared")
+	ErrNotDone      = errors.New("vss: sharing not complete")
+)
+
+// Params carries the static configuration of a HybridVSS session.
+type Params struct {
+	// Group is the discrete-log group for commitments.
+	Group *group.Group
+	// N, T, F are the node count, Byzantine threshold and crash
+	// limit; resilience requires N ≥ 3T + 2F + 1.
+	N, T, F int
+	// DMax is d(κ), the bound on the adversary's crash budget; it
+	// caps help-request service (Fig. 1 recovery counters).
+	DMax int
+	// HashedEcho enables the O(κn³) hashed-commitment optimisation:
+	// echo/ready carry a digest of C instead of the matrix.
+	HashedEcho bool
+	// Extended enables signed ready messages whose collected sets
+	// form DKG completion proofs (extended HybridVSS, §4).
+	Extended bool
+	// Directory holds all nodes' signature keys (required iff
+	// Extended).
+	Directory *sig.Directory
+	// SignKey is this node's private signing key (required iff
+	// Extended).
+	SignKey []byte
+}
+
+// EchoThreshold returns ⌈(n+t+1)/2⌉.
+func (p Params) EchoThreshold() int { return (p.N + p.T + 2) / 2 }
+
+// ReadyThreshold returns n − t − f, the completion quorum.
+func (p Params) ReadyThreshold() int { return p.N - p.T - p.F }
+
+// HelpPerNode returns the per-requester help budget d(κ).
+func (p Params) HelpPerNode() int { return p.DMax }
+
+// HelpTotal returns the global help budget (t+1)·d(κ).
+func (p Params) HelpTotal() int { return (p.T + 1) * p.DMax }
+
+// Validate checks the resilience bound and required fields.
+func (p Params) Validate() error {
+	if p.Group == nil {
+		return fmt.Errorf("%w: nil group", ErrBadParams)
+	}
+	if p.N <= 0 || p.T < 0 || p.F < 0 {
+		return fmt.Errorf("%w: n=%d t=%d f=%d", ErrBadParams, p.N, p.T, p.F)
+	}
+	if p.N < 3*p.T+2*p.F+1 {
+		return fmt.Errorf("%w: resilience bound violated (n=%d < 3t+2f+1=%d)",
+			ErrBadParams, p.N, 3*p.T+2*p.F+1)
+	}
+	if p.DMax < 0 {
+		return fmt.Errorf("%w: negative DMax", ErrBadParams)
+	}
+	if p.Extended && (p.Directory == nil || len(p.SignKey) == 0) {
+		return fmt.Errorf("%w: extended mode requires directory and signing key", ErrBadParams)
+	}
+	return nil
+}
+
+// Sender is the outgoing half of the node's network interface
+// (satisfied by *simnet.Env and by the TCP runtime).
+type Sender interface {
+	Send(to msg.NodeID, body msg.Body)
+}
+
+// SharedEvent reports Sh completion: (P_d, τ, out, shared, C, s_i)
+// plus the R_d proof set in extended mode.
+type SharedEvent struct {
+	Session    SessionID
+	C          *commit.Matrix
+	Share      *big.Int
+	ReadyProof []SignedReady
+}
+
+// ReconstructedEvent reports Rec completion:
+// (P_d, τ, out, reconstructed, z_i).
+type ReconstructedEvent struct {
+	Session SessionID
+	Value   *big.Int
+}
+
+// cstate is the per-commitment state: the point set A_C and the echo
+// and ready counters e_C, r_C of Fig. 1.
+type cstate struct {
+	c          *commit.Matrix // nil until the matrix is known (hashed mode)
+	points     map[msg.NodeID]*big.Int
+	echoCount  int
+	readyCount int
+	readySigs  []SignedReady
+	sentReady  bool
+	aBar       *poly.Poly // interpolated row polynomial, once available
+}
+
+// pendingPoint buffers an echo/ready that arrived (in hashed mode)
+// before the commitment matrix was known.
+type pendingPoint struct {
+	from  msg.NodeID
+	alpha *big.Int
+	ready bool
+	sig   []byte
+}
+
+// Node is one HybridVSS session endpoint.
+type Node struct {
+	params  Params
+	self    msg.NodeID
+	session SessionID
+	sender  Sender
+
+	onShared        func(SharedEvent)
+	onReconstructed func(ReconstructedEvent)
+
+	// Dealing state (dealer only).
+	dealt bool
+
+	// Sh state.
+	sendHandled bool
+	echoSeen    map[msg.NodeID]bool
+	readySeen   map[msg.NodeID]bool
+	cstates     map[[32]byte]*cstate
+	pending     map[[32]byte][]pendingPoint
+
+	done       bool
+	share      *big.Int
+	outC       *commit.Matrix
+	readyProof []SignedReady
+
+	// Recovery state: B (outgoing log) and the help counters c, c_ℓ.
+	outLog    map[msg.NodeID][]msg.Body
+	helpFrom  map[msg.NodeID]int
+	helpTotal int
+
+	// Rec state.
+	recStarted    bool
+	recSeen       map[msg.NodeID]bool
+	recPoints     []poly.Point
+	recPending    []RecShareMsg
+	recPendingSrc []msg.NodeID
+	reconstructed *big.Int
+}
+
+// Options bundles the per-node callbacks.
+type Options struct {
+	// OnShared fires exactly once when protocol Sh completes.
+	OnShared func(SharedEvent)
+	// OnReconstructed fires exactly once when protocol Rec completes.
+	OnReconstructed func(ReconstructedEvent)
+}
+
+// NewNode creates the session endpoint for node self in session.
+func NewNode(params Params, session SessionID, self msg.NodeID, sender Sender, opts Options) (*Node, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if self < 1 || int64(self) > int64(params.N) {
+		return nil, fmt.Errorf("%w: self index %d out of [1,%d]", ErrBadParams, self, params.N)
+	}
+	if session.Dealer < 1 || int64(session.Dealer) > int64(params.N) {
+		return nil, fmt.Errorf("%w: dealer index %d out of [1,%d]", ErrBadParams, session.Dealer, params.N)
+	}
+	if sender == nil {
+		return nil, fmt.Errorf("%w: nil sender", ErrBadParams)
+	}
+	return &Node{
+		params:          params,
+		self:            self,
+		session:         session,
+		sender:          sender,
+		onShared:        opts.OnShared,
+		onReconstructed: opts.OnReconstructed,
+		echoSeen:        make(map[msg.NodeID]bool, params.N),
+		readySeen:       make(map[msg.NodeID]bool, params.N),
+		cstates:         make(map[[32]byte]*cstate),
+		pending:         make(map[[32]byte][]pendingPoint),
+		outLog:          make(map[msg.NodeID][]msg.Body, params.N),
+		helpFrom:        make(map[msg.NodeID]int, params.N),
+		recSeen:         make(map[msg.NodeID]bool, params.N),
+	}, nil
+}
+
+// Session returns the session identifier.
+func (nd *Node) Session() SessionID { return nd.session }
+
+// Done reports whether protocol Sh has completed locally.
+func (nd *Node) Done() bool { return nd.done }
+
+// Share returns this node's share s_i (nil until Done).
+func (nd *Node) Share() *big.Int {
+	if nd.share == nil {
+		return nil
+	}
+	return new(big.Int).Set(nd.share)
+}
+
+// Commitment returns the decided commitment matrix (nil until Done).
+func (nd *Node) Commitment() *commit.Matrix { return nd.outC }
+
+// ReadyProof returns the R_d set (extended mode, after Done).
+func (nd *Node) ReadyProof() []SignedReady { return nd.readyProof }
+
+// Reconstructed returns z_i (nil until Rec completes).
+func (nd *Node) Reconstructed() *big.Int {
+	if nd.reconstructed == nil {
+		return nil
+	}
+	return new(big.Int).Set(nd.reconstructed)
+}
+
+// ShareSecret is the dealer's (P_d, τ, in, share, s) operator message:
+// it samples the symmetric bivariate polynomial, commits, and sends
+// each node its row.
+func (nd *Node) ShareSecret(s *big.Int, rand io.Reader) error {
+	if nd.self != nd.session.Dealer {
+		return ErrNotDealer
+	}
+	if nd.dealt {
+		return ErrAlreadyDealt
+	}
+	f, err := poly.NewRandomSymmetric(nd.params.Group.Q(), s, nd.params.T, rand)
+	if err != nil {
+		return fmt.Errorf("vss: sample bivariate polynomial: %w", err)
+	}
+	nd.dealt = true
+	c := commit.NewMatrix(nd.params.Group, f)
+	for j := 1; j <= nd.params.N; j++ {
+		row := f.Row(int64(j))
+		nd.sendLogged(msg.NodeID(j), &SendMsg{
+			Session: nd.session,
+			C:       c,
+			A:       row.Coeffs(),
+		})
+	}
+	return nil
+}
+
+// Handle processes one network message. Unknown or malformed bodies
+// for other sessions are ignored (Byzantine nodes may send anything).
+func (nd *Node) Handle(from msg.NodeID, body msg.Body) {
+	switch m := body.(type) {
+	case *SendMsg:
+		nd.handleSend(from, m)
+	case *EchoMsg:
+		nd.handleEcho(from, m)
+	case *ReadyMsg:
+		nd.handleReady(from, m)
+	case *HelpMsg:
+		nd.handleHelp(from, m)
+	case *RecShareMsg:
+		nd.handleRecShare(from, m)
+	}
+}
+
+// handleSend: upon (P_d, τ, send, C, a) from P_d (first time).
+func (nd *Node) handleSend(from msg.NodeID, m *SendMsg) {
+	if m.Session != nd.session || from != nd.session.Dealer || nd.sendHandled {
+		return
+	}
+	if m.C == nil || m.C.T() != nd.params.T {
+		return
+	}
+	if m.OmitPoly {
+		// Redacted retransmission (renewal recovery): learn C so
+		// buffered hashed echoes can be processed, but send no echo.
+		nd.sendHandled = true
+		nd.learnCommitment(m.C)
+		return
+	}
+	if len(m.A) != nd.params.T+1 {
+		return
+	}
+	a, err := poly.FromCoeffs(nd.params.Group.Q(), m.A)
+	if err != nil {
+		return
+	}
+	if !m.C.VerifyPoly(int64(nd.self), a) {
+		return
+	}
+	nd.sendHandled = true
+	nd.learnCommitment(m.C)
+	for j := 1; j <= nd.params.N; j++ {
+		nd.sendLogged(msg.NodeID(j), nd.makeEcho(m.C, a.EvalInt(int64(j))))
+	}
+}
+
+// handleEcho: upon (P_d, τ, echo, C, α) from P_m (first time).
+func (nd *Node) handleEcho(from msg.NodeID, m *EchoMsg) {
+	if m.Session != nd.session || nd.echoSeen[from] {
+		return
+	}
+	if m.C != nil && m.C.T() != nd.params.T {
+		return
+	}
+	cs, known := nd.resolveCommitment(m.C, m.CHash)
+	if !known {
+		// Hashed mode, matrix not yet known: buffer, but still burn
+		// the sender's first-echo slot so equivocation cannot inflate
+		// counters later.
+		nd.echoSeen[from] = true
+		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha})
+		return
+	}
+	if !cs.c.VerifyPoint(int64(nd.self), int64(from), m.Alpha) {
+		return
+	}
+	nd.echoSeen[from] = true
+	nd.addEcho(cs, from, m.Alpha)
+}
+
+// addEcho applies a verified echo point to commitment state.
+func (nd *Node) addEcho(cs *cstate, from msg.NodeID, alpha *big.Int) {
+	cs.points[from] = alpha
+	cs.echoCount++
+	if cs.echoCount == nd.params.EchoThreshold() && cs.readyCount < nd.params.T+1 {
+		if nd.interpolateRow(cs) {
+			nd.broadcastReady(cs)
+		}
+	}
+}
+
+// handleReady: upon (P_d, τ, ready, C, α) from P_m (first time).
+func (nd *Node) handleReady(from msg.NodeID, m *ReadyMsg) {
+	if m.Session != nd.session || nd.readySeen[from] {
+		return
+	}
+	if nd.params.Extended {
+		if !nd.params.Directory.Verify(int64(from), ReadyTranscript(nd.session, m.CHash), m.Sig) {
+			return
+		}
+	}
+	if m.C != nil && m.C.T() != nd.params.T {
+		return
+	}
+	cs, known := nd.resolveCommitment(m.C, m.CHash)
+	if !known {
+		nd.readySeen[from] = true
+		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha, ready: true, sig: m.Sig})
+		return
+	}
+	if !cs.c.VerifyPoint(int64(nd.self), int64(from), m.Alpha) {
+		return
+	}
+	nd.readySeen[from] = true
+	nd.addReady(cs, from, m.Alpha, m.Sig)
+}
+
+// addReady applies a verified ready point to commitment state.
+func (nd *Node) addReady(cs *cstate, from msg.NodeID, alpha *big.Int, sigBytes []byte) {
+	cs.points[from] = alpha
+	cs.readyCount++
+	if nd.params.Extended && len(cs.readySigs) < nd.params.ReadyThreshold() {
+		cs.readySigs = append(cs.readySigs, SignedReady{Signer: from, Sig: sigBytes})
+	}
+	switch {
+	case cs.readyCount == nd.params.T+1 && cs.echoCount < nd.params.EchoThreshold():
+		if nd.interpolateRow(cs) {
+			nd.broadcastReady(cs)
+		}
+	case cs.readyCount == nd.params.ReadyThreshold():
+		nd.complete(cs)
+	}
+}
+
+// interpolateRow Lagrange-interpolates ā from A_C (Fig. 1). It needs
+// t+1 points; both triggering thresholds guarantee that many.
+func (nd *Node) interpolateRow(cs *cstate) bool {
+	if cs.aBar != nil {
+		return true
+	}
+	pts := make([]poly.Point, 0, nd.params.T+1)
+	for from, alpha := range cs.points {
+		pts = append(pts, poly.Point{X: int64(from), Y: alpha})
+		if len(pts) == nd.params.T+1 {
+			break
+		}
+	}
+	if len(pts) < nd.params.T+1 {
+		return false
+	}
+	aBar, err := poly.InterpolatePoly(nd.params.Group.Q(), pts)
+	if err != nil {
+		return false
+	}
+	cs.aBar = aBar
+	return true
+}
+
+// broadcastReady sends (ready, C, ā(j)) to every node once. The
+// extended-mode signature covers only the session/commitment
+// transcript, so it is computed once and shared by all n copies.
+func (nd *Node) broadcastReady(cs *cstate) {
+	if cs.sentReady {
+		return
+	}
+	cs.sentReady = true
+	h := cs.c.Hash()
+	var sigBytes []byte
+	if nd.params.Extended {
+		sb, err := nd.params.Directory.Scheme().Sign(nd.params.SignKey, ReadyTranscript(nd.session, h))
+		if err != nil {
+			return // cannot sign: this node cannot contribute readies
+		}
+		sigBytes = sb
+	}
+	for j := 1; j <= nd.params.N; j++ {
+		out := &ReadyMsg{Session: nd.session, Alpha: cs.aBar.EvalInt(int64(j)), CHash: h, Sig: sigBytes}
+		if !nd.params.HashedEcho {
+			out.C = cs.c
+		}
+		nd.sendLogged(msg.NodeID(j), out)
+	}
+}
+
+// complete finishes Sh: s_i ← ā(0), output shared.
+func (nd *Node) complete(cs *cstate) {
+	if nd.done {
+		return
+	}
+	if !nd.interpolateRow(cs) {
+		return // cannot happen with honest quorums; defensive
+	}
+	nd.done = true
+	nd.share = cs.aBar.EvalInt(0)
+	nd.outC = cs.c
+	if nd.params.Extended {
+		nd.readyProof = cs.readySigs
+	}
+	if nd.onShared != nil {
+		nd.onShared(SharedEvent{
+			Session:    nd.session,
+			C:          cs.c,
+			Share:      new(big.Int).Set(nd.share),
+			ReadyProof: nd.readyProof,
+		})
+	}
+	nd.drainRecPending()
+}
+
+// resolveCommitment returns the cstate for a message carrying either a
+// full matrix or only its hash. known is false when the hash is not
+// yet associated with a matrix.
+func (nd *Node) resolveCommitment(c *commit.Matrix, cHash [32]byte) (*cstate, bool) {
+	if c != nil {
+		if c.T() != nd.params.T {
+			return nil, false
+		}
+		h := c.Hash()
+		cs, ok := nd.cstates[h]
+		if !ok {
+			cs = &cstate{c: c, points: make(map[msg.NodeID]*big.Int)}
+			nd.cstates[h] = cs
+		} else if cs.c == nil {
+			cs.c = c
+		}
+		return cs, true
+	}
+	cs, ok := nd.cstates[cHash]
+	if ok && cs.c != nil {
+		return cs, true
+	}
+	return nil, false
+}
+
+// learnCommitment records the matrix from a send message and replays
+// buffered hashed echoes/readies against it.
+func (nd *Node) learnCommitment(c *commit.Matrix) {
+	h := c.Hash()
+	cs, ok := nd.cstates[h]
+	if !ok {
+		cs = &cstate{c: c, points: make(map[msg.NodeID]*big.Int)}
+		nd.cstates[h] = cs
+	} else if cs.c == nil {
+		cs.c = c
+	}
+	buffered := nd.pending[h]
+	delete(nd.pending, h)
+	for _, pp := range buffered {
+		if !cs.c.VerifyPoint(int64(nd.self), int64(pp.from), pp.alpha) {
+			continue
+		}
+		if pp.ready {
+			nd.addReady(cs, pp.from, pp.alpha, pp.sig)
+		} else {
+			nd.addEcho(cs, pp.from, pp.alpha)
+		}
+	}
+}
+
+// makeEcho builds an echo message in the configured mode.
+func (nd *Node) makeEcho(c *commit.Matrix, alpha *big.Int) *EchoMsg {
+	out := &EchoMsg{Session: nd.session, Alpha: alpha, CHash: c.Hash()}
+	if !nd.params.HashedEcho {
+		out.C = c
+	}
+	return out
+}
+
+// --- crash recovery (Fig. 1 recover/help) ---------------------------
+
+// StartRecover is the (P_d, τ, in, recover) operator message: ask all
+// nodes for help and retransmit everything we previously sent.
+func (nd *Node) StartRecover() {
+	for j := 1; j <= nd.params.N; j++ {
+		nd.sender.Send(msg.NodeID(j), &HelpMsg{Session: nd.session})
+	}
+	nd.ResendLog()
+}
+
+// ResendLog retransmits the entire outgoing log B (recovery of the
+// sending side). Retransmissions are not re-logged.
+func (nd *Node) ResendLog() {
+	for to, bodies := range nd.outLog {
+		for _, b := range bodies {
+			nd.sender.Send(to, b)
+		}
+	}
+}
+
+// ResendLoggedTo retransmits B_ℓ, the logged messages destined for
+// one node. The DKG layer uses this to serve session-level help
+// requests covering all embedded VSS instances with one message.
+func (nd *Node) ResendLoggedTo(to msg.NodeID) {
+	for _, b := range nd.outLog[to] {
+		nd.sender.Send(to, b)
+	}
+}
+
+// handleHelp: serve retransmission requests within the d(κ) budgets.
+func (nd *Node) handleHelp(from msg.NodeID, m *HelpMsg) {
+	if m.Session != nd.session {
+		return
+	}
+	if nd.helpFrom[from] > nd.params.HelpPerNode() || nd.helpTotal > nd.params.HelpTotal() {
+		return
+	}
+	nd.helpFrom[from]++
+	nd.helpTotal++
+	for _, b := range nd.outLog[from] {
+		nd.sender.Send(from, b)
+	}
+}
+
+// sendLogged sends and records the message in B for later
+// retransmission. Renewal-sensitive polynomials are redacted from the
+// log by the proactive layer (see EraseDealingSecrets).
+func (nd *Node) sendLogged(to msg.NodeID, body msg.Body) {
+	nd.outLog[to] = append(nd.outLog[to], body)
+	nd.sender.Send(to, body)
+}
+
+// EraseDealingSecrets redacts stored send messages so retransmissions
+// carry only commitments (share renewal §5.2: "while retransmitting
+// send messages during a node recovery, only the commitments are
+// sent"). It is invoked by the proactive layer right after dealing.
+func (nd *Node) EraseDealingSecrets() {
+	for to, bodies := range nd.outLog {
+		for i, b := range bodies {
+			if sm, ok := b.(*SendMsg); ok {
+				nd.outLog[to][i] = &SendMsg{Session: sm.Session, C: sm.C, OmitPoly: true}
+			}
+		}
+	}
+}
+
+// --- Rec protocol ----------------------------------------------------
+
+// StartReconstruct is the (P_d, τ, in, reconstruct) operator message.
+func (nd *Node) StartReconstruct() error {
+	if !nd.done {
+		return ErrNotDone
+	}
+	if nd.recStarted {
+		return nil
+	}
+	nd.recStarted = true
+	for j := 1; j <= nd.params.N; j++ {
+		nd.sender.Send(msg.NodeID(j), &RecShareMsg{Session: nd.session, Share: new(big.Int).Set(nd.share)})
+	}
+	return nil
+}
+
+// handleRecShare collects verified shares and interpolates the secret
+// once t+1 are available.
+func (nd *Node) handleRecShare(from msg.NodeID, m *RecShareMsg) {
+	if m.Session != nd.session || nd.reconstructed != nil {
+		return
+	}
+	if !nd.done {
+		// Cannot verify before the commitment is decided; stash.
+		nd.recPending = append(nd.recPending, *m)
+		nd.recPendingSrc = append(nd.recPendingSrc, from)
+		return
+	}
+	nd.acceptRecShare(from, m.Share)
+}
+
+func (nd *Node) acceptRecShare(from msg.NodeID, share *big.Int) {
+	if nd.recSeen[from] || nd.reconstructed != nil {
+		return
+	}
+	if share == nil || !nd.outC.VerifyShare(int64(from), share) {
+		return
+	}
+	nd.recSeen[from] = true
+	nd.recPoints = append(nd.recPoints, poly.Point{X: int64(from), Y: share})
+	if len(nd.recPoints) == nd.params.T+1 {
+		z, err := poly.Interpolate(nd.params.Group.Q(), nd.recPoints, 0)
+		if err != nil {
+			return
+		}
+		nd.reconstructed = z
+		if nd.onReconstructed != nil {
+			nd.onReconstructed(ReconstructedEvent{Session: nd.session, Value: new(big.Int).Set(z)})
+		}
+	}
+}
+
+// drainRecPending re-processes shares that arrived before Sh finished.
+func (nd *Node) drainRecPending() {
+	pend, src := nd.recPending, nd.recPendingSrc
+	nd.recPending, nd.recPendingSrc = nil, nil
+	for i := range pend {
+		nd.acceptRecShare(src[i], pend[i].Share)
+	}
+}
