@@ -378,6 +378,94 @@ func BenchmarkE13ThresholdApps(b *testing.B) {
 	})
 }
 
+// BenchmarkE14Backends adds the backend dimension to the crypto
+// benchmarks: the share-verification and commitment-evaluation
+// workloads of the protocol, over every production-relevant parameter
+// set at the paper's experiment shape (n = 7, t = 2). The headline
+// comparison is prod2048 vs p256 at ~128-bit security: every workload
+// containing a full-width exponentiation (dealing commitments,
+// share verification, partial-signature verification — the DKG's hot
+// paths) is several-fold to an order of magnitude cheaper on the
+// curve backend, because a P-256 point multiplication costs a
+// fraction of a 2048-bit modexp. Pure small-exponent Horner chains
+// (commitment-eval) are the one workload where the two are
+// comparable: both backends reduce them to a handful of short
+// modular operations.
+func BenchmarkE14Backends(b *testing.B) {
+	for _, name := range []string{"test256", "test512", "prod2048", "p256"} {
+		gr, err := group.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := randutil.NewReader(1)
+		const t = 2
+		const signer = 5 // mid-range node index
+		keyPoly, err := poly.NewRandom(gr.Q(), t, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noncePoly, err := poly.NewRandom(gr.Q(), t, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keyV, nonceV := commit.NewVector(gr, keyPoly), commit.NewVector(gr, noncePoly)
+		share := keyPoly.EvalInt(signer)
+		secret, _ := gr.RandScalar(r)
+		f, err := poly.NewRandomSymmetric(gr.Q(), secret, t, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := commit.NewMatrix(gr, f)
+		alpha := f.Eval(2, signer)
+		e, _ := gr.RandScalar(r)
+		message := []byte("backend benchmark")
+		psig, err := thresh.PartialSign(gr,
+			thresh.KeyShare{Self: signer, Share: keyPoly.EvalInt(signer), V: keyV},
+			thresh.KeyShare{Self: signer, Share: noncePoly.EvalInt(signer), V: nonceV},
+			message)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(name+"/gexp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gr.GExp(e)
+			}
+		})
+		b.Run(name+"/commit-vector", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				commit.NewVector(gr, keyPoly)
+			}
+		})
+		b.Run(name+"/commitment-eval", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				keyV.Eval(signer)
+			}
+		})
+		b.Run(name+"/share-verify", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !keyV.VerifyShare(signer, share) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+		b.Run(name+"/matrix-verify-point", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !m.VerifyPoint(signer, 2, alpha) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+		b.Run(name+"/partial-sig-verify", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !thresh.VerifyPartial(gr, keyV, nonceV, message, psig) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
 // runAdditionOnce performs the E11 node-addition workload.
 func runAdditionOnce(seed uint64) error {
 	gr := group.Test256()

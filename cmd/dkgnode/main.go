@@ -216,7 +216,7 @@ func runNode(args []string) error {
 			"node":      *id,
 			"session":   ev.Tau,
 			"finalView": ev.FinalView,
-			"publicKey": ev.PublicKey.Text(16),
+			"publicKey": ev.PublicKey.String(),
 			"share":     ev.Share.Text(16),
 			"qset":      ev.Q,
 		}

@@ -521,7 +521,7 @@ func e13(seed uint64) error {
 		return err
 	}
 	decTime := time.Since(start)
-	if dec.Cmp(m) != 0 {
+	if !dec.Equal(m) {
 		return fmt.Errorf("decryption mismatch")
 	}
 	fmt.Println("| operation | wall time (crypto only) | result |")

@@ -38,7 +38,7 @@ func run() error {
 		return err
 	}
 	groupV := dres.Completed[1].V
-	fmt.Printf("public key: %s…\n\n", groupV.PublicKey().Text(16)[:24])
+	fmt.Printf("public key: %s…\n\n", groupV.PublicKey().String()[:24])
 
 	fmt.Println("== §6.1 agreement: propose adding node 8 ==")
 	change, err := groupmod.Apply(

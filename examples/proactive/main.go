@@ -31,7 +31,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("phase 0: key generated, public key %s…\n", key.PublicKey.Text(16)[:24])
+	fmt.Printf("phase 0: key generated, public key %s…\n", key.PublicKey.String()[:24])
 
 	// The mobile adversary steals t shares per phase, from different
 	// nodes each time.
@@ -69,7 +69,7 @@ func run() error {
 		}
 	}
 	guess := interpolate(cluster, pts)
-	if cluster.Group().GExp(guess).Cmp(key.PublicKey) == 0 {
+	if cluster.Group().GExp(guess).Equal(key.PublicKey) {
 		return fmt.Errorf("ADVERSARY WON: cross-phase shares reconstructed the key")
 	}
 	fmt.Println("cross-phase interpolation fails: stolen shares are from independent sharings")

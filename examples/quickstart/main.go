@@ -35,7 +35,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("distributed key generated\n")
-	fmt.Printf("  public key: %s…\n", key.PublicKey.Text(16)[:32])
+	fmt.Printf("  public key: %s…\n", key.PublicKey.String()[:32])
 	fmt.Printf("  shares:     %d (one per node, never pooled)\n", len(key.Shares))
 
 	// Every share is publicly verifiable against the Feldman
@@ -57,7 +57,7 @@ func run() error {
 	if !key.Verify(message, sig) {
 		return fmt.Errorf("signature did not verify")
 	}
-	fmt.Printf("threshold signature produced and verified (R=%s…)\n", sig.R.Text(16)[:16])
+	fmt.Printf("threshold signature produced and verified (R=%s…)\n", sig.R.String()[:16])
 
 	// Sanity: the interpolated secret matches the public key (never
 	// do this outside demos — the whole point is nobody reconstructs).
@@ -65,7 +65,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if cluster.Group().GExp(secret).Cmp(key.PublicKey) != 0 {
+	if !cluster.Group().GExp(secret).Equal(key.PublicKey) {
 		return fmt.Errorf("reconstructed secret does not match public key")
 	}
 	fmt.Println("consistency check: t+1 shares interpolate to the committed secret")

@@ -29,7 +29,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("threshold CA key generated (public key %s…)\n", caKey.PublicKey.Text(16)[:24])
+	fmt.Printf("threshold CA key generated (public key %s…)\n", caKey.PublicKey.String()[:24])
 
 	certs := []string{
 		"CN=alice,O=example",

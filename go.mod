@@ -1,0 +1,3 @@
+module hybriddkg
+
+go 1.22

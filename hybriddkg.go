@@ -49,13 +49,21 @@ var (
 // paper's public per-node identifying index, §2.3).
 type NodeID = msg.NodeID
 
+// Element is an opaque group element (a public key, commitment entry
+// or ElGamal ciphertext half). Its concrete representation depends on
+// the configured group backend: a Z_p* residue for the modp parameter
+// sets, a curve point for "p256".
+type Element = group.Element
+
 // Options configures an in-memory cluster.
 type Options struct {
 	// N, T, F are the group size, Byzantine threshold and crash
 	// limit; n ≥ 3t + 2f + 1 must hold.
 	N, T, F int
-	// GroupName selects the discrete-log parameter set: "toy64",
-	// "test256" (default), "test512" or "prod2048".
+	// GroupName selects the group backend and parameter set: "toy64",
+	// "test256" (default), "test512", "prod2048" (all Z_p*) or "p256"
+	// (NIST P-256 elliptic curve; ~128-bit security with commitment
+	// operations an order of magnitude cheaper than prod2048).
 	GroupName string
 	// Seed makes the whole cluster deterministic (scheduling and key
 	// material). The default 1 is fine for demos; real deployments
@@ -102,7 +110,7 @@ type Cluster struct {
 // inside the process in this in-memory deployment; a real deployment
 // holds one share per machine.
 type SharedKey struct {
-	PublicKey  *big.Int
+	PublicKey  Element
 	Commitment *commit.Vector
 	Shares     map[msg.NodeID]*big.Int
 
@@ -113,12 +121,13 @@ type SharedKey struct {
 // Signature is a standard Schnorr signature produced by a threshold
 // quorum; any ordinary Schnorr verifier accepts it.
 type Signature struct {
-	R, Sigma *big.Int
+	R     Element
+	Sigma *big.Int
 }
 
 // Ciphertext is an ElGamal ciphertext under a SharedKey.
 type Ciphertext struct {
-	C1, C2 *big.Int
+	C1, C2 Element
 }
 
 // NewCluster creates the in-memory deployment.
@@ -280,7 +289,7 @@ func (k *SharedKey) Verify(message []byte, s Signature) bool {
 }
 
 // Encrypt encrypts a group element under the shared public key.
-func (c *Cluster) Encrypt(key *SharedKey, m *big.Int) (Ciphertext, error) {
+func (c *Cluster) Encrypt(key *SharedKey, m Element) (Ciphertext, error) {
 	ct, err := thresh.Encrypt(c.gr, key.PublicKey, m, c.rng)
 	if err != nil {
 		return Ciphertext{}, err
@@ -289,7 +298,7 @@ func (c *Cluster) Encrypt(key *SharedKey, m *big.Int) (Ciphertext, error) {
 }
 
 // Decrypt runs verified threshold decryption with t+1 share holders.
-func (c *Cluster) Decrypt(key *SharedKey, ct Ciphertext) (*big.Int, error) {
+func (c *Cluster) Decrypt(key *SharedKey, ct Ciphertext) (Element, error) {
 	tct := thresh.Ciphertext{C1: ct.C1, C2: ct.C2}
 	parts := make([]thresh.PartialDecryption, 0, c.opts.T+1)
 	for id, share := range key.Shares {

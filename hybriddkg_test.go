@@ -62,7 +62,7 @@ func TestGenerateKeyAndSign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cluster.Group().GExp(secret).Cmp(key.PublicKey) != 0 {
+	if !cluster.Group().GExp(secret).Equal(key.PublicKey) {
 		t.Fatal("reconstructed secret does not match public key")
 	}
 }
@@ -85,7 +85,7 @@ func TestEncryptDecrypt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Cmp(m) != 0 {
+	if !got.Equal(m) {
 		t.Fatal("decrypt mismatch")
 	}
 }
@@ -99,7 +99,7 @@ func TestRenewSharesPreservesKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkBefore := new(big.Int).Set(key.PublicKey)
+	pkBefore := key.PublicKey
 	secretBefore, err := cluster.Reconstruct(key)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestRenewSharesPreservesKey(t *testing.T) {
 	if err := cluster.RenewShares(key); err != nil {
 		t.Fatal(err)
 	}
-	if key.PublicKey.Cmp(pkBefore) != 0 {
+	if !key.PublicKey.Equal(pkBefore) {
 		t.Fatal("public key changed by renewal")
 	}
 	if key.Shares[1].Cmp(oldShare1) == 0 {

@@ -9,7 +9,9 @@
 // a Vector commits to h(y) = Σ h_ℓ y^ℓ as V_ℓ = g^{h_ℓ}. Verification
 // uses Horner-in-the-exponent with the small node indices as
 // exponents, which keeps a verify-point call at O(t²) cheap
-// exponentiations plus a single full-width exponentiation.
+// exponentiations plus a single full-width exponentiation. All element
+// arithmetic goes through the pluggable group backend, so commitments
+// work identically over Z_p* and elliptic-curve groups.
 package commit
 
 import (
@@ -40,15 +42,15 @@ var (
 type Matrix struct {
 	gr *group.Group
 	t  int
-	c  [][]*big.Int
+	c  [][]group.Element
 }
 
 // NewMatrix commits to the given symmetric bivariate polynomial.
 func NewMatrix(gr *group.Group, f *poly.BiPoly) *Matrix {
 	t := f.T()
-	c := make([][]*big.Int, t+1)
+	c := make([][]group.Element, t+1)
 	for j := range c {
-		c[j] = make([]*big.Int, t+1)
+		c[j] = make([]group.Element, t+1)
 	}
 	for j := 0; j <= t; j++ {
 		for l := j; l <= t; l++ {
@@ -66,12 +68,12 @@ func (m *Matrix) T() int { return m.t }
 // Group returns the underlying group.
 func (m *Matrix) Group() *group.Group { return m.gr }
 
-// Entry returns C_{jℓ} (a copy).
-func (m *Matrix) Entry(j, l int) *big.Int { return new(big.Int).Set(m.c[j][l]) }
+// Entry returns C_{jℓ} (elements are immutable; sharing is safe).
+func (m *Matrix) Entry(j, l int) group.Element { return m.c[j][l] }
 
 // PublicKey returns C_{00} = g^{f(0,0)}, the public key of the shared
 // secret.
-func (m *Matrix) PublicKey() *big.Int { return m.Entry(0, 0) }
+func (m *Matrix) PublicKey() group.Element { return m.Entry(0, 0) }
 
 // VerifyPoly implements the paper's verify-poly(C, i, a) predicate: it
 // checks that the degree-t polynomial a is consistent with the
@@ -80,14 +82,15 @@ func (m *Matrix) VerifyPoly(i int64, a *poly.Poly) bool {
 	if a == nil || a.Degree() != m.t {
 		return false
 	}
+	q := m.gr.Q()
 	for l := 0; l <= m.t; l++ {
 		coef := a.Coeff(l)
-		if coef.Sign() < 0 || coef.Cmp(m.gr.Q()) >= 0 {
+		if coef.Sign() < 0 || coef.Cmp(q) >= 0 {
 			return false
 		}
 		// Horner over j with exponent i: Π_j C_{jℓ}^{i^j}.
 		rhs := m.hornerColumn(l, i)
-		if m.gr.GExp(coef).Cmp(rhs) != 0 {
+		if !m.gr.GExp(coef).Equal(rhs) {
 			return false
 		}
 	}
@@ -102,12 +105,12 @@ func (m *Matrix) VerifyPoint(i, mIdx int64, alpha *big.Int) bool {
 	}
 	// R_j = Π_ℓ C_{jℓ}^{i^ℓ} (Horner over ℓ), then Π_j R_j^{mIdx^j}
 	// (Horner over j).
-	acc := m.hornerRow(m.t, i)
-	mB := big.NewInt(mIdx)
-	for j := m.t - 1; j >= 0; j-- {
-		acc = m.gr.Mul(m.gr.Exp(acc, mB), m.hornerRow(j, i))
+	rows := make([]group.Element, m.t+1)
+	for j := 0; j <= m.t; j++ {
+		rows[j] = m.hornerRow(j, i)
 	}
-	return m.gr.GExp(alpha).Cmp(acc) == 0
+	acc := m.gr.Horner(rows, mIdx)
+	return m.gr.GExp(alpha).Equal(acc)
 }
 
 // VerifyShare checks that s is node i's share f(i, 0):
@@ -116,19 +119,19 @@ func (m *Matrix) VerifyShare(i int64, s *big.Int) bool {
 	if s == nil || s.Sign() < 0 || s.Cmp(m.gr.Q()) >= 0 {
 		return false
 	}
-	return m.gr.GExp(s).Cmp(m.hornerColumn(0, i)) == 0
+	return m.gr.GExp(s).Equal(m.hornerColumn(0, i))
 }
 
 // SharePublic returns g^{f(i,0)}, the public verification key for node
 // i's share.
-func (m *Matrix) SharePublic(i int64) *big.Int { return m.hornerColumn(0, i) }
+func (m *Matrix) SharePublic(i int64) group.Element { return m.hornerColumn(0, i) }
 
 // Column0 returns the Feldman vector commitment formed by the first
 // column (the commitment to the univariate share polynomial f(x, 0)).
 func (m *Matrix) Column0() *Vector {
-	v := make([]*big.Int, m.t+1)
+	v := make([]group.Element, m.t+1)
 	for j := 0; j <= m.t; j++ {
-		v[j] = new(big.Int).Set(m.c[j][0])
+		v[j] = m.c[j][0]
 	}
 	return &Vector{gr: m.gr, v: v}
 }
@@ -143,9 +146,9 @@ func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
 	if m.t != o.t {
 		return nil, ErrDimensionMismatch
 	}
-	c := make([][]*big.Int, m.t+1)
+	c := make([][]group.Element, m.t+1)
 	for j := range c {
-		c[j] = make([]*big.Int, m.t+1)
+		c[j] = make([]group.Element, m.t+1)
 		for l := range c[j] {
 			c[j][l] = m.gr.Mul(m.c[j][l], o.c[j][l])
 		}
@@ -160,7 +163,7 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	}
 	for j := 0; j <= m.t; j++ {
 		for l := 0; l <= m.t; l++ {
-			if m.c[j][l].Cmp(o.c[j][l]) != 0 {
+			if !m.c[j][l].Equal(o.c[j][l]) {
 				return false
 			}
 		}
@@ -187,14 +190,14 @@ func (m *Matrix) MarshalBinary() ([]byte, error) {
 	writeU32(&buf, uint32(m.t))
 	for j := 0; j <= m.t; j++ {
 		for l := j; l <= m.t; l++ {
-			writeBig(&buf, m.c[j][l])
+			writeBlob(&buf, m.gr.EncodeElement(m.c[j][l]))
 		}
 	}
 	return buf.Bytes(), nil
 }
 
 // UnmarshalMatrix decodes a matrix in the given group, validating that
-// every entry is a subgroup element.
+// every entry is a group element.
 func UnmarshalMatrix(gr *group.Group, data []byte) (*Matrix, error) {
 	r := bytes.NewReader(data)
 	tU, err := readU32(r)
@@ -205,18 +208,15 @@ func UnmarshalMatrix(gr *group.Group, data []byte) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: degree %d too large", ErrBadEncoding, tU)
 	}
 	t := int(tU)
-	c := make([][]*big.Int, t+1)
+	c := make([][]group.Element, t+1)
 	for j := range c {
-		c[j] = make([]*big.Int, t+1)
+		c[j] = make([]group.Element, t+1)
 	}
 	for j := 0; j <= t; j++ {
 		for l := j; l <= t; l++ {
-			e, err := readBig(r)
+			e, err := readElement(gr, r)
 			if err != nil {
-				return nil, err
-			}
-			if !gr.IsElement(e) {
-				return nil, fmt.Errorf("%w: entry (%d,%d) not a group element", ErrBadEncoding, j, l)
+				return nil, fmt.Errorf("%w: entry (%d,%d): %v", ErrBadEncoding, j, l, err)
 			}
 			c[j][l] = e
 			c[l][j] = e
@@ -229,24 +229,18 @@ func UnmarshalMatrix(gr *group.Group, data []byte) (*Matrix, error) {
 }
 
 // hornerColumn computes Π_j C_{jℓ}^{i^j} for column ℓ by Horner's rule
-// in the exponent.
-func (m *Matrix) hornerColumn(l int, i int64) *big.Int {
-	iB := big.NewInt(i)
-	acc := new(big.Int).Set(m.c[m.t][l])
-	for j := m.t - 1; j >= 0; j-- {
-		acc = m.gr.Mul(m.gr.Exp(acc, iB), m.c[j][l])
+// in the exponent (delegated to the backend's fused chain).
+func (m *Matrix) hornerColumn(l int, i int64) group.Element {
+	col := make([]group.Element, m.t+1)
+	for j := 0; j <= m.t; j++ {
+		col[j] = m.c[j][l]
 	}
-	return acc
+	return m.gr.Horner(col, i)
 }
 
 // hornerRow computes Π_ℓ C_{jℓ}^{i^ℓ} for row j.
-func (m *Matrix) hornerRow(j int, i int64) *big.Int {
-	iB := big.NewInt(i)
-	acc := new(big.Int).Set(m.c[j][m.t])
-	for l := m.t - 1; l >= 0; l-- {
-		acc = m.gr.Mul(m.gr.Exp(acc, iB), m.c[j][l])
-	}
-	return acc
+func (m *Matrix) hornerRow(j int, i int64) group.Element {
+	return m.gr.Horner(m.c[j], i)
 }
 
 // Vector is a Feldman commitment to a univariate polynomial h:
@@ -254,12 +248,12 @@ func (m *Matrix) hornerRow(j int, i int64) *big.Int {
 // publish Vector commitments (§4–§6).
 type Vector struct {
 	gr *group.Group
-	v  []*big.Int
+	v  []group.Element
 }
 
 // NewVector commits to the univariate polynomial h.
 func NewVector(gr *group.Group, h *poly.Poly) *Vector {
-	v := make([]*big.Int, h.Degree()+1)
+	v := make([]group.Element, h.Degree()+1)
 	for l := range v {
 		v[l] = gr.GExp(h.Coeff(l))
 	}
@@ -272,21 +266,15 @@ func (vc *Vector) T() int { return len(vc.v) - 1 }
 // Group returns the underlying group.
 func (vc *Vector) Group() *group.Group { return vc.gr }
 
-// Entry returns V_ℓ (a copy).
-func (vc *Vector) Entry(l int) *big.Int { return new(big.Int).Set(vc.v[l]) }
+// Entry returns V_ℓ.
+func (vc *Vector) Entry(l int) group.Element { return vc.v[l] }
 
 // PublicKey returns V_0 = g^{h(0)}.
-func (vc *Vector) PublicKey() *big.Int { return vc.Entry(0) }
+func (vc *Vector) PublicKey() group.Element { return vc.Entry(0) }
 
 // Eval returns g^{h(i)} = Π_ℓ V_ℓ^{i^ℓ}, the public key of share h(i).
-func (vc *Vector) Eval(i int64) *big.Int {
-	iB := big.NewInt(i)
-	t := len(vc.v) - 1
-	acc := new(big.Int).Set(vc.v[t])
-	for l := t - 1; l >= 0; l-- {
-		acc = vc.gr.Mul(vc.gr.Exp(acc, iB), vc.v[l])
-	}
-	return acc
+func (vc *Vector) Eval(i int64) group.Element {
+	return vc.gr.Horner(vc.v, i)
 }
 
 // VerifyShare checks g^s = g^{h(i)}.
@@ -294,7 +282,7 @@ func (vc *Vector) VerifyShare(i int64, s *big.Int) bool {
 	if s == nil || s.Sign() < 0 || s.Cmp(vc.gr.Q()) >= 0 {
 		return false
 	}
-	return vc.gr.GExp(s).Cmp(vc.Eval(i)) == 0
+	return vc.gr.GExp(s).Equal(vc.Eval(i))
 }
 
 // Mul returns the entrywise product (commitment to the polynomial sum).
@@ -305,7 +293,7 @@ func (vc *Vector) Mul(o *Vector) (*Vector, error) {
 	if len(vc.v) != len(o.v) {
 		return nil, ErrDimensionMismatch
 	}
-	v := make([]*big.Int, len(vc.v))
+	v := make([]group.Element, len(vc.v))
 	for l := range v {
 		v[l] = vc.gr.Mul(vc.v[l], o.v[l])
 	}
@@ -318,7 +306,7 @@ func (vc *Vector) Equal(o *Vector) bool {
 		return false
 	}
 	for l := range vc.v {
-		if vc.v[l].Cmp(o.v[l]) != 0 {
+		if !vc.v[l].Equal(o.v[l]) {
 			return false
 		}
 	}
@@ -336,7 +324,7 @@ func (vc *Vector) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
 	writeU32(&buf, uint32(len(vc.v)-1))
 	for _, e := range vc.v {
-		writeBig(&buf, e)
+		writeBlob(&buf, vc.gr.EncodeElement(e))
 	}
 	return buf.Bytes(), nil
 }
@@ -351,14 +339,11 @@ func UnmarshalVector(gr *group.Group, data []byte) (*Vector, error) {
 	if tU > 4096 {
 		return nil, fmt.Errorf("%w: degree %d too large", ErrBadEncoding, tU)
 	}
-	v := make([]*big.Int, tU+1)
+	v := make([]group.Element, tU+1)
 	for l := range v {
-		e, err := readBig(r)
+		e, err := readElement(gr, r)
 		if err != nil {
-			return nil, err
-		}
-		if !gr.IsElement(e) {
-			return nil, fmt.Errorf("%w: entry %d not a group element", ErrBadEncoding, l)
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadEncoding, l, err)
 		}
 		v[l] = e
 	}
@@ -388,7 +373,7 @@ func CombineColumn0(mats []*Matrix, lambdas []*big.Int) (*Vector, error) {
 			return nil, ErrDimensionMismatch
 		}
 	}
-	v := make([]*big.Int, t+1)
+	v := make([]group.Element, t+1)
 	for l := 0; l <= t; l++ {
 		acc := gr.Identity()
 		for d, m := range mats {
@@ -415,23 +400,30 @@ func readU32(r *bytes.Reader) (uint32, error) {
 	return binary.BigEndian.Uint32(b[:]), nil
 }
 
-func writeBig(buf *bytes.Buffer, v *big.Int) {
-	b := v.Bytes()
+func writeBlob(buf *bytes.Buffer, b []byte) {
 	writeU32(buf, uint32(len(b)))
 	buf.Write(b)
 }
 
-func readBig(r *bytes.Reader) (*big.Int, error) {
+func readBlob(r *bytes.Reader) ([]byte, error) {
 	n, err := readU32(r)
 	if err != nil {
 		return nil, err
 	}
 	if int(n) > r.Len() {
-		return nil, fmt.Errorf("%w: truncated big.Int", ErrBadEncoding)
+		return nil, fmt.Errorf("%w: truncated entry", ErrBadEncoding)
 	}
 	b := make([]byte, n)
 	if _, err := r.Read(b); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
-	return new(big.Int).SetBytes(b), nil
+	return b, nil
+}
+
+func readElement(gr *group.Group, r *bytes.Reader) (group.Element, error) {
+	b, err := readBlob(r)
+	if err != nil {
+		return nil, err
+	}
+	return gr.DecodeElement(b)
 }

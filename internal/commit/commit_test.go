@@ -102,7 +102,7 @@ func TestVerifyShare(t *testing.T) {
 		if m.VerifyShare(i, gr.AddQ(share, big.NewInt(1))) {
 			t.Fatalf("VerifyShare accepted bad share %d", i)
 		}
-		if m.SharePublic(i).Cmp(gr.GExp(share)) != 0 {
+		if !m.SharePublic(i).Equal(gr.GExp(share)) {
 			t.Fatalf("SharePublic(%d) mismatch", i)
 		}
 	}
@@ -110,7 +110,7 @@ func TestVerifyShare(t *testing.T) {
 
 func TestPublicKey(t *testing.T) {
 	gr, f, m := testSetup(t, 6, 3)
-	if m.PublicKey().Cmp(gr.GExp(f.Secret())) != 0 {
+	if !m.PublicKey().Equal(gr.GExp(f.Secret())) {
 		t.Error("PublicKey != g^secret")
 	}
 }
@@ -138,7 +138,7 @@ func TestMulHomomorphism(t *testing.T) {
 		}
 	}
 	pk := gr.Mul(m1.PublicKey(), m2.PublicKey())
-	if prod.PublicKey().Cmp(pk) != 0 {
+	if !prod.PublicKey().Equal(pk) {
 		t.Error("product public key mismatch")
 	}
 }
@@ -206,7 +206,7 @@ func TestVectorBasics(t *testing.T) {
 	if v.T() != 3 {
 		t.Fatalf("T = %d", v.T())
 	}
-	if v.PublicKey().Cmp(gr.GExp(h.Secret())) != 0 {
+	if !v.PublicKey().Equal(gr.GExp(h.Secret())) {
 		t.Error("vector public key mismatch")
 	}
 	for i := int64(1); i <= 6; i++ {
@@ -216,7 +216,7 @@ func TestVectorBasics(t *testing.T) {
 		if v.VerifyShare(i, gr.AddQ(h.EvalInt(i), big.NewInt(1))) {
 			t.Fatalf("vector accepted bad share %d", i)
 		}
-		if v.Eval(i).Cmp(gr.GExp(h.EvalInt(i))) != 0 {
+		if !v.Eval(i).Equal(gr.GExp(h.EvalInt(i))) {
 			t.Fatalf("vector Eval(%d) mismatch", i)
 		}
 	}
@@ -264,7 +264,7 @@ func TestColumn0MatchesShares(t *testing.T) {
 			t.Fatalf("Column0 rejected share %d", i)
 		}
 	}
-	if col.PublicKey().Cmp(m.PublicKey()) != 0 {
+	if !col.PublicKey().Equal(m.PublicKey()) {
 		t.Error("Column0 public key mismatch")
 	}
 }
@@ -303,7 +303,7 @@ func TestCombineColumn0Renewal(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Same public key as before renewal.
-	if v.PublicKey().Cmp(gr.GExp(secret)) != 0 {
+	if !v.PublicKey().Equal(gr.GExp(secret)) {
 		t.Error("renewed commitment changes public key")
 	}
 	// Node i's renewed share Σ_d λ_d f_d(i,0) verifies against V.
@@ -394,11 +394,14 @@ func TestPedersenVector(t *testing.T) {
 	}
 }
 
-func TestMatrixEntryCopySemantics(t *testing.T) {
-	_, _, m := testSetup(t, 21, 2)
+// TestMatrixEntryStability: entries survive a round of backend
+// operations untouched (elements are immutable, so Entry may share).
+func TestMatrixEntryStability(t *testing.T) {
+	gr, _, m := testSetup(t, 21, 2)
 	e := m.Entry(0, 0)
-	e.SetInt64(1)
-	if m.Entry(0, 0).Cmp(big.NewInt(1)) == 0 {
-		t.Error("Entry exposed internal state")
+	_ = gr.Mul(e, gr.Generator())
+	_ = gr.Exp(e, big.NewInt(7))
+	if !m.Entry(0, 0).Equal(e) {
+		t.Error("Entry changed under backend operations")
 	}
 }

@@ -16,35 +16,39 @@ import (
 // the E12 ablation (Feldman vs Pedersen cost and verification).
 type PedersenVector struct {
 	gr *group.Group
-	h  *big.Int
-	v  []*big.Int
+	h  group.Element
+	v  []group.Element
 }
 
 // PedersenH derives the standard second generator for a group by
-// hashing the group parameters into the subgroup, so all parties agree
-// on h without anyone knowing log_g(h).
-func PedersenH(gr *group.Group) *big.Int {
-	return gr.HashToElement("hybriddkg/pedersen-h/v1", gr.P().Bytes(), gr.Q().Bytes(), gr.G().Bytes())
+// hashing the group parameters into it, so all parties agree on h
+// without anyone knowing log_g(h). The returned element is registered
+// for fixed-base precomputation, since dealing and verification raise
+// h to many exponents.
+func PedersenH(gr *group.Group) group.Element {
+	h := gr.HashToElement("hybriddkg/pedersen-h/v1", gr.ParamsID())
+	gr.Precompute(h)
+	return h
 }
 
 // NewPedersenVector commits to polynomial a with blinding polynomial b
 // (same degree) under second generator h.
-func NewPedersenVector(gr *group.Group, h *big.Int, a, b *poly.Poly) (*PedersenVector, error) {
+func NewPedersenVector(gr *group.Group, h group.Element, a, b *poly.Poly) (*PedersenVector, error) {
 	if a.Degree() != b.Degree() {
 		return nil, fmt.Errorf("%w: |a|=%d |b|=%d", ErrDimensionMismatch, a.Degree(), b.Degree())
 	}
-	v := make([]*big.Int, a.Degree()+1)
+	v := make([]group.Element, a.Degree()+1)
 	for l := range v {
 		v[l] = gr.Mul(gr.GExp(a.Coeff(l)), gr.Exp(h, b.Coeff(l)))
 	}
-	return &PedersenVector{gr: gr, h: new(big.Int).Set(h), v: v}, nil
+	return &PedersenVector{gr: gr, h: h, v: v}, nil
 }
 
 // T returns the committed polynomial degree.
 func (pv *PedersenVector) T() int { return len(pv.v) - 1 }
 
-// Entry returns C_ℓ (a copy).
-func (pv *PedersenVector) Entry(l int) *big.Int { return new(big.Int).Set(pv.v[l]) }
+// Entry returns C_ℓ.
+func (pv *PedersenVector) Entry(l int) group.Element { return pv.v[l] }
 
 // VerifyShare checks the Pedersen share opening (s, r) for node i:
 // g^s · h^r = Π_ℓ C_ℓ^{i^ℓ}.
@@ -56,14 +60,9 @@ func (pv *PedersenVector) VerifyShare(i int64, s, r *big.Int) bool {
 	if s.Sign() < 0 || s.Cmp(q) >= 0 || r.Sign() < 0 || r.Cmp(q) >= 0 {
 		return false
 	}
-	iB := big.NewInt(i)
-	t := len(pv.v) - 1
-	acc := new(big.Int).Set(pv.v[t])
-	for l := t - 1; l >= 0; l-- {
-		acc = pv.gr.Mul(pv.gr.Exp(acc, iB), pv.v[l])
-	}
+	acc := pv.gr.Horner(pv.v, i)
 	lhs := pv.gr.Mul(pv.gr.GExp(s), pv.gr.Exp(pv.h, r))
-	return lhs.Cmp(acc) == 0
+	return lhs.Equal(acc)
 }
 
 // MarshalBinary encodes the commitment vector (h is derivable from the
@@ -72,7 +71,7 @@ func (pv *PedersenVector) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
 	writeU32(&buf, uint32(len(pv.v)-1))
 	for _, e := range pv.v {
-		writeBig(&buf, e)
+		writeBlob(&buf, pv.gr.EncodeElement(e))
 	}
 	return buf.Bytes(), nil
 }

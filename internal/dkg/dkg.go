@@ -143,7 +143,7 @@ type CompletedEvent struct {
 	C         *commit.Matrix
 	V         *commit.Vector
 	Share     *big.Int
-	PublicKey *big.Int
+	PublicKey group.Element
 }
 
 // CombineResult is what a Combiner produces from the decided set.

@@ -1,19 +1,30 @@
-// Package group implements the discrete-logarithm setting of Kate &
-// Goldberg (ICDCS 2009), §2.3: a prime p with a κ-bit prime q dividing
-// p−1, and a generator g of the multiplicative subgroup G ⊂ Z_p* of
-// order q. All HybridVSS/DKG commitments and threshold-cryptography
-// operations in this repository are computed in this group.
+// Package group provides the abstract prime-order group the whole
+// protocol stack operates on. Kate & Goldberg (ICDCS 2009, §2.3)
+// present the protocols over a multiplicative subgroup G ⊂ Z_p* of
+// prime order q, but nothing above the commitment layer depends on
+// that instantiation: every protocol step needs only a group of prime
+// order q with a fixed generator g, hash-to-group, and encode/decode.
+// This package therefore splits the old concrete implementation into
+//
+//   - Backend: the pluggable element arithmetic of one group family
+//     (ModP reproduces the paper's schoolbook Z_p* setting; P256 runs
+//     the same protocols over the NIST P-256 elliptic curve), and
+//   - Group: the shared front end coupling a Backend with the scalar
+//     field arithmetic mod q, randomness helpers and Fiat–Shamir
+//     hashing that are identical for every backend.
 //
 // Conventions used throughout the module:
 //
 //   - A "scalar" is a *big.Int in [0, q). Scalars are exponents and
-//     polynomial coefficients; arithmetic on them is mod q.
-//   - An "element" is a *big.Int in [1, p) with elementʰq ≡ 1 (mod p),
-//     i.e. a member of the order-q subgroup. Arithmetic on elements is
-//     mod p.
+//     polynomial coefficients; arithmetic on them is mod q and is the
+//     same for every backend (internal/poly depends only on q).
+//   - An "element" is an opaque, immutable Element value produced by a
+//     backend (a subgroup member of Z_p* or a curve point). Protocol
+//     code combines elements only through Group's methods and compares
+//     them with Element.Equal.
 //
-// Functions never mutate their *big.Int arguments and always return
-// freshly allocated values, so callers may share inputs freely.
+// Functions never mutate their arguments; elements are immutable and
+// may be shared freely.
 package group
 
 import (
@@ -27,127 +38,200 @@ import (
 
 // Common errors returned by validation helpers.
 var (
-	ErrNotScalar  = errors.New("group: value is not a scalar in [0, q)")
-	ErrNotElement = errors.New("group: value is not an element of the order-q subgroup")
-	ErrBadParams  = errors.New("group: invalid group parameters")
+	ErrNotScalar   = errors.New("group: value is not a scalar in [0, q)")
+	ErrNotElement  = errors.New("group: value is not an element of the group")
+	ErrBadParams   = errors.New("group: invalid group parameters")
+	ErrBadEncoding = errors.New("group: malformed element encoding")
 )
 
-var (
-	one = big.NewInt(1)
-	two = big.NewInt(2)
-)
+var one = big.NewInt(1)
 
-// Group holds Schnorr group parameters (p, q, g) with q | p−1 and g a
-// generator of the order-q subgroup of Z_p*. The zero value is not
-// usable; construct with New, Generate, or one of the pinned
-// parameter sets (Toy64, Test256, Prod2048, Prod3072).
+// Element is an opaque handle to a group element. Implementations are
+// immutable: every Backend operation returns a fresh value, so callers
+// may alias and share elements freely. The only operations protocol
+// code performs directly on an element are equality, canonical
+// encoding and printing; everything else goes through Group/Backend.
+type Element interface {
+	// Equal reports whether o is the same group element. Elements of
+	// different backends are never equal.
+	Equal(o Element) bool
+	// Bytes returns the canonical encoding understood by the owning
+	// backend's Decode.
+	Bytes() []byte
+	// String returns a hex rendering of the canonical encoding.
+	String() string
+}
+
+// Backend implements the element arithmetic of one group family. A
+// backend fixes the prime order q, the generator g, and how elements
+// are represented, combined, encoded and hashed to. All methods must
+// be safe for concurrent use.
+type Backend interface {
+	// Name identifies the parameter set (e.g. "test256", "p256").
+	Name() string
+	// Q returns the prime order of the group (the scalar field).
+	Q() *big.Int
+	// SecurityBits returns |q|, the κ parameter of the paper.
+	SecurityBits() int
+	// ElementLen returns the maximum canonical encoding length.
+	ElementLen() int
+	// Generator returns the fixed generator g.
+	Generator() Element
+	// Identity returns the neutral element.
+	Identity() Element
+	// Mul returns the group operation a·b.
+	Mul(a, b Element) Element
+	// Inv returns a⁻¹, or an error for values outside the group.
+	Inv(a Element) (Element, error)
+	// Exp returns base^e for a non-negative integer e.
+	Exp(base Element, e *big.Int) Element
+	// GExp returns g^e.
+	GExp(e *big.Int) Element
+	// Horner evaluates Π_ℓ v[ℓ]^{x^ℓ} by Horner's rule in the
+	// exponent for a small non-negative x (a node index) — the chain
+	// at the core of commitment evaluation and share verification.
+	// Backends keep the running value in their fastest internal
+	// representation across the whole chain. v must be non-empty.
+	Horner(v []Element, x int64) Element
+	// Contains reports whether e is a valid element of this group.
+	Contains(e Element) bool
+	// Decode parses a canonical encoding, validating membership.
+	Decode(data []byte) (Element, error)
+	// HashToElement maps bytes to an element of unknown discrete log.
+	HashToElement(domain string, data ...[]byte) Element
+	// Precompute hints that base will be used as a fixed base for many
+	// Exp calls; backends may build acceleration tables (or do nothing).
+	Precompute(base Element)
+	// ParamsID returns a canonical fingerprint of the group parameters
+	// for domain separation and group-equality checks.
+	ParamsID() []byte
+}
+
+// Group couples a Backend with the scalar arithmetic mod q shared by
+// all backends. It is the handle every protocol layer carries. The
+// zero value is not usable; construct with FromBackend, ByName or one
+// of the pinned parameter sets.
 type Group struct {
-	p *big.Int // modulus of the ambient group Z_p*
-	q *big.Int // prime order of the subgroup
-	g *big.Int // generator of the subgroup
-
-	// cofactor = (p−1)/q, used to map arbitrary residues into the
-	// subgroup (hash-to-group, validation shortcuts).
-	cofactor *big.Int
+	b Backend
+	q *big.Int // cached copy of b.Q()
 }
 
-// New validates (p, q, g) and returns the corresponding Group. It
-// checks primality of p and q probabilistically, that q divides p−1,
-// and that g generates a subgroup of order exactly q.
-func New(p, q, g *big.Int) (*Group, error) {
-	if p == nil || q == nil || g == nil {
-		return nil, fmt.Errorf("%w: nil parameter", ErrBadParams)
+// FromBackend wraps a backend in a Group front end.
+func FromBackend(b Backend) *Group {
+	if b == nil {
+		panic("group: nil backend")
 	}
-	if !p.ProbablyPrime(32) {
-		return nil, fmt.Errorf("%w: p is not prime", ErrBadParams)
-	}
-	if !q.ProbablyPrime(32) {
-		return nil, fmt.Errorf("%w: q is not prime", ErrBadParams)
-	}
-	pm1 := new(big.Int).Sub(p, one)
-	cofactor, rem := new(big.Int).QuoRem(pm1, q, new(big.Int))
-	if rem.Sign() != 0 {
-		return nil, fmt.Errorf("%w: q does not divide p-1", ErrBadParams)
-	}
-	if g.Cmp(one) <= 0 || g.Cmp(p) >= 0 {
-		return nil, fmt.Errorf("%w: generator out of range", ErrBadParams)
-	}
-	if new(big.Int).Exp(g, q, p).Cmp(one) != 0 {
-		return nil, fmt.Errorf("%w: generator order does not divide q", ErrBadParams)
-	}
-	return &Group{p: p, q: q, g: g, cofactor: cofactor}, nil
+	return &Group{b: b, q: b.Q()}
 }
 
-// Generate creates fresh group parameters with the requested bit sizes
-// by sampling a bitsQ-bit prime q and searching for a bitsP-bit prime
-// p = q·m + 1, then deriving a generator. Randomness is drawn from r
-// (use crypto/rand.Reader for real parameters).
-func Generate(bitsP, bitsQ int, r io.Reader) (*Group, error) {
-	if bitsQ < 16 || bitsP < bitsQ+8 {
-		return nil, fmt.Errorf("%w: sizes too small (p=%d q=%d bits)", ErrBadParams, bitsP, bitsQ)
-	}
-	q, err := randPrime(r, bitsQ)
-	if err != nil {
-		return nil, fmt.Errorf("generate q: %w", err)
-	}
-	// Search p = q*m + 1 with m random of the right size.
-	mBits := bitsP - bitsQ
-	for {
-		m, err := randBits(r, mBits)
-		if err != nil {
-			return nil, fmt.Errorf("generate cofactor: %w", err)
-		}
-		// Force m even so p-1 = q*m keeps q odd-prime structure and p odd.
-		m.And(m, new(big.Int).Not(one))
-		if m.Sign() == 0 {
-			continue
-		}
-		p := new(big.Int).Mul(q, m)
-		p.Add(p, one)
-		if p.BitLen() != bitsP || !p.ProbablyPrime(32) {
-			continue
-		}
-		// Derive a generator: h^((p-1)/q) for successive small h.
-		for h := int64(2); ; h++ {
-			g := new(big.Int).Exp(big.NewInt(h), m, p)
-			if g.Cmp(one) != 0 {
-				return New(p, q, g)
-			}
-		}
-	}
-}
+// Backend exposes the underlying backend (for backend-specific
+// tooling such as cmd/groupgen).
+func (gr *Group) Backend() Backend { return gr.b }
 
-// P returns the ambient modulus p.
-func (gr *Group) P() *big.Int { return new(big.Int).Set(gr.p) }
+// Name returns the backend's parameter-set name.
+func (gr *Group) Name() string { return gr.b.Name() }
 
-// Q returns the subgroup order q.
+// Q returns the group order q (a copy).
 func (gr *Group) Q() *big.Int { return new(big.Int).Set(gr.q) }
-
-// G returns the subgroup generator g.
-func (gr *Group) G() *big.Int { return new(big.Int).Set(gr.g) }
 
 // SecurityBits returns the bit length of q (the κ security parameter
 // of the paper governs |q|).
-func (gr *Group) SecurityBits() int { return gr.q.BitLen() }
+func (gr *Group) SecurityBits() int { return gr.b.SecurityBits() }
 
 // ElementLen returns the byte length needed to encode an element.
-func (gr *Group) ElementLen() int { return (gr.p.BitLen() + 7) / 8 }
+func (gr *Group) ElementLen() int { return gr.b.ElementLen() }
 
 // ScalarLen returns the byte length needed to encode a scalar.
 func (gr *Group) ScalarLen() int { return (gr.q.BitLen() + 7) / 8 }
+
+// ParamsID returns the backend's canonical parameter fingerprint.
+func (gr *Group) ParamsID() []byte { return gr.b.ParamsID() }
 
 // Equal reports whether two groups have identical parameters.
 func (gr *Group) Equal(o *Group) bool {
 	if gr == nil || o == nil {
 		return gr == o
 	}
-	return gr.p.Cmp(o.p) == 0 && gr.q.Cmp(o.q) == 0 && gr.g.Cmp(o.g) == 0
+	return string(gr.b.ParamsID()) == string(o.b.ParamsID())
 }
 
 // String implements fmt.Stringer with a short description.
 func (gr *Group) String() string {
-	return fmt.Sprintf("Group(|p|=%d,|q|=%d)", gr.p.BitLen(), gr.q.BitLen())
+	return fmt.Sprintf("Group(%s,|q|=%d)", gr.b.Name(), gr.q.BitLen())
 }
+
+// --- element operations (delegated to the backend) -------------------
+
+// Generator returns the fixed generator g.
+func (gr *Group) Generator() Element { return gr.b.Generator() }
+
+// Identity returns the neutral element.
+func (gr *Group) Identity() Element { return gr.b.Identity() }
+
+// Mul returns the group operation a·b.
+func (gr *Group) Mul(a, b Element) Element { return gr.b.Mul(a, b) }
+
+// Inv returns a⁻¹.
+func (gr *Group) Inv(a Element) (Element, error) { return gr.b.Inv(a) }
+
+// Div returns a·b⁻¹.
+func (gr *Group) Div(a, b Element) (Element, error) {
+	bi, err := gr.b.Inv(b)
+	if err != nil {
+		return nil, err
+	}
+	return gr.b.Mul(a, bi), nil
+}
+
+// Exp returns base^e. The exponent may be any non-negative integer
+// (it acts mod q through the group order).
+func (gr *Group) Exp(base Element, e *big.Int) Element { return gr.b.Exp(base, e) }
+
+// GExp returns g^e.
+func (gr *Group) GExp(e *big.Int) Element { return gr.b.GExp(e) }
+
+// ExpInt returns base^k for a small non-negative machine-word
+// exponent (node indices in Horner-in-the-exponent verification).
+func (gr *Group) ExpInt(base Element, k int64) Element {
+	return gr.b.Exp(base, big.NewInt(k))
+}
+
+// Horner evaluates Π_ℓ v[ℓ]^{x^ℓ} (Horner in the exponent) for a
+// small non-negative x. It is the hot path of share verification and
+// commitment evaluation; backends avoid per-step representation
+// conversions.
+func (gr *Group) Horner(v []Element, x int64) Element { return gr.b.Horner(v, x) }
+
+// IsElement reports whether e is a valid element of this group.
+func (gr *Group) IsElement(e Element) bool {
+	return e != nil && gr.b.Contains(e)
+}
+
+// CheckElement returns ErrNotElement unless e is a group element.
+func (gr *Group) CheckElement(e Element) error {
+	if !gr.IsElement(e) {
+		return ErrNotElement
+	}
+	return nil
+}
+
+// EncodeElement returns the canonical encoding of e.
+func (gr *Group) EncodeElement(e Element) []byte { return e.Bytes() }
+
+// DecodeElement parses a canonical encoding, validating membership.
+func (gr *Group) DecodeElement(data []byte) (Element, error) { return gr.b.Decode(data) }
+
+// HashToElement maps an arbitrary byte string to a group element with
+// unknown discrete logarithm relative to g (used to derive the
+// Pedersen generator h). The result is never the identity.
+func (gr *Group) HashToElement(domain string, data ...[]byte) Element {
+	return gr.b.HashToElement(domain, data...)
+}
+
+// Precompute hints that base will serve many fixed-base Exp calls.
+func (gr *Group) Precompute(base Element) { gr.b.Precompute(base) }
+
+// --- scalars ---------------------------------------------------------
 
 // IsScalar reports whether x is a canonical scalar in [0, q).
 func (gr *Group) IsScalar(x *big.Int) bool {
@@ -158,22 +242,6 @@ func (gr *Group) IsScalar(x *big.Int) bool {
 func (gr *Group) CheckScalar(x *big.Int) error {
 	if !gr.IsScalar(x) {
 		return ErrNotScalar
-	}
-	return nil
-}
-
-// IsElement reports whether y is a member of the order-q subgroup.
-func (gr *Group) IsElement(y *big.Int) bool {
-	if y == nil || y.Sign() <= 0 || y.Cmp(gr.p) >= 0 {
-		return false
-	}
-	return new(big.Int).Exp(y, gr.q, gr.p).Cmp(one) == 0
-}
-
-// CheckElement returns ErrNotElement unless y is a subgroup element.
-func (gr *Group) CheckElement(y *big.Int) error {
-	if !gr.IsElement(y) {
-		return ErrNotElement
 	}
 	return nil
 }
@@ -195,8 +263,6 @@ func (gr *Group) RandNonZeroScalar(r io.Reader) (*big.Int, error) {
 		}
 	}
 }
-
-// --- Scalar (mod q) arithmetic -------------------------------------
 
 // AddQ returns a+b mod q.
 func (gr *Group) AddQ(a, b *big.Int) *big.Int {
@@ -232,64 +298,26 @@ func (gr *Group) ModQ(a *big.Int) *big.Int {
 	return new(big.Int).Mod(a, gr.q)
 }
 
-// --- Element (mod p) arithmetic ------------------------------------
-
-// Mul returns a·b mod p.
-func (gr *Group) Mul(a, b *big.Int) *big.Int {
-	return new(big.Int).Mod(new(big.Int).Mul(a, b), gr.p)
-}
-
-// Inv returns a⁻¹ mod p.
-func (gr *Group) Inv(a *big.Int) (*big.Int, error) {
-	red := new(big.Int).Mod(a, gr.p)
-	if red.Sign() == 0 {
-		return nil, errors.New("group: no inverse of zero element")
-	}
-	return new(big.Int).ModInverse(red, gr.p), nil
-}
-
-// Div returns a·b⁻¹ mod p.
-func (gr *Group) Div(a, b *big.Int) (*big.Int, error) {
-	bi, err := gr.Inv(b)
-	if err != nil {
-		return nil, err
-	}
-	return gr.Mul(a, bi), nil
-}
-
-// Exp returns base^e mod p. The exponent may be any non-negative
-// integer (it is reduced mod q only implicitly via group order).
-func (gr *Group) Exp(base, e *big.Int) *big.Int {
-	return new(big.Int).Exp(base, e, gr.p)
-}
-
-// GExp returns g^e mod p.
-func (gr *Group) GExp(e *big.Int) *big.Int {
-	return new(big.Int).Exp(gr.g, e, gr.p)
-}
-
-// ExpInt returns base^k mod p for a small non-negative machine-word
-// exponent (node indices in Horner-in-the-exponent verification).
-func (gr *Group) ExpInt(base *big.Int, k int64) *big.Int {
-	return new(big.Int).Exp(base, big.NewInt(k), gr.p)
-}
-
-// Identity returns the multiplicative identity element 1.
-func (gr *Group) Identity() *big.Int { return big.NewInt(1) }
-
-// --- Hashing --------------------------------------------------------
-
 // HashToScalar maps an arbitrary byte string to a scalar via SHA-256
 // in counter mode (used for Fiat–Shamir challenges). The output is
 // statistically close to uniform in [0, q) for |q| ≤ 512 bits.
 func (gr *Group) HashToScalar(domain string, data ...[]byte) *big.Int {
 	need := gr.ScalarLen() + 16 // oversample to reduce mod bias
+	buf := hashExpand(domain, need, 0, data)
+	return new(big.Int).Mod(new(big.Int).SetBytes(buf), gr.q)
+}
+
+// hashExpand derives need pseudorandom bytes from (domain, ctr, data)
+// with SHA-256 in counter mode. It is the shared expansion primitive
+// behind HashToScalar and the backends' HashToElement loops.
+func hashExpand(domain string, need int, ctr uint32, data [][]byte) []byte {
 	buf := make([]byte, 0, need+sha256.Size)
-	var ctr uint32
+	inner := uint32(0)
 	for len(buf) < need {
 		h := sha256.New()
-		var cb [4]byte
-		binary.BigEndian.PutUint32(cb[:], ctr)
+		var cb [8]byte
+		binary.BigEndian.PutUint32(cb[:4], ctr)
+		binary.BigEndian.PutUint32(cb[4:], inner)
 		h.Write(cb[:])
 		io.WriteString(h, domain)
 		for _, d := range data {
@@ -299,44 +327,9 @@ func (gr *Group) HashToScalar(domain string, data ...[]byte) *big.Int {
 			h.Write(d)
 		}
 		buf = h.Sum(buf)
-		ctr++
+		inner++
 	}
-	return new(big.Int).Mod(new(big.Int).SetBytes(buf[:need]), gr.q)
-}
-
-// HashToElement maps an arbitrary byte string to a subgroup element
-// with unknown discrete logarithm relative to g, by hashing to Z_p*
-// and raising to the cofactor. Used to derive the Pedersen generator
-// h. The result is never the identity.
-func (gr *Group) HashToElement(domain string, data ...[]byte) *big.Int {
-	var ctr uint32
-	for {
-		need := gr.ElementLen() + 16
-		buf := make([]byte, 0, need+sha256.Size)
-		inner := ctr
-		for len(buf) < need {
-			h := sha256.New()
-			var cb [8]byte
-			binary.BigEndian.PutUint32(cb[:4], ctr)
-			binary.BigEndian.PutUint32(cb[4:], inner)
-			h.Write(cb[:])
-			io.WriteString(h, domain)
-			for _, d := range data {
-				var lb [4]byte
-				binary.BigEndian.PutUint32(lb[:], uint32(len(d)))
-				h.Write(lb[:])
-				h.Write(d)
-			}
-			buf = h.Sum(buf)
-			inner++
-		}
-		x := new(big.Int).Mod(new(big.Int).SetBytes(buf[:need]), gr.p)
-		y := new(big.Int).Exp(x, gr.cofactor, gr.p)
-		if y.Cmp(one) > 0 {
-			return y
-		}
-		ctr++
-	}
+	return buf[:need]
 }
 
 // --- internal randomness helpers ------------------------------------

@@ -22,23 +22,32 @@ func TestPinnedParamsValid(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if got := tt.gr.P().BitLen(); got != tt.wantPBits {
+			mp := tt.gr.Backend().(*ModP)
+			if got := mp.P().BitLen(); got != tt.wantPBits {
 				t.Errorf("|p| = %d, want %d", got, tt.wantPBits)
 			}
 			if got := tt.gr.Q().BitLen(); got != tt.wantQBits {
 				t.Errorf("|q| = %d, want %d", got, tt.wantQBits)
 			}
-			if !tt.gr.IsElement(tt.gr.G()) {
+			if !tt.gr.IsElement(tt.gr.Generator()) {
 				t.Error("generator is not a subgroup element")
+			}
+			if tt.gr.Name() != tt.name {
+				t.Errorf("Name = %q, want %q", tt.gr.Name(), tt.name)
 			}
 		})
 	}
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"toy64", "test256", "test512", "prod2048"} {
-		if _, err := ByName(name); err != nil {
+	for _, name := range Names() {
+		gr, err := ByName(name)
+		if err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if gr.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, gr.Name())
 		}
 	}
 	if _, err := ByName("nope"); err == nil {
@@ -47,18 +56,19 @@ func TestByName(t *testing.T) {
 }
 
 func TestNewRejectsBadParams(t *testing.T) {
-	g := Test256()
+	g := Test256().Backend().(*ModP)
+	q := g.Q()
 	tests := []struct {
 		name     string
 		p, q, gg *big.Int
 	}{
-		{name: "nil", p: nil, q: g.Q(), gg: g.G()},
-		{name: "composite p", p: new(big.Int).Add(g.P(), big.NewInt(1)), q: g.Q(), gg: g.G()},
-		{name: "composite q", p: g.P(), q: new(big.Int).Add(g.Q(), big.NewInt(1)), gg: g.G()},
+		{name: "nil", p: nil, q: q, gg: g.G()},
+		{name: "composite p", p: new(big.Int).Add(g.P(), big.NewInt(1)), q: q, gg: g.G()},
+		{name: "composite q", p: g.P(), q: new(big.Int).Add(q, big.NewInt(1)), gg: g.G()},
 		{name: "q not dividing p-1", p: g.P(), q: Toy64().Q(), gg: g.G()},
-		{name: "generator 1", p: g.P(), q: g.Q(), gg: big.NewInt(1)},
-		{name: "generator out of range", p: g.P(), q: g.Q(), gg: g.P()},
-		{name: "generator wrong order", p: g.P(), q: g.Q(), gg: big.NewInt(7)},
+		{name: "generator 1", p: g.P(), q: q, gg: big.NewInt(1)},
+		{name: "generator out of range", p: g.P(), q: q, gg: g.P()},
+		{name: "generator wrong order", p: g.P(), q: q, gg: big.NewInt(7)},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -75,10 +85,11 @@ func TestGenerateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
-	if g.P().BitLen() != 128 || g.Q().BitLen() != 64 {
-		t.Fatalf("sizes: |p|=%d |q|=%d", g.P().BitLen(), g.Q().BitLen())
+	mp := g.Backend().(*ModP)
+	if mp.P().BitLen() != 128 || g.Q().BitLen() != 64 {
+		t.Fatalf("sizes: |p|=%d |q|=%d", mp.P().BitLen(), g.Q().BitLen())
 	}
-	if _, err := New(g.P(), g.Q(), g.G()); err != nil {
+	if _, err := New(mp.P(), g.Q(), mp.G()); err != nil {
 		t.Fatalf("generated params rejected by New: %v", err)
 	}
 }
@@ -129,16 +140,6 @@ func TestInvQZero(t *testing.T) {
 	}
 }
 
-func TestInvZeroElement(t *testing.T) {
-	g := Toy64()
-	if _, err := g.Inv(big.NewInt(0)); err == nil {
-		t.Error("Inv(0) succeeded")
-	}
-	if _, err := g.Div(big.NewInt(3), big.NewInt(0)); err == nil {
-		t.Error("Div by 0 succeeded")
-	}
-}
-
 // TestExpHomomorphism checks g^(a+b) == g^a * g^b and g^(ab) == (g^a)^b,
 // the identities all Feldman commitment verification rests on.
 func TestExpHomomorphism(t *testing.T) {
@@ -149,12 +150,12 @@ func TestExpHomomorphism(t *testing.T) {
 		b, _ := g.RandScalar(r)
 		lhs := g.GExp(g.AddQ(a, b))
 		rhs := g.Mul(g.GExp(a), g.GExp(b))
-		if lhs.Cmp(rhs) != 0 {
+		if !lhs.Equal(rhs) {
 			t.Fatalf("g^(a+b) != g^a g^b for a=%v b=%v", a, b)
 		}
 		lhs2 := g.GExp(g.MulQ(a, b))
 		rhs2 := g.Exp(g.GExp(a), b)
-		if lhs2.Cmp(rhs2) != 0 {
+		if !lhs2.Equal(rhs2) {
 			t.Fatalf("g^(ab) != (g^a)^b for a=%v b=%v", a, b)
 		}
 	}
@@ -180,24 +181,26 @@ func TestQuickScalarRoundTrip(t *testing.T) {
 
 func TestIsElementRejects(t *testing.T) {
 	g := Test256()
-	tests := []struct {
-		name string
-		v    *big.Int
-	}{
-		{name: "nil", v: nil},
-		{name: "zero", v: big.NewInt(0)},
-		{name: "p", v: g.P()},
-		{name: "non-subgroup", v: big.NewInt(2)}, // 2 generates a larger group whp
+	if g.IsElement(nil) {
+		t.Error("IsElement(nil) = true")
 	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			if g.IsElement(tt.v) {
-				t.Errorf("IsElement(%v) = true, want false", tt.v)
-			}
-		})
+	// A residue outside the order-q subgroup must be rejected.
+	if _, err := g.DecodeElement(big.NewInt(2).Bytes()); err == nil {
+		t.Error("Decode accepted a non-subgroup residue")
 	}
-	if err := g.CheckElement(big.NewInt(0)); err == nil {
-		t.Error("CheckElement(0) = nil")
+	if _, err := g.DecodeElement(nil); err == nil {
+		t.Error("Decode accepted empty encoding")
+	}
+	mp := g.Backend().(*ModP)
+	if _, err := g.DecodeElement(mp.P().Bytes()); err == nil {
+		t.Error("Decode accepted p itself")
+	}
+	// Elements of one backend are not elements of another.
+	if g.IsElement(P256().Generator()) {
+		t.Error("modp group accepted a curve point")
+	}
+	if err := g.CheckElement(nil); err == nil {
+		t.Error("CheckElement(nil) = nil")
 	}
 	if err := g.CheckScalar(g.Q()); err == nil {
 		t.Error("CheckScalar(q) = nil")
@@ -224,21 +227,6 @@ func TestHashToScalarDeterministicAndInRange(t *testing.T) {
 	}
 }
 
-func TestHashToElementInSubgroup(t *testing.T) {
-	g := Test256()
-	h := g.HashToElement("pedersen", []byte("h"))
-	if !g.IsElement(h) {
-		t.Error("HashToElement output not in subgroup")
-	}
-	h2 := g.HashToElement("pedersen", []byte("h"))
-	if h.Cmp(h2) != 0 {
-		t.Error("HashToElement not deterministic")
-	}
-	if h.Cmp(g.HashToElement("pedersen", []byte("x"))) == 0 {
-		t.Error("different inputs map to same element")
-	}
-}
-
 func TestRandScalarUniformRange(t *testing.T) {
 	g := Toy64()
 	r := randutil.NewReader(3)
@@ -260,18 +248,6 @@ func TestRandScalarUniformRange(t *testing.T) {
 	}
 }
 
-func TestExpIntMatchesExp(t *testing.T) {
-	g := Test256()
-	r := randutil.NewReader(5)
-	base, _ := g.RandScalar(r)
-	be := g.GExp(base) // arbitrary element
-	for k := int64(0); k < 20; k++ {
-		if g.ExpInt(be, k).Cmp(g.Exp(be, big.NewInt(k))) != 0 {
-			t.Fatalf("ExpInt(%d) mismatch", k)
-		}
-	}
-}
-
 func TestEqualAndString(t *testing.T) {
 	a, b := Test256(), Test256()
 	if !a.Equal(b) {
@@ -279,6 +255,9 @@ func TestEqualAndString(t *testing.T) {
 	}
 	if a.Equal(Toy64()) {
 		t.Error("different groups Equal")
+	}
+	if a.Equal(P256()) {
+		t.Error("modp group Equal to p256")
 	}
 	var nilg *Group
 	if a.Equal(nilg) || !nilg.Equal(nil) {
@@ -295,10 +274,61 @@ func TestEqualAndString(t *testing.T) {
 	}
 }
 
+// TestFixedBaseTables cross-checks the windowed fixed-base path
+// against schoolbook modexp, including exponents outside table range.
+func TestFixedBaseTables(t *testing.T) {
+	for _, gr := range []*Group{Toy64(), Test256()} {
+		mp := gr.Backend().(*ModP)
+		p, q, g := mp.P(), gr.Q(), mp.G()
+		r := randutil.NewReader(11)
+		for i := 0; i < 40; i++ {
+			e, _ := gr.RandScalar(r)
+			want := new(big.Int).Exp(g, e, p)
+			if got := gr.GExp(e); new(big.Int).SetBytes(got.Bytes()).Cmp(want) != 0 {
+				t.Fatalf("%s: GExp(%v) table mismatch", gr.Name(), e)
+			}
+		}
+		// A Precompute'd second base must agree too.
+		h := gr.HashToElement("fb-test", []byte("h"))
+		gr.Precompute(h)
+		hv := new(big.Int).SetBytes(h.Bytes())
+		for i := 0; i < 20; i++ {
+			e, _ := gr.RandScalar(r)
+			want := new(big.Int).Exp(hv, e, p)
+			if got := gr.Exp(h, e); new(big.Int).SetBytes(got.Bytes()).Cmp(want) != 0 {
+				t.Fatalf("%s: Exp(h, %v) table mismatch", gr.Name(), e)
+			}
+		}
+		// Oversized exponent falls back to plain modexp.
+		big1 := new(big.Int).Lsh(q, 7)
+		want := new(big.Int).Exp(g, big1, p)
+		if got := gr.GExp(big1); new(big.Int).SetBytes(got.Bytes()).Cmp(want) != 0 {
+			t.Fatal("oversized exponent mismatch")
+		}
+	}
+}
+
+func TestExpIntMatchesExp(t *testing.T) {
+	g := Test256()
+	r := randutil.NewReader(5)
+	base, _ := g.RandScalar(r)
+	be := g.GExp(base) // arbitrary element
+	for k := int64(0); k < 20; k++ {
+		if !g.ExpInt(be, k).Equal(g.Exp(be, big.NewInt(k))) {
+			t.Fatalf("ExpInt(%d) mismatch", k)
+		}
+	}
+}
+
 func TestIdentity(t *testing.T) {
-	g := Toy64()
-	x := g.GExp(big.NewInt(17))
-	if g.Mul(x, g.Identity()).Cmp(x) != 0 {
-		t.Error("x * 1 != x")
+	for _, name := range Names() {
+		gr, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := gr.GExp(big.NewInt(17))
+		if !gr.Mul(x, gr.Identity()).Equal(x) {
+			t.Errorf("%s: x * 1 != x", name)
+		}
 	}
 }

@@ -1,0 +1,93 @@
+package group
+
+import (
+	"crypto/elliptic"
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/randutil"
+)
+
+// TestP256JacobianAgainstStdlib cross-checks the Jacobian fast path
+// (Mul, small Exp, Horner) against crypto/elliptic's own arithmetic,
+// which uses a completely independent implementation (nistec).
+func TestP256JacobianAgainstStdlib(t *testing.T) {
+	gr := P256()
+	c := elliptic.P256()
+	r := randutil.NewReader(99)
+
+	affine := func(e Element) (x, y *big.Int) {
+		pe := e.(*p256Element)
+		return pe.x, pe.y
+	}
+
+	for i := 0; i < 25; i++ {
+		a, _ := gr.RandScalar(r)
+		b, _ := gr.RandScalar(r)
+		pa, pb := gr.GExp(a), gr.GExp(b)
+
+		// Mul against curve.Add.
+		ax, ay := affine(pa)
+		bx, by := affine(pb)
+		wantX, wantY := c.Add(ax, ay, bx, by)
+		gotX, gotY := affine(gr.Mul(pa, pb))
+		if wantX.Cmp(gotX) != 0 || wantY.Cmp(gotY) != 0 {
+			t.Fatal("Jacobian Mul disagrees with curve.Add")
+		}
+
+		// Doubling corner case: Mul(p, p).
+		wantX, wantY = c.Double(ax, ay)
+		gotX, gotY = affine(gr.Mul(pa, pa))
+		if wantX.Cmp(gotX) != 0 || wantY.Cmp(gotY) != 0 {
+			t.Fatal("Jacobian Mul(p,p) disagrees with curve.Double")
+		}
+
+		// Small exponents against constant-time ScalarMult.
+		for _, k := range []int64{1, 2, 3, 5, 13, 64, 1000, 1 << 30} {
+			wantX, wantY = c.ScalarMult(ax, ay, big.NewInt(k).Bytes())
+			gotX, gotY = affine(gr.ExpInt(pa, k))
+			if wantX.Cmp(gotX) != 0 || wantY.Cmp(gotY) != 0 {
+				t.Fatalf("Jacobian Exp(%d) disagrees with ScalarMult", k)
+			}
+		}
+
+		// Inverse points must cancel through the Jacobian adder.
+		inv, err := gr.Inv(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gr.Mul(pa, inv).Equal(gr.Identity()) {
+			t.Fatal("p · p⁻¹ != identity through Jacobian path")
+		}
+	}
+
+	// Horner against a stdlib-only reconstruction.
+	for trial := 0; trial < 5; trial++ {
+		n := trial + 2
+		v := make([]Element, n)
+		for l := range v {
+			e, _ := gr.RandScalar(r)
+			v[l] = gr.GExp(e)
+		}
+		for _, x := range []int64{0, 1, 3, 9, 21} {
+			wx, wy := affine(v[n-1])
+			for l := n - 2; l >= 0; l-- {
+				if x == 0 {
+					wx, wy = new(big.Int), new(big.Int) // acc^0 = identity
+				} else {
+					wx, wy = c.ScalarMult(wx, wy, big.NewInt(x).Bytes())
+				}
+				lx, ly := affine(v[l])
+				if wx.Sign() == 0 && wy.Sign() == 0 {
+					wx, wy = new(big.Int).Set(lx), new(big.Int).Set(ly)
+				} else {
+					wx, wy = c.Add(wx, wy, lx, ly)
+				}
+			}
+			gx, gy := affine(gr.Horner(v, x))
+			if wx.Cmp(gx) != 0 || wy.Cmp(gy) != 0 {
+				t.Fatalf("Horner(len=%d, x=%d) disagrees with stdlib chain", n, x)
+			}
+		}
+	}
+}

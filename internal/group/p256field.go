@@ -1,0 +1,228 @@
+package group
+
+// Flat-limb arithmetic for the P-256 base field, used by the Jacobian
+// verification fast path. A field element is four little-endian 64-bit
+// limbs holding a value < p; multiplication reduces the 512-bit
+// product with the NIST fast-reduction identity for
+// p = 2²⁵⁶ − 2²²⁴ + 2¹⁹² + 2⁹⁶ − 1 (FIPS 186-4 D.2.3). Everything is
+// stack-allocated, so a whole Horner chain performs no heap work
+// beyond the single final inversion.
+//
+// This code handles only public values (commitments, signatures, node
+// indices); secret-dependent scalar multiplications stay on
+// crypto/elliptic's constant-time implementation.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// fe is a P-256 base-field element: little-endian limbs, value < p.
+type fe [4]uint64
+
+// p256P is the field prime p, little-endian limbs.
+var p256P = fe{0xffffffffffffffff, 0x00000000ffffffff, 0x0000000000000000, 0xffffffff00000001}
+
+func feFromBig(z *fe, v *big.Int) {
+	var buf [32]byte
+	v.FillBytes(buf[:])
+	for i := 0; i < 4; i++ {
+		z[3-i] = uint64(buf[i*8])<<56 | uint64(buf[i*8+1])<<48 | uint64(buf[i*8+2])<<40 |
+			uint64(buf[i*8+3])<<32 | uint64(buf[i*8+4])<<24 | uint64(buf[i*8+5])<<16 |
+			uint64(buf[i*8+6])<<8 | uint64(buf[i*8+7])
+	}
+}
+
+func feToBig(z *fe) *big.Int {
+	var buf [32]byte
+	for i := 0; i < 4; i++ {
+		l := z[3-i]
+		buf[i*8] = byte(l >> 56)
+		buf[i*8+1] = byte(l >> 48)
+		buf[i*8+2] = byte(l >> 40)
+		buf[i*8+3] = byte(l >> 32)
+		buf[i*8+4] = byte(l >> 24)
+		buf[i*8+5] = byte(l >> 16)
+		buf[i*8+6] = byte(l >> 8)
+		buf[i*8+7] = byte(l)
+	}
+	return new(big.Int).SetBytes(buf[:])
+}
+
+func feIsZero(z *fe) bool { return z[0]|z[1]|z[2]|z[3] == 0 }
+
+// feAdd sets z = x + y mod p.
+func feAdd(z, x, y *fe) {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], c = bits.Add64(x[3], y[3], c)
+	feReduceOnce(z, c)
+}
+
+// feSub sets z = x − y mod p.
+func feSub(z, x, y *fe) {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		z[0], c = bits.Add64(z[0], p256P[0], 0)
+		z[1], c = bits.Add64(z[1], p256P[1], c)
+		z[2], c = bits.Add64(z[2], p256P[2], c)
+		z[3], _ = bits.Add64(z[3], p256P[3], c)
+	}
+}
+
+// feReduceOnce conditionally subtracts p when the value (with incoming
+// carry bit) is ≥ p.
+func feReduceOnce(z *fe, carry uint64) {
+	var t fe
+	var b uint64
+	t[0], b = bits.Sub64(z[0], p256P[0], 0)
+	t[1], b = bits.Sub64(z[1], p256P[1], b)
+	t[2], b = bits.Sub64(z[2], p256P[2], b)
+	t[3], b = bits.Sub64(z[3], p256P[3], b)
+	if carry != 0 || b == 0 {
+		*z = t
+	}
+}
+
+// feMul sets z = x·y mod p (schoolbook 4×4 multiply + NIST reduction).
+func feMul(z, x, y *fe) {
+	var t [8]uint64
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(x[i], y[j])
+			var c1, c2 uint64
+			lo, c1 = bits.Add64(lo, t[i+j], 0)
+			lo, c2 = bits.Add64(lo, carry, 0)
+			t[i+j] = lo
+			carry = hi + c1 + c2 // hi ≤ 2⁶⁴−2³³+1, cannot overflow
+		}
+		t[i+4] = carry
+	}
+	feReduceWide(z, &t)
+}
+
+// feSqr sets z = x² mod p.
+func feSqr(z, x *fe) { feMul(z, x, x) }
+
+// feReduceWide reduces a 512-bit product to z < p using the P-256
+// Solinas identity: with the product split into 32-bit words c0..c15,
+//
+//	d = s1 + 2·s2 + 2·s3 + s4 + s5 − s6 − s7 − s8 − s9 (mod p)
+//
+// for the nine word-assemblies defined in FIPS 186-4 D.2.3. The
+// signed combination is computed as (positives + 5p − negatives) in a
+// 320-bit accumulator, then brought into [0, p) by an estimated-
+// quotient subtraction.
+func feReduceWide(z *fe, t *[8]uint64) {
+	c := func(i int) uint64 { // 32-bit word i of the product
+		w := t[i/2]
+		if i&1 == 1 {
+			return w >> 32
+		}
+		return w & 0xffffffff
+	}
+	// pack builds the fe with 32-bit words (a7..a0), a0 least
+	// significant.
+	pack := func(a7, a6, a5, a4, a3, a2, a1, a0 uint64) fe {
+		return fe{a1<<32 | a0, a3<<32 | a2, a5<<32 | a4, a7<<32 | a6}
+	}
+	s1 := pack(c(7), c(6), c(5), c(4), c(3), c(2), c(1), c(0))
+	s2 := pack(c(15), c(14), c(13), c(12), c(11), 0, 0, 0)
+	s3 := pack(0, c(15), c(14), c(13), c(12), 0, 0, 0)
+	s4 := pack(c(15), c(14), 0, 0, 0, c(10), c(9), c(8))
+	s5 := pack(c(8), c(13), c(15), c(14), c(13), c(11), c(10), c(9))
+	s6 := pack(c(10), c(8), 0, 0, 0, c(13), c(12), c(11))
+	s7 := pack(c(11), c(9), 0, 0, c(15), c(14), c(13), c(12))
+	s8 := pack(c(12), 0, c(10), c(9), c(8), c(15), c(14), c(13))
+	s9 := pack(c(13), 0, c(11), c(10), c(9), 0, c(15), c(14))
+
+	// acc = 5p + s1 + 2(s2+s3) + s4 + s5 − s6 − s7 − s8 − s9 ≥ 0.
+	acc := [5]uint64{p256x5[0], p256x5[1], p256x5[2], p256x5[3], p256x5[4]}
+	add5 := func(s *fe, twice bool) {
+		var c uint64
+		acc[0], c = bits.Add64(acc[0], s[0], 0)
+		acc[1], c = bits.Add64(acc[1], s[1], c)
+		acc[2], c = bits.Add64(acc[2], s[2], c)
+		acc[3], c = bits.Add64(acc[3], s[3], c)
+		acc[4] += c
+		if twice {
+			var c uint64
+			acc[0], c = bits.Add64(acc[0], s[0], 0)
+			acc[1], c = bits.Add64(acc[1], s[1], c)
+			acc[2], c = bits.Add64(acc[2], s[2], c)
+			acc[3], c = bits.Add64(acc[3], s[3], c)
+			acc[4] += c
+		}
+	}
+	sub5 := func(s *fe) {
+		var b uint64
+		acc[0], b = bits.Sub64(acc[0], s[0], 0)
+		acc[1], b = bits.Sub64(acc[1], s[1], b)
+		acc[2], b = bits.Sub64(acc[2], s[2], b)
+		acc[3], b = bits.Sub64(acc[3], s[3], b)
+		acc[4] -= b
+	}
+	add5(&s1, false)
+	add5(&s2, true)
+	add5(&s3, true)
+	add5(&s4, false)
+	add5(&s5, false)
+	sub5(&s6)
+	sub5(&s7)
+	sub5(&s8)
+	sub5(&s9)
+
+	// acc < 12·2²⁵⁶; subtract q·p for the quotient estimate q = acc[4].
+	// p is within 2⁻³² of 2²⁵⁶, so the remainder lands below 2p and at
+	// most two conditional subtractions follow.
+	if q := acc[4]; q != 0 {
+		var qp [5]uint64
+		var carry uint64
+		for i := 0; i < 4; i++ {
+			hi, lo := bits.Mul64(q, p256P[i])
+			var c uint64
+			qp[i], c = bits.Add64(lo, carry, 0)
+			carry = hi + c
+		}
+		qp[4] = carry
+		var b uint64
+		acc[0], b = bits.Sub64(acc[0], qp[0], 0)
+		acc[1], b = bits.Sub64(acc[1], qp[1], b)
+		acc[2], b = bits.Sub64(acc[2], qp[2], b)
+		acc[3], b = bits.Sub64(acc[3], qp[3], b)
+		acc[4], _ = bits.Sub64(acc[4], qp[4], b)
+	}
+	// At most two conditional subtractions remain.
+	for acc[4] != 0 || !feLess((*fe)(acc[:4]), &p256P) {
+		var b uint64
+		acc[0], b = bits.Sub64(acc[0], p256P[0], 0)
+		acc[1], b = bits.Sub64(acc[1], p256P[1], b)
+		acc[2], b = bits.Sub64(acc[2], p256P[2], b)
+		acc[3], b = bits.Sub64(acc[3], p256P[3], b)
+		acc[4] -= b
+	}
+	z[0], z[1], z[2], z[3] = acc[0], acc[1], acc[2], acc[3]
+}
+
+// p256x5 = 5p, the offset that keeps the reduction accumulator
+// non-negative (the subtracted assemblies total < 4·2²⁵⁶ < 5p).
+var p256x5 = [5]uint64{
+	0xfffffffffffffffb, 0x00000004ffffffff, 0x0000000000000000, 0xfffffffb00000005, 0x4,
+}
+
+func feLess(x, y *fe) bool {
+	for i := 3; i >= 0; i-- {
+		if x[i] != y[i] {
+			return x[i] < y[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package group
+
+import (
+	"crypto/elliptic"
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/randutil"
+)
+
+// TestP256FieldAgainstBigInt cross-checks the flat-limb field
+// arithmetic against math/big on random and adversarial values.
+func TestP256FieldAgainstBigInt(t *testing.T) {
+	p := elliptic.P256().Params().P
+	if feToBig(&p256P).Cmp(p) != 0 {
+		t.Fatal("p256P constant wrong")
+	}
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	special := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		pm1, new(big.Int).Sub(p, big.NewInt(2)),
+		new(big.Int).Lsh(big.NewInt(1), 224), new(big.Int).Lsh(big.NewInt(1), 96),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 255), big.NewInt(19)),
+	}
+	r := randutil.NewReader(7)
+	vals := append([]*big.Int{}, special...)
+	for i := 0; i < 60; i++ {
+		v, err := randInt(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	var fx, fy, fz fe
+	for _, x := range vals {
+		for _, y := range vals {
+			feFromBig(&fx, x)
+			feFromBig(&fy, y)
+			if feToBig(&fx).Cmp(x) != 0 {
+				t.Fatalf("round trip failed for %v", x)
+			}
+			feMul(&fz, &fx, &fy)
+			want := new(big.Int).Mod(new(big.Int).Mul(x, y), p)
+			if feToBig(&fz).Cmp(want) != 0 {
+				t.Fatalf("mul mismatch: %v * %v", x, y)
+			}
+			feAdd(&fz, &fx, &fy)
+			want = new(big.Int).Mod(new(big.Int).Add(x, y), p)
+			if feToBig(&fz).Cmp(want) != 0 {
+				t.Fatalf("add mismatch: %v + %v", x, y)
+			}
+			feSub(&fz, &fx, &fy)
+			want = new(big.Int).Mod(new(big.Int).Sub(x, y), p)
+			if feToBig(&fz).Cmp(want) != 0 {
+				t.Fatalf("sub mismatch: %v - %v", x, y)
+			}
+		}
+	}
+	// Squaring via the mul path.
+	for _, x := range vals {
+		feFromBig(&fx, x)
+		feSqr(&fz, &fx)
+		want := new(big.Int).Mod(new(big.Int).Mul(x, x), p)
+		if feToBig(&fz).Cmp(want) != 0 {
+			t.Fatalf("sqr mismatch: %v", x)
+		}
+	}
+}

@@ -109,7 +109,7 @@ func NewAdditionEngine(cfg AdditionConfig, self msg.NodeID, runtime dkg.Runtime,
 		ValidateDealing: func(ev vss.SharedEvent) bool {
 			// The resharing's constant term must be the dealer's
 			// current share.
-			return ev.C.PublicKey().Cmp(curV.Eval(int64(ev.Session.Dealer))) == 0
+			return ev.C.PublicKey().Equal(curV.Eval(int64(ev.Session.Dealer)))
 		},
 		Combine:     subshareCombiner(cfg.DKG.Group, int64(cfg.NewNode), curV),
 		OnCompleted: func(ev dkg.CompletedEvent) { eng.pushSubshare(ev) },
@@ -186,7 +186,7 @@ func subshareCombiner(gr *group.Group, newIdx int64, curV *commit.Vector) dkg.Co
 		if err != nil {
 			return dkg.CombineResult{}, err
 		}
-		if vec.PublicKey().Cmp(curV.Eval(newIdx)) != 0 {
+		if !vec.PublicKey().Equal(curV.Eval(newIdx)) {
 			return dkg.CombineResult{}, fmt.Errorf("groupmod: subshare commitment does not match group commitment at index %d", newIdx)
 		}
 		return dkg.CombineResult{Share: sub, V: vec}, nil
@@ -197,7 +197,7 @@ func subshareCombiner(gr *group.Group, newIdx int64, curV *commit.Vector) dkg.Co
 type JoinedEvent struct {
 	Share *big.Int
 	// PublicKey is g^{share} (= CurrentV.Eval(newIdx)).
-	PublicKey *big.Int
+	PublicKey group.Element
 }
 
 // Joiner is the new node's side of §6.2: collect subshares for the
@@ -207,7 +207,7 @@ type Joiner struct {
 	gr       *group.Group
 	n, t     int
 	newIdx   int64
-	expectPK *big.Int // optional: CurrentV.Eval(newIdx)
+	expectPK group.Element // optional: CurrentV.Eval(newIdx)
 	onJoined func(JoinedEvent)
 
 	buckets map[[32]byte]*joinBucket
@@ -222,7 +222,7 @@ type joinBucket struct {
 // NewJoiner creates the joiner endpoint. expectPK (optional) pins the
 // expected share public key g^{S(new)} derived from the group's
 // published commitment.
-func NewJoiner(gr *group.Group, n, t int, newIdx msg.NodeID, expectPK *big.Int, onJoined func(JoinedEvent)) (*Joiner, error) {
+func NewJoiner(gr *group.Group, n, t int, newIdx msg.NodeID, expectPK group.Element, onJoined func(JoinedEvent)) (*Joiner, error) {
 	if gr == nil || n <= 0 || t < 0 {
 		return nil, fmt.Errorf("%w: bad joiner parameters", ErrBadProposal)
 	}
@@ -260,7 +260,7 @@ func (j *Joiner) HandleMessage(from msg.NodeID, body msg.Body) {
 	if !m.V.VerifyShare(int64(from), m.Subshare) {
 		return
 	}
-	if j.expectPK != nil && m.V.PublicKey().Cmp(j.expectPK) != 0 {
+	if j.expectPK != nil && !m.V.PublicKey().Equal(j.expectPK) {
 		return
 	}
 	h := m.V.Hash()
@@ -294,7 +294,7 @@ func (j *Joiner) finish(b *joinBucket) {
 		return
 	}
 	pk := j.gr.GExp(share)
-	if j.expectPK != nil && pk.Cmp(j.expectPK) != 0 {
+	if j.expectPK != nil && !pk.Equal(j.expectPK) {
 		return
 	}
 	j.share = share

@@ -252,7 +252,7 @@ func TestRemovalWithRenewalReindex(t *testing.T) {
 	// Same public key; new shares verify under new indices.
 	newShares := make(map[msg.NodeID]*big.Int, newN)
 	for id, eng := range engines {
-		if eng.Commitment().PublicKey().Cmp(oldPK) != 0 {
+		if !eng.Commitment().PublicKey().Equal(oldPK) {
 			t.Fatalf("node %d: public key changed", id)
 		}
 		s := eng.Share()

@@ -212,7 +212,7 @@ func (r *DKGResult) CheckConsistency() error {
 					return fmt.Errorf("%w: different Q sets", ErrInconsistency)
 				}
 			}
-			if ref.PublicKey.Cmp(ev.PublicKey) != 0 {
+			if !ref.PublicKey.Equal(ev.PublicKey) {
 				return fmt.Errorf("%w: different public keys", ErrInconsistency)
 			}
 		}
@@ -233,7 +233,7 @@ func (r *DKGResult) CheckConsistency() error {
 	if err != nil {
 		return err
 	}
-	if r.Opts.Group.GExp(secret).Cmp(ref.PublicKey) != 0 {
+	if !r.Opts.Group.GExp(secret).Equal(ref.PublicKey) {
 		return fmt.Errorf("%w: interpolated secret does not match public key", ErrInconsistency)
 	}
 	return nil

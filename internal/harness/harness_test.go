@@ -17,7 +17,7 @@ func TestDKGRunsAreDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Stats.TotalMsgs, res.Stats.TotalBytes, res.Completed[1].PublicKey.Text(16)
+		return res.Stats.TotalMsgs, res.Stats.TotalBytes, res.Completed[1].PublicKey.String()
 	}
 	m1, b1, pk1 := run()
 	m2, b2, pk2 := run()
@@ -38,7 +38,7 @@ func TestSeedsChangeSchedules(t *testing.T) {
 		if err := res.CheckConsistency(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		keys[res.Completed[1].PublicKey.Text(16)] = true
+		keys[res.Completed[1].PublicKey.String()] = true
 	}
 	if len(keys) != 5 {
 		t.Errorf("expected 5 distinct keys, got %d", len(keys))
@@ -77,7 +77,7 @@ func TestDKGSecretOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Opts.Group.GExp(secret).Cmp(res.Completed[1].PublicKey) != 0 {
+	if !res.Opts.Group.GExp(secret).Equal(res.Completed[1].PublicKey) {
 		t.Fatal("oracle secret mismatch")
 	}
 }

@@ -265,7 +265,7 @@ func (r *VSSResult) CheckConsistency(checkSecret bool) error {
 	if checkSecret && z.Cmp(new(big.Int).Mod(r.Secret, r.Opts.Group.Q())) != 0 {
 		return fmt.Errorf("%w: interpolated %v, dealt %v", ErrInconsistency, z, r.Secret)
 	}
-	if checkSecret && ref.C.PublicKey().Cmp(r.Opts.Group.GExp(r.Secret)) != 0 {
+	if checkSecret && !ref.C.PublicKey().Equal(r.Opts.Group.GExp(r.Secret)) {
 		return fmt.Errorf("%w: commitment public key mismatch", ErrInconsistency)
 	}
 	return nil

@@ -22,6 +22,7 @@ import (
 
 	"hybriddkg/internal/commit"
 	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
 	"hybriddkg/internal/msg"
 	"hybriddkg/internal/poly"
 	"hybriddkg/internal/vss"
@@ -68,7 +69,7 @@ type RenewedEvent struct {
 	Phase     uint64
 	Share     *big.Int
 	V         *commit.Vector
-	PublicKey *big.Int
+	PublicKey group.Element
 }
 
 // Config configures a proactive engine. The embedded dkg.Params are
@@ -251,7 +252,7 @@ func (e *Engine) startRenewal(target uint64) {
 			// Modification check (§5.2): the resharing's constant
 			// term must equal the dealer's previous share commitment
 			// g^{s_d}, evaluated at the dealer's previous index.
-			return ev.C.PublicKey().Cmp(prevVec.Eval(e.cfg.prevIndex(ev.Session.Dealer))) == 0
+			return ev.C.PublicKey().Equal(prevVec.Eval(e.cfg.prevIndex(ev.Session.Dealer)))
 		},
 		Combine: LagrangeCombiner(e.cfg.DKG.Group, prevVec, e.cfg.PrevIndexOf),
 		OnCompleted: func(ev dkg.CompletedEvent) {
@@ -339,7 +340,7 @@ func LagrangeCombiner(gr interface {
 		if err != nil {
 			return dkg.CombineResult{}, err
 		}
-		if prevVec != nil && vec.PublicKey().Cmp(prevVec.PublicKey()) != 0 {
+		if prevVec != nil && !vec.PublicKey().Equal(prevVec.PublicKey()) {
 			return dkg.CombineResult{}, errors.New("proactive: renewal changed the public key")
 		}
 		return dkg.CombineResult{Share: share, V: vec}, nil

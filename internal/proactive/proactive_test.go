@@ -67,7 +67,7 @@ func TestSingleRenewal(t *testing.T) {
 		if s.Cmp(oldShares[id]) == 0 {
 			t.Fatalf("node %d share did not change", id)
 		}
-		if eng.Commitment().PublicKey().Cmp(oldPK) != 0 {
+		if !eng.Commitment().PublicKey().Equal(oldPK) {
 			t.Fatalf("node %d public key changed", id)
 		}
 		if len(pres.Renewed[id]) != 1 {
@@ -173,7 +173,7 @@ func TestByzantineReshareExcluded(t *testing.T) {
 			continue
 		}
 		newShares[id] = eng.Share()
-		if eng.Commitment().PublicKey().Cmp(oldPK) != 0 {
+		if !eng.Commitment().PublicKey().Equal(oldPK) {
 			t.Fatalf("node %d public key changed", id)
 		}
 	}

@@ -80,7 +80,7 @@ var _ Scheme = Schnorr{}
 func NewSchnorr(gr *group.Group) Schnorr { return Schnorr{gr: gr} }
 
 // Name implements Scheme.
-func (s Schnorr) Name() string { return fmt.Sprintf("schnorr-%d", s.gr.P().BitLen()) }
+func (s Schnorr) Name() string { return fmt.Sprintf("schnorr-%s", s.gr.Name()) }
 
 // GenerateKey implements Scheme. The private key encodes the scalar x;
 // the public key encodes the element y = g^x.
@@ -90,7 +90,7 @@ func (s Schnorr) GenerateKey(r io.Reader) ([]byte, []byte, error) {
 		return nil, nil, err
 	}
 	y := s.gr.GExp(x)
-	return x.Bytes(), y.Bytes(), nil
+	return x.Bytes(), s.gr.EncodeElement(y), nil
 }
 
 // Sign implements Scheme. The signature is (c, z) with
@@ -115,8 +115,8 @@ func (s Schnorr) Sign(priv, msg []byte) ([]byte, error) {
 // Verify implements Scheme: recompute R' = g^z · y^c and check the
 // challenge.
 func (s Schnorr) Verify(pub, msg, sigBytes []byte) bool {
-	y := new(big.Int).SetBytes(pub)
-	if !s.gr.IsElement(y) {
+	y, err := s.gr.DecodeElement(pub)
+	if err != nil {
 		return false
 	}
 	c, z, ok := decodePair(sigBytes)

@@ -23,7 +23,7 @@ func BeaconOutput(gr *group.Group, round uint64, opened *big.Int) [32]byte {
 	var rb [8]byte
 	binary.BigEndian.PutUint64(rb[:], round)
 	h.Write(rb[:])
-	h.Write(gr.P().Bytes())
+	h.Write(gr.ParamsID())
 	h.Write(opened.Bytes())
 	var out [32]byte
 	copy(out[:], h.Sum(nil))

@@ -14,13 +14,13 @@ import (
 // Ciphertext is an ElGamal ciphertext (c1, c2) = (g^r, m·pk^r) over
 // group elements.
 type Ciphertext struct {
-	C1, C2 *big.Int
+	C1, C2 group.Element
 }
 
 // Encrypt encrypts a group element under the shared public key.
 // Callers encrypting arbitrary bytes should map them into the group
 // first (e.g. hybrid encryption with a KEM around a random element).
-func Encrypt(gr *group.Group, pk, m *big.Int, rand io.Reader) (Ciphertext, error) {
+func Encrypt(gr *group.Group, pk, m group.Element, rand io.Reader) (Ciphertext, error) {
 	if !gr.IsElement(pk) || !gr.IsElement(m) {
 		return Ciphertext{}, fmt.Errorf("%w: inputs not group elements", ErrBadArguments)
 	}
@@ -45,7 +45,7 @@ type DLEQProof struct {
 // correctness.
 type PartialDecryption struct {
 	Decryptor msg.NodeID
-	D         *big.Int
+	D         group.Element
 	Proof     DLEQProof
 }
 
@@ -103,7 +103,7 @@ func VerifyPartialDecryption(gr *group.Group, v *commit.Vector, ct Ciphertext, p
 
 // CombineDecrypt verifies partial decryptions and combines t+1 of
 // them in the exponent: C1^s = Π D_i^{λ_i}, then m = C2 / C1^s.
-func CombineDecrypt(gr *group.Group, v *commit.Vector, t int, ct Ciphertext, parts []PartialDecryption) (*big.Int, error) {
+func CombineDecrypt(gr *group.Group, v *commit.Vector, t int, ct Ciphertext, parts []PartialDecryption) (group.Element, error) {
 	if !gr.IsElement(ct.C1) || !gr.IsElement(ct.C2) {
 		return nil, ErrBadCipher
 	}

@@ -61,12 +61,12 @@ type PartialSig struct {
 // Signature is a standard Schnorr signature (R, σ) verifiable against
 // the shared public key with plain single-party verification.
 type Signature struct {
-	R     *big.Int
+	R     group.Element
 	Sigma *big.Int
 }
 
 // challenge computes c = H(R ‖ pk ‖ m).
-func challenge(gr *group.Group, bigR, pk *big.Int, message []byte) *big.Int {
+func challenge(gr *group.Group, bigR, pk group.Element, message []byte) *big.Int {
 	return gr.HashToScalar("hybriddkg/thresh-schnorr/v1", bigR.Bytes(), pk.Bytes(), message)
 }
 
@@ -96,7 +96,7 @@ func VerifyPartial(gr *group.Group, keyV, nonceV *commit.Vector, message []byte,
 	c := challenge(gr, nonceV.PublicKey(), keyV.PublicKey(), message)
 	lhs := gr.GExp(p.Sigma)
 	rhs := gr.Mul(nonceV.Eval(int64(p.Signer)), gr.Exp(keyV.Eval(int64(p.Signer)), c))
-	return lhs.Cmp(rhs) == 0
+	return lhs.Equal(rhs)
 }
 
 // Combine verifies the partials and interpolates the first t+1 valid
@@ -133,7 +133,7 @@ func Combine(gr *group.Group, keyV, nonceV *commit.Vector, t int, message []byte
 
 // Verify checks a combined signature exactly like a single-party
 // Schnorr verifier: g^σ = R · pk^c with c = H(R ‖ pk ‖ m).
-func Verify(gr *group.Group, pk *big.Int, message []byte, sig Signature) bool {
+func Verify(gr *group.Group, pk group.Element, message []byte, sig Signature) bool {
 	if sig.R == nil || sig.Sigma == nil {
 		return false
 	}
@@ -143,5 +143,5 @@ func Verify(gr *group.Group, pk *big.Int, message []byte, sig Signature) bool {
 	c := challenge(gr, sig.R, pk, message)
 	lhs := gr.GExp(sig.Sigma)
 	rhs := gr.Mul(sig.R, gr.Exp(pk, c))
-	return lhs.Cmp(rhs) == 0
+	return lhs.Equal(rhs)
 }

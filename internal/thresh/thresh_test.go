@@ -116,8 +116,8 @@ func TestVerifyRejectsGarbage(t *testing.T) {
 	if thresh.Verify(gr, keyV.PublicKey(), []byte("m"), thresh.Signature{}) {
 		t.Fatal("empty signature verified")
 	}
-	if thresh.Verify(gr, keyV.PublicKey(), []byte("m"), thresh.Signature{R: big.NewInt(0), Sigma: big.NewInt(1)}) {
-		t.Fatal("non-element R verified")
+	if thresh.Verify(gr, keyV.PublicKey(), []byte("m"), thresh.Signature{R: group.P256().Generator(), Sigma: big.NewInt(1)}) {
+		t.Fatal("foreign-backend R verified")
 	}
 }
 
@@ -151,7 +151,7 @@ func TestElGamalEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Cmp(m) != 0 {
+	if !got.Equal(m) {
 		t.Fatal("decryption mismatch")
 	}
 }
@@ -172,7 +172,7 @@ func TestElGamalRejectsForgedPartials(t *testing.T) {
 	}
 	// Tamper with D but keep the proof: must be rejected.
 	forged := pd
-	forged.D = gr.Mul(pd.D, gr.G())
+	forged.D = gr.Mul(pd.D, gr.Generator())
 	if thresh.VerifyPartialDecryption(gr, keyV, ct, forged) {
 		t.Fatal("forged decryption share accepted")
 	}
@@ -193,11 +193,14 @@ func TestElGamalRejectsForgedPartials(t *testing.T) {
 func TestEncryptRejectsNonElements(t *testing.T) {
 	gr := group.Test256()
 	r := randutil.NewReader(12)
-	if _, err := thresh.Encrypt(gr, big.NewInt(0), gr.G(), r); err == nil {
-		t.Fatal("bad pk accepted")
+	if _, err := thresh.Encrypt(gr, nil, gr.Generator(), r); err == nil {
+		t.Fatal("nil pk accepted")
 	}
-	if _, err := thresh.Encrypt(gr, gr.G(), big.NewInt(0), r); err == nil {
-		t.Fatal("bad message accepted")
+	if _, err := thresh.Encrypt(gr, group.P256().Generator(), gr.Generator(), r); err == nil {
+		t.Fatal("foreign-backend pk accepted")
+	}
+	if _, err := thresh.Encrypt(gr, gr.Generator(), nil, r); err == nil {
+		t.Fatal("nil message accepted")
 	}
 }
 

@@ -149,7 +149,7 @@ func TestDKGOverTCP(t *testing.T) {
 	ref := dkgNodes[1].Result()
 	for i := 2; i <= n; i++ {
 		res := dkgNodes[i].Result()
-		if res.PublicKey.Cmp(ref.PublicKey) != 0 {
+		if !res.PublicKey.Equal(ref.PublicKey) {
 			t.Fatalf("node %d public key differs", i)
 		}
 		if !res.V.VerifyShare(int64(i), res.Share) {
