@@ -2,32 +2,40 @@
 // deployment form of the protocol (one process per node, §7 system
 // design). A cluster is prepared with `dkgnode keygen` (generates the
 // signature-key directory all nodes need) and then one `dkgnode run`
-// per node.
+// (single DKG, exit when done) or `dkgnode serve` (long-running
+// session-multiplexed service) per node.
 //
-// Example 4-node cluster on one machine:
+// Example 4-node cluster on one machine, two concurrent sessions:
 //
 //	dkgnode keygen -n 4 -out keys.json
 //	for i in 1 2 3 4; do
-//	  dkgnode run -id $i -listen 127.0.0.1:900$i \
+//	  dkgnode serve -id $i -listen 127.0.0.1:900$i \
 //	    -peers "1=127.0.0.1:9001,2=127.0.0.1:9002,3=127.0.0.1:9003,4=127.0.0.1:9004" \
-//	    -keys keys.json -n 4 -t 1 &
+//	    -keys keys.json -n 4 -t 1 -sessions 2 &
 //	done
 //
-// Each node prints a JSON document with the public key and its own
-// share when the DKG completes.
+// `run` prints a JSON document with the public key and the node's
+// share when the DKG completes. `serve` multiplexes S concurrent DKG
+// sessions over one set of TCP links through the session engine,
+// prints one JSON line per completed session, accepts further
+// `start <session-id>` requests on stdin, and exits non-zero if any
+// requested session has not completed within -timeout.
 package main
 
 import (
+	"bufio"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/engine"
 	"hybriddkg/internal/group"
 	"hybriddkg/internal/groupmod"
 	"hybriddkg/internal/msg"
@@ -40,7 +48,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: dkgnode <keygen|run> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dkgnode <keygen|run|serve> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -49,6 +57,8 @@ func main() {
 		err = keygen(os.Args[2:])
 	case "run":
 		err = runNode(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -114,84 +124,116 @@ func keygen(args []string) error {
 	return nil
 }
 
+// clusterFlags bundles the flags and derived state shared by the run
+// and serve subcommands: node identity, cluster shape, key material,
+// peer directory and wire codec.
+type clusterFlags struct {
+	id        *int64
+	listen    *string
+	peersSpec *string
+	keysPath  *string
+	n, t, f   *int
+	groupName *string
+	timeout   *time.Duration
+	leader    *int64
+
+	gr     *group.Group
+	dir    *sig.Directory
+	priv   []byte
+	secret []byte
+	peers  []transport.Peer
+	codec  *msg.Codec
+}
+
+func newClusterFlags(fs *flag.FlagSet) *clusterFlags {
+	return &clusterFlags{
+		id:        fs.Int64("id", 0, "this node's index (1-based)"),
+		listen:    fs.String("listen", "", "listen address host:port"),
+		peersSpec: fs.String("peers", "", "comma-separated id=host:port list for all nodes"),
+		keysPath:  fs.String("keys", "keys.json", "key directory file from `dkgnode keygen`"),
+		n:         fs.Int("n", 0, "group size"),
+		t:         fs.Int("t", 0, "Byzantine threshold"),
+		f:         fs.Int("f", 0, "crash limit"),
+		groupName: fs.String("group", "test256", "discrete-log parameter set"),
+		timeout:   fs.Duration("timeout", 5*time.Minute, "overall deadline"),
+		leader:    fs.Int64("leader", 1, "initial leader index"),
+	}
+}
+
+// resolve validates the parsed flags and loads group, keys, peers and
+// codec.
+func (c *clusterFlags) resolve() error {
+	if *c.id < 1 || *c.listen == "" || *c.peersSpec == "" || *c.n == 0 {
+		return fmt.Errorf("missing -id/-listen/-peers/-n")
+	}
+	gr, err := group.ByName(*c.groupName)
+	if err != nil {
+		return err
+	}
+	_, dir, priv, secret, err := loadKeys(*c.keysPath, *c.id)
+	if err != nil {
+		return err
+	}
+	peers, err := parsePeers(*c.peersSpec)
+	if err != nil {
+		return err
+	}
+	codec, err := buildCodec(gr)
+	if err != nil {
+		return err
+	}
+	c.gr, c.dir, c.priv, c.secret, c.peers, c.codec = gr, dir, priv, secret, peers, codec
+	return nil
+}
+
+// transportConfig assembles the shared transport configuration.
+func (c *clusterFlags) transportConfig(h transport.Handler) transport.Config {
+	return transport.Config{
+		Self:      msg.NodeID(*c.id),
+		Listen:    *c.listen,
+		Peers:     c.peers,
+		Codec:     c.codec,
+		Secret:    c.secret,
+		Handler:   h,
+		TimerUnit: time.Millisecond,
+	}
+}
+
+// dkgParams assembles the shared protocol parameters.
+func (c *clusterFlags) dkgParams() dkg.Params {
+	return dkg.Params{
+		Group:         c.gr,
+		N:             *c.n,
+		T:             *c.t,
+		F:             *c.f,
+		Directory:     c.dir,
+		SignKey:       c.priv,
+		InitialLeader: msg.NodeID(*c.leader),
+		TimeoutBase:   10_000, // 10s at 1ms/unit before first leader change
+	}
+}
+
 func runNode(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	var (
-		id        = fs.Int64("id", 0, "this node's index (1-based)")
-		listen    = fs.String("listen", "", "listen address host:port")
-		peersSpec = fs.String("peers", "", "comma-separated id=host:port list for all nodes")
-		keysPath  = fs.String("keys", "keys.json", "key directory file from `dkgnode keygen`")
-		n         = fs.Int("n", 0, "group size")
-		t         = fs.Int("t", 0, "Byzantine threshold")
-		f         = fs.Int("f", 0, "crash limit")
-		groupName = fs.String("group", "test256", "discrete-log parameter set")
-		timeout   = fs.Duration("timeout", 5*time.Minute, "overall deadline")
-		tau       = fs.Uint64("tau", 1, "session counter")
-		leader    = fs.Int64("leader", 1, "initial leader index")
-	)
+	cf := newClusterFlags(fs)
+	tau := fs.Uint64("tau", 1, "session counter")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *id < 1 || *listen == "" || *peersSpec == "" || *n == 0 {
-		return fmt.Errorf("missing -id/-listen/-peers/-n")
-	}
-	gr, err := group.ByName(*groupName)
-	if err != nil {
-		return err
-	}
-	kf, dir, priv, secret, err := loadKeys(*keysPath, *id)
-	if err != nil {
-		return err
-	}
-	_ = kf
-	peers, err := parsePeers(*peersSpec)
-	if err != nil {
-		return err
-	}
-	codec := msg.NewCodec()
-	if err := vss.RegisterCodec(codec, gr); err != nil {
-		return err
-	}
-	if err := dkg.RegisterCodec(codec); err != nil {
-		return err
-	}
-	if err := rbc.RegisterCodec(codec); err != nil {
-		return err
-	}
-	if err := proactive.RegisterCodec(codec); err != nil {
-		return err
-	}
-	if err := groupmod.RegisterCodec(codec, gr); err != nil {
+	if err := cf.resolve(); err != nil {
 		return err
 	}
 
 	done := make(chan dkg.CompletedEvent, 1)
+	startErr := make(chan error, 1)
 	relay := &lateHandler{}
-	tnode, err := transport.Listen(transport.Config{
-		Self:      msg.NodeID(*id),
-		Listen:    *listen,
-		Peers:     peers,
-		Codec:     codec,
-		Secret:    secret,
-		Handler:   relay,
-		TimerUnit: time.Millisecond,
-	})
+	tnode, err := transport.Listen(cf.transportConfig(relay))
 	if err != nil {
 		return err
 	}
 	defer tnode.Close()
 
-	params := dkg.Params{
-		Group:         gr,
-		N:             *n,
-		T:             *t,
-		F:             *f,
-		Directory:     dir,
-		SignKey:       priv,
-		InitialLeader: msg.NodeID(*leader),
-		TimeoutBase:   10_000, // 10s at 1ms/unit before first leader change
-	}
-	node, err := dkg.NewNode(params, *tau, msg.NodeID(*id), tnode, dkg.Options{
+	node, err := dkg.NewNode(cf.dkgParams(), *tau, msg.NodeID(*cf.id), tnode, dkg.Options{
 		OnCompleted: func(ev dkg.CompletedEvent) {
 			select {
 			case done <- ev:
@@ -205,15 +247,15 @@ func runNode(args []string) error {
 	relay.set(node)
 	tnode.Do(func() {
 		if err := node.Start(rand.Reader); err != nil {
-			fmt.Fprintln(os.Stderr, "start:", err)
+			startErr <- fmt.Errorf("start: %w", err)
 		}
 	})
-	fmt.Fprintf(os.Stderr, "node %d listening on %s, session %d, waiting for DKG…\n", *id, tnode.Addr(), *tau)
+	fmt.Fprintf(os.Stderr, "node %d listening on %s, session %d, waiting for DKG…\n", *cf.id, tnode.Addr(), *tau)
 
 	select {
 	case ev := <-done:
 		out := map[string]any{
-			"node":      *id,
+			"node":      *cf.id,
 			"session":   ev.Tau,
 			"finalView": ev.FinalView,
 			"publicKey": ev.PublicKey.String(),
@@ -223,8 +265,208 @@ func runNode(args []string) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
-	case <-time.After(*timeout):
-		return fmt.Errorf("timed out after %v", *timeout)
+	case err := <-startErr:
+		return err
+	case <-time.After(*cf.timeout):
+		return fmt.Errorf("timed out after %v", *cf.timeout)
+	}
+}
+
+// buildCodec registers every protocol decoder.
+func buildCodec(gr *group.Group) (*msg.Codec, error) {
+	codec := msg.NewCodec()
+	if err := vss.RegisterCodec(codec, gr); err != nil {
+		return nil, err
+	}
+	if err := dkg.RegisterCodec(codec); err != nil {
+		return nil, err
+	}
+	if err := rbc.RegisterCodec(codec); err != nil {
+		return nil, err
+	}
+	if err := proactive.RegisterCodec(codec); err != nil {
+		return nil, err
+	}
+	if err := groupmod.RegisterCodec(codec, gr); err != nil {
+		return nil, err
+	}
+	return codec, nil
+}
+
+// sessionResult is one completed session's output line.
+type sessionResult struct {
+	sid msg.SessionID
+	ev  *dkg.CompletedEvent
+}
+
+// sessionFailure is a session the engine could not run.
+type sessionFailure struct {
+	sid msg.SessionID
+	err error
+}
+
+// serve runs the long-running session-multiplexed service: S initial
+// DKG sessions through the engine over one transport endpoint, plus
+// any sessions requested later via `start <id>` lines on stdin. It
+// exits zero once every requested session completed, non-zero on the
+// deadline or a failed session.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cf := newClusterFlags(fs)
+	var (
+		sessions = fs.Int("sessions", 1, "number of initial concurrent DKG sessions")
+		base     = fs.Uint64("session-base", 1, "first session id (τ) to run")
+		workers  = fs.Int("workers", 0, "bound on concurrently active sessions (0 = unbounded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cf.resolve(); err != nil {
+		return err
+	}
+	if *sessions < 0 || *base == 0 {
+		return fmt.Errorf("bad -sessions/-session-base")
+	}
+	// One verifier for all sessions: the directory memoizes signature
+	// verdicts, so proof sets shared across messages and sessions are
+	// paid for once.
+	cf.dir.EnableVerifyCache(0)
+	results := make(chan sessionResult, 64)
+	failures := make(chan sessionFailure, 16)
+	tnode, err := transport.Listen(cf.transportConfig(nil))
+	if err != nil {
+		return err
+	}
+	defer tnode.Close()
+	// The engine's completion/failure callbacks run on the transport
+	// event loop and send to the channels above; once serve returns,
+	// keep draining them so the deferred Close (which waits for the
+	// event loop) cannot deadlock behind a full channel. Registered
+	// after the Close defer, so the drainer is live while Close runs.
+	defer func() {
+		go func() {
+			for {
+				select {
+				case <-results:
+				case <-failures:
+				}
+			}
+		}()
+	}()
+
+	id := cf.id
+	timeout := cf.timeout
+	params := cf.dkgParams()
+	eng, err := engine.New(engine.Config{
+		Fabric: engine.NewTransportFabric(tnode),
+		Factory: func(sid msg.SessionID, rt engine.Runtime) (engine.Runner, error) {
+			return dkg.NewNode(params, uint64(sid), msg.NodeID(*id), rt, dkg.Options{})
+		},
+		Start: func(sid msg.SessionID, r engine.Runner) error {
+			return r.(*dkg.Node).Start(rand.Reader)
+		},
+		MaxActive:     *workers,
+		KeepCompleted: true,
+		OnCompleted: func(sid msg.SessionID, r engine.Runner) {
+			results <- sessionResult{sid: sid, ev: r.(*dkg.Node).Result()}
+		},
+		OnFailed: func(sid msg.SessionID, err error) {
+			failures <- sessionFailure{sid: sid, err: err}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Submissions run on the transport event loop (the engine shares
+	// the protocol nodes' single-threaded discipline). The main
+	// goroutine never blocks on the loop — it must stay free to drain
+	// the results channel, which the loop's completion callbacks feed
+	// — so submission errors come back through the failures channel
+	// like any other activation failure.
+	submit := func(sid msg.SessionID) {
+		tnode.Do(func() {
+			if err := eng.Submit(sid); err != nil {
+				failures <- sessionFailure{sid: sid, err: err}
+			}
+		})
+	}
+	expected := make(map[msg.SessionID]bool)
+	initial := make(map[msg.SessionID]bool)
+	for s := 0; s < *sessions; s++ {
+		sid := msg.SessionID(*base + uint64(s))
+		submit(sid)
+		expected[sid] = true
+		initial[sid] = true
+	}
+	fmt.Fprintf(os.Stderr, "node %d serving on %s: %d session(s) starting at τ=%d (workers=%d)\n",
+		*id, tnode.Addr(), *sessions, *base, *workers)
+
+	// Session requests: `start <id>` lines on stdin.
+	requests := make(chan uint64, 16)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 2 && fields[0] == "start" {
+				if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil && v > 0 {
+					requests <- v
+				}
+			}
+		}
+	}()
+
+	enc := json.NewEncoder(os.Stdout)
+	completed := 0
+	deadline := time.After(*timeout)
+	for {
+		if len(expected) > 0 && completed == len(expected) {
+			fmt.Fprintf(os.Stderr, "node %d: all %d session(s) completed\n", *id, completed)
+			return nil
+		}
+		select {
+		case res := <-results:
+			out := map[string]any{
+				"node":      *id,
+				"session":   uint64(res.sid),
+				"finalView": res.ev.FinalView,
+				"publicKey": res.ev.PublicKey.String(),
+				"share":     res.ev.Share.Text(16),
+				"qset":      res.ev.Q,
+			}
+			if err := enc.Encode(out); err != nil {
+				return err
+			}
+			if expected[res.sid] {
+				completed++
+			}
+		case fl := <-failures:
+			if initial[fl.sid] {
+				// A failed initial session can never satisfy the exit
+				// condition; fail fast instead of idling to -timeout.
+				return fmt.Errorf("session %v failed: %w", fl.sid, fl.err)
+			}
+			fmt.Fprintf(os.Stderr, "node %d: session %v rejected: %v\n", *id, fl.sid, fl.err)
+			delete(expected, fl.sid)
+		case v := <-requests:
+			sid := msg.SessionID(v)
+			if expected[sid] {
+				continue
+			}
+			submit(sid)
+			expected[sid] = true
+		case <-deadline:
+			if completed == len(expected) {
+				// No outstanding sessions (e.g. -sessions 0 with no
+				// stdin requests): the service simply ran out its
+				// lease with all requested work done.
+				fmt.Fprintf(os.Stderr, "node %d: deadline reached with all %d requested session(s) completed\n", *id, completed)
+				return nil
+			}
+			st := eng.Stats()
+			return fmt.Errorf("timed out after %v with %d/%d sessions completed (engine: %+v)",
+				*timeout, completed, len(expected), st)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 // Command dkgsim reproduces the paper's quantitative claims (the
 // experiment index E1–E13 of DESIGN.md) on the deterministic network
-// simulator and prints the tables recorded in EXPERIMENTS.md.
+// simulator and prints the result tables. E14 (backends) and E15
+// (session throughput) are benchmark-only; see DESIGN.md.
 //
 // Usage:
 //

@@ -221,14 +221,23 @@ func (c *Cluster) GenerateKey() (*SharedKey, error) {
 			onRecover: node.HandleRecover,
 		})
 	}
+	// Crashed nodes neither deal nor complete (the crash-recovery
+	// model: a down host stays down until the operator recovers it);
+	// the DKG tolerates up to f of them.
 	for i := 1; i <= c.opts.N; i++ {
 		id := msg.NodeID(i)
+		if c.net.Crashed(id) {
+			continue
+		}
 		if err := nodes[id].Start(randutil.NewReader(c.opts.Seed ^ tau<<32 ^ uint64(id))); err != nil {
 			return nil, err
 		}
 	}
 	done := func() bool {
-		for _, node := range nodes {
+		for id, node := range nodes {
+			if c.net.Crashed(id) {
+				continue
+			}
 			if !node.Done() {
 				return false
 			}
@@ -246,12 +255,18 @@ func (c *Cluster) GenerateKey() (*SharedKey, error) {
 		t:      c.opts.T,
 	}
 	for id, node := range nodes {
+		if !node.Done() {
+			continue // crashed mid-run; recovers via help, has no share yet
+		}
 		res := node.Result()
 		if key.PublicKey == nil {
 			key.PublicKey = res.PublicKey
 			key.Commitment = res.V
 		}
 		key.Shares[id] = res.Share
+	}
+	if key.PublicKey == nil {
+		return nil, ErrIncomplete
 	}
 	return key, nil
 }
@@ -265,6 +280,9 @@ func (c *Cluster) Sign(key *SharedKey, message []byte) (Signature, error) {
 	}
 	partials := make([]thresh.PartialSig, 0, c.opts.T+1)
 	for id, share := range key.Shares {
+		if share == nil || nonce.Shares[id] == nil {
+			continue // node was down for the key or the nonce DKG
+		}
 		ks := thresh.KeyShare{Self: id, Share: share, V: key.Commitment}
 		ns := thresh.KeyShare{Self: id, Share: nonce.Shares[id], V: nonce.Commitment}
 		p, err := thresh.PartialSign(c.gr, ks, ns, message)
@@ -350,7 +368,10 @@ func (c *Cluster) RenewShares(key *SharedKey) error {
 		}
 	}
 	done := func() bool {
-		for _, eng := range engines {
+		for id, eng := range engines {
+			if c.net.Crashed(id) {
+				continue
+			}
 			if eng.Phase() < 1 {
 				return false
 			}
@@ -363,6 +384,12 @@ func (c *Cluster) RenewShares(key *SharedKey) error {
 		return ErrIncomplete
 	}
 	for id, eng := range engines {
+		if eng.Phase() < 1 {
+			// Crashed mid-phase: its old share is invalidated by the
+			// renewal; it re-acquires one via recovery, not here.
+			delete(key.Shares, id)
+			continue
+		}
 		key.Shares[id] = eng.Share()
 		key.Commitment = eng.Commitment()
 	}

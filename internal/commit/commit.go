@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"hybriddkg/internal/group"
 	"hybriddkg/internal/poly"
@@ -43,6 +44,15 @@ type Matrix struct {
 	gr *group.Group
 	t  int
 	c  [][]group.Element
+
+	// Lazy memos over the immutable entries. A verifier evaluates the
+	// same matrix against its own index once per peer message (~2n
+	// verify-point calls per sharing), and hashes it once per message
+	// carrying it; both are pure functions of the entries.
+	memoMu   sync.Mutex
+	rowMemo  map[int64][]group.Element
+	hash     [32]byte
+	hashDone bool
 }
 
 // NewMatrix commits to the given symmetric bivariate polynomial.
@@ -78,19 +88,21 @@ func (m *Matrix) PublicKey() group.Element { return m.Entry(0, 0) }
 // VerifyPoly implements the paper's verify-poly(C, i, a) predicate: it
 // checks that the degree-t polynomial a is consistent with the
 // commitment, i.e. g^{a_ℓ} = Π_j (C_{jℓ})^{i^j} for all ℓ ∈ [0,t].
+// Because the matrix is symmetric, that right-hand side is exactly the
+// memoized partial evaluation rowsFor(i) — verify-poly both consumes
+// and warms the same memo verify-point uses.
 func (m *Matrix) VerifyPoly(i int64, a *poly.Poly) bool {
 	if a == nil || a.Degree() != m.t {
 		return false
 	}
 	q := m.gr.Q()
+	rows := m.rowsFor(i)
 	for l := 0; l <= m.t; l++ {
 		coef := a.Coeff(l)
 		if coef.Sign() < 0 || coef.Cmp(q) >= 0 {
 			return false
 		}
-		// Horner over j with exponent i: Π_j C_{jℓ}^{i^j}.
-		rhs := m.hornerColumn(l, i)
-		if !m.gr.GExp(coef).Equal(rhs) {
+		if !m.gr.GExp(coef).Equal(rows[l]) {
 			return false
 		}
 	}
@@ -99,18 +111,41 @@ func (m *Matrix) VerifyPoly(i int64, a *poly.Poly) bool {
 
 // VerifyPoint implements verify-point(C, i, m, α): it checks that α is
 // the evaluation f(mIdx, i), i.e. g^α = Π_{j,ℓ} (C_{jℓ})^{mIdx^j · i^ℓ}.
+//
+// The partial evaluation R_j = Π_ℓ C_{jℓ}^{i^ℓ} depends only on the
+// verifier's index i, so it is memoized: node i pays the O(t²) Horner
+// sweep once per matrix and each subsequent point costs O(t) short
+// exponentiations plus one full-width one. With ~2n verify-point calls
+// per sharing this is the protocol's hottest loop.
 func (m *Matrix) VerifyPoint(i, mIdx int64, alpha *big.Int) bool {
 	if alpha == nil || alpha.Sign() < 0 || alpha.Cmp(m.gr.Q()) >= 0 {
 		return false
 	}
-	// R_j = Π_ℓ C_{jℓ}^{i^ℓ} (Horner over ℓ), then Π_j R_j^{mIdx^j}
-	// (Horner over j).
+	rows := m.rowsFor(i)
+	acc := m.gr.Horner(rows, mIdx)
+	return m.gr.GExp(alpha).Equal(acc)
+}
+
+// rowsFor returns (computing and memoizing) R_j = Π_ℓ C_{jℓ}^{i^ℓ}
+// for all rows j.
+func (m *Matrix) rowsFor(i int64) []group.Element {
+	m.memoMu.Lock()
+	if rows, ok := m.rowMemo[i]; ok {
+		m.memoMu.Unlock()
+		return rows
+	}
+	m.memoMu.Unlock()
 	rows := make([]group.Element, m.t+1)
 	for j := 0; j <= m.t; j++ {
 		rows[j] = m.hornerRow(j, i)
 	}
-	acc := m.gr.Horner(rows, mIdx)
-	return m.gr.GExp(alpha).Equal(acc)
+	m.memoMu.Lock()
+	if m.rowMemo == nil {
+		m.rowMemo = make(map[int64][]group.Element, 4)
+	}
+	m.rowMemo[i] = rows
+	m.memoMu.Unlock()
+	return rows
 }
 
 // VerifyShare checks that s is node i's share f(i, 0):
@@ -174,10 +209,18 @@ func (m *Matrix) Equal(o *Matrix) bool {
 // Hash returns a SHA-256 digest of the canonical encoding, used as the
 // commitment fingerprint for hashed echo/ready messages (the
 // communication-complexity optimisation of §3, after Cachin et al.)
-// and as the map key for per-commitment counters in HybridVSS.
+// and as the map key for per-commitment counters in HybridVSS. The
+// digest is computed once and memoized — it is requested on every
+// message carrying or referencing the matrix.
 func (m *Matrix) Hash() [32]byte {
-	enc, _ := m.MarshalBinary() // cannot fail: matrix is well-formed
-	return sha256.Sum256(enc)
+	m.memoMu.Lock()
+	defer m.memoMu.Unlock()
+	if !m.hashDone {
+		enc, _ := m.MarshalBinary() // cannot fail: matrix is well-formed
+		m.hash = sha256.Sum256(enc)
+		m.hashDone = true
+	}
+	return m.hash
 }
 
 // MarshalBinary encodes the matrix: degree then the upper triangle

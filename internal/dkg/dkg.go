@@ -339,6 +339,17 @@ func (nd *Node) Start(rand io.Reader) error {
 	return nd.vssNodes[nd.self].ShareSecret(secret, rand)
 }
 
+// Session returns the engine-level session identifier this node runs
+// under. The DKG's τ counter doubles as the session id of the
+// multiplexed runtime, so every protocol message already carries it —
+// the protocol-level defence in depth behind the router's demux.
+func (nd *Node) Session() msg.SessionID { return msg.SessionID(nd.tau) }
+
+// HandleMessage is an alias for Handle matching the runtime handler
+// interfaces (simnet.Handler, transport.Handler, engine.Runner), so a
+// dkg.Node can be registered with a session router directly.
+func (nd *Node) HandleMessage(from msg.NodeID, body msg.Body) { nd.Handle(from, body) }
+
 // Handle dispatches one network message (DKG-level or embedded VSS).
 func (nd *Node) Handle(from msg.NodeID, body msg.Body) {
 	switch m := body.(type) {

@@ -1,0 +1,500 @@
+// Package engine owns the lifecycle of concurrent protocol sessions
+// multiplexed over one runtime: create, run, complete, garbage-collect.
+// The paper's system design (§7) runs one deterministic state machine
+// per protocol instance; Internet-scale deployments (the ROADMAP's
+// "millions of users") need many instances at once. The engine is the
+// piece that makes that a first-class dimension: S DKG/VSS instances
+// share one set of links, one event loop and one signature verifier,
+// with a bounded worker pool deciding how many are in flight.
+//
+// The engine is runtime-agnostic. A Fabric adapts it to a concrete
+// message layer — the deterministic simulator (internal/simnet) or the
+// TCP transport (internal/transport) — by registering per-session
+// handlers with that layer's demultiplexing router and handing back a
+// session-scoped Runtime. All engine methods must be invoked from the
+// runtime's event loop (simnet dispatch or transport.Node.Do), the
+// same single-threaded discipline the protocol state machines require.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hybriddkg/internal/msg"
+)
+
+// Errors returned by the engine.
+var (
+	ErrBadConfig     = errors.New("engine: invalid configuration")
+	ErrDuplicate     = errors.New("engine: session already submitted")
+	ErrEngineClosed  = errors.New("engine: closed")
+	ErrUnknownID     = errors.New("engine: unknown session")
+	ErrZeroSessionID = errors.New("engine: session id 0 is reserved")
+)
+
+// Handler consumes serialised events; it mirrors the simulator's and
+// the transport's handler interfaces so one runner type serves both.
+type Handler interface {
+	HandleMessage(from msg.NodeID, body msg.Body)
+	HandleTimer(id uint64)
+	HandleRecover()
+}
+
+// Runtime is the session-scoped I/O surface handed to a runner: sends
+// are tagged with the session identifier and timers live in the
+// session's namespace. It matches dkg.Runtime.
+type Runtime interface {
+	Send(to msg.NodeID, body msg.Body)
+	SetTimer(id uint64, delay int64)
+	StopTimer(id uint64)
+}
+
+// Runner is one protocol instance: a deterministic state machine plus
+// a completion predicate the engine polls after every event.
+type Runner interface {
+	Handler
+	// Done reports local completion; once true the engine moves the
+	// session to the completed state and frees its slot.
+	Done() bool
+}
+
+// Factory constructs the runner for a session over its runtime.
+type Factory func(sid msg.SessionID, rt Runtime) (Runner, error)
+
+// Fabric binds the engine to a message layer's session router.
+type Fabric interface {
+	// RegisterSession installs h as the session's event handler and
+	// returns the session-scoped runtime.
+	RegisterSession(sid msg.SessionID, h Handler) (Runtime, error)
+	// RetireSession removes the session from the router; subsequent
+	// traffic for it is dropped as stale.
+	RetireSession(sid msg.SessionID)
+}
+
+// State is a session's lifecycle position.
+type State uint8
+
+// Session lifecycle states.
+const (
+	StateUnknown   State = iota // never submitted
+	StateQueued                 // submitted, waiting for a worker slot
+	StateActive                 // running
+	StateCompleted              // runner reported Done
+	StateFailed                 // factory or start hook failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateActive:
+		return "active"
+	case StateCompleted:
+		return "completed"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts sessions by lifecycle stage.
+type Stats struct {
+	Submitted int
+	Queued    int
+	Active    int
+	Completed int
+	Failed    int
+}
+
+// Config configures an Engine.
+type Config struct {
+	Fabric  Fabric
+	Factory Factory
+	// Start, if set, kicks a freshly activated session off (e.g.
+	// dkg.Node.Start with a randomness source). A Start error fails
+	// the session.
+	Start func(sid msg.SessionID, r Runner) error
+	// MaxActive bounds the worker pool: at most this many sessions
+	// run concurrently; excess submissions queue in FIFO order until
+	// a slot frees. 0 means unbounded.
+	MaxActive int
+	// KeepCompleted retains completed runners for result retrieval
+	// via Completed. When false the engine garbage-collects the
+	// runner as soon as OnCompleted returns, keeping only the
+	// session's identifier (for replay rejection bookkeeping).
+	KeepCompleted bool
+	// LingerCompleted leaves completed sessions registered with the
+	// fabric so they keep serving protocol-level help requests (§5.3
+	// recovery). The default retires them, which makes the router
+	// drop all further traffic for the session without running any
+	// protocol or signature-verification code.
+	LingerCompleted bool
+	// OnCompleted fires once per completed session, outside the
+	// engine lock. It must not call back into the engine.
+	OnCompleted func(sid msg.SessionID, r Runner)
+	// OnFailed fires once per failed activation (fabric, factory or
+	// start error), outside the engine lock, under the same
+	// no-reentrancy rule. Note that Submit can report a failure via
+	// OnFailed while itself returning nil: queued sessions activate
+	// (and may fail) long after their Submit call returned.
+	OnFailed func(sid msg.SessionID, err error)
+}
+
+// backlogCap bounds the frames buffered for a submitted-but-queued
+// session. Queued sessions are registered with the fabric immediately
+// so the router accepts their traffic; buffering bridges the
+// activation skew between nodes (a fast peer may start session k+1
+// and deal while a slow peer is still finishing session k), because
+// nothing at the transport layer retransmits a dropped dealing.
+const backlogCap = 4096
+
+type backlogEvent struct {
+	from msg.NodeID
+	body msg.Body
+}
+
+type session struct {
+	state   State
+	runner  Runner
+	runtime Runtime
+	err     error
+	// backlog holds frames that arrived while the session was queued;
+	// they are replayed in arrival order on activation.
+	backlog        []backlogEvent
+	backlogDropped int
+}
+
+// Engine is a session-multiplexed protocol runtime.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[msg.SessionID]*session
+	queue    []msg.SessionID
+	active   int
+	closed   bool
+}
+
+// New validates the configuration and returns an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Fabric == nil || cfg.Factory == nil {
+		return nil, fmt.Errorf("%w: missing fabric or factory", ErrBadConfig)
+	}
+	if cfg.MaxActive < 0 {
+		return nil, fmt.Errorf("%w: negative MaxActive", ErrBadConfig)
+	}
+	return &Engine{cfg: cfg, sessions: make(map[msg.SessionID]*session)}, nil
+}
+
+// Submit enqueues a new session and registers it with the fabric, so
+// the router accepts (and the engine buffers) its traffic even before
+// a worker slot frees up. It starts immediately when a slot is free,
+// otherwise when one frees up. Session identifiers are single-use:
+// re-submitting any known session (queued, active, completed or
+// failed) is an error.
+func (e *Engine) Submit(sid msg.SessionID) error {
+	if sid == 0 {
+		return ErrZeroSessionID
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	if _, dup := e.sessions[sid]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrDuplicate, sid)
+	}
+	sess := &session{state: StateQueued}
+	e.sessions[sid] = sess
+	rt, err := e.cfg.Fabric.RegisterSession(sid, &sessionHandler{engine: e, sid: sid})
+	if err != nil {
+		sess.state = StateFailed
+		sess.err = fmt.Errorf("engine: register session %v: %w", sid, err)
+		failErr := sess.err
+		if e.cfg.OnFailed != nil {
+			e.mu.Unlock()
+			e.cfg.OnFailed(sid, failErr)
+			e.mu.Lock()
+		}
+		e.mu.Unlock()
+		return nil
+	}
+	sess.runtime = rt
+	if e.cfg.MaxActive > 0 && e.active >= e.cfg.MaxActive {
+		e.queue = append(e.queue, sid)
+		e.mu.Unlock()
+		return nil
+	}
+	e.activateLocked(sid)
+	e.mu.Unlock()
+	return nil
+}
+
+// activateLocked moves a registered session into the active state:
+// build the runner, kick it off, replay any frames buffered while it
+// was queued. Called with e.mu held.
+func (e *Engine) activateLocked(sid msg.SessionID) {
+	sess := e.sessions[sid]
+	sess.state = StateActive
+	e.active++
+	runner, err := e.cfg.Factory(sid, sess.runtime)
+	if err != nil {
+		e.failLocked(sid, fmt.Errorf("engine: build session %v: %w", sid, err))
+		return
+	}
+	sess.runner = runner
+	if e.cfg.Start != nil {
+		if err := e.cfg.Start(sid, runner); err != nil {
+			sess.runner = nil
+			e.failLocked(sid, fmt.Errorf("engine: start session %v: %w", sid, err))
+			return
+		}
+	}
+	// Replay the queued-phase backlog in arrival order. The protocol
+	// code only talks to the runtime (sends enqueue, they do not
+	// dispatch re-entrantly), so this is safe under the lock.
+	backlog := sess.backlog
+	sess.backlog = nil
+	for _, ev := range backlog {
+		runner.HandleMessage(ev.from, ev.body)
+	}
+	if runner.Done() {
+		e.completeLocked(sid)
+	}
+}
+
+// failLocked records a failed activation of a registered session and
+// frees its slot.
+func (e *Engine) failLocked(sid msg.SessionID, err error) {
+	sess := e.sessions[sid]
+	sess.state = StateFailed
+	sess.err = err
+	sess.backlog = nil
+	e.active--
+	e.cfg.Fabric.RetireSession(sid)
+	e.drainQueueLocked()
+	if e.cfg.OnFailed != nil {
+		e.mu.Unlock()
+		e.cfg.OnFailed(sid, err)
+		e.mu.Lock()
+	}
+}
+
+// completeLocked finishes a session: retire (unless lingering), GC the
+// runner if configured, free the slot, start the next queued session,
+// and collect the completion callback to run outside the lock.
+func (e *Engine) completeLocked(sid msg.SessionID) {
+	sess := e.sessions[sid]
+	sess.state = StateCompleted
+	e.active--
+	if !e.cfg.LingerCompleted {
+		e.cfg.Fabric.RetireSession(sid)
+	}
+	runner := sess.runner
+	if !e.cfg.KeepCompleted {
+		sess.runner = nil
+	}
+	e.drainQueueLocked()
+	if e.cfg.OnCompleted != nil {
+		// Outside the lock: the callback may do arbitrary work (emit
+		// results, accounting), just not re-enter the engine.
+		e.mu.Unlock()
+		e.cfg.OnCompleted(sid, runner)
+		e.mu.Lock()
+	}
+}
+
+// drainQueueLocked activates queued sessions while slots are free.
+func (e *Engine) drainQueueLocked() {
+	for len(e.queue) > 0 && (e.cfg.MaxActive == 0 || e.active < e.cfg.MaxActive) {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		if e.sessions[next].state != StateQueued {
+			continue
+		}
+		e.activateLocked(next)
+	}
+}
+
+// noteEvent is called by the session wrapper after every dispatched
+// event to detect completion.
+func (e *Engine) noteEvent(sid msg.SessionID, r Runner) {
+	if !r.Done() {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess, ok := e.sessions[sid]; ok && sess.state == StateActive {
+		e.completeLocked(sid)
+	}
+}
+
+// runner returns the active session's runner (nil when the session is
+// not active, e.g. an event racing the activation or retirement).
+func (e *Engine) runner(sid msg.SessionID) Runner {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sess, ok := e.sessions[sid]
+	if !ok || sess.state != StateActive {
+		return nil
+	}
+	return sess.runner
+}
+
+// sessionHandler adapts a runner to the fabric's Handler interface,
+// buffering frames while the session waits for a worker slot and
+// checking the completion predicate after every event.
+type sessionHandler struct {
+	engine *Engine
+	sid    msg.SessionID
+}
+
+func (h *sessionHandler) HandleMessage(from msg.NodeID, body msg.Body) {
+	e := h.engine
+	e.mu.Lock()
+	sess, ok := e.sessions[h.sid]
+	if ok && sess.state == StateQueued {
+		if len(sess.backlog) < backlogCap {
+			sess.backlog = append(sess.backlog, backlogEvent{from: from, body: body})
+		} else {
+			sess.backlogDropped++
+		}
+		e.mu.Unlock()
+		return
+	}
+	var r Runner
+	if ok && sess.state == StateActive {
+		r = sess.runner
+	}
+	e.mu.Unlock()
+	if r != nil {
+		r.HandleMessage(from, body)
+		h.engine.noteEvent(h.sid, r)
+	}
+}
+
+func (h *sessionHandler) HandleTimer(id uint64) {
+	if r := h.engine.runner(h.sid); r != nil {
+		r.HandleTimer(id)
+		h.engine.noteEvent(h.sid, r)
+	}
+}
+
+func (h *sessionHandler) HandleRecover() {
+	if r := h.engine.runner(h.sid); r != nil {
+		r.HandleRecover()
+		h.engine.noteEvent(h.sid, r)
+	}
+}
+
+// State reports a session's lifecycle position.
+func (e *Engine) State(sid msg.SessionID) State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sess, ok := e.sessions[sid]
+	if !ok {
+		return StateUnknown
+	}
+	return sess.state
+}
+
+// Err returns the failure cause of a failed session (nil otherwise).
+func (e *Engine) Err(sid msg.SessionID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess, ok := e.sessions[sid]; ok {
+		return sess.err
+	}
+	return fmt.Errorf("%w: %v", ErrUnknownID, sid)
+}
+
+// Completed returns a completed session's runner. It requires
+// Config.KeepCompleted (otherwise runners are garbage-collected on
+// completion and ok is false).
+func (e *Engine) Completed(sid msg.SessionID) (Runner, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sess, ok := e.sessions[sid]
+	if !ok || sess.state != StateCompleted || sess.runner == nil {
+		return nil, false
+	}
+	return sess.runner, true
+}
+
+// GC drops a completed or failed session's retained runner and error,
+// keeping only the identifier for replay-rejection bookkeeping.
+func (e *Engine) GC(sid msg.SessionID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess, ok := e.sessions[sid]; ok && (sess.state == StateCompleted || sess.state == StateFailed) {
+		sess.runner = nil
+		sess.err = nil
+	}
+}
+
+// Stats returns a snapshot of session counts by state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{Submitted: len(e.sessions)}
+	for _, sess := range e.sessions {
+		switch sess.state {
+		case StateQueued:
+			st.Queued++
+		case StateActive:
+			st.Active++
+		case StateCompleted:
+			st.Completed++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	return st
+}
+
+// Sessions returns all known session identifiers in ascending order.
+func (e *Engine) Sessions() []msg.SessionID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]msg.SessionID, 0, len(e.sessions))
+	for sid := range e.sessions {
+		out = append(out, sid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Close marks the engine closed: queued sessions are failed, further
+// submissions are rejected, active sessions are retired from the
+// fabric. It does not tear down the fabric itself.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, sid := range e.queue {
+		if sess := e.sessions[sid]; sess.state == StateQueued {
+			sess.state = StateFailed
+			sess.err = ErrEngineClosed
+			sess.backlog = nil
+			e.cfg.Fabric.RetireSession(sid)
+		}
+	}
+	e.queue = nil
+	for sid, sess := range e.sessions {
+		if sess.state == StateActive {
+			sess.state = StateFailed
+			sess.err = ErrEngineClosed
+			sess.runner = nil
+			e.active--
+			e.cfg.Fabric.RetireSession(sid)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hybriddkg/internal/msg"
+)
+
+// fakeFabric is an in-memory session router for engine unit tests.
+type fakeFabric struct {
+	handlers map[msg.SessionID]Handler
+	retired  map[msg.SessionID]bool
+	failNext bool
+}
+
+func newFakeFabric() *fakeFabric {
+	return &fakeFabric{
+		handlers: make(map[msg.SessionID]Handler),
+		retired:  make(map[msg.SessionID]bool),
+	}
+}
+
+func (f *fakeFabric) RegisterSession(sid msg.SessionID, h Handler) (Runtime, error) {
+	if f.failNext {
+		f.failNext = false
+		return nil, errors.New("fabric down")
+	}
+	f.handlers[sid] = h
+	return nopRuntime{}, nil
+}
+
+func (f *fakeFabric) RetireSession(sid msg.SessionID) {
+	delete(f.handlers, sid)
+	f.retired[sid] = true
+}
+
+// deliver pushes a message event into a session's handler, as the
+// demux router would.
+func (f *fakeFabric) deliver(sid msg.SessionID, from msg.NodeID, body msg.Body) bool {
+	h, ok := f.handlers[sid]
+	if !ok {
+		return false
+	}
+	h.HandleMessage(from, body)
+	return true
+}
+
+type nopRuntime struct{}
+
+func (nopRuntime) Send(msg.NodeID, msg.Body) {}
+func (nopRuntime) SetTimer(uint64, int64)    {}
+func (nopRuntime) StopTimer(uint64)          {}
+
+// countRunner completes after `needed` messages.
+type countRunner struct {
+	got    int
+	needed int
+}
+
+func (r *countRunner) HandleMessage(msg.NodeID, msg.Body) { r.got++ }
+func (r *countRunner) HandleTimer(uint64)                 {}
+func (r *countRunner) HandleRecover()                     {}
+func (r *countRunner) Done() bool                         { return r.got >= r.needed }
+
+type nilBody struct{}
+
+func (nilBody) MsgType() msg.Type              { return msg.TVSSEcho }
+func (nilBody) MarshalBinary() ([]byte, error) { return nil, nil }
+
+// TestLifecycleAndWorkerPool: MaxActive bounds concurrency, queued
+// sessions start in FIFO order as slots free, completions retire and
+// GC, and identifiers are single-use.
+func TestLifecycleAndWorkerPool(t *testing.T) {
+	fab := newFakeFabric()
+	var completions []msg.SessionID
+	eng, err := New(Config{
+		Fabric:    fab,
+		MaxActive: 2,
+		Factory: func(sid msg.SessionID, rt Runtime) (Runner, error) {
+			return &countRunner{needed: 1}, nil
+		},
+		OnCompleted: func(sid msg.SessionID, r Runner) { completions = append(completions, sid) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for sid := msg.SessionID(1); sid <= 5; sid++ {
+		if err := eng.Submit(sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Active != 2 || st.Queued != 3 {
+		t.Fatalf("pool bound violated: %+v", st)
+	}
+	if err := eng.Submit(3); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate submit: %v", err)
+	}
+	if err := eng.Submit(0); !errors.Is(err, ErrZeroSessionID) {
+		t.Fatalf("session 0 accepted: %v", err)
+	}
+
+	// Completing session 1 must pull session 3 (FIFO) into the pool.
+	if !fab.deliver(1, 7, nilBody{}) {
+		t.Fatal("session 1 not registered")
+	}
+	if got := eng.State(1); got != StateCompleted {
+		t.Fatalf("session 1 state %v", got)
+	}
+	if !fab.retired[1] {
+		t.Fatal("completed session not retired from fabric")
+	}
+	if got := eng.State(3); got != StateActive {
+		t.Fatalf("session 3 state %v, want active", got)
+	}
+	st = eng.Stats()
+	if st.Active != 2 || st.Queued != 2 || st.Completed != 1 {
+		t.Fatalf("after first completion: %+v", st)
+	}
+
+	// Drain everything.
+	for _, sid := range []msg.SessionID{2, 3, 4, 5} {
+		if !fab.deliver(sid, 7, nilBody{}) {
+			t.Fatalf("session %v not registered when expected", sid)
+		}
+	}
+	st = eng.Stats()
+	if st.Completed != 5 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("final stats: %+v", st)
+	}
+	if len(completions) != 5 {
+		t.Fatalf("completions: %v", completions)
+	}
+	// Runners are GC'd by default.
+	if _, ok := eng.Completed(2); ok {
+		t.Fatal("runner retained without KeepCompleted")
+	}
+}
+
+// TestKeepCompletedAndGC: retained runners are retrievable until GC.
+func TestKeepCompletedAndGC(t *testing.T) {
+	fab := newFakeFabric()
+	eng, err := New(Config{
+		Fabric:        fab,
+		KeepCompleted: true,
+		Factory: func(msg.SessionID, Runtime) (Runner, error) {
+			return &countRunner{needed: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	fab.deliver(1, 2, nilBody{})
+	if _, ok := eng.Completed(1); !ok {
+		t.Fatal("retained runner missing")
+	}
+	eng.GC(1)
+	if _, ok := eng.Completed(1); ok {
+		t.Fatal("runner survives GC")
+	}
+	if got := eng.State(1); got != StateCompleted {
+		t.Fatalf("GC changed state to %v", got)
+	}
+}
+
+// TestFactoryAndStartFailures: a failed activation frees its worker
+// slot and records the cause.
+func TestFactoryAndStartFailures(t *testing.T) {
+	fab := newFakeFabric()
+	eng, err := New(Config{
+		Fabric:    fab,
+		MaxActive: 1,
+		Factory: func(sid msg.SessionID, rt Runtime) (Runner, error) {
+			if sid == 1 {
+				return nil, errors.New("no entropy")
+			}
+			return &countRunner{needed: 1}, nil
+		},
+		Start: func(sid msg.SessionID, r Runner) error {
+			if sid == 2 {
+				return errors.New("start refused")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid := msg.SessionID(1); sid <= 3; sid++ {
+		if err := eng.Submit(sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.State(1); got != StateFailed {
+		t.Fatalf("factory-failed session state %v", got)
+	}
+	if err := eng.Err(1); err == nil {
+		t.Fatal("failure cause lost")
+	}
+	if got := eng.State(2); got != StateFailed {
+		t.Fatalf("start-failed session state %v", got)
+	}
+	if !fab.retired[2] {
+		t.Fatal("start-failed session left registered")
+	}
+	// Slot freed both times: session 3 must be running.
+	if got := eng.State(3); got != StateActive {
+		t.Fatalf("session 3 state %v", got)
+	}
+
+	// Fabric registration failure surfaces at Submit time: sessions
+	// register immediately (even when queued) so the router accepts
+	// and the engine buffers their traffic.
+	fab.failNext = true
+	if err := eng.Submit(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.State(4); got != StateFailed {
+		t.Fatalf("session 4 after fabric failure: %v", got)
+	}
+	// Session 3 keeps its slot and still completes.
+	fab.deliver(3, 1, nilBody{})
+	if got := eng.State(3); got != StateCompleted {
+		t.Fatalf("session 3 state %v", got)
+	}
+}
+
+// TestQueuedSessionBacklogReplay: frames arriving for a session that
+// is still waiting for a worker slot are buffered by the engine and
+// replayed, in order, when the session activates — activation skew
+// across nodes must not lose dealings.
+func TestQueuedSessionBacklogReplay(t *testing.T) {
+	fab := newFakeFabric()
+	eng, err := New(Config{
+		Fabric:    fab,
+		MaxActive: 1,
+		Factory: func(msg.SessionID, Runtime) (Runner, error) {
+			return &countRunner{needed: 2}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.State(2); got != StateQueued {
+		t.Fatalf("session 2 state %v", got)
+	}
+	// The queued session is registered: its frames are accepted and
+	// buffered rather than dropped at the router.
+	if !fab.deliver(2, 3, nilBody{}) {
+		t.Fatal("queued session not registered with fabric")
+	}
+	if !fab.deliver(2, 4, nilBody{}) {
+		t.Fatal("queued session not registered with fabric")
+	}
+	if got := eng.State(2); got != StateQueued {
+		t.Fatalf("session 2 consumed frames while queued: %v", got)
+	}
+	// Completing session 1 activates session 2, whose replayed
+	// backlog immediately satisfies its completion predicate.
+	fab.deliver(1, 3, nilBody{})
+	fab.deliver(1, 4, nilBody{})
+	if got := eng.State(1); got != StateCompleted {
+		t.Fatalf("session 1 state %v", got)
+	}
+	if got := eng.State(2); got != StateCompleted {
+		t.Fatalf("session 2 state %v (backlog not replayed)", got)
+	}
+}
+
+// TestLingerCompleted: lingering sessions stay registered with the
+// fabric after completion (to keep serving help requests) until GC'd
+// explicitly by retiring.
+func TestLingerCompleted(t *testing.T) {
+	fab := newFakeFabric()
+	eng, err := New(Config{
+		Fabric:          fab,
+		LingerCompleted: true,
+		KeepCompleted:   true,
+		Factory: func(msg.SessionID, Runtime) (Runner, error) {
+			return &countRunner{needed: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	fab.deliver(1, 2, nilBody{})
+	if got := eng.State(1); got != StateCompleted {
+		t.Fatalf("state %v", got)
+	}
+	if fab.retired[1] {
+		t.Fatal("lingering session was retired")
+	}
+	// Late traffic still reaches the completed runner (help service).
+	if !fab.deliver(1, 3, nilBody{}) {
+		t.Fatal("lingering session dropped from fabric")
+	}
+}
+
+// TestClose: queued sessions fail, new submissions are rejected.
+func TestClose(t *testing.T) {
+	fab := newFakeFabric()
+	eng, err := New(Config{
+		Fabric:    fab,
+		MaxActive: 1,
+		Factory: func(msg.SessionID, Runtime) (Runner, error) {
+			return &countRunner{needed: 99}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(2); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if err := eng.Submit(3); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if got := eng.State(2); got != StateFailed {
+		t.Fatalf("queued session after close: %v", got)
+	}
+	if !fab.retired[1] {
+		t.Fatal("active session not retired on close")
+	}
+	if ids := eng.Sessions(); fmt.Sprint(ids) != "[session(1) session(2)]" {
+		t.Fatalf("sessions: %v", ids)
+	}
+}

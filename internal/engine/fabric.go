@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/transport"
+)
+
+// simnetFabric binds one simulated node's session router to the
+// engine. Each node of a simulated cluster gets its own fabric (and
+// its own engine): session lifecycle is a per-node concern, exactly as
+// it is for one OS process in the deployment runtime.
+type simnetFabric struct {
+	net  *simnet.Network
+	node msg.NodeID
+}
+
+// NewSimnetFabric returns a Fabric routing one node's sessions through
+// the deterministic simulator.
+func NewSimnetFabric(net *simnet.Network, node msg.NodeID) Fabric {
+	return &simnetFabric{net: net, node: node}
+}
+
+// RegisterSession implements Fabric.
+func (f *simnetFabric) RegisterSession(sid msg.SessionID, h Handler) (Runtime, error) {
+	if err := f.net.RegisterSession(f.node, sid, h); err != nil {
+		return nil, err
+	}
+	return f.net.SessionEnv(f.node, sid), nil
+}
+
+// RetireSession implements Fabric.
+func (f *simnetFabric) RetireSession(sid msg.SessionID) {
+	f.net.RetireSession(f.node, sid)
+}
+
+// transportFabric binds a TCP transport node's session router to the
+// engine.
+type transportFabric struct {
+	node *transport.Node
+}
+
+// NewTransportFabric returns a Fabric routing sessions through a live
+// TCP endpoint. Engine methods must then be invoked on the transport's
+// event loop (transport.Node.Do).
+func NewTransportFabric(node *transport.Node) Fabric {
+	return &transportFabric{node: node}
+}
+
+// RegisterSession implements Fabric.
+func (f *transportFabric) RegisterSession(sid msg.SessionID, h Handler) (Runtime, error) {
+	port, err := f.node.RegisterSession(sid, h)
+	if err != nil {
+		return nil, err
+	}
+	return port, nil
+}
+
+// RetireSession implements Fabric.
+func (f *transportFabric) RetireSession(sid msg.SessionID) {
+	f.node.RetireSession(sid)
+}

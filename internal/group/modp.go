@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"math/bits"
 	"sync"
 )
 
@@ -219,23 +220,63 @@ func (b *ModP) GExp(e *big.Int) Element {
 
 // Horner implements Backend with the schoolbook chain
 // acc ← acc^x · v[ℓ], keeping the accumulator as a raw residue and
-// reducing once per step.
+// reducing once per step. The per-step exponent is a node index, so
+// the exponentiation runs as an in-place square-and-multiply over its
+// few bits instead of paying big.Int.Exp's generic machinery — this
+// chain sits under every verify-point and share-verification call.
 func (b *ModP) Horner(v []Element, x int64) Element {
 	if len(v) == 0 {
 		panic("group: empty Horner chain")
 	}
-	xB := big.NewInt(x)
-	acc := b.el(v[len(v)-1]).v
-	tmp := new(big.Int)
-	for l := len(v) - 2; l >= 0; l-- {
-		acc = new(big.Int).Exp(acc, xB, b.p)
-		tmp.Mul(acc, b.el(v[l]).v)
-		acc.Mod(tmp, b.p)
+	if x < 0 {
+		// Negative indices never occur in the protocol; fall back to
+		// the generic path which reduces the exponent mod q first.
+		xB := new(big.Int).Mod(big.NewInt(x), b.q)
+		acc := b.el(v[len(v)-1]).v
+		tmp := new(big.Int)
+		for l := len(v) - 2; l >= 0; l-- {
+			acc = new(big.Int).Exp(acc, xB, b.p)
+			tmp.Mul(acc, b.el(v[l]).v)
+			acc.Mod(tmp, b.p)
+		}
+		if len(v) == 1 {
+			acc = new(big.Int).Set(acc)
+		}
+		return &modpElement{v: acc}
 	}
-	if len(v) == 1 {
-		acc = new(big.Int).Set(acc)
+	acc := new(big.Int).Set(b.el(v[len(v)-1]).v)
+	base := new(big.Int)
+	tmp := new(big.Int)
+	quo := new(big.Int)
+	for l := len(v) - 2; l >= 0; l-- {
+		b.expSmall(acc, uint64(x), base, tmp, quo)
+		tmp.Mul(acc, b.el(v[l]).v)
+		quo.QuoRem(tmp, b.p, acc)
 	}
 	return &modpElement{v: acc}
+}
+
+// expSmall replaces acc with acc^x mod p by left-to-right
+// square-and-multiply; base, tmp and quo are scratch (the explicit
+// quotient receiver avoids big.Int.Mod's per-call allocation in this
+// innermost loop). x = 0 yields 1.
+func (b *ModP) expSmall(acc *big.Int, x uint64, base, tmp, quo *big.Int) {
+	switch x {
+	case 0:
+		acc.SetInt64(1)
+		return
+	case 1:
+		return
+	}
+	base.Set(acc)
+	for bit := bits.Len64(x) - 2; bit >= 0; bit-- {
+		tmp.Mul(acc, acc)
+		quo.QuoRem(tmp, b.p, acc)
+		if x&(1<<uint(bit)) != 0 {
+			tmp.Mul(acc, base)
+			quo.QuoRem(tmp, b.p, acc)
+		}
+	}
 }
 
 // Contains implements Backend: membership in the order-q subgroup.
@@ -326,23 +367,35 @@ func (b *ModP) tableFor(base *big.Int) *fbTable {
 
 // --- fixed-base windowed exponentiation ------------------------------
 
-// fbWindow is the window width in bits. Each window stores the 2^w−1
-// non-zero digit powers, so base^e needs at most ⌈|q|/w⌉ modular
-// multiplications and zero squarings.
-const fbWindow = 4
+// fbWindowFor picks the window width in bits for a fixed-base table.
+// Each window stores the 2^w−1 non-zero digit powers, so base^e needs
+// at most ⌈|q|/w⌉ modular multiplications and zero squarings; wider
+// windows trade table size and one-time build cost for a shorter
+// multiplication chain. Short-exponent groups (the protocol's hot
+// configurations) get w=8 (a 160-bit q costs 20 multiplications per
+// exponentiation and a ~5k-entry table); big subgroups keep w=4 so
+// table construction stays cheap relative to their rare use.
+func fbWindowFor(expBits int) int {
+	if expBits <= 512 {
+		return 8
+	}
+	return 4
+}
 
 // fbTable holds win[i][j-1] = base^(j·2^{w·i}) mod p for j ∈ [1, 2^w).
 type fbTable struct {
 	p   *big.Int
+	w   int
 	win [][]*big.Int
 }
 
 func newFBTable(base, p *big.Int, expBits int) *fbTable {
-	n := (expBits + fbWindow - 1) / fbWindow
+	w := fbWindowFor(expBits)
+	n := (expBits + w - 1) / w
 	win := make([][]*big.Int, n)
 	cur := new(big.Int).Set(base) // base^(2^{w·i}) for the current window
 	for i := 0; i < n; i++ {
-		row := make([]*big.Int, (1<<fbWindow)-1)
+		row := make([]*big.Int, (1<<w)-1)
 		row[0] = new(big.Int).Set(cur)
 		for j := 1; j < len(row); j++ {
 			row[j] = new(big.Int).Mod(new(big.Int).Mul(row[j-1], cur), p)
@@ -352,26 +405,27 @@ func newFBTable(base, p *big.Int, expBits int) *fbTable {
 			cur = new(big.Int).Mod(new(big.Int).Mul(row[len(row)-1], cur), p)
 		}
 	}
-	return &fbTable{p: p, win: win}
+	return &fbTable{p: p, w: w, win: win}
 }
 
 // covers reports whether e fits in the table's exponent range.
 func (t *fbTable) covers(e *big.Int) bool {
-	return e.Sign() >= 0 && e.BitLen() <= len(t.win)*fbWindow
+	return e.Sign() >= 0 && e.BitLen() <= len(t.win)*t.w
 }
 
 func (t *fbTable) exp(e *big.Int) *big.Int {
 	acc := new(big.Int).SetInt64(1)
 	tmp := new(big.Int)
+	quo := new(big.Int)
 	for i, row := range t.win {
-		off := i * fbWindow
+		off := i * t.w
 		var d uint
-		for bit := 0; bit < fbWindow; bit++ {
+		for bit := 0; bit < t.w; bit++ {
 			d |= e.Bit(off+bit) << bit
 		}
 		if d != 0 {
 			tmp.Mul(acc, row[d-1])
-			acc.Mod(tmp, t.p)
+			quo.QuoRem(tmp, t.p, acc)
 		}
 	}
 	return acc

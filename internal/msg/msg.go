@@ -19,6 +19,15 @@ import (
 // unique identifying index published alongside its certificate (§2.3).
 type NodeID int64
 
+// SessionID identifies one protocol instance multiplexed over a shared
+// runtime (the φ/τ counters of §5–§6 generalised to arbitrary
+// concurrent instances). Session 0 is the legacy single-instance
+// session used by runtimes that predate multiplexing.
+type SessionID uint64
+
+// String implements fmt.Stringer.
+func (s SessionID) String() string { return fmt.Sprintf("session(%d)", uint64(s)) }
+
 // Type tags every wire message. Values are centralised here so the
 // codec registry cannot collide across protocol packages.
 type Type uint8
@@ -142,20 +151,26 @@ func (c *Codec) Decode(t Type, payload []byte) (Body, error) {
 }
 
 // Envelope is the unit carried by the transport: a routed, typed,
-// encoded message.
+// encoded message tagged with the protocol instance it belongs to.
 type Envelope struct {
 	From, To NodeID
+	Session  SessionID
 	Type     Type
 	Payload  []byte
 }
 
-// Seal encodes a Body into an Envelope.
+// Seal encodes a Body into an Envelope for the legacy session 0.
 func Seal(from, to NodeID, body Body) (Envelope, error) {
+	return SealSession(from, to, 0, body)
+}
+
+// SealSession encodes a Body into an Envelope routed to one session.
+func SealSession(from, to NodeID, session SessionID, body Body) (Envelope, error) {
 	payload, err := body.MarshalBinary()
 	if err != nil {
 		return Envelope{}, fmt.Errorf("msg: seal %v: %w", body.MsgType(), err)
 	}
-	return Envelope{From: from, To: to, Type: body.MsgType(), Payload: payload}, nil
+	return Envelope{From: from, To: to, Session: session, Type: body.MsgType(), Payload: payload}, nil
 }
 
 // Open decodes an Envelope back into a Body using the codec.

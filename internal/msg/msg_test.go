@@ -195,3 +195,26 @@ func TestQuickWireRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSealSession: envelopes carry their session identifier; Seal is
+// the legacy session-0 form.
+func TestSealSession(t *testing.T) {
+	body := fakeBody{payload: []byte{1, 2, 3}}
+	env, err := SealSession(1, 2, 7, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Session != 7 || env.From != 1 || env.To != 2 {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	legacy, err := Seal(1, 2, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Session != 0 {
+		t.Fatalf("Seal produced session %v", legacy.Session)
+	}
+	if got := SessionID(7).String(); got != "session(7)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -99,13 +99,30 @@ func (p *Poly) Coeffs() []*big.Int {
 // Secret returns the constant term p(0), the shared secret.
 func (p *Poly) Secret() *big.Int { return p.Coeff(0) }
 
-// Eval evaluates p at x via Horner's rule.
+// Eval evaluates p at x via Horner's rule. For non-negative x the
+// inner loop reuses scratch integers and an explicit quotient receiver
+// — point verification reduces to this evaluation (see vss.pointValid),
+// so it runs ~n³ times per DKG and big.Int.Mod's per-step quotient
+// allocation is measurable.
 func (p *Poly) Eval(x *big.Int) *big.Int {
+	if x.Sign() < 0 {
+		acc := new(big.Int)
+		for i := len(p.coeffs) - 1; i >= 0; i-- {
+			acc.Mul(acc, x)
+			acc.Add(acc, p.coeffs[i])
+			acc.Mod(acc, p.q)
+		}
+		return acc
+	}
+	// All operands stay non-negative (coefficients are canonical
+	// residues), so QuoRem's remainder equals Mod.
 	acc := new(big.Int)
+	tmp := new(big.Int)
+	quo := new(big.Int)
 	for i := len(p.coeffs) - 1; i >= 0; i-- {
-		acc.Mul(acc, x)
-		acc.Add(acc, p.coeffs[i])
-		acc.Mod(acc, p.q)
+		tmp.Mul(acc, x)
+		tmp.Add(tmp, p.coeffs[i])
+		quo.QuoRem(tmp, p.q, acc)
 	}
 	return acc
 }

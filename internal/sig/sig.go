@@ -19,10 +19,12 @@ package sig
 
 import (
 	"crypto/ed25519"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"hybriddkg/internal/group"
 )
@@ -185,9 +187,36 @@ func (Null) Verify(_, _, _ []byte) bool { return true }
 // Directory maps node indices to their long-term public keys — the
 // paper's "indices and public keys for all nodes are publicly
 // available in the form of certificates" (§2.3).
+//
+// A Directory may optionally memoize verification results (see
+// EnableVerifyCache). Signed protocol messages travel as transferable
+// proof sets (the R/M sets of Figures 2–3), so the same signature is
+// re-verified many times — by every node of an in-process cluster and
+// again on every retransmission. A multi-session engine hands one
+// cached directory to all of its sessions, making it the shared
+// signature verifier of the session-multiplexed runtime.
 type Directory struct {
 	scheme Scheme
-	keys   map[int64][]byte
+
+	// mu guards keys and the verification memo. The memo carries a
+	// generation counter so a verdict computed against a key that was
+	// rotated mid-verification is never inserted (stale verdicts for
+	// a revoked key must not be cacheable).
+	mu       sync.Mutex
+	keys     map[int64][]byte
+	cache    map[verifyKey]bool
+	cacheCap int
+	cacheGen uint64
+	hits     uint64
+	misses   uint64
+}
+
+// verifyKey identifies one (signer, message, signature) verification.
+// Messages and signatures are keyed by digest so entries stay small.
+type verifyKey struct {
+	node int64
+	msg  [32]byte
+	sig  [32]byte
 }
 
 // NewDirectory creates an empty directory for the given scheme.
@@ -195,11 +224,35 @@ func NewDirectory(scheme Scheme) *Directory {
 	return &Directory{scheme: scheme, keys: make(map[int64][]byte)}
 }
 
+// EnableVerifyCache turns on verification memoization with the given
+// entry capacity (≤ 0 selects a default). When the cache fills it is
+// cleared wholesale, bounding memory without eviction bookkeeping.
+// Call it during setup, before the directory is shared across
+// goroutines: enablement itself is not synchronised with Verify.
+func (d *Directory) EnableVerifyCache(capacity int) {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cacheCap = capacity
+	d.cache = make(map[verifyKey]bool, capacity/4)
+}
+
+// VerifyCacheStats reports cache hits and misses since enablement.
+func (d *Directory) VerifyCacheStats() (hits, misses uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits, d.misses
+}
+
 // Scheme returns the directory's signature scheme.
 func (d *Directory) Scheme() Scheme { return d.scheme }
 
 // Add registers a node's public key.
 func (d *Directory) Add(node int64, pub []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, dup := d.keys[node]; dup {
 		return fmt.Errorf("%w: %d", ErrDuplicateKey, node)
 	}
@@ -214,14 +267,34 @@ func (d *Directory) Add(node int64, pub []byte) error {
 func (d *Directory) Replace(node int64, pub []byte) {
 	cp := make([]byte, len(pub))
 	copy(cp, pub)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.keys[node] = cp
+	d.dropCachedLocked()
 }
 
 // Remove drops a node from the directory (node removal, §6.3).
-func (d *Directory) Remove(node int64) { delete(d.keys, node) }
+func (d *Directory) Remove(node int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.keys, node)
+	d.dropCachedLocked()
+}
+
+// dropCachedLocked clears memoized verdicts after a key change (stale
+// entries would otherwise answer for the old key) and bumps the
+// generation so in-flight verifications cannot re-insert them.
+func (d *Directory) dropCachedLocked() {
+	d.cacheGen++
+	if d.cache != nil {
+		d.cache = make(map[verifyKey]bool, d.cacheCap/4)
+	}
+}
 
 // PublicKey returns the key registered for node.
 func (d *Directory) PublicKey(node int64) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	pub, ok := d.keys[node]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
@@ -231,6 +304,8 @@ func (d *Directory) PublicKey(node int64) ([]byte, error) {
 
 // Nodes returns the sorted-insertion-free list of registered indices.
 func (d *Directory) Nodes() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]int64, 0, len(d.keys))
 	for n := range d.keys {
 		out = append(out, n)
@@ -238,13 +313,44 @@ func (d *Directory) Nodes() []int64 {
 	return out
 }
 
-// Verify checks a signature attributed to node.
+// Verify checks a signature attributed to node, consulting the memo
+// first when EnableVerifyCache is active.
 func (d *Directory) Verify(node int64, msg, sigBytes []byte) bool {
+	d.mu.Lock()
 	pub, ok := d.keys[node]
 	if !ok {
+		d.mu.Unlock()
 		return false
 	}
-	return d.scheme.Verify(pub, msg, sigBytes)
+	if d.cache == nil {
+		d.mu.Unlock()
+		return d.scheme.Verify(pub, msg, sigBytes)
+	}
+	d.mu.Unlock()
+	// Key hashing happens outside the lock; the cache can only be
+	// enabled, never disabled, so no re-check is needed.
+	key := verifyKey{node: node, msg: sha256.Sum256(msg), sig: sha256.Sum256(sigBytes)}
+	d.mu.Lock()
+	if valid, hit := d.cache[key]; hit {
+		d.hits++
+		d.mu.Unlock()
+		return valid
+	}
+	d.misses++
+	gen := d.cacheGen
+	d.mu.Unlock()
+	valid := d.scheme.Verify(pub, msg, sigBytes)
+	d.mu.Lock()
+	// Only memoize if no key rotation happened while verifying: a
+	// verdict for a revoked key must not enter the fresh cache.
+	if d.cache != nil && d.cacheGen == gen {
+		if len(d.cache) >= d.cacheCap {
+			d.cache = make(map[verifyKey]bool, d.cacheCap/4)
+		}
+		d.cache[key] = valid
+	}
+	d.mu.Unlock()
+	return valid
 }
 
 // --- signature encoding helpers -------------------------------------

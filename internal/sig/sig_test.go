@@ -231,3 +231,99 @@ func TestQuickSchnorrNonMalleable(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestVerifyCache: memoized verdicts match the uncached ones, repeat
+// verifications hit the cache, and key rotation invalidates it.
+func TestVerifyCache(t *testing.T) {
+	s := Ed25519{}
+	r := randutil.NewReader(9)
+	d := NewDirectory(s)
+	priv, pub, err := s.GenerateKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(1, pub); err != nil {
+		t.Fatal(err)
+	}
+	d.EnableVerifyCache(8)
+	msg := []byte("cached message")
+	sg, err := s.Sign(priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !d.Verify(1, msg, sg) {
+			t.Fatal("valid signature rejected")
+		}
+	}
+	hits, misses := d.VerifyCacheStats()
+	if hits != 4 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 4/1", hits, misses)
+	}
+	// Negative verdicts are memoized too.
+	bad := append([]byte{}, sg...)
+	bad[0] ^= 1
+	for i := 0; i < 3; i++ {
+		if d.Verify(1, msg, bad) {
+			t.Fatal("tampered signature verified")
+		}
+	}
+	// Unknown nodes bypass the cache entirely.
+	if d.Verify(42, msg, sg) {
+		t.Fatal("unknown node verified")
+	}
+	// Rotation must drop memoized verdicts for the old key.
+	privNew, pubNew, err := s.GenerateKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Replace(1, pubNew)
+	if d.Verify(1, msg, sg) {
+		t.Fatal("old-key signature verified after rotation")
+	}
+	sgNew, err := s.Sign(privNew, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Verify(1, msg, sgNew) {
+		t.Fatal("new-key signature rejected")
+	}
+}
+
+// TestVerifyCacheCapacity: the memo never exceeds its capacity; a
+// wholesale clear keeps verdicts correct afterwards.
+func TestVerifyCacheCapacity(t *testing.T) {
+	s := Ed25519{}
+	r := randutil.NewReader(10)
+	d := NewDirectory(s)
+	priv, pub, err := s.GenerateKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(1, pub); err != nil {
+		t.Fatal(err)
+	}
+	d.EnableVerifyCache(4)
+	for i := 0; i < 20; i++ {
+		msg := []byte{byte(i)}
+		sg, err := s.Sign(priv, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Verify(1, msg, sg) {
+			t.Fatalf("message %d rejected", i)
+		}
+	}
+	if !d.Verify(1, []byte{19}, mustSign(t, s, priv, []byte{19})) {
+		t.Fatal("verdict wrong after cache clears")
+	}
+}
+
+func mustSign(t *testing.T, s Scheme, priv, msg []byte) []byte {
+	t.Helper()
+	sg, err := s.Sign(priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}

@@ -12,11 +12,20 @@
 // benches need: per-message-type counts, encoded byte volume, crash
 // and drop counts, and the causal depth of the longest message chain
 // (the protocol's latency degree).
+//
+// Nodes are session-multiplexed, mirroring the TCP runtime: every
+// message and timer is tagged with a msg.SessionID, per-session
+// handlers are installed with RegisterSession, and a demux router
+// rejects traffic for unknown or retired sessions (counted in Stats)
+// before any protocol code runs. Sessions share the per-link FIFO
+// horizons, the way concurrent protocol instances share one TCP
+// connection per peer in deployment.
 package simnet
 
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"hybriddkg/internal/msg"
 	"hybriddkg/internal/randutil"
@@ -50,6 +59,12 @@ type Verdict struct {
 // send time and can delay or drop it.
 type FilterFunc func(from, to msg.NodeID, body msg.Body) Verdict
 
+// SessionFilterFunc is the session-aware adversary hook: it
+// additionally sees which protocol instance a message belongs to, so
+// tests can schedule faults in one session relative to another
+// (crash-during-leader-change interleavings across sessions).
+type SessionFilterFunc func(session msg.SessionID, from, to msg.NodeID, body msg.Body) Verdict
+
 // Options configures a Network.
 type Options struct {
 	// Seed drives all scheduling randomness.
@@ -67,6 +82,9 @@ type Options struct {
 	DisableAccounting bool
 	// Filter, when set, is consulted for every message.
 	Filter FilterFunc
+	// SessionFilter, when set, is additionally consulted for every
+	// message with its session identifier.
+	SessionFilter SessionFilterFunc
 }
 
 // Stats aggregates what the complexity experiments measure.
@@ -82,6 +100,13 @@ type Stats struct {
 	// drops.
 	DroppedCrash  int
 	DroppedFilter int
+	// DroppedUnknownSession counts messages addressed to a session the
+	// receiver never registered; DroppedStaleSession counts messages
+	// for sessions the receiver has already retired (completed-session
+	// replay). Both are rejected by the demultiplexing router before
+	// any protocol code runs.
+	DroppedUnknownSession int
+	DroppedStaleSession   int
 	// Crashes and Recoveries count operator events.
 	Crashes    int
 	Recoveries int
@@ -104,6 +129,10 @@ type event struct {
 	at   int64
 	seq  uint64
 	kind eventKind
+
+	// session routes evMessage and evTimer events to one protocol
+	// instance on the destination node (0 = legacy default session).
+	session msg.SessionID
 
 	// evMessage fields.
 	from, to msg.NodeID
@@ -140,12 +169,35 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+// timerKey namespaces timers per session so concurrent protocol
+// instances on one node can reuse the same local timer identifiers.
+type timerKey struct {
+	session msg.SessionID
+	id      uint64
+}
+
 type nodeSlot struct {
 	id      msg.NodeID
-	handler Handler
-	crashed bool
-	depth   int
-	timers  map[uint64]*event
+	handler Handler // legacy default-session handler (session 0)
+	// sessions holds the per-instance handlers of the demux router;
+	// retired remembers sessions that completed and were deregistered,
+	// so replayed traffic is counted as stale rather than unknown.
+	sessions map[msg.SessionID]Handler
+	retired  map[msg.SessionID]bool
+	crashed  bool
+	depth    int
+	timers   map[timerKey]*event
+}
+
+// handlerFor resolves the protocol instance a frame addresses.
+func (s *nodeSlot) handlerFor(sid msg.SessionID) Handler {
+	if h, ok := s.sessions[sid]; ok {
+		return h
+	}
+	if sid == 0 {
+		return s.handler
+	}
+	return nil
 }
 
 // Network is the simulated asynchronous network.
@@ -186,14 +238,81 @@ func New(opts Options) *Network {
 	}
 }
 
-// Register adds a node to the network. It must be called before Run.
+// Register adds a node to the network with a default-session handler.
+// It must be called before Run.
 func (n *Network) Register(id msg.NodeID, h Handler) {
-	n.nodes[id] = &nodeSlot{id: id, handler: h, timers: make(map[uint64]*event)}
+	n.slot(id).handler = h
+}
+
+// RegisterSession installs the handler for one protocol instance on a
+// node. The slot is created on first use, so a node may exist purely
+// as a bundle of sessions. Re-registering a live or retired session
+// fails, matching the TCP transport: session identifiers are
+// single-use, and a completed instance must never be resurrected by
+// replayed traffic.
+func (n *Network) RegisterSession(id msg.NodeID, sid msg.SessionID, h Handler) error {
+	slot := n.slot(id)
+	if slot.retired[sid] {
+		return fmt.Errorf("simnet: node %d session %v already retired", id, sid)
+	}
+	if _, dup := slot.sessions[sid]; dup {
+		return fmt.Errorf("simnet: node %d session %v already registered", id, sid)
+	}
+	slot.sessions[sid] = h
+	return nil
+}
+
+// RetireSession removes a session's handler and cancels its pending
+// timers. Subsequent traffic for the session is dropped by the router
+// and counted as stale — the cheap rejection path for
+// completed-session replay.
+func (n *Network) RetireSession(id msg.NodeID, sid msg.SessionID) {
+	slot, ok := n.nodes[id]
+	if !ok {
+		return
+	}
+	if _, live := slot.sessions[sid]; !live {
+		return
+	}
+	delete(slot.sessions, sid)
+	slot.retired[sid] = true
+	for key, ev := range slot.timers {
+		if key.session == sid {
+			ev.cancelled = true
+			delete(slot.timers, key)
+		}
+	}
+}
+
+// SessionRetired reports whether the node has retired the session.
+func (n *Network) SessionRetired(id msg.NodeID, sid msg.SessionID) bool {
+	slot, ok := n.nodes[id]
+	return ok && slot.retired[sid]
+}
+
+func (n *Network) slot(id msg.NodeID) *nodeSlot {
+	slot, ok := n.nodes[id]
+	if !ok {
+		slot = &nodeSlot{
+			id:       id,
+			sessions: make(map[msg.SessionID]Handler),
+			retired:  make(map[msg.SessionID]bool),
+			timers:   make(map[timerKey]*event),
+		}
+		n.nodes[id] = slot
+	}
+	return slot
 }
 
 // Env returns the per-node environment protocol constructors use for
-// sending and timers.
+// sending and timers, bound to the legacy default session.
 func (n *Network) Env(id msg.NodeID) *Env { return &Env{net: n, id: id} }
+
+// SessionEnv returns an environment bound to one protocol instance:
+// sends are tagged with the session and timers live in its namespace.
+func (n *Network) SessionEnv(id msg.NodeID, sid msg.SessionID) *Env {
+	return &Env{net: n, id: id, session: sid}
+}
 
 // Now returns the current virtual time.
 func (n *Network) Now() int64 { return n.now }
@@ -232,7 +351,9 @@ func (n *Network) Crash(id msg.NodeID) {
 }
 
 // Recover un-crashes a node and delivers the operator recover signal,
-// which triggers the protocol's help/retransmission machinery.
+// which triggers the protocol's help/retransmission machinery. Every
+// protocol instance hosted on the node receives the signal (the whole
+// process rebooted), in ascending session order for determinism.
 func (n *Network) Recover(id msg.NodeID) {
 	slot, ok := n.nodes[id]
 	if !ok || !slot.crashed {
@@ -241,7 +362,24 @@ func (n *Network) Recover(id msg.NodeID) {
 	slot.crashed = false
 	n.stats.Recoveries++
 	n.currentDepth = slot.depth
-	slot.handler.HandleRecover()
+	// Snapshot handlers before invoking any of them: a HandleRecover
+	// may retire a sibling session, and the fan-out must not index a
+	// mutated map (same discipline as the transport's event loop).
+	handlers := make([]Handler, 0, len(slot.sessions)+1)
+	if slot.handler != nil {
+		handlers = append(handlers, slot.handler)
+	}
+	sids := make([]msg.SessionID, 0, len(slot.sessions))
+	for sid := range slot.sessions {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	for _, sid := range sids {
+		handlers = append(handlers, slot.sessions[sid])
+	}
+	for _, h := range handlers {
+		h.HandleRecover()
+	}
 }
 
 // Schedule runs fn at now+delay virtual time (operator actions such as
@@ -254,7 +392,7 @@ func (n *Network) Schedule(delay int64, fn func()) {
 }
 
 // send enqueues a message for delivery; called via Env.
-func (n *Network) send(from, to msg.NodeID, body msg.Body) {
+func (n *Network) send(from, to msg.NodeID, sid msg.SessionID, body msg.Body) {
 	if slot, ok := n.nodes[from]; ok && slot.crashed {
 		// A crashed node cannot send; protocol code should not be
 		// running on a crashed node at all, but guard anyway.
@@ -263,6 +401,11 @@ func (n *Network) send(from, to msg.NodeID, body msg.Body) {
 	verdict := Verdict{}
 	if n.opts.Filter != nil {
 		verdict = n.opts.Filter(from, to, body)
+	}
+	if n.opts.SessionFilter != nil && !verdict.Drop {
+		sv := n.opts.SessionFilter(sid, from, to, body)
+		verdict.Drop = sv.Drop
+		verdict.ExtraDelay += sv.ExtraDelay
 	}
 	if verdict.Drop {
 		n.stats.DroppedFilter++
@@ -282,6 +425,9 @@ func (n *Network) send(from, to msg.NodeID, body msg.Body) {
 	delay += verdict.ExtraDelay
 	at := n.now + delay
 	if !n.opts.DisableFIFO {
+		// FIFO horizons are per link, not per session: concurrent
+		// sessions share one authenticated channel per node pair, the
+		// way the deployment runtime shares one TCP connection.
 		key := [2]msg.NodeID{from, to}
 		if last := n.lastLink[key]; at <= last {
 			at = last + 1
@@ -289,41 +435,44 @@ func (n *Network) send(from, to msg.NodeID, body msg.Body) {
 		n.lastLink[key] = at
 	}
 	n.push(&event{
-		at:    at,
-		kind:  evMessage,
-		from:  from,
-		to:    to,
-		body:  body,
-		depth: n.currentDepth + 1,
+		at:      at,
+		kind:    evMessage,
+		session: sid,
+		from:    from,
+		to:      to,
+		body:    body,
+		depth:   n.currentDepth + 1,
 	})
 }
 
 // setTimer enqueues a timer fire; called via Env.
-func (n *Network) setTimer(node msg.NodeID, id uint64, delay int64) {
+func (n *Network) setTimer(node msg.NodeID, sid msg.SessionID, id uint64, delay int64) {
 	slot, ok := n.nodes[node]
 	if !ok {
 		return
 	}
-	if prev, live := slot.timers[id]; live {
+	key := timerKey{session: sid, id: id}
+	if prev, live := slot.timers[key]; live {
 		prev.cancelled = true
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &event{at: n.now + delay, kind: evTimer, node: node, timerID: id}
-	slot.timers[id] = ev
+	ev := &event{at: n.now + delay, kind: evTimer, session: sid, node: node, timerID: id}
+	slot.timers[key] = ev
 	n.push(ev)
 }
 
 // stopTimer cancels a pending timer; called via Env.
-func (n *Network) stopTimer(node msg.NodeID, id uint64) {
+func (n *Network) stopTimer(node msg.NodeID, sid msg.SessionID, id uint64) {
 	slot, ok := n.nodes[node]
 	if !ok {
 		return
 	}
-	if ev, live := slot.timers[id]; live {
+	key := timerKey{session: sid, id: id}
+	if ev, live := slot.timers[key]; live {
 		ev.cancelled = true
-		delete(slot.timers, id)
+		delete(slot.timers, key)
 	}
 }
 
@@ -366,6 +515,18 @@ func (n *Network) dispatchMessage(ev *event) {
 		n.stats.DroppedCrash++
 		return
 	}
+	h := slot.handlerFor(ev.session)
+	if h == nil {
+		// The demux router rejects traffic for sessions this node
+		// never hosted or has already retired, before any protocol
+		// code (or signature verification) runs.
+		if slot.retired[ev.session] {
+			n.stats.DroppedStaleSession++
+		} else {
+			n.stats.DroppedUnknownSession++
+		}
+		return
+	}
 	if ev.depth > slot.depth {
 		slot.depth = ev.depth
 	}
@@ -373,7 +534,7 @@ func (n *Network) dispatchMessage(ev *event) {
 		n.stats.MaxDepth = ev.depth
 	}
 	n.currentDepth = slot.depth
-	slot.handler.HandleMessage(ev.from, ev.body)
+	h.HandleMessage(ev.from, ev.body)
 }
 
 func (n *Network) dispatchTimer(ev *event) {
@@ -381,14 +542,19 @@ func (n *Network) dispatchTimer(ev *event) {
 	if !ok {
 		return
 	}
-	if cur, live := slot.timers[ev.timerID]; live && cur == ev {
-		delete(slot.timers, ev.timerID)
+	key := timerKey{session: ev.session, id: ev.timerID}
+	if cur, live := slot.timers[key]; live && cur == ev {
+		delete(slot.timers, key)
 	}
 	if slot.crashed {
 		return
 	}
+	h := slot.handlerFor(ev.session)
+	if h == nil {
+		return
+	}
 	n.currentDepth = slot.depth
-	slot.handler.HandleTimer(ev.timerID)
+	h.HandleTimer(ev.timerID)
 }
 
 // Run processes events until the queue drains or limit events have
@@ -430,27 +596,37 @@ func (n *Network) RunUntil(done func() bool, limit int) bool {
 func (n *Network) Pending() int { return len(n.queue) }
 
 // Env is the per-node I/O environment handed to protocol
-// constructors: it routes sends and timers back into the simulator.
+// constructors: it routes sends and timers back into the simulator,
+// tagged with the session the environment is bound to.
 type Env struct {
-	net *Network
-	id  msg.NodeID
+	net     *Network
+	id      msg.NodeID
+	session msg.SessionID
 }
 
 // ID returns the owning node's identifier.
 func (e *Env) ID() msg.NodeID { return e.id }
 
+// Session returns the protocol instance this environment is bound to.
+func (e *Env) Session() msg.SessionID { return e.session }
+
 // Send transmits body to the given node (including self-sends, which
 // the paper's "send to each Pj" loops include).
-func (e *Env) Send(to msg.NodeID, body msg.Body) { e.net.send(e.id, to, body) }
+func (e *Env) Send(to msg.NodeID, body msg.Body) { e.net.send(e.id, to, e.session, body) }
 
 // SetTimer (re)arms timer id to fire after delay virtual time units.
-func (e *Env) SetTimer(id uint64, delay int64) { e.net.setTimer(e.id, id, delay) }
+func (e *Env) SetTimer(id uint64, delay int64) { e.net.setTimer(e.id, e.session, id, delay) }
 
 // StopTimer cancels timer id if pending.
-func (e *Env) StopTimer(id uint64) { e.net.stopTimer(e.id, id) }
+func (e *Env) StopTimer(id uint64) { e.net.stopTimer(e.id, e.session, id) }
 
 // Now returns the current virtual time.
 func (e *Env) Now() int64 { return e.net.now }
 
 // String implements fmt.Stringer.
-func (e *Env) String() string { return fmt.Sprintf("env(node %d)", e.id) }
+func (e *Env) String() string {
+	if e.session != 0 {
+		return fmt.Sprintf("env(node %d, %v)", e.id, e.session)
+	}
+	return fmt.Sprintf("env(node %d)", e.id)
+}

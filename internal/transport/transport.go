@@ -12,6 +12,19 @@
 // paper's §2.1 retransmission-until-received behaviour); undeliverable
 // messages are dropped once the node stops — protocol-level help
 // retransmission covers longer outages.
+//
+// A node is session-multiplexed: every frame carries a MAC-covered
+// session identifier, and a demultiplexing router dispatches inbound
+// traffic to per-session handlers registered with RegisterSession.
+// Frames for sessions the node never hosted or has already retired are
+// rejected at the router — before any decode of protocol semantics —
+// and counted in DemuxStats. Because the MAC covers the session
+// identifier, an attacker without the link secret cannot splice a
+// frame captured in one session into another; a Byzantine *member*
+// (which holds the shared secret) can re-seal, so protocol messages
+// additionally carry their own session counters as defence in depth.
+// Sessions share the node's TCP links and its event loop — S
+// concurrent protocol instances cost one socket per peer, not S.
 package transport
 
 import (
@@ -22,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,9 +44,11 @@ import (
 
 // Errors returned by the transport.
 var (
-	ErrBadConfig = errors.New("transport: invalid configuration")
-	ErrClosed    = errors.New("transport: node closed")
-	ErrBadFrame  = errors.New("transport: malformed or unauthenticated frame")
+	ErrBadConfig      = errors.New("transport: invalid configuration")
+	ErrClosed         = errors.New("transport: node closed")
+	ErrBadFrame       = errors.New("transport: malformed or unauthenticated frame")
+	ErrSessionExists  = errors.New("transport: session already registered")
+	ErrSessionRetired = errors.New("transport: session already retired")
 )
 
 // Handler consumes serialised events, mirroring the simulator's
@@ -62,7 +78,10 @@ type Config struct {
 	// Secret keys the frame MACs; all nodes share it (the stand-in
 	// for the paper's mutually authenticated TLS links).
 	Secret []byte
-	// Handler receives events on the event loop.
+	// Handler receives default-session (session 0) events on the
+	// event loop. It may be nil when the node is used purely as a
+	// session-multiplexed endpoint (RegisterSession); session-0
+	// frames are then dropped as unknown.
 	Handler Handler
 	// TimerUnit scales protocol timer delays (virtual units) to wall
 	// time. Default: 1ms per unit.
@@ -87,17 +106,40 @@ type Node struct {
 	qcond *sync.Cond
 	queue []event
 
-	mu      sync.Mutex
-	conns   map[msg.NodeID]net.Conn
-	inbound map[net.Conn]bool
-	timers  map[uint64]*time.Timer
-	closed  bool
+	mu       sync.Mutex
+	conns    map[msg.NodeID]net.Conn
+	inbound  map[net.Conn]bool
+	timers   map[timerKey]*time.Timer
+	sessions map[msg.SessionID]Handler
+	retired  map[msg.SessionID]bool
+	demux    DemuxStats
+	closed   bool
 
 	wg sync.WaitGroup
 }
 
+// timerKey namespaces timers per session so concurrent protocol
+// instances can reuse the same local timer identifiers.
+type timerKey struct {
+	session msg.SessionID
+	id      uint64
+}
+
+// DemuxStats counts traffic rejected by the session router.
+type DemuxStats struct {
+	// UnknownSession counts frames for sessions this node never
+	// hosted; StaleSession counts frames for retired sessions
+	// (completed-session replay). BadFrame counts frames that failed
+	// length or MAC checks — including cross-session splices, since
+	// the MAC covers the session identifier.
+	UnknownSession int
+	StaleSession   int
+	BadFrame       int
+}
+
 type event struct {
 	kind    uint8 // 1 = message, 2 = timer, 3 = recover, 4 = op
+	session msg.SessionID
 	from    msg.NodeID
 	body    msg.Body
 	timerID uint64
@@ -107,8 +149,8 @@ type event struct {
 // Listen starts the endpoint: binds the listener, starts the accept
 // and event loops, and begins dialing peers lazily on first send.
 func Listen(cfg Config) (*Node, error) {
-	if cfg.Self < 1 || cfg.Codec == nil || cfg.Handler == nil || len(cfg.Secret) == 0 {
-		return nil, fmt.Errorf("%w: missing self/codec/handler/secret", ErrBadConfig)
+	if cfg.Self < 1 || cfg.Codec == nil || len(cfg.Secret) == 0 {
+		return nil, fmt.Errorf("%w: missing self/codec/secret", ErrBadConfig)
 	}
 	if cfg.TimerUnit <= 0 {
 		cfg.TimerUnit = time.Millisecond
@@ -126,7 +168,9 @@ func Listen(cfg Config) (*Node, error) {
 		done:     make(chan struct{}),
 		conns:    make(map[msg.NodeID]net.Conn),
 		inbound:  make(map[net.Conn]bool),
-		timers:   make(map[uint64]*time.Timer),
+		timers:   make(map[timerKey]*time.Timer),
+		sessions: make(map[msg.SessionID]Handler),
+		retired:  make(map[msg.SessionID]bool),
 	}
 	n.qcond = sync.NewCond(&n.qmu)
 	n.wg.Add(2)
@@ -187,15 +231,18 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// Send implements dkg.Runtime: frame, MAC and transmit. Connection
-// failures drop the message (protocol retransmission recovers).
-func (n *Node) Send(to msg.NodeID, body msg.Body) {
+// Send implements dkg.Runtime for the default session: frame, MAC and
+// transmit. Connection failures drop the message (protocol
+// retransmission recovers).
+func (n *Node) Send(to msg.NodeID, body msg.Body) { n.sendSession(0, to, body) }
+
+func (n *Node) sendSession(sid msg.SessionID, to msg.NodeID, body msg.Body) {
 	if to == n.cfg.Self {
 		// Self-delivery goes straight onto the event loop.
-		n.enqueue(event{kind: 1, from: n.cfg.Self, body: body})
+		n.enqueue(event{kind: 1, session: sid, from: n.cfg.Self, body: body})
 		return
 	}
-	frame, err := n.seal(to, body)
+	frame, err := n.seal(sid, to, body)
 	if err != nil {
 		return
 	}
@@ -209,35 +256,134 @@ func (n *Node) Send(to msg.NodeID, body msg.Body) {
 	}
 }
 
-// SetTimer implements dkg.Runtime.
-func (n *Node) SetTimer(id uint64, delay int64) {
+// SetTimer implements dkg.Runtime for the default session.
+func (n *Node) SetTimer(id uint64, delay int64) { n.setSessionTimer(0, id, delay) }
+
+func (n *Node) setSessionTimer(sid msg.SessionID, id uint64, delay int64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return
 	}
-	if tm, ok := n.timers[id]; ok {
+	key := timerKey{session: sid, id: id}
+	if tm, ok := n.timers[key]; ok {
 		tm.Stop()
 	}
 	d := time.Duration(delay) * n.cfg.TimerUnit
-	n.timers[id] = time.AfterFunc(d, func() {
-		n.enqueue(event{kind: 2, timerID: id})
+	n.timers[key] = time.AfterFunc(d, func() {
+		n.enqueue(event{kind: 2, session: sid, timerID: id})
 	})
 }
 
-// StopTimer implements dkg.Runtime.
-func (n *Node) StopTimer(id uint64) {
+// StopTimer implements dkg.Runtime for the default session.
+func (n *Node) StopTimer(id uint64) { n.stopSessionTimer(0, id) }
+
+func (n *Node) stopSessionTimer(sid msg.SessionID, id uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if tm, ok := n.timers[id]; ok {
+	key := timerKey{session: sid, id: id}
+	if tm, ok := n.timers[key]; ok {
 		tm.Stop()
-		delete(n.timers, id)
+		delete(n.timers, key)
 	}
 }
 
-// SignalRecover injects the operator recover event (post-reboot).
+// SignalRecover injects the operator recover event (post-reboot). It
+// is fanned out to the default handler and every live session.
 func (n *Node) SignalRecover() {
 	n.enqueue(event{kind: 3})
+}
+
+// --- session multiplexing --------------------------------------------
+
+// SessionPort is a session-scoped runtime surface: it implements
+// dkg.Runtime (Send, SetTimer, StopTimer) with every send tagged with
+// the session identifier and every timer namespaced to the session.
+type SessionPort struct {
+	node *Node
+	sid  msg.SessionID
+}
+
+// Session returns the port's session identifier.
+func (p *SessionPort) Session() msg.SessionID { return p.sid }
+
+// Send implements dkg.Runtime.
+func (p *SessionPort) Send(to msg.NodeID, body msg.Body) { p.node.sendSession(p.sid, to, body) }
+
+// SetTimer implements dkg.Runtime.
+func (p *SessionPort) SetTimer(id uint64, delay int64) { p.node.setSessionTimer(p.sid, id, delay) }
+
+// StopTimer implements dkg.Runtime.
+func (p *SessionPort) StopTimer(id uint64) { p.node.stopSessionTimer(p.sid, id) }
+
+// RegisterSession installs a handler for one protocol instance and
+// returns its runtime port. Re-registering a live or retired session
+// fails: session identifiers are single-use by design (a completed
+// instance must never be resurrected by replayed traffic).
+func (n *Node) RegisterSession(sid msg.SessionID, h Handler) (*SessionPort, error) {
+	if h == nil {
+		return nil, fmt.Errorf("%w: nil session handler", ErrBadConfig)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if n.retired[sid] {
+		return nil, fmt.Errorf("%w: %v", ErrSessionRetired, sid)
+	}
+	if _, dup := n.sessions[sid]; dup {
+		return nil, fmt.Errorf("%w: %v", ErrSessionExists, sid)
+	}
+	n.sessions[sid] = h
+	return &SessionPort{node: n, sid: sid}, nil
+}
+
+// RetireSession removes a session's handler and cancels its timers.
+// Later frames for the session are dropped by the router and counted
+// as stale.
+func (n *Node) RetireSession(sid msg.SessionID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, live := n.sessions[sid]; !live {
+		return
+	}
+	delete(n.sessions, sid)
+	n.retired[sid] = true
+	for key, tm := range n.timers {
+		if key.session == sid {
+			tm.Stop()
+			delete(n.timers, key)
+		}
+	}
+}
+
+// DemuxStats returns a snapshot of the router's rejection counters.
+func (n *Node) DemuxStats() DemuxStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.demux
+}
+
+// handlerFor resolves the handler for a session (nil = drop). Message
+// rejections are counted; timer fires racing a retirement are not.
+func (n *Node) handlerFor(sid msg.SessionID, countDrop bool) Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.sessions[sid]; ok {
+		return h
+	}
+	if sid == 0 && n.cfg.Handler != nil {
+		return n.cfg.Handler
+	}
+	if countDrop {
+		if n.retired[sid] {
+			n.demux.StaleSession++
+		} else {
+			n.demux.UnknownSession++
+		}
+	}
+	return nil
 }
 
 // --- internals -------------------------------------------------------
@@ -265,11 +411,33 @@ func (n *Node) eventLoop() {
 		}
 		switch ev.kind {
 		case 1:
-			n.cfg.Handler.HandleMessage(ev.from, ev.body)
+			if h := n.handlerFor(ev.session, true); h != nil {
+				h.HandleMessage(ev.from, ev.body)
+			}
 		case 2:
-			n.cfg.Handler.HandleTimer(ev.timerID)
+			if h := n.handlerFor(ev.session, false); h != nil {
+				h.HandleTimer(ev.timerID)
+			}
 		case 3:
-			n.cfg.Handler.HandleRecover()
+			// The whole process recovered: signal the default handler
+			// and every live session, in ascending session order.
+			n.mu.Lock()
+			handlers := make([]Handler, 0, len(n.sessions)+1)
+			if n.cfg.Handler != nil {
+				handlers = append(handlers, n.cfg.Handler)
+			}
+			sids := make([]msg.SessionID, 0, len(n.sessions))
+			for sid := range n.sessions {
+				sids = append(sids, sid)
+			}
+			sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+			for _, sid := range sids {
+				handlers = append(handlers, n.sessions[sid])
+			}
+			n.mu.Unlock()
+			for _, h := range handlers {
+				h.HandleRecover()
+			}
 		case 4:
 			ev.op()
 		}
@@ -315,11 +483,16 @@ func (n *Node) readLoop(conn net.Conn) {
 			return
 		default:
 		}
-		from, body, err := n.readFrame(conn)
+		sid, from, body, err := n.readFrame(conn)
 		if err != nil {
+			if errors.Is(err, ErrBadFrame) {
+				n.mu.Lock()
+				n.demux.BadFrame++
+				n.mu.Unlock()
+			}
 			return
 		}
-		n.enqueue(event{kind: 1, from: from, body: body})
+		n.enqueue(event{kind: 1, session: sid, from: from, body: body})
 	}
 }
 
@@ -375,17 +548,21 @@ func (n *Node) dropConn(to msg.NodeID, c net.Conn) {
 	c.Close()
 }
 
-// Frame layout: u32 length ‖ u8 type ‖ u64 from ‖ u64 to ‖ payload ‖
-// 32-byte HMAC-SHA256 over (type ‖ from ‖ to ‖ payload).
-const frameOverhead = 1 + 8 + 8 + sha256.Size
+// Frame layout: u32 length ‖ u8 type ‖ u64 session ‖ u64 from ‖
+// u64 to ‖ payload ‖ 32-byte HMAC-SHA256 over (type ‖ session ‖ from ‖
+// to ‖ payload). The session identifier is inside the MAC, so a frame
+// captured in one session cannot be replayed into another by anyone
+// who does not hold the link secret.
+const frameOverhead = 1 + 8 + 8 + 8 + sha256.Size
 
-func (n *Node) seal(to msg.NodeID, body msg.Body) ([]byte, error) {
+func (n *Node) seal(sid msg.SessionID, to msg.NodeID, body msg.Body) ([]byte, error) {
 	payload, err := body.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
 	inner := make([]byte, 0, frameOverhead+len(payload))
 	inner = append(inner, byte(body.MsgType()))
+	inner = binary.BigEndian.AppendUint64(inner, uint64(sid))
 	inner = binary.BigEndian.AppendUint64(inner, uint64(n.cfg.Self))
 	inner = binary.BigEndian.AppendUint64(inner, uint64(to))
 	inner = append(inner, payload...)
@@ -397,35 +574,36 @@ func (n *Node) seal(to msg.NodeID, body msg.Body) ([]byte, error) {
 	return append(out, inner...), nil
 }
 
-func (n *Node) readFrame(conn net.Conn) (msg.NodeID, msg.Body, error) {
+func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, msg.Body, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	length := binary.BigEndian.Uint32(lenBuf[:])
 	if length < frameOverhead || length > 64<<20 {
-		return 0, nil, ErrBadFrame
+		return 0, 0, nil, ErrBadFrame
 	}
 	inner := make([]byte, length)
 	if _, err := io.ReadFull(conn, inner); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	body := inner[:len(inner)-sha256.Size]
 	tag := inner[len(inner)-sha256.Size:]
 	mac := hmac.New(sha256.New, n.cfg.Secret)
 	mac.Write(body)
 	if !hmac.Equal(mac.Sum(nil), tag) {
-		return 0, nil, ErrBadFrame
+		return 0, 0, nil, ErrBadFrame
 	}
 	typ := msg.Type(body[0])
-	from := msg.NodeID(binary.BigEndian.Uint64(body[1:9]))
-	to := msg.NodeID(binary.BigEndian.Uint64(body[9:17]))
+	sid := msg.SessionID(binary.BigEndian.Uint64(body[1:9]))
+	from := msg.NodeID(binary.BigEndian.Uint64(body[9:17]))
+	to := msg.NodeID(binary.BigEndian.Uint64(body[17:25]))
 	if to != n.cfg.Self {
-		return 0, nil, ErrBadFrame
+		return 0, 0, nil, ErrBadFrame
 	}
-	decoded, err := n.cfg.Codec.Decode(typ, body[17:])
+	decoded, err := n.cfg.Codec.Decode(typ, body[25:])
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return from, decoded, nil
+	return sid, from, decoded, nil
 }

@@ -122,6 +122,20 @@ type cstate struct {
 	readySigs  []SignedReady
 	sentReady  bool
 	aBar       *poly.Poly // interpolated row polynomial, once available
+	// aRow is the row polynomial f(i,·) from the dealer's send, pinned
+	// to this commitment by verify-poly. Once either aRow or aBar is
+	// known, incoming points verify by scalar evaluation (see
+	// pointValid) instead of exponentiations.
+	aRow *poly.Poly
+}
+
+// rowPoly returns a trusted representation of f(i,·) for this
+// commitment, if one is known.
+func (cs *cstate) rowPoly() *poly.Poly {
+	if cs.aRow != nil {
+		return cs.aRow
+	}
+	return cs.aBar
 }
 
 // pendingPoint buffers an echo/ready that arrived (in hashed mode)
@@ -309,7 +323,7 @@ func (nd *Node) handleSend(from msg.NodeID, m *SendMsg) {
 		return
 	}
 	nd.sendHandled = true
-	nd.learnCommitment(m.C)
+	nd.learnCommitmentRow(m.C, a)
 	for j := 1; j <= nd.params.N; j++ {
 		nd.sendLogged(msg.NodeID(j), nd.makeEcho(m.C, a.EvalInt(int64(j))))
 	}
@@ -332,11 +346,37 @@ func (nd *Node) handleEcho(from msg.NodeID, m *EchoMsg) {
 		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha})
 		return
 	}
-	if !cs.c.VerifyPoint(int64(nd.self), int64(from), m.Alpha) {
+	if !nd.pointValid(cs, from, m.Alpha) {
 		return
 	}
 	nd.echoSeen[from] = true
 	nd.addEcho(cs, from, m.Alpha)
+}
+
+// pointValid checks α = f(from, self) against the commitment. The
+// expensive verify-point exponentiations only run while the node has
+// no trusted row polynomial:
+//
+//   - an echo and its ready carry the same evaluation, so a point
+//     already in the verified set A_C passes by comparison;
+//   - once the dealer's send was accepted, verify-poly has pinned the
+//     row a = f(i,·) to this commitment, and by the symmetry of f the
+//     predicate verify-point(C, i, m, α) ⇔ α = f(m, i) = a(m) — a
+//     scalar polynomial evaluation mod q;
+//   - likewise after ā was interpolated from t+1 verified points
+//     (Fig. 1), since a degree-t polynomial through t+1 evaluations of
+//     f(i,·) is f(i,·).
+func (nd *Node) pointValid(cs *cstate, from msg.NodeID, alpha *big.Int) bool {
+	if alpha == nil || alpha.Sign() < 0 || alpha.Cmp(nd.params.Group.Q()) >= 0 {
+		return false
+	}
+	if prev, ok := cs.points[from]; ok && prev.Cmp(alpha) == 0 {
+		return true
+	}
+	if row := cs.rowPoly(); row != nil {
+		return row.EvalInt(int64(from)).Cmp(alpha) == 0
+	}
+	return cs.c.VerifyPoint(int64(nd.self), int64(from), alpha)
 }
 
 // addEcho applies a verified echo point to commitment state.
@@ -369,7 +409,7 @@ func (nd *Node) handleReady(from msg.NodeID, m *ReadyMsg) {
 		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha, ready: true, sig: m.Sig})
 		return
 	}
-	if !cs.c.VerifyPoint(int64(nd.self), int64(from), m.Alpha) {
+	if !nd.pointValid(cs, from, m.Alpha) {
 		return
 	}
 	nd.readySeen[from] = true
@@ -495,7 +535,12 @@ func (nd *Node) resolveCommitment(c *commit.Matrix, cHash [32]byte) (*cstate, bo
 
 // learnCommitment records the matrix from a send message and replays
 // buffered hashed echoes/readies against it.
-func (nd *Node) learnCommitment(c *commit.Matrix) {
+func (nd *Node) learnCommitment(c *commit.Matrix) { nd.learnCommitmentRow(c, nil) }
+
+// learnCommitmentRow additionally installs the verify-poly-pinned row
+// polynomial, so the buffered points (and all later ones) verify by
+// scalar evaluation.
+func (nd *Node) learnCommitmentRow(c *commit.Matrix, a *poly.Poly) {
 	h := c.Hash()
 	cs, ok := nd.cstates[h]
 	if !ok {
@@ -504,10 +549,13 @@ func (nd *Node) learnCommitment(c *commit.Matrix) {
 	} else if cs.c == nil {
 		cs.c = c
 	}
+	if a != nil && cs.aRow == nil {
+		cs.aRow = a
+	}
 	buffered := nd.pending[h]
 	delete(nd.pending, h)
 	for _, pp := range buffered {
-		if !cs.c.VerifyPoint(int64(nd.self), int64(pp.from), pp.alpha) {
+		if !nd.pointValid(cs, pp.from, pp.alpha) {
 			continue
 		}
 		if pp.ready {

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end deployment check: build cmd/dkgnode, launch a real 4-node
+# TCP cluster on localhost in `serve` mode with 2 concurrent DKG
+# sessions each, and gate on every node printing the same public key
+# per session (and different keys across sessions).
+#
+# Runs locally (./scripts/e2e_cluster.sh) and as the CI e2e job.
+set -euo pipefail
+
+N=4
+T=1
+SESSIONS=2
+TIMEOUT="${E2E_TIMEOUT:-120s}"
+BASE_PORT="${E2E_BASE_PORT:-9461}"
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building dkgnode"
+go build -o "$workdir/dkgnode" ./cmd/dkgnode
+
+echo "== generating key directory"
+"$workdir/dkgnode" keygen -n "$N" -out "$workdir/keys.json" >/dev/null
+
+peers=""
+for i in $(seq 1 "$N"); do
+  peers+="${peers:+,}$i=127.0.0.1:$((BASE_PORT + i))"
+done
+
+echo "== launching $N nodes ($SESSIONS sessions each, peers $peers)"
+for i in $(seq 1 "$N"); do
+  "$workdir/dkgnode" serve \
+    -id "$i" -listen "127.0.0.1:$((BASE_PORT + i))" \
+    -peers "$peers" -keys "$workdir/keys.json" \
+    -n "$N" -t "$T" -sessions "$SESSIONS" -timeout "$TIMEOUT" \
+    >"$workdir/node$i.out" 2>"$workdir/node$i.err" </dev/null &
+  pids+=($!)
+done
+
+status=0
+for idx in "${!pids[@]}"; do
+  if ! wait "${pids[$idx]}"; then
+    echo "!! node $((idx + 1)) exited non-zero" >&2
+    status=1
+  fi
+done
+pids=()
+if [ "$status" -ne 0 ]; then
+  tail -n +1 "$workdir"/node*.err >&2 || true
+  exit "$status"
+fi
+
+echo "== validating session keys"
+for s in $(seq 1 "$SESSIONS"); do
+  keys=$(
+    for i in $(seq 1 "$N"); do
+      python3 -c '
+import json, sys
+session = int(sys.argv[2])
+for line in open(sys.argv[1]):
+    doc = json.loads(line)
+    if doc["session"] == session:
+        print(doc["publicKey"])
+' "$workdir/node$i.out" "$s"
+    done
+  )
+  count=$(printf '%s\n' "$keys" | wc -l)
+  uniq_count=$(printf '%s\n' "$keys" | sort -u | wc -l)
+  if [ "$count" -ne "$N" ] || [ "$uniq_count" -ne 1 ]; then
+    echo "!! session $s: expected $N matching keys, got $count keys ($uniq_count distinct)" >&2
+    tail -n +1 "$workdir"/node*.out >&2 || true
+    exit 1
+  fi
+  echo "   session $s: $N/$N nodes agree on $(printf '%s\n' "$keys" | head -1 | cut -c1-16)…"
+done
+
+cross=$(
+  for s in $(seq 1 "$SESSIONS"); do
+    python3 -c '
+import json, sys
+session = int(sys.argv[2])
+for line in open(sys.argv[1]):
+    doc = json.loads(line)
+    if doc["session"] == session:
+        print(doc["publicKey"])
+        break
+' "$workdir/node1.out" "$s"
+  done | sort -u | wc -l
+)
+if [ "$cross" -ne "$SESSIONS" ]; then
+  echo "!! sessions produced identical keys ($cross distinct of $SESSIONS)" >&2
+  exit 1
+fi
+
+echo "== e2e cluster OK: $SESSIONS concurrent sessions, one key per session"
