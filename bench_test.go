@@ -21,12 +21,15 @@ import (
 	"hybriddkg/internal/sig"
 
 	"hybriddkg/internal/commit"
+	"hybriddkg/internal/dkg"
 	"hybriddkg/internal/group"
 	"hybriddkg/internal/harness"
 	"hybriddkg/internal/msg"
 	"hybriddkg/internal/poly"
 	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/store"
 	"hybriddkg/internal/thresh"
+	"hybriddkg/internal/vss"
 )
 
 // BenchmarkE1HybridVSSSharing times one complete HybridVSS sharing
@@ -539,6 +542,134 @@ func BenchmarkE15SessionThroughput(b *testing.B) {
 			b.ReportMetric(float64(S*b.N)/(float64(seqNs)/1e9), "seq-sessions/sec")
 			b.ReportMetric(float64(S*b.N)/(float64(concNs)/1e9), "conc-sessions/sec")
 			b.ReportMetric(float64(seqNs)/float64(concNs), "speedup")
+		})
+	}
+}
+
+// e16Journal journals every frame delivered to the victim, the way
+// the session engine's write-ahead path does in deployment.
+type e16Journal struct {
+	st     *store.Store
+	victim msg.NodeID
+	inner  *dkg.Node
+}
+
+func (j *e16Journal) HandleMessage(from msg.NodeID, body msg.Body) {
+	if payload, err := body.MarshalBinary(); err == nil {
+		_ = j.st.AppendFrame(1, msg.Envelope{
+			From: from, To: j.victim, Session: 1, Type: body.MsgType(), Payload: payload,
+		})
+	}
+	j.inner.Handle(from, body)
+}
+func (j *e16Journal) HandleTimer(id uint64) { j.inner.HandleTimer(id) }
+func (j *e16Journal) HandleRecover()        { j.inner.HandleRecover() }
+
+type e16NullRuntime struct{}
+
+func (e16NullRuntime) Send(msg.NodeID, msg.Body) {}
+func (e16NullRuntime) SetTimer(uint64, int64)    {}
+func (e16NullRuntime) StopTimer(uint64)          {}
+
+// BenchmarkE16RestartRecovery measures what a process restart costs at
+// the durability layer, as a function of session size: rebuild one
+// node's DKG session purely from its durable state, by (a) decoding
+// the final snapshot and (b) replaying the full delivered-frame WAL
+// into a fresh state machine — the two ends of the snapshot-staleness
+// spectrum recovery interpolates between. Reported alongside: snapshot
+// size and WAL length, the stored footprint per session. See DESIGN.md
+// (E16, durability model).
+func BenchmarkE16RestartRecovery(b *testing.B) {
+	for _, shape := range []struct{ n, t int }{{4, 1}, {7, 2}, {10, 3}} {
+		b.Run(fmt.Sprintf("n=%d", shape.n), func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{SyncEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			opts := harness.DKGOptions{N: shape.n, T: shape.t, Seed: 99, DisableAccounting: true}
+			res, err := harness.SetupDKG(&opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			victim := msg.NodeID(2)
+			res.Net.Register(victim, &e16Journal{st: st, victim: victim, inner: res.Nodes[victim]})
+			for i := 1; i <= shape.n; i++ {
+				id := msg.NodeID(i)
+				if err := res.Nodes[id].Start(randutil.NewReader(opts.Seed ^ uint64(id)<<24)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			res.Net.RunUntil(func() bool {
+				for _, nd := range res.Nodes {
+					if !nd.Done() {
+						return false
+					}
+				}
+				return true
+			}, 0)
+			res.Net.Run(0)
+			if !res.Nodes[victim].Done() {
+				b.Fatal("victim did not complete its session")
+			}
+			snap, err := res.Nodes[victim].MarshalState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			walFrames, err := st.Seq(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			codec := msg.NewCodec()
+			if err := vss.RegisterCodec(codec, res.Opts.Group); err != nil {
+				b.Fatal(err)
+			}
+			if err := dkg.RegisterCodec(codec); err != nil {
+				b.Fatal(err)
+			}
+			params := dkg.Params{
+				Group: res.Opts.Group, N: shape.n, T: shape.t,
+				Directory: res.Directory, SignKey: res.Privs[victim],
+			}
+
+			var snapNs, replayNs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				nd, err := dkg.RestoreNode(params, 1, victim, e16NullRuntime{}, dkg.Options{}, codec, snap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !nd.Done() {
+					b.Fatal("snapshot restore did not recover the completed session")
+				}
+				snapNs += time.Since(t0).Nanoseconds()
+
+				t1 := time.Now()
+				nd2, err := dkg.NewNode(params, 1, victim, e16NullRuntime{}, dkg.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = st.Replay(1, 0, func(env msg.Envelope) error {
+					body, derr := codec.Open(env)
+					if derr != nil {
+						return derr
+					}
+					nd2.Handle(env.From, body)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !nd2.Done() {
+					b.Fatal("full WAL replay did not recover the completed session")
+				}
+				replayNs += time.Since(t1).Nanoseconds()
+			}
+			b.ReportMetric(float64(snapNs)/float64(b.N)/1e6, "snapshot-restore-ms")
+			b.ReportMetric(float64(replayNs)/float64(b.N)/1e6, "wal-replay-ms")
+			b.ReportMetric(float64(len(snap)), "snapshot-bytes")
+			b.ReportMetric(float64(walFrames), "wal-frames")
 		})
 	}
 }

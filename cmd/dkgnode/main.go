@@ -30,8 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hybriddkg/internal/dkg"
@@ -42,6 +44,7 @@ import (
 	"hybriddkg/internal/proactive"
 	"hybriddkg/internal/rbc"
 	"hybriddkg/internal/sig"
+	"hybriddkg/internal/store"
 	"hybriddkg/internal/transport"
 	"hybriddkg/internal/vss"
 )
@@ -314,9 +317,12 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	cf := newClusterFlags(fs)
 	var (
-		sessions = fs.Int("sessions", 1, "number of initial concurrent DKG sessions")
-		base     = fs.Uint64("session-base", 1, "first session id (τ) to run")
-		workers  = fs.Int("workers", 0, "bound on concurrently active sessions (0 = unbounded)")
+		sessions  = fs.Int("sessions", 1, "number of initial concurrent DKG sessions")
+		base      = fs.Uint64("session-base", 1, "first session id (τ) to run")
+		workers   = fs.Int("workers", 0, "bound on concurrently active sessions (0 = unbounded)")
+		stateDir  = fs.String("state-dir", "", "durable state directory (WAL + snapshots); enables restart recovery")
+		snapEvery = fs.Int("snapshot-every", 64, "events between periodic state snapshots (with -state-dir)")
+		syncEvery = fs.Int("sync-every", 1, "fsync the WAL every N appends (with -state-dir; negative = page cache only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -326,6 +332,14 @@ func serve(args []string) error {
 	}
 	if *sessions < 0 || *base == 0 {
 		return fmt.Errorf("bad -sessions/-session-base")
+	}
+	var st *store.Store
+	if *stateDir != "" {
+		var err error
+		if st, err = store.Open(*stateDir, store.Options{SyncEvery: *syncEvery}); err != nil {
+			return err
+		}
+		defer st.Close()
 	}
 	// One verifier for all sessions: the directory memoizes signature
 	// verdicts, so proof sets shared across messages and sessions are
@@ -357,7 +371,7 @@ func serve(args []string) error {
 	id := cf.id
 	timeout := cf.timeout
 	params := cf.dkgParams()
-	eng, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Fabric: engine.NewTransportFabric(tnode),
 		Factory: func(sid msg.SessionID, rt engine.Runtime) (engine.Runner, error) {
 			return dkg.NewNode(params, uint64(sid), msg.NodeID(*id), rt, dkg.Options{})
@@ -373,7 +387,21 @@ func serve(args []string) error {
 		OnFailed: func(sid msg.SessionID, err error) {
 			failures <- sessionFailure{sid: sid, err: err}
 		},
-	})
+	}
+	if st != nil {
+		cfg.Journal = st
+		cfg.Codec = cf.codec
+		cfg.Self = msg.NodeID(*id)
+		cfg.SnapshotEvery = *snapEvery
+		cfg.RestoreRunner = func(sid msg.SessionID, rt engine.Runtime, snap []byte) (engine.Runner, error) {
+			return dkg.RestoreNode(params, uint64(sid), msg.NodeID(*id), rt, dkg.Options{}, cf.codec, snap)
+		}
+		// Completed sessions keep serving protocol-level help requests
+		// (§5.3): a crashed peer that restarts after we finished still
+		// needs our retransmissions to complete its own session.
+		cfg.LingerCompleted = true
+	}
+	eng, err := engine.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -393,14 +421,71 @@ func serve(args []string) error {
 	}
 	expected := make(map[msg.SessionID]bool)
 	initial := make(map[msg.SessionID]bool)
+
+	// Resume journaled sessions before submitting anything new. The
+	// restore runs on the transport event loop (like every engine
+	// call); sessions that restore as already-completed fire their
+	// completion callbacks during Restore, so keep draining the
+	// channels while waiting — with more restored-done sessions than
+	// channel capacity, a blocking wait would deadlock the event loop.
+	var pendingResults []sessionResult
+	var pendingFailures []sessionFailure
+	if st != nil {
+		type restoreOutcome struct {
+			sids []msg.SessionID
+			err  error
+		}
+		restoreCh := make(chan restoreOutcome, 1)
+		tnode.Do(func() {
+			sids, err := eng.Restore()
+			restoreCh <- restoreOutcome{sids: sids, err: err}
+		})
+		var outcome restoreOutcome
+		for waiting := true; waiting; {
+			select {
+			case outcome = <-restoreCh:
+				waiting = false
+			case res := <-results:
+				pendingResults = append(pendingResults, res)
+			case fl := <-failures:
+				pendingFailures = append(pendingFailures, fl)
+			}
+		}
+		if outcome.err != nil {
+			return fmt.Errorf("restore from %s: %w", *stateDir, outcome.err)
+		}
+		for _, sid := range outcome.sids {
+			expected[sid] = true
+			initial[sid] = true
+		}
+		if len(outcome.sids) > 0 {
+			fmt.Fprintf(os.Stderr, "node %d: restored %d session(s) from %s\n", *id, len(outcome.sids), *stateDir)
+		}
+	}
 	for s := 0; s < *sessions; s++ {
 		sid := msg.SessionID(*base + uint64(s))
+		if expected[sid] {
+			continue // already resumed from durable state
+		}
 		submit(sid)
 		expected[sid] = true
 		initial[sid] = true
 	}
 	fmt.Fprintf(os.Stderr, "node %d serving on %s: %d session(s) starting at τ=%d (workers=%d)\n",
 		*id, tnode.Addr(), *sessions, *base, *workers)
+
+	// Graceful shutdown, only meaningful with durable state: on
+	// SIGTERM/SIGINT, checkpoint every live session, fsync the state
+	// directory, close the transport cleanly and exit 0 — the next
+	// incarnation resumes from disk. Without -state-dir the signals
+	// keep their default fatal behaviour: exiting 0 with in-flight
+	// sessions and nothing persisted would fool supervisor restart
+	// policies into treating the loss as a clean success.
+	sigCh := make(chan os.Signal, 2)
+	if st != nil {
+		signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+		defer signal.Stop(sigCh)
+	}
 
 	// Session requests: `start <id>` lines on stdin.
 	requests := make(chan uint64, 16)
@@ -419,6 +504,44 @@ func serve(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	completed := 0
 	deadline := time.After(*timeout)
+	handleResult := func(res sessionResult) error {
+		out := map[string]any{
+			"node":      *id,
+			"session":   uint64(res.sid),
+			"finalView": res.ev.FinalView,
+			"publicKey": res.ev.PublicKey.String(),
+			"share":     res.ev.Share.Text(16),
+			"qset":      res.ev.Q,
+		}
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		if expected[res.sid] {
+			completed++
+		}
+		return nil
+	}
+	handleFailure := func(fl sessionFailure) error {
+		if initial[fl.sid] {
+			// A failed initial session can never satisfy the exit
+			// condition; fail fast instead of idling to -timeout.
+			return fmt.Errorf("session %v failed: %w", fl.sid, fl.err)
+		}
+		fmt.Fprintf(os.Stderr, "node %d: session %v rejected: %v\n", *id, fl.sid, fl.err)
+		delete(expected, fl.sid)
+		return nil
+	}
+	// Events drained while waiting for Restore are processed first.
+	for _, res := range pendingResults {
+		if err := handleResult(res); err != nil {
+			return err
+		}
+	}
+	for _, fl := range pendingFailures {
+		if err := handleFailure(fl); err != nil {
+			return err
+		}
+	}
 	for {
 		if len(expected) > 0 && completed == len(expected) {
 			fmt.Fprintf(os.Stderr, "node %d: all %d session(s) completed\n", *id, completed)
@@ -426,28 +549,13 @@ func serve(args []string) error {
 		}
 		select {
 		case res := <-results:
-			out := map[string]any{
-				"node":      *id,
-				"session":   uint64(res.sid),
-				"finalView": res.ev.FinalView,
-				"publicKey": res.ev.PublicKey.String(),
-				"share":     res.ev.Share.Text(16),
-				"qset":      res.ev.Q,
-			}
-			if err := enc.Encode(out); err != nil {
+			if err := handleResult(res); err != nil {
 				return err
 			}
-			if expected[res.sid] {
-				completed++
-			}
 		case fl := <-failures:
-			if initial[fl.sid] {
-				// A failed initial session can never satisfy the exit
-				// condition; fail fast instead of idling to -timeout.
-				return fmt.Errorf("session %v failed: %w", fl.sid, fl.err)
+			if err := handleFailure(fl); err != nil {
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "node %d: session %v rejected: %v\n", *id, fl.sid, fl.err)
-			delete(expected, fl.sid)
 		case v := <-requests:
 			sid := msg.SessionID(v)
 			if expected[sid] {
@@ -455,6 +563,20 @@ func serve(args []string) error {
 			}
 			submit(sid)
 			expected[sid] = true
+		case s := <-sigCh:
+			ckptCh := make(chan error, 1)
+			tnode.Do(func() { ckptCh <- eng.Checkpoint() })
+			if err := <-ckptCh; err != nil {
+				fmt.Fprintf(os.Stderr, "node %d: checkpoint on %v: %v\n", *id, s, err)
+			}
+			if st != nil {
+				if err := st.Sync(); err != nil {
+					fmt.Fprintf(os.Stderr, "node %d: state sync on %v: %v\n", *id, s, err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "node %d: %v: state flushed (%d/%d sessions completed), exiting cleanly\n",
+				*id, s, completed, len(expected))
+			return nil
 		case <-deadline:
 			if completed == len(expected) {
 				// No outstanding sessions (e.g. -sessions 0 with no

@@ -251,6 +251,12 @@ func UnmarshalMatrix(gr *group.Group, data []byte) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: degree %d too large", ErrBadEncoding, tU)
 	}
 	t := int(tU)
+	// Reject before allocating O(t²) structures: the upper triangle
+	// needs (t+1)(t+2)/2 entries of ≥ 4 bytes each, so a corrupt
+	// header cannot force a huge allocation from a tiny input.
+	if minLen := (t + 1) * (t + 2) / 2 * 4; r.Len() < minLen {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold a degree-%d matrix", ErrBadEncoding, r.Len(), t)
+	}
 	c := make([][]group.Element, t+1)
 	for j := range c {
 		c[j] = make([]group.Element, t+1)
@@ -381,6 +387,9 @@ func UnmarshalVector(gr *group.Group, data []byte) (*Vector, error) {
 	}
 	if tU > 4096 {
 		return nil, fmt.Errorf("%w: degree %d too large", ErrBadEncoding, tU)
+	}
+	if minLen := (int(tU) + 1) * 4; r.Len() < minLen {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold a degree-%d vector", ErrBadEncoding, r.Len(), tU)
 	}
 	v := make([]group.Element, tU+1)
 	for l := range v {

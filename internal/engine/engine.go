@@ -108,6 +108,11 @@ type Stats struct {
 	Active    int
 	Completed int
 	Failed    int
+	// JournalErrors counts durability-layer failures (append,
+	// snapshot or replay-decode errors). Journaling is best-effort
+	// once a session is live: a disk error must not stall consensus,
+	// it only degrades what a later restart can recover.
+	JournalErrors int
 }
 
 // Config configures an Engine.
@@ -128,10 +133,14 @@ type Config struct {
 	// session's identifier (for replay rejection bookkeeping).
 	KeepCompleted bool
 	// LingerCompleted leaves completed sessions registered with the
-	// fabric so they keep serving protocol-level help requests (§5.3
-	// recovery). The default retires them, which makes the router
-	// drop all further traffic for the session without running any
-	// protocol or signature-verification code.
+	// fabric and keeps dispatching their frames to the retained
+	// runner, so it keeps serving protocol-level help requests (§5.3
+	// recovery) to peers that recover after this node finished. It
+	// requires KeepCompleted — a garbage-collected runner cannot
+	// serve anything and the frames are dropped. The default retires
+	// completed sessions, which makes the router drop all further
+	// traffic without running any protocol or signature-verification
+	// code.
 	LingerCompleted bool
 	// OnCompleted fires once per completed session, outside the
 	// engine lock. It must not call back into the engine.
@@ -142,6 +151,31 @@ type Config struct {
 	// OnFailed while itself returning nil: queued sessions activate
 	// (and may fail) long after their Submit call returned.
 	OnFailed func(sid msg.SessionID, err error)
+
+	// Journal, if set, makes sessions durable: every delivered frame
+	// is journaled (write-ahead) before dispatch, and stateful
+	// runners are snapshotted periodically and on completion.
+	// Restore rebuilds sessions from this journal after a process
+	// restart. internal/store.Store implements the interface.
+	Journal Journal
+	// Self is this node's identifier, stamped as the recipient on
+	// journaled envelopes (metadata for offline WAL inspection; the
+	// engine itself never reads it back). Optional.
+	Self msg.NodeID
+	// Codec decodes journaled frames during Restore (required when
+	// Journal is set).
+	Codec *msg.Codec
+	// SnapshotEvery is the number of dispatched events between
+	// periodic snapshots of a stateful session (default 64). The
+	// engine cannot see protocol phases, so the cadence plus the
+	// final on-completion snapshot is its checkpoint policy; callers
+	// with phase knowledge use Checkpoint for explicit barriers.
+	SnapshotEvery int
+	// RestoreRunner rebuilds a runner from a durable snapshot. When
+	// nil, or when the snapshot is corrupt or fails to decode,
+	// Restore falls back to replaying the whole WAL into a fresh
+	// Factory runner.
+	RestoreRunner func(sid msg.SessionID, rt Runtime, snapshot []byte) (Runner, error)
 }
 
 // backlogCap bounds the frames buffered for a submitted-but-queued
@@ -166,17 +200,25 @@ type session struct {
 	// they are replayed in arrival order on activation.
 	backlog        []backlogEvent
 	backlogDropped int
+	// events counts dispatched events since activation; snapAt is the
+	// count at the last durable snapshot, finalSnap marks the
+	// completion snapshot as taken.
+	events    int
+	snapAt    int
+	finalSnap bool
 }
 
 // Engine is a session-multiplexed protocol runtime.
 type Engine struct {
 	cfg Config
 
-	mu       sync.Mutex
-	sessions map[msg.SessionID]*session
-	queue    []msg.SessionID
-	active   int
-	closed   bool
+	mu          sync.Mutex
+	sessions    map[msg.SessionID]*session
+	queue       []msg.SessionID
+	active      int
+	closed      bool
+	journalErrs int
+	lastJournal error
 }
 
 // New validates the configuration and returns an Engine.
@@ -186,6 +228,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.MaxActive < 0 {
 		return nil, fmt.Errorf("%w: negative MaxActive", ErrBadConfig)
+	}
+	if cfg.Journal != nil && cfg.Codec == nil {
+		return nil, fmt.Errorf("%w: Journal requires Codec", ErrBadConfig)
 	}
 	return &Engine{cfg: cfg, sessions: make(map[msg.SessionID]*session)}, nil
 }
@@ -356,6 +401,10 @@ type sessionHandler struct {
 
 func (h *sessionHandler) HandleMessage(from msg.NodeID, body msg.Body) {
 	e := h.engine
+	// Write-ahead: journal the frame before it can touch (or be
+	// buffered for) the state machine. A crash after the append but
+	// before dispatch merely replays a frame the protocol never saw.
+	e.journalFrame(h.sid, from, body)
 	e.mu.Lock()
 	sess, ok := e.sessions[h.sid]
 	if ok && sess.state == StateQueued {
@@ -370,11 +419,19 @@ func (h *sessionHandler) HandleMessage(from msg.NodeID, body msg.Body) {
 	var r Runner
 	if ok && sess.state == StateActive {
 		r = sess.runner
+	} else if ok && sess.state == StateCompleted && e.cfg.LingerCompleted {
+		// Lingering completed sessions keep consuming frames so the
+		// runner can serve protocol-level help requests (§5.3) to
+		// peers that recover after we finished. Requires
+		// KeepCompleted (a GC'd runner leaves r nil and the frame is
+		// dropped).
+		r = sess.runner
 	}
 	e.mu.Unlock()
 	if r != nil {
 		r.HandleMessage(from, body)
 		h.engine.noteEvent(h.sid, r)
+		e.maybeSnapshot(h.sid, r)
 	}
 }
 
@@ -382,6 +439,7 @@ func (h *sessionHandler) HandleTimer(id uint64) {
 	if r := h.engine.runner(h.sid); r != nil {
 		r.HandleTimer(id)
 		h.engine.noteEvent(h.sid, r)
+		h.engine.maybeSnapshot(h.sid, r)
 	}
 }
 
@@ -434,14 +492,39 @@ func (e *Engine) GC(sid msg.SessionID) {
 	if sess, ok := e.sessions[sid]; ok && (sess.state == StateCompleted || sess.state == StateFailed) {
 		sess.runner = nil
 		sess.err = nil
+		sess.backlog = nil
 	}
+}
+
+// Prune removes a completed or failed session's record entirely, so
+// the Stats counters shrink with it. Replay rejection does not regress:
+// the fabric's router keeps its own retired-session bookkeeping, so
+// late frames for a pruned session are still dropped before any
+// protocol code runs. Long-lived services prune sessions once results
+// have been consumed to keep the engine's memory bounded.
+func (e *Engine) Prune(sid msg.SessionID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sess, ok := e.sessions[sid]
+	if !ok || (sess.state != StateCompleted && sess.state != StateFailed) {
+		return false
+	}
+	// A lingering completed session is still registered with the
+	// fabric (it kept serving help requests); retire it now, or its
+	// handler entry would outlive the engine record. RetireSession is
+	// idempotent, so the non-linger path is unaffected.
+	if sess.state == StateCompleted && e.cfg.LingerCompleted {
+		e.cfg.Fabric.RetireSession(sid)
+	}
+	delete(e.sessions, sid)
+	return true
 }
 
 // Stats returns a snapshot of session counts by state.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := Stats{Submitted: len(e.sessions)}
+	st := Stats{Submitted: len(e.sessions), JournalErrors: e.journalErrs}
 	for _, sess := range e.sessions {
 		switch sess.state {
 		case StateQueued:

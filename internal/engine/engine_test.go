@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hybriddkg/internal/msg"
@@ -305,9 +306,116 @@ func TestLingerCompleted(t *testing.T) {
 	if fab.retired[1] {
 		t.Fatal("lingering session was retired")
 	}
-	// Late traffic still reaches the completed runner (help service).
+	// Late traffic still reaches the completed runner (help service):
+	// the frame must be dispatched into the runner, not just accepted
+	// by the router and dropped at the engine.
 	if !fab.deliver(1, 3, nilBody{}) {
 		t.Fatal("lingering session dropped from fabric")
+	}
+	r, ok := eng.Completed(1)
+	if !ok {
+		t.Fatal("retained runner missing")
+	}
+	if got := r.(*countRunner).got; got != 2 {
+		t.Fatalf("lingering runner saw %d events, want 2 (post-completion frame dropped)", got)
+	}
+	// Pruning a lingering session must also retire it from the
+	// fabric, or the router's handler entry would leak forever.
+	if !eng.Prune(1) {
+		t.Fatal("prune refused the lingering completed session")
+	}
+	if !fab.retired[1] {
+		t.Fatal("pruned lingering session left registered with the fabric")
+	}
+	if fab.deliver(1, 4, nilBody{}) {
+		t.Fatal("pruned session still receiving traffic")
+	}
+}
+
+// TestFailedSessionGC: a session that fails at activation releases its
+// buffered frames immediately, GC clears the retained error, and Prune
+// removes the record entirely — Stats counters decrement and no
+// goroutines are left behind (the engine spawns none; asserted so a
+// future regression that adds leaky ones is caught under -race).
+func TestFailedSessionGC(t *testing.T) {
+	fab := newFakeFabric()
+	eng, err := New(Config{
+		Fabric:    fab,
+		MaxActive: 1,
+		Factory: func(sid msg.SessionID, rt Runtime) (Runner, error) {
+			if sid == 2 {
+				return nil, errors.New("doomed session")
+			}
+			return &countRunner{needed: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	if err := eng.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(2); err != nil {
+		t.Fatal(err)
+	}
+	// Buffer frames for the queued session, then trip its (failing)
+	// activation by completing session 1.
+	for i := 0; i < 3; i++ {
+		if !fab.deliver(2, 5, nilBody{}) {
+			t.Fatal("queued session not registered")
+		}
+	}
+	if got := len(eng.sessions[2].backlog); got != 3 {
+		t.Fatalf("backlog %d frames, want 3", got)
+	}
+	fab.deliver(1, 4, nilBody{})
+	if got := eng.State(2); got != StateFailed {
+		t.Fatalf("session 2 state %v, want failed", got)
+	}
+	if eng.sessions[2].backlog != nil {
+		t.Fatal("failed session retained its buffered frames")
+	}
+	if !fab.retired[2] {
+		t.Fatal("failed session left registered with the fabric")
+	}
+	st := eng.Stats()
+	if st.Submitted != 2 || st.Failed != 1 || st.Completed != 1 {
+		t.Fatalf("stats before prune: %+v", st)
+	}
+
+	// GC keeps the record (replay bookkeeping) but drops the error.
+	eng.GC(2)
+	if err := eng.Err(2); err != nil {
+		t.Fatalf("error survives GC: %v", err)
+	}
+	// Prune decrements the counters and forgets the session entirely;
+	// the fabric's retired map keeps rejecting replayed traffic.
+	if !eng.Prune(2) {
+		t.Fatal("prune refused a failed session")
+	}
+	st = eng.Stats()
+	if st.Submitted != 1 || st.Failed != 0 {
+		t.Fatalf("stats after prune: %+v", st)
+	}
+	if got := eng.State(2); got != StateUnknown {
+		t.Fatalf("pruned session state %v", got)
+	}
+	if eng.Prune(2) {
+		t.Fatal("double prune succeeded")
+	}
+	if eng.Prune(1) && eng.Prune(1) {
+		t.Fatal("double prune of completed session succeeded")
+	}
+	// Active sessions must not be prunable.
+	if err := eng.Submit(3); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Prune(3) {
+		t.Fatal("pruned an active session")
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
 	}
 }
 

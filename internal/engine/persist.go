@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hybriddkg/internal/msg"
+)
+
+// Durability layer: the engine journals every delivered frame ahead of
+// dispatch and snapshots stateful runners periodically, so a process
+// restart can rebuild its in-flight sessions with Restore — the
+// paper's crash-recovery model (§3: nodes recover with their state
+// intact) made true across process lifetimes. The engine stays
+// storage-agnostic: it writes through the Journal interface, which
+// internal/store implements with a per-session WAL plus atomically
+// replaced snapshots.
+
+// Journal is the engine's durability surface.
+type Journal interface {
+	// AppendFrame durably journals a delivered frame. The engine
+	// calls it before dispatching the frame (write-ahead).
+	AppendFrame(sid msg.SessionID, env msg.Envelope) error
+	// SaveSnapshot atomically replaces the session's snapshot,
+	// recording the WAL position it covers.
+	SaveSnapshot(sid msg.SessionID, state []byte) error
+	// LoadSnapshot returns the latest snapshot (nil when none exists)
+	// and the WAL sequence number it covers.
+	LoadSnapshot(sid msg.SessionID) (state []byte, seq uint64, err error)
+	// Replay streams journaled frames with sequence number > afterSeq.
+	Replay(sid msg.SessionID, afterSeq uint64, fn func(env msg.Envelope) error) error
+	// Sessions lists every session with durable state.
+	Sessions() ([]msg.SessionID, error)
+	// Sync flushes buffered journal state to stable storage.
+	Sync() error
+}
+
+// StatefulRunner is a Runner whose complete protocol state can be
+// serialised for durable snapshots (dkg.Node and vss.Node implement
+// MarshalState). Runners without it are journal-only: a restart
+// rebuilds them by replaying the whole WAL into a fresh Factory
+// instance.
+type StatefulRunner interface {
+	Runner
+	MarshalState() ([]byte, error)
+}
+
+// defaultSnapshotEvery is the periodic snapshot cadence when
+// Config.SnapshotEvery is zero.
+const defaultSnapshotEvery = 64
+
+func (e *Engine) noteJournalError(err error) {
+	e.mu.Lock()
+	e.journalErrs++
+	e.lastJournal = err
+	e.mu.Unlock()
+}
+
+// JournalError returns the most recent durability-layer error (nil
+// when journaling has been clean).
+func (e *Engine) JournalError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastJournal
+}
+
+// journalFrame appends a delivered frame to the session's WAL. Frames
+// are journaled only while the session can still consume them (queued
+// or active); best-effort — an append error is counted, not fatal.
+func (e *Engine) journalFrame(sid msg.SessionID, from msg.NodeID, body msg.Body) {
+	if e.cfg.Journal == nil {
+		return
+	}
+	e.mu.Lock()
+	sess, ok := e.sessions[sid]
+	live := ok && (sess.state == StateQueued || sess.state == StateActive)
+	e.mu.Unlock()
+	if !live {
+		return
+	}
+	payload, err := body.MarshalBinary()
+	if err != nil {
+		e.noteJournalError(fmt.Errorf("engine: journal encode %v: %w", body.MsgType(), err))
+		return
+	}
+	env := msg.Envelope{From: from, To: e.cfg.Self, Session: sid, Type: body.MsgType(), Payload: payload}
+	if err := e.cfg.Journal.AppendFrame(sid, env); err != nil {
+		e.noteJournalError(fmt.Errorf("engine: journal append %v: %w", sid, err))
+	}
+}
+
+// maybeSnapshot checkpoints a stateful runner after an event when the
+// periodic cadence is due or the session just completed. Called on the
+// runtime event loop (the only goroutine touching the runner), outside
+// the engine lock for the marshal/IO work.
+func (e *Engine) maybeSnapshot(sid msg.SessionID, r Runner) {
+	if e.cfg.Journal == nil {
+		return
+	}
+	sr, ok := r.(StatefulRunner)
+	if !ok {
+		return
+	}
+	every := e.cfg.SnapshotEvery
+	if every <= 0 {
+		every = defaultSnapshotEvery
+	}
+	e.mu.Lock()
+	sess, ok := e.sessions[sid]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	sess.events++
+	final := sess.state == StateCompleted && !sess.finalSnap
+	due := final || sess.events-sess.snapAt >= every
+	events := sess.events
+	e.mu.Unlock()
+	if !due {
+		return
+	}
+	if err := e.snapshotNow(sid, sr); err != nil {
+		// Leave snapAt/finalSnap untouched: the next event (or the
+		// next Checkpoint) retries the snapshot.
+		e.noteJournalError(err)
+		return
+	}
+	e.mu.Lock()
+	if sess, ok := e.sessions[sid]; ok {
+		sess.snapAt = events
+		if final {
+			sess.finalSnap = true
+		}
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) snapshotNow(sid msg.SessionID, sr StatefulRunner) error {
+	state, err := sr.MarshalState()
+	if err != nil {
+		return fmt.Errorf("engine: snapshot marshal %v: %w", sid, err)
+	}
+	if err := e.cfg.Journal.SaveSnapshot(sid, state); err != nil {
+		return fmt.Errorf("engine: snapshot save %v: %w", sid, err)
+	}
+	return nil
+}
+
+// Checkpoint snapshots every live stateful session and syncs the
+// journal — the graceful-shutdown barrier (dkgnode's SIGTERM path) and
+// the hook for callers that know a protocol phase boundary just
+// passed. Like all engine methods it must run on the runtime's event
+// loop.
+func (e *Engine) Checkpoint() error {
+	if e.cfg.Journal == nil {
+		return nil
+	}
+	type item struct {
+		sid    msg.SessionID
+		sr     StatefulRunner
+		events int
+		final  bool
+	}
+	e.mu.Lock()
+	items := make([]item, 0, len(e.sessions))
+	for sid, sess := range e.sessions {
+		if sess.runner == nil {
+			continue
+		}
+		if sess.state != StateActive && sess.state != StateCompleted {
+			continue
+		}
+		if sr, ok := sess.runner.(StatefulRunner); ok {
+			items = append(items, item{sid: sid, sr: sr, events: sess.events, final: sess.state == StateCompleted})
+		}
+	}
+	e.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].sid < items[j].sid })
+	// Only failures from *this* checkpoint are reported; stale journal
+	// errors from earlier best-effort operations stay in JournalError.
+	var firstErr error
+	for _, it := range items {
+		if err := e.snapshotNow(it.sid, it.sr); err != nil {
+			e.noteJournalError(err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.mu.Lock()
+		if sess, ok := e.sessions[it.sid]; ok {
+			sess.snapAt = it.events
+			if it.final {
+				sess.finalSnap = true
+			}
+		}
+		e.mu.Unlock()
+	}
+	if err := e.cfg.Journal.Sync(); err != nil {
+		err = fmt.Errorf("engine: checkpoint sync: %w", err)
+		e.noteJournalError(err)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Restore rebuilds every journaled session after a process restart:
+// load the latest snapshot (when one exists and RestoreRunner is set),
+// replay the WAL tail through the runner, then either complete the
+// session (it had already finished) or leave it active and fire the
+// protocol's recover input so the help machinery fetches whatever was
+// lost while the process was down. The Start hook deliberately does
+// not run for restored sessions — a recovered dealer must not re-deal.
+//
+// Restore bypasses the MaxActive bound: restored sessions were already
+// admitted before the crash. It must be called on the runtime's event
+// loop, before new traffic is submitted.
+func (e *Engine) Restore() ([]msg.SessionID, error) {
+	if e.cfg.Journal == nil {
+		return nil, nil
+	}
+	sids, err := e.cfg.Journal.Sessions()
+	if err != nil {
+		return nil, fmt.Errorf("engine: list journaled sessions: %w", err)
+	}
+	var restored []msg.SessionID
+	for _, sid := range sids {
+		if sid == 0 {
+			continue
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return restored, ErrEngineClosed
+		}
+		if _, dup := e.sessions[sid]; dup {
+			e.mu.Unlock()
+			continue
+		}
+		sess := &session{state: StateActive}
+		e.sessions[sid] = sess
+		e.active++
+		e.mu.Unlock()
+
+		rt, err := e.cfg.Fabric.RegisterSession(sid, &sessionHandler{engine: e, sid: sid})
+		if err != nil {
+			e.mu.Lock()
+			e.failLocked(sid, fmt.Errorf("engine: re-register session %v: %w", sid, err))
+			e.mu.Unlock()
+			continue
+		}
+		e.mu.Lock()
+		sess.runtime = rt
+		e.mu.Unlock()
+
+		runner, err := e.rebuildRunner(sid, rt)
+		if err != nil {
+			e.mu.Lock()
+			e.failLocked(sid, err)
+			e.mu.Unlock()
+			continue
+		}
+		e.mu.Lock()
+		sess.runner = runner
+		if runner.Done() {
+			// Completed before (or during) the crash: surface the
+			// completion through the normal path so callers see it.
+			e.completeLocked(sid)
+			e.mu.Unlock()
+		} else {
+			e.mu.Unlock()
+			// The operator recover input of Fig. 1/§5.3: ask peers for
+			// the traffic lost while the process was down and
+			// retransmit our own outgoing log.
+			runner.HandleRecover()
+			e.noteEvent(sid, runner)
+		}
+		restored = append(restored, sid)
+	}
+	return restored, nil
+}
+
+// rebuildRunner reconstructs a session's runner from snapshot + WAL
+// tail. Snapshot problems degrade to a full WAL replay into a fresh
+// Factory runner; WAL or factory problems fail the session.
+func (e *Engine) rebuildRunner(sid msg.SessionID, rt Runtime) (Runner, error) {
+	snap, seq, err := e.cfg.Journal.LoadSnapshot(sid)
+	if err != nil {
+		e.noteJournalError(fmt.Errorf("engine: load snapshot %v: %w", sid, err))
+		snap, seq = nil, 0
+	}
+	var runner Runner
+	if snap != nil {
+		if e.cfg.RestoreRunner == nil {
+			// No way to decode the snapshot: ignore it *and* its WAL
+			// position, so the fresh runner gets the whole-WAL replay.
+			seq = 0
+		} else if runner, err = e.cfg.RestoreRunner(sid, rt, snap); err != nil {
+			e.noteJournalError(fmt.Errorf("engine: restore snapshot %v: %w", sid, err))
+			runner, seq = nil, 0
+		}
+	}
+	if runner == nil {
+		runner, err = e.cfg.Factory(sid, rt)
+		if err != nil {
+			return nil, fmt.Errorf("engine: rebuild session %v: %w", sid, err)
+		}
+	}
+	err = e.cfg.Journal.Replay(sid, seq, func(env msg.Envelope) error {
+		body, derr := e.cfg.Codec.Decode(env.Type, env.Payload)
+		if derr != nil {
+			// A frame that decoded on arrival but not now means the
+			// codec or the log bytes changed shape; skip it — the
+			// recovery protocol's retransmissions cover the gap.
+			e.noteJournalError(fmt.Errorf("engine: replay decode %v: %w", sid, derr))
+			return nil
+		}
+		runner.HandleMessage(env.From, body)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: replay session %v: %w", sid, err)
+	}
+	return runner, nil
+}

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/store"
+)
+
+// persistRunner is a stateful runner whose state is its event count.
+type persistRunner struct {
+	needed   int
+	got      int
+	snapBase int  // count restored from a snapshot
+	replayed int  // events delivered before recover (WAL replay)
+	live     bool // set once HandleRecover ran (end of replay)
+}
+
+func (r *persistRunner) HandleMessage(msg.NodeID, msg.Body) {
+	r.got++
+	if !r.live {
+		r.replayed++
+	}
+}
+func (r *persistRunner) HandleTimer(uint64) {}
+func (r *persistRunner) HandleRecover()     { r.live = true }
+func (r *persistRunner) Done() bool         { return r.got >= r.needed }
+func (r *persistRunner) MarshalState() ([]byte, error) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(r.got))
+	return b[:], nil
+}
+
+func persistCodec(t *testing.T) *msg.Codec {
+	t.Helper()
+	c := msg.NewCodec()
+	if err := c.Register(msg.TVSSEcho, func([]byte) (msg.Body, error) { return nilBody{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRestoreFromWALOnly: with no snapshot taken, Restore rebuilds a
+// fresh runner and replays the whole WAL; the session then finishes on
+// live traffic, and its completion snapshot makes a third incarnation
+// restore as already-completed.
+func TestRestoreFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	codec := persistCodec(t)
+	factory := func(needed int) Factory {
+		return func(msg.SessionID, Runtime) (Runner, error) {
+			return &persistRunner{needed: needed, live: true}, nil
+		}
+	}
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab1 := newFakeFabric()
+	eng1, err := New(Config{Fabric: fab1, Factory: factory(10), Journal: st1, Codec: codec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		fab1.deliver(1, 2, nilBody{})
+	}
+	// Simulated SIGKILL: no checkpoint, just drop everything.
+	st1.Close()
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab2 := newFakeFabric()
+	factory2 := func(sid msg.SessionID, rt Runtime) (Runner, error) {
+		return &persistRunner{needed: 10}, nil // live=false until recover
+	}
+	var completed []msg.SessionID
+	eng2, err := New(Config{
+		Fabric: fab2, Factory: factory2, Journal: st2, Codec: codec,
+		KeepCompleted: true,
+		OnCompleted:   func(sid msg.SessionID, r Runner) { completed = append(completed, sid) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := eng2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 1 || restored[0] != 1 {
+		t.Fatalf("restored %v", restored)
+	}
+	if got := eng2.State(1); got != StateActive {
+		t.Fatalf("restored session state %v", got)
+	}
+	r2 := eng2.sessions[1].runner.(*persistRunner)
+	if r2.replayed != 4 || r2.got != 4 {
+		t.Fatalf("replayed %d events (got=%d), want 4", r2.replayed, r2.got)
+	}
+	if !r2.live {
+		t.Fatal("HandleRecover not fired after restore")
+	}
+	// Finish on live traffic; completion must take the final snapshot.
+	for i := 0; i < 6; i++ {
+		fab2.deliver(1, 3, nilBody{})
+	}
+	if got := eng2.State(1); got != StateCompleted {
+		t.Fatalf("state after finishing: %v", got)
+	}
+	if len(completed) != 1 {
+		t.Fatalf("completions: %v", completed)
+	}
+	if st := eng2.Stats(); st.JournalErrors != 0 {
+		t.Fatalf("journal errors: %d (%v)", st.JournalErrors, eng2.JournalError())
+	}
+	st2.Close()
+
+	// Third incarnation: the done-state snapshot restores as completed.
+	st3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	fab3 := newFakeFabric()
+	var completed3 []msg.SessionID
+	eng3, err := New(Config{
+		Fabric: fab3, Factory: factory(10), Journal: st3, Codec: codec,
+		KeepCompleted: true,
+		RestoreRunner: func(sid msg.SessionID, rt Runtime, snap []byte) (Runner, error) {
+			got := int(binary.BigEndian.Uint64(snap))
+			return &persistRunner{needed: 10, got: got, snapBase: got, live: true}, nil
+		},
+		OnCompleted: func(sid msg.SessionID, r Runner) { completed3 = append(completed3, sid) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng3.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng3.State(1); got != StateCompleted {
+		t.Fatalf("third incarnation state %v", got)
+	}
+	if len(completed3) != 1 {
+		t.Fatal("completion not re-surfaced for the restored-done session")
+	}
+}
+
+// TestRestoreFromSnapshotAndTail: a periodic snapshot bounds the
+// replay — only frames after the snapshot's WAL position are re-fed.
+func TestRestoreFromSnapshotAndTail(t *testing.T) {
+	dir := t.TempDir()
+	codec := persistCodec(t)
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab1 := newFakeFabric()
+	eng1, err := New(Config{
+		Fabric:        fab1,
+		Factory:       func(msg.SessionID, Runtime) (Runner, error) { return &persistRunner{needed: 100, live: true}, nil },
+		Journal:       st1,
+		Codec:         codec,
+		SnapshotEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.Submit(7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		fab1.deliver(7, 2, nilBody{})
+	}
+	st1.Close() // crash: snapshots exist at events 3 and 6
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	fab2 := newFakeFabric()
+	eng2, err := New(Config{
+		Fabric:  fab2,
+		Factory: func(msg.SessionID, Runtime) (Runner, error) { return &persistRunner{needed: 100}, nil },
+		Journal: st2,
+		Codec:   codec,
+		RestoreRunner: func(sid msg.SessionID, rt Runtime, snap []byte) (Runner, error) {
+			got := int(binary.BigEndian.Uint64(snap))
+			return &persistRunner{needed: 100, got: got, snapBase: got}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := eng2.sessions[7].runner.(*persistRunner)
+	if r2.snapBase != 6 {
+		t.Fatalf("snapshot base %d, want 6", r2.snapBase)
+	}
+	if r2.replayed != 2 || r2.got != 8 {
+		t.Fatalf("replayed %d (got=%d), want tail of 2 on top of snapshot 6", r2.replayed, r2.got)
+	}
+	st2.Close()
+
+	// Without a RestoreRunner the snapshot is unusable: the restore
+	// must ignore its WAL position too and replay the whole log into
+	// the fresh runner, not silently skip the covered prefix.
+	st3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	fab3 := newFakeFabric()
+	eng3, err := New(Config{
+		Fabric:  fab3,
+		Factory: func(msg.SessionID, Runtime) (Runner, error) { return &persistRunner{needed: 100}, nil },
+		Journal: st3,
+		Codec:   codec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng3.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	r3 := eng3.sessions[7].runner.(*persistRunner)
+	if r3.snapBase != 0 || r3.replayed != 8 || r3.got != 8 {
+		t.Fatalf("snapshot-less restore: base=%d replayed=%d got=%d, want whole-WAL replay of 8",
+			r3.snapBase, r3.replayed, r3.got)
+	}
+}
+
+// TestCheckpointWritesSnapshots: Checkpoint persists every active
+// stateful session so a clean shutdown restores without WAL replay.
+func TestCheckpointWritesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	codec := persistCodec(t)
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := newFakeFabric()
+	eng, err := New(Config{
+		Fabric:        fab,
+		Factory:       func(msg.SessionID, Runtime) (Runner, error) { return &persistRunner{needed: 100, live: true}, nil },
+		Journal:       st1,
+		Codec:         codec,
+		SnapshotEvery: 1 << 30, // periodic snapshots effectively off
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sid := range []msg.SessionID{1, 2} {
+		if err := eng.Submit(sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		fab.deliver(1, 2, nilBody{})
+	}
+	fab.deliver(2, 3, nilBody{})
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for sid, want := range map[msg.SessionID]uint64{1: 5, 2: 1} {
+		snap, seq, err := st2.LoadSnapshot(sid)
+		if err != nil {
+			t.Fatalf("session %v snapshot: %v", sid, err)
+		}
+		if snap == nil || binary.BigEndian.Uint64(snap) != want || seq != want {
+			t.Fatalf("session %v snapshot got=%v seq=%d, want %d", sid, snap, seq, want)
+		}
+	}
+}
+
+// lockedFabric is a fakeFabric safe for concurrent use.
+type lockedFabric struct {
+	mu  sync.Mutex
+	fab *fakeFabric
+}
+
+func (l *lockedFabric) RegisterSession(sid msg.SessionID, h Handler) (Runtime, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fab.RegisterSession(sid, h)
+}
+
+func (l *lockedFabric) RetireSession(sid msg.SessionID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fab.RetireSession(sid)
+}
+
+func (l *lockedFabric) deliver(sid msg.SessionID, from msg.NodeID, body msg.Body) bool {
+	l.mu.Lock()
+	h, ok := l.fab.handlers[sid]
+	l.mu.Unlock()
+	if !ok {
+		return false
+	}
+	h.HandleMessage(from, body)
+	return true
+}
+
+// TestConcurrentLifecycleWithPrune hammers submit/deliver/prune from
+// many goroutines; run under -race (the CI default) this asserts the
+// engine's lifecycle bookkeeping is data-race free and that pruning
+// concurrent with traffic never corrupts the counters.
+func TestConcurrentLifecycleWithPrune(t *testing.T) {
+	fab := &lockedFabric{fab: newFakeFabric()}
+	eng, err := New(Config{
+		Fabric:  fab,
+		Factory: func(msg.SessionID, Runtime) (Runner, error) { return &countRunner{needed: 2}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sid := msg.SessionID(w*perWorker + i + 1)
+				if err := eng.Submit(sid); err != nil {
+					t.Errorf("submit %v: %v", sid, err)
+					return
+				}
+				fab.deliver(sid, 1, nilBody{})
+				fab.deliver(sid, 2, nilBody{})
+				eng.Prune(sid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := eng.Stats()
+	if st.Submitted != 0 || st.Completed != 0 || st.Active != 0 {
+		t.Fatalf("sessions survived pruning: %+v", st)
+	}
+}

@@ -1,0 +1,204 @@
+package msg
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// EncodeEnvelope returns the canonical binary form of an Envelope:
+// from ‖ to ‖ session ‖ type ‖ length-prefixed payload. The durable
+// write-ahead log (internal/store) journals delivered envelopes in this
+// form, and tooling can use it to inspect logged traffic offline.
+func EncodeEnvelope(env Envelope) []byte {
+	w := NewWriter(29 + len(env.Payload))
+	w.Node(env.From)
+	w.Node(env.To)
+	w.U64(uint64(env.Session))
+	w.U8(uint8(env.Type))
+	w.Blob(env.Payload)
+	return w.Bytes()
+}
+
+// EncodeBody appends a Body's tag and length-prefixed payload to w —
+// the form the durable state codecs use for logged outgoing messages.
+func EncodeBody(w *Writer, b Body) error {
+	payload, err := b.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("msg: encode %v: %w", b.MsgType(), err)
+	}
+	w.U8(uint8(b.MsgType()))
+	w.Blob(payload)
+	return nil
+}
+
+// DecodeBody reads an encoding produced by EncodeBody and decodes it
+// through the codec.
+func (c *Codec) DecodeBody(r *Reader) (Body, error) {
+	t := Type(r.U8())
+	payload := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return c.Decode(t, payload)
+}
+
+// --- state-codec primitives ------------------------------------------
+//
+// The durable state codecs (vss.Node.MarshalState, dkg.Node.
+// MarshalState) build on the same canonical primitives as the wire
+// messages, plus the nullable/set/log forms below. Map-derived
+// encodings are emitted in sorted key order so identical protocol
+// state always serialises to identical bytes.
+
+// BigPtr appends a nullable big.Int (presence flag + value).
+func (w *Writer) BigPtr(v *big.Int) {
+	w.Bool(v != nil)
+	if v != nil {
+		w.Big(v)
+	}
+}
+
+// BigPtr reads a nullable big.Int written by Writer.BigPtr.
+func (r *Reader) BigPtr() *big.Int {
+	if !r.Bool() {
+		return nil
+	}
+	return r.Big()
+}
+
+// NodeSet appends a set of node identifiers in sorted order.
+func (w *Writer) NodeSet(set map[NodeID]bool) {
+	ids := make([]NodeID, 0, len(set))
+	for id, ok := range set {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Nodes(ids)
+}
+
+// NodeSet reads a set written by Writer.NodeSet.
+func (r *Reader) NodeSet() map[NodeID]bool {
+	ids := r.Nodes()
+	set := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// ListLen reads a u32 length and bounds it, mirroring the wire
+// decoders' guards so corrupt snapshots cannot force huge allocations.
+func (r *Reader) ListLen(max int) (int, error) {
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if int(n) > max {
+		return 0, fmt.Errorf("%w: list length %d exceeds %d", ErrBadEnvelope, n, max)
+	}
+	return int(n), nil
+}
+
+// logListMax bounds decoded outgoing-log sizes.
+const logListMax = 1 << 20
+
+// EncodeBodyLog appends an outgoing message log (the recovery
+// protocol's B set): destinations in sorted order, each with its
+// logged bodies in send order.
+func EncodeBodyLog(w *Writer, log map[NodeID][]Body) error {
+	ids := make([]NodeID, 0, len(log))
+	for id := range log {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.Node(id)
+		bodies := log[id]
+		w.U32(uint32(len(bodies)))
+		for _, b := range bodies {
+			if err := EncodeBody(w, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeBodyLog reads a log written by EncodeBodyLog, decoding each
+// body through the codec.
+func (c *Codec) DecodeBodyLog(r *Reader) (map[NodeID][]Body, error) {
+	n, err := r.ListLen(logListMax)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID][]Body, n)
+	for i := 0; i < n; i++ {
+		id := r.Node()
+		nBodies, err := r.ListLen(logListMax)
+		if err != nil {
+			return nil, err
+		}
+		bodies := make([]Body, 0, nBodies)
+		for j := 0; j < nBodies; j++ {
+			b, err := c.DecodeBody(r)
+			if err != nil {
+				return nil, fmt.Errorf("msg: decode logged message: %w", err)
+			}
+			bodies = append(bodies, b)
+		}
+		out[id] = bodies
+	}
+	return out, nil
+}
+
+// EncodeCounterMap appends a NodeID→count map in sorted key order (the
+// per-requester help budgets c_ℓ of the recovery protocol).
+func EncodeCounterMap(w *Writer, m map[NodeID]int) {
+	ids := make([]NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.Node(id)
+		w.U32(uint32(m[id]))
+	}
+}
+
+// DecodeCounterMap reads a map written by EncodeCounterMap.
+func DecodeCounterMap(r *Reader) (map[NodeID]int, error) {
+	n, err := r.ListLen(logListMax)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID]int, n)
+	for i := 0; i < n; i++ {
+		id := r.Node()
+		out[id] = int(r.U32())
+	}
+	return out, nil
+}
+
+// DecodeEnvelope parses an encoding produced by EncodeEnvelope. The
+// payload is validated only structurally (length framing); decoding it
+// into a typed Body is the codec's job, so corrupt protocol bytes
+// surface there, after the envelope shape has been checked.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	r := NewReader(data)
+	env := Envelope{
+		From:    r.Node(),
+		To:      r.Node(),
+		Session: SessionID(r.U64()),
+		Type:    Type(r.U8()),
+	}
+	env.Payload = r.Blob()
+	if err := r.Done(); err != nil {
+		return Envelope{}, err
+	}
+	return env, nil
+}

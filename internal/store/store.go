@@ -1,0 +1,471 @@
+// Package store is the per-node durable state subsystem: an
+// append-only write-ahead log of delivered envelopes plus an
+// atomically replaced snapshot, per protocol session. It is what turns
+// the paper's crash-recovery model (§3: nodes come back "with their
+// state intact") into something that holds across OS process
+// lifetimes — without it, recovery only works while the process lives.
+//
+// Layout under the state directory, one pair of files per session:
+//
+//	sess-<id>.wal   append-only frame log (CRC-framed records)
+//	sess-<id>.snap  latest snapshot (atomic tmp+rename replace)
+//
+// The WAL is written ahead of dispatch: a frame is journaled before
+// the protocol state machine sees it, so a crash between journaling
+// and dispatch merely replays a frame the (idempotent, first-time
+// guarded) state machine never processed. Records carry a per-session
+// sequence number and a CRC32C; on reopen the log is scanned and
+// truncated at the first corrupt or torn record, the standard WAL
+// tail-tolerance contract. A snapshot records the WAL sequence it
+// covers, so recovery is load-snapshot + replay-tail.
+//
+// Fsync policy (documented in DESIGN.md "Durability model"): WAL
+// appends are synced every Options.SyncEvery records (default 1 —
+// every append; negative disables append fsync); snapshots and Sync()
+// always fsync. Process kills (SIGKILL) never lose page-cache writes,
+// so even with append fsync disabled the kill-and-restart scenarios
+// survive; the fsync policy matters for machine crashes.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hybriddkg/internal/msg"
+)
+
+// Errors returned by the store.
+var (
+	ErrClosed      = errors.New("store: closed")
+	ErrBadSnapshot = errors.New("store: corrupt snapshot")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	walPrefix  = "sess-"
+	walSuffix  = ".wal"
+	snapSuffix = ".snap"
+
+	// walHeader is the fixed part of a record: u32 payload length plus
+	// u32 CRC32C of the payload. The payload is u64 seq ‖ envelope.
+	walHeader = 8
+	// walMaxRecord bounds a single record, mirroring the transport's
+	// frame cap so a corrupt length cannot force a giant allocation.
+	walMaxRecord = 64 << 20
+
+	snapMagic = "HDKGSNP1"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncEvery is the WAL fsync cadence: the log is fsynced on every
+	// SyncEvery-th append. The zero value defaults to 1 — fsync every
+	// append. A negative value disables explicit append fsync (page
+	// cache only — survives process kills but not power loss).
+	SyncEvery int
+}
+
+// Store is one node's durable state directory.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	logs   map[msg.SessionID]*sessionLog
+	closed bool
+}
+
+// sessionLog is the open write handle for one session's WAL.
+type sessionLog struct {
+	f         *os.File
+	seq       uint64 // last appended sequence number
+	size      int64  // validated length of the log
+	sinceSync int
+	// broken marks a log whose offset could not be rolled back after
+	// a partial write; further appends would land after torn bytes
+	// and be unreachable on replay, so they are refused instead.
+	broken bool
+}
+
+// Open creates (or reopens) a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SyncEvery == 0 {
+		opts.SyncEvery = 1
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir, opts: opts, logs: make(map[msg.SessionID]*sessionLog)}, nil
+}
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) walPath(sid msg.SessionID) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%d%s", walPrefix, uint64(sid), walSuffix))
+}
+
+func (s *Store) snapPath(sid msg.SessionID) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%d%s", walPrefix, uint64(sid), snapSuffix))
+}
+
+// log returns (opening and scanning if needed) the session's WAL
+// handle. Called with s.mu held.
+func (s *Store) logLocked(sid msg.SessionID) (*sessionLog, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if sl, ok := s.logs[sid]; ok {
+		return sl, nil
+	}
+	f, err := os.OpenFile(s.walPath(sid), os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal %v: %w", sid, err)
+	}
+	seq, size, err := scanWAL(f, 0, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop any corrupt or torn tail so new records append after the
+	// last valid one instead of interleaving with garbage.
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate wal %v: %w", sid, err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek wal %v: %w", sid, err)
+	}
+	sl := &sessionLog{f: f, seq: seq, size: size}
+	s.logs[sid] = sl
+	return sl, nil
+}
+
+// scanWAL walks the log from the start, validating records. It calls
+// fn (when non-nil) for every record with sequence number > afterSeq
+// and returns the last valid sequence number and the validated byte
+// length. Scanning stops silently at the first corrupt or torn record.
+func scanWAL(f *os.File, afterSeq uint64, fn func(seq uint64, env msg.Envelope) error) (uint64, int64, error) {
+	var (
+		off    int64
+		seq    uint64
+		header [walHeader]byte
+	)
+	for {
+		if _, err := f.ReadAt(header[:], off); err != nil {
+			return seq, off, nil // clean or torn end: stop here
+		}
+		length := binary.BigEndian.Uint32(header[0:4])
+		if length < 8 || length > walMaxRecord {
+			return seq, off, nil
+		}
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, off+walHeader); err != nil {
+			return seq, off, nil // torn record
+		}
+		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(header[4:8]) {
+			return seq, off, nil // corrupt record
+		}
+		recSeq := binary.BigEndian.Uint64(payload[:8])
+		if recSeq != seq+1 {
+			return seq, off, nil // sequence discontinuity: stale tail
+		}
+		if fn != nil && recSeq > afterSeq {
+			env, err := msg.DecodeEnvelope(payload[8:])
+			if err != nil {
+				return seq, off, nil // structurally corrupt envelope
+			}
+			if err := fn(recSeq, env); err != nil {
+				return seq, off, err
+			}
+		}
+		seq = recSeq
+		off += walHeader + int64(length)
+	}
+}
+
+// AppendFrame journals one delivered envelope, returning after the
+// record is written (and, per the sync policy, fsynced). It satisfies
+// the engine's write-ahead contract: call before dispatching the frame
+// to the protocol state machine.
+func (s *Store) AppendFrame(sid msg.SessionID, env msg.Envelope) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl, err := s.logLocked(sid)
+	if err != nil {
+		return err
+	}
+	encEnv := msg.EncodeEnvelope(env)
+	payload := make([]byte, 0, 8+len(encEnv))
+	payload = binary.BigEndian.AppendUint64(payload, sl.seq+1)
+	payload = append(payload, encEnv...)
+	rec := make([]byte, 0, walHeader+len(payload))
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.BigEndian.AppendUint32(rec, crc32.Checksum(payload, crcTable))
+	rec = append(rec, payload...)
+	if sl.broken {
+		return fmt.Errorf("store: wal %v broken by an earlier failed append", sid)
+	}
+	if _, err := sl.f.Write(rec); err != nil {
+		// Roll the file back to the last valid record so a later
+		// append (after a transient failure like ENOSPC) does not land
+		// beyond torn bytes, where replay's tail-truncation would
+		// silently discard it.
+		if terr := sl.f.Truncate(sl.size); terr == nil {
+			_, terr = sl.f.Seek(sl.size, io.SeekStart)
+			sl.broken = terr != nil
+		} else {
+			sl.broken = true
+		}
+		return fmt.Errorf("store: append wal %v: %w", sid, err)
+	}
+	sl.seq++
+	sl.size += int64(len(rec))
+	sl.sinceSync++
+	if s.opts.SyncEvery > 0 && sl.sinceSync >= s.opts.SyncEvery {
+		sl.sinceSync = 0
+		if err := sl.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync wal %v: %w", sid, err)
+		}
+	}
+	return nil
+}
+
+// Seq returns the last journaled sequence number for a session.
+func (s *Store) Seq(sid msg.SessionID) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl, err := s.logLocked(sid)
+	if err != nil {
+		return 0, err
+	}
+	return sl.seq, nil
+}
+
+// Replay streams the journaled envelopes with sequence number greater
+// than afterSeq, in order. Replay reads through a separate handle, so
+// it is safe while the session is still appending (recovery replays
+// before new traffic arrives, but nothing breaks if it does not).
+func (s *Store) Replay(sid msg.SessionID, afterSeq uint64, fn func(env msg.Envelope) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	path := s.walPath(sid)
+	s.mu.Unlock()
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open wal %v for replay: %w", sid, err)
+	}
+	defer f.Close()
+	_, _, err = scanWAL(f, afterSeq, func(_ uint64, env msg.Envelope) error { return fn(env) })
+	return err
+}
+
+// SaveSnapshot atomically replaces the session's snapshot with state,
+// recording the WAL sequence number it covers. The write path is
+// tmp + fsync + rename + fsync(dir), so a crash leaves either the old
+// snapshot or the new one, never a torn file.
+func (s *Store) SaveSnapshot(sid msg.SessionID, state []byte) error {
+	s.mu.Lock()
+	sl, err := s.logLocked(sid)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	seq := sl.seq
+	path := s.snapPath(sid)
+	s.mu.Unlock()
+
+	buf := make([]byte, 0, len(snapMagic)+12+len(state)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(state)))
+	buf = append(buf, state...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("store: snapshot tmp %v: %w", sid, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot %v: %w", sid, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sync snapshot %v: %w", sid, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: install snapshot %v: %w", sid, err)
+	}
+	return syncDir(s.dir)
+}
+
+// LoadSnapshot returns the session's latest snapshot and the WAL
+// sequence number it covers. A missing snapshot returns (nil, 0, nil):
+// recovery then replays the whole WAL into a fresh state machine. A
+// corrupt snapshot returns ErrBadSnapshot so callers can choose the
+// same full-replay fallback explicitly.
+func (s *Store) LoadSnapshot(sid msg.SessionID) ([]byte, uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	path := s.snapPath(sid)
+	s.mu.Unlock()
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(buf) < len(snapMagic)+16 || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: bad header", ErrBadSnapshot)
+	}
+	body, tag := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(tag) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	seq := binary.BigEndian.Uint64(buf[len(snapMagic):])
+	stateLen := binary.BigEndian.Uint32(buf[len(snapMagic)+8:])
+	state := buf[len(snapMagic)+12 : len(buf)-4]
+	if int(stateLen) != len(state) {
+		return nil, 0, fmt.Errorf("%w: length mismatch", ErrBadSnapshot)
+	}
+	return state, seq, nil
+}
+
+// Sessions lists every session with durable state, ascending.
+func (s *Store) Sessions() ([]msg.SessionID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	dir := s.dir
+	s.mu.Unlock()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[msg.SessionID]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, walPrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(name, walPrefix)
+		var idStr string
+		switch {
+		case strings.HasSuffix(rest, walSuffix):
+			idStr = strings.TrimSuffix(rest, walSuffix)
+		case strings.HasSuffix(rest, snapSuffix):
+			idStr = strings.TrimSuffix(rest, snapSuffix)
+		default:
+			continue
+		}
+		v, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		seen[msg.SessionID(v)] = true
+	}
+	out := make([]msg.SessionID, 0, len(seen))
+	for sid := range seen {
+		out = append(out, sid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Remove deletes a session's durable state (WAL and snapshot). Used to
+// garbage-collect sessions whose results have been consumed.
+func (s *Store) Remove(sid msg.SessionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sl, ok := s.logs[sid]; ok {
+		sl.f.Close()
+		delete(s.logs, sid)
+	}
+	var firstErr error
+	for _, p := range []string{s.walPath(sid), s.snapPath(sid)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Sync fsyncs every open WAL — the graceful-shutdown flush.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var firstErr error
+	for sid, sl := range s.logs {
+		sl.sinceSync = 0
+		if err := sl.f.Sync(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("store: sync wal %v: %w", sid, err)
+		}
+	}
+	return firstErr
+}
+
+// Close syncs and closes every open file. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, sl := range s.logs {
+		if err := sl.f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := sl.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.logs = nil
+	return firstErr
+}
+
+// syncDir fsyncs a directory so a rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,245 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"hybriddkg/internal/msg"
+)
+
+func frame(i int) msg.Envelope {
+	return msg.Envelope{
+		From:    msg.NodeID(i%4 + 1),
+		To:      1,
+		Session: 7,
+		Type:    msg.TVSSEcho,
+		Payload: bytes.Repeat([]byte{byte(i)}, i%13+1),
+	}
+}
+
+func collect(t *testing.T, s *Store, sid msg.SessionID, after uint64) []msg.Envelope {
+	t.Helper()
+	var out []msg.Envelope
+	if err := s.Replay(sid, after, func(env msg.Envelope) error {
+		out = append(out, env)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// TestWALRoundTrip: append, replay all, replay a tail after a snapshot.
+func TestWALRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const sid = msg.SessionID(7)
+	for i := 0; i < 20; i++ {
+		if err := s.AppendFrame(sid, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, s, sid, 0)
+	if len(got) != 20 {
+		t.Fatalf("replayed %d frames, want 20", len(got))
+	}
+	for i, env := range got {
+		want := frame(i)
+		if env.From != want.From || env.Type != want.Type || !bytes.Equal(env.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch: %+v", i, env)
+		}
+	}
+
+	// Snapshot covers seq 20; replay after it yields only later frames.
+	if err := s.SaveSnapshot(sid, []byte("state-at-20")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 25; i++ {
+		if err := s.AppendFrame(sid, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, seq, err := s.LoadSnapshot(sid)
+	if err != nil || string(state) != "state-at-20" || seq != 20 {
+		t.Fatalf("snapshot: state=%q seq=%d err=%v", state, seq, err)
+	}
+	if tail := collect(t, s, sid, seq); len(tail) != 5 {
+		t.Fatalf("tail: %d frames, want 5", len(tail))
+	}
+}
+
+// TestReopenContinuesSequence: a reopened store appends after the last
+// valid record, and replay sees both generations.
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sid = msg.SessionID(3)
+	for i := 0; i < 10; i++ {
+		if err := s.AppendFrame(sid, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if seq, _ := s2.Seq(sid); seq != 10 {
+		t.Fatalf("reopened seq %d, want 10", seq)
+	}
+	for i := 10; i < 15; i++ {
+		if err := s2.AppendFrame(sid, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := collect(t, s2, sid, 0); len(got) != 15 {
+		t.Fatalf("replayed %d, want 15", len(got))
+	}
+}
+
+// TestCorruptTailTruncated: garbage at the end of the WAL is dropped
+// on reopen; the valid prefix survives and appends continue cleanly.
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sid = msg.SessionID(9)
+	for i := 0; i < 8; i++ {
+		if err := s.AppendFrame(sid, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := s.walPath(sid)
+	// Case 1: appended garbage.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02})
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, s2, sid, 0); len(got) != 8 {
+		t.Fatalf("after garbage tail: %d frames, want 8", len(got))
+	}
+	// Appends land after the truncated tail.
+	if err := s2.AppendFrame(sid, frame(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, s2, sid, 0); len(got) != 9 {
+		t.Fatalf("after post-corruption append: %d frames, want 9", len(got))
+	}
+	s2.Close()
+
+	// Case 2: torn final record (simulated crash mid-write).
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := collect(t, s3, sid, 0); len(got) != 8 {
+		t.Fatalf("after torn record: %d frames, want 8", len(got))
+	}
+}
+
+// TestCorruptSnapshot: a flipped byte is detected; a missing snapshot
+// reports cleanly.
+func TestCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const sid = msg.SessionID(5)
+
+	if state, seq, err := s.LoadSnapshot(sid); state != nil || seq != 0 || err != nil {
+		t.Fatalf("missing snapshot: %v %d %v", state, seq, err)
+	}
+	if err := s.AppendFrame(sid, frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshot(sid, []byte("good state")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.snapPath(sid)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadSnapshot(sid); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupt snapshot error: %v", err)
+	}
+}
+
+// TestSessionsAndRemove: discovery lists journaled sessions; Remove
+// deletes their durable state.
+func TestSessionsAndRemove(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, sid := range []msg.SessionID{4, 2, 11} {
+		if err := s.AppendFrame(sid, frame(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveSnapshot(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sids, err := s.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sids) != 3 || sids[0] != 2 || sids[1] != 4 || sids[2] != 11 {
+		t.Fatalf("sessions: %v", sids)
+	}
+	if err := s.Remove(4); err != nil {
+		t.Fatal(err)
+	}
+	sids, err = s.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sids) != 2 {
+		t.Fatalf("sessions after remove: %v", sids)
+	}
+	// A removed session restarts from sequence 1.
+	if err := s.AppendFrame(4, frame(9)); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _ := s.Seq(4); seq != 1 {
+		t.Fatalf("seq after remove: %d", seq)
+	}
+}

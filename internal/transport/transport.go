@@ -556,6 +556,13 @@ func (n *Node) dropConn(to msg.NodeID, c net.Conn) {
 const frameOverhead = 1 + 8 + 8 + 8 + sha256.Size
 
 func (n *Node) seal(sid msg.SessionID, to msg.NodeID, body msg.Body) ([]byte, error) {
+	return SealFrame(n.cfg.Secret, sid, n.cfg.Self, to, body)
+}
+
+// SealFrame builds a length-prefixed, MAC-authenticated frame. It is
+// the pure sending half of the wire format (exposed for tests, fuzz
+// seeding and tooling).
+func SealFrame(secret []byte, sid msg.SessionID, from, to msg.NodeID, body msg.Body) ([]byte, error) {
 	payload, err := body.MarshalBinary()
 	if err != nil {
 		return nil, err
@@ -563,15 +570,45 @@ func (n *Node) seal(sid msg.SessionID, to msg.NodeID, body msg.Body) ([]byte, er
 	inner := make([]byte, 0, frameOverhead+len(payload))
 	inner = append(inner, byte(body.MsgType()))
 	inner = binary.BigEndian.AppendUint64(inner, uint64(sid))
-	inner = binary.BigEndian.AppendUint64(inner, uint64(n.cfg.Self))
+	inner = binary.BigEndian.AppendUint64(inner, uint64(from))
 	inner = binary.BigEndian.AppendUint64(inner, uint64(to))
 	inner = append(inner, payload...)
-	mac := hmac.New(sha256.New, n.cfg.Secret)
+	mac := hmac.New(sha256.New, secret)
 	mac.Write(inner)
 	inner = mac.Sum(inner)
 	out := make([]byte, 0, 4+len(inner))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(inner)))
 	return append(out, inner...), nil
+}
+
+// DecodeFrame authenticates and decodes a frame's inner bytes (the
+// part after the u32 length prefix): verify the MAC, reject frames not
+// addressed to self, and decode the payload through the codec. It is
+// pure — exposed for fuzzing the full untrusted-bytes path the read
+// loop runs on every inbound frame.
+func DecodeFrame(codec *msg.Codec, secret []byte, self msg.NodeID, inner []byte) (msg.SessionID, msg.NodeID, msg.Body, error) {
+	if len(inner) < frameOverhead {
+		return 0, 0, nil, ErrBadFrame
+	}
+	body := inner[:len(inner)-sha256.Size]
+	tag := inner[len(inner)-sha256.Size:]
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return 0, 0, nil, ErrBadFrame
+	}
+	typ := msg.Type(body[0])
+	sid := msg.SessionID(binary.BigEndian.Uint64(body[1:9]))
+	from := msg.NodeID(binary.BigEndian.Uint64(body[9:17]))
+	to := msg.NodeID(binary.BigEndian.Uint64(body[17:25]))
+	if to != self {
+		return 0, 0, nil, ErrBadFrame
+	}
+	decoded, err := codec.Decode(typ, body[25:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return sid, from, decoded, nil
 }
 
 func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, msg.Body, error) {
@@ -587,23 +624,5 @@ func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, msg.Body, er
 	if _, err := io.ReadFull(conn, inner); err != nil {
 		return 0, 0, nil, err
 	}
-	body := inner[:len(inner)-sha256.Size]
-	tag := inner[len(inner)-sha256.Size:]
-	mac := hmac.New(sha256.New, n.cfg.Secret)
-	mac.Write(body)
-	if !hmac.Equal(mac.Sum(nil), tag) {
-		return 0, 0, nil, ErrBadFrame
-	}
-	typ := msg.Type(body[0])
-	sid := msg.SessionID(binary.BigEndian.Uint64(body[1:9]))
-	from := msg.NodeID(binary.BigEndian.Uint64(body[9:17]))
-	to := msg.NodeID(binary.BigEndian.Uint64(body[17:25]))
-	if to != n.cfg.Self {
-		return 0, 0, nil, ErrBadFrame
-	}
-	decoded, err := n.cfg.Codec.Decode(typ, body[25:])
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	return sid, from, decoded, nil
+	return DecodeFrame(n.cfg.Codec, n.cfg.Secret, n.cfg.Self, inner)
 }

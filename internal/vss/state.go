@@ -1,0 +1,325 @@
+package vss
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+)
+
+// State codec: MarshalState serialises a node's complete protocol
+// state — the share material, commitment counters (A_C, e_C, r_C), the
+// outgoing log B and the help counters c/c_ℓ of Fig. 1 — into a
+// deterministic binary form; UnmarshalState restores it into a freshly
+// constructed node. This is the durable-snapshot surface used by
+// internal/store: snapshot + WAL replay is what makes the paper's
+// crash-recovery assumption (§3: state survives the crash) true across
+// OS process lifetimes.
+//
+// Determinism: map-keyed state is emitted in sorted key order, so the
+// same protocol state always produces identical bytes. Callbacks are
+// NOT re-fired during restore — a recovered node must not re-announce
+// completions its pre-crash incarnation already delivered.
+
+const vssStateMagic = "hybriddkg/vss-state/v1"
+
+// stateListMax bounds decoded list lengths, mirroring the wire
+// decoders' guards so a corrupt snapshot cannot force huge allocations.
+const stateListMax = 1 << 20
+
+// MarshalState serialises the node's full protocol state.
+func (nd *Node) MarshalState() ([]byte, error) {
+	w := msg.NewWriter(4096)
+	w.Blob([]byte(vssStateMagic))
+
+	w.Bool(nd.dealt)
+	w.Bool(nd.sendHandled)
+	w.Bool(nd.done)
+	w.BigPtr(nd.share)
+	if err := EncodeMatrixPtr(w, nd.outC); err != nil {
+		return nil, err
+	}
+	EncodeSignedReadies(w, nd.readyProof)
+	w.NodeSet(nd.echoSeen)
+	w.NodeSet(nd.readySeen)
+
+	// Commitment states, sorted by digest.
+	hashes := sortedHashes(nd.cstates)
+	w.U32(uint32(len(hashes)))
+	for _, h := range hashes {
+		cs := nd.cstates[h]
+		w.Blob(h[:])
+		if err := EncodeMatrixPtr(w, cs.c); err != nil {
+			return nil, err
+		}
+		ids := make([]msg.NodeID, 0, len(cs.points))
+		for id := range cs.points {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.U32(uint32(len(ids)))
+		for _, id := range ids {
+			w.Node(id)
+			w.Big(cs.points[id])
+		}
+		w.U32(uint32(cs.echoCount))
+		w.U32(uint32(cs.readyCount))
+		EncodeSignedReadies(w, cs.readySigs)
+		w.Bool(cs.sentReady)
+		EncodePolyPtr(w, cs.aBar)
+		EncodePolyPtr(w, cs.aRow)
+	}
+
+	// Pending (hashed-mode) points, sorted by digest.
+	pendHashes := make([][32]byte, 0, len(nd.pending))
+	for h := range nd.pending {
+		pendHashes = append(pendHashes, h)
+	}
+	sort.Slice(pendHashes, func(i, j int) bool {
+		return bytes.Compare(pendHashes[i][:], pendHashes[j][:]) < 0
+	})
+	w.U32(uint32(len(pendHashes)))
+	for _, h := range pendHashes {
+		pps := nd.pending[h]
+		w.Blob(h[:])
+		w.U32(uint32(len(pps)))
+		for _, pp := range pps {
+			w.Node(pp.from)
+			w.BigPtr(pp.alpha)
+			w.Bool(pp.ready)
+			w.Blob(pp.sig)
+		}
+	}
+
+	if err := msg.EncodeBodyLog(w, nd.outLog); err != nil {
+		return nil, err
+	}
+	msg.EncodeCounterMap(w, nd.helpFrom)
+	w.U32(uint32(nd.helpTotal))
+
+	// Rec state.
+	w.Bool(nd.recStarted)
+	w.NodeSet(nd.recSeen)
+	w.U32(uint32(len(nd.recPoints)))
+	for _, pt := range nd.recPoints {
+		w.U64(uint64(pt.X))
+		w.Big(pt.Y)
+	}
+	w.U32(uint32(len(nd.recPending)))
+	for i := range nd.recPending {
+		w.Node(nd.recPendingSrc[i])
+		nd.recPending[i].Session.encode(w)
+		w.BigPtr(nd.recPending[i].Share)
+	}
+	w.BigPtr(nd.reconstructed)
+	return w.Bytes(), nil
+}
+
+// UnmarshalState restores state captured by MarshalState into a
+// freshly constructed node with the same parameters, session and
+// identity. The codec decodes the logged outgoing messages (the B set
+// retransmitted by the recovery protocol). Completion callbacks do not
+// re-fire.
+func (nd *Node) UnmarshalState(codec *msg.Codec, data []byte) error {
+	if nd.dealt || nd.sendHandled || nd.done || len(nd.cstates) != 0 || len(nd.echoSeen) != 0 {
+		return fmt.Errorf("%w: UnmarshalState on a non-fresh node", ErrBadParams)
+	}
+	if codec == nil {
+		return fmt.Errorf("%w: nil codec", ErrBadParams)
+	}
+	r := msg.NewReader(data)
+	if string(r.Blob()) != vssStateMagic {
+		return fmt.Errorf("vss: bad state magic")
+	}
+	gr := nd.params.Group
+
+	nd.dealt = r.Bool()
+	nd.sendHandled = r.Bool()
+	nd.done = r.Bool()
+	nd.share = r.BigPtr()
+	outC, err := DecodeMatrixPtr(r, gr)
+	if err != nil {
+		return err
+	}
+	nd.outC = outC
+	nd.readyProof = DecodeSignedReadies(r)
+	nd.echoSeen = r.NodeSet()
+	nd.readySeen = r.NodeSet()
+
+	nCS, err := r.ListLen(stateListMax)
+	if err != nil {
+		return err
+	}
+	nd.cstates = make(map[[32]byte]*cstate, nCS)
+	for i := 0; i < nCS; i++ {
+		var h [32]byte
+		hb := r.Blob()
+		if len(hb) != 32 {
+			return fmt.Errorf("vss: bad cstate digest length %d", len(hb))
+		}
+		copy(h[:], hb)
+		cs := &cstate{points: make(map[msg.NodeID]*big.Int)}
+		if cs.c, err = DecodeMatrixPtr(r, gr); err != nil {
+			return err
+		}
+		if cs.c != nil && cs.c.T() != nd.params.T {
+			return fmt.Errorf("vss: snapshot matrix degree %d, want %d", cs.c.T(), nd.params.T)
+		}
+		nPts, err := r.ListLen(stateListMax)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nPts; j++ {
+			id := r.Node()
+			cs.points[id] = r.Big()
+		}
+		cs.echoCount = int(r.U32())
+		cs.readyCount = int(r.U32())
+		cs.readySigs = DecodeSignedReadies(r)
+		cs.sentReady = r.Bool()
+		if cs.aBar, err = DecodePolyPtr(r, gr.Q()); err != nil {
+			return err
+		}
+		if cs.aRow, err = DecodePolyPtr(r, gr.Q()); err != nil {
+			return err
+		}
+		nd.cstates[h] = cs
+	}
+
+	nPend, err := r.ListLen(stateListMax)
+	if err != nil {
+		return err
+	}
+	nd.pending = make(map[[32]byte][]pendingPoint, nPend)
+	for i := 0; i < nPend; i++ {
+		var h [32]byte
+		hb := r.Blob()
+		if len(hb) != 32 {
+			return fmt.Errorf("vss: bad pending digest length %d", len(hb))
+		}
+		copy(h[:], hb)
+		nPts, err := r.ListLen(stateListMax)
+		if err != nil {
+			return err
+		}
+		pps := make([]pendingPoint, 0, nPts)
+		for j := 0; j < nPts; j++ {
+			pps = append(pps, pendingPoint{
+				from:  r.Node(),
+				alpha: r.BigPtr(),
+				ready: r.Bool(),
+				sig:   r.Blob(),
+			})
+		}
+		nd.pending[h] = pps
+	}
+
+	if nd.outLog, err = codec.DecodeBodyLog(r); err != nil {
+		return err
+	}
+	if nd.helpFrom, err = msg.DecodeCounterMap(r); err != nil {
+		return err
+	}
+	nd.helpTotal = int(r.U32())
+
+	nd.recStarted = r.Bool()
+	nd.recSeen = r.NodeSet()
+	nRec, err := r.ListLen(stateListMax)
+	if err != nil {
+		return err
+	}
+	nd.recPoints = nil
+	for i := 0; i < nRec; i++ {
+		nd.recPoints = append(nd.recPoints, poly.Point{X: int64(r.U64()), Y: r.Big()})
+	}
+	nRP, err := r.ListLen(stateListMax)
+	if err != nil {
+		return err
+	}
+	nd.recPending, nd.recPendingSrc = nil, nil
+	for i := 0; i < nRP; i++ {
+		src := r.Node()
+		sess := decodeSession(r)
+		share := r.BigPtr()
+		nd.recPending = append(nd.recPending, RecShareMsg{Session: sess, Share: share})
+		nd.recPendingSrc = append(nd.recPendingSrc, src)
+	}
+	nd.reconstructed = r.BigPtr()
+	return r.Done()
+}
+
+// --- nullable crypto-object helpers (shared with internal/dkg) -------
+
+// EncodeMatrixPtr appends a nullable commitment matrix.
+func EncodeMatrixPtr(w *msg.Writer, m *commit.Matrix) error {
+	if m == nil {
+		w.Bool(false)
+		return nil
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	w.Bool(true)
+	w.Blob(enc)
+	return nil
+}
+
+// DecodeMatrixPtr reads a matrix written by EncodeMatrixPtr.
+func DecodeMatrixPtr(r *msg.Reader, gr *group.Group) (*commit.Matrix, error) {
+	if !r.Bool() {
+		return nil, nil
+	}
+	enc := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return commit.UnmarshalMatrix(gr, enc)
+}
+
+// EncodePolyPtr appends a nullable polynomial (ascending coefficients).
+func EncodePolyPtr(w *msg.Writer, p *poly.Poly) {
+	if p == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	coeffs := p.Coeffs()
+	w.U32(uint32(len(coeffs)))
+	for _, c := range coeffs {
+		w.Big(c)
+	}
+}
+
+// DecodePolyPtr reads a polynomial written by EncodePolyPtr.
+func DecodePolyPtr(r *msg.Reader, q *big.Int) (*poly.Poly, error) {
+	if !r.Bool() {
+		return nil, nil
+	}
+	n, err := r.ListLen(4096)
+	if err != nil {
+		return nil, err
+	}
+	coeffs := make([]*big.Int, n)
+	for i := range coeffs {
+		coeffs[i] = r.Big()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return poly.FromCoeffs(q, coeffs)
+}
+
+func sortedHashes(m map[[32]byte]*cstate) [][32]byte {
+	out := make([][32]byte, 0, len(m))
+	for h := range m {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out
+}

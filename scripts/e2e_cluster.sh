@@ -4,6 +4,12 @@
 # sessions each, and gate on every node printing the same public key
 # per session (and different keys across sessions).
 #
+# Phase 2 exercises durable restart recovery: a 4-node cluster with
+# --state-dir in which node 1 (the initial leader) is SIGKILLed while
+# the DKG is provably mid-protocol, then restarted from its state
+# directory — the DKG must still complete on every node, including the
+# restarted one.
+#
 # Runs locally (./scripts/e2e_cluster.sh) and as the CI e2e job.
 set -euo pipefail
 
@@ -101,3 +107,98 @@ if [ "$cross" -ne "$SESSIONS" ]; then
 fi
 
 echo "== e2e cluster OK: $SESSIONS concurrent sessions, one key per session"
+
+# ---------------------------------------------------------------------
+# Phase 2: kill one node mid-DKG and restart it from --state-dir.
+#
+# Choreography that makes "mid-protocol" deterministic rather than a
+# timing race: launch only nodes 1 and 2 first. Two nodes are below
+# the VSS echo threshold (ceil((n+t+1)/2) = 3), so no session can
+# complete — whenever the kill lands, node 1 dies mid-dealing with a
+# populated WAL. Then nodes 3 and 4 join, node 1 restarts from its
+# state directory, resumes both sessions via snapshot+WAL replay plus
+# the protocol's help machinery, and the whole cluster must finish.
+RESTART_PORT=$((BASE_PORT + 10))
+rpeers=""
+for i in $(seq 1 "$N"); do
+  rpeers+="${rpeers:+,}$i=127.0.0.1:$((RESTART_PORT + i))"
+done
+
+rlaunch() {
+  local i=$1 tag=$2
+  "$workdir/dkgnode" serve \
+    -id "$i" -listen "127.0.0.1:$((RESTART_PORT + i))" \
+    -peers "$rpeers" -keys "$workdir/keys.json" \
+    -n "$N" -t "$T" -sessions "$SESSIONS" -timeout "$TIMEOUT" \
+    -state-dir "$workdir/state$i" -snapshot-every 8 \
+    >"$workdir/restart-node$i.$tag.out" 2>"$workdir/restart-node$i.$tag.err" </dev/null &
+  rpids[$i]=$!
+}
+
+echo "== restart phase: launching nodes 1+2 (below echo threshold: guaranteed stuck mid-protocol)"
+declare -a rpids
+rlaunch 1 a
+rlaunch 2 a
+pids+=("${rpids[1]}" "${rpids[2]}")
+sleep 2
+
+echo "== SIGKILL node 1 mid-DKG"
+kill -9 "${rpids[1]}" 2>/dev/null || { echo "!! node 1 exited before the kill (unexpected)" >&2; exit 1; }
+wait "${rpids[1]}" 2>/dev/null || true
+if [ ! -s "$workdir/state1/sess-1.wal" ]; then
+  echo "!! node 1 left no WAL behind" >&2
+  exit 1
+fi
+
+echo "== launching nodes 3+4 and restarting node 1 from its state directory"
+rlaunch 3 a
+rlaunch 4 a
+sleep 0.3
+rlaunch 1 b
+pids+=("${rpids[1]}" "${rpids[3]}" "${rpids[4]}")
+
+status=0
+for i in 1 2 3 4; do
+  if ! wait "${rpids[$i]}"; then
+    echo "!! restart phase: node $i exited non-zero" >&2
+    status=1
+  fi
+done
+pids=()
+if [ "$status" -ne 0 ]; then
+  tail -n +1 "$workdir"/restart-node*.err >&2 || true
+  exit "$status"
+fi
+
+if ! grep -q "restored" "$workdir/restart-node1.b.err"; then
+  echo "!! restarted node did not restore from its state directory" >&2
+  cat "$workdir/restart-node1.b.err" >&2
+  exit 1
+fi
+
+echo "== validating restart-phase session keys"
+for s in $(seq 1 "$SESSIONS"); do
+  keys=$(
+    for i in $(seq 1 "$N"); do
+      cat "$workdir/restart-node$i".*.out 2>/dev/null | python3 -c '
+import json, sys
+session = int(sys.argv[1])
+for line in sys.stdin:
+    doc = json.loads(line)
+    if doc["session"] == session:
+        print(doc["publicKey"])
+        break
+' "$s"
+    done
+  )
+  count=$(printf '%s\n' "$keys" | wc -l)
+  uniq_count=$(printf '%s\n' "$keys" | sort -u | wc -l)
+  if [ "$count" -ne "$N" ] || [ "$uniq_count" -ne 1 ]; then
+    echo "!! restart session $s: expected $N matching keys, got $count keys ($uniq_count distinct)" >&2
+    tail -n +1 "$workdir"/restart-node*.out >&2 || true
+    exit 1
+  fi
+  echo "   restart session $s: $N/$N nodes agree on $(printf '%s\n' "$keys" | head -1 | cut -c1-16)…"
+done
+
+echo "== e2e restart OK: node 1 SIGKILLed mid-DKG, restarted from --state-dir, cluster completed"
