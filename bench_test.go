@@ -546,6 +546,120 @@ func BenchmarkE15SessionThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE17BatchVerify measures the batched verification engine
+// against the per-item path on the protocol's two verification
+// floods, across both group backends at n=13, t=4:
+//
+//   - point-verify: the 2(n−1) echo/ready point checks a verifier
+//     without a trusted row polynomial performs per dealing —
+//     per-item Matrix.VerifyPoint versus one commit.BatchVerifier
+//     flush (interpolation + randomized-linear-combination
+//     multi-exp, cost independent of the flood size);
+//   - partial-sig: n−t partial signatures on one message — per-item
+//     thresh.VerifyPartial versus one thresh.BatchVerifyPartials
+//     call.
+//
+// Both legs are timed pairwise inside each iteration (the E15
+// discipline) so machine noise cancels in the speedup metric. The
+// row-evaluation memo is warmed for both legs alike; what remains is
+// exactly the exponentiation work batching amortizes.
+func BenchmarkE17BatchVerify(b *testing.B) {
+	const n, t = 13, 4
+	const self = 3 // the verifier's own index
+	for _, name := range []string{"test256", "p256"} {
+		gr, err := group.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := randutil.NewReader(17)
+		secret, _ := gr.RandScalar(r)
+		f, err := poly.NewRandomSymmetric(gr.Q(), secret, t, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := commit.NewMatrix(gr, f)
+		alphas := make([]*big.Int, n+1)
+		for s := int64(1); s <= n; s++ {
+			alphas[s] = f.Eval(s, self)
+		}
+		if !m.VerifyPoint(self, 1, alphas[1]) { // warm the row memo
+			b.Fatal("fixture broken")
+		}
+		b.Run(name+"/point-verify", func(b *testing.B) {
+			var unbatchedNs, batchedNs int64
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				for s := int64(1); s <= n; s++ {
+					if s == self {
+						continue
+					}
+					// echo and ready each carry the point
+					if !m.VerifyPoint(self, s, alphas[s]) || !m.VerifyPoint(self, s, alphas[s]) {
+						b.Fatal("verify failed")
+					}
+				}
+				unbatchedNs += time.Since(t0).Nanoseconds()
+
+				t1 := time.Now()
+				bv := commit.NewBatchVerifier(gr)
+				for s := int64(1); s <= n; s++ {
+					if s == self {
+						continue
+					}
+					bv.AddPoint(s, m, self, s, alphas[s])
+					bv.AddPoint(s, m, self, s, alphas[s])
+				}
+				if bad := bv.Flush(); bad != nil {
+					b.Fatal("batch rejected valid points")
+				}
+				batchedNs += time.Since(t1).Nanoseconds()
+			}
+			b.ReportMetric(float64(unbatchedNs)/float64(b.N)/1e3, "unbatched-us/flood")
+			b.ReportMetric(float64(batchedNs)/float64(b.N)/1e3, "batched-us/flood")
+			b.ReportMetric(float64(unbatchedNs)/float64(batchedNs), "speedup")
+		})
+
+		keyPoly, _ := poly.NewRandom(gr.Q(), t, r)
+		noncePoly, _ := poly.NewRandom(gr.Q(), t, r)
+		keyV, nonceV := commit.NewVector(gr, keyPoly), commit.NewVector(gr, noncePoly)
+		message := []byte("E17 batch verification")
+		partials := make([]thresh.PartialSig, 0, n-t)
+		for s := int64(1); s <= n-t; s++ {
+			p, err := thresh.PartialSign(gr,
+				thresh.KeyShare{Self: msg.NodeID(s), Share: keyPoly.EvalInt(s), V: keyV},
+				thresh.KeyShare{Self: msg.NodeID(s), Share: noncePoly.EvalInt(s), V: nonceV},
+				message)
+			if err != nil {
+				b.Fatal(err)
+			}
+			partials = append(partials, p)
+		}
+		b.Run(name+"/partial-sig", func(b *testing.B) {
+			var unbatchedNs, batchedNs int64
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				for _, p := range partials {
+					if !thresh.VerifyPartial(gr, keyV, nonceV, message, p) {
+						b.Fatal("verify failed")
+					}
+				}
+				unbatchedNs += time.Since(t0).Nanoseconds()
+
+				t1 := time.Now()
+				for _, ok := range thresh.BatchVerifyPartials(gr, keyV, nonceV, message, partials) {
+					if !ok {
+						b.Fatal("batch rejected valid partial")
+					}
+				}
+				batchedNs += time.Since(t1).Nanoseconds()
+			}
+			b.ReportMetric(float64(unbatchedNs)/float64(b.N)/1e3, "unbatched-us/set")
+			b.ReportMetric(float64(batchedNs)/float64(b.N)/1e3, "batched-us/set")
+			b.ReportMetric(float64(unbatchedNs)/float64(batchedNs), "speedup")
+		})
+	}
+}
+
 // e16Journal journals every frame delivered to the victim, the way
 // the session engine's write-ahead path does in deployment.
 type e16Journal struct {

@@ -29,6 +29,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"os/signal"
 	"strconv"
@@ -323,6 +326,7 @@ func serve(args []string) error {
 		stateDir  = fs.String("state-dir", "", "durable state directory (WAL + snapshots); enables restart recovery")
 		snapEvery = fs.Int("snapshot-every", 64, "events between periodic state snapshots (with -state-dir)")
 		syncEvery = fs.Int("sync-every", 1, "fsync the WAL every N appends (with -state-dir; negative = page cache only)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -332,6 +336,23 @@ func serve(args []string) error {
 	}
 	if *sessions < 0 || *base == 0 {
 		return fmt.Errorf("bad -sessions/-session-base")
+	}
+	if *pprofAddr != "" {
+		// Live-cluster profiling endpoint: `go tool pprof
+		// http://<addr>/debug/pprof/profile` against a serving node.
+		// Failure to bind is reported but not fatal — profiling must
+		// never take a DKG participant down.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "node %d: pprof listen %s: %v\n", *cf.id, *pprofAddr, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "node %d: pprof on http://%s/debug/pprof/\n", *cf.id, ln.Addr())
+			go func() {
+				if err := http.Serve(ln, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "node %d: pprof server: %v\n", *cf.id, err)
+				}
+			}()
+		}
 	}
 	var st *store.Store
 	if *stateDir != "" {

@@ -1,0 +1,261 @@
+package commit
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"math/big"
+
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/poly"
+)
+
+// BatchSoundnessBits is the bit length of the random blinders in
+// batched verification. A batch containing at least one invalid check
+// passes the randomized-linear-combination test with probability at
+// most 2^−BatchSoundnessBits (per flush, over the verifier's fresh
+// local randomness — the adversary commits to its messages before the
+// blinders are drawn). Failed batches fall back to per-item
+// verification, so a forged batch can waste one multi-exp but never
+// smuggle an invalid point past the protocol.
+const BatchSoundnessBits = 64
+
+// BatchVerifier accumulates pending verify-point checks — the
+// (sender, point) claims of the HybridVSS echo/ready flood — and
+// verifies them together. Checks against the same commitment matrix
+// and verifier index form a group; a group of at least t+1 distinct
+// senders is verified SCRAPE-style:
+//
+//  1. interpolate the candidate row polynomial P through t+1 of the
+//     claimed points (degree t, so t+1 points determine it);
+//  2. check the remaining points by scalar evaluation against P;
+//  3. check P against the commitment with one randomized linear
+//     combination over the coefficient identities g^{P_ℓ} = R_ℓ —
+//     a single multi-exponentiation whose cost is independent of the
+//     number of queued points.
+//
+// All groups flushed together share one combined multi-exp; on a
+// combined failure each group re-verifies alone, and a failing group
+// falls back to per-item Matrix.VerifyPoint so Byzantine senders are
+// individually identified (the accusation paths above see exactly the
+// same accept/reject verdicts as unbatched verification).
+//
+// A BatchVerifier is not safe for concurrent use; protocol state
+// machines own one each, matching their single-threaded discipline.
+type BatchVerifier struct {
+	gr     *group.Group
+	groups map[batchKey]*pointGroup
+	order  []batchKey // deterministic flush order
+	n      int
+	failed []any // checks rejected at Add time (range/shape)
+}
+
+type batchKey struct {
+	m *Matrix
+	i int64
+}
+
+type pointCheck struct {
+	tag    any
+	sender int64
+	alpha  *big.Int
+}
+
+type pointGroup struct {
+	checks []pointCheck
+}
+
+// NewBatchVerifier creates an empty batch verifier for gr.
+func NewBatchVerifier(gr *group.Group) *BatchVerifier {
+	return &BatchVerifier{gr: gr, groups: make(map[batchKey]*pointGroup)}
+}
+
+// AddPoint queues the claim verify-point(m, i, sender, alpha): alpha =
+// f(sender, i) under m's committed bivariate polynomial. tag is
+// returned by Flush if the claim turns out invalid.
+func (bv *BatchVerifier) AddPoint(tag any, m *Matrix, i, sender int64, alpha *big.Int) {
+	if m == nil || alpha == nil || alpha.Sign() < 0 || alpha.Cmp(m.gr.Q()) >= 0 ||
+		!m.gr.Equal(bv.gr) {
+		bv.failed = append(bv.failed, tag)
+		return
+	}
+	k := batchKey{m: m, i: i}
+	g, ok := bv.groups[k]
+	if !ok {
+		g = &pointGroup{}
+		bv.groups[k] = g
+		bv.order = append(bv.order, k)
+	}
+	g.checks = append(g.checks, pointCheck{tag: tag, sender: sender, alpha: alpha})
+	bv.n++
+}
+
+// Pending reports how many queued checks the next Flush will verify.
+func (bv *BatchVerifier) Pending() int { return bv.n }
+
+// Flush verifies every queued check and resets the verifier. It
+// returns the tags of the checks that failed (nil when all passed).
+func (bv *BatchVerifier) Flush() []any {
+	bad := bv.failed
+	groups, order := bv.groups, bv.order
+	bv.groups = make(map[batchKey]*pointGroup)
+	bv.order = nil
+	bv.failed = nil
+	bv.n = 0
+
+	// Build each group's RLC equation; groups too small (or oddly
+	// shaped) for the interpolation trick verify per item.
+	var eqs []builtEq
+	for _, k := range order {
+		g := groups[k]
+		eq, ok := bv.buildEq(k, g)
+		if !ok {
+			bad = append(bad, verifyEach(k.m, k.i, g.checks)...)
+			continue
+		}
+		eq.key, eq.g = k, g
+		eqs = append(eqs, eq)
+	}
+	if len(eqs) == 0 {
+		return bad
+	}
+
+	// One combined multi-exp over every group's equation. Blinders are
+	// independent per coefficient identity, so the combined identity is
+	// sound for all groups at once.
+	combined := bv.checkIdentity(eqs)
+	for _, eq := range eqs {
+		ok := combined
+		if !combined && len(eqs) > 1 {
+			// Isolate: re-check this group's equation alone.
+			ok = bv.checkIdentity(eqs[:0:0], eq)
+		}
+		if !ok {
+			// The interpolated polynomial does not match the
+			// commitment: at least one interpolation point was forged.
+			// Identify senders individually.
+			bad = append(bad, verifyEach(eq.key.m, eq.key.i, eq.g.checks)...)
+			continue
+		}
+		// P is the committed row polynomial; the per-check evaluation
+		// verdicts are now authoritative.
+		for ci, ok := range eq.valid {
+			if !ok {
+				bad = append(bad, eq.g.checks[ci].tag)
+			}
+		}
+	}
+	return bad
+}
+
+// builtEq is the RLC form of one group's poly-consistency check.
+type builtEq struct {
+	key   batchKey
+	g     *pointGroup
+	rows  []group.Element
+	blind []*big.Int
+	gExp  *big.Int // Σ r_ℓ·P_ℓ, the generator-side exponent
+	valid []bool   // per-check scalar-evaluation verdict
+}
+
+// buildEq interpolates the candidate row polynomial for one group and
+// assembles its blinded coefficient identities. ok is false when the
+// group cannot profit from batching (too few distinct senders, odd
+// indices, or no randomness) and should verify per item.
+func (bv *BatchVerifier) buildEq(k batchKey, g *pointGroup) (builtEq, bool) {
+	t := k.m.T()
+	if len(g.checks) <= t {
+		return builtEq{}, false
+	}
+	// Distinct senders, first claim wins; conflicting duplicate claims
+	// can't both hold, so evaluation classifies them after the fact.
+	first := make(map[int64]*big.Int, len(g.checks))
+	var pts []poly.Point
+	for _, c := range g.checks {
+		if c.sender <= 0 {
+			return builtEq{}, false // outside the protocol's index space
+		}
+		if _, dup := first[c.sender]; dup {
+			continue
+		}
+		first[c.sender] = c.alpha
+		if len(pts) <= t {
+			pts = append(pts, poly.Point{X: c.sender, Y: c.alpha})
+		}
+	}
+	if len(pts) <= t {
+		return builtEq{}, false
+	}
+	q := bv.gr.Q()
+	p, err := poly.InterpolatePoly(q, pts)
+	if err != nil {
+		return builtEq{}, false
+	}
+	valid := make([]bool, len(g.checks))
+	evalMemo := make(map[int64]*big.Int, len(first))
+	for ci, c := range g.checks {
+		v, ok := evalMemo[c.sender]
+		if !ok {
+			v = p.EvalInt(c.sender)
+			evalMemo[c.sender] = v
+		}
+		valid[ci] = v.Cmp(c.alpha) == 0
+	}
+	blind, err := RandBlinders(t + 1)
+	if err != nil {
+		return builtEq{}, false
+	}
+	gExp := new(big.Int)
+	tmp := new(big.Int)
+	for l := 0; l <= t; l++ {
+		tmp.Mul(blind[l], p.Coeff(l))
+		gExp.Add(gExp, tmp)
+	}
+	gExp.Mod(gExp, q)
+	return builtEq{rows: k.m.rowsFor(k.i), blind: blind, gExp: gExp, valid: valid}, true
+}
+
+// checkIdentity evaluates the product over the given equations of
+// g^{−gExp}·Π rows[ℓ]^{blind[ℓ]} and reports whether it is the
+// identity — the single randomized-linear-combination multi-exp of
+// the flush.
+func (bv *BatchVerifier) checkIdentity(eqs []builtEq, extra ...builtEq) bool {
+	var bases []group.Element
+	var exps []*big.Int
+	gSum := new(big.Int)
+	for _, eq := range append(eqs, extra...) {
+		bases = append(bases, eq.rows...)
+		exps = append(exps, eq.blind...)
+		gSum.Add(gSum, eq.gExp)
+	}
+	bases = append(bases, bv.gr.Generator())
+	exps = append(exps, bv.gr.NegQ(gSum))
+	return bv.gr.VarTimeMultiExp(bases, exps).Equal(bv.gr.Identity())
+}
+
+// verifyEach runs the unbatched per-item predicate, returning the tags
+// of the failing checks.
+func verifyEach(m *Matrix, i int64, checks []pointCheck) []any {
+	var bad []any
+	for _, c := range checks {
+		if !m.VerifyPoint(i, c.sender, c.alpha) {
+			bad = append(bad, c.tag)
+		}
+	}
+	return bad
+}
+
+// RandBlinders samples n fresh BatchSoundnessBits-bit blinders from
+// crypto/rand. It is shared by every randomized-linear-combination
+// batch verifier in the stack (this package's point batches, the
+// threshold layer's partial-signature batches).
+func RandBlinders(n int) ([]*big.Int, error) {
+	buf := make([]byte, 8*n)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int).SetUint64(binary.BigEndian.Uint64(buf[i*8:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package commit
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/randutil"
+)
+
+// batchFixture builds a committed bivariate polynomial and the true
+// points f(m, i) the echo/ready flood would carry to verifier i.
+type batchFixture struct {
+	gr *group.Group
+	f  *poly.BiPoly
+	m  *Matrix
+	i  int64
+}
+
+func newBatchFixture(t *testing.T, gr *group.Group, deg int, seed uint64) *batchFixture {
+	t.Helper()
+	r := randutil.NewReader(seed)
+	secret, err := gr.RandScalar(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := poly.NewRandomSymmetric(gr.Q(), secret, deg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &batchFixture{gr: gr, f: f, m: NewMatrix(gr, f), i: 3}
+}
+
+func (fx *batchFixture) point(sender int64) *big.Int { return fx.f.Eval(sender, fx.i) }
+
+func batchBackends(t *testing.T) []*group.Group {
+	t.Helper()
+	return []*group.Group{group.Test256(), group.P256()}
+}
+
+// TestBatchVerifyAllValid: a full flood of valid echo+ready points
+// passes in one flush with no failures.
+func TestBatchVerifyAllValid(t *testing.T) {
+	for _, gr := range batchBackends(t) {
+		t.Run(gr.Name(), func(t *testing.T) {
+			fx := newBatchFixture(t, gr, 4, 11)
+			bv := NewBatchVerifier(gr)
+			n := int64(13)
+			for m := int64(1); m <= n; m++ {
+				bv.AddPoint(fmt.Sprintf("echo-%d", m), fx.m, fx.i, m, fx.point(m))
+				bv.AddPoint(fmt.Sprintf("ready-%d", m), fx.m, fx.i, m, fx.point(m))
+			}
+			if got := bv.Pending(); got != int(2*n) {
+				t.Fatalf("Pending = %d, want %d", got, 2*n)
+			}
+			if bad := bv.Flush(); bad != nil {
+				t.Fatalf("valid batch reported failures: %v", bad)
+			}
+			if bv.Pending() != 0 {
+				t.Fatal("Flush did not reset the verifier")
+			}
+		})
+	}
+}
+
+// TestBatchVerifyIdentifiesCorruptSender: one corrupted point among k
+// valid ones must fail the batch and be identified individually by the
+// fallback path, leaving all valid senders accepted.
+func TestBatchVerifyIdentifiesCorruptSender(t *testing.T) {
+	for _, gr := range batchBackends(t) {
+		t.Run(gr.Name(), func(t *testing.T) {
+			// Corrupt each position in turn: inside the interpolation
+			// set (batch fails, fallback identifies) and outside it
+			// (evaluation identifies).
+			for corrupt := int64(1); corrupt <= 13; corrupt += 3 {
+				fx := newBatchFixture(t, gr, 4, 23+uint64(corrupt))
+				bv := NewBatchVerifier(gr)
+				for m := int64(1); m <= 13; m++ {
+					alpha := fx.point(m)
+					if m == corrupt {
+						alpha = fx.gr.AddQ(alpha, big.NewInt(1))
+					}
+					bv.AddPoint(m, fx.m, fx.i, m, alpha)
+				}
+				bad := bv.Flush()
+				if len(bad) != 1 || bad[0].(int64) != corrupt {
+					t.Fatalf("corrupt sender %d: fallback identified %v", corrupt, bad)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchVerifyConflictingDuplicates: a sender submitting two
+// different values for the same point (echo/ready equivocation at the
+// commit layer) has at most one accepted, and valid senders are
+// unaffected.
+func TestBatchVerifyConflictingDuplicates(t *testing.T) {
+	gr := group.Test256()
+	fx := newBatchFixture(t, gr, 2, 5)
+	bv := NewBatchVerifier(gr)
+	for m := int64(1); m <= 7; m++ {
+		bv.AddPoint(fmt.Sprintf("ok-%d", m), fx.m, fx.i, m, fx.point(m))
+	}
+	bv.AddPoint("dup-bad", fx.m, fx.i, 2, gr.AddQ(fx.point(2), big.NewInt(7)))
+	bad := bv.Flush()
+	if len(bad) != 1 || bad[0].(string) != "dup-bad" {
+		t.Fatalf("conflicting duplicate: failures %v", bad)
+	}
+}
+
+// TestBatchVerifySmallGroupsAndRejects: groups below t+1 distinct
+// senders fall back to per-item verification with identical verdicts,
+// and out-of-range scalars are rejected at Add time.
+func TestBatchVerifySmallGroupsAndRejects(t *testing.T) {
+	gr := group.Test256()
+	fx := newBatchFixture(t, gr, 4, 31)
+	bv := NewBatchVerifier(gr)
+	bv.AddPoint("v1", fx.m, fx.i, 1, fx.point(1))
+	bv.AddPoint("bad", fx.m, fx.i, 2, gr.AddQ(fx.point(2), big.NewInt(1)))
+	bv.AddPoint("range", fx.m, fx.i, 3, gr.Q()) // α ∉ [0, q)
+	bv.AddPoint("nil", fx.m, fx.i, 4, nil)
+	bad := bv.Flush()
+	if len(bad) != 3 {
+		t.Fatalf("want 3 failures, got %v", bad)
+	}
+	seen := map[string]bool{}
+	for _, tag := range bad {
+		seen[tag.(string)] = true
+	}
+	if !seen["bad"] || !seen["range"] || !seen["nil"] || seen["v1"] {
+		t.Fatalf("wrong failure set: %v", bad)
+	}
+}
+
+// TestBatchVerifyMultiGroupFlush: checks against several matrices (the
+// multi-session engine shape) share one flush; a corruption in one
+// group must not disturb the others.
+func TestBatchVerifyMultiGroupFlush(t *testing.T) {
+	gr := group.P256()
+	fxA := newBatchFixture(t, gr, 2, 41)
+	fxB := newBatchFixture(t, gr, 2, 42)
+	bv := NewBatchVerifier(gr)
+	for m := int64(1); m <= 7; m++ {
+		bv.AddPoint(fmt.Sprintf("A%d", m), fxA.m, fxA.i, m, fxA.point(m))
+		alpha := fxB.point(m)
+		if m == 5 {
+			alpha = gr.AddQ(alpha, big.NewInt(3))
+		}
+		bv.AddPoint(fmt.Sprintf("B%d", m), fxB.m, fxB.i, m, alpha)
+	}
+	bad := bv.Flush()
+	if len(bad) != 1 || bad[0].(string) != "B5" {
+		t.Fatalf("multi-group flush failures: %v", bad)
+	}
+}
+
+// TestBatchSoundnessStatistical: a forged batch must not pass the
+// randomized-linear-combination check. The real bound is
+// 2^−BatchSoundnessBits per flush — far beyond direct sampling — so
+// the statistical check runs many independent flushes of a forged
+// batch (fresh blinders each time) and requires every single one to
+// fail; with 64-bit blinders even one pass in 10⁴ trials would
+// witness a soundness bug at p ≈ 10⁻¹⁵.
+func TestBatchSoundnessStatistical(t *testing.T) {
+	gr := group.Test256()
+	fx := newBatchFixture(t, gr, 2, 77)
+	trials := 200
+	if testing.Short() {
+		trials = 20
+	}
+	for trial := 0; trial < trials; trial++ {
+		bv := NewBatchVerifier(gr)
+		// A forged set: consistent low-degree points that do NOT match
+		// the commitment (shifted polynomial) — the strongest shape,
+		// since the interpolated candidate is well-defined and only the
+		// RLC multi-exp stands between it and acceptance.
+		for m := int64(1); m <= 7; m++ {
+			bv.AddPoint(m, fx.m, fx.i, m, gr.AddQ(fx.point(m), big.NewInt(int64(trial+1))))
+		}
+		bad := bv.Flush()
+		if len(bad) != 7 {
+			t.Fatalf("trial %d: forged batch passed for %d of 7 senders", trial, 7-len(bad))
+		}
+	}
+}
+
+// TestBatchMatchesUnbatchedVerdicts cross-checks batched verdicts
+// against Matrix.VerifyPoint on a randomized mix of valid and invalid
+// points (the fallback-semantics contract: batching must be verdict-
+// preserving).
+func TestBatchMatchesUnbatchedVerdicts(t *testing.T) {
+	for _, gr := range batchBackends(t) {
+		t.Run(gr.Name(), func(t *testing.T) {
+			r := randutil.NewReader(123)
+			for round := 0; round < 6; round++ {
+				fx := newBatchFixture(t, gr, 3, uint64(100+round))
+				bv := NewBatchVerifier(gr)
+				want := map[int64]bool{}
+				for m := int64(1); m <= 10; m++ {
+					alpha := fx.point(m)
+					b, _ := gr.RandScalar(r)
+					if b.Bit(0) == 1 && b.Bit(1) == 1 { // ~25% corrupted
+						alpha = gr.AddQ(alpha, big.NewInt(1))
+					}
+					want[m] = fx.m.VerifyPoint(fx.i, m, alpha)
+					bv.AddPoint(m, fx.m, fx.i, m, alpha)
+				}
+				got := map[int64]bool{}
+				for m := int64(1); m <= 10; m++ {
+					got[m] = true
+				}
+				for _, tag := range bv.Flush() {
+					got[tag.(int64)] = false
+				}
+				for m := int64(1); m <= 10; m++ {
+					if got[m] != want[m] {
+						t.Fatalf("round %d sender %d: batched=%v unbatched=%v", round, m, got[m], want[m])
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,10 +6,13 @@
 // Pedersen vector commitment as the ablation baseline discussed in §1.
 //
 // A Matrix commits to f(x,y) = Σ f_{jℓ} x^j y^ℓ as C_{jℓ} = g^{f_{jℓ}};
-// a Vector commits to h(y) = Σ h_ℓ y^ℓ as V_ℓ = g^{h_ℓ}. Verification
-// uses Horner-in-the-exponent with the small node indices as
-// exponents, which keeps a verify-point call at O(t²) cheap
-// exponentiations plus a single full-width exponentiation. All element
+// a Vector commits to h(y) = Σ h_ℓ y^ℓ as V_ℓ = g^{h_ℓ}. Single-check
+// verification uses Horner-in-the-exponent with the small node
+// indices as exponents, which keeps a verify-point call at O(t) cheap
+// exponentiations plus one full-width exponentiation; the echo/ready
+// verification flood — the protocol's hottest path — goes through
+// BatchVerifier, which collapses k point checks into one randomized-
+// linear-combination multi-exponentiation (see batch.go). All element
 // arithmetic goes through the pluggable group backend, so commitments
 // work identically over Z_p* and elliptic-curve groups.
 package commit
@@ -298,6 +301,12 @@ func (m *Matrix) hornerRow(j int, i int64) group.Element {
 type Vector struct {
 	gr *group.Group
 	v  []group.Element
+
+	// Hash memo: entries never change after construction, so the
+	// digest is a pure function of the vector — same contract as the
+	// Matrix hash memo.
+	hashOnce sync.Once
+	hash     [32]byte
 }
 
 // NewVector commits to the univariate polynomial h.
@@ -362,10 +371,15 @@ func (vc *Vector) Equal(o *Vector) bool {
 	return true
 }
 
-// Hash returns a SHA-256 digest of the canonical encoding.
+// Hash returns a SHA-256 digest of the canonical encoding, computed
+// once and memoized (vectors are immutable after construction, so
+// invalidation cannot arise).
 func (vc *Vector) Hash() [32]byte {
-	enc, _ := vc.MarshalBinary()
-	return sha256.Sum256(enc)
+	vc.hashOnce.Do(func() {
+		enc, _ := vc.MarshalBinary()
+		vc.hash = sha256.Sum256(enc)
+	})
+	return vc.hash
 }
 
 // MarshalBinary encodes the vector.

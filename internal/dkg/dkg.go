@@ -70,6 +70,10 @@ type Params struct {
 	DMax int
 	// HashedEcho configures the embedded VSS instances.
 	HashedEcho bool
+	// DisableBatch turns off the embedded VSS instances' batched point
+	// verification (see vss.Params.DisableBatch); batching is on by
+	// default.
+	DisableBatch bool
 	// Directory and SignKey provide message authentication.
 	Directory *sig.Directory
 	SignKey   []byte
@@ -276,15 +280,16 @@ func NewNode(params Params, tau uint64, self msg.NodeID, runtime Runtime, opts O
 		armedTimers:  make(map[uint64]bool),
 	}
 	vssParams := vss.Params{
-		Group:      params.Group,
-		N:          params.N,
-		T:          params.T,
-		F:          params.F,
-		DMax:       params.DMax,
-		HashedEcho: params.HashedEcho,
-		Extended:   true,
-		Directory:  params.Directory,
-		SignKey:    params.SignKey,
+		Group:        params.Group,
+		N:            params.N,
+		T:            params.T,
+		F:            params.F,
+		DMax:         params.DMax,
+		HashedEcho:   params.HashedEcho,
+		DisableBatch: params.DisableBatch,
+		Extended:     true,
+		Directory:    params.Directory,
+		SignKey:      params.SignKey,
 	}
 	for d := 1; d <= params.N; d++ {
 		dealer := msg.NodeID(d)

@@ -93,6 +93,16 @@ type Backend interface {
 	// Backends keep the running value in their fastest internal
 	// representation across the whole chain. v must be non-empty.
 	Horner(v []Element, x int64) Element
+	// MultiExp returns Π bases[i]^exps[i] with every scalar
+	// multiplication on the backend's secret-safe per-term path.
+	// Exponents are reduced mod q; slices must have equal length.
+	MultiExp(bases []Element, exps []*big.Int) Element
+	// VarTimeMultiExp returns Π bases[i]^exps[i] on the variable-time
+	// verification fast path (Straus interleaving for few terms,
+	// Pippenger buckets for many), staying in the backend's fastest
+	// internal representation across the whole accumulation. It must
+	// only see public bases and exponents.
+	VarTimeMultiExp(bases []Element, exps []*big.Int) Element
 	// Contains reports whether e is a valid element of this group.
 	Contains(e Element) bool
 	// Decode parses a canonical encoding, validating membership.

@@ -1,0 +1,202 @@
+package group
+
+import "math/big"
+
+// MultiExp implements Backend by per-term modexp: the same data path
+// Exp takes for each term, so secret exponents gain no new timing
+// surface beyond what single exponentiations already have.
+func (b *ModP) MultiExp(bases []Element, exps []*big.Int) Element {
+	if len(bases) != len(exps) {
+		panic("group: multiexp bases/exps length mismatch")
+	}
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	for i, base := range bases {
+		e := exps[i]
+		if e.Sign() < 0 || e.Cmp(b.q) >= 0 {
+			e = new(big.Int).Mod(e, b.q)
+		}
+		tmp.Exp(b.el(base).v, e, b.p)
+		acc.Mul(acc, tmp)
+		acc.Mod(acc, b.p)
+	}
+	return &modpElement{v: acc}
+}
+
+// VarTimeMultiExp implements Backend. Generator terms (and any base
+// registered with Precompute) are peeled off and served from their
+// fixed-base windowed tables — zero squarings; the rest run through
+// interleaved Straus windows for small term counts or Pippenger
+// buckets for large ones, sharing one squaring chain across all
+// terms. All arithmetic keeps the accumulator as a raw residue with
+// an explicit quotient receiver, the same inner-loop discipline as
+// Horner.
+func (b *ModP) VarTimeMultiExp(bases []Element, exps []*big.Int) Element {
+	if len(bases) != len(exps) {
+		panic("group: multiexp bases/exps length mismatch")
+	}
+	red, _ := reduceExps(b.q, exps)
+
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	quo := new(big.Int)
+	mulAcc := func(v *big.Int) {
+		tmp.Mul(acc, v)
+		quo.QuoRem(tmp, b.p, acc)
+	}
+
+	// Split fixed-base terms (served from windowed tables) from the
+	// general ones; generator exponents merge into one table lookup.
+	gExp := new(big.Int)
+	var genBases []*big.Int
+	var genExps []*big.Int
+	for i, base := range bases {
+		e := red[i]
+		if e.Sign() == 0 {
+			continue
+		}
+		v := b.el(base).v
+		if v.Cmp(one) == 0 {
+			continue // identity base
+		}
+		if v.Cmp(b.g) == 0 {
+			gExp.Add(gExp, e)
+			continue
+		}
+		if e.Cmp(one) == 0 {
+			mulAcc(v) // unit exponent: a bare multiplication
+			continue
+		}
+		if t := b.tableFor(v); t != nil && t.covers(e) {
+			mulAcc(t.exp(e))
+			continue
+		}
+		genBases = append(genBases, v)
+		genExps = append(genExps, e)
+	}
+	if gExp.Sign() != 0 {
+		gExp.Mod(gExp, b.q)
+		if gExp.Sign() != 0 {
+			mulAcc(b.generatorTable().exp(gExp))
+		}
+	}
+
+	switch {
+	case len(genBases) == 0:
+		// nothing further
+	case len(genBases) == 1:
+		mulAcc(new(big.Int).Exp(genBases[0], genExps[0], b.p))
+	case len(genBases) >= pippengerCutoff:
+		mulAcc(b.pippenger(genBases, genExps))
+	default:
+		mulAcc(b.straus(genBases, genExps))
+	}
+	return &modpElement{v: acc}
+}
+
+// straus computes Π bases[i]^exps[i] by interleaved fixed-window
+// evaluation: per-base tables of the powers 1..2^w−1, one shared
+// squaring chain over the longest exponent. Exponents are canonical
+// scalars; bases are residues. Unsigned windows — Z_p* inversions are
+// a full ModInverse each, so signed digits don't pay here.
+func (b *ModP) straus(bases, exps []*big.Int) *big.Int {
+	maxBits := 0
+	for _, e := range exps {
+		if l := e.BitLen(); l > maxBits {
+			maxBits = l
+		}
+	}
+	w := strausWindow(maxBits)
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	quo := new(big.Int)
+	// tab[i][d-1] = bases[i]^d for d in [1, 2^w); explicit quotient
+	// receivers keep big.Int.Mod's hidden per-call allocation out of
+	// the table build (the same discipline as the Horner hot loop).
+	tab := make([][]*big.Int, len(bases))
+	for i, base := range bases {
+		row := make([]*big.Int, (1<<w)-1)
+		row[0] = base
+		for d := 1; d < len(row); d++ {
+			row[d] = new(big.Int)
+			tmp.Mul(row[d-1], base)
+			quo.QuoRem(tmp, b.p, row[d])
+		}
+		tab[i] = row
+	}
+	windows := (maxBits + int(w) - 1) / int(w)
+	for wi := windows - 1; wi >= 0; wi-- {
+		if acc.Cmp(one) != 0 {
+			for s := uint(0); s < w; s++ {
+				tmp.Mul(acc, acc)
+				quo.QuoRem(tmp, b.p, acc)
+			}
+		}
+		off := wi * int(w)
+		for i, e := range exps {
+			if d := windowDigit(e, off, w); d != 0 {
+				tmp.Mul(acc, tab[i][d-1])
+				quo.QuoRem(tmp, b.p, acc)
+			}
+		}
+	}
+	return acc
+}
+
+// pippenger computes Π bases[i]^exps[i] by bucket accumulation: per
+// window level, each base lands in the bucket of its digit and the
+// buckets collapse with the descending running-product trick — no
+// per-base tables, ~one multiplication per term per level.
+func (b *ModP) pippenger(bases, exps []*big.Int) *big.Int {
+	maxBits := 0
+	for _, e := range exps {
+		if l := e.BitLen(); l > maxBits {
+			maxBits = l
+		}
+	}
+	w := pippengerWindow(len(bases))
+	buckets := make([]*big.Int, (1<<w)-1)
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	quo := new(big.Int)
+	windows := (maxBits + int(w) - 1) / int(w)
+	for wi := windows - 1; wi >= 0; wi-- {
+		if acc.Cmp(one) != 0 {
+			for s := uint(0); s < w; s++ {
+				tmp.Mul(acc, acc)
+				quo.QuoRem(tmp, b.p, acc)
+			}
+		}
+		off := wi * int(w)
+		for i := range buckets {
+			buckets[i] = nil
+		}
+		for i, e := range exps {
+			d := windowDigit(e, off, w)
+			if d == 0 {
+				continue
+			}
+			if buckets[d-1] == nil {
+				buckets[d-1] = new(big.Int).Set(bases[i])
+			} else {
+				tmp.Mul(buckets[d-1], bases[i])
+				quo.QuoRem(tmp, b.p, buckets[d-1])
+			}
+		}
+		// Σ d·bucket[d] as running products: run = Π_{j≥d} bucket[j],
+		// level = Π_d run_d.
+		run := big.NewInt(1)
+		level := big.NewInt(1)
+		for d := len(buckets) - 1; d >= 0; d-- {
+			if buckets[d] != nil {
+				tmp.Mul(run, buckets[d])
+				quo.QuoRem(tmp, b.p, run)
+			}
+			tmp.Mul(level, run)
+			quo.QuoRem(tmp, b.p, level)
+		}
+		tmp.Mul(acc, level)
+		quo.QuoRem(tmp, b.p, acc)
+	}
+	return acc
+}

@@ -1,0 +1,147 @@
+package group
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Multi-exponentiation — Π_i bases[i]^exps[i] in one pass — is the
+// primitive behind every batched verification in the layers above:
+// commitment identity checks, randomized-linear-combination batch
+// verification of echo/ready points, and batched partial-signature
+// checks. Backends provide two flavours:
+//
+//   - MultiExp keeps every secret-dependent scalar operation on the
+//     backend's safest per-term path (the constant-time ladder on
+//     p256, plain modexp on modp) and only shares the final
+//     combination. Use it when any exponent is secret.
+//   - VarTimeMultiExp is the verification fast path: Straus
+//     interleaving (shared doublings/squarings across all terms) for
+//     small term counts and Pippenger bucket accumulation for large
+//     ones, with fixed-base acceleration for generator terms. Its
+//     running time depends on the exponent values, so it must only
+//     ever see public data — which is exactly what verification
+//     equations are made of.
+//
+// Both reduce exponents mod q first (negative inputs included), skip
+// identity bases and zero exponents, and return the group identity for
+// an empty term list. Mismatched slice lengths are a programming
+// error and panic, matching the backends' foreign-element handling.
+
+// MultiExp returns Π bases[i]^exps[i] using per-term secret-safe
+// exponentiation. See the package notes on multi-exponentiation.
+func (gr *Group) MultiExp(bases []Element, exps []*big.Int) Element {
+	checkMultiExpArgs(bases, exps)
+	return gr.b.MultiExp(bases, exps)
+}
+
+// VarTimeMultiExp returns Π bases[i]^exps[i] on the variable-time
+// Straus/Pippenger path. Exponents and bases must be public data.
+func (gr *Group) VarTimeMultiExp(bases []Element, exps []*big.Int) Element {
+	checkMultiExpArgs(bases, exps)
+	return gr.b.VarTimeMultiExp(bases, exps)
+}
+
+func checkMultiExpArgs(bases []Element, exps []*big.Int) {
+	if len(bases) != len(exps) {
+		panic("group: multiexp bases/exps length mismatch")
+	}
+	for _, e := range exps {
+		if e == nil {
+			panic("group: nil multiexp exponent")
+		}
+	}
+}
+
+// reduceExps returns copies of exps reduced into [0, q), plus the bit
+// length of the largest reduced exponent.
+func reduceExps(q *big.Int, exps []*big.Int) (out []*big.Int, maxBits int) {
+	out = make([]*big.Int, len(exps))
+	for i, e := range exps {
+		r := e
+		if e.Sign() < 0 || e.Cmp(q) >= 0 {
+			r = new(big.Int).Mod(e, q)
+		}
+		out[i] = r
+		if b := r.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	return out, maxBits
+}
+
+// pippengerCutoff is the term count above which bucket accumulation
+// (no per-base tables, cost ~k adds per window) beats interleaved
+// tables (per-base precomputation).
+const pippengerCutoff = 32
+
+// strausWindow picks the signed-window width for an exponent of the
+// given bit length: the table holds 2^(w-2) odd multiples per base and
+// the expected nonzero-digit density is 1/(w+1), so wider windows only
+// pay once exponents are long enough to amortize the table.
+func strausWindow(expBits int) uint {
+	switch {
+	case expBits <= 8:
+		return 2
+	case expBits <= 32:
+		return 3
+	case expBits <= 96:
+		return 4
+	case expBits <= 256:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// pippengerWindow picks the unsigned bucket-window width for k terms:
+// each window level costs k bucket additions plus ~2·2^w running-sum
+// additions, so w grows with log k.
+func pippengerWindow(k int) uint {
+	w := uint(bits.Len(uint(k))) - 2
+	if w < 4 {
+		w = 4
+	}
+	if w > 12 {
+		w = 12
+	}
+	return w
+}
+
+// wnafDigits returns the width-w NAF of e: one signed digit per bit
+// position, each either zero or odd with |d| < 2^(w-1). The sum
+// Σ d_i·2^i equals e, and at most one of any w consecutive digits is
+// nonzero. w must be in [2, 7] (digits fit int8).
+func wnafDigits(e *big.Int, w uint) []int8 {
+	if w < 2 || w > 7 {
+		panic("group: wNAF width out of range")
+	}
+	digits := make([]int8, e.BitLen()+1)
+	v := new(big.Int).Set(e)
+	mask := int64(1<<w - 1)
+	half := int64(1 << (w - 1))
+	for i := 0; v.Sign() > 0; i++ {
+		if v.Bit(0) == 1 {
+			// Low word access: v > 0 here, and w ≤ 7 bits fit in the
+			// lowest word on every platform.
+			d := int64(v.Bits()[0]) & mask
+			if d >= half {
+				d -= mask + 1
+			}
+			digits[i] = int8(d)
+			v.Sub(v, big.NewInt(d))
+		}
+		v.Rsh(v, 1)
+	}
+	return digits
+}
+
+// windowDigit extracts the unsigned w-bit digit of e at bit offset
+// off (little-endian digit order).
+func windowDigit(e *big.Int, off int, w uint) uint {
+	var d uint
+	for b := uint(0); b < w; b++ {
+		d |= e.Bit(off+int(b)) << b
+	}
+	return d
+}

@@ -23,6 +23,9 @@ import (
 type P256Backend struct {
 	curve elliptic.Curve
 	q     *big.Int
+	// Flat-limb base-point coordinates, for the multi-exp generator
+	// fast path (compare-and-peel into one ScalarBaseMult).
+	genFx, genFy fe
 }
 
 var _ Backend = (*P256Backend)(nil)
@@ -75,7 +78,10 @@ func (e *p256Element) String() string { return hex.EncodeToString(e.Bytes()) }
 // NewP256 returns the P-256 backend.
 func NewP256() *P256Backend {
 	c := elliptic.P256()
-	return &P256Backend{curve: c, q: new(big.Int).Set(c.Params().N)}
+	b := &P256Backend{curve: c, q: new(big.Int).Set(c.Params().N)}
+	feFromBig(&b.genFx, c.Params().Gx)
+	feFromBig(&b.genFy, c.Params().Gy)
+	return b
 }
 
 // Name implements Backend.
@@ -277,7 +283,9 @@ func (b *P256Backend) Precompute(Element) {}
 // double-and-add path (node indices and other public small integers).
 const smallExpBits = 32
 
-var feOne = fe{1, 0, 0, 0}
+// feOne is 1 in the field layer's internal (Montgomery) domain; it is
+// initialized by that layer's init.
+var feOne fe
 
 // jp is a Jacobian point; Z = 0 is infinity.
 type jp struct{ x, y, z fe }

@@ -1,0 +1,293 @@
+package group
+
+import "math/big"
+
+// MultiExp implements Backend: each term runs on crypto/elliptic's
+// constant-time ladder (the same path Exp takes for full-width
+// scalars), so secret exponents never touch the variable-time
+// Jacobian machinery; only the final combination is shared.
+func (b *P256Backend) MultiExp(bases []Element, exps []*big.Int) Element {
+	if len(bases) != len(exps) {
+		panic("group: multiexp bases/exps length mismatch")
+	}
+	acc := b.Identity()
+	for i, base := range bases {
+		e := exps[i]
+		if e.Sign() < 0 || e.Cmp(b.q) >= 0 {
+			e = new(big.Int).Mod(e, b.q)
+		}
+		acc = b.Mul(acc, b.Exp(base, e))
+	}
+	return acc
+}
+
+// mulEquivalents of the curve operations, used to choose between
+// including a full-width term in the shared Jacobian accumulation and
+// handing it to crypto/elliptic's (assembly-backed, but per-term)
+// ladder. Units are field multiplications; the ladder constants were
+// measured against this package's feMul.
+const (
+	costDouble     = 8
+	costMixedAdd   = 11
+	costScalarMult = 680
+)
+
+// VarTimeMultiExp implements Backend. Generator terms merge into one
+// ScalarBaseMult; the remaining terms run through interleaved
+// signed-window (wNAF) Straus for small counts or Pippenger buckets
+// for large ones, entirely in Jacobian flat-limb coordinates with one
+// field inversion at the end (plus one inversion normalizing the
+// precomputed tables). Full-width non-generator exponents fall back to
+// per-term constant-time ladders when the shared squaring chain they
+// would force costs more than the ladder calls.
+func (b *P256Backend) VarTimeMultiExp(bases []Element, exps []*big.Int) Element {
+	if len(bases) != len(exps) {
+		panic("group: multiexp bases/exps length mismatch")
+	}
+	red, _ := reduceExps(b.q, exps)
+
+	gExp := new(big.Int)
+	var pts []*p256Element
+	var es []*big.Int
+	for i, base := range bases {
+		e := red[i]
+		if e.Sign() == 0 {
+			continue
+		}
+		pe := b.el(base)
+		if pe.infinity() {
+			continue
+		}
+		if pe.fx == b.genFx && pe.fy == b.genFy {
+			gExp.Add(gExp, e)
+			continue
+		}
+		pts = append(pts, pe)
+		es = append(es, e)
+	}
+
+	var acc jp // accumulator, starts at infinity
+	var a ap
+
+	// Unit exponents are bare point additions; peeling them keeps a
+	// lone full-width companion term on the per-term ladder path.
+	if len(es) > 1 {
+		kept, keptE := pts[:0], es[:0]
+		for i, e := range es {
+			if e.Cmp(one) == 0 {
+				apFromElement(&a, pts[i])
+				jpAddAffine(&acc, &a)
+				continue
+			}
+			kept = append(kept, pts[i])
+			keptE = append(keptE, e)
+		}
+		pts, es = kept, keptE
+	}
+
+	// Decide which terms share the Jacobian chain. The chain's
+	// doubling count is set by the largest included exponent, so a few
+	// stray full-width terms among short ones can cost more inside the
+	// chain than on per-term ladders.
+	smallMax, largeMax, nLarge := 0, 0, 0
+	for _, e := range es {
+		l := e.BitLen()
+		if l > 96 {
+			nLarge++
+			if l > largeMax {
+				largeMax = l
+			}
+		} else if l > smallMax {
+			smallMax = l
+		}
+	}
+	ladderLarge := false
+	if nLarge > 0 && len(es) < pippengerCutoff {
+		w := int(strausWindow(largeMax))
+		extraDbl := (largeMax - smallMax) * costDouble
+		perTerm := largeMax/(w+1)*costMixedAdd + (1<<(w-2))*costMixedAdd
+		ladderLarge = nLarge*costScalarMult < extraDbl+nLarge*perTerm
+	}
+	if ladderLarge {
+		kept := pts[:0]
+		keptE := es[:0]
+		for i, e := range es {
+			if e.BitLen() > 96 {
+				rx, ry := b.curve.ScalarMult(pts[i].x, pts[i].y, b.scalarBytes(e))
+				apFromElement(&a, newP256Element(rx, ry))
+				jpAddAffine(&acc, &a)
+				continue
+			}
+			kept = append(kept, pts[i])
+			keptE = append(keptE, e)
+		}
+		pts, es = kept, keptE
+	}
+
+	// The shared chain accumulates into a fresh point (its doubling
+	// ladder must not touch contributions already merged into acc).
+	var chain jp
+	switch {
+	case len(pts) == 0:
+		// nothing in the shared chain
+	case len(pts) >= pippengerCutoff:
+		b.pippengerJP(&chain, pts, es)
+		jpAdd(&acc, &chain)
+	default:
+		b.strausJP(&chain, pts, es)
+		jpAdd(&acc, &chain)
+	}
+
+	gExp.Mod(gExp, b.q)
+	if gExp.Sign() != 0 {
+		rx, ry := b.curve.ScalarBaseMult(gExp.Bytes())
+		apFromElement(&a, newP256Element(rx, ry))
+		jpAddAffine(&acc, &a)
+	}
+	return b.jpToAffine(&acc)
+}
+
+// strausJP accumulates Π pts[i]^es[i] into acc (which must start at
+// infinity) by interleaved wNAF:
+// per-base tables of odd multiples (batch-normalized to affine so the
+// inner loop is all mixed additions), one shared doubling chain over
+// the longest exponent.
+func (b *P256Backend) strausJP(acc *jp, pts []*p256Element, es []*big.Int) {
+	type baseTab struct {
+		digits []int8
+		tab    []ap // odd multiples 1,3,…,2^(w−1)−1
+	}
+	tabs := make([]baseTab, len(pts))
+	var all []jp // every table entry, for one shared normalization
+	maxLen := 0
+	for i, pt := range pts {
+		w := strausWindow(es[i].BitLen())
+		digits := wnafDigits(es[i], w)
+		if len(digits) > maxLen {
+			maxLen = len(digits)
+		}
+		n := 1 << (w - 2)
+		var p1, p2 jp
+		jpFromElement(&p1, pt)
+		all = append(all, p1)
+		if n > 1 {
+			p2 = p1
+			jpDouble(&p2) // 2P, for stepping between odd multiples
+			cur := p1
+			for d := 1; d < n; d++ {
+				jpAdd(&cur, &p2)
+				all = append(all, cur)
+			}
+		}
+		tabs[i] = baseTab{digits: digits, tab: make([]ap, n)}
+	}
+	aff := b.batchToAffine(all)
+	off := 0
+	for i := range tabs {
+		n := len(tabs[i].tab)
+		copy(tabs[i].tab, aff[off:off+n])
+		off += n
+	}
+
+	var neg ap
+	for pos := maxLen - 1; pos >= 0; pos-- {
+		if !feIsZero(&acc.z) {
+			jpDouble(acc)
+		}
+		for i := range tabs {
+			if pos >= len(tabs[i].digits) {
+				continue
+			}
+			d := tabs[i].digits[pos]
+			switch {
+			case d > 0:
+				jpAddAffine(acc, &tabs[i].tab[d>>1])
+			case d < 0:
+				neg = tabs[i].tab[(-d)>>1]
+				feNeg(&neg.y, &neg.y)
+				jpAddAffine(acc, &neg)
+			}
+		}
+	}
+}
+
+// pippengerJP accumulates Π pts[i]^es[i] into acc (which must start
+// at infinity) by bucket
+// accumulation: no per-base tables, ~one mixed addition per term per
+// window level plus the running-sum collapse.
+func (b *P256Backend) pippengerJP(acc *jp, pts []*p256Element, es []*big.Int) {
+	maxBits := 0
+	for _, e := range es {
+		if l := e.BitLen(); l > maxBits {
+			maxBits = l
+		}
+	}
+	w := pippengerWindow(len(pts))
+	buckets := make([]jp, (1<<w)-1)
+	used := make([]bool, len(buckets))
+	var a ap
+	windows := (maxBits + int(w) - 1) / int(w)
+	for wi := windows - 1; wi >= 0; wi-- {
+		if !feIsZero(&acc.z) {
+			for s := uint(0); s < w; s++ {
+				jpDouble(acc)
+			}
+		}
+		for i := range buckets {
+			buckets[i] = jp{}
+			used[i] = false
+		}
+		off := wi * int(w)
+		for i, e := range es {
+			d := windowDigit(e, off, w)
+			if d == 0 {
+				continue
+			}
+			apFromElement(&a, pts[i])
+			jpAddAffine(&buckets[d-1], &a)
+			used[d-1] = true
+		}
+		var run, level jp
+		for d := len(buckets) - 1; d >= 0; d-- {
+			if used[d] {
+				jpAdd(&run, &buckets[d])
+			}
+			jpAdd(&level, &run)
+		}
+		jpAdd(acc, &level)
+	}
+}
+
+// batchToAffine converts Jacobian points to affine with a single field
+// inversion (Montgomery's trick over the Z coordinates). Inputs must
+// not be at infinity.
+func (b *P256Backend) batchToAffine(pts []jp) []ap {
+	out := make([]ap, len(pts))
+	if len(pts) == 0 {
+		return out
+	}
+	// prefix[i] = Z_0·…·Z_i
+	prefix := make([]fe, len(pts))
+	prefix[0] = pts[0].z
+	for i := 1; i < len(pts); i++ {
+		feMul(&prefix[i], &prefix[i-1], &pts[i].z)
+	}
+	inv := feToBig(&prefix[len(pts)-1])
+	inv.ModInverse(inv, b.curve.Params().P)
+	var run fe // (Z_0·…·Z_i)⁻¹ for the current i
+	feFromBig(&run, inv)
+	var zi, zi2 fe
+	for i := len(pts) - 1; i >= 0; i-- {
+		if i == 0 {
+			zi = run
+		} else {
+			feMul(&zi, &run, &prefix[i-1]) // Z_i⁻¹
+			feMul(&run, &run, &pts[i].z)   // (Z_0·…·Z_{i-1})⁻¹
+		}
+		feSqr(&zi2, &zi)
+		feMul(&out[i].x, &pts[i].x, &zi2)
+		feMul(&out[i].y, &pts[i].y, &zi2)
+		feMul(&out[i].y, &out[i].y, &zi)
+	}
+	return out
+}

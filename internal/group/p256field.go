@@ -2,9 +2,14 @@ package group
 
 // Flat-limb arithmetic for the P-256 base field, used by the Jacobian
 // verification fast path. A field element is four little-endian 64-bit
-// limbs holding a value < p; multiplication reduces the 512-bit
-// product with the NIST fast-reduction identity for
-// p = 2²⁵⁶ − 2²²⁴ + 2¹⁹² + 2⁹⁶ − 1 (FIPS 186-4 D.2.3). Everything is
+// limbs in the Montgomery domain (value·2²⁵⁶ mod p): multiplication is
+// a schoolbook 4×4 product followed by Montgomery reduction, which is
+// particularly cheap for this prime because p ≡ −1 (mod 2⁶⁴) makes
+// the per-round quotient digit the accumulator word itself (n0′ = 1).
+// feFromBig/feToBig are the only domain boundary — everything between
+// them (the Jacobian formulas, the multi-exp accumulators) is
+// domain-oblivious, and the zero element and limb equality are
+// preserved by the Montgomery bijection. Everything is
 // stack-allocated, so a whole Horner chain performs no heap work
 // beyond the single final inversion.
 //
@@ -17,13 +22,31 @@ import (
 	"math/bits"
 )
 
-// fe is a P-256 base-field element: little-endian limbs, value < p.
+// fe is a P-256 base-field element: little-endian limbs, value < p,
+// Montgomery domain.
 type fe [4]uint64
 
 // p256P is the field prime p, little-endian limbs.
 var p256P = fe{0xffffffffffffffff, 0x00000000ffffffff, 0x0000000000000000, 0xffffffff00000001}
 
-func feFromBig(z *fe, v *big.Int) {
+// p256RR is R² mod p (R = 2²⁵⁶) and feMontOne is R mod p (the
+// Montgomery representation of 1); both are derived from p at init so
+// no transcribed constant can silently diverge from p256P.
+var (
+	p256RR    fe
+	feMontOne fe
+)
+
+func init() {
+	p := feRawToBig(&p256P)
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	feRawFromBig(&feMontOne, new(big.Int).Mod(r, p))
+	feRawFromBig(&p256RR, new(big.Int).Mod(new(big.Int).Mul(r, r), p))
+	feOne = feMontOne
+}
+
+// feRawFromBig loads limbs without domain conversion.
+func feRawFromBig(z *fe, v *big.Int) {
 	var buf [32]byte
 	v.FillBytes(buf[:])
 	for i := 0; i < 4; i++ {
@@ -33,7 +56,8 @@ func feFromBig(z *fe, v *big.Int) {
 	}
 }
 
-func feToBig(z *fe) *big.Int {
+// feRawToBig reads limbs without domain conversion.
+func feRawToBig(z *fe) *big.Int {
 	var buf [32]byte
 	for i := 0; i < 4; i++ {
 		l := z[3-i]
@@ -47,6 +71,20 @@ func feToBig(z *fe) *big.Int {
 		buf[i*8+7] = byte(l)
 	}
 	return new(big.Int).SetBytes(buf[:])
+}
+
+// feFromBig converts a canonical value into the Montgomery domain.
+func feFromBig(z *fe, v *big.Int) {
+	var raw fe
+	feRawFromBig(&raw, v)
+	feMul(z, &raw, &p256RR) // v·R²·R⁻¹ = v·R
+}
+
+// feToBig converts back to a canonical big.Int value.
+func feToBig(z *fe) *big.Int {
+	var out fe
+	feMontReduceRegs(&out, z[0], z[1], z[2], z[3], 0, 0, 0, 0) // v·R·R⁻¹ = v
+	return feRawToBig(&out)
 }
 
 func feIsZero(z *fe) bool { return z[0]|z[1]|z[2]|z[3] == 0 }
@@ -77,6 +115,19 @@ func feSub(z, x, y *fe) {
 	}
 }
 
+// feNeg sets z = −x mod p. x must be < p; the result is 0 for x = 0.
+func feNeg(z, x *fe) {
+	if feIsZero(x) {
+		*z = fe{}
+		return
+	}
+	var b uint64
+	z[0], b = bits.Sub64(p256P[0], x[0], 0)
+	z[1], b = bits.Sub64(p256P[1], x[1], b)
+	z[2], b = bits.Sub64(p256P[2], x[2], b)
+	z[3], _ = bits.Sub64(p256P[3], x[3], b)
+}
+
 // feReduceOnce conditionally subtracts p when the value (with incoming
 // carry bit) is ≥ p.
 func feReduceOnce(z *fe, carry uint64) {
@@ -91,138 +142,106 @@ func feReduceOnce(z *fe, carry uint64) {
 	}
 }
 
-// feMul sets z = x·y mod p (schoolbook 4×4 multiply + NIST reduction).
+// madd returns a·b + c + d as a 128-bit (hi, lo) pair. The sum cannot
+// overflow: (2⁶⁴−1)² + 2(2⁶⁴−1) = 2¹²⁸ − 1.
+func madd(a, b, c, d uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, c, 0)
+	hi += carry
+	lo, carry = bits.Add64(lo, d, 0)
+	hi += carry
+	return
+}
+
+// feMul sets z = x·y (Montgomery product: fully unrolled schoolbook
+// 4×4 multiply + Montgomery reduction, everything in registers).
 func feMul(z, x, y *fe) {
-	var t [8]uint64
-	for i := 0; i < 4; i++ {
-		var carry uint64
-		for j := 0; j < 4; j++ {
-			hi, lo := bits.Mul64(x[i], y[j])
-			var c1, c2 uint64
-			lo, c1 = bits.Add64(lo, t[i+j], 0)
-			lo, c2 = bits.Add64(lo, carry, 0)
-			t[i+j] = lo
-			carry = hi + c1 + c2 // hi ≤ 2⁶⁴−2³³+1, cannot overflow
-		}
-		t[i+4] = carry
-	}
-	feReduceWide(z, &t)
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	y0, y1, y2, y3 := y[0], y[1], y[2], y[3]
+
+	// row 0: x0·y
+	c, t0 := bits.Mul64(x0, y0)
+	c, t1 := madd(x0, y1, c, 0)
+	c, t2 := madd(x0, y2, c, 0)
+	t4, t3 := madd(x0, y3, c, 0)
+	// row 1: x1·y added at offset 1
+	c, t1 = madd(x1, y0, t1, 0)
+	c, t2 = madd(x1, y1, t2, c)
+	c, t3 = madd(x1, y2, t3, c)
+	t5, t4 := madd(x1, y3, t4, c)
+	// row 2
+	c, t2 = madd(x2, y0, t2, 0)
+	c, t3 = madd(x2, y1, t3, c)
+	c, t4 = madd(x2, y2, t4, c)
+	t6, t5 := madd(x2, y3, t5, c)
+	// row 3
+	c, t3 = madd(x3, y0, t3, 0)
+	c, t4 = madd(x3, y1, t4, c)
+	c, t5 = madd(x3, y2, t5, c)
+	t7, t6 := madd(x3, y3, t6, c)
+
+	feMontReduceRegs(z, t0, t1, t2, t3, t4, t5, t6, t7)
+}
+
+// feMontReduceRegs is Montgomery reduction over register-resident
+// limbs: four rounds of m ← lowest live limb; t += m·p at that offset,
+// exploiting p ≡ −1 (mod 2⁶⁴) (the quotient digit is the limb itself)
+// and p's zero limb 2. Adding m·p zeroes the round's low limb, so each
+// round is two madds and a carry ripple; the result is t/2²⁵⁶ < 2p,
+// finished by one conditional subtraction.
+func feMontReduceRegs(z *fe, t0, t1, t2, t3, t4, t5, t6, t7 uint64) {
+	var ex, c, hi, lo, carry uint64
+
+	// round 0: m = t0
+	hi, lo = bits.Mul64(t0, p256P[0])
+	_, c = bits.Add64(t0, lo, 0)
+	carry = hi + c
+	hi, t1 = madd(t0, p256P[1], t1, carry)
+	t2, carry = bits.Add64(t2, hi, 0)
+	hi, t3 = madd(t0, p256P[3], t3, carry)
+	t4, c = bits.Add64(t4, hi, 0)
+	t5, c = bits.Add64(t5, 0, c)
+	t6, c = bits.Add64(t6, 0, c)
+	t7, c = bits.Add64(t7, 0, c)
+	ex += c
+
+	// round 1: m = t1
+	hi, lo = bits.Mul64(t1, p256P[0])
+	_, c = bits.Add64(t1, lo, 0)
+	carry = hi + c
+	hi, t2 = madd(t1, p256P[1], t2, carry)
+	t3, carry = bits.Add64(t3, hi, 0)
+	hi, t4 = madd(t1, p256P[3], t4, carry)
+	t5, c = bits.Add64(t5, hi, 0)
+	t6, c = bits.Add64(t6, 0, c)
+	t7, c = bits.Add64(t7, 0, c)
+	ex += c
+
+	// round 2: m = t2
+	hi, lo = bits.Mul64(t2, p256P[0])
+	_, c = bits.Add64(t2, lo, 0)
+	carry = hi + c
+	hi, t3 = madd(t2, p256P[1], t3, carry)
+	t4, carry = bits.Add64(t4, hi, 0)
+	hi, t5 = madd(t2, p256P[3], t5, carry)
+	t6, c = bits.Add64(t6, hi, 0)
+	t7, c = bits.Add64(t7, 0, c)
+	ex += c
+
+	// round 3: m = t3
+	hi, lo = bits.Mul64(t3, p256P[0])
+	_, c = bits.Add64(t3, lo, 0)
+	carry = hi + c
+	hi, t4 = madd(t3, p256P[1], t4, carry)
+	t5, carry = bits.Add64(t5, hi, 0)
+	hi, t6 = madd(t3, p256P[3], t6, carry)
+	t7, c = bits.Add64(t7, hi, 0)
+	ex += c
+
+	z[0], z[1], z[2], z[3] = t4, t5, t6, t7
+	feReduceOnce(z, ex)
 }
 
 // feSqr sets z = x² mod p.
 func feSqr(z, x *fe) { feMul(z, x, x) }
-
-// feReduceWide reduces a 512-bit product to z < p using the P-256
-// Solinas identity: with the product split into 32-bit words c0..c15,
-//
-//	d = s1 + 2·s2 + 2·s3 + s4 + s5 − s6 − s7 − s8 − s9 (mod p)
-//
-// for the nine word-assemblies defined in FIPS 186-4 D.2.3. The
-// signed combination is computed as (positives + 5p − negatives) in a
-// 320-bit accumulator, then brought into [0, p) by an estimated-
-// quotient subtraction.
-func feReduceWide(z *fe, t *[8]uint64) {
-	c := func(i int) uint64 { // 32-bit word i of the product
-		w := t[i/2]
-		if i&1 == 1 {
-			return w >> 32
-		}
-		return w & 0xffffffff
-	}
-	// pack builds the fe with 32-bit words (a7..a0), a0 least
-	// significant.
-	pack := func(a7, a6, a5, a4, a3, a2, a1, a0 uint64) fe {
-		return fe{a1<<32 | a0, a3<<32 | a2, a5<<32 | a4, a7<<32 | a6}
-	}
-	s1 := pack(c(7), c(6), c(5), c(4), c(3), c(2), c(1), c(0))
-	s2 := pack(c(15), c(14), c(13), c(12), c(11), 0, 0, 0)
-	s3 := pack(0, c(15), c(14), c(13), c(12), 0, 0, 0)
-	s4 := pack(c(15), c(14), 0, 0, 0, c(10), c(9), c(8))
-	s5 := pack(c(8), c(13), c(15), c(14), c(13), c(11), c(10), c(9))
-	s6 := pack(c(10), c(8), 0, 0, 0, c(13), c(12), c(11))
-	s7 := pack(c(11), c(9), 0, 0, c(15), c(14), c(13), c(12))
-	s8 := pack(c(12), 0, c(10), c(9), c(8), c(15), c(14), c(13))
-	s9 := pack(c(13), 0, c(11), c(10), c(9), 0, c(15), c(14))
-
-	// acc = 5p + s1 + 2(s2+s3) + s4 + s5 − s6 − s7 − s8 − s9 ≥ 0.
-	acc := [5]uint64{p256x5[0], p256x5[1], p256x5[2], p256x5[3], p256x5[4]}
-	add5 := func(s *fe, twice bool) {
-		var c uint64
-		acc[0], c = bits.Add64(acc[0], s[0], 0)
-		acc[1], c = bits.Add64(acc[1], s[1], c)
-		acc[2], c = bits.Add64(acc[2], s[2], c)
-		acc[3], c = bits.Add64(acc[3], s[3], c)
-		acc[4] += c
-		if twice {
-			var c uint64
-			acc[0], c = bits.Add64(acc[0], s[0], 0)
-			acc[1], c = bits.Add64(acc[1], s[1], c)
-			acc[2], c = bits.Add64(acc[2], s[2], c)
-			acc[3], c = bits.Add64(acc[3], s[3], c)
-			acc[4] += c
-		}
-	}
-	sub5 := func(s *fe) {
-		var b uint64
-		acc[0], b = bits.Sub64(acc[0], s[0], 0)
-		acc[1], b = bits.Sub64(acc[1], s[1], b)
-		acc[2], b = bits.Sub64(acc[2], s[2], b)
-		acc[3], b = bits.Sub64(acc[3], s[3], b)
-		acc[4] -= b
-	}
-	add5(&s1, false)
-	add5(&s2, true)
-	add5(&s3, true)
-	add5(&s4, false)
-	add5(&s5, false)
-	sub5(&s6)
-	sub5(&s7)
-	sub5(&s8)
-	sub5(&s9)
-
-	// acc < 12·2²⁵⁶; subtract q·p for the quotient estimate q = acc[4].
-	// p is within 2⁻³² of 2²⁵⁶, so the remainder lands below 2p and at
-	// most two conditional subtractions follow.
-	if q := acc[4]; q != 0 {
-		var qp [5]uint64
-		var carry uint64
-		for i := 0; i < 4; i++ {
-			hi, lo := bits.Mul64(q, p256P[i])
-			var c uint64
-			qp[i], c = bits.Add64(lo, carry, 0)
-			carry = hi + c
-		}
-		qp[4] = carry
-		var b uint64
-		acc[0], b = bits.Sub64(acc[0], qp[0], 0)
-		acc[1], b = bits.Sub64(acc[1], qp[1], b)
-		acc[2], b = bits.Sub64(acc[2], qp[2], b)
-		acc[3], b = bits.Sub64(acc[3], qp[3], b)
-		acc[4], _ = bits.Sub64(acc[4], qp[4], b)
-	}
-	// At most two conditional subtractions remain.
-	for acc[4] != 0 || !feLess((*fe)(acc[:4]), &p256P) {
-		var b uint64
-		acc[0], b = bits.Sub64(acc[0], p256P[0], 0)
-		acc[1], b = bits.Sub64(acc[1], p256P[1], b)
-		acc[2], b = bits.Sub64(acc[2], p256P[2], b)
-		acc[3], b = bits.Sub64(acc[3], p256P[3], b)
-		acc[4] -= b
-	}
-	z[0], z[1], z[2], z[3] = acc[0], acc[1], acc[2], acc[3]
-}
-
-// p256x5 = 5p, the offset that keeps the reduction accumulator
-// non-negative (the subtracted assemblies total < 4·2²⁵⁶ < 5p).
-var p256x5 = [5]uint64{
-	0xfffffffffffffffb, 0x00000004ffffffff, 0x0000000000000000, 0xfffffffb00000005, 0x4,
-}
-
-func feLess(x, y *fe) bool {
-	for i := 3; i >= 0; i-- {
-		if x[i] != y[i] {
-			return x[i] < y[i]
-		}
-	}
-	return false
-}

@@ -12,8 +12,11 @@ import (
 // arithmetic against math/big on random and adversarial values.
 func TestP256FieldAgainstBigInt(t *testing.T) {
 	p := elliptic.P256().Params().P
-	if feToBig(&p256P).Cmp(p) != 0 {
+	if feRawToBig(&p256P).Cmp(p) != 0 {
 		t.Fatal("p256P constant wrong")
+	}
+	if feToBig(&feMontOne).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("Montgomery one constant wrong")
 	}
 	pm1 := new(big.Int).Sub(p, big.NewInt(1))
 	special := []*big.Int{

@@ -30,6 +30,8 @@ type ConcurrentDKGOptions struct {
 	Scheme sig.Scheme
 	// HashedEcho configures the embedded VSS instances.
 	HashedEcho bool
+	// DisableBatch turns off the VSS layer's batched point verification.
+	DisableBatch bool
 	// InitialLeader defaults to 1; TimeoutBase to the dkg default.
 	InitialLeader msg.NodeID
 	TimeoutBase   int64
@@ -138,6 +140,7 @@ func RunConcurrentSessions(opts ConcurrentDKGOptions) (*ConcurrentDKGResult, err
 					T:             opts.T,
 					F:             opts.F,
 					HashedEcho:    opts.HashedEcho,
+					DisableBatch:  opts.DisableBatch,
 					Directory:     dir,
 					SignKey:       privs[id],
 					InitialLeader: opts.InitialLeader,

@@ -21,6 +21,8 @@ type DKGOptions struct {
 	Group *group.Group
 	// HashedEcho configures the embedded VSS instances.
 	HashedEcho bool
+	// DisableBatch turns off the VSS layer's batched point verification.
+	DisableBatch bool
 	// InitialLeader defaults to 1.
 	InitialLeader msg.NodeID
 	// TimeoutBase defaults to the dkg package default.
@@ -99,6 +101,7 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 			T:             opts.T,
 			F:             opts.F,
 			HashedEcho:    opts.HashedEcho,
+			DisableBatch:  opts.DisableBatch,
 			Directory:     dir,
 			SignKey:       privs[id],
 			InitialLeader: opts.InitialLeader,

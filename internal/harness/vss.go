@@ -37,6 +37,8 @@ type VSSOptions struct {
 	Secret *big.Int
 	// HashedEcho enables the O(κn³) commitment-hash optimisation.
 	HashedEcho bool
+	// DisableBatch turns off batched point verification (on by default).
+	DisableBatch bool
 	// Extended enables signed readies (uses Ed25519 keys).
 	Extended bool
 	// DMax is the d(κ) crash budget (defaults to N).
@@ -106,13 +108,14 @@ func RunVSS(opts VSSOptions) (*VSSResult, error) {
 func SetupVSS(opts *VSSOptions) (*VSSResult, error) {
 	applyVSSDefaults(opts)
 	params := vss.Params{
-		Group:      opts.Group,
-		N:          opts.N,
-		T:          opts.T,
-		F:          opts.F,
-		DMax:       opts.DMax,
-		HashedEcho: opts.HashedEcho,
-		Extended:   opts.Extended,
+		Group:        opts.Group,
+		N:            opts.N,
+		T:            opts.T,
+		F:            opts.F,
+		DMax:         opts.DMax,
+		HashedEcho:   opts.HashedEcho,
+		DisableBatch: opts.DisableBatch,
+		Extended:     opts.Extended,
 	}
 	session := vss.SessionID{Dealer: 1, Tau: 1}
 

@@ -281,7 +281,8 @@ func LagrangeCoeffsAt(q *big.Int, indices []int64, at int64) ([]*big.Int, error)
 		seen[x] = struct{}{}
 	}
 	atB := big.NewInt(at)
-	out := make([]*big.Int, len(indices))
+	nums := make([]*big.Int, len(indices))
+	dens := make([]*big.Int, len(indices))
 	for i, xi := range indices {
 		num := big.NewInt(1)
 		den := big.NewInt(1)
@@ -299,8 +300,49 @@ func LagrangeCoeffsAt(q *big.Int, indices []int64, at int64) ([]*big.Int, error)
 		if den.Sign() == 0 {
 			return nil, fmt.Errorf("poly: singular denominator at index %d", xi)
 		}
-		out[i] = num.Mul(num, new(big.Int).ModInverse(den, q)).Mod(num, q)
+		nums[i], dens[i] = num, den
 	}
+	// All denominators invert together: Montgomery's trick costs one
+	// ModInverse plus ~3 multiplications per coefficient, instead of
+	// one extended-GCD per coefficient.
+	invs, err := batchInverse(q, dens)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, len(indices))
+	for i, num := range nums {
+		out[i] = num.Mul(num, invs[i]).Mod(num, q)
+	}
+	return out, nil
+}
+
+// batchInverse returns the modular inverses of vals (each nonzero
+// mod q) using a single ModInverse: forward prefix products, invert
+// the total, then walk back dividing out one element at a time.
+func batchInverse(q *big.Int, vals []*big.Int) ([]*big.Int, error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, nil
+	}
+	prefix := make([]*big.Int, n)
+	acc := big.NewInt(1)
+	for i, v := range vals {
+		acc = new(big.Int).Mod(new(big.Int).Mul(acc, v), q)
+		prefix[i] = acc
+	}
+	if prefix[n-1].Sign() == 0 {
+		return nil, errors.New("poly: zero value in batch inversion")
+	}
+	run := new(big.Int).ModInverse(prefix[n-1], q) // (v_0·…·v_{n-1})⁻¹
+	out := make([]*big.Int, n)
+	tmp := new(big.Int)
+	for i := n - 1; i >= 1; i-- {
+		tmp.Mul(run, prefix[i-1])
+		out[i] = new(big.Int).Mod(tmp, q)
+		tmp.Mul(run, vals[i])
+		run.Mod(tmp, q)
+	}
+	out[0] = run
 	return out, nil
 }
 
@@ -351,15 +393,31 @@ func InterpolatePoly(q *big.Int, points []Point) (*Poly, error) {
 		}
 		div[i] = new(big.Int).Mod(pt.Y, q)
 	}
+	// The divided-difference denominators depend only on the x's, so
+	// they are collected up front and inverted together (one
+	// ModInverse for the whole table instead of one per entry — this
+	// runs on the batched-verification hot path).
+	var dens []*big.Int
 	for level := 1; level < n; level++ {
 		for i := n - 1; i >= level; i-- {
-			num := new(big.Int).Sub(div[i], div[i-1])
 			den := new(big.Int).Sub(xs[i], xs[i-level])
 			den.Mod(den, q)
 			if den.Sign() == 0 {
 				return nil, fmt.Errorf("poly: singular divided difference")
 			}
-			num.Mul(num, new(big.Int).ModInverse(den, q))
+			dens = append(dens, den)
+		}
+	}
+	invs, err := batchInverse(q, dens)
+	if err != nil {
+		return nil, err
+	}
+	di := 0
+	for level := 1; level < n; level++ {
+		for i := n - 1; i >= level; i-- {
+			num := new(big.Int).Sub(div[i], div[i-1])
+			num.Mul(num, invs[di])
+			di++
 			div[i] = num.Mod(num, q)
 		}
 	}

@@ -114,8 +114,9 @@ func (s Schnorr) Sign(priv, msg []byte) ([]byte, error) {
 	return encodePair(c, z), nil
 }
 
-// Verify implements Scheme: recompute R' = g^z · y^c and check the
-// challenge.
+// Verify implements Scheme: recompute R' = g^z · y^c as one two-term
+// multi-exponentiation (all operands are public, so the variable-time
+// path applies) and check the challenge.
 func (s Schnorr) Verify(pub, msg, sigBytes []byte) bool {
 	y, err := s.gr.DecodeElement(pub)
 	if err != nil {
@@ -125,7 +126,7 @@ func (s Schnorr) Verify(pub, msg, sigBytes []byte) bool {
 	if !ok || !s.gr.IsScalar(c) || !s.gr.IsScalar(z) {
 		return false
 	}
-	rPrime := s.gr.Mul(s.gr.GExp(z), s.gr.Exp(y, c))
+	rPrime := s.gr.VarTimeMultiExp([]group.Element{s.gr.Generator(), y}, []*big.Int{z, c})
 	cPrime := s.gr.HashToScalar("hybriddkg/schnorr-chal/v1", rPrime.Bytes(), y.Bytes(), msg)
 	return c.Cmp(cPrime) == 0
 }

@@ -87,28 +87,130 @@ func PartialSign(gr *group.Group, key, nonce KeyShare, message []byte) (PartialS
 	return PartialSig{Signer: key.Self, Sigma: sigma}, nil
 }
 
-// VerifyPartial checks σ_i against the two commitments:
-// g^{σ_i} = Vk(i) · V(i)^c.
+// VerifyPartial checks σ_i against the two commitments, as the single
+// multi-exp identity check g^{−σ_i} · Vk(i) · V(i)^c = 1 (the
+// commitment evaluations Vk(i), V(i) stay on the Horner fast path,
+// whose geometric exponent structure a generic multi-exp cannot
+// exploit).
 func VerifyPartial(gr *group.Group, keyV, nonceV *commit.Vector, message []byte, p PartialSig) bool {
 	if p.Sigma == nil || !gr.IsScalar(p.Sigma) {
 		return false
 	}
 	c := challenge(gr, nonceV.PublicKey(), keyV.PublicKey(), message)
-	lhs := gr.GExp(p.Sigma)
-	rhs := gr.Mul(nonceV.Eval(int64(p.Signer)), gr.Exp(keyV.Eval(int64(p.Signer)), c))
-	return lhs.Equal(rhs)
+	acc := gr.VarTimeMultiExp(
+		[]group.Element{gr.Generator(), nonceV.Eval(int64(p.Signer)), keyV.Eval(int64(p.Signer))},
+		[]*big.Int{gr.NegQ(p.Sigma), big.NewInt(1), c},
+	)
+	return acc.Equal(gr.Identity())
 }
 
-// Combine verifies the partials and interpolates the first t+1 valid
-// ones into a full signature.
-func Combine(gr *group.Group, keyV, nonceV *commit.Vector, t int, message []byte, partials []PartialSig) (Signature, error) {
-	pts := make([]poly.Point, 0, t+1)
-	seen := make(map[msg.NodeID]bool, len(partials))
+// BatchVerifyPartials verifies many partial signatures on one message
+// together, returning one verdict per input (identical to per-item
+// VerifyPartial verdicts). The partials σ_i are evaluations of the
+// degree-t polynomial k(x) + c·s(x), whose coefficient commitments
+// are W_ℓ = Vk_ℓ·V_ℓ^c — so, as in batched share verification, the
+// batch interpolates a candidate polynomial P from t+1 claimed
+// partials, classifies the rest by scalar evaluation, and checks P
+// against the commitments with one randomized linear combination:
+//
+//	g^{Σ r_ℓ P_ℓ} = Π_ℓ Vk_ℓ^{r_ℓ} · Π_ℓ V_ℓ^{c·r_ℓ}
+//
+// one multi-exp whose cost does not grow with the number of partials.
+// A failed combination (forgery probability ≤ 2^−BatchSoundnessBits)
+// falls back to per-item verification, so invalid signers are still
+// individually identified.
+func BatchVerifyPartials(gr *group.Group, keyV, nonceV *commit.Vector, message []byte, partials []PartialSig) []bool {
+	valid := make([]bool, len(partials))
+	t := keyV.T()
+	if nonceV.T() != t {
+		return valid // dimension mismatch: nothing can verify
+	}
+	fallback := func() []bool {
+		for i, p := range partials {
+			valid[i] = VerifyPartial(gr, keyV, nonceV, message, p)
+		}
+		return valid
+	}
+	first := make(map[msg.NodeID]*big.Int, len(partials))
+	var pts []poly.Point
 	for _, p := range partials {
-		if seen[p.Signer] {
+		if p.Sigma == nil || !gr.IsScalar(p.Sigma) || p.Signer <= 0 {
 			continue
 		}
-		if !VerifyPartial(gr, keyV, nonceV, message, p) {
+		if _, dup := first[p.Signer]; dup {
+			continue
+		}
+		first[p.Signer] = p.Sigma
+		if len(pts) <= t {
+			pts = append(pts, poly.Point{X: int64(p.Signer), Y: p.Sigma})
+		}
+	}
+	if len(pts) <= t {
+		return fallback()
+	}
+	p, err := poly.InterpolatePoly(gr.Q(), pts)
+	if err != nil {
+		return fallback()
+	}
+	blind, err := commit.RandBlinders(t + 1)
+	if err != nil {
+		return fallback()
+	}
+	c := challenge(gr, nonceV.PublicKey(), keyV.PublicKey(), message)
+	// The challenge factors out of the key-commitment terms:
+	//
+	//	g^{−Σ r_ℓ P_ℓ} · Π Vk_ℓ^{r_ℓ} · (Π V_ℓ^{r_ℓ})^c = 1
+	//
+	// so the whole batch pays a single full-width exponentiation (of
+	// the collapsed key term) while every blinded exponent stays at
+	// BatchSoundnessBits — t+1 short terms per commitment vector
+	// instead of t+1 full-width ones.
+	bases := make([]group.Element, 0, t+2)
+	exps := make([]*big.Int, 0, t+2)
+	gExp := new(big.Int)
+	keyBases := make([]group.Element, 0, t+1)
+	for l := 0; l <= t; l++ {
+		gExp.Add(gExp, new(big.Int).Mul(blind[l], p.Coeff(l)))
+		bases = append(bases, nonceV.Entry(l))
+		exps = append(exps, blind[l])
+		keyBases = append(keyBases, keyV.Entry(l))
+	}
+	bases = append(bases, gr.Generator())
+	exps = append(exps, gr.NegQ(gExp))
+	nonceSide := gr.VarTimeMultiExp(bases, exps)
+	keySide := gr.VarTimeMultiExp(keyBases, blind)
+	if !gr.Mul(nonceSide, gr.Exp(keySide, c)).Equal(gr.Identity()) {
+		return fallback()
+	}
+	// P is the committed partial-signature polynomial; classify every
+	// input by scalar evaluation — including out-of-protocol signer
+	// indices (≤ 0), for which the evaluation is still exactly
+	// VerifyPartial's predicate, so batch and per-item verdicts agree
+	// on every input.
+	evalMemo := make(map[msg.NodeID]*big.Int, len(first))
+	for i, pr := range partials {
+		if pr.Sigma == nil || !gr.IsScalar(pr.Sigma) {
+			continue
+		}
+		v, ok := evalMemo[pr.Signer]
+		if !ok {
+			v = p.EvalInt(int64(pr.Signer))
+			evalMemo[pr.Signer] = v
+		}
+		valid[i] = v.Cmp(pr.Sigma) == 0
+	}
+	return valid
+}
+
+// Combine verifies the partials (batched: one multi-exp for the whole
+// set, with per-item fallback on batch failure) and interpolates the
+// first t+1 valid ones into a full signature.
+func Combine(gr *group.Group, keyV, nonceV *commit.Vector, t int, message []byte, partials []PartialSig) (Signature, error) {
+	valid := BatchVerifyPartials(gr, keyV, nonceV, message, partials)
+	pts := make([]poly.Point, 0, t+1)
+	seen := make(map[msg.NodeID]bool, len(partials))
+	for i, p := range partials {
+		if !valid[i] || seen[p.Signer] {
 			continue
 		}
 		seen[p.Signer] = true

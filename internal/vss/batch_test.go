@@ -1,0 +1,224 @@
+package vss_test
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/vss"
+)
+
+// The deferred-batch verification path only runs on a node that holds
+// no trusted row polynomial — exactly the node the recovery argument
+// of §2.1 cares about: late or deprived of its dealer send, it must
+// complete purely through the echo/ready flood. These tests drive
+// that node against Byzantine senders with batching on (the default)
+// and differentially against the unbatched path.
+
+// corruptingDealer deals an honest commitment but corrupts the row of
+// each victim (so victims must verify flood points cryptographically)
+// and also plays a second role: it relays nothing else.
+type corruptingDealer struct {
+	env     *simnet.Env
+	n, t    int
+	gr      *group.Group
+	sessID  vss.SessionID
+	victims map[int]bool
+}
+
+func (d *corruptingDealer) HandleMessage(msg.NodeID, msg.Body) {}
+func (d *corruptingDealer) HandleTimer(uint64)                 {}
+func (d *corruptingDealer) HandleRecover()                     {}
+
+func (d *corruptingDealer) deal(seed uint64) {
+	r := randutil.NewReader(seed)
+	f, _ := poly.NewRandomSymmetric(d.gr.Q(), big.NewInt(4242), d.t, r)
+	c := commit.NewMatrix(d.gr, f)
+	for j := 1; j <= d.n; j++ {
+		row := f.Row(int64(j)).Coeffs()
+		if d.victims[j] {
+			row[0] = d.gr.AddQ(row[0], big.NewInt(1))
+		}
+		d.env.Send(msg.NodeID(j), &vss.SendMsg{Session: d.sessID, C: c, A: row})
+	}
+}
+
+// echoCorrupter behaves like a node that received a valid row but
+// broadcasts a corrupted evaluation to everyone — the Byzantine
+// sender the batch fallback must identify without help from honest
+// context.
+type echoCorrupter struct {
+	env    *simnet.Env
+	n      int
+	gr     *group.Group
+	sessID vss.SessionID
+}
+
+func (e *echoCorrupter) HandleTimer(uint64) {}
+func (e *echoCorrupter) HandleRecover()     {}
+
+func (e *echoCorrupter) HandleMessage(from msg.NodeID, body msg.Body) {
+	m, ok := body.(*vss.SendMsg)
+	if !ok || from != e.sessID.Dealer {
+		return
+	}
+	a, err := poly.FromCoeffs(e.gr.Q(), m.A)
+	if err != nil {
+		return
+	}
+	for j := 1; j <= e.n; j++ {
+		// Off-by-one evaluations: individually plausible scalars that
+		// are wrong points on every receiver's row.
+		alpha := e.gr.AddQ(a.EvalInt(int64(j)), big.NewInt(1))
+		e.env.Send(msg.NodeID(j), &vss.EchoMsg{Session: e.sessID, Alpha: alpha, CHash: m.C.Hash()})
+	}
+}
+
+// TestBatchedFloodVictimCompletes: n=10, t=3 — the dealer corrupts
+// the victim's row and a second Byzantine node floods corrupted
+// echoes. The victim (no trusted row, batching on by default) must
+// reject the corrupted points via the batch fallback and still
+// complete from the seven honest echoes.
+func TestBatchedFloodVictimCompletes(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		gr := group.Test256()
+		sess := vss.SessionID{Dealer: 1, Tau: 1}
+		var dealer *corruptingDealer
+		opts := harness.VSSOptions{
+			N: 10, T: 3, Seed: seed,
+			Byzantine: map[msg.NodeID]func(env *simnet.Env) simnet.Handler{
+				1: func(env *simnet.Env) simnet.Handler {
+					dealer = &corruptingDealer{
+						env: env, n: 10, t: 3, gr: gr, sessID: sess,
+						victims: map[int]bool{10: true},
+					}
+					return dealer
+				},
+				2: func(env *simnet.Env) simnet.Handler {
+					return &echoCorrupter{env: env, n: 10, gr: gr, sessID: sess}
+				},
+			},
+		}
+		res, err := harness.SetupVSS(&opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dealer.deal(seed)
+		res.Net.Run(0)
+		for id, node := range res.Nodes {
+			if !node.Done() {
+				t.Fatalf("seed %d: node %d did not complete", seed, id)
+			}
+			ev := res.Shared[id]
+			if !ev.C.VerifyShare(int64(id), ev.Share) {
+				t.Fatalf("seed %d: node %d holds an invalid share", seed, id)
+			}
+		}
+		if err := res.CheckConsistency(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// discardSender drops all outgoing traffic (driving one node by hand).
+type discardSender struct{}
+
+func (discardSender) Send(msg.NodeID, msg.Body) {}
+
+// TestDeferredInvalidDoesNotBlockRetransmission: queueing an invalid
+// point must not consume the sender's message slot — a corrected
+// retransmission arriving before the flush is still accepted, exactly
+// as on the unbatched path, and the Byzantine first attempt is
+// rejected by the batch fallback.
+func TestDeferredInvalidDoesNotBlockRetransmission(t *testing.T) {
+	gr := group.Test256()
+	const n, deg = 4, 1
+	r := randutil.NewReader(3)
+	f, err := poly.NewRandomSymmetric(gr.Q(), big.NewInt(99), deg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := commit.NewMatrix(gr, f)
+	sess := vss.SessionID{Dealer: 1, Tau: 1}
+	node, err := vss.NewNode(vss.Params{Group: gr, N: n, T: deg}, sess, 2, discardSender{}, vss.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := func(m int64) *big.Int { return f.Eval(m, 2) }
+	// Node 2 never receives its send: every point defers. Sender 1
+	// first equivocates, then corrects itself before any flush.
+	node.Handle(1, &vss.EchoMsg{Session: sess, C: c, CHash: c.Hash(), Alpha: gr.AddQ(point(1), big.NewInt(1))})
+	node.Handle(1, &vss.EchoMsg{Session: sess, C: c, CHash: c.Hash(), Alpha: point(1)})
+	for _, m := range []int64{3, 4} {
+		node.Handle(msg.NodeID(m), &vss.EchoMsg{Session: sess, C: c, CHash: c.Hash(), Alpha: point(m)})
+	}
+	// Echo threshold ⌈(4+1+1)/2⌉ = 3 is reachable only if sender 1's
+	// corrected echo was counted; readies then complete the sharing.
+	for _, m := range []int64{1, 3, 4} {
+		node.Handle(msg.NodeID(m), &vss.ReadyMsg{Session: sess, C: c, CHash: c.Hash(), Alpha: point(m)})
+	}
+	if !node.Done() {
+		t.Fatal("node did not complete: corrected retransmission was not counted")
+	}
+	if !c.VerifyShare(2, node.Share()) {
+		t.Fatal("completed with an invalid share")
+	}
+}
+
+// TestBatchDifferentialAgainstUnbatched: identical adversarial runs
+// with batching on and off must produce the same completion set,
+// commitments and shares — batching is a pure performance change.
+func TestBatchDifferentialAgainstUnbatched(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		run := func(disable bool) *harness.VSSResult {
+			gr := group.Test256()
+			sess := vss.SessionID{Dealer: 1, Tau: 1}
+			var dealer *corruptingDealer
+			opts := harness.VSSOptions{
+				N: 10, T: 3, Seed: seed, DisableBatch: disable,
+				Byzantine: map[msg.NodeID]func(env *simnet.Env) simnet.Handler{
+					1: func(env *simnet.Env) simnet.Handler {
+						dealer = &corruptingDealer{
+							env: env, n: 10, t: 3, gr: gr, sessID: sess,
+							victims: map[int]bool{9: true, 10: true},
+						}
+						return dealer
+					},
+					2: func(env *simnet.Env) simnet.Handler {
+						return &echoCorrupter{env: env, n: 10, gr: gr, sessID: sess}
+					},
+				},
+			}
+			res, err := harness.SetupVSS(&opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dealer.deal(seed)
+			res.Net.Run(0)
+			return res
+		}
+		batched, unbatched := run(false), run(true)
+		for id := range batched.Nodes {
+			bd, ud := batched.Nodes[id].Done(), unbatched.Nodes[id].Done()
+			if bd != ud {
+				t.Fatalf("seed %d node %d: batched done=%v unbatched done=%v", seed, id, bd, ud)
+			}
+			if !bd {
+				continue
+			}
+			be, ue := batched.Shared[id], unbatched.Shared[id]
+			if be.C.Hash() != ue.C.Hash() {
+				t.Fatalf("seed %d node %d: commitments diverge", seed, id)
+			}
+			if be.Share.Cmp(ue.Share) != 0 {
+				t.Fatalf("seed %d node %d: shares diverge", seed, id)
+			}
+		}
+	}
+}

@@ -26,7 +26,11 @@ import (
 // NOT re-fired during restore — a recovered node must not re-announce
 // completions its pre-crash incarnation already delivered.
 
-const vssStateMagic = "hybriddkg/vss-state/v1"
+// v2 added the per-commitment deferred-verification queue (batched
+// point verification). Older snapshots fail the magic check and the
+// engine falls back to full-WAL replay, which reconstructs the same
+// state.
+const vssStateMagic = "hybriddkg/vss-state/v2"
 
 // stateListMax bounds decoded list lengths, mirroring the wire
 // decoders' guards so a corrupt snapshot cannot force huge allocations.
@@ -73,6 +77,14 @@ func (nd *Node) MarshalState() ([]byte, error) {
 		w.Bool(cs.sentReady)
 		EncodePolyPtr(w, cs.aBar)
 		EncodePolyPtr(w, cs.aRow)
+		w.U32(uint32(len(cs.unverified)))
+		for _, pp := range cs.unverified {
+			w.Node(pp.from)
+			w.BigPtr(pp.alpha)
+			w.Bool(pp.ready)
+			w.Blob(pp.sig)
+			w.Bool(pp.buffered)
+		}
 	}
 
 	// Pending (hashed-mode) points, sorted by digest.
@@ -187,6 +199,19 @@ func (nd *Node) UnmarshalState(codec *msg.Codec, data []byte) error {
 		}
 		if cs.aRow, err = DecodePolyPtr(r, gr.Q()); err != nil {
 			return err
+		}
+		nUnv, err := r.ListLen(stateListMax)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nUnv; j++ {
+			cs.unverified = append(cs.unverified, pendingPoint{
+				from:     r.Node(),
+				alpha:    r.BigPtr(),
+				ready:    r.Bool(),
+				sig:      r.Blob(),
+				buffered: r.Bool(),
+			})
 		}
 		nd.cstates[h] = cs
 	}

@@ -46,6 +46,14 @@ type Params struct {
 	// HashedEcho enables the O(κn³) hashed-commitment optimisation:
 	// echo/ready carry a digest of C instead of the matrix.
 	HashedEcho bool
+	// DisableBatch turns off batched point verification. By default a
+	// node that holds no trusted row polynomial defers incoming
+	// echo/ready points and verifies them in one randomized-linear-
+	// combination multi-exp right before a threshold could be crossed
+	// (commit.BatchVerifier); per-point verification returns as the
+	// fallback when a batch fails, so verdicts are identical either
+	// way — this switch exists for benchmarks and differential tests.
+	DisableBatch bool
 	// Extended enables signed ready messages whose collected sets
 	// form DKG completion proofs (extended HybridVSS, §4).
 	Extended bool
@@ -127,6 +135,13 @@ type cstate struct {
 	// known, incoming points verify by scalar evaluation (see
 	// pointValid) instead of exponentiations.
 	aRow *poly.Poly
+	// unverified holds points that passed the cheap checks (scalar
+	// range, first message per sender) but whose expensive
+	// verify-point run is deferred: with batching enabled and no
+	// trusted row polynomial, they are verified together in one
+	// randomized-linear-combination multi-exp right before a threshold
+	// could be crossed (maybeFlushBatch).
+	unverified []pendingPoint
 }
 
 // rowPoly returns a trusted representation of f(i,·) for this
@@ -139,12 +154,21 @@ func (cs *cstate) rowPoly() *poly.Poly {
 }
 
 // pendingPoint buffers an echo/ready that arrived (in hashed mode)
-// before the commitment matrix was known.
+// before the commitment matrix was known, and doubles as the deferred
+// batch-verification queue entry.
 type pendingPoint struct {
 	from  msg.NodeID
 	alpha *big.Int
 	ready bool
 	sig   []byte
+	// buffered marks a point that came through the hashed-mode
+	// pre-matrix buffer, whose sender slot was deliberately burned at
+	// buffering time ("equivocation cannot inflate counters"); the
+	// already-set slot must not stop applyVerified from counting the
+	// point. Live deferred points consume no slot until accepted,
+	// matching the unbatched live path (an invalid point never
+	// consumes the sender's first-message slot).
+	buffered bool
 }
 
 // Node is one HybridVSS session endpoint.
@@ -346,11 +370,18 @@ func (nd *Node) handleEcho(from msg.NodeID, m *EchoMsg) {
 		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha})
 		return
 	}
+	if nd.deferPoint(cs, pendingPoint{from: from, alpha: m.Alpha}) {
+		nd.maybeFlushBatch(cs)
+		return
+	}
 	if !nd.pointValid(cs, from, m.Alpha) {
 		return
 	}
 	nd.echoSeen[from] = true
 	nd.addEcho(cs, from, m.Alpha)
+	// A direct apply can move the counters to the brink; the queued
+	// points (if any) must get their crossing chance too.
+	nd.maybeFlushBatch(cs)
 }
 
 // pointValid checks α = f(from, self) against the commitment. The
@@ -377,6 +408,124 @@ func (nd *Node) pointValid(cs *cstate, from msg.NodeID, alpha *big.Int) bool {
 		return row.EvalInt(int64(from)).Cmp(alpha) == 0
 	}
 	return cs.c.VerifyPoint(int64(nd.self), int64(from), alpha)
+}
+
+// deferPoint reports whether pp should join the deferred-verification
+// queue instead of paying an immediate verify-point, and queues it if
+// so. Deferral applies only while the expensive path would run: with
+// batching enabled, a known matrix, no trusted row polynomial, and no
+// previously verified point from this sender (echo/ready pairs
+// resolve by comparison, exactly like pointValid's fast path).
+// Out-of-range scalars return false so the caller's pointValid
+// rejects them for free.
+//
+// Queueing does NOT consume the sender's message slot — acceptance
+// does (applyVerified), exactly as in the unbatched path, so an
+// invalid deferred point never blocks the sender's corrected
+// retransmission and a sender may have several entries in flight
+// (deduplicated at apply time). The queue therefore grows with
+// unverified traffic, but every flush empties it and the crossing
+// predicate fires after at most an EchoThreshold-sized burst, so a
+// flooding sender buys the same per-message verification work the
+// unbatched path would spend.
+func (nd *Node) deferPoint(cs *cstate, pp pendingPoint) bool {
+	if nd.params.DisableBatch || cs.c == nil || cs.rowPoly() != nil {
+		return false
+	}
+	if prev, ok := cs.points[pp.from]; ok && prev.Cmp(pp.alpha) == 0 {
+		return false // cheap comparison path; no need to defer
+	}
+	if pp.alpha == nil || pp.alpha.Sign() < 0 || pp.alpha.Cmp(nd.params.Group.Q()) >= 0 {
+		return false // invalid scalar: let pointValid reject it for free
+	}
+	cs.unverified = append(cs.unverified, pp)
+	return true
+}
+
+// maybeFlushBatch verifies the deferred points in one batch multi-exp
+// once they could cross an echo or ready threshold. Verified points
+// are applied in arrival order (preserving the exact == threshold
+// triggers) through the apply-time dedup of applyVerified; failed
+// points are simply dropped — their sender slots were never consumed,
+// matching the unbatched verdict for an invalid point.
+func (nd *Node) maybeFlushBatch(cs *cstate) {
+	if len(cs.unverified) == 0 {
+		return
+	}
+	pe, pr := 0, 0
+	for _, pp := range cs.unverified {
+		if pp.ready {
+			pr++
+		} else {
+			pe++
+		}
+	}
+	et, t1, rt := nd.params.EchoThreshold(), nd.params.T+1, nd.params.ReadyThreshold()
+	crossEcho := cs.echoCount < et && cs.echoCount+pe >= et
+	crossReady := (cs.readyCount < t1 && cs.readyCount+pr >= t1) || cs.readyCount+pr >= rt
+	if !crossEcho && !crossReady {
+		return
+	}
+	pend := cs.unverified
+	cs.unverified = nil
+	bv := commit.NewBatchVerifier(nd.params.Group)
+	for idx, pp := range pend {
+		bv.AddPoint(idx, cs.c, int64(nd.self), int64(pp.from), pp.alpha)
+	}
+	bad := make(map[int]bool, len(pend))
+	for _, tag := range bv.Flush() {
+		bad[tag.(int)] = true
+	}
+	applied := make(map[msg.NodeID]uint8, len(pend))
+	for idx, pp := range pend {
+		if !bad[idx] {
+			nd.applyVerified(cs, pp, applied)
+		}
+	}
+}
+
+// applyVerified counts one verified deferred point, consuming the
+// sender's echo- or ready-slot exactly once: at most one apply per
+// (sender, kind) per drain (the applied set), and none for a sender
+// whose slot an earlier acceptance already consumed — except
+// hashed-buffer points, whose slot was burned at buffering time
+// before any acceptance (see pendingPoint.buffered).
+func (nd *Node) applyVerified(cs *cstate, pp pendingPoint, applied map[msg.NodeID]uint8) {
+	bit := uint8(1)
+	seen := nd.echoSeen
+	if pp.ready {
+		bit = 2
+		seen = nd.readySeen
+	}
+	if applied[pp.from]&bit != 0 {
+		return
+	}
+	if seen[pp.from] && !pp.buffered {
+		return
+	}
+	applied[pp.from] |= bit
+	seen[pp.from] = true
+	nd.applyPoint(cs, pp)
+}
+
+// drainUnverified retires the deferred queue through the cheap
+// row-polynomial check; it is called whenever a trusted row appears
+// (dealer send accepted, or ā interpolated), since from then on no
+// new points defer and the queued ones would otherwise never be
+// counted.
+func (nd *Node) drainUnverified(cs *cstate) {
+	if len(cs.unverified) == 0 || cs.rowPoly() == nil {
+		return
+	}
+	pend := cs.unverified
+	cs.unverified = nil
+	applied := make(map[msg.NodeID]uint8, len(pend))
+	for _, pp := range pend {
+		if !nd.pointValid(cs, pp.from, pp.alpha) {
+			continue
+		}
+		nd.applyVerified(cs, pp, applied)
+	}
 }
 
 // addEcho applies a verified echo point to commitment state.
@@ -409,11 +558,18 @@ func (nd *Node) handleReady(from msg.NodeID, m *ReadyMsg) {
 		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha, ready: true, sig: m.Sig})
 		return
 	}
+	if nd.deferPoint(cs, pendingPoint{from: from, alpha: m.Alpha, ready: true, sig: m.Sig}) {
+		nd.maybeFlushBatch(cs)
+		return
+	}
 	if !nd.pointValid(cs, from, m.Alpha) {
 		return
 	}
 	nd.readySeen[from] = true
 	nd.addReady(cs, from, m.Alpha, m.Sig)
+	// A direct apply can move the counters to the brink; the queued
+	// points (if any) must get their crossing chance too.
+	nd.maybeFlushBatch(cs)
 }
 
 // addReady applies a verified ready point to commitment state.
@@ -454,6 +610,9 @@ func (nd *Node) interpolateRow(cs *cstate) bool {
 		return false
 	}
 	cs.aBar = aBar
+	// A trusted row retires the deferred queue (nothing new defers
+	// from here on, so queued points must be counted now or never).
+	nd.drainUnverified(cs)
 	return true
 }
 
@@ -552,17 +711,36 @@ func (nd *Node) learnCommitmentRow(c *commit.Matrix, a *poly.Poly) {
 	if a != nil && cs.aRow == nil {
 		cs.aRow = a
 	}
+	// A trusted row polynomial retires the deferred-verification queue:
+	// its points now verify by scalar evaluation, and nothing new joins
+	// the queue, so drain it here or its points would never be counted.
+	nd.drainUnverified(cs)
+	// Replay the hashed-mode buffer: cheap when the row polynomial is
+	// known, otherwise through the same deferred batch as live points
+	// (tagged so their already-burned sender slots stay consumed, as
+	// on the direct replay path below).
 	buffered := nd.pending[h]
 	delete(nd.pending, h)
+	applied := make(map[msg.NodeID]uint8, len(buffered))
 	for _, pp := range buffered {
+		pp.buffered = true
+		if nd.deferPoint(cs, pp) {
+			continue
+		}
 		if !nd.pointValid(cs, pp.from, pp.alpha) {
 			continue
 		}
-		if pp.ready {
-			nd.addReady(cs, pp.from, pp.alpha, pp.sig)
-		} else {
-			nd.addEcho(cs, pp.from, pp.alpha)
-		}
+		nd.applyVerified(cs, pp, applied)
+	}
+	nd.maybeFlushBatch(cs)
+}
+
+// applyPoint routes a verified point to the echo or ready accumulator.
+func (nd *Node) applyPoint(cs *cstate, pp pendingPoint) {
+	if pp.ready {
+		nd.addReady(cs, pp.from, pp.alpha, pp.sig)
+	} else {
+		nd.addEcho(cs, pp.from, pp.alpha)
 	}
 }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench_gate.sh OLD NEW — regression gate for the perf-tracked
+# benchmarks. Compares the ns/op geomean of the E14/E15/E17 benchmarks
+# (backend crypto hot paths, session throughput, batch verification)
+# between a baseline run and a new run, and fails when the new run is
+# more than 10% slower. benchstat remains the human-readable report;
+# this gate is the machine-readable pass/fail.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <baseline.txt> <new.txt>" >&2
+  exit 2
+fi
+
+awk '
+  /^BenchmarkE1(4|5|7)/ && $3 > 0 {
+    # benchmark line: name  iterations  value ns/op  [extra metrics…]
+    # Repeated -count samples of one benchmark accumulate into a
+    # per-name geometric mean before names are compared, so noise
+    # within a run averages out.
+    if (FILENAME == ARGV[1]) { oldsum[$1] += log($3); oldn[$1]++ }
+    else { newsum[$1] += log($3); newn[$1]++ }
+  }
+  END {
+    for (name in newsum) {
+      if (name in oldsum) {
+        sum += newsum[name] / newn[name] - oldsum[name] / oldn[name]
+        n++
+      }
+    }
+    if (n == 0) { print "bench gate: no comparable E14/E15/E17 results; skipping"; exit 0 }
+    ratio = exp(sum / n)
+    printf "bench gate: E14/E15/E17 ns/op geomean ratio new/baseline = %.3f over %d benchmarks\n", ratio, n
+    if (ratio > 1.10) {
+      printf "bench gate: FAIL — >10%% regression (ratio %.3f)\n", ratio
+      exit 1
+    }
+    print "bench gate: OK"
+  }
+' "$1" "$2"
