@@ -15,6 +15,7 @@ package hybriddkg_test
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"testing"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"hybriddkg/internal/randutil"
 	"hybriddkg/internal/store"
 	"hybriddkg/internal/thresh"
+	"hybriddkg/internal/verify"
 	"hybriddkg/internal/vss"
 )
 
@@ -785,5 +787,149 @@ func BenchmarkE16RestartRecovery(b *testing.B) {
 			b.ReportMetric(float64(len(snap)), "snapshot-bytes")
 			b.ReportMetric(float64(walFrames), "wal-frames")
 		})
+	}
+}
+
+// BenchmarkE18CoreScaling measures how verification throughput scales
+// with cores, across both backends, at GOMAXPROCS ∈ {1, 2, 4, 8}:
+//
+//   - point-flood: the aggregate pipeline scenario — 8 concurrent
+//     sessions' worth of echo/ready floods (8 matrices at n=64, t=21,
+//     126 point checks each) pushed through the speculative worker
+//     pool while a sequential consumer performs the state machines'
+//     inline checks against the shared verdict cache. This is the
+//     workload the ≥2.5x @ 4-core acceptance gate reads
+//     (points/sec).
+//   - session: E15-style sessions/sec for S=8 concurrent DKG
+//     instances with the verification pipeline attached
+//     (VerifyWorkers = GOMAXPROCS).
+//   - latency: single-session wall time at n ∈ {13, 32, 64} with the
+//     pipeline attached (ms/session).
+//
+// On a single-core host every procs level measures the same hardware
+// and the curve is flat (the pipeline's overhead bound); the scaling
+// claims require ≥4 physical cores. CI's bench job runs the
+// point-flood and session scenarios; the latency sweep is for
+// workstation runs (see DESIGN.md, E18).
+func BenchmarkE18CoreScaling(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	procsList := []int{1, 2, 4, 8}
+
+	for _, name := range []string{"test256", "p256"} {
+		gr, err := group.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		// --- point-flood fixtures: 8 sessions' matrices at n=64 ------
+		const floodN, floodT, floodSelf, floodMats = 64, 21, 3, 8
+		r := randutil.NewReader(18)
+		mats := make([]*commit.Matrix, floodMats)
+		alphas := make([][]*big.Int, floodMats)
+		for mi := range mats {
+			secret, _ := gr.RandScalar(r)
+			f, err := poly.NewRandomSymmetric(gr.Q(), secret, floodT, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mats[mi] = commit.NewMatrix(gr, f)
+			alphas[mi] = make([]*big.Int, floodN+1)
+			for s := int64(1); s <= floodN; s++ {
+				alphas[mi][s] = f.Eval(s, floodSelf)
+			}
+			if !mats[mi].VerifyPoint(floodSelf, 1, alphas[mi][1]) { // warm the row memo
+				b.Fatal("fixture broken")
+			}
+		}
+
+		for _, procs := range procsList {
+			runtime.GOMAXPROCS(procs)
+			b.Run(fmt.Sprintf("point-flood/%s/procs=%d", name, procs), func(b *testing.B) {
+				pool := verify.NewPool(procs)
+				defer pool.Close()
+				points := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cache := verify.NewCache(0)
+					// Speculation stage: read loops hand the flood to
+					// the workers...
+					for mi, m := range mats {
+						for s := int64(1); s <= floodN; s++ {
+							if s == floodSelf {
+								continue
+							}
+							m, s, a := m, s, alphas[mi][s]
+							pool.Submit(func() { m.VerifyPointVia(cache, floodSelf, s, a) })
+						}
+					}
+					// ...while the sequential consumer (the protocol
+					// state machine) performs the inline checks — cache
+					// hits when speculation won the race, recomputation
+					// when it didn't. Both echo and ready carry the
+					// point, as in E17.
+					for mi, m := range mats {
+						for s := int64(1); s <= floodN; s++ {
+							if s == floodSelf {
+								continue
+							}
+							if !m.VerifyPointVia(cache, floodSelf, s, alphas[mi][s]) ||
+								!m.VerifyPointVia(cache, floodSelf, s, alphas[mi][s]) {
+								b.Fatal("verify failed")
+							}
+							points += 2
+						}
+					}
+				}
+				b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/sec")
+			})
+		}
+
+		// --- session throughput: S=8 concurrent DKGs -----------------
+		scheme := sig.NewSchnorr(gr)
+		const S, sn, st = 8, 10, 3
+		for _, procs := range procsList {
+			runtime.GOMAXPROCS(procs)
+			b.Run(fmt.Sprintf("session/%s/S=%d/procs=%d", name, S, procs), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := harness.RunConcurrentSessions(harness.ConcurrentDKGOptions{
+						Sessions: S, N: sn, T: st, Seed: uint64(i + 1), Group: gr, Scheme: scheme,
+						HashedEcho: true, DisableAccounting: true,
+						VerifyWorkers: procs,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := res.CheckAllSessions(); err != nil {
+						b.Fatal(err)
+					}
+					res.Close()
+				}
+				b.ReportMetric(float64(S*b.N)/b.Elapsed().Seconds(), "sessions/sec")
+			})
+		}
+
+		// --- single-session latency sweep ----------------------------
+		for _, shape := range []struct{ n, t int }{{13, 4}, {32, 10}, {64, 21}} {
+			for _, procs := range procsList {
+				runtime.GOMAXPROCS(procs)
+				b.Run(fmt.Sprintf("latency/%s/n=%d/procs=%d", name, shape.n, procs), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res, err := harness.RunDKG(harness.DKGOptions{
+							N: shape.n, T: shape.t, Seed: uint64(i + 1), Group: gr, Scheme: scheme,
+							HashedEcho: true, DisableAccounting: true,
+							VerifyWorkers: procs,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.HonestDone() != shape.n {
+							b.Fatal("incomplete")
+						}
+						res.Close()
+					}
+					b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/session")
+				})
+			}
+		}
 	}
 }

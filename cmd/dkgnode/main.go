@@ -34,6 +34,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -49,6 +50,7 @@ import (
 	"hybriddkg/internal/sig"
 	"hybriddkg/internal/store"
 	"hybriddkg/internal/transport"
+	"hybriddkg/internal/verify"
 	"hybriddkg/internal/vss"
 )
 
@@ -320,13 +322,15 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	cf := newClusterFlags(fs)
 	var (
-		sessions  = fs.Int("sessions", 1, "number of initial concurrent DKG sessions")
-		base      = fs.Uint64("session-base", 1, "first session id (τ) to run")
-		workers   = fs.Int("workers", 0, "bound on concurrently active sessions (0 = unbounded)")
-		stateDir  = fs.String("state-dir", "", "durable state directory (WAL + snapshots); enables restart recovery")
-		snapEvery = fs.Int("snapshot-every", 64, "events between periodic state snapshots (with -state-dir)")
-		syncEvery = fs.Int("sync-every", 1, "fsync the WAL every N appends (with -state-dir; negative = page cache only)")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+		sessions   = fs.Int("sessions", 1, "number of initial concurrent DKG sessions")
+		base       = fs.Uint64("session-base", 1, "first session id (τ) to run")
+		workers    = fs.Int("workers", 0, "bound on concurrently active sessions (0 = unbounded)")
+		stateDir   = fs.String("state-dir", "", "durable state directory (WAL + snapshots); enables restart recovery")
+		snapEvery  = fs.Int("snapshot-every", 64, "events between periodic state snapshots (with -state-dir)")
+		syncEvery  = fs.Int("sync-every", 1, "fsync the WAL every N appends (with -state-dir; negative = page cache only)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+		verWorkers = fs.Int("verify-workers", runtime.NumCPU(), "speculative-verification worker goroutines (0 = pipeline off)")
+		shard      = fs.Bool("shard-sessions", true, "per-session dispatch lanes so concurrent sessions occupy multiple cores (forced off with -state-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -368,8 +372,41 @@ func serve(args []string) error {
 	cf.dir.EnableVerifyCache(0)
 	results := make(chan sessionResult, 64)
 	failures := make(chan sessionFailure, 16)
-	tnode, err := transport.Listen(cf.transportConfig(nil))
+	// The verification pipeline: a worker pool speculatively verifies
+	// inbound frames' crypto (point checks, signatures) while the
+	// dispatch loop works through earlier traffic; the state machines'
+	// inline checks then hit the shared verdict caches. Per-session
+	// dispatch lanes additionally let S concurrent sessions occupy S
+	// cores. Lanes are disabled alongside durable state: Checkpoint
+	// and Restore snapshot runners from the main loop and must not race
+	// concurrently dispatching lanes.
+	tcfg := cf.transportConfig(nil)
+	var vpool *verify.Pool
+	var vcache *verify.Cache
+	if *verWorkers > 0 {
+		vpool = verify.NewPool(*verWorkers)
+		vcache = verify.NewCache(0)
+		spec := verify.NewSpeculator(vpool, vcache, cf.dir, msg.NodeID(*cf.id))
+		tcfg.Observer = func(_ msg.SessionID, from msg.NodeID, body msg.Body) {
+			spec.Observe(from, body)
+		}
+		// One parallelism budget: the pool's workers (plus session
+		// lanes) already aim to saturate the cores, so the group
+		// kernels' own window fan-out would only oversubscribe the
+		// scheduler mid-flood. Keep multi-exps sequential per call;
+		// concurrency comes from the pipeline's task level.
+		group.SetParallelism(1)
+	}
+	if *shard && *stateDir != "" {
+		fmt.Fprintf(os.Stderr, "node %d: -shard-sessions disabled: durable state checkpoints require the single event loop\n", *cf.id)
+		*shard = false
+	}
+	tcfg.ShardSessions = *shard
+	tnode, err := transport.Listen(tcfg)
 	if err != nil {
+		if vpool != nil {
+			vpool.Close()
+		}
 		return err
 	}
 	defer tnode.Close()
@@ -392,6 +429,10 @@ func serve(args []string) error {
 	id := cf.id
 	timeout := cf.timeout
 	params := cf.dkgParams()
+	if vcache != nil {
+		params.Verdicts = vcache
+		params.Parallel = vpool
+	}
 	cfg := engine.Config{
 		Fabric: engine.NewTransportFabric(tnode),
 		Factory: func(sid msg.SessionID, rt engine.Runtime) (engine.Runner, error) {
@@ -422,10 +463,19 @@ func serve(args []string) error {
 		// needs our retransmissions to complete its own session.
 		cfg.LingerCompleted = true
 	}
+	if vpool != nil {
+		// The engine owns the pool's lifecycle: its Close joins the
+		// workers, so serve can never leak verification goroutines.
+		cfg.VerifyPool = vpool
+	}
 	eng, err := engine.New(cfg)
 	if err != nil {
+		if vpool != nil {
+			vpool.Close()
+		}
 		return err
 	}
+	defer eng.Close()
 
 	// Submissions run on the transport event loop (the engine shares
 	// the protocol nodes' single-threaded discipline). The main

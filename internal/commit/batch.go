@@ -4,10 +4,20 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"math/big"
+	"sync"
 
 	"hybriddkg/internal/group"
 	"hybriddkg/internal/poly"
 )
+
+// Parallel is a best-effort task runner: Submit schedules fn on a
+// worker and returns true, or returns false when the caller must run
+// fn itself (queue full, runner closed). internal/verify.Pool
+// implements it; the interface lives here so commit (and the layers
+// below verify) can accept a pool without importing it.
+type Parallel interface {
+	Submit(fn func()) bool
+}
 
 // BatchSoundnessBits is the bit length of the random blinders in
 // batched verification. A batch containing at least one invalid check
@@ -47,6 +57,7 @@ type BatchVerifier struct {
 	order  []batchKey // deterministic flush order
 	n      int
 	failed []any // checks rejected at Add time (range/shape)
+	par    Parallel
 }
 
 type batchKey struct {
@@ -68,6 +79,14 @@ type pointGroup struct {
 func NewBatchVerifier(gr *group.Group) *BatchVerifier {
 	return &BatchVerifier{gr: gr, groups: make(map[batchKey]*pointGroup)}
 }
+
+// SetParallel installs a best-effort worker pool: Flush then builds
+// the independent (matrix, verifier) group equations concurrently —
+// interpolation, per-point scalar classification and blinding are the
+// per-group work batching cannot amortize away. Verdicts are
+// unchanged; only wall-clock time is. A nil pool restores the
+// sequential flush.
+func (bv *BatchVerifier) SetParallel(p Parallel) { bv.par = p }
 
 // AddPoint queues the claim verify-point(m, i, sender, alpha): alpha =
 // f(sender, i) under m's committed bivariate polynomial. tag is
@@ -103,16 +122,48 @@ func (bv *BatchVerifier) Flush() []any {
 	bv.n = 0
 
 	// Build each group's RLC equation; groups too small (or oddly
-	// shaped) for the interpolation trick verify per item.
+	// shaped) for the interpolation trick verify per item. With a
+	// worker pool attached and several independent groups queued, the
+	// builds run concurrently; results are collected back in the
+	// deterministic flush order, so verdicts and their reporting order
+	// match the sequential flush exactly.
+	type built struct {
+		eq builtEq
+		ok bool
+	}
+	results := make([]built, len(order))
+	buildAt := func(idx int) {
+		k := order[idx]
+		eq, ok := bv.buildEq(k, groups[k])
+		results[idx] = built{eq: eq, ok: ok}
+	}
+	if bv.par != nil && len(order) > 1 {
+		var wg sync.WaitGroup
+		for idx := range order {
+			idx := idx
+			wg.Add(1)
+			task := func() {
+				defer wg.Done()
+				buildAt(idx)
+			}
+			if !bv.par.Submit(task) {
+				task()
+			}
+		}
+		wg.Wait()
+	} else {
+		for idx := range order {
+			buildAt(idx)
+		}
+	}
 	var eqs []builtEq
-	for _, k := range order {
-		g := groups[k]
-		eq, ok := bv.buildEq(k, g)
-		if !ok {
-			bad = append(bad, verifyEach(k.m, k.i, g.checks)...)
+	for idx, k := range order {
+		if !results[idx].ok {
+			bad = append(bad, verifyEach(k.m, k.i, groups[k].checks)...)
 			continue
 		}
-		eq.key, eq.g = k, g
+		eq := results[idx].eq
+		eq.key, eq.g = k, groups[k]
 		eqs = append(eqs, eq)
 	}
 	if len(eqs) == 0 {

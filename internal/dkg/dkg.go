@@ -74,6 +74,14 @@ type Params struct {
 	// verification (see vss.Params.DisableBatch); batching is on by
 	// default.
 	DisableBatch bool
+	// Verdicts, when set, is the shared verify-point memo of the
+	// verification pipeline, threaded to every embedded VSS instance
+	// (see vss.Params.Verdicts). Pure memoization: protocol behaviour
+	// is bit-identical with or without it.
+	Verdicts commit.VerdictCache
+	// Parallel, when set, is the worker pool batch flushes use to
+	// build group equations concurrently (see vss.Params.Parallel).
+	Parallel commit.Parallel
 	// Directory and SignKey provide message authentication.
 	Directory *sig.Directory
 	SignKey   []byte
@@ -287,6 +295,8 @@ func NewNode(params Params, tau uint64, self msg.NodeID, runtime Runtime, opts O
 		DMax:         params.DMax,
 		HashedEcho:   params.HashedEcho,
 		DisableBatch: params.DisableBatch,
+		Verdicts:     params.Verdicts,
+		Parallel:     params.Parallel,
 		Extended:     true,
 		Directory:    params.Directory,
 		SignKey:      params.SignKey,

@@ -176,6 +176,14 @@ type Config struct {
 	// Restore falls back to replaying the whole WAL into a fresh
 	// Factory runner.
 	RestoreRunner func(sid msg.SessionID, rt Runtime, snapshot []byte) (Runner, error)
+
+	// VerifyPool, when set, is the speculative-verification worker
+	// pool serving this engine's sessions (verify.Pool). The engine
+	// owns only its lifecycle: Close drains and joins the pool's
+	// goroutines, so an engine shutdown cannot leak workers. Wiring
+	// the pool into the crypto layers (dkg/vss Params, transport
+	// Observer) is the caller's concern.
+	VerifyPool interface{ Close() }
 }
 
 // backlogCap bounds the frames buffered for a submitted-but-queued
@@ -554,11 +562,12 @@ func (e *Engine) Sessions() []msg.SessionID {
 
 // Close marks the engine closed: queued sessions are failed, further
 // submissions are rejected, active sessions are retired from the
-// fabric. It does not tear down the fabric itself.
+// fabric, and the verification pool (if the engine was given one) is
+// drained and joined. It does not tear down the fabric itself.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return
 	}
 	e.closed = true
@@ -579,5 +588,11 @@ func (e *Engine) Close() {
 			e.active--
 			e.cfg.Fabric.RetireSession(sid)
 		}
+	}
+	e.mu.Unlock()
+	// Outside the lock: pool Close blocks until in-flight tasks finish,
+	// and those tasks never call back into the engine.
+	if e.cfg.VerifyPool != nil {
+		e.cfg.VerifyPool.Close()
 	}
 }

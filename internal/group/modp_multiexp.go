@@ -146,7 +146,11 @@ func (b *ModP) straus(bases, exps []*big.Int) *big.Int {
 // pippenger computes Π bases[i]^exps[i] by bucket accumulation: per
 // window level, each base lands in the bucket of its digit and the
 // buckets collapse with the descending running-product trick — no
-// per-base tables, ~one multiplication per term per level.
+// per-base tables, ~one multiplication per term per level. Window
+// levels only touch their own buckets, so large term counts compute
+// them on multiple cores (parallel.go) and combine with the same
+// squaring chain the sequential loop runs; modular arithmetic is
+// exact, so both orders yield the identical residue.
 func (b *ModP) pippenger(bases, exps []*big.Int) *big.Int {
 	maxBits := 0
 	for _, e := range exps {
@@ -155,11 +159,30 @@ func (b *ModP) pippenger(bases, exps []*big.Int) *big.Int {
 		}
 	}
 	w := pippengerWindow(len(bases))
-	buckets := make([]*big.Int, (1<<w)-1)
+	windows := (maxBits + int(w) - 1) / int(w)
 	acc := big.NewInt(1)
+	if windows < 1 {
+		return acc
+	}
 	tmp := new(big.Int)
 	quo := new(big.Int)
-	windows := (maxBits + int(w) - 1) / int(w)
+	if workers := multiExpWorkers(len(bases)); workers > 1 && windows > 1 {
+		levels := make([]*big.Int, windows)
+		runWindows(windows, workers, func(wi int) {
+			levels[wi] = b.pippengerLevel(bases, exps, wi, w)
+		})
+		for wi := windows - 1; wi >= 0; wi-- {
+			if acc.Cmp(one) != 0 {
+				for s := uint(0); s < w; s++ {
+					tmp.Mul(acc, acc)
+					quo.QuoRem(tmp, b.p, acc)
+				}
+			}
+			tmp.Mul(acc, levels[wi])
+			quo.QuoRem(tmp, b.p, acc)
+		}
+		return acc
+	}
 	for wi := windows - 1; wi >= 0; wi-- {
 		if acc.Cmp(one) != 0 {
 			for s := uint(0); s < w; s++ {
@@ -167,36 +190,43 @@ func (b *ModP) pippenger(bases, exps []*big.Int) *big.Int {
 				quo.QuoRem(tmp, b.p, acc)
 			}
 		}
-		off := wi * int(w)
-		for i := range buckets {
-			buckets[i] = nil
-		}
-		for i, e := range exps {
-			d := windowDigit(e, off, w)
-			if d == 0 {
-				continue
-			}
-			if buckets[d-1] == nil {
-				buckets[d-1] = new(big.Int).Set(bases[i])
-			} else {
-				tmp.Mul(buckets[d-1], bases[i])
-				quo.QuoRem(tmp, b.p, buckets[d-1])
-			}
-		}
-		// Σ d·bucket[d] as running products: run = Π_{j≥d} bucket[j],
-		// level = Π_d run_d.
-		run := big.NewInt(1)
-		level := big.NewInt(1)
-		for d := len(buckets) - 1; d >= 0; d-- {
-			if buckets[d] != nil {
-				tmp.Mul(run, buckets[d])
-				quo.QuoRem(tmp, b.p, run)
-			}
-			tmp.Mul(level, run)
-			quo.QuoRem(tmp, b.p, level)
-		}
-		tmp.Mul(acc, level)
+		tmp.Mul(acc, b.pippengerLevel(bases, exps, wi, w))
 		quo.QuoRem(tmp, b.p, acc)
 	}
 	return acc
+}
+
+// pippengerLevel computes one window level Π_d (Π_{digit=d} base)^d.
+// It allocates its own buckets and scratch, so levels are safe to run
+// concurrently.
+func (b *ModP) pippengerLevel(bases, exps []*big.Int, wi int, w uint) *big.Int {
+	buckets := make([]*big.Int, (1<<w)-1)
+	tmp := new(big.Int)
+	quo := new(big.Int)
+	off := wi * int(w)
+	for i, e := range exps {
+		d := windowDigit(e, off, w)
+		if d == 0 {
+			continue
+		}
+		if buckets[d-1] == nil {
+			buckets[d-1] = new(big.Int).Set(bases[i])
+		} else {
+			tmp.Mul(buckets[d-1], bases[i])
+			quo.QuoRem(tmp, b.p, buckets[d-1])
+		}
+	}
+	// Σ d·bucket[d] as running products: run = Π_{j≥d} bucket[j],
+	// level = Π_d run_d.
+	run := big.NewInt(1)
+	level := big.NewInt(1)
+	for d := len(buckets) - 1; d >= 0; d-- {
+		if buckets[d] != nil {
+			tmp.Mul(run, buckets[d])
+			quo.QuoRem(tmp, b.p, run)
+		}
+		tmp.Mul(level, run)
+		quo.QuoRem(tmp, b.p, level)
+	}
+	return level
 }

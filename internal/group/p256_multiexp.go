@@ -214,7 +214,11 @@ func (b *P256Backend) strausJP(acc *jp, pts []*p256Element, es []*big.Int) {
 // pippengerJP accumulates Π pts[i]^es[i] into acc (which must start
 // at infinity) by bucket
 // accumulation: no per-base tables, ~one mixed addition per term per
-// window level plus the running-sum collapse.
+// window level plus the running-sum collapse. Window levels are
+// independent until the final doubling-chain combination, so large
+// term counts fan the levels out across cores (see parallel.go); the
+// combination itself is identical either way, keeping parallel and
+// sequential results bit-for-bit equal.
 func (b *P256Backend) pippengerJP(acc *jp, pts []*p256Element, es []*big.Int) {
 	maxBits := 0
 	for _, e := range es {
@@ -223,48 +227,96 @@ func (b *P256Backend) pippengerJP(acc *jp, pts []*p256Element, es []*big.Int) {
 		}
 	}
 	w := pippengerWindow(len(pts))
-	buckets := make([]jp, (1<<w)-1)
-	used := make([]bool, len(buckets))
-	var a ap
 	windows := (maxBits + int(w) - 1) / int(w)
+	if windows < 1 {
+		return
+	}
+	if workers := multiExpWorkers(len(pts)); workers > 1 && windows > 1 {
+		// Each window's partial sum is computed independently; the
+		// doubling chain between windows runs once, sequentially, at
+		// the end.
+		levels := make([]jp, windows)
+		runWindows(windows, workers, func(wi int) {
+			b.pippengerLevel(&levels[wi], pts, es, wi, w)
+		})
+		for wi := windows - 1; wi >= 0; wi-- {
+			if !feIsZero(&acc.z) {
+				for s := uint(0); s < w; s++ {
+					jpDouble(acc)
+				}
+			}
+			jpAdd(acc, &levels[wi])
+		}
+		return
+	}
+	var level jp
 	for wi := windows - 1; wi >= 0; wi-- {
 		if !feIsZero(&acc.z) {
 			for s := uint(0); s < w; s++ {
 				jpDouble(acc)
 			}
 		}
-		for i := range buckets {
-			buckets[i] = jp{}
-			used[i] = false
-		}
-		off := wi * int(w)
-		for i, e := range es {
-			d := windowDigit(e, off, w)
-			if d == 0 {
-				continue
-			}
-			apFromElement(&a, pts[i])
-			jpAddAffine(&buckets[d-1], &a)
-			used[d-1] = true
-		}
-		var run, level jp
-		for d := len(buckets) - 1; d >= 0; d-- {
-			if used[d] {
-				jpAdd(&run, &buckets[d])
-			}
-			jpAdd(&level, &run)
-		}
+		b.pippengerLevel(&level, pts, es, wi, w)
 		jpAdd(acc, &level)
 	}
 }
 
+// pippengerLevel computes one window level's partial sum
+// Σ_d d·(Σ_{digit(e_i)=d} P_i) into level (overwritten). It touches
+// only its arguments and local state, so levels may run concurrently.
+func (b *P256Backend) pippengerLevel(level *jp, pts []*p256Element, es []*big.Int, wi int, w uint) {
+	buckets := make([]jp, (1<<w)-1)
+	used := make([]bool, len(buckets))
+	var a ap
+	off := wi * int(w)
+	for i, e := range es {
+		d := windowDigit(e, off, w)
+		if d == 0 {
+			continue
+		}
+		apFromElement(&a, pts[i])
+		jpAddAffine(&buckets[d-1], &a)
+		used[d-1] = true
+	}
+	var run jp
+	*level = jp{}
+	for d := len(buckets) - 1; d >= 0; d-- {
+		if used[d] {
+			jpAdd(&run, &buckets[d])
+		}
+		jpAdd(level, &run)
+	}
+}
+
 // batchToAffine converts Jacobian points to affine with a single field
-// inversion (Montgomery's trick over the Z coordinates). Inputs must
-// not be at infinity.
+// inversion per chunk (Montgomery's trick over the Z coordinates).
+// Inputs must not be at infinity. Large batches split into per-worker
+// chunks — each chunk pays its own inversion, a good trade once the
+// saved feMul volume beats one extra ModInverse.
 func (b *P256Backend) batchToAffine(pts []jp) []ap {
-	out := make([]ap, len(pts))
-	if len(pts) == 0 {
+	if workers := Parallelism(); workers > 1 && len(pts) >= parallelMinBatch {
+		out := make([]ap, len(pts))
+		chunk := (len(pts) + workers - 1) / workers
+		chunks := (len(pts) + chunk - 1) / chunk
+		runWindows(chunks, workers, func(ci int) {
+			lo := ci * chunk
+			hi := lo + chunk
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			b.batchToAffineInto(out[lo:hi], pts[lo:hi])
+		})
 		return out
+	}
+	out := make([]ap, len(pts))
+	b.batchToAffineInto(out, pts)
+	return out
+}
+
+// batchToAffineInto normalizes one chunk with a single inversion.
+func (b *P256Backend) batchToAffineInto(out []ap, pts []jp) {
+	if len(pts) == 0 {
+		return
 	}
 	// prefix[i] = Z_0·…·Z_i
 	prefix := make([]fe, len(pts))
@@ -289,5 +341,4 @@ func (b *P256Backend) batchToAffine(pts []jp) []ap {
 		feMul(&out[i].y, &pts[i].y, &zi2)
 		feMul(&out[i].y, &out[i].y, &zi)
 	}
-	return out
 }

@@ -1,0 +1,104 @@
+package group
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel execution of the variable-time verification kernels.
+//
+// Pippenger bucket accumulation processes the scalar windows
+// independently: window w's bucket collapse touches only its own
+// buckets, and the per-window partial sums combine with the same
+// doubling/squaring chain the sequential loop runs between windows.
+// Splitting the windows across cores therefore changes nothing about
+// the result — group addition is exact and associative — while the
+// dominant cost (≈ one mixed addition per term per window) divides by
+// the worker count. The sequential tail (maxBits doublings plus the
+// final combination) is a few hundred operations, negligible against
+// k·windows bucket additions for the flood sizes batching produces.
+//
+// Only the variable-time paths parallelize: they already demand public
+// inputs, so fanning the work out adds no timing surface that matters.
+// The secret-safe MultiExp stays strictly per-term and sequential.
+
+// parallelism is the worker bound for parallel kernels; 0 means "use
+// runtime.GOMAXPROCS at call time". Settable for benchmarks and for
+// deployments that reserve cores.
+var parallelism atomic.Int32
+
+// SetParallelism bounds the goroutines the variable-time multi-exp
+// kernels may use. n ≤ 0 restores the default (GOMAXPROCS at call
+// time); n == 1 forces the sequential paths.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the current effective worker bound.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelMinTerms is the term count below which a multi-exp never
+// fans out: goroutine startup and the per-worker combination tail cost
+// more than they save on small inputs.
+const parallelMinTerms = 96
+
+// parallelMinBatch is the point count below which batch-affine
+// normalization stays on the single-inversion sequential path; chunked
+// normalization pays one extra field inversion per worker.
+const parallelMinBatch = 64
+
+// multiExpWorkers decides how many goroutines a k-term variable-time
+// multi-exp uses (1 = stay sequential).
+func multiExpWorkers(k int) int {
+	if k < parallelMinTerms {
+		return 1
+	}
+	w := Parallelism()
+	if w > k/32 {
+		w = k / 32 // keep ≥32 terms of work per worker
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runWindows fans the window indices [0, windows) out over workers,
+// calling fn(wi) for each window exactly once. fn must only touch
+// per-window state. It blocks until every window completed.
+func runWindows(windows, workers int, fn func(wi int)) {
+	if workers <= 1 || windows <= 1 {
+		for wi := 0; wi < windows; wi++ {
+			fn(wi)
+		}
+		return
+	}
+	if workers > windows {
+		workers = windows
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				wi := int(next.Add(1)) - 1
+				if wi >= windows {
+					return
+				}
+				fn(wi)
+			}
+		}()
+	}
+	wg.Wait()
+}

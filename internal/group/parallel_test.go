@@ -1,0 +1,78 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/randutil"
+)
+
+// TestParallelMultiExpMatchesSequential pins the parallel Pippenger
+// and chunked batch-normalization paths to the sequential results,
+// bit for bit, on both backends and across the term-count regimes
+// (Straus with chunked table normalization, Pippenger with window
+// fan-out, mixed small/large exponents, duplicates, zeros).
+func TestParallelMultiExpMatchesSequential(t *testing.T) {
+	defer SetParallelism(0)
+	for _, name := range []string{"test256", "p256"} {
+		gr, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := randutil.NewReader(77)
+		for _, k := range []int{2, 20, parallelMinTerms, 300} {
+			bases := make([]Element, k)
+			exps := make([]*big.Int, k)
+			for i := 0; i < k; i++ {
+				e, err := gr.RandScalar(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch i % 7 {
+				case 0:
+					bases[i] = gr.Generator()
+				case 1:
+					e = big.NewInt(int64(i)) // small exponent
+					fallthrough
+				default:
+					b, err := gr.RandScalar(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bases[i] = gr.GExp(b)
+				}
+				if i%11 == 3 {
+					e = new(big.Int) // zero exponent
+				}
+				if i > 0 && i%13 == 5 {
+					bases[i] = bases[i-1] // duplicate base
+				}
+				exps[i] = e
+			}
+			SetParallelism(1)
+			seq := gr.VarTimeMultiExp(bases, exps)
+			seqSecret := gr.MultiExp(bases, exps)
+			SetParallelism(4)
+			par := gr.VarTimeMultiExp(bases, exps)
+			if !seq.Equal(par) {
+				t.Fatalf("%s k=%d: parallel result diverged", name, k)
+			}
+			if !seq.Equal(seqSecret) {
+				t.Fatalf("%s k=%d: variable-time path disagrees with secret-safe path", name, k)
+			}
+		}
+	}
+}
+
+// TestSetParallelismBounds: the setter clamps and reports sanely.
+func TestSetParallelismBounds(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(-3)
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d after reset", Parallelism())
+	}
+	SetParallelism(2)
+	if Parallelism() != 2 {
+		t.Fatalf("Parallelism() = %d, want 2", Parallelism())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"hybriddkg/internal/randutil"
 	"hybriddkg/internal/sig"
 	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/verify"
 )
 
 // ConcurrentDKGOptions configures a session-multiplexed cluster run:
@@ -25,6 +26,12 @@ type ConcurrentDKGOptions struct {
 	Seed     uint64
 	// Workers bounds each node's engine (0 = all sessions at once).
 	Workers int
+	// VerifyWorkers, when > 0, attaches the parallel verification
+	// pipeline (see DKGOptions.VerifyWorkers): one verify.Pool and one
+	// verdict cache shared by every session of the cluster, per-node
+	// speculators on the simulator's send hook, and parallel batch
+	// flushes. Deterministic protocol outcomes are preserved.
+	VerifyWorkers int
 	// Group defaults to group.Test256(); Scheme to Ed25519.
 	Group  *group.Group
 	Scheme sig.Scheme
@@ -74,6 +81,17 @@ type ConcurrentDKGResult struct {
 	Engines map[msg.NodeID]*engine.Engine
 	// Completed maps session -> node -> completion event.
 	Completed map[msg.SessionID]map[msg.NodeID]dkg.CompletedEvent
+	// VerifyPool/VerifyCache are the verification pipeline's stage
+	// (nil unless VerifyWorkers > 0); Close releases the pool.
+	VerifyPool  *verify.Pool
+	VerifyCache *verify.Cache
+}
+
+// Close releases the verification pool's workers (no-op without one).
+func (r *ConcurrentDKGResult) Close() {
+	if r.VerifyPool != nil {
+		r.VerifyPool.Close()
+	}
 }
 
 // RunConcurrentDKGs runs S concurrent DKG sessions over an n-node
@@ -102,17 +120,25 @@ func RunConcurrentSessions(opts ConcurrentDKGOptions) (*ConcurrentDKGResult, err
 	if !opts.DisableVerifyCache {
 		dir.EnableVerifyCache(0)
 	}
-	net := simnet.New(simnet.Options{
+	simOpts := simnet.Options{
 		Seed:              opts.Seed,
 		SessionFilter:     opts.SessionFilter,
 		DisableAccounting: opts.DisableAccounting,
-	})
+	}
+	var pool *verify.Pool
+	var cache *verify.Cache
+	if opts.VerifyWorkers > 0 {
+		pool, cache, simOpts.Observer = attachVerifyPipeline(opts.VerifyWorkers, dir, opts.N)
+	}
+	net := simnet.New(simOpts)
 	res := &ConcurrentDKGResult{
-		Opts:      opts,
-		Net:       net,
-		Directory: dir,
-		Engines:   make(map[msg.NodeID]*engine.Engine, opts.N),
-		Completed: make(map[msg.SessionID]map[msg.NodeID]dkg.CompletedEvent, opts.Sessions),
+		Opts:        opts,
+		Net:         net,
+		Directory:   dir,
+		Engines:     make(map[msg.NodeID]*engine.Engine, opts.N),
+		Completed:   make(map[msg.SessionID]map[msg.NodeID]dkg.CompletedEvent, opts.Sessions),
+		VerifyPool:  pool,
+		VerifyCache: cache,
 	}
 	for s := 1; s <= opts.Sessions; s++ {
 		res.Completed[msg.SessionID(s)] = make(map[msg.NodeID]dkg.CompletedEvent, opts.N)
@@ -145,6 +171,10 @@ func RunConcurrentSessions(opts ConcurrentDKGOptions) (*ConcurrentDKGResult, err
 					SignKey:       privs[id],
 					InitialLeader: opts.InitialLeader,
 					TimeoutBase:   opts.TimeoutBase,
+				}
+				if cache != nil {
+					params.Verdicts = cache
+					params.Parallel = pool
 				}
 				return dkg.NewNode(params, uint64(sid), id, rt, dkg.Options{
 					OnCompleted: func(ev dkg.CompletedEvent) {

@@ -11,6 +11,7 @@ import (
 	"hybriddkg/internal/randutil"
 	"hybriddkg/internal/sig"
 	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/verify"
 )
 
 // DKGOptions configures a DKG cluster run.
@@ -23,6 +24,13 @@ type DKGOptions struct {
 	HashedEcho bool
 	// DisableBatch turns off the VSS layer's batched point verification.
 	DisableBatch bool
+	// VerifyWorkers, when > 0, attaches the parallel verification
+	// pipeline: a verify.Pool with that many workers, a shared verdict
+	// cache, and per-node speculators fed from the simulator's send
+	// hook — so expensive checks run on worker goroutines while the
+	// (still deterministic) simulation loop advances. Protocol
+	// behaviour is bit-identical to VerifyWorkers == 0.
+	VerifyWorkers int
 	// InitialLeader defaults to 1.
 	InitialLeader msg.NodeID
 	// TimeoutBase defaults to the dkg package default.
@@ -52,6 +60,41 @@ type DKGResult struct {
 	Stats     simnet.Stats
 	Directory *sig.Directory
 	Privs     map[msg.NodeID][]byte
+	// VerifyPool is the speculative-verification pool (nil unless
+	// VerifyWorkers > 0). Callers that keep driving the cluster after
+	// RunDKG (renewal, addition) may keep using it; Close releases its
+	// goroutines.
+	VerifyPool *verify.Pool
+	// VerifyCache is the shared verdict cache (nil unless
+	// VerifyWorkers > 0).
+	VerifyCache *verify.Cache
+}
+
+// Close releases the verification pool's worker goroutines (no-op
+// when the pipeline is off). Safe to call more than once.
+func (r *DKGResult) Close() {
+	if r.VerifyPool != nil {
+		r.VerifyPool.Close()
+	}
+}
+
+// attachVerifyPipeline builds the pool/cache/speculator stage shared
+// by the single-run and concurrent harnesses: one pool and one verdict
+// cache for the whole simulated cluster, one speculator per honest
+// node, all fed from the simulator's send-time observer.
+func attachVerifyPipeline(workers int, dir *sig.Directory, n int) (*verify.Pool, *verify.Cache, func(to msg.NodeID, sid msg.SessionID, from msg.NodeID, body msg.Body)) {
+	pool := verify.NewPool(workers)
+	cache := verify.NewCache(0)
+	specs := make([]*verify.Speculator, n+1)
+	for i := 1; i <= n; i++ {
+		specs[i] = verify.NewSpeculator(pool, cache, dir, msg.NodeID(i))
+	}
+	observer := func(to msg.NodeID, _ msg.SessionID, from msg.NodeID, body msg.Body) {
+		if int(to) >= 1 && int(to) < len(specs) {
+			specs[to].Observe(from, body)
+		}
+	}
+	return pool, cache, observer
 }
 
 // dkgAdapter adapts dkg.Node to simnet.Handler.
@@ -75,18 +118,27 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	net := simnet.New(simnet.Options{
+	simOpts := simnet.Options{
 		Seed:              opts.Seed,
 		Filter:            opts.Filter,
 		DisableAccounting: opts.DisableAccounting,
-	})
+	}
+	var pool *verify.Pool
+	var cache *verify.Cache
+	if opts.VerifyWorkers > 0 {
+		dir.EnableVerifyCache(0)
+		pool, cache, simOpts.Observer = attachVerifyPipeline(opts.VerifyWorkers, dir, opts.N)
+	}
+	net := simnet.New(simOpts)
 	res := &DKGResult{
-		Opts:      *opts,
-		Nodes:     make(map[msg.NodeID]*dkg.Node, opts.N),
-		Completed: make(map[msg.NodeID]dkg.CompletedEvent, opts.N),
-		Net:       net,
-		Directory: dir,
-		Privs:     privs,
+		Opts:        *opts,
+		Nodes:       make(map[msg.NodeID]*dkg.Node, opts.N),
+		Completed:   make(map[msg.NodeID]dkg.CompletedEvent, opts.N),
+		Net:         net,
+		Directory:   dir,
+		Privs:       privs,
+		VerifyPool:  pool,
+		VerifyCache: cache,
 	}
 	for i := 1; i <= opts.N; i++ {
 		id := msg.NodeID(i)
@@ -106,6 +158,10 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 			SignKey:       privs[id],
 			InitialLeader: opts.InitialLeader,
 			TimeoutBase:   opts.TimeoutBase,
+		}
+		if cache != nil {
+			params.Verdicts = cache
+			params.Parallel = pool
 		}
 		node, err := dkg.NewNode(params, 1, id, env, dkg.Options{
 			OnCompleted: func(ev dkg.CompletedEvent) { res.Completed[id] = ev },

@@ -85,6 +85,16 @@ type Options struct {
 	// SessionFilter, when set, is additionally consulted for every
 	// message with its session identifier.
 	SessionFilter SessionFilterFunc
+	// Observer, when set, sees every scheduled (non-dropped) message
+	// at send time — before its virtual-time delivery. The harness
+	// installs the verification pipeline's speculator here: workers
+	// verify a message's crypto while it "travels", mirroring the TCP
+	// runtime where read loops feed the speculator ahead of the event
+	// loop. The observer must not touch protocol state; it runs on the
+	// simulation goroutine and anything it schedules elsewhere must be
+	// free of protocol side effects (pure cache warming), which is what
+	// keeps simulated runs deterministic.
+	Observer func(to msg.NodeID, sid msg.SessionID, from msg.NodeID, body msg.Body)
 }
 
 // Stats aggregates what the complexity experiments measure.
@@ -410,6 +420,9 @@ func (n *Network) send(from, to msg.NodeID, sid msg.SessionID, body msg.Body) {
 	if verdict.Drop {
 		n.stats.DroppedFilter++
 		return
+	}
+	if n.opts.Observer != nil {
+		n.opts.Observer(to, sid, from, body)
 	}
 	n.stats.MsgCount[body.MsgType()]++
 	n.stats.TotalMsgs++

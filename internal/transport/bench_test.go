@@ -1,0 +1,67 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/transport"
+	"hybriddkg/internal/vss"
+)
+
+// countSink counts deliveries.
+type countSink struct{ ch chan struct{} }
+
+func (s *countSink) HandleMessage(msg.NodeID, msg.Body) { s.ch <- struct{}{} }
+func (s *countSink) HandleTimer(uint64)                 {}
+func (s *countSink) HandleRecover()                     {}
+
+// BenchmarkFrameRoundTrip measures the live encode→TCP→decode→dispatch
+// path allocation footprint (the sync.Pool'd frame scratch buffers of
+// sendSession/readFrame are the target; body marshal/unmarshal allocs
+// are the protocol-determined floor).
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	gr := group.Test256()
+	codec := msg.NewCodec()
+	if err := vss.RegisterCodec(codec, gr); err != nil {
+		b.Fatal(err)
+	}
+	secret := []byte("bench-secret")
+	mk := func(self msg.NodeID) *transport.Node {
+		n, err := transport.Listen(transport.Config{
+			Self: self, Listen: "127.0.0.1:0", Codec: codec, Secret: secret,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+	sender, recv := mk(1), mk(2)
+	defer sender.Close()
+	defer recv.Close()
+	peers := []transport.Peer{{ID: 1, Addr: sender.Addr()}, {ID: 2, Addr: recv.Addr()}}
+	sender.SetPeers(peers)
+	recv.SetPeers(peers)
+	sink := &countSink{ch: make(chan struct{}, 256)}
+	port, err := sender.RegisterSession(1, newSessionSink())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := recv.RegisterSession(1, sink); err != nil {
+		b.Fatal(err)
+	}
+	session := vss.SessionID{Dealer: 1, Tau: 1}
+	body := &vss.RecShareMsg{Session: session, Share: big64(123456789)}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port.Send(2, body)
+		select {
+		case <-sink.ch:
+		case <-time.After(10 * time.Second):
+			b.Fatal("frame never arrived")
+		}
+	}
+}

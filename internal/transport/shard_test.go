@@ -1,0 +1,176 @@
+package transport_test
+
+import (
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/transport"
+	"hybriddkg/internal/vss"
+)
+
+func big64(v int64) *big.Int { return big.NewInt(v) }
+
+// orderSink records per-session delivery order and which goroutine
+// delivered, to pin the lane guarantees: per-session serial dispatch
+// in order, sessions decoupled from each other.
+type orderSink struct {
+	mu       sync.Mutex
+	alphas   []int64
+	inFlight atomic.Int32
+	maxConc  atomic.Int32
+	block    chan struct{} // non-nil: handler parks until closed
+}
+
+func (s *orderSink) HandleMessage(_ msg.NodeID, body msg.Body) {
+	cur := s.inFlight.Add(1)
+	for {
+		old := s.maxConc.Load()
+		if cur <= old || s.maxConc.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	if s.block != nil {
+		<-s.block
+	}
+	if m, ok := body.(*vss.RecShareMsg); ok {
+		s.mu.Lock()
+		s.alphas = append(s.alphas, m.Share.Int64())
+		s.mu.Unlock()
+	}
+	s.inFlight.Add(-1)
+}
+func (s *orderSink) HandleTimer(uint64) {}
+func (s *orderSink) HandleRecover()     {}
+
+func (s *orderSink) recorded() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.alphas))
+	copy(out, s.alphas)
+	return out
+}
+
+func shardPair(t *testing.T, shard bool) (*transport.Node, *transport.Node) {
+	t.Helper()
+	gr := group.Test256()
+	codec := buildCodec(t, gr)
+	secret := []byte("shard-test-secret")
+	mk := func(self msg.NodeID) *transport.Node {
+		n, err := transport.Listen(transport.Config{
+			Self: self, Listen: "127.0.0.1:0", Codec: codec, Secret: secret,
+			ShardSessions: shard,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	a, b := mk(1), mk(2)
+	peers := []transport.Peer{{ID: 1, Addr: a.Addr()}, {ID: 2, Addr: b.Addr()}}
+	a.SetPeers(peers)
+	b.SetPeers(peers)
+	return a, b
+}
+
+// TestShardedSessionOrdering: with lanes on, each session's frames are
+// delivered in send order even while another session's handler is
+// blocked — sessions no longer share one dispatch thread.
+func TestShardedSessionOrdering(t *testing.T) {
+	sender, recv := shardPair(t, true)
+
+	slow := &orderSink{block: make(chan struct{})}
+	fast := &orderSink{}
+	if _, err := recv.RegisterSession(1, slow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recv.RegisterSession(2, fast); err != nil {
+		t.Fatal(err)
+	}
+	port1, err := sender.RegisterSession(1, newSessionSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port2, err := sender.RegisterSession(2, newSessionSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	session := vss.SessionID{Dealer: 1, Tau: 1}
+	const k = 20
+	for i := 0; i < k; i++ {
+		port1.Send(2, &vss.RecShareMsg{Session: session, Share: big64(int64(i))})
+		port2.Send(2, &vss.RecShareMsg{Session: session, Share: big64(int64(i))})
+	}
+	// Session 2 must drain completely while session 1's lane is parked
+	// on its first frame.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(fast.recorded()) < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("session 2 starved behind blocked session 1: got %d/%d", len(fast.recorded()), k)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := len(slow.recorded()); got != 0 {
+		t.Fatalf("blocked lane recorded %d frames", got)
+	}
+	close(slow.block)
+	for len(slow.recorded()) < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("session 1 never drained: got %d/%d", len(slow.recorded()), k)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, s := range [](*orderSink){slow, fast} {
+		rec := s.recorded()
+		for i, v := range rec {
+			if v != int64(i) {
+				t.Fatalf("per-session order violated: %v", rec)
+			}
+		}
+		if s.maxConc.Load() > 1 {
+			t.Fatalf("one session's handler ran on %d goroutines concurrently", s.maxConc.Load())
+		}
+	}
+}
+
+// TestShardedLanesNoGoroutineLeak: lanes die with their session
+// (retire) and with the node (close).
+func TestShardedLanesNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		gr := group.Test256()
+		codec := buildCodec(t, gr)
+		n, err := transport.Listen(transport.Config{
+			Self: 1, Listen: "127.0.0.1:0", Codec: codec, Secret: []byte("s"),
+			ShardSessions: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sid := msg.SessionID(1); sid <= 16; sid++ {
+			if _, err := n.RegisterSession(sid, newSessionSink()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for sid := msg.SessionID(1); sid <= 8; sid++ {
+			n.RetireSession(sid) // half retired explicitly, half closed with the node
+		}
+		n.Close()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("lane goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}

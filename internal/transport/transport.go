@@ -88,6 +88,26 @@ type Config struct {
 	TimerUnit time.Duration
 	// DialRetry is the reconnect backoff (default 250ms).
 	DialRetry time.Duration
+	// Observer, when set, sees every successfully decoded inbound
+	// protocol message (including self-delivery) before it is
+	// dispatched. It is the attachment point of the verification
+	// pipeline's speculator: read-loop goroutines feed it concurrently
+	// while the event loop (or session lane) is still working through
+	// earlier traffic, so expensive checks run on idle cores ahead of
+	// consumption. It must be safe for concurrent use, must not block,
+	// and must not touch protocol state.
+	Observer func(sid msg.SessionID, from msg.NodeID, body msg.Body)
+	// ShardSessions gives every registered session its own serial
+	// dispatch lane (one goroutine per live session) instead of
+	// funnelling all sessions through the single event loop. Events of
+	// one session stay strictly ordered on its lane — the protocol
+	// state machines keep their single-threaded discipline — while S
+	// concurrent sessions occupy up to S cores. The default session
+	// (0) and operator ops always stay on the main event loop.
+	// Handlers of different sessions may then run concurrently: the
+	// engine's bookkeeping is lock-protected, but callers holding
+	// cross-session state in handlers must synchronise it themselves.
+	ShardSessions bool
 }
 
 // Node is a live transport endpoint. It implements dkg.Runtime (Send,
@@ -112,10 +132,73 @@ type Node struct {
 	timers   map[timerKey]*time.Timer
 	sessions map[msg.SessionID]Handler
 	retired  map[msg.SessionID]bool
+	lanes    map[msg.SessionID]*lane // ShardSessions dispatch lanes
 	demux    DemuxStats
 	closed   bool
 
 	wg sync.WaitGroup
+}
+
+// lane is one session's serial dispatch queue: an unbounded
+// mutex+cond queue (the same shape as the main event loop's, so a
+// handler's self-sends can never deadlock on a full channel) drained
+// by a dedicated goroutine. Events of the session are dispatched in
+// enqueue order; nothing else ever invokes the session's handler.
+type lane struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []event
+	stopped bool
+}
+
+func newLane() *lane {
+	l := &lane{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *lane) enqueue(ev event) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.queue = append(l.queue, ev)
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+// stop marks the lane dead and wakes its goroutine. It never joins:
+// RetireSession may run on the lane's own goroutine (a session
+// completing retires itself through the engine), so joining here
+// would self-deadlock; Close joins through the node's WaitGroup.
+func (l *lane) stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.queue = nil
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// run drains the lane until stopped. Pending events at stop time are
+// dropped — the session is retired, and the router would reject them
+// anyway.
+func (n *Node) runLane(l *lane) {
+	defer n.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.stopped {
+			l.cond.Wait()
+		}
+		if l.stopped {
+			l.mu.Unlock()
+			return
+		}
+		ev := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		n.dispatchEvent(ev)
+	}
 }
 
 // timerKey namespaces timers per session so concurrent protocol
@@ -171,6 +254,7 @@ func Listen(cfg Config) (*Node, error) {
 		timers:   make(map[timerKey]*time.Timer),
 		sessions: make(map[msg.SessionID]Handler),
 		retired:  make(map[msg.SessionID]bool),
+		lanes:    make(map[msg.SessionID]*lane),
 	}
 	n.qcond = sync.NewCond(&n.qmu)
 	n.wg.Add(2)
@@ -179,12 +263,32 @@ func Listen(cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// enqueue appends an event to the serialised queue.
+// enqueue appends an event to the serialised queue, or — for message
+// and timer events of a sharded session — to that session's dispatch
+// lane.
 func (n *Node) enqueue(ev event) {
+	if (ev.kind == 1 || ev.kind == 2) && ev.session != 0 {
+		if l := n.laneFor(ev.session); l != nil {
+			l.enqueue(ev)
+			return
+		}
+	}
 	n.qmu.Lock()
 	n.queue = append(n.queue, ev)
 	n.qmu.Unlock()
 	n.qcond.Signal()
+}
+
+// laneFor returns the dispatch lane of a sharded session (nil when
+// sharding is off or the session has no lane).
+func (n *Node) laneFor(sid msg.SessionID) *lane {
+	if !n.cfg.ShardSessions {
+		return nil
+	}
+	n.mu.Lock()
+	l := n.lanes[sid]
+	n.mu.Unlock()
+	return l
 }
 
 // Do runs fn on the event loop — operator actions (starting a
@@ -223,6 +327,10 @@ func (n *Node) Close() error {
 	for c := range n.inbound {
 		c.Close()
 	}
+	for sid, l := range n.lanes {
+		l.stop()
+		delete(n.lanes, sid)
+	}
 	n.mu.Unlock()
 	close(n.done)
 	n.qcond.Broadcast()
@@ -239,21 +347,30 @@ func (n *Node) Send(to msg.NodeID, body msg.Body) { n.sendSession(0, to, body) }
 func (n *Node) sendSession(sid msg.SessionID, to msg.NodeID, body msg.Body) {
 	if to == n.cfg.Self {
 		// Self-delivery goes straight onto the event loop.
+		if n.cfg.Observer != nil {
+			n.cfg.Observer(sid, n.cfg.Self, body)
+		}
 		n.enqueue(event{kind: 1, session: sid, from: n.cfg.Self, body: body})
 		return
 	}
-	frame, err := n.seal(sid, to, body)
+	bufp := framePool.Get().(*[]byte)
+	frame, err := appendFrame((*bufp)[:0], n.cfg.Secret, sid, n.cfg.Self, to, body)
 	if err != nil {
+		framePool.Put(bufp)
 		return
 	}
 	conn, err := n.conn(to)
 	if err != nil {
+		putFrameBuf(bufp, frame)
 		return
 	}
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	if _, err := conn.Write(frame); err != nil {
 		n.dropConn(to, conn)
 	}
+	// The kernel has copied the frame (or the write failed); either
+	// way the buffer is ours again.
+	putFrameBuf(bufp, frame)
 }
 
 // SetTimer implements dkg.Runtime for the default session.
@@ -336,6 +453,12 @@ func (n *Node) RegisterSession(sid msg.SessionID, h Handler) (*SessionPort, erro
 		return nil, fmt.Errorf("%w: %v", ErrSessionExists, sid)
 	}
 	n.sessions[sid] = h
+	if n.cfg.ShardSessions && sid != 0 {
+		l := newLane()
+		n.lanes[sid] = l
+		n.wg.Add(1)
+		go n.runLane(l)
+	}
 	return &SessionPort{node: n, sid: sid}, nil
 }
 
@@ -350,6 +473,13 @@ func (n *Node) RetireSession(sid msg.SessionID) {
 	}
 	delete(n.sessions, sid)
 	n.retired[sid] = true
+	if l := n.lanes[sid]; l != nil {
+		// Mark-and-signal only: the retire call may be running on this
+		// very lane (a completing session retiring itself through the
+		// engine), so the goroutine is joined by Close, not here.
+		l.stop()
+		delete(n.lanes, sid)
+	}
 	for key, tm := range n.timers {
 		if key.session == sid {
 			tm.Stop()
@@ -410,36 +540,70 @@ func (n *Node) eventLoop() {
 		default:
 		}
 		switch ev.kind {
-		case 1:
-			if h := n.handlerFor(ev.session, true); h != nil {
-				h.HandleMessage(ev.from, ev.body)
+		case 1, 2:
+			// A frame that entered the main queue just before its
+			// session's lane existed must still reach the handler on
+			// the lane — never on this goroutine — or two goroutines
+			// could run one session's state machine concurrently.
+			if l := n.laneFor(ev.session); l != nil {
+				l.enqueue(ev)
+				continue
 			}
-		case 2:
-			if h := n.handlerFor(ev.session, false); h != nil {
-				h.HandleTimer(ev.timerID)
-			}
+			n.dispatchEvent(ev)
 		case 3:
 			// The whole process recovered: signal the default handler
 			// and every live session, in ascending session order.
+			// Sharded sessions receive the signal on their lanes.
 			n.mu.Lock()
-			handlers := make([]Handler, 0, len(n.sessions)+1)
+			var inline []Handler
 			if n.cfg.Handler != nil {
-				handlers = append(handlers, n.cfg.Handler)
+				inline = append(inline, n.cfg.Handler)
 			}
 			sids := make([]msg.SessionID, 0, len(n.sessions))
 			for sid := range n.sessions {
 				sids = append(sids, sid)
 			}
 			sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
-			for _, sid := range sids {
-				handlers = append(handlers, n.sessions[sid])
+			lanes := make([]*lane, len(sids))
+			for i, sid := range sids {
+				if l := n.lanes[sid]; l != nil {
+					lanes[i] = l
+				} else {
+					inline = append(inline, n.sessions[sid])
+				}
 			}
 			n.mu.Unlock()
-			for _, h := range handlers {
+			for i, l := range lanes {
+				if l != nil {
+					l.enqueue(event{kind: 3, session: sids[i]})
+				}
+			}
+			for _, h := range inline {
 				h.HandleRecover()
 			}
 		case 4:
 			ev.op()
+		}
+	}
+}
+
+// dispatchEvent delivers one message, timer or per-session recover
+// event to its handler. It runs on the main event loop for unsharded
+// sessions and on the session's lane goroutine otherwise — exactly one
+// goroutine per session either way.
+func (n *Node) dispatchEvent(ev event) {
+	switch ev.kind {
+	case 1:
+		if h := n.handlerFor(ev.session, true); h != nil {
+			h.HandleMessage(ev.from, ev.body)
+		}
+	case 2:
+		if h := n.handlerFor(ev.session, false); h != nil {
+			h.HandleTimer(ev.timerID)
+		}
+	case 3:
+		if h := n.handlerFor(ev.session, false); h != nil {
+			h.HandleRecover()
 		}
 	}
 }
@@ -491,6 +655,12 @@ func (n *Node) readLoop(conn net.Conn) {
 				n.mu.Unlock()
 			}
 			return
+		}
+		// Speculation hook: read loops run one-per-connection, so the
+		// observer (a pool submit) overlaps verification with the
+		// event loop's dispatch of earlier traffic.
+		if n.cfg.Observer != nil {
+			n.cfg.Observer(sid, from, body)
 		}
 		n.enqueue(event{kind: 1, session: sid, from: from, body: body})
 	}
@@ -555,37 +725,71 @@ func (n *Node) dropConn(to msg.NodeID, c net.Conn) {
 // who does not hold the link secret.
 const frameOverhead = 1 + 8 + 8 + 8 + sha256.Size
 
-func (n *Node) seal(sid msg.SessionID, to msg.NodeID, body msg.Body) ([]byte, error) {
-	return SealFrame(n.cfg.Secret, sid, n.cfg.Self, to, body)
+// framePool recycles the per-frame scratch buffers of the encode
+// (sendSession) and decode (readFrame) paths. Safe on the decode side
+// because every registered decoder copies what it keeps (msg.Reader's
+// Blob/Big copy; commitment unmarshalling re-blobs) — a decoded body
+// never aliases the frame buffer. Buffers above maxPooledFrame are
+// never retained: the frame length field is attacker-controlled (read
+// before the MAC check, up to 64 MB), and a pool must not let a
+// hostile peer pin giant buffers past its connection's lifetime.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledFrame caps the capacity of buffers returned to framePool;
+// larger ones are left for the garbage collector.
+const maxPooledFrame = 64 << 10
+
+// putFrameBuf returns a scratch buffer to the pool unless the frame
+// outgrew the retention cap, in which case the original (small)
+// pooled array is returned instead of the oversized replacement.
+func putFrameBuf(bufp *[]byte, used []byte) {
+	if cap(used) <= maxPooledFrame {
+		*bufp = used[:0]
+	}
+	framePool.Put(bufp)
 }
 
 // SealFrame builds a length-prefixed, MAC-authenticated frame. It is
 // the pure sending half of the wire format (exposed for tests, fuzz
 // seeding and tooling).
 func SealFrame(secret []byte, sid msg.SessionID, from, to msg.NodeID, body msg.Body) ([]byte, error) {
+	return appendFrame(nil, secret, sid, from, to, body)
+}
+
+// appendFrame appends the sealed frame to buf (which may be a recycled
+// scratch buffer) and returns the extended slice.
+func appendFrame(buf, secret []byte, sid msg.SessionID, from, to msg.NodeID, body msg.Body) ([]byte, error) {
 	payload, err := body.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	inner := make([]byte, 0, frameOverhead+len(payload))
-	inner = append(inner, byte(body.MsgType()))
-	inner = binary.BigEndian.AppendUint64(inner, uint64(sid))
-	inner = binary.BigEndian.AppendUint64(inner, uint64(from))
-	inner = binary.BigEndian.AppendUint64(inner, uint64(to))
-	inner = append(inner, payload...)
+	innerLen := frameOverhead + len(payload)
+	out := append(buf, 0, 0, 0, 0) // length prefix, patched below
+	out = append(out, byte(body.MsgType()))
+	out = binary.BigEndian.AppendUint64(out, uint64(sid))
+	out = binary.BigEndian.AppendUint64(out, uint64(from))
+	out = binary.BigEndian.AppendUint64(out, uint64(to))
+	out = append(out, payload...)
 	mac := hmac.New(sha256.New, secret)
-	mac.Write(inner)
-	inner = mac.Sum(inner)
-	out := make([]byte, 0, 4+len(inner))
-	out = binary.BigEndian.AppendUint32(out, uint32(len(inner)))
-	return append(out, inner...), nil
+	mac.Write(out[len(buf)+4:])
+	out = mac.Sum(out)
+	binary.BigEndian.PutUint32(out[len(buf):], uint32(innerLen))
+	return out, nil
 }
 
 // DecodeFrame authenticates and decodes a frame's inner bytes (the
 // part after the u32 length prefix): verify the MAC, reject frames not
 // addressed to self, and decode the payload through the codec. It is
 // pure — exposed for fuzzing the full untrusted-bytes path the read
-// loop runs on every inbound frame.
+// loop runs on every inbound frame. Decoded bodies must never alias
+// inner: the read loop recycles the buffer immediately after this
+// returns, so codec decoders are required to copy what they keep
+// (msg.Reader's accessors all do).
 func DecodeFrame(codec *msg.Codec, secret []byte, self msg.NodeID, inner []byte) (msg.SessionID, msg.NodeID, msg.Body, error) {
 	if len(inner) < frameOverhead {
 		return 0, 0, nil, ErrBadFrame
@@ -620,9 +824,20 @@ func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, msg.Body, er
 	if length < frameOverhead || length > 64<<20 {
 		return 0, 0, nil, ErrBadFrame
 	}
-	inner := make([]byte, length)
+	// Pooled read buffer: DecodeFrame's decoders copy everything they
+	// retain, so the buffer is reusable the moment it returns.
+	bufp := framePool.Get().(*[]byte)
+	var inner []byte
+	if cap(*bufp) >= int(length) {
+		inner = (*bufp)[:length]
+	} else {
+		inner = make([]byte, length)
+	}
 	if _, err := io.ReadFull(conn, inner); err != nil {
+		putFrameBuf(bufp, inner)
 		return 0, 0, nil, err
 	}
-	return DecodeFrame(n.cfg.Codec, n.cfg.Secret, n.cfg.Self, inner)
+	sid, from, body, err := DecodeFrame(n.cfg.Codec, n.cfg.Secret, n.cfg.Self, inner)
+	putFrameBuf(bufp, inner)
+	return sid, from, body, err
 }

@@ -1,0 +1,166 @@
+package verify
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"hybriddkg/internal/commit"
+)
+
+// Cache is the shared verdict memo of the verification pipeline. It
+// memoizes verify-point outcomes by (commitment hash, verifier,
+// sender, point) — the cross-instance key that lets a verdict computed
+// by a speculative worker against one decoded copy of a matrix answer
+// the state machine's inline check against another copy — and keeps a
+// registry of decoded commitment matrices by hash, so hashed-mode
+// echo/ready points (which carry only a digest) can be speculatively
+// verified before the state machine has resolved the matrix.
+//
+// Cache implements commit.VerdictCache. It is sharded and safe for
+// concurrent use; when a shard fills it is cleared wholesale, the same
+// bounded-memory discipline as sig.Directory's verify cache. The cache
+// is an accelerator, never an authority: a dropped entry only costs a
+// recomputation.
+type Cache struct {
+	shards   [cacheShards]cacheShard
+	capShard int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stores atomic.Uint64
+}
+
+const cacheShards = 32
+
+// matsPerShard bounds the matrix registry separately from the verdict
+// memo: registry entries are whole decoded matrices (tens of KB at
+// large t), not 33-byte verdict records, so they get a much smaller
+// clear-on-full budget. 64 per shard × 32 shards ≈ 2k matrices — far
+// beyond any live session set, small enough that a Byzantine stream
+// of garbage matrices cannot pin unbounded memory.
+const matsPerShard = 64
+
+type cacheShard struct {
+	mu       sync.Mutex
+	verdicts map[[32]byte]bool
+	mats     map[[32]byte]*commit.Matrix
+}
+
+// CacheStats reports memo activity since creation.
+type CacheStats struct {
+	Hits     uint64
+	Misses   uint64
+	Stores   uint64
+	Matrices int
+}
+
+// NewCache creates a verdict cache bounding roughly capacity verdict
+// entries in total (≤ 0 selects a default of 1<<16).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	c := &Cache{capShard: capacity / cacheShards}
+	if c.capShard < 16 {
+		c.capShard = 16
+	}
+	return c
+}
+
+// pointKey collapses one verify-point identity into a fixed-size map
+// key. The digest binds a domain label, the commitment hash, both
+// indices and the canonical point encoding.
+func pointKey(cHash [32]byte, i, m int64, alpha *big.Int) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("hybriddkg/verify-point/v1"))
+	h.Write(cHash[:])
+	var idx [16]byte
+	binary.BigEndian.PutUint64(idx[:8], uint64(i))
+	binary.BigEndian.PutUint64(idx[8:], uint64(m))
+	h.Write(idx[:])
+	h.Write(alpha.Bytes())
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func (c *Cache) shard(key [32]byte) *cacheShard {
+	return &c.shards[key[0]%cacheShards]
+}
+
+// LookupPoint implements commit.VerdictCache.
+func (c *Cache) LookupPoint(cHash [32]byte, i, m int64, alpha *big.Int) (bool, bool) {
+	key := pointKey(cHash, i, m, alpha)
+	s := c.shard(key)
+	s.mu.Lock()
+	v, ok := s.verdicts[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// StorePoint implements commit.VerdictCache.
+func (c *Cache) StorePoint(cHash [32]byte, i, m int64, alpha *big.Int, verdict bool) {
+	key := pointKey(cHash, i, m, alpha)
+	s := c.shard(key)
+	s.mu.Lock()
+	if s.verdicts == nil || len(s.verdicts) >= c.capShard {
+		s.verdicts = make(map[[32]byte]bool, c.capShard/4)
+	}
+	s.verdicts[key] = verdict
+	s.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// RegisterMatrix records a decoded commitment matrix under its hash.
+// Matrices are immutable, so any decoded copy serves; the first one
+// registered wins (keeping its warmed row memo).
+func (c *Cache) RegisterMatrix(m *commit.Matrix) {
+	if m == nil {
+		return
+	}
+	h := m.Hash()
+	s := c.shard(h)
+	s.mu.Lock()
+	if s.mats == nil || len(s.mats) >= matsPerShard {
+		s.mats = make(map[[32]byte]*commit.Matrix, 16)
+	}
+	if _, dup := s.mats[h]; !dup {
+		s.mats[h] = m
+	}
+	s.mu.Unlock()
+}
+
+// MatrixFor returns the registered matrix with the given hash.
+func (c *Cache) MatrixFor(h [32]byte) (*commit.Matrix, bool) {
+	s := c.shard(h)
+	s.mu.Lock()
+	m, ok := s.mats[h]
+	s.mu.Unlock()
+	return m, ok
+}
+
+// Stats returns a snapshot of the memo counters.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Stores: c.stores.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Matrices += len(s.mats)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+var _ commit.VerdictCache = (*Cache)(nil)

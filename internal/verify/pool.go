@@ -1,0 +1,134 @@
+// Package verify is the multi-core verification stage of the runtime:
+// a bounded worker pool that speculatively executes expensive
+// cryptographic checks — commitment point checks and signature
+// verification — before the sequential protocol state machines reach
+// them, plus the shared verdict cache that makes the state machines'
+// inline checks cache hits.
+//
+// The design constraint is bit-identical behaviour: the protocol's
+// deterministic state machines stay single-threaded and authoritative,
+// and speculation is pure cache warming. verify-point and signature
+// verification are pure functions of public data, so a verdict
+// computed on a worker equals the verdict the state machine would
+// compute inline; if speculation loses the race (or the pool sheds
+// load), the inline check simply computes the verdict itself. Nothing
+// protocol-visible depends on worker scheduling.
+//
+// The pool also serves as the generic task runner behind parallel
+// batch-verification flushes (commit.Parallel) — the second leg of the
+// multi-core pipeline, where one flush's independent group equations
+// build concurrently.
+package verify
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// queuePerWorker sizes the task queue: deep enough to absorb a flood
+// burst between event-loop iterations, shallow enough that a stalled
+// pool sheds speculative load instead of buffering it forever.
+const queuePerWorker = 128
+
+// Pool is a fixed-size worker pool for best-effort verification tasks.
+// Submit never blocks: when the queue is full (or the pool is closed)
+// the caller runs the task itself or skips the speculation. Pool
+// implements commit.Parallel.
+type Pool struct {
+	mu     sync.Mutex
+	tasks  chan func()
+	closed bool
+	wg     sync.WaitGroup
+
+	workers   int
+	submitted atomic.Uint64
+	dropped   atomic.Uint64
+	executed  atomic.Uint64
+}
+
+// PoolStats counts pool activity since creation.
+type PoolStats struct {
+	Workers   int
+	Submitted uint64
+	Dropped   uint64
+	Executed  uint64
+}
+
+// NewPool starts a pool with the given number of workers (≤ 0 selects
+// runtime.GOMAXPROCS, the "one worker per core" default of the
+// verification pipeline).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		tasks:   make(chan func(), workers*queuePerWorker),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.tasks {
+		fn()
+		p.executed.Add(1)
+	}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit schedules fn on a worker. It returns false — without running
+// fn — when the queue is full or the pool is closed; speculation
+// callers then just skip (the inline check covers them), while
+// commit.Parallel callers run fn themselves.
+func (p *Pool) Submit(fn func()) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.dropped.Add(1)
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		p.mu.Unlock()
+		p.submitted.Add(1)
+		return true
+	default:
+		p.mu.Unlock()
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Close drains queued tasks and joins every worker goroutine. It is
+// idempotent and safe to call concurrently with Submit; submissions
+// after Close return false. Close must not be called from a pool
+// worker.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		Submitted: p.submitted.Load(),
+		Dropped:   p.dropped.Load(),
+		Executed:  p.executed.Load(),
+	}
+}

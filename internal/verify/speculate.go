@@ -1,0 +1,186 @@
+package verify
+
+import (
+	"math/big"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/sig"
+	"hybriddkg/internal/vss"
+)
+
+// Speculator inspects protocol messages addressed to one node and
+// schedules their expensive checks on the worker pool before the
+// node's state machine consumes them:
+//
+//   - VSS echo/ready points run verify-point against the (carried or
+//     registry-resolved) commitment matrix, landing the verdict in the
+//     shared Cache, which the state machine's inline check consults;
+//   - ready, DKG echo/ready/lead-ch signatures and the proof sets
+//     inside DKG proposals run through the shared sig.Directory, whose
+//     own verification memo turns the inline re-check into a hit
+//     (enable it with Directory.EnableVerifyCache).
+//
+// Observe is safe for concurrent use (transport read loops call it
+// from several goroutines) and never blocks: it only builds closures
+// and feeds the pool, which sheds load rather than queueing unbounded.
+// Speculation is strictly best-effort — every check it performs is a
+// pure function the state machine would otherwise compute inline, so
+// protocol behaviour is bit-identical with or without it.
+type Speculator struct {
+	pool  *Pool
+	cache *Cache
+	dir   *sig.Directory // nil: signature speculation disabled
+	self  msg.NodeID
+}
+
+// NewSpeculator builds the speculation stage for the node self. dir
+// may be nil when the workload carries no signatures.
+func NewSpeculator(pool *Pool, cache *Cache, dir *sig.Directory, self msg.NodeID) *Speculator {
+	if pool == nil || cache == nil {
+		panic("verify: speculator needs a pool and a cache")
+	}
+	return &Speculator{pool: pool, cache: cache, dir: dir, self: self}
+}
+
+// Cache returns the speculator's verdict cache (the value to install
+// as vss/dkg Params.Verdicts).
+func (s *Speculator) Cache() *Cache { return s.cache }
+
+// Pool returns the speculator's worker pool (the value to install as
+// vss/dkg Params.Parallel).
+func (s *Speculator) Pool() *Pool { return s.pool }
+
+// Observe inspects one inbound message and schedules its speculative
+// checks. Unknown body types are ignored.
+func (s *Speculator) Observe(from msg.NodeID, body msg.Body) {
+	switch m := body.(type) {
+	case *vss.SendMsg:
+		s.cache.RegisterMatrix(m.C)
+	case *vss.EchoMsg:
+		s.point(m.C, m.CHash, from, m)
+	case *vss.ReadyMsg:
+		s.point(m.C, m.CHash, from, m)
+		if s.dir != nil && len(m.Sig) > 0 {
+			session, cHash, sigBytes := m.Session, m.CHash, m.Sig
+			s.pool.Submit(func() {
+				s.dir.Verify(int64(from), vss.ReadyTranscript(session, cHash), sigBytes)
+			})
+		}
+	case *dkg.SendMsg:
+		s.proposal(m.Prop, m.Tau)
+		s.leaderProof(m.Tau, m.View, m.LeaderProof)
+	case *dkg.EchoMsg:
+		s.qsig(from, m.Tau, m.Prop, m.Sig, false)
+	case *dkg.ReadyMsg:
+		s.qsig(from, m.Tau, m.Prop, m.Sig, true)
+	case *dkg.LeadChMsg:
+		if s.dir != nil && len(m.Sig) > 0 {
+			tau, view, sigBytes := m.Tau, m.NewView, m.Sig
+			s.pool.Submit(func() {
+				s.dir.Verify(int64(from), dkg.LeadChTranscript(tau, view), sigBytes)
+			})
+		}
+		s.proposal(m.Prop, m.Tau)
+	}
+}
+
+// point schedules one verify-point speculation for an echo/ready
+// evaluation addressed to self. Full-matrix messages also feed the
+// registry so later hashed references resolve.
+func (s *Speculator) point(c *commit.Matrix, cHash [32]byte, from msg.NodeID, body msg.Body) {
+	mat := c
+	if mat != nil {
+		s.cache.RegisterMatrix(mat)
+	} else {
+		var ok bool
+		if mat, ok = s.cache.MatrixFor(cHash); !ok {
+			return // hashed mode before the matrix is known: nothing to check against
+		}
+	}
+	var alpha *big.Int
+	switch m := body.(type) {
+	case *vss.EchoMsg:
+		alpha = m.Alpha
+	case *vss.ReadyMsg:
+		alpha = m.Alpha
+	}
+	if alpha == nil {
+		return
+	}
+	s.pool.Submit(func() { mat.VerifyPointVia(s.cache, int64(s.self), int64(from), alpha) })
+}
+
+// qsig schedules the signature check of a DKG echo/ready message; the
+// proposal digest is computed on the worker, not the caller.
+func (s *Speculator) qsig(from msg.NodeID, tau uint64, prop *dkg.Proposal, sigBytes []byte, ready bool) {
+	if s.dir == nil || prop == nil || len(sigBytes) == 0 {
+		return
+	}
+	s.pool.Submit(func() {
+		digest := prop.Digest(tau)
+		transcript := dkg.EchoTranscript(tau, digest)
+		if ready {
+			transcript = dkg.ReadyTranscript(tau, digest)
+		}
+		s.dir.Verify(int64(from), transcript, sigBytes)
+	})
+}
+
+// proposal schedules the validity-proof checks of a full DKG proposal
+// (leader send or lead-ch material): per-dealer VSS ready-proof sets,
+// or the echo/ready quorum signatures over the proposal digest. One
+// task per proof set keeps task granularity near one multi-exp.
+func (s *Speculator) proposal(p *dkg.Proposal, tau uint64) {
+	if s.dir == nil || p == nil {
+		return
+	}
+	switch p.Kind {
+	case dkg.KindVSS:
+		if len(p.VSSProofs) != len(p.Q) || len(p.CHashes) != len(p.Q) {
+			return
+		}
+		for i := range p.Q {
+			dealer, cHash, proof := p.Q[i], p.CHashes[i], p.VSSProofs[i]
+			if len(proof) == 0 {
+				continue
+			}
+			s.pool.Submit(func() {
+				transcript := vss.ReadyTranscript(vss.SessionID{Dealer: dealer, Tau: tau}, cHash)
+				for _, sr := range proof {
+					s.dir.Verify(int64(sr.Signer), transcript, sr.Sig)
+				}
+			})
+		}
+	case dkg.KindEcho, dkg.KindReady:
+		if len(p.QSigs) == 0 {
+			return
+		}
+		kind, sigs, prop := p.Kind, p.QSigs, p
+		s.pool.Submit(func() {
+			digest := prop.Digest(tau)
+			transcript := dkg.EchoTranscript(tau, digest)
+			if kind == dkg.KindReady {
+				transcript = dkg.ReadyTranscript(tau, digest)
+			}
+			for _, q := range sigs {
+				s.dir.Verify(int64(q.Signer), transcript, q.Sig)
+			}
+		})
+	}
+}
+
+// leaderProof schedules the signed lead-ch set legitimising a view>1
+// leader proposal.
+func (s *Speculator) leaderProof(tau, view uint64, proof []dkg.SignedQ) {
+	if s.dir == nil || len(proof) == 0 {
+		return
+	}
+	s.pool.Submit(func() {
+		transcript := dkg.LeadChTranscript(tau, view)
+		for _, q := range proof {
+			s.dir.Verify(int64(q.Signer), transcript, q.Sig)
+		}
+	})
+}

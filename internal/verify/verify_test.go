@@ -1,0 +1,284 @@
+package verify
+
+import (
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/sig"
+	"hybriddkg/internal/vss"
+)
+
+// TestPoolRunsTasks: submitted tasks all execute; stats add up.
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 500; i++ {
+		wg.Add(1)
+		task := func() {
+			n.Add(1)
+			wg.Done()
+		}
+		if !p.Submit(task) {
+			task()
+		}
+	}
+	wg.Wait()
+	if n.Load() != 500 {
+		t.Fatalf("ran %d of 500 tasks", n.Load())
+	}
+	st := p.Stats()
+	if st.Submitted+st.Dropped != 500 {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+}
+
+// TestPoolCloseSemantics: Close is idempotent, joins workers, and
+// makes later Submits refuse without running the task.
+func TestPoolCloseSemantics(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Bool
+	p.Close()
+	p.Close() // idempotent
+	if p.Submit(func() { ran.Store(true) }) {
+		t.Fatal("Submit accepted after Close")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("task ran after Close")
+	}
+}
+
+// TestPoolNoGoroutineLeak: creating and closing pools returns the
+// process to its original goroutine count — the engine-shutdown
+// guarantee the session runtime relies on.
+func TestPoolNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		p := NewPool(8)
+		for j := 0; j < 100; j++ {
+			p.Submit(func() { time.Sleep(time.Microsecond) })
+		}
+		p.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// matrixFixture builds a commitment matrix plus valid evaluations
+// f(sender, self) for every sender.
+func matrixFixture(t *testing.T, gr *group.Group, n, deg int, self int64) (*commit.Matrix, []*big.Int) {
+	t.Helper()
+	r := randutil.NewReader(7)
+	secret, err := gr.RandScalar(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := poly.NewRandomSymmetric(gr.Q(), secret, deg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := commit.NewMatrix(gr, f)
+	alphas := make([]*big.Int, n+1)
+	for s := int64(1); s <= int64(n); s++ {
+		alphas[s] = f.Eval(s, self)
+	}
+	return m, alphas
+}
+
+// TestCacheVerdicts: memoized verdicts equal direct verification, for
+// valid and forged points, across distinct decoded instances of the
+// same matrix.
+func TestCacheVerdicts(t *testing.T) {
+	gr := group.Test256()
+	const n, deg, self = 10, 3, 4
+	m, alphas := matrixFixture(t, gr, n, deg, self)
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := commit.UnmarshalMatrix(gr, enc) // a second instance, as a message decode would produce
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	// Warm through instance 1.
+	for s := int64(1); s <= n; s++ {
+		if !m.VerifyPointVia(c, self, s, alphas[s]) {
+			t.Fatalf("valid point %d rejected", s)
+		}
+	}
+	forged := new(big.Int).Add(alphas[1], big.NewInt(1))
+	forged.Mod(forged, gr.Q())
+	if m.VerifyPointVia(c, self, 1, forged) {
+		t.Fatal("forged point accepted")
+	}
+	// Instance 2 must hit the memo (same hash → same keys).
+	before := c.Stats()
+	for s := int64(1); s <= n; s++ {
+		if !m2.VerifyPointVia(c, self, s, alphas[s]) {
+			t.Fatalf("valid point %d rejected via second instance", s)
+		}
+	}
+	if m2.VerifyPointVia(c, self, 1, forged) {
+		t.Fatal("forged point accepted via second instance")
+	}
+	after := c.Stats()
+	if after.Hits-before.Hits != n+1 {
+		t.Fatalf("expected %d cross-instance hits, got %d", n+1, after.Hits-before.Hits)
+	}
+}
+
+// TestCacheMatrixRegistry: registered matrices resolve by hash; the
+// first registration wins.
+func TestCacheMatrixRegistry(t *testing.T) {
+	gr := group.Test256()
+	m, _ := matrixFixture(t, gr, 7, 2, 3)
+	c := NewCache(0)
+	if _, ok := c.MatrixFor(m.Hash()); ok {
+		t.Fatal("empty registry resolved a matrix")
+	}
+	c.RegisterMatrix(m)
+	got, ok := c.MatrixFor(m.Hash())
+	if !ok || got != m {
+		t.Fatal("registered matrix did not resolve")
+	}
+	enc, _ := m.MarshalBinary()
+	m2, _ := commit.UnmarshalMatrix(gr, enc)
+	c.RegisterMatrix(m2)
+	if got, _ := c.MatrixFor(m.Hash()); got != m {
+		t.Fatal("re-registration displaced the first instance")
+	}
+}
+
+// TestSpeculatorWarmsPointCache: observing echo/ready messages makes
+// later inline checks cache hits, in both full-matrix and hashed mode.
+func TestSpeculatorWarmsPointCache(t *testing.T) {
+	gr := group.Test256()
+	const n, deg, self = 10, 3, 4
+	m, alphas := matrixFixture(t, gr, n, deg, self)
+	pool := NewPool(2)
+	defer pool.Close()
+	cache := NewCache(0)
+	sp := NewSpeculator(pool, cache, nil, msg.NodeID(self))
+	session := vss.SessionID{Dealer: 1, Tau: 1}
+
+	// Full-matrix echo for sender 2; hashed ready for sender 3 after a
+	// send registered the matrix.
+	sp.Observe(2, &vss.EchoMsg{Session: session, C: m, CHash: m.Hash(), Alpha: alphas[2]})
+	sp.Observe(1, &vss.SendMsg{Session: session, C: m})
+	sp.Observe(3, &vss.ReadyMsg{Session: session, CHash: m.Hash(), Alpha: alphas[3]})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h2, ok2 := cache.LookupPoint(m.Hash(), self, 2, alphas[2])
+		h3, ok3 := cache.LookupPoint(m.Hash(), self, 3, alphas[3])
+		if ok2 && ok3 {
+			if !h2 || !h3 {
+				t.Fatal("speculation memoized a wrong verdict")
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("speculation never warmed the cache")
+}
+
+// TestSpeculatorWarmsSigCache: an observed signed ready warms the
+// directory's verification memo.
+func TestSpeculatorWarmsSigCache(t *testing.T) {
+	scheme := sig.Ed25519{}
+	dir := sig.NewDirectory(scheme)
+	dir.EnableVerifyCache(0)
+	r := randutil.NewReader(3)
+	priv, pub, err := scheme.GenerateKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Add(2, pub); err != nil {
+		t.Fatal(err)
+	}
+	gr := group.Test256()
+	m, alphas := matrixFixture(t, gr, 7, 2, 4)
+	session := vss.SessionID{Dealer: 1, Tau: 9}
+	sigBytes, err := scheme.Sign(priv, vss.ReadyTranscript(session, m.Hash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewPool(2)
+	defer pool.Close()
+	sp := NewSpeculator(pool, NewCache(0), dir, 4)
+	sp.Observe(2, &vss.ReadyMsg{Session: session, C: m, CHash: m.Hash(), Alpha: alphas[2], Sig: sigBytes})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, misses := dir.VerifyCacheStats(); misses > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hitsBefore, _ := dir.VerifyCacheStats()
+	if !dir.Verify(2, vss.ReadyTranscript(session, m.Hash()), sigBytes) {
+		t.Fatal("valid signature rejected")
+	}
+	hitsAfter, _ := dir.VerifyCacheStats()
+	if hitsAfter != hitsBefore+1 {
+		t.Fatal("inline signature check was not a cache hit")
+	}
+}
+
+// TestPoolAsCommitParallel: the pool satisfies commit.Parallel and a
+// parallel batch flush reports exactly the sequential verdicts, honest
+// and adversarial alike.
+func TestPoolAsCommitParallel(t *testing.T) {
+	var _ commit.Parallel = (*Pool)(nil)
+	gr := group.Test256()
+	const n, deg = 13, 3
+	m1, a1 := matrixFixture(t, gr, n, deg, 5)
+	pool := NewPool(4)
+	defer pool.Close()
+
+	run := func(par commit.Parallel) map[any]bool {
+		bv := commit.NewBatchVerifier(gr)
+		bv.SetParallel(par)
+		for s := int64(1); s <= n; s++ {
+			alpha := a1[s]
+			if s == 3 { // corrupt one sender
+				alpha = new(big.Int).Add(alpha, big.NewInt(1))
+				alpha.Mod(alpha, gr.Q())
+			}
+			bv.AddPoint(s, m1, 5, s, alpha)
+		}
+		bad := make(map[any]bool)
+		for _, tag := range bv.Flush() {
+			bad[tag] = true
+		}
+		return bad
+	}
+	seq := run(nil)
+	par := run(pool)
+	if len(seq) != 1 || !seq[int64(3)] {
+		t.Fatalf("sequential flush misidentified: %v", seq)
+	}
+	if len(par) != len(seq) || !par[int64(3)] {
+		t.Fatalf("parallel flush verdicts differ: seq=%v par=%v", seq, par)
+	}
+}

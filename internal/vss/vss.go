@@ -54,6 +54,18 @@ type Params struct {
 	// fallback when a batch fails, so verdicts are identical either
 	// way — this switch exists for benchmarks and differential tests.
 	DisableBatch bool
+	// Verdicts, when set, is a shared memo of verify-point outcomes
+	// (the verification pipeline's cache, warmed speculatively by
+	// worker goroutines before messages reach this state machine).
+	// verify-point is a pure predicate, so consulting the memo changes
+	// no verdict and no state transition — only where the
+	// exponentiations run. Batched and deferred verification behave
+	// identically with or without it.
+	Verdicts commit.VerdictCache
+	// Parallel, when set, is a best-effort worker pool that batch
+	// flushes use to build their independent per-group equations
+	// concurrently (commit.BatchVerifier.SetParallel).
+	Parallel commit.Parallel
 	// Extended enables signed ready messages whose collected sets
 	// form DKG completion proofs (extended HybridVSS, §4).
 	Extended bool
@@ -407,7 +419,9 @@ func (nd *Node) pointValid(cs *cstate, from msg.NodeID, alpha *big.Int) bool {
 	if row := cs.rowPoly(); row != nil {
 		return row.EvalInt(int64(from)).Cmp(alpha) == 0
 	}
-	return cs.c.VerifyPoint(int64(nd.self), int64(from), alpha)
+	// The expensive path: verify-point through the shared verdict memo
+	// (a speculative worker may already have paid the exponentiations).
+	return cs.c.VerifyPointVia(nd.params.Verdicts, int64(nd.self), int64(from), alpha)
 }
 
 // deferPoint reports whether pp should join the deferred-verification
@@ -469,7 +483,24 @@ func (nd *Node) maybeFlushBatch(cs *cstate) {
 	pend := cs.unverified
 	cs.unverified = nil
 	bv := commit.NewBatchVerifier(nd.params.Group)
+	bv.SetParallel(nd.params.Parallel)
+	// Points whose verdict the shared memo already holds (speculative
+	// workers verified them while they sat in the queue) skip the
+	// batch entirely; only unknown points pay the multi-exp. Memoized
+	// verdicts equal batch verdicts — both equal verify-point — so the
+	// apply sequence below is unchanged.
+	known := make([]int8, len(pend)) // 0 = batch, +1 = valid, -1 = invalid
 	for idx, pp := range pend {
+		if vc := nd.params.Verdicts; vc != nil {
+			if v, hit := vc.LookupPoint(cs.c.Hash(), int64(nd.self), int64(pp.from), pp.alpha); hit {
+				if v {
+					known[idx] = 1
+				} else {
+					known[idx] = -1
+				}
+				continue
+			}
+		}
 		bv.AddPoint(idx, cs.c, int64(nd.self), int64(pp.from), pp.alpha)
 	}
 	bad := make(map[int]bool, len(pend))
@@ -478,7 +509,7 @@ func (nd *Node) maybeFlushBatch(cs *cstate) {
 	}
 	applied := make(map[msg.NodeID]uint8, len(pend))
 	for idx, pp := range pend {
-		if !bad[idx] {
+		if known[idx] >= 0 && !bad[idx] {
 			nd.applyVerified(cs, pp, applied)
 		}
 	}
