@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -144,6 +145,7 @@ type clusterFlags struct {
 	groupName *string
 	timeout   *time.Duration
 	leader    *int64
+	wireV1    *bool
 
 	gr     *group.Group
 	dir    *sig.Directory
@@ -165,6 +167,8 @@ func newClusterFlags(fs *flag.FlagSet) *clusterFlags {
 		groupName: fs.String("group", "test256", "discrete-log parameter set"),
 		timeout:   fs.Duration("timeout", 5*time.Minute, "overall deadline"),
 		leader:    fs.Int64("leader", 1, "initial leader index"),
+		wireV1: fs.Bool("wire-v1", false,
+			"send legacy wire format v1 (no coalescing, no compressed or dedup'd commitments); v2 frames are still decoded"),
 	}
 }
 
@@ -204,20 +208,23 @@ func (c *clusterFlags) transportConfig(h transport.Handler) transport.Config {
 		Secret:    c.secret,
 		Handler:   h,
 		TimerUnit: time.Millisecond,
+		Coalesce:  !*c.wireV1,
 	}
 }
 
 // dkgParams assembles the shared protocol parameters.
 func (c *clusterFlags) dkgParams() dkg.Params {
 	return dkg.Params{
-		Group:         c.gr,
-		N:             *c.n,
-		T:             *c.t,
-		F:             *c.f,
-		Directory:     c.dir,
-		SignKey:       c.priv,
-		InitialLeader: msg.NodeID(*c.leader),
-		TimeoutBase:   10_000, // 10s at 1ms/unit before first leader change
+		Group:          c.gr,
+		N:              *c.n,
+		T:              *c.t,
+		F:              *c.f,
+		DedupDealings:  !*c.wireV1,
+		CompressedWire: !*c.wireV1,
+		Directory:      c.dir,
+		SignKey:        c.priv,
+		InitialLeader:  msg.NodeID(*c.leader),
+		TimeoutBase:    10_000, // 10s at 1ms/unit before first leader change
 	}
 }
 
@@ -575,6 +582,37 @@ func serve(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	completed := 0
 	deadline := time.After(*timeout)
+	// dumpWire prints the cumulative bytes-on-wire books on clean
+	// shutdown: total frames/bytes, then per message type and per
+	// session, so operators can compare wire-format configurations
+	// across runs.
+	dumpWire := func() {
+		ws, ok := eng.WireStats()
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "node %d: wire: %d frames, %d bytes sent\n", *id, ws.Frames, ws.FrameBytes)
+		types := make([]int, 0, len(ws.MsgCount))
+		for tt := range ws.MsgCount {
+			types = append(types, int(tt))
+		}
+		sort.Ints(types)
+		for _, ti := range types {
+			tt := msg.Type(ti)
+			fmt.Fprintf(os.Stderr, "node %d: wire:   type %-12s %6d msgs %10d bytes\n",
+				*id, tt, ws.MsgCount[tt], ws.MsgBytes[tt])
+		}
+		sids := make([]uint64, 0, len(ws.SessionBytes))
+		for sid := range ws.SessionBytes {
+			sids = append(sids, uint64(sid))
+		}
+		sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+		for _, sv := range sids {
+			sid := msg.SessionID(sv)
+			fmt.Fprintf(os.Stderr, "node %d: wire:   session %d: %d frames %d bytes\n",
+				*id, sv, ws.SessionFrames[sid], ws.SessionBytes[sid])
+		}
+	}
 	handleResult := func(res sessionResult) error {
 		out := map[string]any{
 			"node":      *id,
@@ -616,6 +654,7 @@ func serve(args []string) error {
 	for {
 		if len(expected) > 0 && completed == len(expected) {
 			fmt.Fprintf(os.Stderr, "node %d: all %d session(s) completed\n", *id, completed)
+			dumpWire()
 			return nil
 		}
 		select {
@@ -647,6 +686,7 @@ func serve(args []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "node %d: %v: state flushed (%d/%d sessions completed), exiting cleanly\n",
 				*id, s, completed, len(expected))
+			dumpWire()
 			return nil
 		case <-deadline:
 			if completed == len(expected) {
@@ -654,6 +694,7 @@ func serve(args []string) error {
 				// stdin requests): the service simply ran out its
 				// lease with all requested work done.
 				fmt.Fprintf(os.Stderr, "node %d: deadline reached with all %d requested session(s) completed\n", *id, completed)
+				dumpWire()
 				return nil
 			}
 			st := eng.Stats()

@@ -279,8 +279,13 @@ func (m *Matrix) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalMatrix decodes a matrix in the given group, validating that
-// every entry is a group element.
+// every entry is a group element. Both wire formats decode: v1 bodies
+// start with 0x00 (the high byte of a u32 degree ≤ 4096), v2 bodies
+// with the 0xC2 marker (see compress.go).
 func UnmarshalMatrix(gr *group.Group, data []byte) (*Matrix, error) {
+	if len(data) > 0 && data[0] == matrixV2Marker {
+		return unmarshalMatrixV2(gr, data)
+	}
 	r := bytes.NewReader(data)
 	tU, err := readU32(r)
 	if err != nil {
@@ -429,7 +434,11 @@ func (vc *Vector) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalVector decodes a vector commitment in the given group.
+// Both wire formats decode (0xC3 marks a v2 body, see compress.go).
 func UnmarshalVector(gr *group.Group, data []byte) (*Vector, error) {
+	if len(data) > 0 && data[0] == vectorV2Marker {
+		return unmarshalVectorV2(gr, data)
+	}
 	r := bytes.NewReader(data)
 	tU, err := readU32(r)
 	if err != nil {

@@ -1,0 +1,181 @@
+// Wire format v2 for commitments: compressed element slots behind a
+// one-byte version marker. The v1 encoding (MarshalBinary) remains
+// the canonical form — Hash() is computed over it, so the commitment
+// fingerprint CHash that the protocol floods, signs and counts with is
+// identical no matter which wire form carried the matrix. A v1 body
+// always begins with the high byte of a u32 degree ≤ 4096, i.e. 0x00,
+// so the 0xC2/0xC3 markers cannot collide with it and UnmarshalMatrix/
+// UnmarshalVector auto-detect the version — old frames keep decoding.
+//
+// v2 layout:
+//
+//	matrix: 0xC2 ‖ u16 t ‖ upper-triangle entries (row by row, j ≤ ℓ)
+//	vector: 0xC3 ‖ u16 t ‖ t+1 entries
+//
+// Entry slots depend on the backend's compressed codec: a fixed
+// CompressedLen (p256: 33 bytes) means raw unprefixed slots; a
+// variable-width codec (modp: minimal big-endian residues) prefixes
+// each entry with a u16 length. Against v1's 4-byte blob prefix per
+// entry this saves 4 bytes/entry on p256 and 2 bytes/entry on modp,
+// on top of whichever element compression the backend provides.
+package commit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hybriddkg/internal/group"
+)
+
+// Version markers for the v2 commitment encodings.
+const (
+	matrixV2Marker = 0xC2
+	vectorV2Marker = 0xC3
+)
+
+// MarshalCompressed encodes the matrix in wire format v2.
+func (m *Matrix) MarshalCompressed() ([]byte, error) {
+	if m.t > 0xffff {
+		return nil, fmt.Errorf("%w: degree %d exceeds v2 range", ErrBadEncoding, m.t)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(matrixV2Marker)
+	writeU16(&buf, uint16(m.t))
+	fixed := m.gr.CompressedLen()
+	for j := 0; j <= m.t; j++ {
+		for l := j; l <= m.t; l++ {
+			writeCompressed(&buf, m.gr, m.c[j][l], fixed)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// MarshalCompressed encodes the vector in wire format v2.
+func (vc *Vector) MarshalCompressed() ([]byte, error) {
+	if len(vc.v)-1 > 0xffff {
+		return nil, fmt.Errorf("%w: degree %d exceeds v2 range", ErrBadEncoding, len(vc.v)-1)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(vectorV2Marker)
+	writeU16(&buf, uint16(len(vc.v)-1))
+	fixed := vc.gr.CompressedLen()
+	for _, e := range vc.v {
+		writeCompressed(&buf, vc.gr, e, fixed)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalMatrixV2(gr *group.Group, data []byte) (*Matrix, error) {
+	r := bytes.NewReader(data[1:])
+	t, err := readU16(r)
+	if err != nil {
+		return nil, err
+	}
+	if t > 4096 {
+		return nil, fmt.Errorf("%w: degree %d too large", ErrBadEncoding, t)
+	}
+	count := (int(t) + 1) * (int(t) + 2) / 2
+	entries, err := readCompressedEntries(gr, r, count)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadEncoding)
+	}
+	c := make([][]group.Element, int(t)+1)
+	for j := range c {
+		c[j] = make([]group.Element, int(t)+1)
+	}
+	i := 0
+	for j := 0; j <= int(t); j++ {
+		for l := j; l <= int(t); l++ {
+			c[j][l] = entries[i]
+			c[l][j] = entries[i]
+			i++
+		}
+	}
+	return &Matrix{gr: gr, t: int(t), c: c}, nil
+}
+
+func unmarshalVectorV2(gr *group.Group, data []byte) (*Vector, error) {
+	r := bytes.NewReader(data[1:])
+	t, err := readU16(r)
+	if err != nil {
+		return nil, err
+	}
+	if t > 4096 {
+		return nil, fmt.Errorf("%w: degree %d too large", ErrBadEncoding, t)
+	}
+	entries, err := readCompressedEntries(gr, r, int(t)+1)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadEncoding)
+	}
+	return &Vector{gr: gr, v: entries}, nil
+}
+
+// readCompressedEntries slices count entry encodings out of r and
+// decodes them through the backend's batch decompression path.
+func readCompressedEntries(gr *group.Group, r *bytes.Reader, count int) ([]group.Element, error) {
+	fixed := gr.CompressedLen()
+	minEntry := 3 // u16 prefix + at least one residue byte
+	if fixed > 0 {
+		minEntry = fixed
+	}
+	// Reject before allocating O(count) structures, mirroring the v1
+	// guard: a corrupt header cannot force a huge allocation.
+	if r.Len() < count*minEntry {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold %d compressed entries", ErrBadEncoding, r.Len(), count)
+	}
+	encs := make([][]byte, count)
+	for i := range encs {
+		var n int
+		if fixed > 0 {
+			n = fixed
+		} else {
+			ln, err := readU16(r)
+			if err != nil {
+				return nil, err
+			}
+			n = int(ln)
+		}
+		if n > r.Len() {
+			return nil, fmt.Errorf("%w: truncated entry %d", ErrBadEncoding, i)
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+		encs[i] = b
+	}
+	entries, err := gr.DecodeCompressedBatch(encs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	return entries, nil
+}
+
+func writeCompressed(buf *bytes.Buffer, gr *group.Group, e group.Element, fixed int) {
+	enc := gr.EncodeCompressed(e)
+	if fixed == 0 {
+		writeU16(buf, uint16(len(enc)))
+	}
+	buf.Write(enc)
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func readU16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}

@@ -70,6 +70,15 @@ type Params struct {
 	DMax int
 	// HashedEcho configures the embedded VSS instances.
 	HashedEcho bool
+	// DedupDealings configures the embedded VSS instances to reference
+	// commitment matrices by digest after the dealer's send, with
+	// pull-based fetch for nodes that missed the full copy (see
+	// vss.Params.DedupDealings).
+	DedupDealings bool
+	// CompressedWire selects the wire-format-v2 commitment encoding
+	// (compressed group elements) on every matrix the embedded VSS
+	// instances emit (see vss.Params.CompressedWire).
+	CompressedWire bool
 	// DisableBatch turns off the embedded VSS instances' batched point
 	// verification (see vss.Params.DisableBatch); batching is on by
 	// default.
@@ -288,18 +297,20 @@ func NewNode(params Params, tau uint64, self msg.NodeID, runtime Runtime, opts O
 		armedTimers:  make(map[uint64]bool),
 	}
 	vssParams := vss.Params{
-		Group:        params.Group,
-		N:            params.N,
-		T:            params.T,
-		F:            params.F,
-		DMax:         params.DMax,
-		HashedEcho:   params.HashedEcho,
-		DisableBatch: params.DisableBatch,
-		Verdicts:     params.Verdicts,
-		Parallel:     params.Parallel,
-		Extended:     true,
-		Directory:    params.Directory,
-		SignKey:      params.SignKey,
+		Group:          params.Group,
+		N:              params.N,
+		T:              params.T,
+		F:              params.F,
+		DMax:           params.DMax,
+		HashedEcho:     params.HashedEcho,
+		DedupDealings:  params.DedupDealings,
+		CompressedWire: params.CompressedWire,
+		DisableBatch:   params.DisableBatch,
+		Verdicts:       params.Verdicts,
+		Parallel:       params.Parallel,
+		Extended:       true,
+		Directory:      params.Directory,
+		SignKey:        params.SignKey,
 	}
 	for d := 1; d <= params.N; d++ {
 		dealer := msg.NodeID(d)

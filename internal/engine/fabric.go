@@ -60,3 +60,23 @@ func (f *transportFabric) RegisterSession(sid msg.SessionID, h Handler) (Runtime
 func (f *transportFabric) RetireSession(sid msg.SessionID) {
 	f.node.RetireSession(sid)
 }
+
+// WireStatsProvider is an optional Fabric capability: fabrics backed
+// by a wire-level endpoint expose its bytes-on-wire books (frames and
+// bytes by message type and session). The simulated fabric does not
+// implement it — the simulator's books live in simnet.Stats.
+type WireStatsProvider interface {
+	WireStats() transport.WireStats
+}
+
+// WireStats implements WireStatsProvider.
+func (f *transportFabric) WireStats() transport.WireStats { return f.node.WireStats() }
+
+// WireStats returns the fabric's bytes-on-wire books when the fabric
+// can provide them (false otherwise, e.g. in simulation).
+func (e *Engine) WireStats() (transport.WireStats, bool) {
+	if p, ok := e.cfg.Fabric.(WireStatsProvider); ok {
+		return p.WireStats(), true
+	}
+	return transport.WireStats{}, false
+}

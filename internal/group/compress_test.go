@@ -1,0 +1,228 @@
+package group
+
+// Wire-format-v2 compressed codec battery: round-trips, batch
+// equivalence, canonicity rejections (every element has exactly one
+// compressed byte form) and cross-validation of the p256 flat-limb
+// decompression against crypto/elliptic's reference decoder.
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/randutil"
+)
+
+func TestCompressedConformance(t *testing.T) {
+	for _, name := range Names() {
+		gr, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		t.Run(name, func(t *testing.T) {
+			conformCompressed(t, gr)
+		})
+	}
+}
+
+func conformCompressed(t *testing.T, gr *Group) {
+	r := randutil.NewReader(7000 + uint64(gr.SecurityBits()))
+	qm1 := new(big.Int).Sub(gr.Q(), big.NewInt(1))
+	cases := []Element{gr.Identity(), gr.Generator(), gr.GExp(qm1)}
+	for i := 0; i < 16; i++ {
+		e, _ := gr.RandScalar(r)
+		cases = append(cases, gr.GExp(e))
+	}
+	encs := make([][]byte, len(cases))
+	for i, e := range cases {
+		enc := gr.EncodeCompressed(e)
+		if cl := gr.CompressedLen(); cl != 0 && len(enc) != cl {
+			t.Fatalf("case %d: compressed length %d, want fixed %d", i, len(enc), cl)
+		}
+		dec, err := gr.DecodeCompressed(enc)
+		if err != nil {
+			t.Fatalf("case %d: DecodeCompressed: %v", i, err)
+		}
+		if !dec.Equal(e) || !gr.IsElement(dec) {
+			t.Fatalf("case %d: compressed round-trip lost the element", i)
+		}
+		// Re-encoding the decoded element must reproduce the bytes: one
+		// canonical form per element.
+		if !bytes.Equal(gr.EncodeCompressed(dec), enc) {
+			t.Fatalf("case %d: re-encode not canonical", i)
+		}
+		encs[i] = enc
+	}
+	// The batch path must agree element-for-element with the one-shot
+	// path.
+	batch, err := gr.DecodeCompressedBatch(encs)
+	if err != nil {
+		t.Fatalf("DecodeCompressedBatch: %v", err)
+	}
+	for i, e := range batch {
+		if !e.Equal(cases[i]) {
+			t.Fatalf("batch element %d diverges from one-shot decode", i)
+		}
+	}
+	// One bad entry fails the whole batch.
+	encs[len(encs)/2] = []byte{0xff}
+	if _, err := gr.DecodeCompressedBatch(encs); err == nil {
+		t.Fatal("batch with a malformed entry accepted")
+	}
+	// Garbage rejection shared by both backends.
+	for _, bad := range [][]byte{nil, {}, {0xff}, make([]byte, gr.ElementLen()+7)} {
+		if _, err := gr.DecodeCompressed(bad); err == nil {
+			t.Fatalf("DecodeCompressed accepted garbage %x", bad)
+		}
+	}
+}
+
+// TestCompressedP256Strictness pins the p256-specific canonicity
+// rules: exact 33-byte slots, 0x02/0x03 sign bytes only, all-zero
+// identity, x reduced below the field prime, and off-curve x rejected
+// by the residue check.
+func TestCompressedP256Strictness(t *testing.T) {
+	gr := P256()
+	b := gr.Backend().(*P256Backend)
+	g := gr.EncodeCompressed(gr.Generator())
+	if len(g) != 33 || (g[0] != 2 && g[0] != 3) {
+		t.Fatalf("generator encoding %x not a 33-byte SEC 1 point", g)
+	}
+
+	bad := func(name string, enc []byte) {
+		t.Helper()
+		if _, err := gr.DecodeCompressed(enc); err == nil {
+			t.Fatalf("%s accepted: %x", name, enc)
+		}
+	}
+	// Sign byte outside {0, 2, 3}.
+	for _, sign := range []byte{1, 4, 5, 0x80, 0xff} {
+		enc := append([]byte{sign}, g[1:]...)
+		bad("bad sign byte", enc)
+	}
+	// Identity with a stray non-zero byte.
+	enc := make([]byte, 33)
+	enc[32] = 1
+	bad("non-canonical identity", enc)
+	// Truncated and padded forms of a valid point.
+	bad("truncated point", g[:32])
+	bad("overlong point", append(append([]byte{}, g...), 0))
+	// x ≥ p is a second byte form of the reduced coordinate.
+	overP := make([]byte, 33)
+	overP[0] = 2
+	b.curve.Params().P.FillBytes(overP[1:])
+	bad("x = p", overP)
+	// An x with no curve point: x = 5 on P-256 (5³−15+b is a
+	// non-residue, verified against the reference decoder below).
+	noPoint := make([]byte, 33)
+	noPoint[0] = 2
+	noPoint[32] = 5
+	if _, err := gr.DecodeCompressed(noPoint); err == nil {
+		// If 5 ever were on the curve the reference decoder would
+		// accept it too; require agreement either way.
+		if _, refErr := gr.DecodeElement(noPoint); refErr != nil {
+			t.Fatal("fast path accepted an x the reference decoder rejects")
+		}
+	}
+
+	// Cross-validation: fast decompression and crypto/elliptic agree on
+	// many random points, both signs.
+	r := randutil.NewReader(99)
+	for i := 0; i < 64; i++ {
+		e, _ := gr.RandScalar(r)
+		pt := gr.GExp(e)
+		enc := gr.EncodeCompressed(pt)
+		fast, err := gr.DecodeCompressed(enc)
+		if err != nil {
+			t.Fatalf("fast decode: %v", err)
+		}
+		ref, err := gr.DecodeElement(enc)
+		if err != nil {
+			t.Fatalf("reference decode: %v", err)
+		}
+		if !fast.Equal(ref) || !fast.Equal(pt) {
+			t.Fatalf("point %d: fast/reference decoders disagree", i)
+		}
+		// The opposite sign byte decodes to the inverse point.
+		flipped := append([]byte{}, enc...)
+		flipped[0] ^= 1
+		inv, err := gr.DecodeCompressed(flipped)
+		if err != nil {
+			t.Fatalf("flipped sign decode: %v", err)
+		}
+		want, _ := gr.Inv(pt)
+		if !inv.Equal(want) {
+			t.Fatalf("point %d: flipped sign is not the inverse", i)
+		}
+	}
+}
+
+// TestCompressedModPStrictness pins the modp canonicity rules: minimal
+// big-endian bytes only.
+func TestCompressedModPStrictness(t *testing.T) {
+	gr := Test256()
+	g := gr.EncodeCompressed(gr.Generator())
+	if g[0] == 0 {
+		t.Fatalf("generator encoding %x not minimal", g)
+	}
+	// The canonical decoder tolerates padding; the compressed one must
+	// not.
+	padded := append([]byte{0}, g...)
+	if _, err := gr.DecodeElement(padded); err != nil {
+		t.Fatalf("canonical decoder rejected padded residue: %v", err)
+	}
+	if _, err := gr.DecodeCompressed(padded); err == nil {
+		t.Fatal("compressed decoder accepted padded residue")
+	}
+	// Residues outside the order-q subgroup stay rejected.
+	if _, err := gr.DecodeCompressed([]byte{3}); err == nil {
+		t.Fatal("non-subgroup residue accepted")
+	}
+}
+
+// FuzzDecodeCompressed hardens both backends' compressed decoders:
+// arbitrary bytes must never panic, every accepted element must be a
+// group member, and re-encoding must reproduce the input bytes
+// exactly. For p256 the fast path must also agree with the
+// crypto/elliptic reference decoder on every input.
+func FuzzDecodeCompressed(f *testing.F) {
+	p256 := P256()
+	modp := Test256()
+	for _, gr := range []*Group{p256, modp} {
+		f.Add(gr.EncodeCompressed(gr.Generator()))
+		f.Add(gr.EncodeCompressed(gr.Identity()))
+		f.Add(gr.EncodeCompressed(gr.GExp(big.NewInt(7))))
+	}
+	f.Add([]byte{2})
+	f.Add(bytes.Repeat([]byte{0xff}, 33))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, gr := range []*Group{p256, modp} {
+			e, err := gr.DecodeCompressed(data)
+			if err != nil {
+				continue
+			}
+			if !gr.IsElement(e) {
+				t.Fatalf("%s: decoded non-element from %x", gr.Name(), data)
+			}
+			if !bytes.Equal(gr.EncodeCompressed(e), data) {
+				t.Fatalf("%s: accepted non-canonical encoding %x", gr.Name(), data)
+			}
+		}
+		// p256 fast path vs reference: identical accept/reject verdicts
+		// and identical points (the 1-byte identity is the one encoding
+		// the two decoders intentionally treat differently).
+		if len(data) == 33 {
+			fast, fastErr := p256.DecodeCompressed(data)
+			ref, refErr := p256.DecodeElement(data)
+			if data[0] == 0 {
+				return // reference path has no 33-byte identity form
+			}
+			if (fastErr == nil) != (refErr == nil) {
+				t.Fatalf("p256 verdicts diverge on %x: fast=%v ref=%v", data, fastErr, refErr)
+			}
+			if fastErr == nil && !fast.Equal(ref) {
+				t.Fatalf("p256 decoders disagree on %x", data)
+			}
+		}
+	})
+}

@@ -107,6 +107,17 @@ type Backend interface {
 	Contains(e Element) bool
 	// Decode parses a canonical encoding, validating membership.
 	Decode(data []byte) (Element, error)
+	// EncodeCompressed returns the wire-format-v2 compressed encoding:
+	// the shortest canonical byte form the backend supports (fixed
+	// 33-byte SEC 1 points for p256, minimal big-endian residues for
+	// modp). Exactly one byte string encodes each element.
+	EncodeCompressed(e Element) []byte
+	// DecodeCompressed parses a compressed encoding, validating
+	// membership and rejecting every non-canonical byte form.
+	DecodeCompressed(data []byte) (Element, error)
+	// CompressedLen returns the fixed compressed encoding length in
+	// bytes, or 0 if compressed encodings are variable-width.
+	CompressedLen() int
 	// HashToElement maps bytes to an element of unknown discrete log.
 	HashToElement(domain string, data ...[]byte) Element
 	// Precompute hints that base will be used as a fixed base for many
@@ -230,6 +241,45 @@ func (gr *Group) EncodeElement(e Element) []byte { return e.Bytes() }
 
 // DecodeElement parses a canonical encoding, validating membership.
 func (gr *Group) DecodeElement(data []byte) (Element, error) { return gr.b.Decode(data) }
+
+// EncodeCompressed returns the wire-format-v2 compressed encoding.
+func (gr *Group) EncodeCompressed(e Element) []byte { return gr.b.EncodeCompressed(e) }
+
+// DecodeCompressed parses a compressed encoding, validating
+// membership and canonicity.
+func (gr *Group) DecodeCompressed(data []byte) (Element, error) {
+	return gr.b.DecodeCompressed(data)
+}
+
+// CompressedLen returns the fixed compressed encoding length, or 0
+// for variable-width backends.
+func (gr *Group) CompressedLen() int { return gr.b.CompressedLen() }
+
+// batchCompressedDecoder is the optional backend capability behind
+// DecodeCompressedBatch, letting a backend share scratch state across
+// a whole commitment matrix of decompressions.
+type batchCompressedDecoder interface {
+	DecodeCompressedBatch(encs [][]byte) ([]Element, error)
+}
+
+// DecodeCompressedBatch decodes many compressed encodings at once —
+// the commitment-matrix unmarshalling path. Backends with a batch
+// capability amortize per-element setup; others decode one by one.
+// The first malformed encoding fails the whole batch.
+func (gr *Group) DecodeCompressedBatch(encs [][]byte) ([]Element, error) {
+	if bd, ok := gr.b.(batchCompressedDecoder); ok {
+		return bd.DecodeCompressedBatch(encs)
+	}
+	out := make([]Element, len(encs))
+	for i, enc := range encs {
+		e, err := gr.b.DecodeCompressed(enc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
 
 // HashToElement maps an arbitrary byte string to a group element with
 // unknown discrete logarithm relative to g (used to derive the

@@ -301,6 +301,27 @@ func (b *ModP) Decode(data []byte) (Element, error) {
 	return e, nil
 }
 
+// CompressedLen implements Backend: residues are variable-width
+// (minimal big-endian bytes), signalled by 0.
+func (b *ModP) CompressedLen() int { return 0 }
+
+// EncodeCompressed implements Backend. big.Int.Bytes is already the
+// minimal big-endian form, so the compressed encoding coincides with
+// the canonical one; the compressed codec adds only strictness on the
+// decode side.
+func (b *ModP) EncodeCompressed(e Element) []byte { return b.el(e).v.Bytes() }
+
+// DecodeCompressed implements Backend, additionally rejecting padded
+// (leading-zero) and empty encodings so each residue has exactly one
+// compressed byte form. (Decode tolerates padding because SetBytes
+// strips it; the v2 wire format does not.)
+func (b *ModP) DecodeCompressed(data []byte) (Element, error) {
+	if len(data) == 0 || data[0] == 0 {
+		return nil, ErrBadEncoding
+	}
+	return b.Decode(data)
+}
+
 // HashToElement implements Backend by hashing to Z_p* and raising to
 // the cofactor, which lands in the order-q subgroup with a discrete
 // log nobody knows. The result is never the identity.

@@ -1,0 +1,112 @@
+package group
+
+import (
+	"crypto/elliptic"
+	"math/big"
+	"sync"
+)
+
+// Wire-format-v2 compressed codec for the P-256 backend. The encoding
+// is a fixed 33-byte slot: SEC 1 compressed points for curve points
+// and 33 zero bytes for the identity (the canonical Bytes form keeps
+// its historical 1-byte identity; hashes and transcripts built on it
+// are untouched). Decoding avoids crypto/elliptic's big.Int ModSqrt:
+// the curve equation is evaluated and the root extracted entirely in
+// the flat-limb Montgomery field of p256field.go, so one point costs
+// ~260 limb multiplications instead of a generic modexp. Affine
+// decompression performs no field inversions — the square root IS the
+// y-coordinate — so there is nothing for Montgomery's inversion trick
+// to batch; DecodeCompressedBatch instead amortizes the per-point
+// big.Int scratch across the batch.
+
+// p256BMont is the curve coefficient b in the Montgomery domain,
+// built lazily because the field layer's init (which derives R² mod p)
+// runs after this file's package-level state exists.
+var (
+	p256BMont     fe
+	p256BMontOnce sync.Once
+)
+
+func p256B() *fe {
+	p256BMontOnce.Do(func() {
+		feFromBig(&p256BMont, elliptic.P256().Params().B)
+	})
+	return &p256BMont
+}
+
+// CompressedLen implements Backend: always 33 bytes.
+func (b *P256Backend) CompressedLen() int { return 33 }
+
+// EncodeCompressed implements Backend.
+func (b *P256Backend) EncodeCompressed(e Element) []byte {
+	pe := b.el(e)
+	if pe.infinity() {
+		return make([]byte, 33)
+	}
+	return elliptic.MarshalCompressed(b.curve, pe.x, pe.y)
+}
+
+// DecodeCompressed implements Backend on the flat-limb fast path.
+func (b *P256Backend) DecodeCompressed(data []byte) (Element, error) {
+	var scratch big.Int
+	return b.decodeCompressed(data, &scratch)
+}
+
+// DecodeCompressedBatch decodes a batch sharing one big.Int scratch.
+func (b *P256Backend) DecodeCompressedBatch(encs [][]byte) ([]Element, error) {
+	out := make([]Element, len(encs))
+	var scratch big.Int
+	for i, enc := range encs {
+		e, err := b.decodeCompressed(enc, &scratch)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+func (b *P256Backend) decodeCompressed(data []byte, scratch *big.Int) (Element, error) {
+	if len(data) != 33 {
+		return nil, ErrBadEncoding
+	}
+	switch data[0] {
+	case 0:
+		for _, v := range data[1:] {
+			if v != 0 {
+				return nil, ErrBadEncoding
+			}
+		}
+		return b.Identity(), nil
+	case 2, 3:
+	default:
+		return nil, ErrBadEncoding
+	}
+	x := scratch.SetBytes(data[1:])
+	if x.Cmp(b.curve.Params().P) >= 0 {
+		return nil, ErrBadEncoding
+	}
+	var fx, t, t2, fy fe
+	feFromBig(&fx, x)
+	// t = x³ − 3x + b.
+	feSqr(&t, &fx)
+	feMul(&t, &t, &fx)
+	feAdd(&t2, &fx, &fx)
+	feAdd(&t2, &t2, &fx)
+	feSub(&t, &t, &t2)
+	feAdd(&t, &t, p256B())
+	if !feSqrt(&fy, &t) {
+		return nil, ErrBadEncoding // x is not on the curve
+	}
+	if feIsZero(&fy) {
+		// y = 0 would be a point of order 2; the group order is an odd
+		// prime, so this is unreachable for x < p — reject defensively.
+		return nil, ErrBadEncoding
+	}
+	yBig := feToBig(&fy)
+	if byte(yBig.Bit(0)) != data[0]&1 {
+		feNeg(&fy, &fy)
+		yBig.Sub(b.curve.Params().P, yBig)
+	}
+	return &p256Element{x: new(big.Int).SetBytes(data[1:]), y: yBig, fx: fx, fy: fy}, nil
+}

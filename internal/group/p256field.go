@@ -245,3 +245,49 @@ func feMontReduceRegs(z *fe, t0, t1, t2, t3, t4, t5, t6, t7 uint64) {
 
 // feSqr sets z = x² mod p.
 func feSqr(z, x *fe) { feMul(z, x, x) }
+
+// feSqrN sets z = x^(2^n) by n in-place squarings.
+func feSqrN(z, x *fe, n int) {
+	feSqr(z, x)
+	for i := 1; i < n; i++ {
+		feSqr(z, z)
+	}
+}
+
+// feSqrt sets z to the even-or-odd square root of x when x is a
+// quadratic residue and reports whether one exists. p ≡ 3 (mod 4), so
+// the candidate root is x^((p+1)/4); with
+//
+//	(p+1)/4 = 2²⁵⁴ − 2²²² + 2¹⁹⁰ + 2⁹⁴
+//	        = ((((2³²−1)·2³² + 1)·2⁹⁶ + 1)·2⁹⁴
+//
+// the exponentiation runs as an addition chain of 253 squarings and 7
+// multiplications over the flat-limb field — the whole point of the
+// fast decompression path, since a big.Int ModSqrt re-pays generic
+// modexp machinery per point. Verifying candidate² = x rejects
+// non-residues (x-coordinates off the curve).
+func feSqrt(z, x *fe) bool {
+	var cand, t fe
+	feSqrN(&cand, x, 1)
+	feMul(&cand, x, &cand) // x^(2²−1)
+	feSqrN(&t, &cand, 2)
+	feMul(&cand, &cand, &t) // x^(2⁴−1)
+	feSqrN(&t, &cand, 4)
+	feMul(&cand, &cand, &t) // x^(2⁸−1)
+	feSqrN(&t, &cand, 8)
+	feMul(&cand, &cand, &t) // x^(2¹⁶−1)
+	feSqrN(&t, &cand, 16)
+	feMul(&cand, &cand, &t) // x^(2³²−1)
+	feSqrN(&cand, &cand, 32)
+	feMul(&cand, &cand, x) // x^((2³²−1)·2³² + 1)
+	feSqrN(&cand, &cand, 96)
+	feMul(&cand, &cand, x) // … ·2⁹⁶ + 1
+	feSqrN(&cand, &cand, 94)
+	var chk fe
+	feSqr(&chk, &cand)
+	if chk != *x {
+		return false
+	}
+	*z = cand
+	return true
+}

@@ -22,6 +22,16 @@ type DKGOptions struct {
 	Group *group.Group
 	// HashedEcho configures the embedded VSS instances.
 	HashedEcho bool
+	// DedupDealings enables digest-referenced dealings with pull-based
+	// matrix fetch in the embedded VSS instances.
+	DedupDealings bool
+	// CompressedWire selects the wire-format-v2 commitment encoding on
+	// every matrix the cluster emits.
+	CompressedWire bool
+	// Coalesce enables the simulator's frame-coalescing accounting
+	// model: consecutive same-(src,dst,session) envelopes within the
+	// coalescing window are billed as one batch frame.
+	Coalesce bool
 	// DisableBatch turns off the VSS layer's batched point verification.
 	DisableBatch bool
 	// VerifyWorkers, when > 0, attaches the parallel verification
@@ -122,6 +132,7 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 		Seed:              opts.Seed,
 		Filter:            opts.Filter,
 		DisableAccounting: opts.DisableAccounting,
+		Coalesce:          opts.Coalesce,
 	}
 	var pool *verify.Pool
 	var cache *verify.Cache
@@ -148,16 +159,18 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 			continue
 		}
 		params := dkg.Params{
-			Group:         opts.Group,
-			N:             opts.N,
-			T:             opts.T,
-			F:             opts.F,
-			HashedEcho:    opts.HashedEcho,
-			DisableBatch:  opts.DisableBatch,
-			Directory:     dir,
-			SignKey:       privs[id],
-			InitialLeader: opts.InitialLeader,
-			TimeoutBase:   opts.TimeoutBase,
+			Group:          opts.Group,
+			N:              opts.N,
+			T:              opts.T,
+			F:              opts.F,
+			HashedEcho:     opts.HashedEcho,
+			DedupDealings:  opts.DedupDealings,
+			CompressedWire: opts.CompressedWire,
+			DisableBatch:   opts.DisableBatch,
+			Directory:      dir,
+			SignKey:        privs[id],
+			InitialLeader:  opts.InitialLeader,
+			TimeoutBase:    opts.TimeoutBase,
 		}
 		if cache != nil {
 			params.Verdicts = cache

@@ -37,6 +37,11 @@ type VSSOptions struct {
 	Secret *big.Int
 	// HashedEcho enables the O(κn³) commitment-hash optimisation.
 	HashedEcho bool
+	// DedupDealings enables digest-referenced dealings with pull-based
+	// matrix fetch.
+	DedupDealings bool
+	// CompressedWire selects the wire-format-v2 commitment encoding.
+	CompressedWire bool
 	// DisableBatch turns off batched point verification (on by default).
 	DisableBatch bool
 	// Extended enables signed readies (uses Ed25519 keys).
@@ -108,14 +113,16 @@ func RunVSS(opts VSSOptions) (*VSSResult, error) {
 func SetupVSS(opts *VSSOptions) (*VSSResult, error) {
 	applyVSSDefaults(opts)
 	params := vss.Params{
-		Group:        opts.Group,
-		N:            opts.N,
-		T:            opts.T,
-		F:            opts.F,
-		DMax:         opts.DMax,
-		HashedEcho:   opts.HashedEcho,
-		DisableBatch: opts.DisableBatch,
-		Extended:     opts.Extended,
+		Group:          opts.Group,
+		N:              opts.N,
+		T:              opts.T,
+		F:              opts.F,
+		DMax:           opts.DMax,
+		HashedEcho:     opts.HashedEcho,
+		DedupDealings:  opts.DedupDealings,
+		CompressedWire: opts.CompressedWire,
+		DisableBatch:   opts.DisableBatch,
+		Extended:       opts.Extended,
 	}
 	session := vss.SessionID{Dealer: 1, Tau: 1}
 

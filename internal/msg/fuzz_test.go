@@ -84,6 +84,45 @@ func FuzzDecodeEnvelope(f *testing.F) {
 	})
 }
 
+// FuzzReaderBig hardens the canonical big.Int decoder: arbitrary
+// bytes must never panic, and every accepted integer must re-encode
+// to exactly the bytes it was decoded from (single canonical form).
+func FuzzReaderBig(f *testing.F) {
+	seed := msg.NewWriter(32)
+	seed.Big(big.NewInt(0))
+	seed.Big(big.NewInt(1))
+	seed.Big(new(big.Int).Lsh(big.NewInt(1), 255))
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 1, 0})          // padded zero
+	f.Add([]byte{0, 0, 0, 2, 0, 1})       // padded one
+	f.Add([]byte{0, 0, 0, 3, 0x12, 0x34}) // truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := msg.NewReader(data)
+		for {
+			v := r.Big()
+			if r.Err() != nil {
+				if v != nil {
+					t.Fatal("value returned alongside error")
+				}
+				return
+			}
+			if v == nil {
+				t.Fatal("nil value without error")
+			}
+			w := msg.NewWriter(16)
+			w.Big(v)
+			r2 := msg.NewReader(w.Bytes())
+			v2 := r2.Big()
+			if r2.Err() != nil || v2.Cmp(v) != 0 {
+				t.Fatalf("re-encode of %v not canonical: %v (err %v)", v, v2, r2.Err())
+			}
+			if r.Done() == nil {
+				return
+			}
+		}
+	})
+}
+
 // FuzzDecodeBodyLog hardens the state-codec log framing used inside
 // durable snapshots.
 func FuzzDecodeBodyLog(f *testing.F) {

@@ -57,6 +57,13 @@ const (
 	TGroupModProposal
 	TClockTick
 	TSubshare
+
+	// Wire format v2: commitment dedup by hash reference. A node that
+	// buffered points for an unknown commitment hash pulls the full
+	// matrix from a peer that referenced it (TVSSFetch) and receives it
+	// as TVSSMatrix.
+	TVSSFetch
+	TVSSMatrix
 )
 
 // String implements fmt.Stringer for diagnostics and accounting keys.
@@ -94,6 +101,10 @@ func (t Type) String() string {
 		return "clock-tick"
 	case TSubshare:
 		return "subshare"
+	case TVSSFetch:
+		return "vss-fetch"
+	case TVSSMatrix:
+		return "vss-matrix"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

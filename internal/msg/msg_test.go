@@ -17,7 +17,7 @@ func (f fakeBody) MarshalBinary() ([]byte, error) { return f.payload, nil }
 
 func TestTypeStrings(t *testing.T) {
 	seen := make(map[string]Type)
-	for tt := TVSSSend; tt <= TSubshare; tt++ {
+	for tt := TVSSSend; tt <= TVSSMatrix; tt++ {
 		s := tt.String()
 		if s == "" {
 			t.Fatalf("empty String for %d", tt)
@@ -171,6 +171,52 @@ func TestReaderHostileLengths(t *testing.T) {
 	r2 := NewReader(w2.Bytes())
 	if b := r2.Blob(); b != nil || r2.Err() == nil {
 		t.Error("hostile blob length accepted")
+	}
+}
+
+// TestReaderBigMinimality: only the minimal byte form of an integer
+// decodes; a leading zero byte (same value, longer encoding) is a
+// malformed envelope.
+func TestReaderBigMinimality(t *testing.T) {
+	w := NewWriter(16)
+	w.Big(big.NewInt(0x1234))
+	r := NewReader(w.Bytes())
+	if got := r.Big(); got == nil || got.Int64() != 0x1234 {
+		t.Fatalf("minimal encoding rejected: %v (err %v)", got, r.Err())
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same value, padded with one leading zero byte.
+	padded := NewWriter(16)
+	padded.U32(3)
+	padded.buf = append(padded.buf, 0x00, 0x12, 0x34)
+	r2 := NewReader(padded.Bytes())
+	if got := r2.Big(); got != nil || r2.Err() == nil {
+		t.Fatalf("non-minimal encoding accepted: %v", got)
+	}
+	// The error sticks.
+	_ = r2.U8()
+	if r2.Err() == nil {
+		t.Error("sticky error cleared after bad Big")
+	}
+
+	// A bare zero-length encoding is the canonical zero and stays valid.
+	zero := NewWriter(8)
+	zero.Big(big.NewInt(0))
+	r3 := NewReader(zero.Bytes())
+	if got := r3.Big(); got == nil || got.Sign() != 0 || r3.Err() != nil {
+		t.Fatalf("canonical zero rejected: %v (err %v)", got, r3.Err())
+	}
+
+	// But an explicit single zero byte is the padded form of zero.
+	zeroByte := NewWriter(8)
+	zeroByte.U32(1)
+	zeroByte.buf = append(zeroByte.buf, 0x00)
+	r4 := NewReader(zeroByte.Bytes())
+	if got := r4.Big(); got != nil || r4.Err() == nil {
+		t.Fatalf("padded zero accepted: %v", got)
 	}
 }
 

@@ -161,7 +161,10 @@ func (r *Reader) Nodes() []NodeID {
 	return out
 }
 
-// Big reads a length-prefixed big.Int.
+// Big reads a length-prefixed big.Int. Non-minimal encodings (a
+// leading zero byte) are rejected: Writer.Big always emits the
+// minimal form, so accepting padded variants would give one integer
+// many byte forms and break transcript canonicity.
 func (r *Reader) Big() *big.Int {
 	n := r.U32()
 	if r.err != nil {
@@ -169,6 +172,10 @@ func (r *Reader) Big() *big.Int {
 	}
 	b := r.take(int(n))
 	if r.err != nil {
+		return nil
+	}
+	if len(b) > 0 && b[0] == 0 {
+		r.err = fmt.Errorf("%w: non-minimal big.Int encoding (leading zero)", ErrBadEnvelope)
 		return nil
 	}
 	return new(big.Int).SetBytes(b)

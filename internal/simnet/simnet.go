@@ -80,6 +80,17 @@ type Options struct {
 	// Account enables byte accounting (encodes every message).
 	// Defaults to true; disable for very large sweeps.
 	DisableAccounting bool
+	// Coalesce switches the frame-accounting model to the transport's
+	// batch frames: consecutive same-(src,dst,session) envelopes inside
+	// the coalescing window are billed as one frame (fixed header+MAC
+	// paid once, a 5-byte sub-header per envelope) instead of one frame
+	// each. Simulated delivery is unchanged — only the Frames/FrameBytes
+	// books move, mirroring what transport.Config.Coalesce does to real
+	// TCP traffic.
+	Coalesce bool
+	// CoalesceWindow is the virtual-time width of an open batch frame
+	// (defaults to 10, comfortably under MinDelay-spaced rounds).
+	CoalesceWindow int64
 	// Filter, when set, is consulted for every message.
 	Filter FilterFunc
 	// SessionFilter, when set, is additionally consulted for every
@@ -105,6 +116,16 @@ type Stats struct {
 	// TotalMsgs and TotalBytes are the headline complexity numbers.
 	TotalMsgs  int
 	TotalBytes int64
+	// Frames and FrameBytes model the authenticated wire: every
+	// non-loopback message is billed with its frame overhead (v1: one
+	// frame per envelope; with Coalesce: batch frames per the window).
+	// FrameBytes is the run's bytes-on-wire headline.
+	Frames     int
+	FrameBytes int64
+	// SessionFrames/SessionBytes break the wire books down per
+	// protocol session (the counters `dkgnode serve` reports).
+	SessionFrames map[msg.SessionID]int
+	SessionBytes  map[msg.SessionID]int64
 	// DroppedCrash counts messages lost because the receiver was
 	// crashed at delivery time; DroppedFilter counts adversarial
 	// drops.
@@ -210,6 +231,24 @@ func (s *nodeSlot) handlerFor(sid msg.SessionID) Handler {
 	return nil
 }
 
+// Frame-model constants, mirroring the transport's encodings (see
+// internal/transport framing): a v1 frame spends 60 bytes beyond
+// msg.WireSize (u32 length, session/from/to u64s, 32-byte MAC); a v2
+// batch frame pays 63 fixed bytes (those plus the 0x80 marker and a
+// u16 envelope count) and 4 bytes of sub-header per packed envelope.
+const (
+	frameV1Overhead   = 60
+	frameBatchFixed   = 63
+	frameBatchPerEnv  = 4
+	defCoalesceWindow = 10
+)
+
+// frameKey identifies an open batch-frame window.
+type frameKey struct {
+	from, to msg.NodeID
+	sid      msg.SessionID
+}
+
 // Network is the simulated asynchronous network.
 type Network struct {
 	opts  Options
@@ -221,6 +260,9 @@ type Network struct {
 	stats Stats
 	// lastLink tracks per-link delivery horizons for FIFO ordering.
 	lastLink map[[2]msg.NodeID]int64
+	// frameOpen holds, per (src,dst,session), the virtual time until
+	// which the current batch frame accepts further envelopes.
+	frameOpen map[frameKey]int64
 	// currentDepth is the causal depth of the event being dispatched.
 	currentDepth int
 }
@@ -236,15 +278,21 @@ func New(opts Options) *Network {
 	if opts.MaxDelay < opts.MinDelay {
 		opts.MaxDelay = opts.MinDelay
 	}
+	if opts.CoalesceWindow <= 0 {
+		opts.CoalesceWindow = defCoalesceWindow
+	}
 	return &Network{
 		opts:  opts,
 		rng:   randutil.NewReader(opts.Seed),
 		nodes: make(map[msg.NodeID]*nodeSlot),
 		stats: Stats{
-			MsgCount: make(map[msg.Type]int),
-			MsgBytes: make(map[msg.Type]int64),
+			MsgCount:      make(map[msg.Type]int),
+			MsgBytes:      make(map[msg.Type]int64),
+			SessionFrames: make(map[msg.SessionID]int),
+			SessionBytes:  make(map[msg.SessionID]int64),
 		},
-		lastLink: make(map[[2]msg.NodeID]int64),
+		lastLink:  make(map[[2]msg.NodeID]int64),
+		frameOpen: make(map[frameKey]int64),
 	}
 }
 
@@ -338,6 +386,14 @@ func (n *Network) Stats() Stats {
 	for k, v := range n.stats.MsgBytes {
 		out.MsgBytes[k] = v
 	}
+	out.SessionFrames = make(map[msg.SessionID]int, len(n.stats.SessionFrames))
+	for k, v := range n.stats.SessionFrames {
+		out.SessionFrames[k] = v
+	}
+	out.SessionBytes = make(map[msg.SessionID]int64, len(n.stats.SessionBytes))
+	for k, v := range n.stats.SessionBytes {
+		out.SessionBytes[k] = v
+	}
 	return out
 }
 
@@ -430,6 +486,7 @@ func (n *Network) send(from, to msg.NodeID, sid msg.SessionID, body msg.Body) {
 		sz := int64(msg.WireSize(body))
 		n.stats.MsgBytes[body.MsgType()] += sz
 		n.stats.TotalBytes += sz
+		n.accountFrame(from, to, sid, sz)
 	}
 	delay := n.opts.MinDelay
 	if n.opts.MaxDelay > n.opts.MinDelay {
@@ -456,6 +513,36 @@ func (n *Network) send(from, to msg.NodeID, sid msg.SessionID, body msg.Body) {
 		body:    body,
 		depth:   n.currentDepth + 1,
 	})
+}
+
+// accountFrame bills one envelope's share of the authenticated wire.
+// Self-sends are loopback — the deployment runtime never frames them —
+// so they carry no frame cost. In v1 mode every envelope is its own
+// frame; in coalescing mode an envelope joins the link's open batch
+// frame when one is still inside its window, paying only the
+// sub-header, and otherwise opens a new frame and the window with it.
+func (n *Network) accountFrame(from, to msg.NodeID, sid msg.SessionID, sz int64) {
+	if from == to {
+		return
+	}
+	var cost int64
+	if !n.opts.Coalesce {
+		n.stats.Frames++
+		n.stats.SessionFrames[sid]++
+		cost = frameV1Overhead + sz
+	} else {
+		key := frameKey{from: from, to: to, sid: sid}
+		if expiry, open := n.frameOpen[key]; open && n.now <= expiry {
+			cost = frameBatchPerEnv + sz
+		} else {
+			n.frameOpen[key] = n.now + n.opts.CoalesceWindow
+			n.stats.Frames++
+			n.stats.SessionFrames[sid]++
+			cost = frameBatchFixed + frameBatchPerEnv + sz
+		}
+	}
+	n.stats.FrameBytes += cost
+	n.stats.SessionBytes[sid] += cost
 }
 
 // setTimer enqueues a timer fire; called via Env.

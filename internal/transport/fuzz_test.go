@@ -80,3 +80,45 @@ func FuzzDecodeFrameWrongSecret(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeFrameMulti hardens the dual-format inbound path: both v1
+// frames and 0x80 batch frames arrive here, and no input may panic,
+// yield a nil body, or authenticate without the link secret's MAC.
+func FuzzDecodeFrameMulti(f *testing.F) {
+	secret := []byte("fuzz-link-secret")
+	session := vss.SessionID{Dealer: 1, Tau: 2}
+	batch, err := SealBatchFrame(secret, 9, 3, 1, []msg.Body{
+		&vss.HelpMsg{Session: session},
+		&vss.RecShareMsg{Session: session, Share: big.NewInt(77)},
+		&dkg.HelpMsg{Tau: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch[4:])
+	single, err := SealFrame(secret, 9, 3, 1, &dkg.HelpMsg{Tau: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(single[4:])
+	f.Add([]byte{batchMarker})
+	f.Add([]byte{})
+	codec := fuzzCodec(f)
+	other := []byte("some-other-secret")
+	f.Fuzz(func(t *testing.T, inner []byte) {
+		_, _, bodies, err := DecodeFrameMulti(codec, secret, 1, inner)
+		if err == nil {
+			if len(bodies) == 0 {
+				t.Fatal("accepted frame with no bodies")
+			}
+			for _, b := range bodies {
+				if b == nil {
+					t.Fatal("accepted frame with nil body")
+				}
+			}
+		}
+		if _, _, _, err := DecodeFrameMulti(codec, other, 1, inner); err == nil {
+			t.Fatal("frame authenticated under the wrong secret")
+		}
+	})
+}

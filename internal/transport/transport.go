@@ -97,6 +97,18 @@ type Config struct {
 	// consumption. It must be safe for concurrent use, must not block,
 	// and must not touch protocol state.
 	Observer func(sid msg.SessionID, from msg.NodeID, body msg.Body)
+	// Coalesce enables wire-format-v2 batch frames on the send side:
+	// envelopes to one destination accumulate in a per-peer flush queue
+	// and travel as one MAC-covered batch frame, draining on the size
+	// watermark (CoalesceBytes), the latency timer (CoalesceDelay), a
+	// session switch, or Close. Inbound decoding always accepts both
+	// formats, so coalescing and v1-only nodes interoperate.
+	Coalesce bool
+	// CoalesceBytes is the batch-frame size watermark (default 16 KiB).
+	CoalesceBytes int
+	// CoalesceDelay is the maximum time an envelope waits in the flush
+	// queue (default 500µs).
+	CoalesceDelay time.Duration
 	// ShardSessions gives every registered session its own serial
 	// dispatch lane (one goroutine per live session) instead of
 	// funnelling all sessions through the single event loop. Events of
@@ -133,8 +145,12 @@ type Node struct {
 	sessions map[msg.SessionID]Handler
 	retired  map[msg.SessionID]bool
 	lanes    map[msg.SessionID]*lane // ShardSessions dispatch lanes
+	outQ     map[msg.NodeID]*destQueue
 	demux    DemuxStats
 	closed   bool
+
+	// wire holds the send-side bytes-on-wire books.
+	wire *wireBooks
 
 	wg sync.WaitGroup
 }
@@ -241,6 +257,12 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.DialRetry <= 0 {
 		cfg.DialRetry = 250 * time.Millisecond
 	}
+	if cfg.CoalesceBytes <= 0 {
+		cfg.CoalesceBytes = defCoalesceBytes
+	}
+	if cfg.CoalesceDelay <= 0 {
+		cfg.CoalesceDelay = defCoalesceDelay
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
@@ -255,6 +277,8 @@ func Listen(cfg Config) (*Node, error) {
 		sessions: make(map[msg.SessionID]Handler),
 		retired:  make(map[msg.SessionID]bool),
 		lanes:    make(map[msg.SessionID]*lane),
+		outQ:     make(map[msg.NodeID]*destQueue),
+		wire:     newWireBooks(),
 	}
 	n.qcond = sync.NewCond(&n.qmu)
 	n.wg.Add(2)
@@ -310,8 +334,11 @@ func (n *Node) SetPeers(peers []Peer) {
 	n.cfg.Peers = append([]Peer(nil), peers...)
 }
 
-// Close shuts the endpoint down and waits for its goroutines.
+// Close shuts the endpoint down and waits for its goroutines. Pending
+// coalesced envelopes are flushed first so a clean shutdown leaves no
+// protocol traffic stranded in the batching queues.
 func (n *Node) Close() error {
+	n.flushAll()
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -353,12 +380,18 @@ func (n *Node) sendSession(sid msg.SessionID, to msg.NodeID, body msg.Body) {
 		n.enqueue(event{kind: 1, session: sid, from: n.cfg.Self, body: body})
 		return
 	}
+	if n.cfg.Coalesce {
+		n.sendCoalesced(sid, to, body)
+		return
+	}
 	bufp := framePool.Get().(*[]byte)
 	frame, err := appendFrame((*bufp)[:0], n.cfg.Secret, sid, n.cfg.Self, to, body)
 	if err != nil {
 		framePool.Put(bufp)
 		return
 	}
+	n.wire.addEnvelope(body.MsgType(), len(frame)-4-frameOverhead)
+	n.wire.addFrame(sid, len(frame))
 	conn, err := n.conn(to)
 	if err != nil {
 		putFrameBuf(bufp, frame)
@@ -647,7 +680,7 @@ func (n *Node) readLoop(conn net.Conn) {
 			return
 		default:
 		}
-		sid, from, body, err := n.readFrame(conn)
+		sid, from, bodies, err := n.readFrame(conn)
 		if err != nil {
 			if errors.Is(err, ErrBadFrame) {
 				n.mu.Lock()
@@ -659,10 +692,12 @@ func (n *Node) readLoop(conn net.Conn) {
 		// Speculation hook: read loops run one-per-connection, so the
 		// observer (a pool submit) overlaps verification with the
 		// event loop's dispatch of earlier traffic.
-		if n.cfg.Observer != nil {
-			n.cfg.Observer(sid, from, body)
+		for _, body := range bodies {
+			if n.cfg.Observer != nil {
+				n.cfg.Observer(sid, from, body)
+			}
+			n.enqueue(event{kind: 1, session: sid, from: from, body: body})
 		}
-		n.enqueue(event{kind: 1, session: sid, from: from, body: body})
 	}
 }
 
@@ -815,7 +850,7 @@ func DecodeFrame(codec *msg.Codec, secret []byte, self msg.NodeID, inner []byte)
 	return sid, from, decoded, nil
 }
 
-func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, msg.Body, error) {
+func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, []msg.Body, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 		return 0, 0, nil, err
@@ -824,8 +859,8 @@ func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, msg.Body, er
 	if length < frameOverhead || length > 64<<20 {
 		return 0, 0, nil, ErrBadFrame
 	}
-	// Pooled read buffer: DecodeFrame's decoders copy everything they
-	// retain, so the buffer is reusable the moment it returns.
+	// Pooled read buffer: the codec's decoders copy everything they
+	// retain, so the buffer is reusable the moment decoding returns.
 	bufp := framePool.Get().(*[]byte)
 	var inner []byte
 	if cap(*bufp) >= int(length) {
@@ -837,7 +872,7 @@ func (n *Node) readFrame(conn net.Conn) (msg.SessionID, msg.NodeID, msg.Body, er
 		putFrameBuf(bufp, inner)
 		return 0, 0, nil, err
 	}
-	sid, from, body, err := DecodeFrame(n.cfg.Codec, n.cfg.Secret, n.cfg.Self, inner)
+	sid, from, bodies, err := DecodeFrameMulti(n.cfg.Codec, n.cfg.Secret, n.cfg.Self, inner)
 	putFrameBuf(bufp, inner)
-	return sid, from, body, err
+	return sid, from, bodies, err
 }

@@ -1,0 +1,204 @@
+package vss
+
+import (
+	"math/big"
+	"testing"
+
+	"hybriddkg/internal/commit"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/poly"
+	"hybriddkg/internal/randutil"
+)
+
+// White-box tests for the dedup-dealings fetch protocol: a node that
+// sees a digest it cannot resolve asks the digest's sender for the
+// full matrix (once per sender), and a node that holds the matrix
+// serves each requester once.
+
+func dedupFixture(t *testing.T) (*poly.BiPoly, *commit.Matrix, *Node, *captureSender) {
+	t.Helper()
+	gr := group.Test256()
+	r := randutil.NewReader(67)
+	secret, err := gr.RandScalar(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := poly.NewRandomSymmetric(gr.Q(), secret, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := commit.NewMatrix(gr, f)
+	sender := &captureSender{}
+	params := Params{Group: gr, N: 4, T: 1, DedupDealings: true}
+	node, err := NewNode(params, SessionID{Dealer: 1, Tau: 1}, 2, sender, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, c, node, sender
+}
+
+func countFetches(sent []msg.Body) int {
+	n := 0
+	for _, b := range sent {
+		if _, ok := b.(*FetchMsg); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDedupEchoTriggersFetch: asks start only once t+1 distinct peers
+// reference the digest (below that the dealer's send is presumed
+// late, not lost), and each sender is asked at most once.
+func TestDedupEchoTriggersFetch(t *testing.T) {
+	f, c, node, sender := dedupFixture(t)
+	sess := SessionID{Dealer: 1, Tau: 1}
+	h := c.Hash()
+	// One distinct sender (echo then ready): below the t+1 = 2 gate.
+	node.Handle(3, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(3, 2)})
+	node.Handle(3, &ReadyMsg{Session: sess, CHash: h, Alpha: f.Eval(3, 2)})
+	if got := countFetches(sender.sent); got != 0 {
+		t.Fatalf("fetches below the distinct-sender gate = %d, want 0", got)
+	}
+	// Second distinct sender opens the gate: ask it.
+	node.Handle(4, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(4, 2)})
+	if got := countFetches(sender.sent); got != 1 {
+		t.Fatalf("fetches at gate crossing = %d, want 1", got)
+	}
+	// The same sender's ready never re-asks it.
+	node.Handle(4, &ReadyMsg{Session: sess, CHash: h, Alpha: f.Eval(4, 2)})
+	if got := countFetches(sender.sent); got != 1 {
+		t.Fatalf("fetches after duplicate digest = %d, want 1", got)
+	}
+}
+
+// TestDedupMatrixReplaysBuffered: the fetched matrix resolves the
+// buffered digest-only echoes and the protocol resumes exactly as if
+// the dealer's send had arrived first.
+func TestDedupMatrixReplaysBuffered(t *testing.T) {
+	f, c, node, sender := dedupFixture(t)
+	sess := SessionID{Dealer: 1, Tau: 1}
+	h := c.Hash()
+	node.Handle(3, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(3, 2)})
+	node.Handle(4, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(4, 2)})
+	echoesBefore := 0
+	for _, b := range sender.sent {
+		if _, ok := b.(*EchoMsg); ok {
+			echoesBefore++
+		}
+	}
+	if echoesBefore != 0 {
+		t.Fatalf("node echoed before learning the matrix: %d", echoesBefore)
+	}
+	// The fetch answer arrives (from node 3).
+	node.Handle(3, &MatrixMsg{Session: sess, C: c})
+	// Two verified echoes plus the matrix is not enough to echo —
+	// echo broadcast needs the dealer's row. But the buffered points
+	// must now be verified and counted: a third echo (its own) plus
+	// the dealer's send completes the flow.
+	node.Handle(1, &SendMsg{Session: sess, C: c, A: f.Row(2).Coeffs()})
+	echoes := 0
+	for _, b := range sender.sent {
+		if _, ok := b.(*EchoMsg); ok {
+			echoes++
+		}
+	}
+	if echoes != 4 {
+		t.Fatalf("echo broadcast count = %d, want 4", echoes)
+	}
+	// No state poisoning: the replay path rejects a matrix whose hash
+	// matches nothing buffered.
+	r := randutil.NewReader(99)
+	g2, err := poly.NewRandomSymmetric(group.Test256().Q(), big.NewInt(5), 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := commit.NewMatrix(group.Test256(), g2)
+	before := len(node.cstates)
+	node.Handle(4, &MatrixMsg{Session: sess, C: other})
+	if len(node.cstates) != before {
+		t.Fatal("unsolicited matrix created commitment state")
+	}
+}
+
+// TestDedupFetchServedOnce: a node holding the matrix answers each
+// requester's fetch exactly once, and never answers for digests it
+// cannot resolve.
+func TestDedupFetchServedOnce(t *testing.T) {
+	f, c, node, sender := dedupFixture(t)
+	sess := SessionID{Dealer: 1, Tau: 1}
+	node.Handle(1, &SendMsg{Session: sess, C: c, A: f.Row(2).Coeffs()})
+	base := len(sender.sent)
+	h := c.Hash()
+	node.Handle(3, &FetchMsg{Session: sess, CHash: h})
+	matrices := 0
+	for _, b := range sender.sent[base:] {
+		if _, ok := b.(*MatrixMsg); ok {
+			matrices++
+		}
+	}
+	if matrices != 1 {
+		t.Fatalf("matrices served = %d, want 1", matrices)
+	}
+	// Re-ask from the same requester: silence.
+	node.Handle(3, &FetchMsg{Session: sess, CHash: h})
+	matrices = 0
+	for _, b := range sender.sent[base:] {
+		if _, ok := b.(*MatrixMsg); ok {
+			matrices++
+		}
+	}
+	if matrices != 1 {
+		t.Fatalf("matrices served after re-ask = %d, want 1", matrices)
+	}
+	// A second requester is served independently.
+	node.Handle(4, &FetchMsg{Session: sess, CHash: h})
+	matrices = 0
+	for _, b := range sender.sent[base:] {
+		if _, ok := b.(*MatrixMsg); ok {
+			matrices++
+		}
+	}
+	if matrices != 2 {
+		t.Fatalf("matrices served to two requesters = %d, want 2", matrices)
+	}
+	// Unknown digest: no answer, no state.
+	var bogus [32]byte
+	bogus[0] = 0xEE
+	before := len(sender.sent)
+	node.Handle(3, &FetchMsg{Session: sess, CHash: bogus})
+	if len(sender.sent) != before {
+		t.Fatal("node answered a fetch for an unknown digest")
+	}
+}
+
+// TestDedupHashOnlyEnvelopes: with dedup on, echoes and readies carry
+// only the digest — the matrix never rides along.
+func TestDedupHashOnlyEnvelopes(t *testing.T) {
+	f, c, node, sender := dedupFixture(t)
+	sess := SessionID{Dealer: 1, Tau: 1}
+	node.Handle(1, &SendMsg{Session: sess, C: c, A: f.Row(2).Coeffs()})
+	h := c.Hash()
+	node.Handle(3, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(3, 2)})
+	node.Handle(4, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(4, 2)})
+	node.Handle(2, &EchoMsg{Session: sess, CHash: h, Alpha: f.Eval(2, 2)})
+	sawEcho, sawReady := false, false
+	for _, b := range sender.sent {
+		switch m := b.(type) {
+		case *EchoMsg:
+			sawEcho = true
+			if m.C != nil {
+				t.Fatal("dedup echo carried the full matrix")
+			}
+		case *ReadyMsg:
+			sawReady = true
+			if m.C != nil {
+				t.Fatal("dedup ready carried the full matrix")
+			}
+		}
+	}
+	if !sawEcho || !sawReady {
+		t.Fatalf("flow incomplete: echo=%v ready=%v", sawEcho, sawReady)
+	}
+}

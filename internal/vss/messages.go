@@ -37,6 +37,10 @@ type SendMsg struct {
 	C        *commit.Matrix
 	A        []*big.Int // coefficients of a_i(y), ascending; nil if OmitPoly
 	OmitPoly bool
+	// Compressed selects the wire-format-v2 matrix encoding on the
+	// marshal side only; decoding auto-detects the version, so the flag
+	// is not itself serialised and both forms decode to equal messages.
+	Compressed bool
 }
 
 var _ msg.Body = (*SendMsg)(nil)
@@ -44,9 +48,18 @@ var _ msg.Body = (*SendMsg)(nil)
 // MsgType implements msg.Body.
 func (m *SendMsg) MsgType() msg.Type { return msg.TVSSSend }
 
+// marshalMatrix encodes a commitment matrix in the configured wire
+// format.
+func marshalMatrix(c *commit.Matrix, compressed bool) ([]byte, error) {
+	if compressed {
+		return c.MarshalCompressed()
+	}
+	return c.MarshalBinary()
+}
+
 // MarshalBinary implements msg.Body.
 func (m *SendMsg) MarshalBinary() ([]byte, error) {
-	cEnc, err := m.C.MarshalBinary()
+	cEnc, err := marshalMatrix(m.C, m.Compressed)
 	if err != nil {
 		return nil, err
 	}
@@ -103,9 +116,11 @@ func decodeSend(gr *group.Group) msg.Decoder {
 // (O(κn³), §3 efficiency discussion).
 type EchoMsg struct {
 	Session SessionID
-	C       *commit.Matrix // nil in hashed mode
+	C       *commit.Matrix // nil in hashed/dedup mode
 	CHash   [32]byte       // always set
 	Alpha   *big.Int
+	// Compressed selects the v2 matrix encoding (marshal side only).
+	Compressed bool
 }
 
 var _ msg.Body = (*EchoMsg)(nil)
@@ -118,7 +133,7 @@ func (m *EchoMsg) MarshalBinary() ([]byte, error) {
 	w := msg.NewWriter(128)
 	m.Session.encode(w)
 	if m.C != nil {
-		cEnc, err := m.C.MarshalBinary()
+		cEnc, err := marshalMatrix(m.C, m.Compressed)
 		if err != nil {
 			return nil, err
 		}
@@ -168,10 +183,12 @@ func decodeEcho(gr *group.Group) msg.Decoder {
 // leader's proposal.
 type ReadyMsg struct {
 	Session SessionID
-	C       *commit.Matrix // nil in hashed mode
+	C       *commit.Matrix // nil in hashed/dedup mode
 	CHash   [32]byte
 	Alpha   *big.Int
 	Sig     []byte // empty outside extended mode
+	// Compressed selects the v2 matrix encoding (marshal side only).
+	Compressed bool
 }
 
 var _ msg.Body = (*ReadyMsg)(nil)
@@ -184,7 +201,7 @@ func (m *ReadyMsg) MarshalBinary() ([]byte, error) {
 	w := msg.NewWriter(160)
 	m.Session.encode(w)
 	if m.C != nil {
-		cEnc, err := m.C.MarshalBinary()
+		cEnc, err := marshalMatrix(m.C, m.Compressed)
 		if err != nil {
 			return nil, err
 		}
@@ -257,6 +274,89 @@ func decodeHelp(data []byte) (msg.Body, error) {
 	return out, nil
 }
 
+// FetchMsg is a pull request for the full commitment matrix behind a
+// digest referenced by an echo/ready (dedup-dealings mode): the
+// requester buffered points under CHash but never saw the matrix.
+type FetchMsg struct {
+	Session SessionID
+	CHash   [32]byte
+}
+
+var _ msg.Body = (*FetchMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *FetchMsg) MsgType() msg.Type { return msg.TVSSFetch }
+
+// MarshalBinary implements msg.Body.
+func (m *FetchMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(56)
+	m.Session.encode(w)
+	w.Blob(m.CHash[:])
+	return w.Bytes(), nil
+}
+
+func decodeFetch(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &FetchMsg{Session: decodeSession(r)}
+	blob := r.Blob()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if len(blob) != 32 {
+		return nil, fmt.Errorf("vss: bad commitment hash length %d", len(blob))
+	}
+	copy(out.CHash[:], blob)
+	return out, nil
+}
+
+// MatrixMsg answers a FetchMsg with the full commitment matrix. It is
+// self-authenticating: the receiver recomputes the digest from the
+// decoded entries, so the reply needs no signature and may come from
+// any node that resolved the digest.
+type MatrixMsg struct {
+	Session SessionID
+	C       *commit.Matrix
+	// Compressed selects the v2 matrix encoding (marshal side only).
+	Compressed bool
+}
+
+var _ msg.Body = (*MatrixMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *MatrixMsg) MsgType() msg.Type { return msg.TVSSMatrix }
+
+// MarshalBinary implements msg.Body.
+func (m *MatrixMsg) MarshalBinary() ([]byte, error) {
+	cEnc, err := marshalMatrix(m.C, m.Compressed)
+	if err != nil {
+		return nil, err
+	}
+	w := msg.NewWriter(24 + len(cEnc))
+	m.Session.encode(w)
+	w.Blob(cEnc)
+	return w.Bytes(), nil
+}
+
+func decodeMatrix(gr *group.Group) msg.Decoder {
+	return func(data []byte) (msg.Body, error) {
+		r := msg.NewReader(data)
+		out := &MatrixMsg{Session: decodeSession(r)}
+		cEnc := r.Blob()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		c, err := commit.UnmarshalMatrix(gr, cEnc)
+		if err != nil {
+			return nil, err
+		}
+		out.C = c
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
 // RecShareMsg carries a node's share during the Rec protocol.
 type RecShareMsg struct {
 	Session SessionID
@@ -298,6 +398,12 @@ func RegisterCodec(c *msg.Codec, gr *group.Group) error {
 		return err
 	}
 	if err := c.Register(msg.TVSSHelp, decodeHelp); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TVSSFetch, decodeFetch); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TVSSMatrix, decodeMatrix(gr)); err != nil {
 		return err
 	}
 	return c.Register(msg.TRecShare, decodeRecShare)

@@ -46,6 +46,20 @@ type Params struct {
 	// HashedEcho enables the O(κn³) hashed-commitment optimisation:
 	// echo/ready carry a digest of C instead of the matrix.
 	HashedEcho bool
+	// DedupDealings sends the dealer's commitment matrix in full only
+	// once per session (the send message); echo/ready reference it by
+	// digest, like HashedEcho, and a node that buffers points for a
+	// digest it cannot resolve pulls the matrix from the referencing
+	// sender with a fetch message. Completion is unaffected: the matrix
+	// is self-authenticating (its digest is recomputed on receipt), so
+	// the fetch path accepts exactly the matrices the send path would.
+	DedupDealings bool
+	// CompressedWire selects the wire-format-v2 commitment encoding
+	// (compressed group elements) for every outgoing matrix. Decoding
+	// is auto-detecting, so mixed-version peers interoperate and the
+	// commitment digest CHash — defined over the canonical v1 bytes —
+	// is identical either way.
+	CompressedWire bool
 	// DisableBatch turns off batched point verification. By default a
 	// node that holds no trusted row polynomial defers incoming
 	// echo/ready points and verifies them in one randomized-linear-
@@ -213,6 +227,14 @@ type Node struct {
 	helpFrom  map[msg.NodeID]int
 	helpTotal int
 
+	// Dedup fetch state: which (digest, sender) pairs we already asked
+	// for the matrix, and which (digest, requester) pairs we already
+	// served. Asks fire only at the pending-buffer points, so they are
+	// bounded by the sender's burned first-message slots; serves are
+	// bounded to one per requester per known digest.
+	fetchAsked  map[[32]byte]map[msg.NodeID]bool
+	fetchServed map[[32]byte]map[msg.NodeID]bool
+
 	// Rec state.
 	recStarted    bool
 	recSeen       map[msg.NodeID]bool
@@ -257,6 +279,8 @@ func NewNode(params Params, session SessionID, self msg.NodeID, sender Sender, o
 		pending:         make(map[[32]byte][]pendingPoint),
 		outLog:          make(map[msg.NodeID][]msg.Body, params.N),
 		helpFrom:        make(map[msg.NodeID]int, params.N),
+		fetchAsked:      make(map[[32]byte]map[msg.NodeID]bool),
+		fetchServed:     make(map[[32]byte]map[msg.NodeID]bool),
 		recSeen:         make(map[msg.NodeID]bool, params.N),
 	}, nil
 }
@@ -308,13 +332,19 @@ func (nd *Node) ShareSecret(s *big.Int, rand io.Reader) error {
 	for j := 1; j <= nd.params.N; j++ {
 		row := f.Row(int64(j))
 		nd.sendLogged(msg.NodeID(j), &SendMsg{
-			Session: nd.session,
-			C:       c,
-			A:       row.Coeffs(),
+			Session:    nd.session,
+			C:          c,
+			A:          row.Coeffs(),
+			Compressed: nd.params.CompressedWire,
 		})
 	}
 	return nil
 }
+
+// hashOnly reports whether echo/ready messages carry only the
+// commitment digest: in hashed mode (the O(κn³) optimisation) and in
+// dedup mode (the full matrix travels once, in the dealer's send).
+func (nd *Node) hashOnly() bool { return nd.params.HashedEcho || nd.params.DedupDealings }
 
 // Handle processes one network message. Unknown or malformed bodies
 // for other sessions are ignored (Byzantine nodes may send anything).
@@ -328,6 +358,10 @@ func (nd *Node) Handle(from msg.NodeID, body msg.Body) {
 		nd.handleReady(from, m)
 	case *HelpMsg:
 		nd.handleHelp(from, m)
+	case *FetchMsg:
+		nd.handleFetch(from, m)
+	case *MatrixMsg:
+		nd.handleMatrix(from, m)
 	case *RecShareMsg:
 		nd.handleRecShare(from, m)
 	}
@@ -375,11 +409,12 @@ func (nd *Node) handleEcho(from msg.NodeID, m *EchoMsg) {
 	}
 	cs, known := nd.resolveCommitment(m.C, m.CHash)
 	if !known {
-		// Hashed mode, matrix not yet known: buffer, but still burn
-		// the sender's first-echo slot so equivocation cannot inflate
-		// counters later.
+		// Hashed/dedup mode, matrix not yet known: buffer, but still
+		// burn the sender's first-echo slot so equivocation cannot
+		// inflate counters later.
 		nd.echoSeen[from] = true
 		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha})
+		nd.maybeFetch(m.CHash, from)
 		return
 	}
 	if nd.deferPoint(cs, pendingPoint{from: from, alpha: m.Alpha}) {
@@ -587,6 +622,7 @@ func (nd *Node) handleReady(from msg.NodeID, m *ReadyMsg) {
 	if !known {
 		nd.readySeen[from] = true
 		nd.pending[m.CHash] = append(nd.pending[m.CHash], pendingPoint{from: from, alpha: m.Alpha, ready: true, sig: m.Sig})
+		nd.maybeFetch(m.CHash, from)
 		return
 	}
 	if nd.deferPoint(cs, pendingPoint{from: from, alpha: m.Alpha, ready: true, sig: m.Sig}) {
@@ -666,8 +702,9 @@ func (nd *Node) broadcastReady(cs *cstate) {
 	}
 	for j := 1; j <= nd.params.N; j++ {
 		out := &ReadyMsg{Session: nd.session, Alpha: cs.aBar.EvalInt(int64(j)), CHash: h, Sig: sigBytes}
-		if !nd.params.HashedEcho {
+		if !nd.hashOnly() {
 			out.C = cs.c
+			out.Compressed = nd.params.CompressedWire
 		}
 		nd.sendLogged(msg.NodeID(j), out)
 	}
@@ -778,10 +815,89 @@ func (nd *Node) applyPoint(cs *cstate, pp pendingPoint) {
 // makeEcho builds an echo message in the configured mode.
 func (nd *Node) makeEcho(c *commit.Matrix, alpha *big.Int) *EchoMsg {
 	out := &EchoMsg{Session: nd.session, Alpha: alpha, CHash: c.Hash()}
-	if !nd.params.HashedEcho {
+	if !nd.hashOnly() {
 		out.C = c
+		out.Compressed = nd.params.CompressedWire
 	}
 	return out
+}
+
+// --- dedup fetch (pull-based matrix recovery) ------------------------
+
+// maybeFetch asks the sender of a digest-only echo/ready for the full
+// commitment matrix, at most once per (digest, sender) pair. Only the
+// dedup configuration pulls: in plain hashed mode the dealer's send is
+// the designated carrier, as in the paper. Fetches are not logged in B
+// — they are idempotent by construction and a recovering node re-asks
+// naturally when buffered points re-arrive.
+//
+// Asks start only once t+1 distinct peers have referenced the digest:
+// below that the dealer's send is more likely late than lost, and
+// pulling on the first racing echo would waste on the happy path most
+// of what dedup saves. The gate never costs liveness — at least
+// n−t−f > t+1 honest peers reference every completing digest, and
+// once the gate opens every later message from an unasked sender
+// triggers a fresh ask, so some ask always reaches an honest holder.
+func (nd *Node) maybeFetch(h [32]byte, from msg.NodeID) {
+	if !nd.params.DedupDealings {
+		return
+	}
+	distinct := make(map[msg.NodeID]bool, len(nd.pending[h]))
+	for _, pp := range nd.pending[h] {
+		distinct[pp.from] = true
+	}
+	if len(distinct) < nd.params.T+1 {
+		return
+	}
+	asked := nd.fetchAsked[h]
+	if asked == nil {
+		asked = make(map[msg.NodeID]bool)
+		nd.fetchAsked[h] = asked
+	}
+	if asked[from] {
+		return
+	}
+	asked[from] = true
+	nd.sender.Send(from, &FetchMsg{Session: nd.session, CHash: h})
+}
+
+// handleFetch serves a referenced matrix to a requester, once per
+// (digest, requester). Any node that resolved the digest may serve it,
+// whether or not its own sends dedup — the reply is self-
+// authenticating, so serving is always safe.
+func (nd *Node) handleFetch(from msg.NodeID, m *FetchMsg) {
+	if m.Session != nd.session {
+		return
+	}
+	cs, ok := nd.cstates[m.CHash]
+	if !ok || cs.c == nil {
+		return
+	}
+	served := nd.fetchServed[m.CHash]
+	if served == nil {
+		served = make(map[msg.NodeID]bool)
+		nd.fetchServed[m.CHash] = served
+	}
+	if served[from] {
+		return
+	}
+	served[from] = true
+	nd.sender.Send(from, &MatrixMsg{Session: nd.session, C: cs.c, Compressed: nd.params.CompressedWire})
+}
+
+// handleMatrix installs a fetched matrix. The reply authenticates
+// itself — its digest is recomputed from the decoded entries — so it
+// is accepted from anyone, but only while points are actually buffered
+// under that digest: an unsolicited matrix for a digest nobody
+// referenced cannot allocate state.
+func (nd *Node) handleMatrix(from msg.NodeID, m *MatrixMsg) {
+	if m.Session != nd.session || m.C == nil || m.C.T() != nd.params.T {
+		return
+	}
+	if len(nd.pending[m.C.Hash()]) == 0 {
+		return
+	}
+	nd.learnCommitment(m.C)
 }
 
 // --- crash recovery (Fig. 1 recover/help) ---------------------------
@@ -845,7 +961,7 @@ func (nd *Node) EraseDealingSecrets() {
 	for to, bodies := range nd.outLog {
 		for i, b := range bodies {
 			if sm, ok := b.(*SendMsg); ok {
-				nd.outLog[to][i] = &SendMsg{Session: sm.Session, C: sm.C, OmitPoly: true}
+				nd.outLog[to][i] = &SendMsg{Session: sm.Session, C: sm.C, OmitPoly: true, Compressed: sm.Compressed}
 			}
 		}
 	}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench_gate.sh OLD NEW — regression gate for the perf-tracked
-# benchmarks. Compares the ns/op geomean of the E14/E15/E17/E18
+# benchmarks. Compares the ns/op geomean of the E14/E15/E17/E18/E19
 # benchmarks (backend crypto hot paths, session throughput, batch
-# verification, core-scaling verification pipeline) between a baseline
+# verification, core-scaling verification pipeline, bytes-on-wire
+# runs) between a baseline
 # run and a new run, and fails when the new run is more than 10%
 # slower. benchstat remains the human-readable report; this gate is
 # the machine-readable pass/fail.
@@ -14,7 +15,7 @@ if [ $# -ne 2 ]; then
 fi
 
 awk '
-  /^BenchmarkE1(4|5|7|8)/ && $3 > 0 {
+  /^BenchmarkE1(4|5|7|8|9)/ && $3 > 0 {
     # benchmark line: name  iterations  value ns/op  [extra metrics…]
     # Repeated -count samples of one benchmark accumulate into a
     # per-name geometric mean before names are compared, so noise
@@ -29,9 +30,9 @@ awk '
         n++
       }
     }
-    if (n == 0) { print "bench gate: no comparable E14/E15/E17/E18 results; skipping"; exit 0 }
+    if (n == 0) { print "bench gate: no comparable E14/E15/E17/E18/E19 results; skipping"; exit 0 }
     ratio = exp(sum / n)
-    printf "bench gate: E14/E15/E17/E18 ns/op geomean ratio new/baseline = %.3f over %d benchmarks\n", ratio, n
+    printf "bench gate: E14/E15/E17/E18/E19 ns/op geomean ratio new/baseline = %.3f over %d benchmarks\n", ratio, n
     if (ratio > 1.10) {
       printf "bench gate: FAIL — >10%% regression (ratio %.3f)\n", ratio
       exit 1

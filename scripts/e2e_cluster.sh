@@ -2,7 +2,11 @@
 # End-to-end deployment check: build cmd/dkgnode, launch a real 4-node
 # TCP cluster on localhost in `serve` mode with 2 concurrent DKG
 # sessions each, and gate on every node printing the same public key
-# per session (and different keys across sessions).
+# per session (and different keys across sessions). Node 2 runs with
+# -wire-v1 (legacy per-message framing, full dealings), so phase 1 is
+# also the rolling-upgrade check: a mixed-version cluster must still
+# complete. On clean shutdown every node must report its cumulative
+# bytes-on-wire books, including per-session byte counters.
 #
 # Phase 2 exercises durable restart recovery: a 4-node cluster with
 # --state-dir in which node 1 (the initial leader) is SIGKILLed while
@@ -41,12 +45,17 @@ for i in $(seq 1 "$N"); do
   peers+="${peers:+,}$i=127.0.0.1:$((BASE_PORT + i))"
 done
 
-echo "== launching $N nodes ($SESSIONS sessions each, peers $peers)"
+echo "== launching $N nodes ($SESSIONS sessions each, node 2 on -wire-v1, peers $peers)"
 for i in $(seq 1 "$N"); do
+  extra=()
+  if [ "$i" -eq 2 ]; then
+    extra+=(-wire-v1) # mixed-version cluster: one legacy-format node
+  fi
   "$workdir/dkgnode" serve \
     -id "$i" -listen "127.0.0.1:$((BASE_PORT + i))" \
     -peers "$peers" -keys "$workdir/keys.json" \
     -n "$N" -t "$T" -sessions "$SESSIONS" -timeout "$TIMEOUT" \
+    "${extra[@]}" \
     >"$workdir/node$i.out" 2>"$workdir/node$i.err" </dev/null &
   pids+=($!)
 done
@@ -106,7 +115,23 @@ if [ "$cross" -ne "$SESSIONS" ]; then
   exit 1
 fi
 
-echo "== e2e cluster OK: $SESSIONS concurrent sessions, one key per session"
+echo "== validating wire-stats dump (per-session byte counters on clean shutdown)"
+for i in $(seq 1 "$N"); do
+  if ! grep -Eq "node $i: wire: [0-9]+ frames, [0-9]+ bytes sent" "$workdir/node$i.err"; then
+    echo "!! node $i reported no cumulative wire stats" >&2
+    cat "$workdir/node$i.err" >&2
+    exit 1
+  fi
+  for s in $(seq 1 "$SESSIONS"); do
+    if ! grep -Eq "node $i: wire: +session $s: [0-9]+ frames [0-9]+ bytes" "$workdir/node$i.err"; then
+      echo "!! node $i reported no byte counter for session $s" >&2
+      cat "$workdir/node$i.err" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "== e2e cluster OK: $SESSIONS concurrent sessions, one key per session, mixed v1/v2 wire formats"
 
 # ---------------------------------------------------------------------
 # Phase 2: kill one node mid-DKG and restart it from --state-dir.

@@ -1,0 +1,226 @@
+// Differential tests for wire format v2: compressed commitment
+// encodings and coalesced framing must change how bytes look on the
+// wire — and nothing else. Each test runs the same seeded cluster
+// twice, taps every message at the simulator boundary, pushes it
+// through the real wire codec, and demands the canonicalized
+// transcripts be field-identical.
+package hybriddkg_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/group"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/rbc"
+	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/vss"
+)
+
+// wireTap canonicalizes every message crossing the simulated wire:
+// marshal with the run's encoding, decode through the registered
+// codec, re-marshal the decoded body (which always re-encodes in the
+// baseline v1 form). Two runs whose canonical transcripts match have
+// exchanged field-identical protocol content, whatever bytes each put
+// on the wire.
+type wireTap struct {
+	codec    *msg.Codec
+	canon    [][]byte
+	rawBytes int64
+	errs     int
+}
+
+func newWireTap(t *testing.T, gr *group.Group) *wireTap {
+	t.Helper()
+	codec := msg.NewCodec()
+	if err := vss.RegisterCodec(codec, gr); err != nil {
+		t.Fatal(err)
+	}
+	if err := dkg.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rbc.RegisterCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	return &wireTap{codec: codec}
+}
+
+func (w *wireTap) filter(from, to msg.NodeID, body msg.Body) simnet.Verdict {
+	enc, err := body.MarshalBinary()
+	if err != nil {
+		w.errs++
+		return simnet.Verdict{}
+	}
+	w.rawBytes += int64(len(enc))
+	dec, err := w.codec.Decode(body.MsgType(), enc)
+	if err != nil {
+		w.errs++
+		return simnet.Verdict{}
+	}
+	canon, err := dec.MarshalBinary()
+	if err != nil {
+		w.errs++
+		return simnet.Verdict{}
+	}
+	rec := make([]byte, 0, len(canon)+17)
+	rec = append(rec, byte(from), byte(to), byte(body.MsgType()))
+	rec = append(rec, canon...)
+	w.canon = append(w.canon, rec)
+	return simnet.Verdict{}
+}
+
+func runTapped(t *testing.T, opts harness.DKGOptions, tap *wireTap) *harness.DKGResult {
+	t.Helper()
+	opts.Filter = tap.filter
+	res, err := harness.RunDKG(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tap.errs != 0 {
+		t.Fatalf("%d messages failed to round-trip through the codec", tap.errs)
+	}
+	if res.HonestDone() != opts.N-len(opts.Byzantine) {
+		t.Fatalf("completed %d honest nodes", res.HonestDone())
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func compareTranscripts(t *testing.T, plain, compressed *wireTap) {
+	t.Helper()
+	if len(plain.canon) != len(compressed.canon) {
+		t.Fatalf("message counts diverge: %d vs %d", len(plain.canon), len(compressed.canon))
+	}
+	for i := range plain.canon {
+		if !bytes.Equal(plain.canon[i], compressed.canon[i]) {
+			t.Fatalf("canonical transcripts diverge at message %d (type %d)",
+				i, plain.canon[i][2])
+		}
+	}
+	if compressed.rawBytes >= plain.rawBytes {
+		t.Fatalf("compressed run put %d raw bytes on the wire, uncompressed %d — no saving",
+			compressed.rawBytes, plain.rawBytes)
+	}
+}
+
+// TestCompressedWireTranscriptIdentity: on the curve backend the
+// compressed run moves strictly fewer raw bytes yet every decoded
+// message is field-identical to the uncompressed run's.
+func TestCompressedWireTranscriptIdentity(t *testing.T) {
+	gr, err := group.ByName("p256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := harness.DKGOptions{N: 7, T: 2, Seed: 31, Group: gr}
+	plainTap := newWireTap(t, gr)
+	plain := runTapped(t, base, plainTap)
+	compTap := newWireTap(t, gr)
+	base.CompressedWire = true
+	comp := runTapped(t, base, compTap)
+	compareTranscripts(t, plainTap, compTap)
+	// Outcomes match too: same public key either way.
+	var pk1, pk2 group.Element
+	for id := range plain.Completed {
+		pk1 = plain.Completed[id].PublicKey
+		break
+	}
+	for id := range comp.Completed {
+		pk2 = comp.Completed[id].PublicKey
+		break
+	}
+	if !pk1.Equal(pk2) {
+		t.Fatal("compressed and uncompressed runs derived different keys")
+	}
+}
+
+// replayer is the byzantine-splice adversary: every message it
+// receives is forwarded verbatim to its neighbour, replaying valid
+// envelopes out of context. Honest nodes must shrug this off
+// identically under both encodings.
+type replayer struct {
+	env  *simnet.Env
+	self msg.NodeID
+	n    int
+}
+
+func (r *replayer) HandleMessage(from msg.NodeID, body msg.Body) {
+	next := msg.NodeID(int(r.self)%r.n + 1)
+	if next == r.self {
+		next = 1
+	}
+	r.env.Send(next, body)
+}
+func (r *replayer) HandleTimer(uint64) {}
+func (r *replayer) HandleRecover()     {}
+
+// TestCompressedWireTranscriptIdentityByzantine: the transcript
+// identity survives an adversary that splices captured messages back
+// into the cluster.
+func TestCompressedWireTranscriptIdentityByzantine(t *testing.T) {
+	gr, err := group.ByName("p256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	byz := map[msg.NodeID]func(env *simnet.Env) simnet.Handler{
+		5: func(env *simnet.Env) simnet.Handler {
+			return &replayer{env: env, self: 5, n: n}
+		},
+	}
+	base := harness.DKGOptions{N: n, T: 2, Seed: 37, Group: gr, Byzantine: byz}
+	plainTap := newWireTap(t, gr)
+	runTapped(t, base, plainTap)
+	compTap := newWireTap(t, gr)
+	base.CompressedWire = true
+	runTapped(t, base, compTap)
+	compareTranscripts(t, plainTap, compTap)
+}
+
+// TestCoalesceAccountingDifferential: the simulator's coalescing
+// model never changes delivery — same messages, same outcomes — while
+// the frame books record fewer, larger frames and strictly fewer
+// total bytes.
+func TestCoalesceAccountingDifferential(t *testing.T) {
+	base := harness.DKGOptions{N: 7, T: 2, Seed: 41}
+	v1, err := harness.RunDKG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Coalesce = true
+	v2, err := harness.RunDKG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Stats.TotalMsgs != v2.Stats.TotalMsgs {
+		t.Fatalf("coalescing changed delivery: %d vs %d messages",
+			v1.Stats.TotalMsgs, v2.Stats.TotalMsgs)
+	}
+	if v2.Stats.Frames >= v1.Stats.Frames {
+		t.Fatalf("coalescing did not reduce frames: %d vs %d",
+			v2.Stats.Frames, v1.Stats.Frames)
+	}
+	if v2.Stats.FrameBytes >= v1.Stats.FrameBytes {
+		t.Fatalf("coalescing did not reduce frame bytes: %d vs %d",
+			v2.Stats.FrameBytes, v1.Stats.FrameBytes)
+	}
+	for _, res := range []*harness.DKGResult{v1, v2} {
+		var sess int64
+		for _, b := range res.Stats.SessionBytes {
+			sess += b
+		}
+		if sess != res.Stats.FrameBytes {
+			t.Fatalf("session byte books (%d) do not sum to frame bytes (%d)",
+				sess, res.Stats.FrameBytes)
+		}
+	}
+}
