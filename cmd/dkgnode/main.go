@@ -3,28 +3,35 @@
 // design). A cluster is prepared with `dkgnode keygen` (generates the
 // signature-key directory all nodes need) and then one `dkgnode run`
 // (single DKG, exit when done) or `dkgnode serve` (long-running
-// session-multiplexed service) per node.
+// session-multiplexed service) per node. A serving cluster is a
+// threshold data plane: `dkgnode client` connects to any node's
+// -client-listen endpoint and requests signatures, decryptions and
+// beacon rounds under completed keys.
 //
 // Example 4-node cluster on one machine, two concurrent sessions:
 //
 //	dkgnode keygen -n 4 -out keys.json
 //	for i in 1 2 3 4; do
 //	  dkgnode serve -id $i -listen 127.0.0.1:900$i \
+//	    -client-listen 127.0.0.1:910$i \
 //	    -peers "1=127.0.0.1:9001,2=127.0.0.1:9002,3=127.0.0.1:9003,4=127.0.0.1:9004" \
 //	    -keys keys.json -n 4 -t 1 -sessions 2 &
 //	done
+//	dkgnode client -addr 127.0.0.1:9101 -key 1 -sign "hello" -decrypt -beacon 3
 //
 // `run` prints a JSON document with the public key and the node's
 // share when the DKG completes. `serve` multiplexes S concurrent DKG
 // sessions over one set of TCP links through the session engine,
 // prints one JSON line per completed session, accepts further
 // `start <session-id>` requests on stdin, and exits non-zero if any
-// requested session has not completed within -timeout.
+// requested session has not completed within -timeout. Every command
+// is built on the hybriddkg façade; the protocol internals stay
+// internal.
 package main
 
 import (
 	"bufio"
-	"crypto/rand"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
@@ -41,23 +48,12 @@ import (
 	"syscall"
 	"time"
 
-	"hybriddkg/internal/dkg"
-	"hybriddkg/internal/engine"
-	"hybriddkg/internal/group"
-	"hybriddkg/internal/groupmod"
-	"hybriddkg/internal/msg"
-	"hybriddkg/internal/proactive"
-	"hybriddkg/internal/rbc"
-	"hybriddkg/internal/sig"
-	"hybriddkg/internal/store"
-	"hybriddkg/internal/transport"
-	"hybriddkg/internal/verify"
-	"hybriddkg/internal/vss"
+	"hybriddkg"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: dkgnode <keygen|run|serve> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dkgnode <keygen|run|serve|client> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -68,6 +64,8 @@ func main() {
 		err = runNode(os.Args[2:])
 	case "serve":
 		err = serve(os.Args[2:])
+	case "client":
+		err = client(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -101,25 +99,20 @@ func keygen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scheme, err := sig.ByName(*schemeName)
+	rings, err := hybriddkg.NewKeyRings(*n, *schemeName)
 	if err != nil {
 		return err
 	}
-	kf := keyFile{Scheme: *schemeName}
-	var secret [32]byte
-	if _, err := rand.Read(secret[:]); err != nil {
-		return err
+	kf := keyFile{
+		Scheme: *schemeName,
+		Secret: hex.EncodeToString(rings[0].TransportSecret),
 	}
-	kf.Secret = hex.EncodeToString(secret[:])
-	for i := 1; i <= *n; i++ {
-		priv, pub, err := scheme.GenerateKey(rand.Reader)
-		if err != nil {
-			return err
-		}
+	for i, ring := range rings {
+		id := int64(i + 1)
 		kf.Nodes = append(kf.Nodes, keyEntry{
-			ID:   int64(i),
-			Pub:  hex.EncodeToString(pub),
-			Priv: hex.EncodeToString(priv),
+			ID:   id,
+			Pub:  hex.EncodeToString(ring.Public[hybriddkg.NodeID(id)]),
+			Priv: hex.EncodeToString(ring.Private),
 		})
 	}
 	data, err := json.MarshalIndent(kf, "", "  ")
@@ -133,9 +126,44 @@ func keygen(args []string) error {
 	return nil
 }
 
-// clusterFlags bundles the flags and derived state shared by the run
-// and serve subcommands: node identity, cluster shape, key material,
-// peer directory and wire codec.
+// loadKeyRing reads the key directory file and assembles this node's
+// authentication material.
+func loadKeyRing(path string, self int64) (hybriddkg.KeyRing, error) {
+	var ring hybriddkg.KeyRing
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ring, err
+	}
+	var kf keyFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return ring, fmt.Errorf("parse %s: %w", path, err)
+	}
+	ring.Scheme = kf.Scheme
+	ring.Public = make(map[hybriddkg.NodeID][]byte, len(kf.Nodes))
+	for _, e := range kf.Nodes {
+		pub, err := hex.DecodeString(e.Pub)
+		if err != nil {
+			return ring, err
+		}
+		ring.Public[hybriddkg.NodeID(e.ID)] = pub
+		if e.ID == self {
+			if ring.Private, err = hex.DecodeString(e.Priv); err != nil {
+				return ring, err
+			}
+		}
+	}
+	if ring.Private == nil {
+		return ring, fmt.Errorf("no private key for node %d in %s", self, path)
+	}
+	if ring.TransportSecret, err = hex.DecodeString(kf.Secret); err != nil || len(ring.TransportSecret) == 0 {
+		return ring, fmt.Errorf("bad transport secret in %s", path)
+	}
+	return ring, nil
+}
+
+// clusterFlags bundles the flags shared by the run and serve
+// subcommands: node identity, cluster shape, key material, peer
+// directory and wire-format selection.
 type clusterFlags struct {
 	id        *int64
 	listen    *string
@@ -146,13 +174,6 @@ type clusterFlags struct {
 	timeout   *time.Duration
 	leader    *int64
 	wireV1    *bool
-
-	gr     *group.Group
-	dir    *sig.Directory
-	priv   []byte
-	secret []byte
-	peers  []transport.Peer
-	codec  *msg.Codec
 }
 
 func newClusterFlags(fs *flag.FlagSet) *clusterFlags {
@@ -172,60 +193,36 @@ func newClusterFlags(fs *flag.FlagSet) *clusterFlags {
 	}
 }
 
-// resolve validates the parsed flags and loads group, keys, peers and
-// codec.
-func (c *clusterFlags) resolve() error {
+// serverConfig validates the parsed flags and assembles the façade
+// server configuration plus its protocol options.
+func (c *clusterFlags) serverConfig() (hybriddkg.ServerConfig, []hybriddkg.Option, error) {
+	var cfg hybriddkg.ServerConfig
 	if *c.id < 1 || *c.listen == "" || *c.peersSpec == "" || *c.n == 0 {
-		return fmt.Errorf("missing -id/-listen/-peers/-n")
+		return cfg, nil, fmt.Errorf("missing -id/-listen/-peers/-n")
 	}
-	gr, err := group.ByName(*c.groupName)
+	ring, err := loadKeyRing(*c.keysPath, *c.id)
 	if err != nil {
-		return err
-	}
-	_, dir, priv, secret, err := loadKeys(*c.keysPath, *c.id)
-	if err != nil {
-		return err
+		return cfg, nil, err
 	}
 	peers, err := parsePeers(*c.peersSpec)
 	if err != nil {
-		return err
+		return cfg, nil, err
 	}
-	codec, err := buildCodec(gr)
-	if err != nil {
-		return err
+	cfg = hybriddkg.ServerConfig{
+		Self:          hybriddkg.NodeID(*c.id),
+		Roster:        hybriddkg.Roster{N: *c.n, T: *c.t, F: *c.f},
+		Listen:        *c.listen,
+		Peers:         peers,
+		Keys:          ring,
+		InitialLeader: hybriddkg.NodeID(*c.leader),
 	}
-	c.gr, c.dir, c.priv, c.secret, c.peers, c.codec = gr, dir, priv, secret, peers, codec
-	return nil
-}
-
-// transportConfig assembles the shared transport configuration.
-func (c *clusterFlags) transportConfig(h transport.Handler) transport.Config {
-	return transport.Config{
-		Self:      msg.NodeID(*c.id),
-		Listen:    *c.listen,
-		Peers:     c.peers,
-		Codec:     c.codec,
-		Secret:    c.secret,
-		Handler:   h,
-		TimerUnit: time.Millisecond,
-		Coalesce:  !*c.wireV1,
+	opts := []hybriddkg.Option{hybriddkg.WithGroup(*c.groupName)}
+	if *c.wireV1 {
+		opts = append(opts, hybriddkg.WithLegacyWireV1())
+	} else {
+		opts = append(opts, hybriddkg.WithDedupDealings(), hybriddkg.WithCompressedWire())
 	}
-}
-
-// dkgParams assembles the shared protocol parameters.
-func (c *clusterFlags) dkgParams() dkg.Params {
-	return dkg.Params{
-		Group:          c.gr,
-		N:              *c.n,
-		T:              *c.t,
-		F:              *c.f,
-		DedupDealings:  !*c.wireV1,
-		CompressedWire: !*c.wireV1,
-		Directory:      c.dir,
-		SignKey:        c.priv,
-		InitialLeader:  msg.NodeID(*c.leader),
-		TimeoutBase:    10_000, // 10s at 1ms/unit before first leader change
-	}
+	return cfg, opts, nil
 }
 
 func runNode(args []string) error {
@@ -235,43 +232,23 @@ func runNode(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := cf.resolve(); err != nil {
-		return err
-	}
-
-	done := make(chan dkg.CompletedEvent, 1)
-	startErr := make(chan error, 1)
-	relay := &lateHandler{}
-	tnode, err := transport.Listen(cf.transportConfig(relay))
+	cfg, opts, err := cf.serverConfig()
 	if err != nil {
 		return err
 	}
-	defer tnode.Close()
-
-	node, err := dkg.NewNode(cf.dkgParams(), *tau, msg.NodeID(*cf.id), tnode, dkg.Options{
-		OnCompleted: func(ev dkg.CompletedEvent) {
-			select {
-			case done <- ev:
-			default:
-			}
-		},
-	})
+	srv, err := hybriddkg.Serve(cfg, opts...)
 	if err != nil {
 		return err
 	}
-	relay.set(node)
-	tnode.Do(func() {
-		if err := node.Start(rand.Reader); err != nil {
-			startErr <- fmt.Errorf("start: %w", err)
-		}
-	})
-	fmt.Fprintf(os.Stderr, "node %d listening on %s, session %d, waiting for DKG…\n", *cf.id, tnode.Addr(), *tau)
+	defer srv.Close()
+	srv.Start(*tau)
+	fmt.Fprintf(os.Stderr, "node %d listening on %s, session %d, waiting for DKG…\n", *cf.id, srv.Addr(), *tau)
 
 	select {
-	case ev := <-done:
+	case ev := <-srv.Events():
 		out := map[string]any{
 			"node":      *cf.id,
-			"session":   ev.Tau,
+			"session":   ev.Session,
 			"finalView": ev.FinalView,
 			"publicKey": ev.PublicKey.String(),
 			"share":     ev.Share.Text(16),
@@ -280,69 +257,40 @@ func runNode(args []string) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
-	case err := <-startErr:
-		return err
+	case fl := <-srv.Failures():
+		return fmt.Errorf("session %d: %w", fl.Session, fl.Err)
 	case <-time.After(*cf.timeout):
 		return fmt.Errorf("timed out after %v", *cf.timeout)
 	}
-}
-
-// buildCodec registers every protocol decoder.
-func buildCodec(gr *group.Group) (*msg.Codec, error) {
-	codec := msg.NewCodec()
-	if err := vss.RegisterCodec(codec, gr); err != nil {
-		return nil, err
-	}
-	if err := dkg.RegisterCodec(codec); err != nil {
-		return nil, err
-	}
-	if err := rbc.RegisterCodec(codec); err != nil {
-		return nil, err
-	}
-	if err := proactive.RegisterCodec(codec); err != nil {
-		return nil, err
-	}
-	if err := groupmod.RegisterCodec(codec, gr); err != nil {
-		return nil, err
-	}
-	return codec, nil
-}
-
-// sessionResult is one completed session's output line.
-type sessionResult struct {
-	sid msg.SessionID
-	ev  *dkg.CompletedEvent
-}
-
-// sessionFailure is a session the engine could not run.
-type sessionFailure struct {
-	sid msg.SessionID
-	err error
 }
 
 // serve runs the long-running session-multiplexed service: S initial
 // DKG sessions through the engine over one transport endpoint, plus
 // any sessions requested later via `start <id>` lines on stdin. It
 // exits zero once every requested session completed, non-zero on the
-// deadline or a failed session.
+// deadline or a failed session. With -client-listen the node also
+// serves the threshold data plane to external clients.
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	cf := newClusterFlags(fs)
 	var (
-		sessions   = fs.Int("sessions", 1, "number of initial concurrent DKG sessions")
-		base       = fs.Uint64("session-base", 1, "first session id (τ) to run")
-		workers    = fs.Int("workers", 0, "bound on concurrently active sessions (0 = unbounded)")
-		stateDir   = fs.String("state-dir", "", "durable state directory (WAL + snapshots); enables restart recovery")
-		snapEvery  = fs.Int("snapshot-every", 64, "events between periodic state snapshots (with -state-dir)")
-		syncEvery  = fs.Int("sync-every", 1, "fsync the WAL every N appends (with -state-dir; negative = page cache only)")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
-		verWorkers = fs.Int("verify-workers", runtime.NumCPU(), "speculative-verification worker goroutines (0 = pipeline off)")
-		shard      = fs.Bool("shard-sessions", true, "per-session dispatch lanes so concurrent sessions occupy multiple cores (forced off with -state-dir)")
+		sessions     = fs.Int("sessions", 1, "number of initial concurrent DKG sessions")
+		base         = fs.Uint64("session-base", 1, "first session id (τ) to run")
+		workers      = fs.Int("workers", 0, "bound on concurrently active sessions (0 = unbounded)")
+		stateDir     = fs.String("state-dir", "", "durable state directory (WAL + snapshots); enables restart recovery")
+		snapEvery    = fs.Int("snapshot-every", 64, "events between periodic state snapshots (with -state-dir)")
+		syncEvery    = fs.Int("sync-every", 1, "fsync the WAL every N appends (with -state-dir; negative = page cache only)")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+		verWorkers   = fs.Int("verify-workers", runtime.NumCPU(), "speculative-verification worker goroutines (0 = pipeline off)")
+		shard        = fs.Bool("shard-sessions", true, "per-session dispatch lanes so concurrent sessions occupy multiple cores (forced off with -state-dir)")
+		clientListen = fs.String("client-listen", "", "serve the client request protocol (sign/decrypt/beacon) on this address (empty = off)")
+		linger       = fs.Bool("linger", false, "keep serving after all initial sessions complete (until -timeout or a signal); implied by -client-listen")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := cf.resolve(); err != nil {
+	cfg, opts, err := cf.serverConfig()
+	if err != nil {
 		return err
 	}
 	if *sessions < 0 || *base == 0 {
@@ -365,167 +313,52 @@ func serve(args []string) error {
 			}()
 		}
 	}
-	var st *store.Store
-	if *stateDir != "" {
-		var err error
-		if st, err = store.Open(*stateDir, store.Options{SyncEvery: *syncEvery}); err != nil {
-			return err
-		}
-		defer st.Close()
-	}
-	// One verifier for all sessions: the directory memoizes signature
-	// verdicts, so proof sets shared across messages and sessions are
-	// paid for once.
-	cf.dir.EnableVerifyCache(0)
-	results := make(chan sessionResult, 64)
-	failures := make(chan sessionFailure, 16)
-	// The verification pipeline: a worker pool speculatively verifies
-	// inbound frames' crypto (point checks, signatures) while the
-	// dispatch loop works through earlier traffic; the state machines'
-	// inline checks then hit the shared verdict caches. Per-session
-	// dispatch lanes additionally let S concurrent sessions occupy S
-	// cores. Lanes are disabled alongside durable state: Checkpoint
-	// and Restore snapshot runners from the main loop and must not race
-	// concurrently dispatching lanes.
-	tcfg := cf.transportConfig(nil)
-	var vpool *verify.Pool
-	var vcache *verify.Cache
-	if *verWorkers > 0 {
-		vpool = verify.NewPool(*verWorkers)
-		vcache = verify.NewCache(0)
-		spec := verify.NewSpeculator(vpool, vcache, cf.dir, msg.NodeID(*cf.id))
-		tcfg.Observer = func(_ msg.SessionID, from msg.NodeID, body msg.Body) {
-			spec.Observe(from, body)
-		}
-		// One parallelism budget: the pool's workers (plus session
-		// lanes) already aim to saturate the cores, so the group
-		// kernels' own window fan-out would only oversubscribe the
-		// scheduler mid-flood. Keep multi-exps sequential per call;
-		// concurrency comes from the pipeline's task level.
-		group.SetParallelism(1)
-	}
 	if *shard && *stateDir != "" {
 		fmt.Fprintf(os.Stderr, "node %d: -shard-sessions disabled: durable state checkpoints require the single event loop\n", *cf.id)
 		*shard = false
 	}
-	tcfg.ShardSessions = *shard
-	tnode, err := transport.Listen(tcfg)
+	cfg.MaxActive = *workers
+	cfg.VerifyWorkers = *verWorkers
+	cfg.ShardSessions = *shard
+	cfg.StateDir = *stateDir
+	cfg.SnapshotEvery = *snapEvery
+	cfg.SyncEvery = *syncEvery
+	cfg.ClientListen = *clientListen
+	srv, err := hybriddkg.Serve(cfg, opts...)
 	if err != nil {
-		if vpool != nil {
-			vpool.Close()
-		}
 		return err
 	}
-	defer tnode.Close()
-	// The engine's completion/failure callbacks run on the transport
-	// event loop and send to the channels above; once serve returns,
-	// keep draining them so the deferred Close (which waits for the
-	// event loop) cannot deadlock behind a full channel. Registered
-	// after the Close defer, so the drainer is live while Close runs.
-	defer func() {
-		go func() {
-			for {
-				select {
-				case <-results:
-				case <-failures:
-				}
-			}
-		}()
-	}()
+	defer srv.Close()
 
 	id := cf.id
-	timeout := cf.timeout
-	params := cf.dkgParams()
-	if vcache != nil {
-		params.Verdicts = vcache
-		params.Parallel = vpool
-	}
-	cfg := engine.Config{
-		Fabric: engine.NewTransportFabric(tnode),
-		Factory: func(sid msg.SessionID, rt engine.Runtime) (engine.Runner, error) {
-			return dkg.NewNode(params, uint64(sid), msg.NodeID(*id), rt, dkg.Options{})
-		},
-		Start: func(sid msg.SessionID, r engine.Runner) error {
-			return r.(*dkg.Node).Start(rand.Reader)
-		},
-		MaxActive:     *workers,
-		KeepCompleted: true,
-		OnCompleted: func(sid msg.SessionID, r engine.Runner) {
-			results <- sessionResult{sid: sid, ev: r.(*dkg.Node).Result()}
-		},
-		OnFailed: func(sid msg.SessionID, err error) {
-			failures <- sessionFailure{sid: sid, err: err}
-		},
-	}
-	if st != nil {
-		cfg.Journal = st
-		cfg.Codec = cf.codec
-		cfg.Self = msg.NodeID(*id)
-		cfg.SnapshotEvery = *snapEvery
-		cfg.RestoreRunner = func(sid msg.SessionID, rt engine.Runtime, snap []byte) (engine.Runner, error) {
-			return dkg.RestoreNode(params, uint64(sid), msg.NodeID(*id), rt, dkg.Options{}, cf.codec, snap)
-		}
-		// Completed sessions keep serving protocol-level help requests
-		// (§5.3): a crashed peer that restarts after we finished still
-		// needs our retransmissions to complete its own session.
-		cfg.LingerCompleted = true
-	}
-	if vpool != nil {
-		// The engine owns the pool's lifecycle: its Close joins the
-		// workers, so serve can never leak verification goroutines.
-		cfg.VerifyPool = vpool
-	}
-	eng, err := engine.New(cfg)
-	if err != nil {
-		if vpool != nil {
-			vpool.Close()
-		}
-		return err
-	}
-	defer eng.Close()
+	expected := make(map[uint64]bool)
+	initial := make(map[uint64]bool)
 
-	// Submissions run on the transport event loop (the engine shares
-	// the protocol nodes' single-threaded discipline). The main
-	// goroutine never blocks on the loop — it must stay free to drain
-	// the results channel, which the loop's completion callbacks feed
-	// — so submission errors come back through the failures channel
-	// like any other activation failure.
-	submit := func(sid msg.SessionID) {
-		tnode.Do(func() {
-			if err := eng.Submit(sid); err != nil {
-				failures <- sessionFailure{sid: sid, err: err}
-			}
-		})
-	}
-	expected := make(map[msg.SessionID]bool)
-	initial := make(map[msg.SessionID]bool)
-
-	// Resume journaled sessions before submitting anything new. The
-	// restore runs on the transport event loop (like every engine
-	// call); sessions that restore as already-completed fire their
-	// completion callbacks during Restore, so keep draining the
-	// channels while waiting — with more restored-done sessions than
-	// channel capacity, a blocking wait would deadlock the event loop.
-	var pendingResults []sessionResult
-	var pendingFailures []sessionFailure
-	if st != nil {
+	// Resume journaled sessions before submitting anything new.
+	// Sessions that restore as already-completed fire their events
+	// during Restore, so keep draining while waiting — with more
+	// restored-done sessions than channel capacity, a blocking wait
+	// would deadlock the transport event loop.
+	var pendingResults []hybriddkg.SessionEvent
+	var pendingFailures []hybriddkg.SessionFailure
+	if *stateDir != "" {
 		type restoreOutcome struct {
-			sids []msg.SessionID
+			sids []uint64
 			err  error
 		}
 		restoreCh := make(chan restoreOutcome, 1)
-		tnode.Do(func() {
-			sids, err := eng.Restore()
+		go func() {
+			sids, err := srv.Restore()
 			restoreCh <- restoreOutcome{sids: sids, err: err}
-		})
+		}()
 		var outcome restoreOutcome
 		for waiting := true; waiting; {
 			select {
 			case outcome = <-restoreCh:
 				waiting = false
-			case res := <-results:
+			case res := <-srv.Events():
 				pendingResults = append(pendingResults, res)
-			case fl := <-failures:
+			case fl := <-srv.Failures():
 				pendingFailures = append(pendingFailures, fl)
 			}
 		}
@@ -541,26 +374,28 @@ func serve(args []string) error {
 		}
 	}
 	for s := 0; s < *sessions; s++ {
-		sid := msg.SessionID(*base + uint64(s))
+		sid := *base + uint64(s)
 		if expected[sid] {
 			continue // already resumed from durable state
 		}
-		submit(sid)
+		srv.Start(sid)
 		expected[sid] = true
 		initial[sid] = true
 	}
 	fmt.Fprintf(os.Stderr, "node %d serving on %s: %d session(s) starting at τ=%d (workers=%d)\n",
-		*id, tnode.Addr(), *sessions, *base, *workers)
+		*id, srv.Addr(), *sessions, *base, *workers)
+	if addr := srv.ClientAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "node %d: client protocol on %s\n", *id, addr)
+	}
 
-	// Graceful shutdown, only meaningful with durable state: on
-	// SIGTERM/SIGINT, checkpoint every live session, fsync the state
-	// directory, close the transport cleanly and exit 0 — the next
-	// incarnation resumes from disk. Without -state-dir the signals
-	// keep their default fatal behaviour: exiting 0 with in-flight
-	// sessions and nothing persisted would fool supervisor restart
-	// policies into treating the loss as a clean success.
+	// Graceful shutdown: on SIGTERM/SIGINT, checkpoint every live
+	// session (with -state-dir), close cleanly and exit 0. Without
+	// durable state or a client endpoint the signals keep their
+	// default fatal behaviour — exiting 0 with in-flight sessions and
+	// nothing persisted would fool supervisor restart policies.
 	sigCh := make(chan os.Signal, 2)
-	if st != nil {
+	stayUp := *linger || *clientListen != ""
+	if *stateDir != "" || stayUp {
 		signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 		defer signal.Stop(sigCh)
 	}
@@ -581,13 +416,13 @@ func serve(args []string) error {
 
 	enc := json.NewEncoder(os.Stdout)
 	completed := 0
-	deadline := time.After(*timeout)
+	deadline := time.After(*cf.timeout)
 	// dumpWire prints the cumulative bytes-on-wire books on clean
 	// shutdown: total frames/bytes, then per message type and per
 	// session, so operators can compare wire-format configurations
 	// across runs.
 	dumpWire := func() {
-		ws, ok := eng.WireStats()
+		ws, ok := srv.WireStats()
 		if !ok {
 			return
 		}
@@ -598,8 +433,8 @@ func serve(args []string) error {
 		}
 		sort.Ints(types)
 		for _, ti := range types {
-			tt := msg.Type(ti)
-			fmt.Fprintf(os.Stderr, "node %d: wire:   type %-12s %6d msgs %10d bytes\n",
+			tt := hybriddkg.WireMsgType(ti)
+			fmt.Fprintf(os.Stderr, "node %d: wire:   type %-12v %6d msgs %10d bytes\n",
 				*id, tt, ws.MsgCount[tt], ws.MsgBytes[tt])
 		}
 		sids := make([]uint64, 0, len(ws.SessionBytes))
@@ -608,36 +443,36 @@ func serve(args []string) error {
 		}
 		sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
 		for _, sv := range sids {
-			sid := msg.SessionID(sv)
+			sid := hybriddkg.SessionID(sv)
 			fmt.Fprintf(os.Stderr, "node %d: wire:   session %d: %d frames %d bytes\n",
 				*id, sv, ws.SessionFrames[sid], ws.SessionBytes[sid])
 		}
 	}
-	handleResult := func(res sessionResult) error {
+	handleResult := func(res hybriddkg.SessionEvent) error {
 		out := map[string]any{
 			"node":      *id,
-			"session":   uint64(res.sid),
-			"finalView": res.ev.FinalView,
-			"publicKey": res.ev.PublicKey.String(),
-			"share":     res.ev.Share.Text(16),
-			"qset":      res.ev.Q,
+			"session":   res.Session,
+			"finalView": res.FinalView,
+			"publicKey": res.PublicKey.String(),
+			"share":     res.Share.Text(16),
+			"qset":      res.Q,
 		}
 		if err := enc.Encode(out); err != nil {
 			return err
 		}
-		if expected[res.sid] {
+		if expected[res.Session] {
 			completed++
 		}
 		return nil
 	}
-	handleFailure := func(fl sessionFailure) error {
-		if initial[fl.sid] {
+	handleFailure := func(fl hybriddkg.SessionFailure) error {
+		if initial[fl.Session] {
 			// A failed initial session can never satisfy the exit
 			// condition; fail fast instead of idling to -timeout.
-			return fmt.Errorf("session %v failed: %w", fl.sid, fl.err)
+			return fmt.Errorf("session %v failed: %w", fl.Session, fl.Err)
 		}
-		fmt.Fprintf(os.Stderr, "node %d: session %v rejected: %v\n", *id, fl.sid, fl.err)
-		delete(expected, fl.sid)
+		fmt.Fprintf(os.Stderr, "node %d: session %v rejected: %v\n", *id, fl.Session, fl.Err)
+		delete(expected, fl.Session)
 		return nil
 	}
 	// Events drained while waiting for Restore are processed first.
@@ -651,124 +486,163 @@ func serve(args []string) error {
 			return err
 		}
 	}
+	announced := false
 	for {
-		if len(expected) > 0 && completed == len(expected) {
+		if len(expected) > 0 && completed == len(expected) && !stayUp {
 			fmt.Fprintf(os.Stderr, "node %d: all %d session(s) completed\n", *id, completed)
 			dumpWire()
 			return nil
 		}
+		if len(expected) > 0 && completed == len(expected) && stayUp && !announced {
+			// Data-plane mode: keys are installed, keep serving
+			// client requests until a signal or the deadline.
+			fmt.Fprintf(os.Stderr, "node %d: all %d session(s) completed, serving data plane\n", *id, completed)
+			announced = true
+		}
 		select {
-		case res := <-results:
+		case res := <-srv.Events():
 			if err := handleResult(res); err != nil {
 				return err
 			}
-		case fl := <-failures:
+		case fl := <-srv.Failures():
 			if err := handleFailure(fl); err != nil {
 				return err
 			}
 		case v := <-requests:
-			sid := msg.SessionID(v)
-			if expected[sid] {
+			if expected[v] {
 				continue
 			}
-			submit(sid)
-			expected[sid] = true
+			srv.Start(v)
+			expected[v] = true
 		case s := <-sigCh:
-			ckptCh := make(chan error, 1)
-			tnode.Do(func() { ckptCh <- eng.Checkpoint() })
-			if err := <-ckptCh; err != nil {
+			if err := srv.Checkpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "node %d: checkpoint on %v: %v\n", *id, s, err)
 			}
-			if st != nil {
-				if err := st.Sync(); err != nil {
-					fmt.Fprintf(os.Stderr, "node %d: state sync on %v: %v\n", *id, s, err)
-				}
-			}
-			fmt.Fprintf(os.Stderr, "node %d: %v: state flushed (%d/%d sessions completed), exiting cleanly\n",
-				*id, s, completed, len(expected))
+			st := srv.ServiceStats()
+			fmt.Fprintf(os.Stderr, "node %d: %v: exiting cleanly (%d/%d sessions completed; data plane: %d requests, %d batches, %d peer items)\n",
+				*id, s, completed, len(expected), st.Requests, st.Batches, st.PeerItems)
 			dumpWire()
 			return nil
 		case <-deadline:
 			if completed == len(expected) {
 				// No outstanding sessions (e.g. -sessions 0 with no
-				// stdin requests): the service simply ran out its
-				// lease with all requested work done.
+				// stdin requests, or data-plane mode running out its
+				// lease): the service ran out with all work done.
 				fmt.Fprintf(os.Stderr, "node %d: deadline reached with all %d requested session(s) completed\n", *id, completed)
 				dumpWire()
 				return nil
 			}
-			st := eng.Stats()
 			return fmt.Errorf("timed out after %v with %d/%d sessions completed (engine: %+v)",
-				*timeout, completed, len(expected), st)
+				*cf.timeout, completed, len(expected), srv.EngineStats())
 		}
 	}
 }
 
-// lateHandler lets the transport start before the protocol node
-// exists.
-type lateHandler struct {
-	node *dkg.Node
-}
-
-func (h *lateHandler) set(node *dkg.Node) { h.node = node }
-func (h *lateHandler) HandleMessage(from msg.NodeID, body msg.Body) {
-	if h.node != nil {
-		h.node.Handle(from, body)
+// client exercises a serving cluster's data plane from outside: it
+// holds no key material, connects to one node's -client-listen
+// endpoint, requests operations under an installed key and verifies
+// every result it can check publicly (signatures against the key,
+// beacon outputs against their openings, decryptions by round-trip).
+func client(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "", "a serving node's -client-listen address")
+		key     = fs.Uint64("key", 1, "key (session) identifier")
+		signMsg = fs.String("sign", "", "message to sign (empty = skip)")
+		decrypt = fs.Bool("decrypt", false, "run an encrypt/decrypt round-trip")
+		beacon  = fs.Uint64("beacon", 0, "open beacon rounds 1..N (0 = skip)")
+		timeout = fs.Duration("timeout", time.Minute, "per-operation deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-}
-func (h *lateHandler) HandleTimer(id uint64) {
-	if h.node != nil {
-		h.node.HandleTimer(id)
+	if *addr == "" {
+		return fmt.Errorf("missing -addr")
 	}
-}
-func (h *lateHandler) HandleRecover() {
-	if h.node != nil {
-		h.node.HandleRecover()
-	}
-}
-
-func loadKeys(path string, self int64) (*keyFile, *sig.Directory, []byte, []byte, error) {
-	data, err := os.ReadFile(path)
+	cl, err := hybriddkg.Dial(*addr)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return err
 	}
-	var kf keyFile
-	if err := json.Unmarshal(data, &kf); err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("parse %s: %w", path, err)
-	}
-	scheme, err := sig.ByName(kf.Scheme)
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	info, err := cl.KeyInfo(ctx, *key)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return fmt.Errorf("keyinfo: %w", err)
 	}
-	dir := sig.NewDirectory(scheme)
-	var priv []byte
-	for _, e := range kf.Nodes {
-		pub, err := hex.DecodeString(e.Pub)
+	n, t := cl.Roster()
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(map[string]any{
+		"op": "keyinfo", "key": info.ID, "group": cl.GroupName(),
+		"n": n, "t": t, "state": info.State.String(),
+		"publicKey": info.PublicKey.String(),
+	}); err != nil {
+		return err
+	}
+
+	if *signMsg != "" {
+		opCtx, opCancel := context.WithTimeout(context.Background(), *timeout)
+		sig, err := cl.Sign(opCtx, *key, []byte(*signMsg))
+		opCancel()
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return fmt.Errorf("sign: %w", err)
 		}
-		if err := dir.Add(e.ID, pub); err != nil {
-			return nil, nil, nil, nil, err
+		if !cl.Verify(info.PublicKey, []byte(*signMsg), sig) {
+			return fmt.Errorf("sign: signature fails verification")
 		}
-		if e.ID == self {
-			priv, err = hex.DecodeString(e.Priv)
-			if err != nil {
-				return nil, nil, nil, nil, err
-			}
+		if err := enc.Encode(map[string]any{
+			"op": "sign", "key": *key, "message": *signMsg,
+			"r": sig.R.String(), "sigma": sig.Sigma.Text(16), "verified": true,
+		}); err != nil {
+			return err
 		}
 	}
-	if priv == nil {
-		return nil, nil, nil, nil, fmt.Errorf("no private key for node %d in %s", self, path)
+
+	if *decrypt {
+		plain, err := cl.RandomElement()
+		if err != nil {
+			return err
+		}
+		ct, err := cl.Encrypt(info.PublicKey, plain)
+		if err != nil {
+			return fmt.Errorf("encrypt: %w", err)
+		}
+		opCtx, opCancel := context.WithTimeout(context.Background(), *timeout)
+		got, err := cl.Decrypt(opCtx, *key, ct)
+		opCancel()
+		if err != nil {
+			return fmt.Errorf("decrypt: %w", err)
+		}
+		if !got.Equal(plain) {
+			return fmt.Errorf("decrypt: round-trip mismatch")
+		}
+		if err := enc.Encode(map[string]any{
+			"op": "decrypt", "key": *key, "roundTrip": true,
+		}); err != nil {
+			return err
+		}
 	}
-	secret, err := hex.DecodeString(kf.Secret)
-	if err != nil || len(secret) == 0 {
-		return nil, nil, nil, nil, fmt.Errorf("bad transport secret in %s", path)
+
+	for round := uint64(1); round <= *beacon; round++ {
+		opCtx, opCancel := context.WithTimeout(context.Background(), *timeout)
+		out, err := cl.Beacon(opCtx, *key, round)
+		opCancel()
+		if err != nil {
+			return fmt.Errorf("beacon round %d: %w", round, err)
+		}
+		if err := enc.Encode(map[string]any{
+			"op": "beacon", "key": *key, "round": out.Round,
+			"output": hex.EncodeToString(out.Output[:]), "verified": true,
+		}); err != nil {
+			return err
+		}
 	}
-	return &kf, dir, priv, secret, nil
+	return nil
 }
 
-func parsePeers(spec string) ([]transport.Peer, error) {
-	var out []transport.Peer
+func parsePeers(spec string) ([]hybriddkg.PeerAddr, error) {
+	var out []hybriddkg.PeerAddr
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -782,7 +656,7 @@ func parsePeers(spec string) ([]transport.Peer, error) {
 		if _, err := fmt.Sscanf(part[:eq], "%d", &id); err != nil {
 			return nil, fmt.Errorf("bad peer id in %q", part)
 		}
-		out = append(out, transport.Peer{ID: msg.NodeID(id), Addr: part[eq+1:]})
+		out = append(out, hybriddkg.PeerAddr{ID: hybriddkg.NodeID(id), Addr: part[eq+1:]})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty peer list")

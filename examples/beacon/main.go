@@ -1,15 +1,15 @@
-// Random beacon (the distributed coin-tossing motivation of §1): each
-// round runs a fresh DKG — nobody knows the round secret while it is
-// being generated — and then the nodes open it by pooling t+1 shares.
-// Hashing the opened value gives a public random output nobody could
-// predict or (mostly) bias.
+// Random beacon (the distributed coin-tossing motivation of §1): the
+// nodes serve numbered beacon rounds from one long-lived key. Each
+// round is backed by a fresh distributed ephemeral secret — nobody
+// knows it while it is being generated — which t+1 nodes then open by
+// pooling shares. Hashing the round number with the opened value
+// gives a public random output nobody could predict or (mostly) bias.
 //
 //	go run ./examples/beacon
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +23,17 @@ func main() {
 }
 
 func run() error {
-	cluster, err := hybriddkg.NewCluster(hybriddkg.Options{N: 7, T: 2, Seed: 7})
+	net, err := hybriddkg.New(hybriddkg.Roster{N: 7, T: 2},
+		hybriddkg.WithSeed(7),
+		hybriddkg.WithBeaconAhead(2)) // provision rounds ahead of demand
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	ctx := context.Background()
+
+	// One DKG up front; every round reuses the serving quorum.
+	key, err := net.GenerateKey(ctx)
 	if err != nil {
 		return err
 	}
@@ -32,29 +42,21 @@ func run() error {
 	heads := 0
 	const rounds = 8
 	for round := uint64(1); round <= rounds; round++ {
-		// Commit: a fresh distributed secret nobody knows.
-		key, err := cluster.GenerateKey()
+		out, err := key.Beacon(ctx, round)
 		if err != nil {
 			return err
 		}
-		// Reveal: t+1 nodes pool shares to open it (the Rec protocol).
-		secret, err := cluster.Reconstruct(key)
-		if err != nil {
-			return err
+		// Anyone can audit the round: the opened ephemeral secret
+		// must match the round's published ephemeral public key.
+		if !net.Group().GExp(out.Opened).Equal(out.EphemeralPK) {
+			return fmt.Errorf("round %d: opened value does not match commitment", round)
 		}
-		// The beacon output binds the round number and the opening.
-		h := sha256.New()
-		var rb [8]byte
-		binary.BigEndian.PutUint64(rb[:], round)
-		h.Write(rb[:])
-		h.Write(secret.Bytes())
-		out := h.Sum(nil)
 		coin := "tails"
-		if out[0]&1 == 1 {
+		if out.Output[0]&1 == 1 {
 			coin = "heads"
 			heads++
 		}
-		fmt.Printf("%5d | %x | %s\n", round, out[:8], coin)
+		fmt.Printf("%5d | %x | %s\n", round, out.Output[:8], coin)
 	}
 	fmt.Printf("\n%d/%d heads. Caveat (documented in EXPERIMENTS.md): Feldman-based\n", heads, rounds)
 	fmt.Println("DKG lets an adversary bias a few output bits by selective aborts")

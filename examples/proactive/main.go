@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -23,33 +24,36 @@ func main() {
 
 func run() error {
 	const n, t = 7, 2
-	cluster, err := hybriddkg.NewCluster(hybriddkg.Options{N: n, T: t, Seed: 99})
+	net, err := hybriddkg.New(hybriddkg.Roster{N: n, T: t}, hybriddkg.WithSeed(99))
 	if err != nil {
 		return err
 	}
-	key, err := cluster.GenerateKey()
+	defer net.Close()
+	ctx := context.Background()
+
+	key, err := net.GenerateKey(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("phase 0: key generated, public key %s…\n", key.PublicKey.String()[:24])
+	fmt.Printf("phase 0: key generated, public key %s…\n", key.PublicKey().String()[:24])
 
 	// The mobile adversary steals t shares per phase, from different
 	// nodes each time.
 	stolen := make(map[int]*big.Int)
 	steal := func(phase int, ids ...int) {
 		for _, id := range ids {
-			stolen[id] = new(big.Int).Set(key.Shares[hybriddkg.NodeID(id)])
+			stolen[id] = new(big.Int).Set(key.Shares()[hybriddkg.NodeID(id)])
 			fmt.Printf("phase %d: adversary compromises node %d and steals its share\n", phase, id)
 		}
 	}
 
 	steal(0, 1, 2)
 	for phase := 1; phase <= 3; phase++ {
-		if err := cluster.RenewShares(key); err != nil {
+		if err := key.Renew(ctx); err != nil {
 			return err
 		}
 		fmt.Printf("phase %d: shares renewed, public key unchanged: %v\n",
-			phase, key.PublicKey != nil)
+			phase, key.PublicKey() != nil)
 		switch phase {
 		case 1:
 			steal(phase, 3, 4)
@@ -68,14 +72,14 @@ func run() error {
 			break
 		}
 	}
-	guess := interpolate(cluster, pts)
-	if cluster.Group().GExp(guess).Equal(key.PublicKey) {
+	guess := interpolate(net.Group().Q(), pts)
+	if net.Group().GExp(guess).Equal(key.PublicKey()) {
 		return fmt.Errorf("ADVERSARY WON: cross-phase shares reconstructed the key")
 	}
 	fmt.Println("cross-phase interpolation fails: stolen shares are from independent sharings")
 
 	// The honest system still works: current shares sign fine.
-	sig, err := cluster.Sign(key, []byte("still alive after three renewals"))
+	sig, err := key.Sign(ctx, []byte("still alive after three renewals"))
 	if err != nil {
 		return err
 	}
@@ -85,8 +89,7 @@ func run() error {
 }
 
 // interpolate runs Lagrange-at-0 over the stolen points.
-func interpolate(cluster *hybriddkg.Cluster, shares map[hybriddkg.NodeID]*big.Int) *big.Int {
-	q := cluster.Group().Q()
+func interpolate(q *big.Int, shares map[hybriddkg.NodeID]*big.Int) *big.Int {
 	acc := new(big.Int)
 	for i, yi := range shares {
 		num, den := big.NewInt(1), big.NewInt(1)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,37 +21,42 @@ func main() {
 }
 
 func run() error {
-	// A cluster is an in-memory deployment of n protocol nodes over
-	// the deterministic asynchronous network simulator.
-	cluster, err := hybriddkg.NewCluster(hybriddkg.Options{N: 7, T: 2, Seed: 42})
+	// A Network is an in-memory deployment of n protocol nodes over
+	// the deterministic asynchronous network simulator, each running
+	// a data-plane service in front of its share store.
+	net, err := hybriddkg.New(hybriddkg.Roster{N: 7, T: 2}, hybriddkg.WithSeed(42))
 	if err != nil {
 		return err
 	}
+	defer net.Close()
+	ctx := context.Background()
 
 	// One full DKG: n parallel verifiable secret sharings, leader
 	// agreement on a set of t+1 of them, share summation. Nobody ever
-	// saw the secret key.
-	key, err := cluster.GenerateKey()
+	// saw the secret key. The result is a long-lived Key that the
+	// nodes serve requests against.
+	key, err := net.GenerateKey(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("distributed key generated\n")
-	fmt.Printf("  public key: %s…\n", key.PublicKey.String()[:32])
-	fmt.Printf("  shares:     %d (one per node, never pooled)\n", len(key.Shares))
+	fmt.Printf("distributed key generated (state: %v)\n", key.State())
+	fmt.Printf("  public key: %s…\n", key.PublicKey().String()[:32])
+	fmt.Printf("  shares:     %d (one per node, never pooled)\n", len(key.Shares()))
 
 	// Every share is publicly verifiable against the Feldman
 	// commitment the DKG published.
-	for id, share := range key.Shares {
-		if !key.Commitment.VerifyShare(int64(id), share) {
+	for id, share := range key.Shares() {
+		if !key.Commitment().VerifyShare(int64(id), share) {
 			return fmt.Errorf("share %d failed verification", id)
 		}
 	}
 	fmt.Println("  all shares verify against the public commitment")
 
-	// Threshold Schnorr: any t+1 = 3 nodes can sign; the output is a
-	// standard Schnorr signature.
+	// Threshold Schnorr: the aggregator fans the request out, any
+	// t+1 = 3 nodes answer with partials, and the combined output is
+	// a standard Schnorr signature.
 	message := []byte("hello from a dealerless threshold quorum")
-	sig, err := cluster.Sign(key, message)
+	sig, err := key.Sign(ctx, message)
 	if err != nil {
 		return err
 	}
@@ -58,19 +64,20 @@ func run() error {
 		return fmt.Errorf("signature did not verify")
 	}
 	fmt.Printf("threshold signature produced and verified (R=%s…)\n", sig.R.String()[:16])
+	fmt.Printf("key is now %v: further Sign/Decrypt/Beacon calls reuse the same quorum\n", key.State())
 
 	// Sanity: the interpolated secret matches the public key (never
 	// do this outside demos — the whole point is nobody reconstructs).
-	secret, err := cluster.Reconstruct(key)
+	secret, err := key.Reconstruct()
 	if err != nil {
 		return err
 	}
-	if !cluster.Group().GExp(secret).Equal(key.PublicKey) {
+	if !net.Group().GExp(secret).Equal(key.PublicKey()) {
 		return fmt.Errorf("reconstructed secret does not match public key")
 	}
 	fmt.Println("consistency check: t+1 shares interpolate to the committed secret")
 
-	st := cluster.Stats()
+	st := net.Stats()
 	fmt.Printf("network cost: %d messages, %d bytes (simulated asynchronous network)\n",
 		st.TotalMsgs, st.TotalBytes)
 	return nil

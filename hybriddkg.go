@@ -9,32 +9,32 @@
 // threshold Schnorr signatures, threshold ElGamal decryption and a
 // random beacon).
 //
-// This package is the high-level façade: Cluster runs a complete
+// This package is the high-level façade: New builds a complete
 // in-memory deployment of n protocol nodes over the deterministic
-// asynchronous network simulator, which is the quickest way to use
-// (and study) the system. The protocol state machines themselves live
-// in internal packages and are transport-agnostic; cmd/dkgnode runs
-// the same state machines over real TCP connections.
+// asynchronous network simulator, each running a data-plane service.
+// GenerateKey turns one completed DKG session into a long-lived Key
+// whose Sign, Decrypt and Beacon methods fan partial-operation
+// requests out to the nodes and aggregate a quorum's results:
 //
-//	cluster, _ := hybriddkg.NewCluster(hybriddkg.Options{N: 7, T: 2})
-//	key, _ := cluster.GenerateKey()
-//	sig, _ := cluster.Sign(key, []byte("hello"))
+//	net, _ := hybriddkg.New(hybriddkg.Roster{N: 7, T: 2})
+//	key, _ := net.GenerateKey(ctx)
+//	sig, _ := key.Sign(ctx, []byte("hello"))
 //	ok := key.Verify([]byte("hello"), sig)
+//
+// The protocol state machines live in internal packages and are
+// transport-agnostic; cmd/dkgnode runs the same state machines (and
+// the same data-plane service) over real TCP connections.
 package hybriddkg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 
 	"hybriddkg/internal/commit"
-	"hybriddkg/internal/dkg"
 	"hybriddkg/internal/group"
 	"hybriddkg/internal/msg"
-	"hybriddkg/internal/poly"
-	"hybriddkg/internal/proactive"
-	"hybriddkg/internal/randutil"
-	"hybriddkg/internal/sig"
 	"hybriddkg/internal/simnet"
 	"hybriddkg/internal/thresh"
 )
@@ -55,60 +55,53 @@ type NodeID = msg.NodeID
 // sets, a curve point for "p256".
 type Element = group.Element
 
+// Signature is a standard Schnorr signature produced by a threshold
+// quorum; any ordinary Schnorr verifier accepts it.
+type Signature struct {
+	R     Element
+	Sigma *big.Int
+}
+
+// Ciphertext is an ElGamal ciphertext under a distributed key.
+type Ciphertext struct {
+	C1, C2 Element
+}
+
 // Options configures an in-memory cluster.
+//
+// Deprecated: use a Roster plus Option values with New. Each field
+// maps to an option: GroupName → WithGroup, SignatureScheme →
+// WithSignatureScheme, Seed → WithSeed, HashedEcho → WithHashedEcho.
 type Options struct {
 	// N, T, F are the group size, Byzantine threshold and crash
 	// limit; n ≥ 3t + 2f + 1 must hold.
 	N, T, F int
-	// GroupName selects the group backend and parameter set: "toy64",
-	// "test256" (default), "test512", "prod2048" (all Z_p*) or "p256"
-	// (NIST P-256 elliptic curve; ~128-bit security with commitment
-	// operations an order of magnitude cheaper than prod2048).
+	// GroupName selects the group backend and parameter set.
 	GroupName string
-	// Seed makes the whole cluster deterministic (scheduling and key
-	// material). The default 1 is fine for demos; real deployments
-	// use cmd/dkgnode, not this simulator.
+	// Seed makes the whole cluster deterministic.
 	Seed uint64
 	// HashedEcho enables the O(κn³) commitment-hash optimisation.
 	HashedEcho bool
-	// SignatureScheme selects message authentication: "ed25519"
-	// (default), "schnorr-test256", "schnorr-prod2048" or "null".
+	// SignatureScheme selects message authentication.
 	SignatureScheme string
 }
 
-func (o *Options) applyDefaults() error {
-	if o.GroupName == "" {
-		o.GroupName = "test256"
-	}
-	if o.SignatureScheme == "" {
-		o.SignatureScheme = "ed25519"
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.N < 1 || o.N < 3*o.T+2*o.F+1 {
-		return fmt.Errorf("%w: n=%d t=%d f=%d violates n ≥ 3t+2f+1", ErrBadOptions, o.N, o.T, o.F)
-	}
-	return nil
-}
-
-// Cluster is an in-memory deployment of n protocol nodes over the
-// deterministic asynchronous network simulator. Operations run
-// sequentially; each drives the network until the protocol completes.
+// Cluster is an in-memory deployment of n protocol nodes.
+//
+// Deprecated: use Network (via New), which serves long-lived Key
+// objects through the data plane instead of re-wiring protocol
+// sessions per operation. Cluster remains as a thin shim over
+// Network.
 type Cluster struct {
-	opts  Options
-	gr    *group.Group
-	net   *simnet.Network
-	dir   *sig.Directory
-	privs map[msg.NodeID][]byte
-	seq   uint64 // session counter (τ values)
-	rng   *randutil.Reader
+	nw   *Network
+	keys map[*SharedKey]*Key
 }
 
 // SharedKey is a distributed key: the public key plus every node's
-// share and the Feldman vector commitment binding them. Shares stay
-// inside the process in this in-memory deployment; a real deployment
-// holds one share per machine.
+// share and the Feldman vector commitment binding them.
+//
+// Deprecated: use Key, which additionally carries the serving
+// lifecycle and the aggregated threshold operations.
 type SharedKey struct {
 	PublicKey  Element
 	Commitment *commit.Vector
@@ -118,187 +111,93 @@ type SharedKey struct {
 	t  int
 }
 
-// Signature is a standard Schnorr signature produced by a threshold
-// quorum; any ordinary Schnorr verifier accepts it.
-type Signature struct {
-	R     Element
-	Sigma *big.Int
-}
-
-// Ciphertext is an ElGamal ciphertext under a SharedKey.
-type Ciphertext struct {
-	C1, C2 Element
-}
-
 // NewCluster creates the in-memory deployment.
+//
+// Deprecated: use New.
 func NewCluster(opts Options) (*Cluster, error) {
-	if err := opts.applyDefaults(); err != nil {
-		return nil, err
+	if opts.N < 1 || opts.N < 3*opts.T+2*opts.F+1 {
+		return nil, fmt.Errorf("%w: n=%d t=%d f=%d violates n ≥ 3t+2f+1",
+			ErrBadOptions, opts.N, opts.T, opts.F)
 	}
-	gr, err := group.ByName(opts.GroupName)
+	var o []Option
+	if opts.GroupName != "" {
+		o = append(o, WithGroup(opts.GroupName))
+	}
+	if opts.SignatureScheme != "" {
+		o = append(o, WithSignatureScheme(opts.SignatureScheme))
+	}
+	if opts.Seed != 0 {
+		o = append(o, WithSeed(opts.Seed))
+	}
+	if opts.HashedEcho {
+		o = append(o, WithHashedEcho())
+	}
+	nw, err := New(Roster{N: opts.N, T: opts.T, F: opts.F}, o...)
 	if err != nil {
 		return nil, err
 	}
-	scheme, err := sig.ByName(opts.SignatureScheme)
-	if err != nil {
-		return nil, err
-	}
-	rng := randutil.NewReader(opts.Seed)
-	dir := sig.NewDirectory(scheme)
-	privs := make(map[msg.NodeID][]byte, opts.N)
-	for i := 1; i <= opts.N; i++ {
-		priv, pub, err := scheme.GenerateKey(rng)
-		if err != nil {
-			return nil, err
-		}
-		if err := dir.Add(int64(i), pub); err != nil {
-			return nil, err
-		}
-		privs[msg.NodeID(i)] = priv
-	}
-	return &Cluster{
-		opts:  opts,
-		gr:    gr,
-		net:   simnet.New(simnet.Options{Seed: opts.Seed}),
-		dir:   dir,
-		privs: privs,
-		rng:   rng,
-	}, nil
+	return &Cluster{nw: nw, keys: make(map[*SharedKey]*Key)}, nil
 }
+
+// Network returns the underlying Network, easing migration.
+func (c *Cluster) Network() *Network { return c.nw }
 
 // Group exposes the discrete-log parameters in use.
-func (c *Cluster) Group() *group.Group { return c.gr }
+func (c *Cluster) Group() *group.Group { return c.nw.Group() }
 
 // Stats returns the simulator's message/byte accounting so far.
-func (c *Cluster) Stats() simnet.Stats { return c.net.Stats() }
+func (c *Cluster) Stats() simnet.Stats { return c.nw.Stats() }
 
-// dkgParams builds the protocol parameters shared by all sessions.
-func (c *Cluster) dkgParams(id msg.NodeID) dkg.Params {
-	return dkg.Params{
-		Group:      c.gr,
-		N:          c.opts.N,
-		T:          c.opts.T,
-		F:          c.opts.F,
-		HashedEcho: c.opts.HashedEcho,
-		Directory:  c.dir,
-		SignKey:    c.privs[id],
-	}
-}
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.nw.N() }
 
-type handlerAdapter struct {
-	onMsg     func(msg.NodeID, msg.Body)
-	onTimer   func(uint64)
-	onRecover func()
-}
+// T returns the Byzantine threshold.
+func (c *Cluster) T() int { return c.nw.T() }
 
-func (h handlerAdapter) HandleMessage(from msg.NodeID, body msg.Body) { h.onMsg(from, body) }
-func (h handlerAdapter) HandleTimer(id uint64) {
-	if h.onTimer != nil {
-		h.onTimer(id)
-	}
-}
-func (h handlerAdapter) HandleRecover() {
-	if h.onRecover != nil {
-		h.onRecover()
-	}
-}
+// Crash marks a node crashed (messages to it are lost until Recover).
+func (c *Cluster) Crash(id int) { c.nw.Crash(id) }
+
+// Recover brings a crashed node back; its protocol layer requests
+// retransmission via the help protocol.
+func (c *Cluster) Recover(id int) { c.nw.Recover(id) }
 
 // GenerateKey runs one full DKG and returns the resulting shared key.
+//
+// Deprecated: use Network.GenerateKey, which returns a serving Key.
 func (c *Cluster) GenerateKey() (*SharedKey, error) {
-	c.seq++
-	tau := c.seq
-	nodes := make(map[msg.NodeID]*dkg.Node, c.opts.N)
-	for i := 1; i <= c.opts.N; i++ {
-		id := msg.NodeID(i)
-		node, err := dkg.NewNode(c.dkgParams(id), tau, id, c.net.Env(id), dkg.Options{})
-		if err != nil {
-			return nil, err
-		}
-		nodes[id] = node
-		c.net.Register(id, handlerAdapter{
-			onMsg:     node.Handle,
-			onTimer:   node.HandleTimer,
-			onRecover: node.HandleRecover,
-		})
+	k, err := c.nw.GenerateKey(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	// Crashed nodes neither deal nor complete (the crash-recovery
-	// model: a down host stays down until the operator recovers it);
-	// the DKG tolerates up to f of them.
-	for i := 1; i <= c.opts.N; i++ {
-		id := msg.NodeID(i)
-		if c.net.Crashed(id) {
-			continue
-		}
-		if err := nodes[id].Start(randutil.NewReader(c.opts.Seed ^ tau<<32 ^ uint64(id))); err != nil {
-			return nil, err
-		}
+	sk := &SharedKey{
+		PublicKey:  k.PublicKey(),
+		Commitment: k.Commitment(),
+		Shares:     k.Shares(),
+		gr:         c.nw.Group(),
+		t:          c.nw.T(),
 	}
-	done := func() bool {
-		for id, node := range nodes {
-			if c.net.Crashed(id) {
-				continue
-			}
-			if !node.Done() {
-				return false
-			}
-		}
-		return true
-	}
-	c.net.RunUntil(done, 0)
-	c.net.Run(0)
-	if !done() {
-		return nil, ErrIncomplete
-	}
-	key := &SharedKey{
-		Shares: make(map[msg.NodeID]*big.Int, c.opts.N),
-		gr:     c.gr,
-		t:      c.opts.T,
-	}
-	for id, node := range nodes {
-		if !node.Done() {
-			continue // crashed mid-run; recovers via help, has no share yet
-		}
-		res := node.Result()
-		if key.PublicKey == nil {
-			key.PublicKey = res.PublicKey
-			key.Commitment = res.V
-		}
-		key.Shares[id] = res.Share
-	}
-	if key.PublicKey == nil {
-		return nil, ErrIncomplete
-	}
-	return key, nil
+	c.keys[sk] = k
+	return sk, nil
 }
 
-// Sign produces a threshold Schnorr signature on message: a fresh
-// nonce DKG followed by partial signing and combination.
-func (c *Cluster) Sign(key *SharedKey, message []byte) (Signature, error) {
-	nonce, err := c.GenerateKey()
-	if err != nil {
-		return Signature{}, fmt.Errorf("nonce generation: %w", err)
+// key resolves the serving Key behind a SharedKey handle.
+func (c *Cluster) key(sk *SharedKey) (*Key, error) {
+	k := c.keys[sk]
+	if k == nil {
+		return nil, fmt.Errorf("%w: unknown key", ErrBadOptions)
 	}
-	partials := make([]thresh.PartialSig, 0, c.opts.T+1)
-	for id, share := range key.Shares {
-		if share == nil || nonce.Shares[id] == nil {
-			continue // node was down for the key or the nonce DKG
-		}
-		ks := thresh.KeyShare{Self: id, Share: share, V: key.Commitment}
-		ns := thresh.KeyShare{Self: id, Share: nonce.Shares[id], V: nonce.Commitment}
-		p, err := thresh.PartialSign(c.gr, ks, ns, message)
-		if err != nil {
-			continue
-		}
-		partials = append(partials, p)
-		if len(partials) == c.opts.T+1 {
-			break
-		}
-	}
-	sg, err := thresh.Combine(c.gr, key.Commitment, nonce.Commitment, c.opts.T, message, partials)
+	return k, nil
+}
+
+// Sign produces a threshold Schnorr signature on message.
+//
+// Deprecated: use Key.Sign.
+func (c *Cluster) Sign(sk *SharedKey, message []byte) (Signature, error) {
+	k, err := c.key(sk)
 	if err != nil {
 		return Signature{}, err
 	}
-	return Signature{R: sg.R, Sigma: sg.Sigma}, nil
+	return k.Sign(context.Background(), message)
 }
 
 // Verify checks a threshold signature against the shared public key.
@@ -307,122 +206,53 @@ func (k *SharedKey) Verify(message []byte, s Signature) bool {
 }
 
 // Encrypt encrypts a group element under the shared public key.
-func (c *Cluster) Encrypt(key *SharedKey, m Element) (Ciphertext, error) {
-	ct, err := thresh.Encrypt(c.gr, key.PublicKey, m, c.rng)
+//
+// Deprecated: use Key.Encrypt.
+func (c *Cluster) Encrypt(sk *SharedKey, m Element) (Ciphertext, error) {
+	k, err := c.key(sk)
 	if err != nil {
 		return Ciphertext{}, err
 	}
-	return Ciphertext{C1: ct.C1, C2: ct.C2}, nil
+	return k.Encrypt(m)
 }
 
 // Decrypt runs verified threshold decryption with t+1 share holders.
-func (c *Cluster) Decrypt(key *SharedKey, ct Ciphertext) (Element, error) {
-	tct := thresh.Ciphertext{C1: ct.C1, C2: ct.C2}
-	parts := make([]thresh.PartialDecryption, 0, c.opts.T+1)
-	for id, share := range key.Shares {
-		ks := thresh.KeyShare{Self: id, Share: share, V: key.Commitment}
-		pd, err := thresh.PartialDecrypt(c.gr, ks, tct, c.rng)
-		if err != nil {
-			continue
-		}
-		parts = append(parts, pd)
-		if len(parts) == c.opts.T+1 {
-			break
-		}
+//
+// Deprecated: use Key.Decrypt.
+func (c *Cluster) Decrypt(sk *SharedKey, ct Ciphertext) (Element, error) {
+	k, err := c.key(sk)
+	if err != nil {
+		return nil, err
 	}
-	return thresh.CombineDecrypt(c.gr, key.Commitment, c.opts.T, tct, parts)
+	return k.Decrypt(context.Background(), ct)
 }
 
 // RenewShares runs one proactive renewal phase (§5): every share is
 // replaced, the public key is preserved, and old shares become
 // useless. The SharedKey is updated in place.
-func (c *Cluster) RenewShares(key *SharedKey) error {
-	c.seq++
-	phase := c.seq
-	engines := make(map[msg.NodeID]*proactive.Engine, c.opts.N)
-	for i := 1; i <= c.opts.N; i++ {
-		id := msg.NodeID(i)
-		cfg := proactive.Config{
-			DKG:  c.dkgParams(id),
-			Rand: randutil.NewReader(c.opts.Seed ^ phase<<40 ^ uint64(id)),
-		}
-		eng, err := proactive.NewEngine(cfg, id, c.net.Env(id), key.Shares[id], key.Commitment, nil)
-		if err != nil {
-			return err
-		}
-		// Fast-forward the engine's phase counter so renewals use the
-		// cluster-wide session sequence.
-		engines[id] = eng
-		c.net.Register(id, handlerAdapter{
-			onMsg:     eng.HandleMessage,
-			onTimer:   eng.HandleTimer,
-			onRecover: eng.HandleRecover,
-		})
+//
+// Deprecated: use Key.Renew.
+func (c *Cluster) RenewShares(sk *SharedKey) error {
+	k, err := c.key(sk)
+	if err != nil {
+		return err
 	}
-	// Drive engines to the target phase via repeated ticks: each
-	// engine starts at phase 0 internally, so tick once (in index
-	// order, for determinism).
-	for i := 1; i <= c.opts.N; i++ {
-		if err := engines[msg.NodeID(i)].Tick(); err != nil {
-			return err
-		}
+	if err := k.Renew(context.Background()); err != nil {
+		return err
 	}
-	done := func() bool {
-		for id, eng := range engines {
-			if c.net.Crashed(id) {
-				continue
-			}
-			if eng.Phase() < 1 {
-				return false
-			}
-		}
-		return true
-	}
-	c.net.RunUntil(done, 0)
-	c.net.Run(0)
-	if !done() {
-		return ErrIncomplete
-	}
-	for id, eng := range engines {
-		if eng.Phase() < 1 {
-			// Crashed mid-phase: its old share is invalidated by the
-			// renewal; it re-acquires one via recovery, not here.
-			delete(key.Shares, id)
-			continue
-		}
-		key.Shares[id] = eng.Share()
-		key.Commitment = eng.Commitment()
-	}
-	key.PublicKey = key.Commitment.PublicKey()
+	sk.PublicKey = k.PublicKey()
+	sk.Commitment = k.Commitment()
+	sk.Shares = k.Shares()
 	return nil
 }
 
-// Reconstruct opens the shared secret by combining t+1 shares (the
-// Rec protocol's arithmetic; exposed for beacons and tests — real
-// deployments never open long-term keys).
-func (c *Cluster) Reconstruct(key *SharedKey) (*big.Int, error) {
-	pts := make([]poly.Point, 0, c.opts.T+1)
-	for id, share := range key.Shares {
-		pts = append(pts, poly.Point{X: int64(id), Y: share})
-		if len(pts) == c.opts.T+1 {
-			break
-		}
+// Reconstruct opens the shared secret by combining t+1 shares.
+//
+// Deprecated: use Key.Reconstruct.
+func (c *Cluster) Reconstruct(sk *SharedKey) (*big.Int, error) {
+	k, err := c.key(sk)
+	if err != nil {
+		return nil, err
 	}
-	if len(pts) < c.opts.T+1 {
-		return nil, ErrIncomplete
-	}
-	return poly.Interpolate(c.gr.Q(), pts, 0)
+	return k.Reconstruct()
 }
-
-// N returns the cluster size.
-func (c *Cluster) N() int { return c.opts.N }
-
-// T returns the Byzantine threshold.
-func (c *Cluster) T() int { return c.opts.T }
-
-// Crash marks a node crashed (messages to it are lost until Recover).
-func (c *Cluster) Crash(id int) { c.net.Crash(msg.NodeID(id)) }
-
-// Recover brings a crashed node back; its protocol layer requests
-// retransmission via the help protocol.
-func (c *Cluster) Recover(id int) { c.net.Recover(msg.NodeID(id)) }

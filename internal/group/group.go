@@ -371,23 +371,27 @@ func (gr *Group) HashToScalar(domain string, data ...[]byte) *big.Int {
 // with SHA-256 in counter mode. It is the shared expansion primitive
 // behind HashToScalar and the backends' HashToElement loops.
 func hashExpand(domain string, need int, ctr uint32, data [][]byte) []byte {
-	buf := make([]byte, 0, need+sha256.Size)
-	inner := uint32(0)
-	for len(buf) < need {
-		h := sha256.New()
-		var cb [8]byte
-		binary.BigEndian.PutUint32(cb[:4], ctr)
-		binary.BigEndian.PutUint32(cb[4:], inner)
-		h.Write(cb[:])
-		io.WriteString(h, domain)
-		for _, d := range data {
-			var lb [4]byte
-			binary.BigEndian.PutUint32(lb[:], uint32(len(d)))
-			h.Write(lb[:])
-			h.Write(d)
-		}
-		buf = h.Sum(buf)
-		inner++
+	// One contiguous input buffer, rehashed per output block with only
+	// the inner counter changing. Challenge hashing sits on the
+	// data-plane per-request path, so the streaming-hash allocations
+	// the obvious sha256.New loop would make matter; the output is
+	// byte-for-byte what that loop produced.
+	n := 8 + len(domain)
+	for _, d := range data {
+		n += 4 + len(d)
+	}
+	in := make([]byte, 8, n)
+	binary.BigEndian.PutUint32(in[:4], ctr)
+	in = append(in, domain...)
+	for _, d := range data {
+		in = binary.BigEndian.AppendUint32(in, uint32(len(d)))
+		in = append(in, d...)
+	}
+	buf := make([]byte, 0, (need+sha256.Size-1)/sha256.Size*sha256.Size)
+	for inner := uint32(0); len(buf) < need; inner++ {
+		binary.BigEndian.PutUint32(in[4:8], inner)
+		sum := sha256.Sum256(in)
+		buf = append(buf, sum[:]...)
 	}
 	return buf[:need]
 }

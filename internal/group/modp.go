@@ -7,6 +7,7 @@ import (
 	"math/big"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // ModP is the paper's §2.3 instantiation: a prime p with a κ-bit prime
@@ -52,6 +53,10 @@ var _ Backend = (*ModP)(nil)
 // modpElement is a subgroup member of Z_p*.
 type modpElement struct {
 	v *big.Int
+	// enc memoizes the canonical encoding (see p256Element.enc): hot
+	// paths hash the same long-lived points into every request
+	// challenge. The cached slice is shared; encodings are read-only.
+	enc atomic.Pointer[[]byte]
 }
 
 // Equal implements Element.
@@ -60,8 +65,16 @@ func (e *modpElement) Equal(o Element) bool {
 	return ok && oe != nil && e.v.Cmp(oe.v) == 0
 }
 
-// Bytes implements Element.
-func (e *modpElement) Bytes() []byte { return e.v.Bytes() }
+// Bytes implements Element. The returned slice is shared between
+// calls; callers must not modify it.
+func (e *modpElement) Bytes() []byte {
+	if p := e.enc.Load(); p != nil {
+		return *p
+	}
+	b := e.v.Bytes()
+	e.enc.Store(&b)
+	return b
+}
 
 // String implements Element.
 func (e *modpElement) String() string { return hex.EncodeToString(e.v.Bytes()) }

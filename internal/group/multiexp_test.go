@@ -179,6 +179,58 @@ func TestMultiExpSmallExponents(t *testing.T) {
 	}
 }
 
+// TestMultiExpPrecomputedBases checks that Precompute'd bases (comb
+// tables on the curve, fixed-base windows on Z_p*) give identical
+// results through VarTimeMultiExp, across exponent widths, alone and
+// mixed with ad-hoc terms on both the Straus and Pippenger branches.
+func TestMultiExpPrecomputedBases(t *testing.T) {
+	for _, gr := range multiExpBackends(t) {
+		t.Run(gr.Name(), func(t *testing.T) {
+			r := randutil.NewReader(31)
+			q := gr.Q()
+			pk := gr.HashToElement("hybriddkg/multiexp-pre", []byte("pk"))
+			pk2 := gr.HashToElement("hybriddkg/multiexp-pre", []byte("pk2"))
+			gr.Precompute(pk)
+			gr.Precompute(pk)            // idempotent
+			gr.Precompute(gr.Identity()) // must be a no-op, not a panic
+			gr.Precompute(pk2)
+			wide, err := gr.RandScalar(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact128 := new(big.Int).Lsh(big.NewInt(1), 127)
+			cases := [][]*big.Int{
+				{wide, wide},
+				{new(big.Int).Sub(q, big.NewInt(1)), big.NewInt(1)},
+				{exact128, new(big.Int).Sub(exact128, big.NewInt(1))},
+				{big.NewInt(0), wide},
+			}
+			bases := []Element{pk, pk2}
+			for ci, exps := range cases {
+				want := naiveMultiExp(gr, bases, exps)
+				if got := gr.VarTimeMultiExp(bases, exps); !got.Equal(want) {
+					t.Fatalf("case %d: mismatch on precomputed-only terms", ci)
+				}
+			}
+			// Mixed with enough ad-hoc terms to cross into Pippenger,
+			// where precomputed terms are folded in separately.
+			for _, k := range []int{6, 40} {
+				mb, me := randomTerms(t, gr, k, uint64(k)*13+3)
+				mb = append(mb, pk, pk2)
+				e2, err := gr.RandScalar(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				me = append(me, wide, e2)
+				want := naiveMultiExp(gr, mb, me)
+				if got := gr.VarTimeMultiExp(mb, me); !got.Equal(want) {
+					t.Fatalf("k=%d: mismatch mixing precomputed and ad-hoc terms", k)
+				}
+			}
+		})
+	}
+}
+
 // TestMultiExpMismatchPanics pins the programming-error contract.
 func TestMultiExpMismatchPanics(t *testing.T) {
 	gr := Test256()

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"math/big"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 )
 
 // P256Backend runs the protocols over the NIST P-256 elliptic curve
@@ -26,6 +28,9 @@ type P256Backend struct {
 	// Flat-limb base-point coordinates, for the multi-exp generator
 	// fast path (compare-and-peel into one ScalarBaseMult).
 	genFx, genFy fe
+
+	mu    sync.RWMutex
+	combs map[[2]fe]*p256Comb // Precompute'd bases, by affine coords
 }
 
 var _ Backend = (*P256Backend)(nil)
@@ -38,6 +43,13 @@ var _ Backend = (*P256Backend)(nil)
 type p256Element struct {
 	x, y   *big.Int
 	fx, fy fe
+	// enc memoizes the compressed encoding: long-lived points (public
+	// keys, nonce commitments) are hashed into a signing challenge on
+	// every data-plane request, and SEC 1 marshalling would otherwise
+	// dominate the hash. Atomic because elements are shared across the
+	// verification pool. The cached slice is aliased by every Bytes
+	// call; callers treat encodings as read-only.
+	enc atomic.Pointer[[]byte]
 }
 
 // newP256Element builds the element from big.Int affine coordinates.
@@ -64,12 +76,20 @@ func (e *p256Element) Equal(o Element) bool {
 		e.infinity() == oe.infinity()
 }
 
-// Bytes implements Element.
+// Bytes implements Element. The returned slice is shared between
+// calls; callers must not modify it.
 func (e *p256Element) Bytes() []byte {
-	if e.infinity() {
-		return []byte{0}
+	if p := e.enc.Load(); p != nil {
+		return *p
 	}
-	return elliptic.MarshalCompressed(elliptic.P256(), e.x, e.y)
+	var b []byte
+	if e.infinity() {
+		b = []byte{0}
+	} else {
+		b = elliptic.MarshalCompressed(elliptic.P256(), e.x, e.y)
+	}
+	e.enc.Store(&b)
+	return b
 }
 
 // String implements Element.
@@ -78,7 +98,11 @@ func (e *p256Element) String() string { return hex.EncodeToString(e.Bytes()) }
 // NewP256 returns the P-256 backend.
 func NewP256() *P256Backend {
 	c := elliptic.P256()
-	b := &P256Backend{curve: c, q: new(big.Int).Set(c.Params().N)}
+	b := &P256Backend{
+		curve: c,
+		q:     new(big.Int).Set(c.Params().N),
+		combs: make(map[[2]fe]*p256Comb),
+	}
 	feFromBig(&b.genFx, c.Params().Gx)
 	feFromBig(&b.genFy, c.Params().Gy)
 	return b
@@ -259,10 +283,81 @@ func (b *P256Backend) HashToElement(domain string, data ...[]byte) Element {
 	}
 }
 
-// Precompute implements Backend. crypto/elliptic already uses
-// precomputed tables for the base point, and variable-base scalar
-// multiplication is cheap; no extra tables are needed.
-func (b *P256Backend) Precompute(Element) {}
+// Comb-table geometry for Precompute'd fixed bases. A base P gets
+// chunk bases B_j = 2^(64·j)·P with the odd multiples (2d+1)·B_j
+// pre-normalized to affine, so a full-width public exponent splits
+// into per-chunk wNAF digit streams that ride VarTimeMultiExp's
+// shared 64-position doubling chain — no per-call table build, no
+// extra normalization inversion, and ~256/(w+1) mixed additions per
+// exponentiation instead of a constant-time ladder call.
+const (
+	combW       = 5                // wNAF width; 2^(w−2) odd multiples per chunk
+	combSpacing = 64               // bit spacing between chunk bases
+	combChunks  = 5                // covers digit positions 0..256 (wNAF carry included)
+	combEntries = 1 << (combW - 2) // odd multiples per chunk
+	combCutoff  = 2 * combSpacing  // minimum exponent bits for the comb to beat Straus
+)
+
+// p256Comb holds one Precompute'd base's chunk tables:
+// tab[j][d] = (2d+1)·2^(64·j)·P in affine coordinates.
+type p256Comb struct {
+	tab [combChunks][]ap
+}
+
+// Precompute implements Backend: builds the comb tables above so that
+// VarTimeMultiExp serves full-width public exponentiations of base
+// (batch-verification public keys, Pedersen h) from precomputed
+// affine points. crypto/elliptic already accelerates the generator;
+// Exp stays on the constant-time ladder regardless, so secret
+// exponents never touch these tables. Building costs ~256 doublings
+// plus one batched normalization, amortized over a key's lifetime.
+func (b *P256Backend) Precompute(base Element) {
+	pe, ok := base.(*p256Element)
+	if !ok || pe.infinity() {
+		return
+	}
+	key := [2]fe{pe.fx, pe.fy}
+	b.mu.RLock()
+	_, done := b.combs[key]
+	b.mu.RUnlock()
+	if done {
+		return
+	}
+	all := make([]jp, 0, combChunks*combEntries)
+	var cur jp
+	jpFromElement(&cur, pe)
+	for j := 0; j < combChunks; j++ {
+		twice := cur
+		jpDouble(&twice)
+		entry := cur
+		all = append(all, entry)
+		for d := 1; d < combEntries; d++ {
+			jpAdd(&entry, &twice)
+			all = append(all, entry)
+		}
+		if j+1 < combChunks {
+			for s := 0; s < combSpacing; s++ {
+				jpDouble(&cur)
+			}
+		}
+	}
+	aff := b.batchToAffine(all)
+	comb := &p256Comb{}
+	for j := 0; j < combChunks; j++ {
+		comb.tab[j] = aff[j*combEntries : (j+1)*combEntries]
+	}
+	b.mu.Lock()
+	b.combs[key] = comb
+	b.mu.Unlock()
+}
+
+// comb returns the precomputed tables for pe, or nil.
+func (b *P256Backend) comb(pe *p256Element) *p256Comb {
+	b.mu.RLock()
+	c := b.combs[[2]fe{pe.fx, pe.fy}]
+	b.mu.RUnlock()
+	return c
+}
 
 // --- Jacobian fast path ----------------------------------------------
 //
@@ -316,10 +411,8 @@ func (b *P256Backend) jpToAffine(j *jp) *p256Element {
 	if feIsZero(&j.z) {
 		return &p256Element{x: new(big.Int), y: new(big.Int)}
 	}
-	z := feToBig(&j.z)
-	zinv := z.ModInverse(z, b.curve.Params().P)
 	var fzi, fzi2, fx, fy fe
-	feFromBig(&fzi, zinv)
+	feInv(&fzi, &j.z)
 	feSqr(&fzi2, &fzi)
 	feMul(&fx, &j.x, &fzi2)
 	feMul(&fy, &j.y, &fzi2)

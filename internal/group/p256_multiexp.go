@@ -49,6 +49,7 @@ func (b *P256Backend) VarTimeMultiExp(bases []Element, exps []*big.Int) Element 
 	gExp := new(big.Int)
 	var pts []*p256Element
 	var es []*big.Int
+	var combTerms []combTerm
 	for i, base := range bases {
 		e := red[i]
 		if e.Sign() == 0 {
@@ -61,6 +62,16 @@ func (b *P256Backend) VarTimeMultiExp(bases []Element, exps []*big.Int) Element 
 		if pe.fx == b.genFx && pe.fy == b.genFy {
 			gExp.Add(gExp, e)
 			continue
+		}
+		// Precompute'd bases with wide exponents ride the comb tables:
+		// the full-width digit stream splits across the chunk bases, so
+		// the shared chain stays combSpacing doublings long no matter
+		// how wide e is, and no per-call table is built for this term.
+		if e.BitLen() >= combCutoff {
+			if c := b.comb(pe); c != nil {
+				combTerms = append(combTerms, combTerm{digits: wnafDigits(e, combW), tab: c})
+				continue
+			}
 		}
 		pts = append(pts, pe)
 		es = append(es, e)
@@ -128,13 +139,18 @@ func (b *P256Backend) VarTimeMultiExp(bases []Element, exps []*big.Int) Element 
 	// ladder must not touch contributions already merged into acc).
 	var chain jp
 	switch {
-	case len(pts) == 0:
+	case len(pts) == 0 && len(combTerms) == 0:
 		// nothing in the shared chain
 	case len(pts) >= pippengerCutoff:
 		b.pippengerJP(&chain, pts, es)
 		jpAdd(&acc, &chain)
+		if len(combTerms) > 0 {
+			var cchain jp
+			b.strausJP(&cchain, nil, nil, combTerms)
+			jpAdd(&acc, &cchain)
+		}
 	default:
-		b.strausJP(&chain, pts, es)
+		b.strausJP(&chain, pts, es, combTerms)
 		jpAdd(&acc, &chain)
 	}
 
@@ -147,12 +163,23 @@ func (b *P256Backend) VarTimeMultiExp(bases []Element, exps []*big.Int) Element 
 	return b.jpToAffine(&acc)
 }
 
-// strausJP accumulates Π pts[i]^es[i] into acc (which must start at
-// infinity) by interleaved wNAF:
+// combTerm is one Precompute'd base riding the shared chain: its
+// full-width wNAF digit stream, chunked combSpacing digits at a time
+// across the precomputed tables, so digit index j·combSpacing+pos is
+// served from tab.tab[j] at chain position pos.
+type combTerm struct {
+	digits []int8
+	tab    *p256Comb
+}
+
+// strausJP accumulates Π pts[i]^es[i] · Π comb terms into acc (which
+// must start at infinity) by interleaved wNAF:
 // per-base tables of odd multiples (batch-normalized to affine so the
 // inner loop is all mixed additions), one shared doubling chain over
-// the longest exponent.
-func (b *P256Backend) strausJP(acc *jp, pts []*p256Element, es []*big.Int) {
+// the longest exponent. Comb terms need no table build or
+// normalization and cap their chain contribution at combSpacing
+// doublings regardless of exponent width.
+func (b *P256Backend) strausJP(acc *jp, pts []*p256Element, es []*big.Int, combs []combTerm) {
 	type baseTab struct {
 		digits []int8
 		tab    []ap // odd multiples 1,3,…,2^(w−1)−1
@@ -181,6 +208,9 @@ func (b *P256Backend) strausJP(acc *jp, pts []*p256Element, es []*big.Int) {
 		}
 		tabs[i] = baseTab{digits: digits, tab: make([]ap, n)}
 	}
+	if len(combs) > 0 && maxLen < combSpacing {
+		maxLen = combSpacing
+	}
 	aff := b.batchToAffine(all)
 	off := 0
 	for i := range tabs {
@@ -206,6 +236,27 @@ func (b *P256Backend) strausJP(acc *jp, pts []*p256Element, es []*big.Int) {
 				neg = tabs[i].tab[(-d)>>1]
 				feNeg(&neg.y, &neg.y)
 				jpAddAffine(acc, &neg)
+			}
+		}
+		if pos >= combSpacing {
+			continue
+		}
+		for ci := range combs {
+			digits := combs[ci].digits
+			for j := 0; j < combChunks; j++ {
+				idx := j*combSpacing + pos
+				if idx >= len(digits) {
+					break
+				}
+				d := digits[idx]
+				switch {
+				case d > 0:
+					jpAddAffine(acc, &combs[ci].tab.tab[j][d>>1])
+				case d < 0:
+					neg = combs[ci].tab.tab[j][(-d)>>1]
+					feNeg(&neg.y, &neg.y)
+					jpAddAffine(acc, &neg)
+				}
 			}
 		}
 	}
@@ -324,10 +375,8 @@ func (b *P256Backend) batchToAffineInto(out []ap, pts []jp) {
 	for i := 1; i < len(pts); i++ {
 		feMul(&prefix[i], &prefix[i-1], &pts[i].z)
 	}
-	inv := feToBig(&prefix[len(pts)-1])
-	inv.ModInverse(inv, b.curve.Params().P)
 	var run fe // (Z_0·…·Z_i)⁻¹ for the current i
-	feFromBig(&run, inv)
+	feInv(&run, &prefix[len(pts)-1])
 	var zi, zi2 fe
 	for i := len(pts) - 1; i >= 0; i-- {
 		if i == 0 {

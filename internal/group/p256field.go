@@ -254,6 +254,41 @@ func feSqrN(z, x *fe, n int) {
 	}
 }
 
+// feInv sets z = x⁻¹ (zero input yields zero) as the exponentiation
+// x^(p−2), run as an addition chain of 255 squarings and 12
+// multiplications over the flat-limb field (chain generated with
+// addchain; the same one crypto/internal/nistec uses). Replacing a
+// big.Int ModInverse with this keeps the Jacobian machinery's
+// normalizations — one per multi-exp plus one per table batch — off
+// the generic extended-GCD path.
+func feInv(z, x *fe) {
+	var t0, t1, t2, x15, x16, x47, acc fe
+	feSqr(&t0, x)           // _10 = x²
+	feSqr(&t1, &t0)         // _100
+	feMul(&t1, x, &t1)      // _101
+	feMul(&t0, &t0, &t1)    // _111
+	feSqrN(&t1, &t0, 3)     // _111000
+	feMul(&t1, &t0, &t1)    // _111111
+	feSqrN(&t2, &t1, 6)     //
+	feMul(&t1, &t1, &t2)    // x12 = x^(2¹²−1)
+	feSqrN(&t2, &t1, 3)     //
+	feMul(&x15, &t2, &t0)   // x15 = x^(2¹⁵−1)
+	feSqr(&t2, &x15)        //
+	feMul(&x16, &t2, x)     // x16 = x^(2¹⁶−1)
+	feSqrN(&t2, &x16, 16)   //
+	feMul(&t2, &t2, &x16)   // x32 = x^(2³²−1)
+	feSqrN(&acc, &t2, 15)   // i53 = x32 << 15
+	feMul(&x47, &x15, &acc) // x47 = x15 + i53
+	feSqrN(&acc, &acc, 17)  // i53 << 17
+	feMul(&acc, &acc, x)    // + 1
+	feSqrN(&acc, &acc, 143) // << 143
+	feMul(&acc, &acc, &x47) // + x47
+	feSqrN(&acc, &acc, 47)  // << 47  (= i263)
+	feMul(&acc, &acc, &x47) // x47 + i263
+	feSqrN(&acc, &acc, 2)   // << 2
+	feMul(z, &acc, x)       // + 1
+}
+
 // feSqrt sets z to the even-or-odd square root of x when x is a
 // quadratic residue and reports whether one exists. p ≡ 3 (mod 4), so
 // the candidate root is x^((p+1)/4); with

@@ -69,3 +69,44 @@ func TestP256FieldAgainstBigInt(t *testing.T) {
 		}
 	}
 }
+
+// TestFeInv cross-checks the Fermat-inversion addition chain against
+// math/big's ModInverse, including the feInv(0) = 0 convention the
+// batch-normalization code relies on.
+func TestFeInv(t *testing.T) {
+	p := elliptic.P256().Params().P
+	r := randutil.NewReader(13)
+	var x, inv fe
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, 32)
+		if _, err := r.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		v := new(big.Int).Mod(new(big.Int).SetBytes(buf), p)
+		if v.Sign() == 0 {
+			continue
+		}
+		feFromBig(&x, v)
+		feInv(&inv, &x)
+		want := new(big.Int).ModInverse(v, p)
+		if feToBig(&inv).Cmp(want) != 0 {
+			t.Fatalf("feInv mismatch for %v", v)
+		}
+	}
+	// One and p−1 are their own inverses; zero maps to zero.
+	feInv(&inv, &feMontOne)
+	if feToBig(&inv).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("feInv(1) != 1")
+	}
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	feFromBig(&x, pm1)
+	feInv(&inv, &x)
+	if feToBig(&inv).Cmp(pm1) != 0 {
+		t.Fatal("feInv(p-1) != p-1")
+	}
+	var z fe
+	feInv(&inv, &z)
+	if !feIsZero(&inv) {
+		t.Fatal("feInv(0) != 0")
+	}
+}

@@ -64,6 +64,13 @@ const (
 	// as TVSSMatrix.
 	TVSSFetch
 	TVSSMatrix
+
+	// Threshold data plane (internal/dataplane): partial-operation
+	// fan-out between an aggregator and its peers, and aux-session
+	// provisioning (nonce reservoirs, beacon windows).
+	TDataReq
+	TDataResp
+	TDataPrepare
 )
 
 // String implements fmt.Stringer for diagnostics and accounting keys.
@@ -105,6 +112,12 @@ func (t Type) String() string {
 		return "vss-fetch"
 	case TVSSMatrix:
 		return "vss-matrix"
+	case TDataReq:
+		return "data-req"
+	case TDataResp:
+		return "data-resp"
+	case TDataPrepare:
+		return "data-prepare"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

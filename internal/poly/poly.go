@@ -11,6 +11,7 @@
 package poly
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -344,6 +345,49 @@ func batchInverse(q *big.Int, vals []*big.Int) ([]*big.Int, error) {
 	}
 	out[0] = run
 	return out, nil
+}
+
+// LagrangeCache memoizes Lagrange coefficient vectors at a fixed
+// evaluation point, keyed by the index set. A data-plane aggregator
+// combines thousands of partials per second from a small, repeating
+// set of responder subsets; caching the coefficients removes the
+// modular inversion from every combine after a subset's first.
+// Not safe for concurrent use — callers hold their own lock.
+type LagrangeCache struct {
+	q  *big.Int
+	at int64
+	m  map[string][]*big.Int
+}
+
+// NewLagrangeCache returns a cache for coefficients at position at
+// over Z_q.
+func NewLagrangeCache(q *big.Int, at int64) *LagrangeCache {
+	return &LagrangeCache{q: q, at: at, m: make(map[string][]*big.Int)}
+}
+
+// Coeffs returns the Lagrange coefficients for the given index set,
+// computing and memoizing them on first sight. The returned slice is
+// shared across calls; callers must not modify it.
+func (c *LagrangeCache) Coeffs(indices []int64) ([]*big.Int, error) {
+	key := make([]byte, 0, 4*len(indices))
+	for _, x := range indices {
+		key = binary.AppendVarint(key, x)
+	}
+	if v, ok := c.m[string(key)]; ok {
+		return v, nil
+	}
+	v, err := LagrangeCoeffsAt(c.q, indices, c.at)
+	if err != nil {
+		return nil, err
+	}
+	// Churning responder subsets (crash/recover cycles) could grow the
+	// map without bound; a full reset is cheap and keeps steady state
+	// hot.
+	if len(c.m) >= 1024 {
+		c.m = make(map[string][]*big.Int)
+	}
+	c.m[string(key)] = v
+	return v, nil
 }
 
 // Interpolate evaluates the unique polynomial of degree

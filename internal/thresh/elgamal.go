@@ -109,21 +109,26 @@ func CombineDecrypt(gr *group.Group, v *commit.Vector, t int, ct Ciphertext, par
 	}
 	valid := make([]PartialDecryption, 0, t+1)
 	seen := make(map[msg.NodeID]bool, len(parts))
+	var bad []msg.NodeID
+	badSeen := make(map[msg.NodeID]bool)
 	for _, pd := range parts {
 		if seen[pd.Decryptor] {
 			continue
 		}
 		if !VerifyPartialDecryption(gr, v, ct, pd) {
+			if !badSeen[pd.Decryptor] {
+				badSeen[pd.Decryptor] = true
+				bad = append(bad, pd.Decryptor)
+			}
 			continue
 		}
 		seen[pd.Decryptor] = true
-		valid = append(valid, pd)
-		if len(valid) == t+1 {
-			break
+		if len(valid) <= t {
+			valid = append(valid, pd)
 		}
 	}
 	if len(valid) < t+1 {
-		return nil, fmt.Errorf("%w: %d of %d needed", ErrNotEnough, len(valid), t+1)
+		return nil, &PartialsError{Bad: bad, Valid: len(valid), Needed: t + 1}
 	}
 	indices := make([]int64, len(valid))
 	for i, pd := range valid {

@@ -33,6 +33,33 @@ var (
 	ErrBadArguments = errors.New("thresh: invalid arguments")
 )
 
+// PartialsError reports a failed combination together with the
+// identity of every submitted partial that failed verification. A
+// data plane uses the Bad list to evict the offending senders and
+// re-request partials from other share holders; errors.Is against
+// ErrNotEnough keeps working via Unwrap.
+type PartialsError struct {
+	// Bad lists the signers (or decryptors) whose partials failed
+	// verification, in submission order, deduplicated.
+	Bad []msg.NodeID
+	// Valid counts the distinct valid partials seen.
+	Valid int
+	// Needed is the reconstruction threshold t+1.
+	Needed int
+}
+
+// Error implements error.
+func (e *PartialsError) Error() string {
+	if len(e.Bad) == 0 {
+		return fmt.Sprintf("%v: %d of %d needed", ErrNotEnough, e.Valid, e.Needed)
+	}
+	return fmt.Sprintf("%v: %d of %d needed (invalid partials from %v)",
+		ErrNotEnough, e.Valid, e.Needed, e.Bad)
+}
+
+// Unwrap makes errors.Is(err, ErrNotEnough) hold.
+func (e *PartialsError) Unwrap() error { return ErrNotEnough }
+
 // KeyShare is one node's slice of a shared key: the scalar share plus
 // the group-wide vector commitment it verifies against.
 type KeyShare struct {
@@ -68,6 +95,22 @@ type Signature struct {
 // challenge computes c = H(R ‖ pk ‖ m).
 func challenge(gr *group.Group, bigR, pk group.Element, message []byte) *big.Int {
 	return gr.HashToScalar("hybriddkg/thresh-schnorr/v1", bigR.Bytes(), pk.Bytes(), message)
+}
+
+// Challenge exposes the signing challenge c = H(R ‖ pk ‖ m) for hot
+// paths that compute it once and reuse it across PartialSignPre calls
+// and batched verification.
+func Challenge(gr *group.Group, bigR, pk group.Element, message []byte) *big.Int {
+	return challenge(gr, bigR, pk, message)
+}
+
+// PartialSignPre computes σ_i = k_i + c·s_i for a precomputed
+// challenge, skipping the per-call share re-validation that
+// PartialSign performs. It is the data-plane hot path: shares are
+// validated once against their commitments when a key (or nonce) is
+// installed, after which each request costs two scalar operations.
+func PartialSignPre(gr *group.Group, self msg.NodeID, keyShare, nonceShare, c *big.Int) PartialSig {
+	return PartialSig{Signer: self, Sigma: gr.AddQ(nonceShare, gr.MulQ(c, keyShare))}
 }
 
 // PartialSign produces node i's signature share using its long-term
@@ -209,18 +252,26 @@ func Combine(gr *group.Group, keyV, nonceV *commit.Vector, t int, message []byte
 	valid := BatchVerifyPartials(gr, keyV, nonceV, message, partials)
 	pts := make([]poly.Point, 0, t+1)
 	seen := make(map[msg.NodeID]bool, len(partials))
+	var bad []msg.NodeID
+	badSeen := make(map[msg.NodeID]bool)
 	for i, p := range partials {
-		if !valid[i] || seen[p.Signer] {
+		if !valid[i] {
+			if !badSeen[p.Signer] {
+				badSeen[p.Signer] = true
+				bad = append(bad, p.Signer)
+			}
+			continue
+		}
+		if seen[p.Signer] {
 			continue
 		}
 		seen[p.Signer] = true
-		pts = append(pts, poly.Point{X: int64(p.Signer), Y: p.Sigma})
-		if len(pts) == t+1 {
-			break
+		if len(pts) <= t {
+			pts = append(pts, poly.Point{X: int64(p.Signer), Y: p.Sigma})
 		}
 	}
 	if len(pts) < t+1 {
-		return Signature{}, fmt.Errorf("%w: %d of %d needed", ErrNotEnough, len(pts), t+1)
+		return Signature{}, &PartialsError{Bad: bad, Valid: len(pts), Needed: t + 1}
 	}
 	sigma, err := poly.Interpolate(gr.Q(), pts, 0)
 	if err != nil {
@@ -231,6 +282,139 @@ func Combine(gr *group.Group, keyV, nonceV *commit.Vector, t int, message []byte
 		return Signature{}, fmt.Errorf("%w: combined signature invalid", ErrBadPartial)
 	}
 	return sig, nil
+}
+
+// CombineUnchecked interpolates the first t+1 distinct partials into
+// a signature WITHOUT verifying them. This is the optimistic
+// data-plane path: when all share holders are expected honest, the
+// caller skips per-partial verification, checks the combined
+// signature (individually via Verify or across requests via
+// BatchVerifySignatures), and only on failure falls back to Combine,
+// whose PartialsError identifies the bad senders.
+func CombineUnchecked(gr *group.Group, nonceV *commit.Vector, t int, partials []PartialSig) (Signature, error) {
+	return CombineUncheckedWith(gr, nonceV, t, partials, nil)
+}
+
+// CombineUncheckedWith is CombineUnchecked with a caller-held
+// Lagrange coefficient cache (at 0, over the group's scalar field).
+// Aggregators combine against a small repeating set of responder
+// subsets, so the cache removes the per-combine modular inversion
+// from the steady state. A nil cache falls back to direct
+// interpolation.
+func CombineUncheckedWith(gr *group.Group, nonceV *commit.Vector, t int, partials []PartialSig, cache *poly.LagrangeCache) (Signature, error) {
+	pts := make([]poly.Point, 0, t+1)
+	seen := make(map[msg.NodeID]bool, t+1)
+	for _, p := range partials {
+		if p.Sigma == nil || !gr.IsScalar(p.Sigma) || p.Signer <= 0 || seen[p.Signer] {
+			continue
+		}
+		seen[p.Signer] = true
+		pts = append(pts, poly.Point{X: int64(p.Signer), Y: p.Sigma})
+		if len(pts) == t+1 {
+			break
+		}
+	}
+	if len(pts) < t+1 {
+		return Signature{}, &PartialsError{Valid: len(pts), Needed: t + 1}
+	}
+	var (
+		sigma *big.Int
+		err   error
+	)
+	if cache != nil {
+		indices := make([]int64, len(pts))
+		for i, pt := range pts {
+			indices[i] = pt.X
+		}
+		var lambda []*big.Int
+		lambda, err = cache.Coeffs(indices)
+		if err == nil {
+			acc := new(big.Int)
+			for i, pt := range pts {
+				acc.Add(acc, new(big.Int).Mul(lambda[i], pt.Y))
+			}
+			sigma = acc.Mod(acc, gr.Q())
+		}
+	} else {
+		sigma, err = poly.Interpolate(gr.Q(), pts, 0)
+	}
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{R: nonceV.PublicKey(), Sigma: sigma}, nil
+}
+
+// BatchVerifySignatures verifies many combined signatures under one
+// public key with a single randomized linear combination:
+//
+//	Π R_j^{r_j} · pk^{Σ r_j c_j} · g^{−Σ r_j σ_j} = 1
+//
+// — one multi-exp where the R-side exponents all stay at
+// BatchSoundnessBits and the two collapsed full-width terms (pk and
+// the generator) ride the backend's precomputed tables, against 2·B
+// full-width exponentiations for B per-item Verify
+// calls. A false return means at least one signature is invalid
+// (forgery probability ≤ 2^−BatchSoundnessBits); callers identify it
+// by per-item Verify.
+func BatchVerifySignatures(gr *group.Group, pk group.Element, messages [][]byte, sigs []Signature) bool {
+	return BatchVerifySignaturesPre(gr, pk, messages, nil, sigs)
+}
+
+// BatchVerifySignaturesPre is BatchVerifySignatures with optionally
+// precomputed challenges: cs[j], when non-nil, must equal
+// H(R_j ‖ pk ‖ m_j) for the corresponding signature. An aggregator
+// computes every challenge once to generate its own partial and can
+// hand the values here instead of paying the hash (and the point
+// serializations feeding it) a second time. Nil cs, or a nil entry,
+// falls back to recomputation; a wrong precomputed challenge makes
+// verification fail, never falsely pass, since the signature was
+// produced against the honestly computed value.
+func BatchVerifySignaturesPre(gr *group.Group, pk group.Element, messages [][]byte, cs []*big.Int, sigs []Signature) bool {
+	if len(messages) != len(sigs) || (cs != nil && len(cs) != len(sigs)) {
+		return false
+	}
+	if len(sigs) == 0 {
+		return true
+	}
+	chal := func(j int) *big.Int {
+		if cs != nil && cs[j] != nil {
+			return cs[j]
+		}
+		return challenge(gr, sigs[j].R, pk, messages[j])
+	}
+	if len(sigs) == 1 {
+		sg := sigs[0]
+		if sg.R == nil || sg.Sigma == nil || !gr.IsElement(sg.R) || !gr.IsScalar(sg.Sigma) {
+			return false
+		}
+		lhs := gr.GExp(sg.Sigma)
+		rhs := gr.Mul(sg.R, gr.Exp(pk, chal(0)))
+		return lhs.Equal(rhs)
+	}
+	blind, err := commit.RandBlinders(len(sigs))
+	if err != nil {
+		return false
+	}
+	sAcc := new(big.Int)
+	cAcc := new(big.Int)
+	bases := make([]group.Element, 0, len(sigs)+2)
+	exps := make([]*big.Int, 0, len(sigs)+2)
+	for j, sg := range sigs {
+		if sg.R == nil || sg.Sigma == nil || !gr.IsElement(sg.R) || !gr.IsScalar(sg.Sigma) {
+			return false
+		}
+		sAcc.Add(sAcc, new(big.Int).Mul(blind[j], sg.Sigma))
+		cAcc.Add(cAcc, new(big.Int).Mul(blind[j], chal(j)))
+		bases = append(bases, sg.R)
+		exps = append(exps, blind[j])
+	}
+	// One identity check: Π R_j^{r_j} · pk^{Σ r_j c_j} · g^{−Σ r_j σ_j}
+	// = 1. Folding the pk and generator terms into the same multi-exp
+	// lets a Precompute'd pk ride the shared doubling chain instead of
+	// paying a standalone full-width exponentiation per batch.
+	bases = append(bases, pk, gr.Generator())
+	exps = append(exps, gr.ModQ(cAcc), gr.NegQ(sAcc))
+	return gr.VarTimeMultiExp(bases, exps).Equal(gr.Identity())
 }
 
 // Verify checks a combined signature exactly like a single-party

@@ -1,6 +1,7 @@
 package thresh_test
 
 import (
+	"errors"
 	"math/big"
 	"testing"
 
@@ -260,4 +261,147 @@ func TestBeaconOutput(t *testing.T) {
 	}
 	// BeaconBit is a function of the output.
 	_ = thresh.BeaconBit(a)
+}
+
+func TestCombineReportsBadSigners(t *testing.T) {
+	gr := group.Test256()
+	const tt = 2
+	keys, keyV := dealKey(t, gr, tt, 21)
+	nonces, nonceV := dealKey(t, gr, tt, 22)
+	message := []byte("m")
+
+	// Two good partials (t+1 = 3 needed) plus two tampered ones: the
+	// combine must fail and name exactly the tampered signers.
+	var partials []thresh.PartialSig
+	for i := msg.NodeID(1); i <= 2; i++ {
+		p, err := thresh.PartialSign(gr, keys[i], nonces[i], message)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	for i := msg.NodeID(3); i <= 4; i++ {
+		p, err := thresh.PartialSign(gr, keys[i], nonces[i], message)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Sigma = gr.AddQ(p.Sigma, big.NewInt(1))
+		partials = append(partials, p)
+	}
+	_, err := thresh.Combine(gr, keyV, nonceV, tt, message, partials)
+	if err == nil {
+		t.Fatal("combine succeeded with too few valid partials")
+	}
+	if !errors.Is(err, thresh.ErrNotEnough) {
+		t.Fatalf("err = %v, want ErrNotEnough", err)
+	}
+	var pe *thresh.PartialsError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *thresh.PartialsError", err)
+	}
+	if len(pe.Bad) != 2 || pe.Bad[0] != 3 || pe.Bad[1] != 4 {
+		t.Fatalf("Bad = %v, want [3 4]", pe.Bad)
+	}
+	if pe.Valid != 2 || pe.Needed != tt+1 {
+		t.Fatalf("Valid/Needed = %d/%d, want 2/3", pe.Valid, pe.Needed)
+	}
+}
+
+func TestCombineDecryptReportsBadDecryptors(t *testing.T) {
+	gr := group.Test256()
+	const tt = 2
+	keys, keyV := dealKey(t, gr, tt, 23)
+	rng := randutil.NewReader(24)
+	m := gr.GExp(big.NewInt(777))
+	ct, err := thresh.Encrypt(gr, keyV.PublicKey(), m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []thresh.PartialDecryption
+	for i := msg.NodeID(1); i <= 2; i++ {
+		pd, err := thresh.PartialDecrypt(gr, keys[i], ct, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, pd)
+	}
+	pd, err := thresh.PartialDecrypt(gr, keys[5], ct, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd.D = gr.Mul(pd.D, gr.Generator()) // breaks the DLEQ proof
+	parts = append(parts, pd)
+	_, err = thresh.CombineDecrypt(gr, keyV, tt, ct, parts)
+	var pe *thresh.PartialsError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *thresh.PartialsError", err, err)
+	}
+	if len(pe.Bad) != 1 || pe.Bad[0] != 5 {
+		t.Fatalf("Bad = %v, want [5]", pe.Bad)
+	}
+}
+
+func TestPartialSignPreMatchesPartialSign(t *testing.T) {
+	gr := group.Test256()
+	const tt = 2
+	keys, keyV := dealKey(t, gr, tt, 25)
+	nonces, nonceV := dealKey(t, gr, tt, 26)
+	message := []byte("hot path")
+	c := thresh.Challenge(gr, nonceV.PublicKey(), keyV.PublicKey(), message)
+	for i := msg.NodeID(1); i <= 7; i++ {
+		slow, err := thresh.PartialSign(gr, keys[i], nonces[i], message)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := thresh.PartialSignPre(gr, i, keys[i].Share, nonces[i].Share, c)
+		if fast.Signer != slow.Signer || fast.Sigma.Cmp(slow.Sigma) != 0 {
+			t.Fatalf("node %d: PartialSignPre diverges from PartialSign", i)
+		}
+	}
+}
+
+func TestCombineUncheckedAndBatchVerifySignatures(t *testing.T) {
+	gr := group.Test256()
+	const tt = 2
+	keys, keyV := dealKey(t, gr, tt, 27)
+
+	var msgs [][]byte
+	var sigs []thresh.Signature
+	for j := 0; j < 4; j++ {
+		nonces, nonceV := dealKey(t, gr, tt, 30+uint64(j))
+		message := []byte{byte('a' + j)}
+		var partials []thresh.PartialSig
+		for i := msg.NodeID(1); i <= msg.NodeID(tt+1); i++ {
+			p, err := thresh.PartialSign(gr, keys[i], nonces[i], message)
+			if err != nil {
+				t.Fatal(err)
+			}
+			partials = append(partials, p)
+		}
+		sig, err := thresh.CombineUnchecked(gr, nonceV, tt, partials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !thresh.Verify(gr, keyV.PublicKey(), message, sig) {
+			t.Fatalf("optimistic combine %d produced invalid signature", j)
+		}
+		msgs = append(msgs, message)
+		sigs = append(sigs, sig)
+	}
+	if !thresh.BatchVerifySignatures(gr, keyV.PublicKey(), msgs, sigs) {
+		t.Fatal("batch rejected all-valid signatures")
+	}
+	// One corrupted signature must fail the whole batch.
+	bad := make([]thresh.Signature, len(sigs))
+	copy(bad, sigs)
+	bad[2] = thresh.Signature{R: bad[2].R, Sigma: gr.AddQ(bad[2].Sigma, big.NewInt(1))}
+	if thresh.BatchVerifySignatures(gr, keyV.PublicKey(), msgs, bad) {
+		t.Fatal("batch accepted a corrupted signature")
+	}
+	// Too few partials: typed error, no bad senders.
+	_, err := thresh.CombineUnchecked(gr, keyV, tt, nil)
+	var pe *thresh.PartialsError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *thresh.PartialsError", err)
+	}
 }

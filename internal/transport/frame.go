@@ -1,0 +1,44 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrFrameTooLarge is returned when a length-prefixed frame exceeds
+// the reader's limit.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// WriteLengthPrefixed writes one u32(big-endian)-length-prefixed frame.
+// It is the framing shared by the peer transport and the data-plane
+// client protocol: every stream message is `u32 len ‖ len bytes`.
+func WriteLengthPrefixed(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadLengthPrefixed reads one u32-length-prefixed frame, rejecting
+// frames larger than max bytes before reading their body (so a
+// malformed or hostile peer cannot force a large allocation).
+func ReadLengthPrefixed(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # bench_gate.sh OLD NEW — regression gate for the perf-tracked
-# benchmarks. Compares the ns/op geomean of the E14/E15/E17/E18/E19
+# benchmarks. Compares the ns/op geomean of the E14/E15/E17/E18/E19/E20
 # benchmarks (backend crypto hot paths, session throughput, batch
 # verification, core-scaling verification pipeline, bytes-on-wire
-# runs) between a baseline
+# runs, data-plane serving) between a baseline
 # run and a new run, and fails when the new run is more than 10%
-# slower. benchstat remains the human-readable report; this gate is
-# the machine-readable pass/fail.
+# slower. The E20 data-plane results additionally carry absolute
+# acceptance gates (taken from the new run alone): ≥10k sustained
+# sign req/s per key at n=7 on p256, and batched (depth=8) at least
+# 2x the unbatched (depth=1) req/s. benchstat remains the
+# human-readable report; this gate is the machine-readable pass/fail.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -15,7 +18,7 @@ if [ $# -ne 2 ]; then
 fi
 
 awk '
-  /^BenchmarkE1(4|5|7|8|9)/ && $3 > 0 {
+  /^BenchmarkE(1(4|5|7|8|9)|20)/ && $3 > 0 {
     # benchmark line: name  iterations  value ns/op  [extra metrics…]
     # Repeated -count samples of one benchmark accumulate into a
     # per-name geometric mean before names are compared, so noise
@@ -30,9 +33,9 @@ awk '
         n++
       }
     }
-    if (n == 0) { print "bench gate: no comparable E14/E15/E17/E18/E19 results; skipping"; exit 0 }
+    if (n == 0) { print "bench gate: no comparable E14/E15/E17/E18/E19/E20 results; skipping"; exit 0 }
     ratio = exp(sum / n)
-    printf "bench gate: E14/E15/E17/E18/E19 ns/op geomean ratio new/baseline = %.3f over %d benchmarks\n", ratio, n
+    printf "bench gate: E14/E15/E17/E18/E19/E20 ns/op geomean ratio new/baseline = %.3f over %d benchmarks\n", ratio, n
     if (ratio > 1.10) {
       printf "bench gate: FAIL — >10%% regression (ratio %.3f)\n", ratio
       exit 1
@@ -40,3 +43,28 @@ awk '
     print "bench gate: OK"
   }
 ' "$1" "$2"
+
+# Absolute E20 acceptance gates, evaluated on the new run alone.
+# Repeated -count samples average (arithmetic mean of req/s) per name.
+awk '
+  /^BenchmarkE20DataPlane\/p256\/n=7\/depth=1/ && $6 == "req/s" { d1 += $5; d1n++ }
+  /^BenchmarkE20DataPlane\/p256\/n=7\/depth=8/ && $6 == "req/s" { d8 += $5; d8n++ }
+  END {
+    if (d8n == 0) { print "bench gate: no E20 p256 results in new run; skipping absolute gates"; exit 0 }
+    d8 /= d8n
+    printf "bench gate: E20 p256 sustained (depth=8) = %.0f req/s\n", d8
+    if (d8 < 10000) {
+      printf "bench gate: FAIL — E20 p256 sustained %.0f req/s below 10000 floor\n", d8
+      exit 1
+    }
+    if (d1n > 0) {
+      d1 /= d1n
+      printf "bench gate: E20 p256 batched/unbatched = %.2fx (depth=1 %.0f req/s)\n", d8 / d1, d1
+      if (d8 < 2 * d1) {
+        printf "bench gate: FAIL — batched depth=8 under 2x unbatched depth=1\n"
+        exit 1
+      }
+    }
+    print "bench gate: E20 absolute gates OK"
+  }
+' "$2"

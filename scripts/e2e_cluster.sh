@@ -227,3 +227,91 @@ for line in sys.stdin:
 done
 
 echo "== e2e restart OK: node 1 SIGKILLed mid-DKG, restarted from --state-dir, cluster completed"
+
+# ---------------------------------------------------------------------
+# Phase 3: threshold data plane. A 4-node cluster generates one key and
+# keeps serving it (-client-listen implies linger); an external client
+# — holding no key material — connects to node 1's client endpoint,
+# requests a signature, an encrypt/decrypt round-trip and 3 beacon
+# rounds, and verifies every result it can check publicly. The client
+# binary fails non-zero on any verification miss, so the gate here is
+# its exit status plus the per-operation JSON lines. Nodes then get
+# SIGTERM and must shut down cleanly (exit 0).
+DP_PORT=$((BASE_PORT + 20))
+dpeers=""
+for i in $(seq 1 "$N"); do
+  dpeers+="${dpeers:+,}$i=127.0.0.1:$((DP_PORT + i))"
+done
+
+echo "== data-plane phase: launching $N serving nodes (client protocol on 127.0.0.1:$((DP_PORT + 10 + 1))..)"
+declare -a dpids
+for i in $(seq 1 "$N"); do
+  "$workdir/dkgnode" serve \
+    -id "$i" -listen "127.0.0.1:$((DP_PORT + i))" \
+    -peers "$dpeers" -keys "$workdir/keys.json" \
+    -n "$N" -t "$T" -sessions 1 -timeout "$TIMEOUT" \
+    -client-listen "127.0.0.1:$((DP_PORT + 10 + i))" \
+    >"$workdir/dp-node$i.out" 2>"$workdir/dp-node$i.err" </dev/null &
+  dpids[$i]=$!
+  pids+=("${dpids[$i]}")
+done
+
+echo "== waiting for key 1 to reach every node"
+for i in $(seq 1 "$N"); do
+  for _ in $(seq 1 100); do
+    grep -q '"publicKey"' "$workdir/dp-node$i.out" 2>/dev/null && break
+    sleep 0.2
+  done
+  if ! grep -q '"publicKey"' "$workdir/dp-node$i.out" 2>/dev/null; then
+    echo "!! data-plane phase: node $i never completed the DKG" >&2
+    tail -n +1 "$workdir"/dp-node*.err >&2 || true
+    exit 1
+  fi
+done
+
+echo "== external client: sign + decrypt + 3 beacon rounds against node 1"
+if ! "$workdir/dkgnode" client \
+    -addr "127.0.0.1:$((DP_PORT + 10 + 1))" -key 1 \
+    -sign "e2e data plane message" -decrypt -beacon 3 \
+    >"$workdir/dp-client.out" 2>"$workdir/dp-client.err"; then
+  echo "!! data-plane client failed" >&2
+  cat "$workdir/dp-client.err" >&2
+  tail -n +1 "$workdir"/dp-node*.err >&2 || true
+  exit 1
+fi
+for op in sign decrypt beacon; do
+  case "$op" in
+    sign)    want='"op":"sign".*"verified":true'; count=1 ;;
+    decrypt) want='"op":"decrypt".*"roundTrip":true'; count=1 ;;
+    beacon)  want='"op":"beacon".*"verified":true'; count=3 ;;
+  esac
+  got=$(grep -Ec "$want" "$workdir/dp-client.out" || true)
+  if [ "$got" -ne "$count" ]; then
+    echo "!! data-plane client: expected $count verified $op result(s), got $got" >&2
+    cat "$workdir/dp-client.out" >&2
+    exit 1
+  fi
+done
+if ! grep -q "$(grep -o '"publicKey":"[^"]*"' "$workdir/dp-node1.out" | head -1)" "$workdir/dp-client.out"; then
+  echo "!! data-plane client reported a different public key than the cluster" >&2
+  exit 1
+fi
+
+echo "== SIGTERM: serving nodes must shut down cleanly"
+for i in $(seq 1 "$N"); do
+  kill -TERM "${dpids[$i]}" 2>/dev/null || true
+done
+status=0
+for i in $(seq 1 "$N"); do
+  if ! wait "${dpids[$i]}"; then
+    echo "!! data-plane phase: node $i exited non-zero after SIGTERM" >&2
+    status=1
+  fi
+done
+pids=()
+if [ "$status" -ne 0 ]; then
+  tail -n +1 "$workdir"/dp-node*.err >&2 || true
+  exit "$status"
+fi
+
+echo "== e2e data plane OK: external client verified sign/decrypt/beacon against the serving cluster"
