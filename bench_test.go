@@ -15,6 +15,7 @@ package hybriddkg_test
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/big"
 	"runtime"
 	"testing"
@@ -31,6 +32,7 @@ import (
 	"hybriddkg/internal/poly"
 	"hybriddkg/internal/randutil"
 	"hybriddkg/internal/store"
+	"hybriddkg/internal/telemetry"
 	"hybriddkg/internal/thresh"
 	"hybriddkg/internal/verify"
 	"hybriddkg/internal/vss"
@@ -1101,4 +1103,171 @@ func BenchmarkE20DataPlane(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkE21TelemetryOverhead certifies that enabling the full
+// telemetry stack — registered instrument bundles, the protocol event
+// tracer and a Prometheus scrape per run — costs at most ~2% on the
+// hot paths the other experiments track (E15/E18 session throughput,
+// E20 data-plane serving). Each sub-benchmark runs the telemetry-off
+// and telemetry-on legs pairwise inside every iteration (the E15
+// discipline, so machine noise hits both legs equally) and reports
+// overhead = on/off wall-clock ratio; scripts/bench_gate.sh fails any
+// run whose overhead geomean exceeds 1.02. The off leg is the true
+// disabled configuration: nil instruments behind one predictable
+// branch, no tracer, no registry.
+func BenchmarkE21TelemetryOverhead(b *testing.B) {
+	gr, err := group.ByName("test256")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Session hot path: S concurrent DKGs through per-node engines,
+	// covering the vss/dkg quorum instruments, the engine lifecycle
+	// counters and the tracer's phase events.
+	b.Run("sessions/n=7/S=4", func(b *testing.B) {
+		const S, n, t = 4, 7, 2
+		var offNs, onNs int64
+		for i := 0; i < b.N; i++ {
+			runOff := func() {
+				t0 := time.Now()
+				res, err := harness.RunConcurrentSessions(harness.ConcurrentDKGOptions{
+					Sessions: S, N: n, T: t, Seed: uint64(i + 1), Group: gr,
+					HashedEcho: true, DisableAccounting: true, NoTrace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.CheckAllSessions(); err != nil {
+					b.Fatal(err)
+				}
+				offNs += time.Since(t0).Nanoseconds()
+			}
+			runOn := func() {
+				reg := telemetry.NewRegistry()
+				t1 := time.Now()
+				res, err := harness.RunConcurrentSessions(harness.ConcurrentDKGOptions{
+					Sessions: S, N: n, T: t, Seed: uint64(i + 1), Group: gr,
+					HashedEcho: true, DisableAccounting: true,
+					Trace:         telemetry.NewTracer(telemetry.TracerOptions{}),
+					Metrics:       telemetry.NewProtocolMetrics(reg),
+					EngineMetrics: telemetry.NewEngineMetrics(reg),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.CheckAllSessions(); err != nil {
+					b.Fatal(err)
+				}
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+				onNs += time.Since(t1).Nanoseconds()
+			}
+			// Alternate leg order so GC debt left by one leg does not
+			// systematically land on the other.
+			if i%2 == 0 {
+				runOff()
+				runOn()
+			} else {
+				runOn()
+				runOff()
+			}
+		}
+		b.ReportMetric(float64(onNs)/float64(offNs), "overhead")
+	})
+
+	// Data-plane hot path: batched threshold signing as in E20. The
+	// telemetry-on cluster carries registered collectors over its
+	// stats and per-key table, and pays one full exposition per
+	// iteration — a far higher scrape rate than any real deployment.
+	b.Run("dataplane/sign/depth=8", func(b *testing.B) {
+		const depth = 8
+		mk := func() *harness.DataPlaneCluster {
+			c, err := harness.NewDataPlaneCluster(harness.DataPlaneOptions{
+				N: 7, T: 2, Seed: 21, Group: gr,
+				Tweak: func(cfg *dataplane.Config) {
+					cfg.MaxBatch = depth
+					cfg.MaxPending = 1 << 16
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return c
+		}
+		off, on := mk(), mk()
+		reg := telemetry.NewRegistry()
+		on.Services[1].RegisterMetrics(reg)
+		var ctr uint64
+		batch := func(tag string) [][]byte {
+			msgs := make([][]byte, depth)
+			for i := range msgs {
+				ctr++
+				msgs[i] = binary.BigEndian.AppendUint64([]byte("E21 "+tag), ctr)
+			}
+			return msgs
+		}
+		warm := func(c *harness.DataPlaneCluster, tag string) {
+			if err := c.PrefillNonces(1, depth); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.SignBatch(1, batch(tag)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		warm(off, "off")
+		warm(on, "on")
+		const chunk = 128
+		var offNs, onNs int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%chunk == 0 {
+				b.StopTimer()
+				n := chunk
+				if left := b.N - i; left < n {
+					n = left
+				}
+				for _, c := range []*harness.DataPlaneCluster{off, on} {
+					if err := c.PrefillNonces(1, n*depth+4); err != nil {
+						b.Fatal(err)
+					}
+				}
+				runtime.GC()
+				b.StartTimer()
+			}
+			runOff := func() {
+				t0 := time.Now()
+				if _, err := off.SignBatch(1, batch("off")); err != nil {
+					b.Fatal(err)
+				}
+				offNs += time.Since(t0).Nanoseconds()
+			}
+			runOn := func() {
+				t1 := time.Now()
+				if _, err := on.SignBatch(1, batch("on")); err != nil {
+					b.Fatal(err)
+				}
+				// Scrape every 64 batches — orders of magnitude more
+				// often than any real scrape interval, charged to the
+				// on leg.
+				if i%64 == 0 {
+					if err := reg.WritePrometheus(io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+				onNs += time.Since(t1).Nanoseconds()
+			}
+			// Alternate leg order each iteration (see sessions leg).
+			if i%2 == 0 {
+				runOff()
+				runOn()
+			} else {
+				runOn()
+				runOff()
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(onNs)/float64(offNs), "overhead")
+	})
 }

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
@@ -46,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"hybriddkg"
@@ -53,7 +55,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: dkgnode <keygen|run|serve|client> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dkgnode <keygen|run|serve|client|top> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -66,6 +68,8 @@ func main() {
 		err = serve(os.Args[2:])
 	case "client":
 		err = client(os.Args[2:])
+	case "top":
+		err = top(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -285,6 +289,8 @@ func serve(args []string) error {
 		shard        = fs.Bool("shard-sessions", true, "per-session dispatch lanes so concurrent sessions occupy multiple cores (forced off with -state-dir)")
 		clientListen = fs.String("client-listen", "", "serve the client request protocol (sign/decrypt/beacon) on this address (empty = off)")
 		linger       = fs.Bool("linger", false, "keep serving after all initial sessions complete (until -timeout or a signal); implied by -client-listen")
+		metricsAddr  = fs.String("metrics-listen", "", "serve /metrics, /sessions and /keys introspection on this address (empty = telemetry off)")
+		wireJSON     = fs.String("wire-stats-json", "", "additionally write the wire books as JSON to this file on shutdown (text stays on stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -301,6 +307,13 @@ func serve(args []string) error {
 		// http://<addr>/debug/pprof/profile` against a serving node.
 		// Failure to bind is reported but not fatal — profiling must
 		// never take a DKG participant down.
+		//
+		// With profiling requested, also sample contention: mutex
+		// events at 1-in-5 and blocking events above 100µs, cheap
+		// enough to leave on while serving and exactly what the
+		// /debug/pprof/{mutex,block} endpoints need to be non-empty.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(int(100 * time.Microsecond))
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "node %d: pprof listen %s: %v\n", *cf.id, *pprofAddr, err)
@@ -324,11 +337,15 @@ func serve(args []string) error {
 	cfg.SnapshotEvery = *snapEvery
 	cfg.SyncEvery = *syncEvery
 	cfg.ClientListen = *clientListen
+	cfg.MetricsListen = *metricsAddr
 	srv, err := hybriddkg.Serve(cfg, opts...)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if addr := srv.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "node %d: metrics on http://%s/metrics\n", *cf.id, addr)
+	}
 
 	id := cf.id
 	expected := make(map[uint64]bool)
@@ -425,6 +442,15 @@ func serve(args []string) error {
 		ws, ok := srv.WireStats()
 		if !ok {
 			return
+		}
+		if *wireJSON != "" {
+			// Machine-readable twin of the stderr text below, for
+			// harnesses that diff wire books across runs.
+			if data, err := json.MarshalIndent(ws, "", "  "); err == nil {
+				if err := os.WriteFile(*wireJSON, append(data, '\n'), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "node %d: wire-stats-json %s: %v\n", *id, *wireJSON, err)
+				}
+			}
 		}
 		fmt.Fprintf(os.Stderr, "node %d: wire: %d frames, %d bytes sent\n", *id, ws.Frames, ws.FrameBytes)
 		types := make([]int, 0, len(ws.MsgCount))
@@ -639,6 +665,112 @@ func client(args []string) error {
 		}
 	}
 	return nil
+}
+
+// top is the one-shot operator view of a serving node: it fetches the
+// introspection endpoint (/sessions, /keys, /metrics) and renders the
+// session table, the key table and the scalar series as aligned text.
+func top(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "", "a serving node's -metrics-listen address")
+	showAll := fs.Bool("all", false, "print every series, not just nonzero ones")
+	timeout := fs.Duration("timeout", 5*time.Second, "fetch deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("missing -addr")
+	}
+	cli := &http.Client{Timeout: *timeout}
+	get := func(path string) ([]byte, error) {
+		resp, err := cli.Get("http://" + *addr + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+
+	raw, err := get("/sessions")
+	if err != nil {
+		return err
+	}
+	var sessions []struct {
+		Session   uint64 `json:"sid"`
+		State     string `json:"state"`
+		View      int    `json:"view"`
+		Leader    int64  `json:"leader"`
+		LeaderChg int    `json:"leader_changes"`
+		Events    int    `json:"events"`
+		LastKind  string `json:"last_kind"`
+		LastWhat  string `json:"last_detail"`
+	}
+	if err := json.Unmarshal(raw, &sessions); err != nil {
+		return fmt.Errorf("parse /sessions: %w", err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "SESSION\tSTATE\tVIEW\tLEADER\tLDRCHG\tEVENTS\tLAST\n")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%d\t%s %s\n",
+			s.Session, s.State, s.View, s.Leader, s.LeaderChg, s.Events, s.LastKind, s.LastWhat)
+	}
+	if len(sessions) == 0 {
+		fmt.Fprintf(w, "(none)\t\t\t\t\t\t\n")
+	}
+	w.Flush()
+
+	raw, err = get("/keys")
+	if err != nil {
+		return err
+	}
+	var keys []struct {
+		ID         uint64 `json:"id"`
+		State      string `json:"state"`
+		QueueDepth int    `json:"queue_depth"`
+		Inflight   int    `json:"inflight"`
+		Reservoir  int    `json:"nonce_reservoir"`
+		Requests   uint64 `json:"requests_total"`
+	}
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		return fmt.Errorf("parse /keys: %w", err)
+	}
+	fmt.Println()
+	w = tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "KEY\tSTATE\tQUEUE\tINFLIGHT\tNONCES\tREQUESTS\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%d\n",
+			k.ID, k.State, k.QueueDepth, k.Inflight, k.Reservoir, k.Requests)
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(w, "(none)\t\t\t\t\t\n")
+	}
+	w.Flush()
+
+	raw, err = get("/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	w = tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "SERIES\tVALUE\n")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") ||
+			strings.Contains(line, "_bucket{") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		if !*showAll && (line[sp+1:] == "0" || line[sp+1:] == "0.0") {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\n", line[:sp], line[sp+1:])
+	}
+	return w.Flush()
 }
 
 func parsePeers(spec string) ([]hybriddkg.PeerAddr, error) {

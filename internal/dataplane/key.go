@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"fmt"
 	"math/big"
 	"time"
 
@@ -148,10 +149,18 @@ type serveKey struct {
 	// Admission.
 	tokens     float64
 	lastRefill time.Time
+	served     uint64 // requests admitted on this key (telemetry)
 
 	// Peer side: partial-result cache keyed by request digest.
 	partials *ring[RespItem]
 }
+
+// Shed reasons: both unwrap to ErrOverloaded for callers, but the
+// admission path tells them apart for the shed-by-reason counters.
+var (
+	errShedRate    = fmt.Errorf("%w: token bucket empty", ErrOverloaded)
+	errShedBacklog = fmt.Errorf("%w: pending queue full", ErrOverloaded)
+)
 
 // admit runs per-key admission control: a token bucket for rate and a
 // bounded pending queue for backlog. Returns nil when the request may
@@ -168,12 +177,12 @@ func (k *serveKey) admit(now time.Time, rate float64, burst, maxPending int) err
 		}
 		k.lastRefill = now
 		if k.tokens < 1 {
-			return ErrOverloaded
+			return errShedRate
 		}
 		k.tokens--
 	}
 	if len(k.queue)+len(k.inflight) >= maxPending {
-		return ErrOverloaded
+		return errShedBacklog
 	}
 	return nil
 }

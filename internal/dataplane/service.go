@@ -3,6 +3,7 @@ package dataplane
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -107,7 +108,10 @@ func (c *Config) applyDefaults() {
 // Stats counts service activity (monotonic).
 type Stats struct {
 	Requests      uint64 // admitted client operations
-	Shed          uint64 // admission-control rejections
+	Shed          uint64 // admission-control rejections (= ShedRate + ShedBacklog)
+	ShedRate      uint64 // of those, token-bucket rejections
+	ShedBacklog   uint64 // of those, pending-queue-bound rejections
+	ShedState     uint64 // rejections by key state (retiring / unknown key)
 	Batches       uint64 // partial-request batches fanned out
 	Items         uint64 // items across those batches
 	CacheHits     uint64 // aggregator results served from cache
@@ -364,9 +368,11 @@ func (s *Service) enqueue(key msg.SessionID, req *request, cb Callback) error {
 		}
 		k := s.keys[uint64(key)]
 		if k == nil {
+			s.stats.ShedState++
 			return ErrUnknownKey
 		}
 		if k.state == StateRetiring {
+			s.stats.ShedState++
 			return ErrRetiring
 		}
 		if k.state == StateReady {
@@ -391,9 +397,15 @@ func (s *Service) enqueue(key msg.SessionID, req *request, cb Callback) error {
 		}
 		if err := k.admit(s.cfg.Now(), s.cfg.Rate, s.cfg.Burst, s.cfg.MaxPending); err != nil {
 			s.stats.Shed++
+			if errors.Is(err, errShedBacklog) {
+				s.stats.ShedBacklog++
+			} else {
+				s.stats.ShedRate++
+			}
 			return err
 		}
 		s.stats.Requests++
+		k.served++
 		req.cbs = append(req.cbs, cb)
 		k.queue = append(k.queue, req)
 		if req.op == OpOpen {

@@ -42,6 +42,7 @@ import (
 	"hybriddkg/internal/group"
 	"hybriddkg/internal/msg"
 	"hybriddkg/internal/sig"
+	"hybriddkg/internal/telemetry"
 	"hybriddkg/internal/vss"
 )
 
@@ -105,6 +106,14 @@ type Params struct {
 	// t_old+1 dealers so the Lagrange combination can still
 	// interpolate the previous (higher-degree) sharing (§6.4).
 	QSize int
+	// Metrics, when set, receives the per-phase protocol counts
+	// (quorum crossings, timeouts, leader changes, help service); the
+	// same bundle is threaded into every embedded VSS instance. Nil
+	// instruments are no-ops.
+	Metrics *telemetry.ProtocolMetrics
+	// Trace, when set, records phase transitions, quorum crossings
+	// and leader changes into the per-session timeline keyed by τ.
+	Trace *telemetry.Tracer
 }
 
 // EchoThreshold returns ⌈(n+t+1)/2⌉.
@@ -278,6 +287,9 @@ func NewNode(params Params, tau uint64, self msg.NodeID, runtime Runtime, opts O
 	if runtime == nil {
 		return nil, fmt.Errorf("%w: nil runtime", ErrBadParams)
 	}
+	if params.Metrics == nil {
+		params.Metrics = &telemetry.ProtocolMetrics{}
+	}
 	nd := &Node{
 		params:       params,
 		tau:          tau,
@@ -311,6 +323,9 @@ func NewNode(params Params, tau uint64, self msg.NodeID, runtime Runtime, opts O
 		Extended:       true,
 		Directory:      params.Directory,
 		SignKey:        params.SignKey,
+		Metrics:        params.Metrics,
+		Trace:          params.Trace,
+		TraceSID:       tau,
 	}
 	for d := 1; d <= params.N; d++ {
 		dealer := msg.NodeID(d)
@@ -539,6 +554,8 @@ func (nd *Node) HandleTimer(id uint64) {
 		return // stale timer from a superseded view
 	}
 	delete(nd.armedTimers, id)
+	nd.params.Metrics.Timeouts.Inc()
+	nd.trace(telemetry.EvTimeout, "view-timeout")
 	target := id + 1
 	nd.broadcastLeadCh(target)
 	// Re-escalate with doubled timeout if the change stalls.
@@ -630,6 +647,10 @@ func (nd *Node) handleEcho(from msg.NodeID, m *EchoMsg) {
 	if len(qs.echoSigs) < nd.params.EchoThreshold() {
 		qs.echoSigs = append(qs.echoSigs, SignedQ{Signer: from, Sig: m.Sig})
 	}
+	if qs.echoCount == nd.params.EchoThreshold() {
+		nd.params.Metrics.DKGEchoQ.Inc()
+		nd.trace(telemetry.EvQuorum, "dkg-echo-threshold")
+	}
 	if qs.echoCount == nd.params.EchoThreshold() && qs.readyCount < nd.params.T+1 {
 		nd.lockAndReady(qs, KindEcho, qs.echoSigs)
 	}
@@ -663,6 +684,8 @@ func (nd *Node) handleReady(from msg.NodeID, m *ReadyMsg) {
 		}
 		nd.lockAndReady(qs, KindReady, sigs)
 	case qs.readyCount == nd.params.ReadyThreshold():
+		nd.params.Metrics.DKGReadyQ.Inc()
+		nd.trace(telemetry.EvQuorum, "dkg-ready-threshold")
 		nd.decide(qs)
 	}
 }
@@ -697,6 +720,7 @@ func (nd *Node) decide(qs *qstate) {
 		return
 	}
 	nd.decided = qs.prop
+	nd.trace(telemetry.EvPhase, "decided")
 	nd.stopAllTimers()
 	nd.tryFinish()
 }
@@ -732,6 +756,8 @@ func (nd *Node) tryFinish() {
 		return
 	}
 	nd.done = true
+	nd.params.Metrics.DKGCompleted.Inc()
+	nd.trace(telemetry.EvPhase, "dkg-completed")
 	nd.result = &CompletedEvent{
 		Tau:       nd.tau,
 		FinalView: nd.curView,
@@ -853,6 +879,8 @@ func (nd *Node) installView(view uint64, proof []SignedQ) {
 	nd.leaderProof = proof
 	nd.lcJoined = false
 	nd.lcCount++
+	nd.params.Metrics.LeaderChanges.Inc()
+	nd.params.Trace.Emit(nd.tau, int64(nd.Leader(view)), int(view), telemetry.EvLeader, "view-installed")
 	for v := range nd.lcVotes {
 		if v <= view {
 			delete(nd.lcVotes, v)
@@ -990,12 +1018,20 @@ func (nd *Node) handleHelp(from msg.NodeID, m *HelpMsg) {
 	}
 	nd.helpFrom[from]++
 	nd.helpTotal++
+	nd.params.Metrics.HelpRequests.Inc()
+	nd.trace(telemetry.EvHelp, "dkg-help-served")
 	for _, b := range nd.outLog[from] {
 		nd.runtime.Send(from, b)
 	}
 	for _, vnode := range nd.vssNodes {
 		vnode.ResendLoggedTo(from)
 	}
+}
+
+// trace emits one timeline event when tracing is enabled. Detail
+// strings are constants, so the disabled path allocates nothing.
+func (nd *Node) trace(kind telemetry.EventKind, detail string) {
+	nd.params.Trace.Emit(nd.tau, int64(nd.self), int(nd.curView), kind, detail)
 }
 
 // sendLogged sends and records in the DKG-level B set.

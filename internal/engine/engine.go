@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"hybriddkg/internal/msg"
+	"hybriddkg/internal/telemetry"
 )
 
 // Errors returned by the engine.
@@ -184,6 +185,13 @@ type Config struct {
 	// the pool into the crypto layers (dkg/vss Params, transport
 	// Observer) is the caller's concern.
 	VerifyPool interface{ Close() }
+
+	// Metrics, when set, receives session-lifecycle counts. A nil
+	// bundle (the default) costs one predictable branch per event.
+	Metrics *telemetry.EngineMetrics
+	// Trace, when set, records session lifecycle events
+	// (created/completed/failed) into the per-session timeline.
+	Trace *telemetry.Tracer
 }
 
 // backlogCap bounds the frames buffered for a submitted-but-queued
@@ -240,6 +248,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Journal != nil && cfg.Codec == nil {
 		return nil, fmt.Errorf("%w: Journal requires Codec", ErrBadConfig)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &telemetry.EngineMetrics{}
+	}
 	return &Engine{cfg: cfg, sessions: make(map[msg.SessionID]*session)}, nil
 }
 
@@ -264,6 +275,8 @@ func (e *Engine) Submit(sid msg.SessionID) error {
 	}
 	sess := &session{state: StateQueued}
 	e.sessions[sid] = sess
+	e.cfg.Metrics.SessionsCreated.Inc()
+	e.cfg.Trace.Emit(uint64(sid), int64(e.cfg.Self), 0, telemetry.EvLifecyc, "created")
 	rt, err := e.cfg.Fabric.RegisterSession(sid, &sessionHandler{engine: e, sid: sid})
 	if err != nil {
 		sess.state = StateFailed
@@ -329,6 +342,8 @@ func (e *Engine) failLocked(sid msg.SessionID, err error) {
 	sess.err = err
 	sess.backlog = nil
 	e.active--
+	e.cfg.Metrics.SessionsFailed.Inc()
+	e.cfg.Trace.Emit(uint64(sid), int64(e.cfg.Self), 0, telemetry.EvLifecyc, "failed")
 	e.cfg.Fabric.RetireSession(sid)
 	e.drainQueueLocked()
 	if e.cfg.OnFailed != nil {
@@ -345,6 +360,8 @@ func (e *Engine) completeLocked(sid msg.SessionID) {
 	sess := e.sessions[sid]
 	sess.state = StateCompleted
 	e.active--
+	e.cfg.Metrics.SessionsCompleted.Inc()
+	e.cfg.Trace.Emit(uint64(sid), int64(e.cfg.Self), 0, telemetry.EvLifecyc, "completed")
 	if !e.cfg.LingerCompleted {
 		e.cfg.Fabric.RetireSession(sid)
 	}

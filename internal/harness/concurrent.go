@@ -12,6 +12,7 @@ import (
 	"hybriddkg/internal/randutil"
 	"hybriddkg/internal/sig"
 	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/telemetry"
 	"hybriddkg/internal/verify"
 )
 
@@ -69,6 +70,13 @@ type ConcurrentDKGOptions struct {
 	// Simulation bounds.
 	DisableAccounting bool
 	MaxEvents         int
+	// Trace/NoTrace/Metrics: see DKGOptions. EngineMetrics optionally
+	// attaches the session-lifecycle instruments, shared by every
+	// node's engine (the counters are atomic).
+	Trace         *telemetry.Tracer
+	NoTrace       bool
+	Metrics       *telemetry.ProtocolMetrics
+	EngineMetrics *telemetry.EngineMetrics
 }
 
 // ConcurrentDKGResult is the outcome of a multi-session run.
@@ -85,6 +93,9 @@ type ConcurrentDKGResult struct {
 	// (nil unless VerifyWorkers > 0); Close releases the pool.
 	VerifyPool  *verify.Pool
 	VerifyCache *verify.Cache
+	// Tracer holds the cluster-wide per-session protocol timelines
+	// (nil with NoTrace).
+	Tracer *telemetry.Tracer
 }
 
 // Close releases the verification pool's workers (no-op without one).
@@ -131,6 +142,10 @@ func RunConcurrentSessions(opts ConcurrentDKGOptions) (*ConcurrentDKGResult, err
 		pool, cache, simOpts.Observer = attachVerifyPipeline(opts.VerifyWorkers, dir, opts.N)
 	}
 	net := simnet.New(simOpts)
+	tracer := opts.Trace
+	if tracer == nil && !opts.NoTrace {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{RingSize: 128})
+	}
 	res := &ConcurrentDKGResult{
 		Opts:        opts,
 		Net:         net,
@@ -139,6 +154,7 @@ func RunConcurrentSessions(opts ConcurrentDKGOptions) (*ConcurrentDKGResult, err
 		Completed:   make(map[msg.SessionID]map[msg.NodeID]dkg.CompletedEvent, opts.Sessions),
 		VerifyPool:  pool,
 		VerifyCache: cache,
+		Tracer:      tracer,
 	}
 	for s := 1; s <= opts.Sessions; s++ {
 		res.Completed[msg.SessionID(s)] = make(map[msg.NodeID]dkg.CompletedEvent, opts.N)
@@ -171,6 +187,8 @@ func RunConcurrentSessions(opts ConcurrentDKGOptions) (*ConcurrentDKGResult, err
 					SignKey:       privs[id],
 					InitialLeader: opts.InitialLeader,
 					TimeoutBase:   opts.TimeoutBase,
+					Metrics:       opts.Metrics,
+					Trace:         tracer,
 				}
 				if cache != nil {
 					params.Verdicts = cache
@@ -188,6 +206,8 @@ func RunConcurrentSessions(opts ConcurrentDKGOptions) (*ConcurrentDKGResult, err
 			},
 			MaxActive:       opts.Workers,
 			LingerCompleted: opts.LingerCompleted,
+			Metrics:         opts.EngineMetrics,
+			Trace:           tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -256,7 +276,8 @@ func (r *ConcurrentDKGResult) SessionDone(sid msg.SessionID) int {
 func (r *ConcurrentDKGResult) CheckSessionConsistency(sid msg.SessionID) error {
 	events := r.Completed[sid]
 	if len(events) == 0 {
-		return fmt.Errorf("%w: session %v never completed", ErrIncomplete, sid)
+		return fmt.Errorf("%w: session %v never completed%s",
+			ErrIncomplete, sid, r.timelineSuffix(sid))
 	}
 	ids := make([]msg.NodeID, 0, len(events))
 	for id := range events {
@@ -289,7 +310,8 @@ func (r *ConcurrentDKGResult) CheckSessionConsistency(sid msg.SessionID) error {
 		}
 	}
 	if len(pts) < r.Opts.T+1 {
-		return fmt.Errorf("%w: session %v has only %d shares", ErrIncomplete, sid, len(pts))
+		return fmt.Errorf("%w: session %v has only %d shares%s",
+			ErrIncomplete, sid, len(pts), r.timelineSuffix(sid))
 	}
 	secret, err := poly.Interpolate(r.Opts.Group.Q(), pts, 0)
 	if err != nil {
@@ -319,6 +341,15 @@ func (r *ConcurrentDKGResult) CheckAllSessions() error {
 		}
 	}
 	return nil
+}
+
+// timelineSuffix renders one session's traced protocol timeline for
+// incompleteness diagnostics. Empty when tracing is disabled.
+func (r *ConcurrentDKGResult) timelineSuffix(sid msg.SessionID) string {
+	if r.Tracer == nil {
+		return ""
+	}
+	return "\n" + r.Tracer.FormatTimeline(uint64(sid), 20)
 }
 
 func (r *ConcurrentDKGResult) anyCompletion(sid msg.SessionID) dkg.CompletedEvent {

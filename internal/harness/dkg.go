@@ -11,6 +11,7 @@ import (
 	"hybriddkg/internal/randutil"
 	"hybriddkg/internal/sig"
 	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/telemetry"
 	"hybriddkg/internal/verify"
 )
 
@@ -59,6 +60,15 @@ type DKGOptions struct {
 	// Simulation bounds.
 	DisableAccounting bool
 	MaxEvents         int
+	// Trace overrides the run's protocol event tracer. By default the
+	// harness records a bounded per-session event timeline so scenario
+	// failures can print what the protocol actually did instead of a
+	// bare incompleteness error; NoTrace turns that off for perf-pure
+	// benchmark legs. Metrics optionally attaches the protocol
+	// instrument bundle (telemetry-on benchmark legs).
+	Trace   *telemetry.Tracer
+	NoTrace bool
+	Metrics *telemetry.ProtocolMetrics
 }
 
 // DKGResult is the outcome of a cluster run.
@@ -78,6 +88,9 @@ type DKGResult struct {
 	// VerifyCache is the shared verdict cache (nil unless
 	// VerifyWorkers > 0).
 	VerifyCache *verify.Cache
+	// Tracer holds the cluster-wide protocol event timeline (nil with
+	// NoTrace).
+	Tracer *telemetry.Tracer
 }
 
 // Close releases the verification pool's worker goroutines (no-op
@@ -141,6 +154,10 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 		pool, cache, simOpts.Observer = attachVerifyPipeline(opts.VerifyWorkers, dir, opts.N)
 	}
 	net := simnet.New(simOpts)
+	tracer := opts.Trace
+	if tracer == nil && !opts.NoTrace {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{RingSize: 128})
+	}
 	res := &DKGResult{
 		Opts:        *opts,
 		Nodes:       make(map[msg.NodeID]*dkg.Node, opts.N),
@@ -150,6 +167,7 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 		Privs:       privs,
 		VerifyPool:  pool,
 		VerifyCache: cache,
+		Tracer:      tracer,
 	}
 	for i := 1; i <= opts.N; i++ {
 		id := msg.NodeID(i)
@@ -171,6 +189,8 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 			SignKey:        privs[id],
 			InitialLeader:  opts.InitialLeader,
 			TimeoutBase:    opts.TimeoutBase,
+			Metrics:        opts.Metrics,
+			Trace:          tracer,
 		}
 		if cache != nil {
 			params.Verdicts = cache
@@ -296,10 +316,10 @@ func (r *DKGResult) CheckConsistency() error {
 		}
 	}
 	if ref == nil {
-		return fmt.Errorf("%w: no node completed", ErrIncomplete)
+		return fmt.Errorf("%w: no node completed%s", ErrIncomplete, r.timelineSuffix())
 	}
 	if len(pts) < r.Opts.T+1 {
-		return fmt.Errorf("%w: only %d shares", ErrIncomplete, len(pts))
+		return fmt.Errorf("%w: only %d shares%s", ErrIncomplete, len(pts), r.timelineSuffix())
 	}
 	secret, err := poly.Interpolate(r.Opts.Group.Q(), pts, 0)
 	if err != nil {
@@ -309,6 +329,16 @@ func (r *DKGResult) CheckConsistency() error {
 		return fmt.Errorf("%w: interpolated secret does not match public key", ErrInconsistency)
 	}
 	return nil
+}
+
+// timelineSuffix renders the run's traced protocol timeline (the
+// single-run harness always uses τ=1) for incompleteness diagnostics.
+// Empty when tracing is disabled.
+func (r *DKGResult) timelineSuffix() string {
+	if r.Tracer == nil {
+		return ""
+	}
+	return "\n" + r.Tracer.FormatTimeline(1, 20)
 }
 
 // Secret reconstructs the joint secret from t+1 honest shares (test

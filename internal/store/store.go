@@ -39,8 +39,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"hybriddkg/internal/msg"
+	"hybriddkg/internal/telemetry"
 )
 
 // Errors returned by the store.
@@ -73,6 +75,9 @@ type Options struct {
 	// append. A negative value disables explicit append fsync (page
 	// cache only — survives process kills but not power loss).
 	SyncEvery int
+	// Metrics, when set, receives WAL append counts, fsync latency
+	// and snapshot-duration observations.
+	Metrics *telemetry.StoreMetrics
 }
 
 // Store is one node's durable state directory.
@@ -101,6 +106,9 @@ type sessionLog struct {
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.SyncEvery == 0 {
 		opts.SyncEvery = 1
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = &telemetry.StoreMetrics{}
 	}
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
@@ -233,9 +241,15 @@ func (s *Store) AppendFrame(sid msg.SessionID, env msg.Envelope) error {
 	sl.seq++
 	sl.size += int64(len(rec))
 	sl.sinceSync++
+	s.opts.Metrics.WALAppends.Inc()
 	if s.opts.SyncEvery > 0 && sl.sinceSync >= s.opts.SyncEvery {
 		sl.sinceSync = 0
-		if err := sl.f.Sync(); err != nil {
+		// The fsync dwarfs the clock reads around it, so the timing is
+		// unconditional even with telemetry off.
+		t0 := time.Now()
+		err := sl.f.Sync()
+		s.opts.Metrics.FsyncSeconds.Observe(time.Since(t0))
+		if err != nil {
 			return fmt.Errorf("store: sync wal %v: %w", sid, err)
 		}
 	}
@@ -291,6 +305,9 @@ func (s *Store) SaveSnapshot(sid msg.SessionID, state []byte) error {
 	seq := sl.seq
 	path := s.snapPath(sid)
 	s.mu.Unlock()
+
+	t0 := time.Now()
+	defer func() { s.opts.Metrics.SnapSeconds.Observe(time.Since(t0)) }()
 
 	buf := make([]byte, 0, len(snapMagic)+12+len(state)+4)
 	buf = append(buf, snapMagic...)

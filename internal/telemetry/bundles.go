@@ -1,0 +1,72 @@
+package telemetry
+
+// Domain instrument bundles. Each internal package takes an optional
+// pointer to its bundle through its config struct; a nil bundle (or a
+// zero-value one) leaves every instrument nil, and the nil-receiver
+// instrument methods make the whole path a no-op. The constructors
+// below register the instruments against a Registry with stable
+// series names.
+
+// EngineMetrics are the session-lifecycle instruments.
+type EngineMetrics struct {
+	SessionsCreated   *Counter
+	SessionsCompleted *Counter
+	SessionsFailed    *Counter
+}
+
+// NewEngineMetrics registers the engine instruments.
+func NewEngineMetrics(r *Registry) *EngineMetrics {
+	return &EngineMetrics{
+		SessionsCreated:   r.Counter("engine_sessions_created_total", "Sessions submitted to the engine"),
+		SessionsCompleted: r.Counter("engine_sessions_completed_total", "Sessions that reached local completion"),
+		SessionsFailed:    r.Counter("engine_sessions_failed_total", "Sessions that failed activation or were aborted"),
+	}
+}
+
+// ProtocolMetrics are the per-phase vss/dkg instruments: dealing
+// arrivals, quorum threshold crossings, weak-synchrony timeouts and
+// the leader-change/help machinery.
+type ProtocolMetrics struct {
+	Dealings      *Counter // VSS send (dealing) messages accepted
+	EchoQuorums   *Counter // VSS echo-threshold crossings
+	ReadyQuorums  *Counter // VSS ready-threshold crossings
+	VSSCompleted  *Counter // HybridVSS instances completed
+	DKGEchoQ      *Counter // DKG echo-threshold crossings
+	DKGReadyQ     *Counter // DKG ready-threshold crossings
+	DKGCompleted  *Counter // DKG instances finished (share derived)
+	Timeouts      *Counter // delay(T) expiries → lead-ch broadcast
+	LeaderChanges *Counter // views installed (leader changes)
+	HelpRequests  *Counter // help requests served (§5.3)
+}
+
+// NewProtocolMetrics registers the vss/dkg instruments.
+func NewProtocolMetrics(r *Registry) *ProtocolMetrics {
+	return &ProtocolMetrics{
+		Dealings:      r.Counter("vss_dealings_total", "HybridVSS dealings accepted"),
+		EchoQuorums:   r.Counter("vss_echo_quorums_total", "HybridVSS echo-threshold crossings"),
+		ReadyQuorums:  r.Counter("vss_ready_quorums_total", "HybridVSS ready-threshold crossings"),
+		VSSCompleted:  r.Counter("vss_completions_total", "HybridVSS instances completed"),
+		DKGEchoQ:      r.Counter("dkg_echo_quorums_total", "DKG echo-threshold crossings"),
+		DKGReadyQ:     r.Counter("dkg_ready_quorums_total", "DKG ready-threshold crossings"),
+		DKGCompleted:  r.Counter("dkg_completions_total", "DKG instances finished with a share"),
+		Timeouts:      r.Counter("dkg_timeouts_total", "delay(T) view timeouts"),
+		LeaderChanges: r.Counter("dkg_leader_changes_total", "Views installed (leader changes)"),
+		HelpRequests:  r.Counter("dkg_help_requests_total", "Help requests served"),
+	}
+}
+
+// StoreMetrics are the durability-layer instruments.
+type StoreMetrics struct {
+	WALAppends   *Counter
+	FsyncSeconds *Histogram
+	SnapSeconds  *Histogram
+}
+
+// NewStoreMetrics registers the store instruments.
+func NewStoreMetrics(r *Registry) *StoreMetrics {
+	return &StoreMetrics{
+		WALAppends:   r.Counter("store_wal_appends_total", "WAL records appended"),
+		FsyncSeconds: r.Histogram("store_fsync_seconds", "WAL fsync latency", nil),
+		SnapSeconds:  r.Histogram("store_snapshot_seconds", "Snapshot write+rename duration", nil),
+	}
+}

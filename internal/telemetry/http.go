@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server is the introspection endpoint: /metrics in Prometheus text
+// exposition format, /sessions as tracer-derived JSON summaries, and
+// /keys as a JSON snapshot supplied by the data plane. All three are
+// read-only GETs over snapshot data — nothing here can block or
+// mutate the protocol.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	keysFn func() any // data-plane key snapshot provider (optional)
+
+	ln     net.Listener
+	srv    *http.Server
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// ServeOptions configures the introspection server.
+type ServeOptions struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Keys     func() any // returns the /keys JSON payload
+}
+
+// ListenAndServe binds addr and serves the introspection endpoints in
+// a background goroutine. Close stops the listener and joins the
+// serve goroutine (the goroutine-leak tests depend on the join).
+func ListenAndServe(addr string, opts ServeOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		reg:    opts.Registry,
+		tracer: opts.Tracer,
+		keysFn: opts.Keys,
+		ln:     ln,
+		closed: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/keys", s.handleKeys)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, closes open connections, and joins the
+// serve goroutine. Safe to call more than once; nil-receiver safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		close(s.closed)
+	}
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	ss := s.tracer.Sessions()
+	if ss == nil {
+		ss = []SessionSummary{}
+	}
+	writeJSON(w, ss)
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	var v any
+	if s.keysFn != nil {
+		v = s.keysFn()
+	}
+	if v == nil {
+		v = []struct{}{}
+	}
+	writeJSON(w, v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "liveness").Inc()
+	tr := NewTracer(TracerOptions{})
+	tr.Emit(3, 1, 0, EvLifecyc, "created")
+	tr.Emit(3, 1, 0, EvLifecyc, "completed")
+	srv, err := ListenAndServe("127.0.0.1:0", ServeOptions{
+		Registry: reg,
+		Tracer:   tr,
+		Keys: func() any {
+			return []map[string]any{{"id": 5, "state": "serving"}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ctype := get(t, base+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "up_total 1") {
+		t.Fatalf("metrics body missing series:\n%s", body)
+	}
+
+	body, ctype = get(t, base+"/sessions")
+	if ctype != "application/json" {
+		t.Fatalf("sessions content type %q", ctype)
+	}
+	var sessions []SessionSummary
+	if err := json.Unmarshal([]byte(body), &sessions); err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 || sessions[0].Session != 3 || sessions[0].State != "completed" {
+		t.Fatalf("sessions payload: %+v", sessions)
+	}
+
+	body, _ = get(t, base+"/keys")
+	var keys []map[string]any
+	if err := json.Unmarshal([]byte(body), &keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0]["state"] != "serving" {
+		t.Fatalf("keys payload: %+v", keys)
+	}
+}
+
+func TestServerEmptyBackends(t *testing.T) {
+	// All-nil backends must serve empty documents, not panic or "null".
+	srv, err := ListenAndServe("127.0.0.1:0", ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if body, _ := get(t, base+"/metrics"); body != "" {
+		t.Fatalf("empty registry metrics = %q", body)
+	}
+	for _, path := range []string{"/sessions", "/keys"} {
+		body, _ := get(t, base+path)
+		if strings.TrimSpace(body) != "[]" {
+			t.Fatalf("%s = %q, want []", path, body)
+		}
+	}
+}
+
+// TestServerGoroutineLeak asserts Close joins everything the listener
+// spawned: repeated start/serve/close cycles must not grow the
+// goroutine count.
+func TestServerGoroutineLeak(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "").Inc()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		srv, err := ListenAndServe("127.0.0.1:0", ServeOptions{Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		get(t, "http://"+srv.Addr()+"/metrics")
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil { // idempotent
+			t.Fatal(err)
+		}
+	}
+	// HTTP keep-alive conns unwind asynchronously after Close; give
+	// them a bounded grace period before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

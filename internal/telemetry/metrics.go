@@ -1,0 +1,381 @@
+// Package telemetry is the observability layer of the node: a
+// lock-cheap metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms with snapshot-on-read semantics), a
+// structured per-session protocol event tracer, and the HTTP
+// introspection endpoint that serves both.
+//
+// The package imports only the standard library so that every
+// internal package can depend on it without cycles. All instrument
+// methods are nil-receiver safe: a package holding a nil *Counter (or
+// a config struct whose Metrics field was never set) pays a single
+// predictable branch on the hot path and nothing else, which is what
+// keeps the telemetry-off baseline of BenchmarkE21TelemetryOverhead
+// honest.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default latency bucket upper bounds, in seconds.
+// They span 10µs to ~10s, which covers everything from a WAL append
+// fsync on fast storage to a full snapshot on a loaded node.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+	250e-3, 500e-3, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are chosen
+// at registration and never change, so Observe is a binary search
+// plus three atomic adds — no locks, no allocation.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // seconds, fixed-point at 1e-9 resolution
+	count  atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.ObserveSeconds(d.Seconds())
+}
+
+// ObserveSeconds records one sample measured in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	if s > 0 {
+		h.sum.Add(uint64(s * 1e9))
+	}
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; the final bucket is +Inf
+	Counts []uint64  // per-bucket (non-cumulative) counts
+	Sum    float64   // seconds
+	Count  uint64
+}
+
+// Snapshot copies the histogram state. Concurrent Observes may tear
+// across buckets; each individual value is still atomic, which is the
+// usual Prometheus contract.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    float64(h.sum.Load()) / 1e9,
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Kind discriminates the instrument types in a snapshot.
+type Kind int
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Sample is one exported series value: a registered instrument's
+// current reading, or a value pushed by a Collector at scrape time.
+type Sample struct {
+	Name  string
+	Help  string
+	Kind  Kind
+	Value float64           // counter / gauge value
+	Hist  HistogramSnapshot // histogram payload when Kind == KindHistogram
+}
+
+// Collector contributes scrape-time samples for state that already
+// has its own cheap stats surface (transport wire books, verify pool
+// and cache, dataplane, engine). Collect must be safe to call
+// concurrently with the owner's hot path.
+type Collector func(emit func(Sample))
+
+type instrument struct {
+	name string
+	help string
+	kind Kind
+	ctr  *Counter
+	gau  *Gauge
+	his  *Histogram
+}
+
+// Registry holds named instruments and scrape-time collectors. All
+// registration happens at setup time; reads (snapshots, Prometheus
+// exposition) take a short read lock over the instrument list while
+// the instruments themselves stay lock-free.
+type Registry struct {
+	mu         sync.RWMutex
+	order      []string
+	byName     map[string]*instrument
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*instrument)}
+}
+
+func (r *Registry) register(name, help string, in *instrument) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate instrument %q", name))
+	}
+	in.name, in.help = name, help
+	r.byName[name] = in
+	r.order = append(r.order, name)
+}
+
+// Counter registers and returns a named counter. Nil-receiver safe:
+// a nil registry returns a nil counter whose methods are no-ops.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(name, help, &instrument{kind: KindCounter, ctr: c})
+	return c
+}
+
+// Gauge registers and returns a named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(name, help, &instrument{kind: KindGauge, gau: g})
+	return g
+}
+
+// Histogram registers and returns a named histogram with the given
+// bucket upper bounds (DefBuckets when nil).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(name, help, &instrument{kind: KindHistogram, his: h})
+	return h
+}
+
+// RegisterCollector adds a scrape-time sample source.
+func (r *Registry) RegisterCollector(c Collector) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather returns a point-in-time snapshot of every registered
+// instrument plus every collector's samples, in registration order.
+func (r *Registry) Gather() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	order := r.order
+	byName := r.byName
+	collectors := r.collectors
+	r.mu.RUnlock()
+
+	out := make([]Sample, 0, len(order)+8)
+	for _, name := range order {
+		in := byName[name]
+		s := Sample{Name: in.name, Help: in.help, Kind: in.kind}
+		switch in.kind {
+		case KindCounter:
+			s.Value = float64(in.ctr.Value())
+		case KindGauge:
+			s.Value = float64(in.gau.Value())
+		case KindHistogram:
+			s.Hist = in.his.Snapshot()
+		}
+		out = append(out, s)
+	}
+	for _, c := range collectors {
+		c(func(s Sample) { out = append(out, s) })
+	}
+	return out
+}
+
+// WritePrometheus writes the registry contents in the Prometheus text
+// exposition format (version 0.0.4). HELP/TYPE headers are emitted
+// once per series name, so labelled variants of one series share
+// their header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	seen := make(map[string]bool)
+	for _, s := range r.Gather() {
+		name, _ := splitLabels(s.Name)
+		if err := writeSample(w, s, !seen[name]); err != nil {
+			return err
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, s Sample, header bool) error {
+	name, labels := splitLabels(s.Name)
+	if header && s.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, s.Help); err != nil {
+			return err
+		}
+	}
+	if header {
+		typ := "counter"
+		switch s.Kind {
+		case KindGauge:
+			typ = "gauge"
+		case KindHistogram:
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+	}
+	switch s.Kind {
+	case KindCounter, KindGauge:
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			name, labels, fmtFloat(s.Value)); err != nil {
+			return err
+		}
+	case KindHistogram:
+		var cum uint64
+		for i, b := range s.Hist.Bounds {
+			cum += s.Hist.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, mergeLabel(labels, "le", fmtFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		if len(s.Hist.Counts) > 0 {
+			cum += s.Hist.Counts[len(s.Hist.Counts)-1]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %s\n%s_count%s %d\n",
+			name, mergeLabel(labels, "le", "+Inf"), cum,
+			name, labels, fmtFloat(s.Hist.Sum),
+			name, labels, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitLabels separates an instrument name of the form
+// `series{key="v"}` into the bare series name and its label block.
+// Plain names pass through with an empty label block.
+func splitLabels(name string) (series, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// mergeLabel inserts one more key="value" pair into an existing label
+// block (possibly empty).
+func mergeLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Millisecond)
+	h.ObserveSeconds(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("y", "") != nil || r.Histogram("z", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.RegisterCollector(func(func(Sample)) {})
+	if r.Gather() != nil {
+		t.Fatal("nil registry gathers nothing")
+	}
+	var tr *Tracer
+	tr.Emit(1, 2, 0, EvPhase, "x") // must not panic
+	if tr.Timeline(1) != nil || tr.Sessions() != nil {
+		t.Fatal("nil tracer reads empty")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help c")
+	g := r.Gauge("g", "help g")
+	h := r.Histogram("h_seconds", "help h", []float64{0.001, 0.01, 0.1})
+	c.Inc()
+	c.Add(9)
+	g.Set(7)
+	g.Add(-2)
+	h.ObserveSeconds(0.0005) // bucket 0
+	h.ObserveSeconds(0.05)   // bucket 2
+	h.ObserveSeconds(5)      // +Inf bucket
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	hs := h.Snapshot()
+	if hs.Count != 3 {
+		t.Fatalf("histogram count = %d, want 3", hs.Count)
+	}
+	want := []uint64{1, 0, 1, 1}
+	for i, n := range want {
+		if hs.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d", i, hs.Counts[i], n)
+		}
+	}
+	if hs.Sum < 5.05 || hs.Sum > 5.06 {
+		t.Fatalf("sum = %v", hs.Sum)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests").Add(3)
+	r.Gauge("depth", "queue depth").Set(4)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1})
+	h.ObserveSeconds(0.005)
+	h.ObserveSeconds(0.05)
+	h.ObserveSeconds(2)
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: `shed_total{reason="rate"}`, Help: "sheds", Kind: KindCounter, Value: 1})
+		emit(Sample{Name: `shed_total{reason="backlog"}`, Help: "sheds", Kind: KindCounter, Value: 2})
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP req_total requests\n# TYPE req_total counter\nreq_total 3\n",
+		"# TYPE depth gauge\ndepth 4\n",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+		`shed_total{reason="rate"} 1`,
+		`shed_total{reason="backlog"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Labelled variants of one series must share a single header.
+	if n := strings.Count(out, "# TYPE shed_total counter"); n != 1 {
+		t.Fatalf("shed_total TYPE header appears %d times, want 1", n)
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	name, labels := splitLabels(`a_total{k="v"}`)
+	if name != "a_total" || labels != `{k="v"}` {
+		t.Fatalf("splitLabels: %q %q", name, labels)
+	}
+	if got := mergeLabel("", "le", "+Inf"); got != `{le="+Inf"}` {
+		t.Fatalf("mergeLabel empty: %q", got)
+	}
+	if got := mergeLabel(`{k="v"}`, "le", "1"); got != `{k="v",le="1"}` {
+		t.Fatalf("mergeLabel: %q", got)
+	}
+}
+
+// TestConcurrentHammer drives every instrument type from GOMAXPROCS
+// goroutines while another goroutine continuously snapshots and
+// serializes the registry. Run under -race this is the data-race
+// certification for the lock-free hot path.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_depth", "")
+	h := r.Histogram("hammer_seconds", "", nil)
+	procs := runtime.GOMAXPROCS(0)
+	const perG = 5000
+	var wg, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Gather()
+			var sb strings.Builder
+			r.WritePrometheus(&sb) //nolint:errcheck
+		}
+	}()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.ObserveSeconds(float64(i%100) * 1e-4)
+			}
+		}(p)
+	}
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() { // tracer under the same load
+			defer wg.Done()
+			tr := NewTracer(TracerOptions{RingSize: 8})
+			for i := 0; i < 1000; i++ {
+				tr.Emit(uint64(i%4), int64(i), 0, EvPhase, "hammer")
+			}
+			tr.Sessions()
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	want := uint64(procs * perG)
+	if c.Value() != want {
+		t.Fatalf("counter = %d, want %d", c.Value(), want)
+	}
+	if g.Value() != int64(want) {
+		t.Fatalf("gauge = %d, want %d", g.Value(), want)
+	}
+	hs := h.Snapshot()
+	if hs.Count != want {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, want)
+	}
+	var sum uint64
+	for _, n := range hs.Counts {
+		sum += n
+	}
+	if sum != want {
+		t.Fatalf("bucket sum = %d, want %d", sum, want)
+	}
+}

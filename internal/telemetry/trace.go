@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventKind classifies protocol events. The set mirrors the paper's
+// state machine: per-phase transitions of HybridVSS/DKG instances,
+// quorum threshold crossings, the weak-synchrony leader-change
+// machinery, and the operational events around them.
+type EventKind string
+
+// Event kinds.
+const (
+	EvPhase    EventKind = "phase"   // phase transition (send/echo/ready/done)
+	EvQuorum   EventKind = "quorum"  // echo/ready threshold crossing
+	EvLeader   EventKind = "leader"  // leader change / new view installed
+	EvTimeout  EventKind = "timeout" // delay(T) expiry
+	EvHelp     EventKind = "help"    // help requested or served (§5.3)
+	EvLifecyc  EventKind = "life"    // session lifecycle (created/completed/failed)
+	EvEviction EventKind = "evict"   // state evicted (cache, queue, key)
+)
+
+// Event is one timestamped protocol event. Session and Node are raw
+// integers (msg.SessionID / msg.NodeID values) so the package stays
+// dependency-free.
+type Event struct {
+	Time    time.Time `json:"t"`
+	Session uint64    `json:"sid"`
+	Node    int64     `json:"node,omitempty"`
+	View    int       `json:"view,omitempty"`
+	Kind    EventKind `json:"kind"`
+	Detail  string    `json:"detail"`
+}
+
+// SessionSummary is the tracer-derived state of one session, suitable
+// for serving over /sessions without touching protocol internals
+// (which are confined to their event loops and must not be read
+// concurrently).
+type SessionSummary struct {
+	Session   uint64    `json:"sid"`
+	State     string    `json:"state"`
+	View      int       `json:"view"`
+	Leader    int64     `json:"leader,omitempty"`
+	LeaderChg int       `json:"leader_changes"`
+	Events    int       `json:"events"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastEvent time.Time `json:"last_event"`
+	LastKind  EventKind `json:"last_kind"`
+	LastWhat  string    `json:"last_detail"`
+}
+
+// DefaultRingSize bounds the per-session event ring.
+const DefaultRingSize = 256
+
+type sessionTrace struct {
+	ring  []Event
+	next  int // next write position once the ring has wrapped
+	total int
+	sum   SessionSummary
+}
+
+// Tracer records bounded per-session event rings plus a rolling
+// summary per session. Emit takes one short mutex; it is meant for
+// control-plane-frequency events (phase transitions, quorum
+// crossings), not per-message traffic.
+type Tracer struct {
+	mu       sync.Mutex
+	ringSize int
+	sessions map[uint64]*sessionTrace
+	order    []uint64
+	maxSess  int
+	sink     io.Writer // optional streaming JSONL sink
+	now      func() time.Time
+}
+
+// TracerOptions configures a Tracer; the zero value gives defaults.
+type TracerOptions struct {
+	RingSize    int       // per-session ring capacity (default DefaultRingSize)
+	MaxSessions int       // retained sessions before FIFO eviction (default 1024)
+	Sink        io.Writer // stream every event as one JSON line (optional)
+	Now         func() time.Time
+}
+
+// NewTracer returns a tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.RingSize <= 0 {
+		opts.RingSize = DefaultRingSize
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 1024
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Tracer{
+		ringSize: opts.RingSize,
+		sessions: make(map[uint64]*sessionTrace),
+		maxSess:  opts.MaxSessions,
+		sink:     opts.Sink,
+		now:      opts.Now,
+	}
+}
+
+// Emit records one event. Nil-receiver safe.
+func (t *Tracer) Emit(sid uint64, node int64, view int, kind EventKind, detail string) {
+	if t == nil {
+		return
+	}
+	ev := Event{Session: sid, Node: node, View: view, Kind: kind, Detail: detail}
+	t.mu.Lock()
+	ev.Time = t.now()
+	st := t.sessions[sid]
+	if st == nil {
+		st = &sessionTrace{sum: SessionSummary{
+			Session: sid, State: "active", FirstSeen: ev.Time,
+		}}
+		t.sessions[sid] = st
+		t.order = append(t.order, sid)
+		if len(t.order) > t.maxSess {
+			delete(t.sessions, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	if len(st.ring) < t.ringSize {
+		st.ring = append(st.ring, ev)
+	} else {
+		st.ring[st.next] = ev
+		st.next = (st.next + 1) % t.ringSize
+	}
+	st.total++
+	st.sum.Events = st.total
+	st.sum.LastEvent = ev.Time
+	st.sum.LastKind = kind
+	st.sum.LastWhat = detail
+	if view > st.sum.View {
+		st.sum.View = view
+	}
+	switch kind {
+	case EvLeader:
+		st.sum.LeaderChg++
+		st.sum.Leader = node
+	case EvLifecyc:
+		switch detail {
+		case "completed", "failed", "evicted":
+			st.sum.State = detail
+		}
+	}
+	sink := t.sink
+	t.mu.Unlock()
+
+	if sink != nil {
+		if b, err := json.Marshal(ev); err == nil {
+			b = append(b, '\n')
+			sink.Write(b) //nolint:errcheck // best-effort diagnostic stream
+		}
+	}
+}
+
+// Timeline returns the retained events of one session in order,
+// oldest first.
+func (t *Tracer) Timeline(sid uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.sessions[sid]
+	if st == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(st.ring))
+	out = append(out, st.ring[st.next:]...)
+	out = append(out, st.ring[:st.next]...)
+	return out
+}
+
+// Sessions returns summaries for every retained session, ordered by
+// session ID.
+func (t *Tracer) Sessions() []SessionSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SessionSummary, 0, len(t.sessions))
+	for _, st := range t.sessions {
+		out = append(out, st.sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}
+
+// DumpJSONL writes one session's retained timeline as JSON lines.
+func (t *Tracer) DumpJSONL(w io.Writer, sid uint64) error {
+	for _, ev := range t.Timeline(sid) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatTimeline renders the last n events of a session as a compact
+// multi-line string for failure diagnostics (harness timeouts, CI
+// logs). Times are shown relative to the first rendered event.
+func (t *Tracer) FormatTimeline(sid uint64, n int) string {
+	evs := t.Timeline(sid)
+	if len(evs) == 0 {
+		return fmt.Sprintf("session %d: no telemetry events recorded", sid)
+	}
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	var b []byte
+	b = append(b, fmt.Sprintf("session %d timeline (last %d of %d events):\n",
+		sid, len(evs), t.eventCount(sid))...)
+	t0 := evs[0].Time
+	for _, ev := range evs {
+		b = append(b, fmt.Sprintf("  +%-12s node=%-3d view=%-2d %-7s %s\n",
+			ev.Time.Sub(t0).Round(time.Microsecond), ev.Node, ev.View, ev.Kind, ev.Detail)...)
+	}
+	return string(b)
+}
+
+func (t *Tracer) eventCount(sid uint64) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st := t.sessions[sid]; st != nil {
+		return st.total
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock gives deterministic, strictly increasing event times.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(TracerOptions{RingSize: 4, Now: fakeClock()})
+	for i := 0; i < 10; i++ {
+		tr.Emit(1, int64(i), 0, EvPhase, "e")
+	}
+	evs := tr.Timeline(1)
+	if len(evs) != 4 {
+		t.Fatalf("timeline length = %d, want ring size 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Node != int64(6+i) {
+			t.Fatalf("event %d is node %d, want %d (oldest-first after wrap)", i, ev.Node, 6+i)
+		}
+	}
+	if got := tr.eventCount(1); got != 10 {
+		t.Fatalf("total events = %d, want 10", got)
+	}
+}
+
+func TestTracerSummaries(t *testing.T) {
+	tr := NewTracer(TracerOptions{Now: fakeClock()})
+	tr.Emit(7, 1, 0, EvLifecyc, "created")
+	tr.Emit(7, 3, 1, EvLeader, "view-installed")
+	tr.Emit(7, 1, 1, EvQuorum, "dkg-ready-threshold")
+	tr.Emit(7, 1, 1, EvLifecyc, "completed")
+	tr.Emit(8, 2, 0, EvLifecyc, "created")
+	tr.Emit(8, 2, 0, EvLifecyc, "failed")
+	ss := tr.Sessions()
+	if len(ss) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(ss))
+	}
+	s7, s8 := ss[0], ss[1]
+	if s7.Session != 7 || s8.Session != 8 {
+		t.Fatalf("session order: %d, %d", s7.Session, s8.Session)
+	}
+	if s7.State != "completed" || s7.Leader != 3 || s7.LeaderChg != 1 || s7.View != 1 || s7.Events != 4 {
+		t.Fatalf("session 7 summary: %+v", s7)
+	}
+	if s8.State != "failed" || s8.Events != 2 {
+		t.Fatalf("session 8 summary: %+v", s8)
+	}
+}
+
+func TestTracerSessionEviction(t *testing.T) {
+	tr := NewTracer(TracerOptions{MaxSessions: 3, Now: fakeClock()})
+	for sid := uint64(1); sid <= 5; sid++ {
+		tr.Emit(sid, 1, 0, EvPhase, "x")
+	}
+	ss := tr.Sessions()
+	if len(ss) != 3 {
+		t.Fatalf("retained sessions = %d, want 3", len(ss))
+	}
+	if ss[0].Session != 3 || ss[2].Session != 5 {
+		t.Fatalf("FIFO eviction kept %d..%d, want 3..5", ss[0].Session, ss[2].Session)
+	}
+	if tr.Timeline(1) != nil {
+		t.Fatal("evicted session still has a timeline")
+	}
+}
+
+func TestTracerJSONLAndSink(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewTracer(TracerOptions{Sink: &sink, Now: fakeClock()})
+	tr.Emit(2, 4, 1, EvTimeout, "view-timeout")
+	tr.Emit(2, 5, 1, EvHelp, "dkg-help-served")
+
+	var dump bytes.Buffer
+	if err := tr.DumpJSONL(&dump, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, buf := range []*bytes.Buffer{&sink, &dump} {
+		sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+		lines := 0
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+			}
+			if ev.Session != 2 {
+				t.Fatalf("event sid = %d", ev.Session)
+			}
+			lines++
+		}
+		if lines != 2 {
+			t.Fatalf("JSONL lines = %d, want 2", lines)
+		}
+	}
+}
+
+func TestFormatTimeline(t *testing.T) {
+	tr := NewTracer(TracerOptions{Now: fakeClock()})
+	for i := 0; i < 30; i++ {
+		tr.Emit(9, int64(i), 0, EvPhase, "step")
+	}
+	out := tr.FormatTimeline(9, 5)
+	if !strings.Contains(out, "session 9 timeline (last 5 of 30 events):") {
+		t.Fatalf("header missing in %q", out)
+	}
+	if got := strings.Count(out, "\n"); got != 6 {
+		t.Fatalf("rendered %d lines, want header + 5 events", got)
+	}
+	if empty := tr.FormatTimeline(404, 5); !strings.Contains(empty, "no telemetry events") {
+		t.Fatalf("missing-session render: %q", empty)
+	}
+}

@@ -81,6 +81,10 @@ type WireStats struct {
 	// protocol session.
 	SessionFrames map[msg.SessionID]int
 	SessionBytes  map[msg.SessionID]int64
+	// CoalesceFlushes counts batch frames sealed by the coalescing
+	// layer (zero on a v1-only node, where every envelope is its own
+	// frame).
+	CoalesceFlushes int
 }
 
 // wireBooks is the lock-protected mutable form inside Node.
@@ -88,6 +92,7 @@ type wireBooks struct {
 	mu            sync.Mutex
 	frames        int
 	frameBytes    int64
+	flushes       int
 	msgCount      map[msg.Type]int
 	msgBytes      map[msg.Type]int64
 	sessionFrames map[msg.SessionID]int
@@ -110,6 +115,12 @@ func (w *wireBooks) addEnvelope(typ msg.Type, payloadLen int) {
 	w.mu.Unlock()
 }
 
+func (w *wireBooks) addFlush() {
+	w.mu.Lock()
+	w.flushes++
+	w.mu.Unlock()
+}
+
 func (w *wireBooks) addFrame(sid msg.SessionID, frameLen int) {
 	w.mu.Lock()
 	w.frames++
@@ -123,12 +134,13 @@ func (w *wireBooks) snapshot() WireStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	out := WireStats{
-		Frames:        w.frames,
-		FrameBytes:    w.frameBytes,
-		MsgCount:      make(map[msg.Type]int, len(w.msgCount)),
-		MsgBytes:      make(map[msg.Type]int64, len(w.msgBytes)),
-		SessionFrames: make(map[msg.SessionID]int, len(w.sessionFrames)),
-		SessionBytes:  make(map[msg.SessionID]int64, len(w.sessionBytes)),
+		Frames:          w.frames,
+		FrameBytes:      w.frameBytes,
+		CoalesceFlushes: w.flushes,
+		MsgCount:        make(map[msg.Type]int, len(w.msgCount)),
+		MsgBytes:        make(map[msg.Type]int64, len(w.msgBytes)),
+		SessionFrames:   make(map[msg.SessionID]int, len(w.sessionFrames)),
+		SessionBytes:    make(map[msg.SessionID]int64, len(w.sessionBytes)),
 	}
 	for k, v := range w.msgCount {
 		out.MsgCount[k] = v
@@ -232,6 +244,7 @@ func (n *Node) flushLocked(to msg.NodeID, q *destQueue) {
 	if len(q.envs) > 0 {
 		frame := appendBatchFrame(nil, n.cfg.Secret, q.sid, n.cfg.Self, to, q.envs)
 		n.wire.addFrame(q.sid, len(frame))
+		n.wire.addFlush()
 		q.envs, q.size = nil, 0
 		q.backlog = append(q.backlog, frame)
 		q.backlogBytes += len(frame)

@@ -23,6 +23,7 @@ import (
 	"hybriddkg/internal/msg"
 	"hybriddkg/internal/poly"
 	"hybriddkg/internal/sig"
+	"hybriddkg/internal/telemetry"
 )
 
 // Errors returned by the VSS layer.
@@ -89,6 +90,16 @@ type Params struct {
 	// SignKey is this node's private signing key (required iff
 	// Extended).
 	SignKey []byte
+	// Metrics, when set, receives the per-phase protocol counts
+	// (dealings accepted, quorum crossings, completions). The bundle
+	// is shared with the DKG layer above. Nil instruments are no-ops.
+	Metrics *telemetry.ProtocolMetrics
+	// Trace, when set, records quorum-crossing and phase events into
+	// the per-session timeline under TraceSID (the engine-level
+	// session identifier; the VSS-level (dealer, τ) pair goes into
+	// the event detail).
+	Trace    *telemetry.Tracer
+	TraceSID uint64
 }
 
 // EchoThreshold returns ⌈(n+t+1)/2⌉.
@@ -266,6 +277,9 @@ func NewNode(params Params, session SessionID, self msg.NodeID, sender Sender, o
 	if sender == nil {
 		return nil, fmt.Errorf("%w: nil sender", ErrBadParams)
 	}
+	if params.Metrics == nil {
+		params.Metrics = &telemetry.ProtocolMetrics{}
+	}
 	return &Node{
 		params:          params,
 		self:            self,
@@ -393,6 +407,8 @@ func (nd *Node) handleSend(from msg.NodeID, m *SendMsg) {
 		return
 	}
 	nd.sendHandled = true
+	nd.params.Metrics.Dealings.Inc()
+	nd.trace(telemetry.EvPhase, "vss-dealing-accepted")
 	nd.learnCommitmentRow(m.C, a)
 	for j := 1; j <= nd.params.N; j++ {
 		nd.sendLogged(msg.NodeID(j), nd.makeEcho(m.C, a.EvalInt(int64(j))))
@@ -598,6 +614,10 @@ func (nd *Node) drainUnverified(cs *cstate) {
 func (nd *Node) addEcho(cs *cstate, from msg.NodeID, alpha *big.Int) {
 	cs.points[from] = alpha
 	cs.echoCount++
+	if cs.echoCount == nd.params.EchoThreshold() {
+		nd.params.Metrics.EchoQuorums.Inc()
+		nd.trace(telemetry.EvQuorum, "vss-echo-threshold")
+	}
 	if cs.echoCount == nd.params.EchoThreshold() && cs.readyCount < nd.params.T+1 {
 		if nd.interpolateRow(cs) {
 			nd.broadcastReady(cs)
@@ -652,6 +672,8 @@ func (nd *Node) addReady(cs *cstate, from msg.NodeID, alpha *big.Int, sigBytes [
 			nd.broadcastReady(cs)
 		}
 	case cs.readyCount == nd.params.ReadyThreshold():
+		nd.params.Metrics.ReadyQuorums.Inc()
+		nd.trace(telemetry.EvQuorum, "vss-ready-threshold")
 		nd.complete(cs)
 	}
 }
@@ -719,6 +741,8 @@ func (nd *Node) complete(cs *cstate) {
 		return // cannot happen with honest quorums; defensive
 	}
 	nd.done = true
+	nd.params.Metrics.VSSCompleted.Inc()
+	nd.trace(telemetry.EvPhase, "vss-completed")
 	nd.share = cs.aBar.EvalInt(0)
 	nd.outC = cs.c
 	if nd.params.Extended {
@@ -940,9 +964,17 @@ func (nd *Node) handleHelp(from msg.NodeID, m *HelpMsg) {
 	}
 	nd.helpFrom[from]++
 	nd.helpTotal++
+	nd.params.Metrics.HelpRequests.Inc()
+	nd.trace(telemetry.EvHelp, "vss-help-served")
 	for _, b := range nd.outLog[from] {
 		nd.sender.Send(from, b)
 	}
+}
+
+// trace emits one timeline event when tracing is enabled; the detail
+// strings are constants so the disabled path allocates nothing.
+func (nd *Node) trace(kind telemetry.EventKind, detail string) {
+	nd.params.Trace.Emit(nd.params.TraceSID, int64(nd.self), 0, kind, detail)
 }
 
 // sendLogged sends and records the message in B for later

@@ -68,3 +68,26 @@ awk '
     print "bench gate: E20 absolute gates OK"
   }
 ' "$2"
+
+# E21 telemetry-overhead gate, evaluated on the new run alone. Each
+# E21 sample reports overhead = (telemetry on)/(telemetry off)
+# wall-clock measured pairwise inside one process, so no baseline file
+# is needed. The geomean across all samples (both sub-benchmarks ×
+# -count repeats) must stay within 2%.
+awk '
+  /^BenchmarkE21TelemetryOverhead\// {
+    for (i = 4; i < NF; i++) {
+      if ($(i + 1) == "overhead" && $i > 0) { sum += log($i); n++ }
+    }
+  }
+  END {
+    if (n == 0) { print "bench gate: no E21 overhead results in new run; skipping telemetry gate"; exit 0 }
+    ratio = exp(sum / n)
+    printf "bench gate: E21 telemetry overhead geomean = %.3f over %d samples\n", ratio, n
+    if (ratio > 1.02) {
+      printf "bench gate: FAIL — telemetry-on overhead %.3f exceeds 1.02\n", ratio
+      exit 1
+    }
+    print "bench gate: E21 telemetry gate OK"
+  }
+' "$2"

@@ -243,14 +243,23 @@ for i in $(seq 1 "$N"); do
   dpeers+="${dpeers:+,}$i=127.0.0.1:$((DP_PORT + i))"
 done
 
-echo "== data-plane phase: launching $N serving nodes (client protocol on 127.0.0.1:$((DP_PORT + 10 + 1))..)"
+METRICS_ADDR="127.0.0.1:$((DP_PORT + 30))"
+echo "== data-plane phase: launching $N serving nodes (client protocol on 127.0.0.1:$((DP_PORT + 10 + 1)).., node 1 metrics on $METRICS_ADDR)"
 declare -a dpids
 for i in $(seq 1 "$N"); do
+  extra=()
+  if [ "$i" -eq 1 ]; then
+    # Node 1 carries the observability surface: the live introspection
+    # endpoint (scraped mid-run below) and the machine-readable wire
+    # books (validated after clean shutdown).
+    extra+=(-metrics-listen "$METRICS_ADDR" -wire-stats-json "$workdir/dp-node1-wire.json")
+  fi
   "$workdir/dkgnode" serve \
     -id "$i" -listen "127.0.0.1:$((DP_PORT + i))" \
     -peers "$dpeers" -keys "$workdir/keys.json" \
     -n "$N" -t "$T" -sessions 1 -timeout "$TIMEOUT" \
     -client-listen "127.0.0.1:$((DP_PORT + 10 + i))" \
+    "${extra[@]}" \
     >"$workdir/dp-node$i.out" 2>"$workdir/dp-node$i.err" </dev/null &
   dpids[$i]=$!
   pids+=("${dpids[$i]}")
@@ -297,6 +306,40 @@ if ! grep -q "$(grep -o '"publicKey":"[^"]*"' "$workdir/dp-node1.out" | head -1)
   exit 1
 fi
 
+echo "== scraping node 1 introspection endpoint mid-run"
+curl -fsS "http://$METRICS_ADDR/metrics" >"$workdir/dp-metrics.txt"
+# Core series from every subsystem must exist and be nonzero after one
+# completed DKG plus real client traffic.
+for series in \
+    engine_sessions_completed_total \
+    vss_completions_total \
+    transport_frames_total \
+    dataplane_requests_total \
+    dataplane_batches_total; do
+  if ! awk -v s="$series" '$1 == s && $2 + 0 > 0 { found = 1 } END { exit !found }' "$workdir/dp-metrics.txt"; then
+    echo "!! /metrics: series $series missing or zero" >&2
+    cat "$workdir/dp-metrics.txt" >&2
+    exit 1
+  fi
+done
+curl -fsS "http://$METRICS_ADDR/sessions" | python3 -c '
+import json, sys
+ss = json.load(sys.stdin)
+assert any(s["state"] == "completed" for s in ss), ss
+'
+curl -fsS "http://$METRICS_ADDR/keys" | python3 -c '
+import json, sys
+ks = json.load(sys.stdin)
+assert any(k["state"] == "serving" and k["requests_total"] > 0 for k in ks), ks
+'
+"$workdir/dkgnode" top -addr "$METRICS_ADDR" >"$workdir/dp-top.out"
+grep -q "completed" "$workdir/dp-top.out" || {
+  echo "!! dkgnode top did not show a completed session" >&2
+  cat "$workdir/dp-top.out" >&2
+  exit 1
+}
+echo "   /metrics, /sessions, /keys and dkgnode top all OK"
+
 echo "== SIGTERM: serving nodes must shut down cleanly"
 for i in $(seq 1 "$N"); do
   kill -TERM "${dpids[$i]}" 2>/dev/null || true
@@ -313,5 +356,17 @@ if [ "$status" -ne 0 ]; then
   tail -n +1 "$workdir"/dp-node*.err >&2 || true
   exit "$status"
 fi
+
+echo "== validating wire-stats JSON dump"
+python3 -c '
+import json, sys
+ws = json.load(open(sys.argv[1]))
+assert ws["Frames"] > 0 and ws["FrameBytes"] > 0, ws
+' "$workdir/dp-node1-wire.json"
+# The stderr text dump must survive alongside the JSON twin.
+grep -Eq "node 1: wire: [0-9]+ frames, [0-9]+ bytes sent" "$workdir/dp-node1.err" || {
+  echo "!! node 1 stderr wire dump missing alongside -wire-stats-json" >&2
+  exit 1
+}
 
 echo "== e2e data plane OK: external client verified sign/decrypt/beacon against the serving cluster"

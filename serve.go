@@ -19,6 +19,7 @@ import (
 	"hybriddkg/internal/rbc"
 	"hybriddkg/internal/sig"
 	"hybriddkg/internal/store"
+	"hybriddkg/internal/telemetry"
 	"hybriddkg/internal/thresh"
 	"hybriddkg/internal/transport"
 	"hybriddkg/internal/verify"
@@ -122,6 +123,13 @@ type ServerConfig struct {
 	StateDir      string
 	SnapshotEvery int
 	SyncEvery     int
+
+	// MetricsListen enables the introspection endpoint on that
+	// address: /metrics (Prometheus text exposition), /sessions
+	// (tracer-derived session summaries) and /keys (data-plane key
+	// snapshots). Empty keeps telemetry fully off — every instrument
+	// stays nil and the hot paths pay a single predictable branch.
+	MetricsListen string
 }
 
 // SessionEvent is one completed DKG session on this node.
@@ -166,6 +174,9 @@ type Server struct {
 	svc    *dataplane.Service
 	dps    *dataplane.Server
 	st     *store.Store
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	msrv   *telemetry.Server
 	events chan SessionEvent
 	fails  chan SessionFailure
 	closed chan struct{}
@@ -228,6 +239,16 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 		closed: make(chan struct{}),
 	}
 
+	// Telemetry is all-or-nothing per node: with MetricsListen unset
+	// the registry and tracer stay nil, the bundle constructors below
+	// return all-nil instruments and every emit site no-ops. The
+	// bundles are created unconditionally so the wiring is identical
+	// either way.
+	if cfg.MetricsListen != "" {
+		s.reg = telemetry.NewRegistry()
+		s.tracer = telemetry.NewTracer(telemetry.TracerOptions{})
+	}
+
 	peers := make([]transport.Peer, 0, len(cfg.Peers))
 	for _, p := range cfg.Peers {
 		peers = append(peers, transport.Peer{ID: p.ID, Addr: p.Addr})
@@ -273,7 +294,10 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 		if syncEvery == 0 {
 			syncEvery = 1
 		}
-		st, err := store.Open(cfg.StateDir, store.Options{SyncEvery: syncEvery})
+		st, err := store.Open(cfg.StateDir, store.Options{
+			SyncEvery: syncEvery,
+			Metrics:   telemetry.NewStoreMetrics(s.reg),
+		})
 		if err != nil {
 			closePool(vpool)
 			return nil, err
@@ -310,6 +334,8 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 		SignKey:        cfg.Keys.Private,
 		InitialLeader:  leader,
 		TimeoutBase:    timeoutBase,
+		Metrics:        telemetry.NewProtocolMetrics(s.reg),
+		Trace:          s.tracer,
 	}
 	if vcache != nil {
 		params.Verdicts = vcache
@@ -375,6 +401,8 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 		OnFailed: func(sid msg.SessionID, err error) {
 			s.fail(uint64(sid), err)
 		},
+		Metrics: telemetry.NewEngineMetrics(s.reg),
+		Trace:   s.tracer,
 	}
 	if s.st != nil {
 		snapEvery := cfg.SnapshotEvery
@@ -410,6 +438,25 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 			return nil, err
 		}
 		s.dps = dataplane.NewServer(ln, svc, nc.groupName)
+	}
+
+	if s.reg != nil {
+		// Scrape-time collectors over the subsystems that already keep
+		// their own cheap stats; registered last so they observe the
+		// fully assembled node.
+		tnode.RegisterMetrics(s.reg)
+		verify.RegisterMetrics(s.reg, vpool, vcache)
+		svc.RegisterMetrics(s.reg)
+		msrv, err := telemetry.ListenAndServe(cfg.MetricsListen, telemetry.ServeOptions{
+			Registry: s.reg,
+			Tracer:   s.tracer,
+			Keys:     func() any { return svc.KeysSnapshot() },
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.msrv = msrv
 	}
 	return s, nil
 }
@@ -560,6 +607,32 @@ func (s *Server) ServiceStats() ServiceStats { return s.svc.Stats() }
 // WireStats returns the cumulative bytes-on-wire books.
 func (s *Server) WireStats() (WireStats, bool) { return s.eng.WireStats() }
 
+// MetricsAddr returns the introspection endpoint's listen address
+// ("" when MetricsListen was not configured).
+func (s *Server) MetricsAddr() string {
+	if s.msrv == nil {
+		return ""
+	}
+	return s.msrv.Addr()
+}
+
+// SessionSummary is the tracer-derived state of one session, as
+// served on /sessions.
+type SessionSummary = telemetry.SessionSummary
+
+// SessionSummaries returns the telemetry view of every retained
+// session (nil without MetricsListen).
+func (s *Server) SessionSummaries() []SessionSummary { return s.tracer.Sessions() }
+
+// SessionTimeline renders the last n traced events of one session for
+// failure diagnostics ("" without MetricsListen).
+func (s *Server) SessionTimeline(sid uint64, n int) string {
+	if s.tracer == nil {
+		return ""
+	}
+	return s.tracer.FormatTimeline(sid, n)
+}
+
 // Close shuts the node down: client endpoint, data plane, engine
 // (which joins the verification pool), transport and durable state.
 func (s *Server) Close() {
@@ -568,6 +641,9 @@ func (s *Server) Close() {
 		return
 	default:
 		close(s.closed)
+	}
+	if s.msrv != nil {
+		s.msrv.Close()
 	}
 	if s.dps != nil {
 		s.dps.Close()
