@@ -178,6 +178,7 @@ type clusterFlags struct {
 	timeout   *time.Duration
 	leader    *int64
 	wireV1    *bool
+	certs     *bool
 }
 
 func newClusterFlags(fs *flag.FlagSet) *clusterFlags {
@@ -194,6 +195,8 @@ func newClusterFlags(fs *flag.FlagSet) *clusterFlags {
 		leader:    fs.Int64("leader", 1, "initial leader index"),
 		wireV1: fs.Bool("wire-v1", false,
 			"send legacy wire format v1 (no coalescing, no compressed or dedup'd commitments); v2 frames are still decoded"),
+		certs: fs.Bool("certificates", false,
+			"replace echo/ready floods with relay-assembled quorum certificates (subquadratic messaging at large n; falls back to flooding on certificate timeout)"),
 	}
 }
 
@@ -225,6 +228,9 @@ func (c *clusterFlags) serverConfig() (hybriddkg.ServerConfig, []hybriddkg.Optio
 		opts = append(opts, hybriddkg.WithLegacyWireV1())
 	} else {
 		opts = append(opts, hybriddkg.WithDedupDealings(), hybriddkg.WithCompressedWire())
+	}
+	if *c.certs {
+		opts = append(opts, hybriddkg.WithCertificates())
 	}
 	return cfg, opts, nil
 }
@@ -286,7 +292,7 @@ func serve(args []string) error {
 		syncEvery    = fs.Int("sync-every", 1, "fsync the WAL every N appends (with -state-dir; negative = page cache only)")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 		verWorkers   = fs.Int("verify-workers", runtime.NumCPU(), "speculative-verification worker goroutines (0 = pipeline off)")
-		shard        = fs.Bool("shard-sessions", true, "per-session dispatch lanes so concurrent sessions occupy multiple cores (forced off with -state-dir)")
+		shard        = fs.Bool("shard-sessions", true, "per-session dispatch lanes so concurrent sessions occupy multiple cores; incompatible with -state-dir (durable checkpoints need the single event loop), which forces it off with a startup warning")
 		clientListen = fs.String("client-listen", "", "serve the client request protocol (sign/decrypt/beacon) on this address (empty = off)")
 		linger       = fs.Bool("linger", false, "keep serving after all initial sessions complete (until -timeout or a signal); implied by -client-listen")
 		metricsAddr  = fs.String("metrics-listen", "", "serve /metrics, /sessions and /keys introspection on this address (empty = telemetry off)")

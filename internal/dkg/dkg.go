@@ -114,6 +114,18 @@ type Params struct {
 	// Trace, when set, records phase transitions, quorum crossings
 	// and leader changes into the per-session timeline keyed by τ.
 	Trace *telemetry.Tracer
+	// Certificates replaces the all-to-all echo/ready floods — both the
+	// DKG's own proposal quorums and every embedded VSS instance — with
+	// relay-assembled quorum certificates: nodes send their signed
+	// echo/ready to a small deterministically-sampled relay committee,
+	// a relay that collects a quorum assembles one certificate and
+	// multicasts it, and receivers verify the whole certificate in a
+	// single batched multi-exponentiation. Message complexity per
+	// quorum drops from Θ(n²) to O(n·polylog n). If no certificate
+	// arrives before the fallback timeout the node floods its
+	// suppressed classic messages, so liveness degrades gracefully to
+	// the flood path when relays are slow or corrupt.
+	Certificates bool
 }
 
 // EchoThreshold returns ⌈(n+t+1)/2⌉.
@@ -273,6 +285,12 @@ type Node struct {
 
 	timerArmed  bool
 	armedTimers map[uint64]bool
+
+	// Certificate mode (Params.Certificates).
+	dcerts          map[[32]byte]*dcertState
+	certFloodActive bool       // fallback latched: behave like flood mode
+	certTimerArmed  bool       // fallback timer armed (lazily, once)
+	certSuppressed  []msg.Body // classic echo/ready withheld by cert mode
 }
 
 // NewNode constructs a DKG endpoint for session tau.
@@ -307,6 +325,7 @@ func NewNode(params Params, tau uint64, self msg.NodeID, runtime Runtime, opts O
 		outLog:       make(map[msg.NodeID][]msg.Body, params.N),
 		helpFrom:     make(map[msg.NodeID]int, params.N),
 		armedTimers:  make(map[uint64]bool),
+		dcerts:       make(map[[32]byte]*dcertState),
 	}
 	vssParams := vss.Params{
 		Group:          params.Group,
@@ -326,6 +345,7 @@ func NewNode(params Params, tau uint64, self msg.NodeID, runtime Runtime, opts O
 		Metrics:        params.Metrics,
 		Trace:          params.Trace,
 		TraceSID:       tau,
+		Certificates:   params.Certificates,
 	}
 	for d := 1; d <= params.N; d++ {
 		dealer := msg.NodeID(d)
@@ -369,6 +389,7 @@ func (nd *Node) Start(rand io.Reader) error {
 		return ErrAlreadyStarted
 	}
 	nd.started = true
+	nd.armCertFallback()
 	secret := nd.opts.ShareSource
 	if secret == nil {
 		s, err := nd.params.Group.RandScalar(rand)
@@ -393,6 +414,7 @@ func (nd *Node) HandleMessage(from msg.NodeID, body msg.Body) { nd.Handle(from, 
 
 // Handle dispatches one network message (DKG-level or embedded VSS).
 func (nd *Node) Handle(from msg.NodeID, body msg.Body) {
+	nd.armCertFallback()
 	switch m := body.(type) {
 	case *SendMsg:
 		nd.handleSend(from, m)
@@ -404,6 +426,14 @@ func (nd *Node) Handle(from msg.NodeID, body msg.Body) {
 		nd.handleLeadCh(from, m)
 	case *HelpMsg:
 		nd.handleHelp(from, m)
+	case *CertSignMsg:
+		nd.handleCertSign(from, m)
+	case *CertMsg:
+		nd.handleCert(from, m)
+	case *vss.CertSignMsg:
+		nd.routeVSS(from, m.Session, body)
+	case *vss.CertMsg:
+		nd.routeVSS(from, m.Session, body)
 	case *vss.SendMsg:
 		nd.routeVSS(from, m.Session, body)
 	case *vss.EchoMsg:
@@ -547,6 +577,13 @@ func (nd *Node) timeoutFor(view uint64) int64 {
 // HandleTimer reacts to an expired view timer: broadcast lead-ch for
 // the next view (Fig. 2 "upon timeout").
 func (nd *Node) HandleTimer(id uint64) {
+	// The certificate-fallback sentinel is checked before every view
+	// guard: it must fire even after decide (a decided node may still
+	// be waiting on certificate-mode VSS completions).
+	if id == CertFallbackTimer {
+		nd.certFallback()
+		return
+	}
 	if nd.done || nd.decided != nil {
 		return
 	}
@@ -622,6 +659,13 @@ func (nd *Node) handleSend(from msg.NodeID, m *SendMsg) {
 		return
 	}
 	echo := &EchoMsg{Tau: nd.tau, Prop: m.Prop.Slim(), Sig: sigBytes}
+	if nd.params.Certificates && !nd.certFloodActive {
+		// Certificate mode: withhold the flood (kept for fallback) and
+		// hand the signature to the relay committee instead.
+		nd.certSuppressed = append(nd.certSuppressed, echo)
+		nd.certSendPhase(vss.CertEcho, echo.Prop, digest, sigBytes)
+		return
+	}
 	for j := 1; j <= nd.params.N; j++ {
 		nd.sendLogged(msg.NodeID(j), echo)
 	}
@@ -708,6 +752,11 @@ func (nd *Node) lockAndReady(qs *qstate, kind ProofKind, sigs []SignedQ) {
 		return
 	}
 	ready := &ReadyMsg{Tau: nd.tau, Prop: qs.prop, Sig: sigBytes}
+	if nd.params.Certificates && !nd.certFloodActive {
+		nd.certSuppressed = append(nd.certSuppressed, ready)
+		nd.certSendPhase(vss.CertReady, qs.prop, qs.digest, sigBytes)
+		return
+	}
 	for j := 1; j <= nd.params.N; j++ {
 		nd.sendLogged(msg.NodeID(j), ready)
 	}
@@ -756,6 +805,9 @@ func (nd *Node) tryFinish() {
 		return
 	}
 	nd.done = true
+	if nd.certTimerArmed {
+		nd.runtime.StopTimer(CertFallbackTimer)
+	}
 	nd.params.Metrics.DKGCompleted.Inc()
 	nd.trace(telemetry.EvPhase, "dkg-completed")
 	nd.result = &CompletedEvent{
@@ -932,18 +984,65 @@ func (nd *Node) verifyProposalProof(p *Proposal) bool {
 		}
 		return true
 	case KindEcho:
-		return nd.countValidQSigs(EchoTranscript(nd.tau, p.Digest(nd.tau)), p.QSigs) >= nd.params.EchoThreshold()
+		digest := p.Digest(nd.tau)
+		transcriptBytes := EchoTranscript(nd.tau, digest)
+		if nd.countValidQSigs(transcriptBytes, p.QSigs) >= nd.params.EchoThreshold() {
+			return true
+		}
+		return nd.certQuorumValid(digest, transcriptBytes, p.QSigs, vss.CertEcho)
 	case KindReady:
-		return nd.countValidQSigs(ReadyTranscript(nd.tau, p.Digest(nd.tau)), p.QSigs) >= nd.params.T+1
+		digest := p.Digest(nd.tau)
+		transcriptBytes := ReadyTranscript(nd.tau, digest)
+		if nd.countValidQSigs(transcriptBytes, p.QSigs) >= nd.params.T+1 {
+			return true
+		}
+		return nd.certQuorumValid(digest, transcriptBytes, p.QSigs, vss.CertReady)
 	default:
 		return false
 	}
 }
 
-func (nd *Node) verifyVSSProof(dealer msg.NodeID, cHash [32]byte, proof []vss.SignedReady) bool {
-	transcriptBytes := vss.ReadyTranscript(vss.SessionID{Dealer: dealer, Tau: nd.tau}, cHash)
-	seen := make(map[msg.NodeID]bool, len(proof))
+// certQuorumValid accepts an M-set proof drawn from a certificate: the
+// signatures need not reach the classic flood thresholds as long as
+// enough of them come from the digest's signer committee. KindEcho
+// needs the committee echo quorum; KindReady mirrors the classic t+1
+// rule (one honest committee ready) with t_s+1 committee signatures.
+func (nd *Node) certQuorumValid(digest [32]byte, transcriptBytes []byte, sigs []SignedQ, phase uint8) bool {
+	if !nd.params.Certificates {
+		return false
+	}
+	comm := nd.certCommittee(digest)
+	need := comm.EchoQuorum()
+	if phase == vss.CertReady {
+		need = comm.TS + 1
+	}
+	seen := make(map[msg.NodeID]bool, len(sigs))
 	valid := 0
+	for _, s := range sigs {
+		if seen[s.Signer] || !comm.IsSigner(int64(s.Signer)) {
+			continue
+		}
+		seen[s.Signer] = true
+		if nd.params.Directory.Verify(int64(s.Signer), transcriptBytes, s.Sig) {
+			valid++
+		}
+	}
+	return valid >= need
+}
+
+func (nd *Node) verifyVSSProof(dealer msg.NodeID, cHash [32]byte, proof []vss.SignedReady) bool {
+	session := vss.SessionID{Dealer: dealer, Tau: nd.tau}
+	transcriptBytes := vss.ReadyTranscript(session, cHash)
+	// In certificate mode a completion proof may be a converted ready
+	// certificate: committee-quorum many signatures rather than the
+	// n−t−f flood quorum.
+	var comm *sig.Committee
+	if nd.params.Certificates {
+		c := vss.CertCommittee(nd.params.N, nd.params.T, session, cHash)
+		comm = &c
+	}
+	seen := make(map[msg.NodeID]bool, len(proof))
+	valid, inComm := 0, 0
 	for _, sr := range proof {
 		if seen[sr.Signer] || sr.Signer < 1 || int(sr.Signer) > nd.params.N {
 			continue
@@ -951,9 +1050,15 @@ func (nd *Node) verifyVSSProof(dealer msg.NodeID, cHash [32]byte, proof []vss.Si
 		seen[sr.Signer] = true
 		if nd.params.Directory.Verify(int64(sr.Signer), transcriptBytes, sr.Sig) {
 			valid++
+			if comm != nil && comm.IsSigner(int64(sr.Signer)) {
+				inComm++
+			}
 		}
 	}
-	return valid >= nd.params.ReadyThreshold()
+	if valid >= nd.params.ReadyThreshold() {
+		return true
+	}
+	return comm != nil && inComm >= comm.ReadyQuorum()
 }
 
 func (nd *Node) countValidQSigs(transcriptBytes []byte, sigs []SignedQ) int {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"hybriddkg/internal/msg"
+	"hybriddkg/internal/sig"
 	"hybriddkg/internal/vss"
 )
 
@@ -334,6 +335,88 @@ func decodeLeadCh(data []byte) (msg.Body, error) {
 	return out, nil
 }
 
+// CertSignMsg is a committee member's signed echo/ready attestation
+// for one proposal (certificate mode), sent to the sampled relay
+// committee instead of being flooded. It carries the slim proposal so
+// relays can assemble a self-contained certificate even when the
+// attestation outruns the leader's send.
+type CertSignMsg struct {
+	Tau   uint64
+	Phase uint8     // vss.CertEcho or vss.CertReady
+	Prop  *Proposal // slim
+	Sig   []byte    // over Echo-/ReadyTranscript(tau, digest)
+}
+
+var _ msg.Body = (*CertSignMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *CertSignMsg) MsgType() msg.Type { return msg.TDKGCertSign }
+
+// MarshalBinary implements msg.Body.
+func (m *CertSignMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(256)
+	w.U64(m.Tau)
+	w.U8(m.Phase)
+	m.Prop.encode(w)
+	w.Blob(m.Sig)
+	return w.Bytes(), nil
+}
+
+func decodeCertSign(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &CertSignMsg{Tau: r.U64(), Phase: r.U8()}
+	out.Prop = decodeProposal(r)
+	if out.Prop == nil {
+		return nil, fmt.Errorf("dkg: bad proposal encoding")
+	}
+	out.Sig = r.Blob()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CertMsg is a relay's multicast of an assembled quorum certificate
+// for one proposal.
+type CertMsg struct {
+	Tau   uint64
+	Phase uint8     // vss.CertEcho or vss.CertReady
+	Prop  *Proposal // slim
+	Cert  *sig.Certificate
+}
+
+var _ msg.Body = (*CertMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *CertMsg) MsgType() msg.Type { return msg.TDKGCert }
+
+// MarshalBinary implements msg.Body.
+func (m *CertMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(512)
+	w.U64(m.Tau)
+	w.U8(m.Phase)
+	m.Prop.encode(w)
+	vss.EncodeCertificate(w, m.Cert)
+	return w.Bytes(), nil
+}
+
+func decodeCert(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &CertMsg{Tau: r.U64(), Phase: r.U8()}
+	out.Prop = decodeProposal(r)
+	if out.Prop == nil {
+		return nil, fmt.Errorf("dkg: bad proposal encoding")
+	}
+	out.Cert = vss.DecodeCertificate(r)
+	if out.Cert == nil {
+		return nil, fmt.Errorf("dkg: bad certificate encoding")
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // HelpMsg is the DKG-session-level retransmission request (L, τ,
 // help); helpers replay both their DKG log and every embedded VSS log
 // destined for the requester.
@@ -374,6 +457,12 @@ func RegisterCodec(c *msg.Codec) error {
 		return err
 	}
 	if err := c.Register(msg.TDKGLeadCh, decodeLeadCh); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TDKGCertSign, decodeCertSign); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TDKGCert, decodeCert); err != nil {
 		return err
 	}
 	return c.Register(msg.TDKGHelp, decodeHelp)

@@ -27,7 +27,10 @@ import (
 // current view, which preserves the liveness argument (delay(t) is
 // merely restarted, not skipped).
 
-const dkgStateMagic = "hybriddkg/dkg-state/v1"
+// v2 appended the certificate-mode block (fallback latch, suppressed
+// classic messages and per-digest certificate state). Restores of v1
+// snapshots fail the magic check and fall back to WAL replay.
+const dkgStateMagic = "hybriddkg/dkg-state/v2"
 
 const stateListMax = 1 << 20
 
@@ -140,6 +143,37 @@ func (nd *Node) MarshalState() ([]byte, error) {
 			return nil, fmt.Errorf("dkg: marshal vss state for dealer %d: %w", d, err)
 		}
 		w.Blob(vs)
+	}
+
+	// Certificate mode (state v2). Committees are pure functions of
+	// (τ, digest) and are re-sampled on restore, not persisted.
+	w.Bool(nd.certFloodActive)
+	w.U32(uint32(len(nd.certSuppressed)))
+	for _, b := range nd.certSuppressed {
+		if err := msg.EncodeBody(w, b); err != nil {
+			return nil, err
+		}
+	}
+	certDigests := make([][32]byte, 0, len(nd.dcerts))
+	for d := range nd.dcerts {
+		certDigests = append(certDigests, d)
+	}
+	sort.Slice(certDigests, func(i, j int) bool {
+		return bytes.Compare(certDigests[i][:], certDigests[j][:]) < 0
+	})
+	w.U32(uint32(len(certDigests)))
+	for _, d := range certDigests {
+		dc := nd.dcerts[d]
+		w.Blob(d[:])
+		dc.prop.encode(w)
+		w.Bool(dc.signedEcho)
+		w.Bool(dc.signedReady)
+		w.Bool(dc.echoDone)
+		w.Bool(dc.readyDone)
+		w.Bool(dc.echoCertSent)
+		w.Bool(dc.readyCertSent)
+		encodeSigMap(w, dc.relayEcho)
+		encodeSigMap(w, dc.relayReady)
 	}
 	return w.Bytes(), nil
 }
@@ -292,6 +326,50 @@ func (nd *Node) UnmarshalState(codec *msg.Codec, data []byte) error {
 			return fmt.Errorf("dkg: restore vss state for dealer %d: %w", d, err)
 		}
 	}
+	nd.certFloodActive = r.Bool()
+	nSupp, err := r.ListLen(stateListMax)
+	if err != nil {
+		return err
+	}
+	nd.certSuppressed = nil
+	for i := 0; i < nSupp; i++ {
+		b, err := codec.DecodeBody(r)
+		if err != nil {
+			return fmt.Errorf("dkg: decode suppressed message: %w", err)
+		}
+		nd.certSuppressed = append(nd.certSuppressed, b)
+	}
+	nCerts, err := r.ListLen(stateListMax)
+	if err != nil {
+		return err
+	}
+	nd.dcerts = make(map[[32]byte]*dcertState, nCerts)
+	for i := 0; i < nCerts; i++ {
+		var d [32]byte
+		db := r.Blob()
+		if len(db) != 32 {
+			return fmt.Errorf("dkg: bad cert digest length %d", len(db))
+		}
+		copy(d[:], db)
+		prop := decodeProposal(r)
+		if prop == nil {
+			return fmt.Errorf("dkg: bad cert proposal encoding")
+		}
+		dc := &dcertState{comm: nd.certCommittee(d), prop: prop}
+		dc.signedEcho = r.Bool()
+		dc.signedReady = r.Bool()
+		dc.echoDone = r.Bool()
+		dc.readyDone = r.Bool()
+		dc.echoCertSent = r.Bool()
+		dc.readyCertSent = r.Bool()
+		if dc.relayEcho, err = decodeSigMap(r); err != nil {
+			return err
+		}
+		if dc.relayReady, err = decodeSigMap(r); err != nil {
+			return err
+		}
+		nd.dcerts[d] = dc
+	}
 	if err := r.Done(); err != nil {
 		return err
 	}
@@ -342,6 +420,34 @@ func decodeU64Set(r *msg.Reader) map[uint64]bool {
 		set[r.U64()] = true
 	}
 	return set
+}
+
+// encodeSigMap appends a signer→certificate-signature map in sorted
+// signer order (a relay's in-progress collection).
+func encodeSigMap(w *msg.Writer, m map[int64][]byte) {
+	signers := make([]int64, 0, len(m))
+	for s := range m {
+		signers = append(signers, s)
+	}
+	sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
+	w.U32(uint32(len(signers)))
+	for _, s := range signers {
+		w.U64(uint64(s))
+		w.Blob(m[s])
+	}
+}
+
+func decodeSigMap(r *msg.Reader) (map[int64][]byte, error) {
+	n, err := r.ListLen(stateListMax)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64][]byte, n)
+	for i := 0; i < n; i++ {
+		s := int64(r.U64())
+		out[s] = r.Blob()
+	}
+	return out, r.Err()
 }
 
 func encodeProposalPtr(w *msg.Writer, p *Proposal) {

@@ -1,0 +1,152 @@
+package harness_test
+
+import (
+	"testing"
+
+	"hybriddkg/internal/dkg"
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/simnet"
+	"hybriddkg/internal/telemetry"
+	"hybriddkg/internal/vss"
+)
+
+// TestCertModeCompletes: the certificate data path carries an honest
+// cluster end to end — consistent keys, certificates actually
+// assembled, and no fallback flood triggered.
+func TestCertModeCompletes(t *testing.T) {
+	metrics := telemetry.NewProtocolMetrics(telemetry.NewRegistry())
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 13, T: 2, Seed: 42,
+		Certificates: true,
+		Metrics:      metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HonestDone(); got != 13 {
+		t.Fatalf("HonestDone = %d, want 13", got)
+	}
+	if metrics.CertAssembled.Value() == 0 {
+		t.Fatal("no certificates assembled on the happy path")
+	}
+	if metrics.CertFallbacks.Value() != 0 {
+		t.Fatalf("unexpected fallback floods: %d", metrics.CertFallbacks.Value())
+	}
+}
+
+// TestCertModeAllRelaysCrashed drops every certificate frame on the
+// wire — as if all sampled relays were crashed or censoring — and
+// requires the fallback timer to restore liveness via the classic
+// flood path.
+func TestCertModeAllRelaysCrashed(t *testing.T) {
+	metrics := telemetry.NewProtocolMetrics(telemetry.NewRegistry())
+	dropCerts := func(_, _ msg.NodeID, body msg.Body) simnet.Verdict {
+		switch body.(type) {
+		case *vss.CertSignMsg, *vss.CertMsg, *dkg.CertSignMsg, *dkg.CertMsg:
+			return simnet.Verdict{Drop: true}
+		}
+		return simnet.Verdict{}
+	}
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 7, T: 1, Seed: 99,
+		Certificates: true,
+		Metrics:      metrics,
+		Filter:       dropCerts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatalf("fallback did not restore liveness: %v", err)
+	}
+	if res.HonestDone() != 7 {
+		t.Fatalf("HonestDone = %d, want 7", res.HonestDone())
+	}
+	if metrics.CertFallbacks.Value() == 0 {
+		t.Fatal("fallback counter never incremented")
+	}
+}
+
+// TestCertModeWithVerifyPipeline: certificates plus the speculative
+// verification pool — certificate batch checks run on workers and the
+// inline check must land memo hits without changing behaviour.
+func TestCertModeWithVerifyPipeline(t *testing.T) {
+	res, err := harness.RunDKG(harness.DKGOptions{
+		N: 13, T: 2, Seed: 42,
+		Certificates:  true,
+		VerifyWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if res.HonestDone() != 13 {
+		t.Fatalf("HonestDone = %d, want 13", res.HonestDone())
+	}
+}
+
+// TestCertModeDeterministic: certificate mode preserves the harness's
+// bit-identical replay property (committee sampling, relay quorums and
+// fallback ordering are all deterministic in the seed).
+func TestCertModeDeterministic(t *testing.T) {
+	run := func() (int, int64, string) {
+		res, err := harness.RunDKG(harness.DKGOptions{
+			N: 13, T: 2, Seed: 777, Certificates: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.TotalMsgs, res.Stats.TotalBytes, res.Completed[1].PublicKey.String()
+	}
+	m1, b1, pk1 := run()
+	m2, b2, pk2 := run()
+	if m1 != m2 || b1 != b2 || pk1 != pk2 {
+		t.Fatalf("non-deterministic: (%d,%d,%s) vs (%d,%d,%s)", m1, b1, pk1, m2, b2, pk2)
+	}
+}
+
+// TestCertVsFloodDifferential runs the same cluster in both modes at a
+// size where committees are strict subsamples: both must be
+// consistent, and certificate mode must put strictly fewer bytes on
+// the wire. The Any-Trust configuration (small fixed dealer set via
+// NoDeal) matches the regime the subquadratic claim targets.
+func TestCertVsFloodDifferential(t *testing.T) {
+	noDeal := make([]msg.NodeID, 0, 60)
+	for i := 5; i <= 64; i++ {
+		noDeal = append(noDeal, msg.NodeID(i))
+	}
+	run := func(certs bool) *harness.DKGResult {
+		res, err := harness.RunDKG(harness.DKGOptions{
+			N: 64, T: 3, Seed: 2025,
+			Certificates: certs,
+			NoDeal:       noDeal,
+			NoTrace:      true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsistency(); err != nil {
+			t.Fatalf("certs=%v: %v", certs, err)
+		}
+		return res
+	}
+	flood := run(false)
+	cert := run(true)
+	if cert.Stats.TotalBytes >= flood.Stats.TotalBytes {
+		t.Fatalf("certificate mode not cheaper: cert=%d bytes, flood=%d bytes",
+			cert.Stats.TotalBytes, flood.Stats.TotalBytes)
+	}
+	t.Logf("n=64 wire bytes: flood=%d cert=%d (%.1f%%)",
+		flood.Stats.TotalBytes, cert.Stats.TotalBytes,
+		100*float64(cert.Stats.TotalBytes)/float64(flood.Stats.TotalBytes))
+}

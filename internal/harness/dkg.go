@@ -35,6 +35,10 @@ type DKGOptions struct {
 	Coalesce bool
 	// DisableBatch turns off the VSS layer's batched point verification.
 	DisableBatch bool
+	// Certificates enables relay-assembled quorum certificates with
+	// committee-sampled signers in both the DKG and embedded VSS
+	// layers (subquadratic echo/ready phases).
+	Certificates bool
 	// VerifyWorkers, when > 0, attaches the parallel verification
 	// pipeline: a verify.Pool with that many workers, a shared verdict
 	// cache, and per-node speculators fed from the simulator's send
@@ -185,6 +189,7 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 			DedupDealings:  opts.DedupDealings,
 			CompressedWire: opts.CompressedWire,
 			DisableBatch:   opts.DisableBatch,
+			Certificates:   opts.Certificates,
 			Directory:      dir,
 			SignKey:        privs[id],
 			InitialLeader:  opts.InitialLeader,

@@ -71,6 +71,15 @@ const (
 	TDataReq
 	TDataResp
 	TDataPrepare
+
+	// Quorum certificates (certificate mode): committee members send
+	// signed echo/ready attestations to sampled relays (TVSSCertSign /
+	// TDKGCertSign); relays multicast the assembled certificates
+	// (TVSSCert / TDKGCert).
+	TVSSCertSign
+	TVSSCert
+	TDKGCertSign
+	TDKGCert
 )
 
 // String implements fmt.Stringer for diagnostics and accounting keys.
@@ -118,6 +127,14 @@ func (t Type) String() string {
 		return "data-resp"
 	case TDataPrepare:
 		return "data-prepare"
+	case TVSSCertSign:
+		return "vss-cert-sign"
+	case TVSSCert:
+		return "vss-cert"
+	case TDKGCertSign:
+		return "dkg-cert-sign"
+	case TDKGCert:
+		return "dkg-cert"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

@@ -37,6 +37,15 @@ type ProtocolMetrics struct {
 	Timeouts      *Counter // delay(T) expiries → lead-ch broadcast
 	LeaderChanges *Counter // views installed (leader changes)
 	HelpRequests  *Counter // help requests served (§5.3)
+
+	// Per-phase message-count instruments: the observable side of the
+	// subquadratic-communication claim. EchoSent/ReadySent count both
+	// flood broadcasts and certificate-mode committee signings, so the
+	// flood→certificate drop shows up directly on /metrics.
+	EchoSent      *Counter // VSS echo messages sent (flood or cert-sign)
+	ReadySent     *Counter // VSS ready messages sent (flood or cert-sign)
+	CertAssembled *Counter // quorum certificates assembled by this relay
+	CertFallbacks *Counter // certificate-timeout flood fallbacks triggered
 }
 
 // NewProtocolMetrics registers the vss/dkg instruments.
@@ -52,6 +61,10 @@ func NewProtocolMetrics(r *Registry) *ProtocolMetrics {
 		Timeouts:      r.Counter("dkg_timeouts_total", "delay(T) view timeouts"),
 		LeaderChanges: r.Counter("dkg_leader_changes_total", "Views installed (leader changes)"),
 		HelpRequests:  r.Counter("dkg_help_requests_total", "Help requests served"),
+		EchoSent:      r.Counter("vss_echo_sent", "HybridVSS echo messages sent"),
+		ReadySent:     r.Counter("vss_ready_sent", "HybridVSS ready messages sent"),
+		CertAssembled: r.Counter("cert_assembled", "Quorum certificates assembled"),
+		CertFallbacks: r.Counter("cert_fallback_floods", "Certificate-timeout flood fallbacks"),
 	}
 }
 

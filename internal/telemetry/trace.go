@@ -24,6 +24,7 @@ const (
 	EvHelp     EventKind = "help"    // help requested or served (§5.3)
 	EvLifecyc  EventKind = "life"    // session lifecycle (created/completed/failed)
 	EvEviction EventKind = "evict"   // state evicted (cache, queue, key)
+	EvCert     EventKind = "cert"    // quorum certificate assembled/applied/fallback
 )
 
 // Event is one timestamped protocol event. Session and Node are raw

@@ -83,7 +83,60 @@ func (s *Speculator) Observe(from msg.NodeID, body msg.Body) {
 			})
 		}
 		s.proposal(m.Prop, m.Tau)
+	case *vss.CertSignMsg:
+		if s.dir != nil && len(m.Sig) > 0 {
+			session, cHash, phase, sigBytes := m.Session, m.CHash, m.Phase, m.Sig
+			s.pool.Submit(func() {
+				s.dir.Verify(int64(from), vssCertTranscript(session, cHash, phase), sigBytes)
+			})
+		}
+	case *vss.CertMsg:
+		if m.Cert != nil {
+			session, cHash, phase := m.Session, m.CHash, m.Phase
+			s.certificate(func() []byte { return vssCertTranscript(session, cHash, phase) }, m.Cert)
+		}
+	case *dkg.CertSignMsg:
+		if s.dir != nil && len(m.Sig) > 0 && m.Prop != nil {
+			tau, prop, phase, sigBytes := m.Tau, m.Prop, m.Phase, m.Sig
+			s.pool.Submit(func() {
+				s.dir.Verify(int64(from), dkgCertTranscript(tau, prop, phase), sigBytes)
+			})
+		}
+	case *dkg.CertMsg:
+		if m.Cert != nil && m.Prop != nil {
+			tau, prop, phase := m.Tau, m.Prop, m.Phase
+			s.certificate(func() []byte { return dkgCertTranscript(tau, prop, phase) }, m.Cert)
+		}
 	}
+}
+
+// certificate schedules the batched certificate check through the
+// directory's memo, so the state machine's inline
+// VerifyCertificateCached call lands a cache hit. The transcript
+// closure runs on the worker (digest computation included).
+func (s *Speculator) certificate(transcript func() []byte, cert *sig.Certificate) {
+	if s.dir == nil {
+		return
+	}
+	n := len(s.dir.Nodes())
+	s.pool.Submit(func() {
+		sig.VerifyCertificateCached(s.dir, n, transcript(), cert)
+	})
+}
+
+func vssCertTranscript(session vss.SessionID, cHash [32]byte, phase uint8) []byte {
+	if phase == vss.CertReady {
+		return vss.ReadyTranscript(session, cHash)
+	}
+	return vss.EchoTranscript(session, cHash)
+}
+
+func dkgCertTranscript(tau uint64, prop *dkg.Proposal, phase uint8) []byte {
+	digest := prop.Digest(tau)
+	if phase == vss.CertReady {
+		return dkg.ReadyTranscript(tau, digest)
+	}
+	return dkg.EchoTranscript(tau, digest)
 }
 
 // point schedules one verify-point speculation for an echo/ready

@@ -7,6 +7,7 @@ import (
 	"hybriddkg/internal/commit"
 	"hybriddkg/internal/group"
 	"hybriddkg/internal/msg"
+	"hybriddkg/internal/sig"
 )
 
 // SessionID identifies a sharing (P_d, τ): the dealer plus a counter.
@@ -386,6 +387,129 @@ func decodeRecShare(data []byte) (msg.Body, error) {
 	return out, nil
 }
 
+// Certificate phases: which flood a certificate replaces.
+const (
+	// CertEcho certificates attest an echo quorum of the signer
+	// committee for one commitment hash.
+	CertEcho uint8 = 1
+	// CertReady certificates attest a ready (completion) quorum.
+	CertReady uint8 = 2
+)
+
+// CertSignMsg is a committee member's signed echo/ready attestation
+// for one commitment hash, sent to the sampled relay committee instead
+// of being flooded to all n nodes (certificate mode). It carries no
+// evaluation point: points travel only in the dealer's send and in the
+// flood-fallback path.
+type CertSignMsg struct {
+	Session SessionID
+	Phase   uint8 // CertEcho or CertReady
+	CHash   [32]byte
+	Sig     []byte // scheme-encoded, over Echo-/ReadyTranscript
+}
+
+var _ msg.Body = (*CertSignMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *CertSignMsg) MsgType() msg.Type { return msg.TVSSCertSign }
+
+// MarshalBinary implements msg.Body.
+func (m *CertSignMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(128)
+	m.Session.encode(w)
+	w.U8(m.Phase)
+	w.Blob(m.CHash[:])
+	w.Blob(m.Sig)
+	return w.Bytes(), nil
+}
+
+func decodeCertSign(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &CertSignMsg{Session: decodeSession(r)}
+	out.Phase = r.U8()
+	h := r.Blob()
+	if len(h) != 32 {
+		return nil, fmt.Errorf("vss: bad cert-sign hash length %d", len(h))
+	}
+	copy(out.CHash[:], h)
+	out.Sig = r.Blob()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CertMsg is a relay's multicast of an assembled quorum certificate
+// for one commitment hash.
+type CertMsg struct {
+	Session SessionID
+	Phase   uint8 // CertEcho or CertReady
+	CHash   [32]byte
+	Cert    *sig.Certificate
+}
+
+var _ msg.Body = (*CertMsg)(nil)
+
+// MsgType implements msg.Body.
+func (m *CertMsg) MsgType() msg.Type { return msg.TVSSCert }
+
+// MarshalBinary implements msg.Body.
+func (m *CertMsg) MarshalBinary() ([]byte, error) {
+	w := msg.NewWriter(256)
+	m.Session.encode(w)
+	w.U8(m.Phase)
+	w.Blob(m.CHash[:])
+	EncodeCertificate(w, m.Cert)
+	return w.Bytes(), nil
+}
+
+func decodeCert(data []byte) (msg.Body, error) {
+	r := msg.NewReader(data)
+	out := &CertMsg{Session: decodeSession(r)}
+	out.Phase = r.U8()
+	h := r.Blob()
+	if len(h) != 32 {
+		return nil, fmt.Errorf("vss: bad cert hash length %d", len(h))
+	}
+	copy(out.CHash[:], h)
+	out.Cert = DecodeCertificate(r)
+	if out.Cert == nil {
+		return nil, fmt.Errorf("vss: bad certificate encoding")
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeCertificate serialises a quorum certificate (shared with the
+// DKG layer's certificate messages).
+func EncodeCertificate(w *msg.Writer, c *sig.Certificate) {
+	w.U32(uint32(len(c.Signers)))
+	for i, s := range c.Signers {
+		w.U64(uint64(s))
+		w.Blob(c.Sigs[i])
+	}
+}
+
+// DecodeCertificate reads a certificate written by EncodeCertificate;
+// nil on malformed input.
+func DecodeCertificate(r *msg.Reader) *sig.Certificate {
+	n := r.U32()
+	if r.Err() != nil || n == 0 || n > 65536 {
+		return nil
+	}
+	c := &sig.Certificate{Signers: make([]int64, n), Sigs: make([][]byte, n)}
+	for i := range c.Signers {
+		c.Signers[i] = int64(r.U64())
+		c.Sigs[i] = r.Blob()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return c
+}
+
 // RegisterCodec installs decoders for all VSS message types.
 func RegisterCodec(c *msg.Codec, gr *group.Group) error {
 	if err := c.Register(msg.TVSSSend, decodeSend(gr)); err != nil {
@@ -406,6 +530,12 @@ func RegisterCodec(c *msg.Codec, gr *group.Group) error {
 	if err := c.Register(msg.TVSSMatrix, decodeMatrix(gr)); err != nil {
 		return err
 	}
+	if err := c.Register(msg.TVSSCertSign, decodeCertSign); err != nil {
+		return err
+	}
+	if err := c.Register(msg.TVSSCert, decodeCert); err != nil {
+		return err
+	}
 	return c.Register(msg.TRecShare, decodeRecShare)
 }
 
@@ -424,6 +554,19 @@ type SignedReady struct {
 func ReadyTranscript(session SessionID, cHash [32]byte) []byte {
 	w := msg.NewWriter(64)
 	w.Blob([]byte("hybriddkg/vss-ready/v1"))
+	session.encode(w)
+	w.Blob(cHash[:])
+	return w.Bytes()
+}
+
+// EchoTranscript is the byte string a certificate-mode echo signature
+// covers. Flood-mode echoes are unsigned (verify-point authenticates
+// their evaluation); certificate mode replaces the point check with a
+// signature over the session/commitment binding, under its own domain
+// so echo and ready attestations can never be confused.
+func EchoTranscript(session SessionID, cHash [32]byte) []byte {
+	w := msg.NewWriter(64)
+	w.Blob([]byte("hybriddkg/vss-echo/v1"))
 	session.encode(w)
 	w.Blob(cHash[:])
 	return w.Bytes()

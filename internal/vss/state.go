@@ -27,10 +27,12 @@ import (
 // completions its pre-crash incarnation already delivered.
 
 // v2 added the per-commitment deferred-verification queue (batched
-// point verification). Older snapshots fail the magic check and the
-// engine falls back to full-WAL replay, which reconstructs the same
-// state.
-const vssStateMagic = "hybriddkg/vss-state/v2"
+// point verification). v3 added certificate mode: the per-commitment
+// echo-flood latch, the per-commitment certificate state (signer
+// progress, relay collections, parked certificates) and the node-level
+// fallback latch. Older snapshots fail the magic check and the engine
+// falls back to full-WAL replay, which reconstructs the same state.
+const vssStateMagic = "hybriddkg/vss-state/v3"
 
 // stateListMax bounds decoded list lengths, mirroring the wire
 // decoders' guards so a corrupt snapshot cannot force huge allocations.
@@ -75,6 +77,7 @@ func (nd *Node) MarshalState() ([]byte, error) {
 		w.U32(uint32(cs.readyCount))
 		EncodeSignedReadies(w, cs.readySigs)
 		w.Bool(cs.sentReady)
+		w.Bool(cs.echoFlooded)
 		EncodePolyPtr(w, cs.aBar)
 		EncodePolyPtr(w, cs.aRow)
 		w.U32(uint32(len(cs.unverified)))
@@ -129,7 +132,66 @@ func (nd *Node) MarshalState() ([]byte, error) {
 		w.BigPtr(nd.recPending[i].Share)
 	}
 	w.BigPtr(nd.reconstructed)
+
+	// Certificate-mode state (v3).
+	w.Bool(nd.certFloodActive)
+	certHashes := make([][32]byte, 0, len(nd.certs))
+	for h := range nd.certs {
+		certHashes = append(certHashes, h)
+	}
+	sort.Slice(certHashes, func(i, j int) bool {
+		return bytes.Compare(certHashes[i][:], certHashes[j][:]) < 0
+	})
+	w.U32(uint32(len(certHashes)))
+	for _, h := range certHashes {
+		cst := nd.certs[h]
+		w.Blob(h[:])
+		w.Bool(cst.signedEcho)
+		w.Bool(cst.signedReady)
+		w.Bool(cst.readySignaled)
+		w.Bool(cst.echoDone)
+		w.Bool(cst.readyDone)
+		w.Bool(cst.echoCertSent)
+		w.Bool(cst.readyCertSent)
+		w.Bool(cst.pendingEcho)
+		if cst.pendingReady != nil {
+			w.Bool(true)
+			EncodeCertificate(w, cst.pendingReady)
+		} else {
+			w.Bool(false)
+		}
+		encodeCertSigMap(w, cst.relayEcho)
+		encodeCertSigMap(w, cst.relayReady)
+	}
 	return w.Bytes(), nil
+}
+
+// encodeCertSigMap serialises a relay's collected certificate-form
+// signatures in sorted signer order.
+func encodeCertSigMap(w *msg.Writer, m map[int64][]byte) {
+	signers := make([]int64, 0, len(m))
+	for s := range m {
+		signers = append(signers, s)
+	}
+	sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
+	w.U32(uint32(len(signers)))
+	for _, s := range signers {
+		w.U64(uint64(s))
+		w.Blob(m[s])
+	}
+}
+
+func decodeCertSigMap(r *msg.Reader) (map[int64][]byte, error) {
+	n, err := r.ListLen(stateListMax)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64][]byte, n)
+	for i := 0; i < n; i++ {
+		s := int64(r.U64())
+		out[s] = r.Blob()
+	}
+	return out, r.Err()
 }
 
 // UnmarshalState restores state captured by MarshalState into a
@@ -194,6 +256,7 @@ func (nd *Node) UnmarshalState(codec *msg.Codec, data []byte) error {
 		cs.readyCount = int(r.U32())
 		cs.readySigs = DecodeSignedReadies(r)
 		cs.sentReady = r.Bool()
+		cs.echoFlooded = r.Bool()
 		if cs.aBar, err = DecodePolyPtr(r, gr.Q()); err != nil {
 			return err
 		}
@@ -275,6 +338,43 @@ func (nd *Node) UnmarshalState(codec *msg.Codec, data []byte) error {
 		nd.recPendingSrc = append(nd.recPendingSrc, src)
 	}
 	nd.reconstructed = r.BigPtr()
+
+	// Certificate-mode state (v3). Committees are re-sampled rather
+	// than persisted — they are a pure function of session and hash.
+	nd.certFloodActive = r.Bool()
+	nCert, err := r.ListLen(stateListMax)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nCert; i++ {
+		var h [32]byte
+		hb := r.Blob()
+		if len(hb) != 32 {
+			return fmt.Errorf("vss: bad cert-state digest length %d", len(hb))
+		}
+		copy(h[:], hb)
+		cst := nd.certStateFor(h)
+		cst.signedEcho = r.Bool()
+		cst.signedReady = r.Bool()
+		cst.readySignaled = r.Bool()
+		cst.echoDone = r.Bool()
+		cst.readyDone = r.Bool()
+		cst.echoCertSent = r.Bool()
+		cst.readyCertSent = r.Bool()
+		cst.pendingEcho = r.Bool()
+		if r.Bool() {
+			cst.pendingReady = DecodeCertificate(r)
+			if cst.pendingReady == nil {
+				return fmt.Errorf("vss: bad parked certificate in snapshot")
+			}
+		}
+		if cst.relayEcho, err = decodeCertSigMap(r); err != nil {
+			return err
+		}
+		if cst.relayReady, err = decodeCertSigMap(r); err != nil {
+			return err
+		}
+	}
 	return r.Done()
 }
 

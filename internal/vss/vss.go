@@ -84,6 +84,19 @@ type Params struct {
 	// Extended enables signed ready messages whose collected sets
 	// form DKG completion proofs (extended HybridVSS, §4).
 	Extended bool
+	// Certificates replaces the all-to-all echo/ready floods with
+	// relay-assembled quorum certificates: a deterministically sampled
+	// signer committee (seeded from the session identity and the
+	// commitment hash) sends signed attestations to a sampled relay
+	// committee; a relay that collects a committee quorum multicasts
+	// one certificate, verified by receivers in a single batched
+	// multi-exponentiation (sig.VerifyCertificate). Per-dealing
+	// communication drops from O(n²) messages to O(n·|committee|).
+	// Liveness never regresses below the flood protocol: if no
+	// certificate arrives, TriggerCertFallback (driven by the DKG
+	// layer's timer) floods the suppressed echoes/readies through the
+	// unchanged Fig. 1 path. Requires Extended.
+	Certificates bool
 	// Directory holds all nodes' signature keys (required iff
 	// Extended).
 	Directory *sig.Directory
@@ -132,6 +145,9 @@ func (p Params) Validate() error {
 	if p.Extended && (p.Directory == nil || len(p.SignKey) == 0) {
 		return fmt.Errorf("%w: extended mode requires directory and signing key", ErrBadParams)
 	}
+	if p.Certificates && !p.Extended {
+		return fmt.Errorf("%w: certificate mode requires extended mode", ErrBadParams)
+	}
 	return nil
 }
 
@@ -172,6 +188,10 @@ type cstate struct {
 	// known, incoming points verify by scalar evaluation (see
 	// pointValid) instead of exponentiations.
 	aRow *poly.Poly
+	// echoFlooded marks that the classic all-to-all echo broadcast for
+	// this commitment has run (immediately in flood mode, lazily on
+	// certificate fallback), so the fallback never double-sends.
+	echoFlooded bool
 	// unverified holds points that passed the cheap checks (scalar
 	// range, first message per sender) but whose expensive
 	// verify-point run is deferred: with batching enabled and no
@@ -246,6 +266,11 @@ type Node struct {
 	fetchAsked  map[[32]byte]map[msg.NodeID]bool
 	fetchServed map[[32]byte]map[msg.NodeID]bool
 
+	// Certificate-mode state (Params.Certificates): per-commitment
+	// committee/attestation tracking plus the fallback latch.
+	certs           map[[32]byte]*certState
+	certFloodActive bool
+
 	// Rec state.
 	recStarted    bool
 	recSeen       map[msg.NodeID]bool
@@ -295,6 +320,7 @@ func NewNode(params Params, session SessionID, self msg.NodeID, sender Sender, o
 		helpFrom:        make(map[msg.NodeID]int, params.N),
 		fetchAsked:      make(map[[32]byte]map[msg.NodeID]bool),
 		fetchServed:     make(map[[32]byte]map[msg.NodeID]bool),
+		certs:           make(map[[32]byte]*certState),
 		recSeen:         make(map[msg.NodeID]bool, params.N),
 	}, nil
 }
@@ -372,6 +398,10 @@ func (nd *Node) Handle(from msg.NodeID, body msg.Body) {
 		nd.handleReady(from, m)
 	case *HelpMsg:
 		nd.handleHelp(from, m)
+	case *CertSignMsg:
+		nd.handleCertSign(from, m)
+	case *CertMsg:
+		nd.handleCert(from, m)
 	case *FetchMsg:
 		nd.handleFetch(from, m)
 	case *MatrixMsg:
@@ -410,8 +440,26 @@ func (nd *Node) handleSend(from msg.NodeID, m *SendMsg) {
 	nd.params.Metrics.Dealings.Inc()
 	nd.trace(telemetry.EvPhase, "vss-dealing-accepted")
 	nd.learnCommitmentRow(m.C, a)
+	cs := nd.cstates[m.C.Hash()]
+	if nd.params.Certificates && !nd.certFloodActive {
+		nd.certSendEcho(m.C.Hash())
+	} else {
+		nd.floodEchoes(cs)
+	}
+}
+
+// floodEchoes runs the classic Fig. 1 echo broadcast from the dealer's
+// verified row, once per commitment. In flood mode it fires straight
+// from handleSend; in certificate mode only TriggerCertFallback calls
+// it.
+func (nd *Node) floodEchoes(cs *cstate) {
+	if cs == nil || cs.echoFlooded || cs.aRow == nil {
+		return
+	}
+	cs.echoFlooded = true
 	for j := 1; j <= nd.params.N; j++ {
-		nd.sendLogged(msg.NodeID(j), nd.makeEcho(m.C, a.EvalInt(int64(j))))
+		nd.params.Metrics.EchoSent.Inc()
+		nd.sendLogged(msg.NodeID(j), nd.makeEcho(cs.c, cs.aRow.EvalInt(int64(j))))
 	}
 }
 
@@ -723,6 +771,7 @@ func (nd *Node) broadcastReady(cs *cstate) {
 		sigBytes = sb
 	}
 	for j := 1; j <= nd.params.N; j++ {
+		nd.params.Metrics.ReadySent.Inc()
 		out := &ReadyMsg{Session: nd.session, Alpha: cs.aBar.EvalInt(int64(j)), CHash: h, Sig: sigBytes}
 		if !nd.hashOnly() {
 			out.C = cs.c
@@ -825,6 +874,11 @@ func (nd *Node) learnCommitmentRow(c *commit.Matrix, a *poly.Poly) {
 		nd.applyVerified(cs, pp, applied)
 	}
 	nd.maybeFlushBatch(cs)
+	// A certificate that arrived before the dealer's row can now be
+	// applied: the row is the only missing ingredient in cert mode.
+	if nd.params.Certificates {
+		nd.certResume(h)
+	}
 }
 
 // applyPoint routes a verified point to the echo or ready accumulator.

@@ -238,6 +238,7 @@ func (nw *Network) dkgParams(id msg.NodeID) dkg.Params {
 		DedupDealings:  nw.cfg.dedupDealings,
 		CompressedWire: nw.cfg.compressedWire,
 		DisableBatch:   nw.cfg.disableBatch,
+		Certificates:   nw.cfg.certificates,
 		Directory:      nw.dir,
 		SignKey:        nw.privs[id],
 	}

@@ -33,6 +33,7 @@ type netConfig struct {
 	hashedEcho     bool
 	dedupDealings  bool
 	compressedWire bool
+	certificates   bool
 	disableBatch   bool
 	legacyWire     bool
 	verifyWorkers  int
@@ -111,6 +112,21 @@ func WithLegacyWireV1() Option {
 		c.dedupDealings = false
 		c.compressedWire = false
 	}
+}
+
+// WithCertificates replaces the quadratic all-to-all echo/ready
+// floods — in both the DKG layer and every embedded VSS instance —
+// with relay-assembled quorum certificates over committee-sampled
+// signer sets: per-quorum message complexity drops from Θ(n²) to
+// O(n·polylog n), and each receiver verifies a whole certificate in
+// one batched multi-exponentiation. If no certificate arrives before
+// the view-timeout base the node falls back to the classic flood
+// path, so liveness never depends on the sampled relays. Most
+// effective at large n with a small fixed dealer set (the Any-Trust
+// regime); at small n the committees cover the whole roster and the
+// certificate path only changes message shape.
+func WithCertificates() Option {
+	return func(c *netConfig) { c.certificates = true }
 }
 
 // WithoutBatchVerify turns off batched point verification in the

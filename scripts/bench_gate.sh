@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # bench_gate.sh OLD NEW — regression gate for the perf-tracked
-# benchmarks. Compares the ns/op geomean of the E14/E15/E17/E18/E19/E20
-# benchmarks (backend crypto hot paths, session throughput, batch
-# verification, core-scaling verification pipeline, bytes-on-wire
-# runs, data-plane serving) between a baseline
+# benchmarks. Compares the ns/op geomean of the
+# E14/E15/E17/E18/E19/E20/E22 benchmarks (backend crypto hot paths,
+# session throughput, batch verification, core-scaling verification
+# pipeline, bytes-on-wire runs, data-plane serving, certificate-mode
+# scale sweeps) between a baseline
 # run and a new run, and fails when the new run is more than 10%
 # slower. The E20 data-plane results additionally carry absolute
 # acceptance gates (taken from the new run alone): ≥10k sustained
@@ -18,7 +19,7 @@ if [ $# -ne 2 ]; then
 fi
 
 awk '
-  /^BenchmarkE(1(4|5|7|8|9)|20)/ && $3 > 0 {
+  /^BenchmarkE(1(4|5|7|8|9)|2(0|2))/ && $3 > 0 {
     # benchmark line: name  iterations  value ns/op  [extra metrics…]
     # Repeated -count samples of one benchmark accumulate into a
     # per-name geometric mean before names are compared, so noise
@@ -33,9 +34,9 @@ awk '
         n++
       }
     }
-    if (n == 0) { print "bench gate: no comparable E14/E15/E17/E18/E19/E20 results; skipping"; exit 0 }
+    if (n == 0) { print "bench gate: no comparable E14–E22 results; skipping"; exit 0 }
     ratio = exp(sum / n)
-    printf "bench gate: E14/E15/E17/E18/E19/E20 ns/op geomean ratio new/baseline = %.3f over %d benchmarks\n", ratio, n
+    printf "bench gate: E14–E22 ns/op geomean ratio new/baseline = %.3f over %d benchmarks\n", ratio, n
     if (ratio > 1.10) {
       printf "bench gate: FAIL — >10%% regression (ratio %.3f)\n", ratio
       exit 1
@@ -89,5 +90,69 @@ awk '
       exit 1
     }
     print "bench gate: E21 telemetry gate OK"
+  }
+' "$2"
+
+# E22 subquadratic-fit gate, evaluated on the new run alone at the
+# reduced sizes CI can afford: on the test256 backend, wire bytes must
+# fit n^k with k < 1.5 between the cert-mode n=64 and n=128 runs
+# (sizes where the signer committee is a strict subsample of the
+# roster), while the flood baseline between n=16 and n=64 must stay
+# above 1.6 — if the flood ever loses its quadratic, the comparison
+# itself is stale and needs re-deriving. The parsed per-size bytes are
+# also emitted as BENCH_E22.json next to the new-run file, so the
+# recorded scale curve rides along with the bench artifacts.
+awk -v json="$(dirname "$2")/BENCH_E22.json" '
+  /^BenchmarkE22Scale\/test256\// {
+    split($1, path, "/")           # BenchmarkE22Scale / test256 / mode / n=X
+    mode = path[3]
+    sub(/^n=/, "", path[4]); sub(/-[0-9]+$/, "", path[4])
+    n = path[4] + 0
+    for (i = 4; i < NF; i++) {
+      if ($(i + 1) == "wire-bytes") bytes[mode, n] = $i
+    }
+    if (!(mode in seen)) order[++modes] = mode
+    seen[mode] = 1
+    sizes[n] = 1
+  }
+  END {
+    if (!(("cert", 64) in bytes) || !(("cert", 128) in bytes)) {
+      print "bench gate: no E22 cert n=64/n=128 results in new run; skipping scale gate"
+      exit 0
+    }
+    certfit = log(bytes["cert", 128] / bytes["cert", 64]) / log(128 / 64)
+    printf "bench gate: E22 cert wire bytes fit n^%.2f (n=64 -> n=128)\n", certfit
+    fail = 0
+    if (certfit >= 1.5) {
+      printf "bench gate: FAIL — E22 cert fit n^%.2f not subquadratic (< 1.5)\n", certfit
+      fail = 1
+    }
+    if ((("flood", 16) in bytes) && (("flood", 64) in bytes)) {
+      floodfit = log(bytes["flood", 64] / bytes["flood", 16]) / log(64 / 16)
+      printf "bench gate: E22 flood wire bytes fit n^%.2f (n=16 -> n=64)\n", floodfit
+      if (floodfit <= 1.6) {
+        printf "bench gate: FAIL — E22 flood baseline fit n^%.2f lost its quadratic\n", floodfit
+        fail = 1
+      }
+    }
+    # Emit the recorded curve as JSON: {"mode": {"n": bytes, ...}, ...}
+    printf "{" > json
+    for (m = 1; m <= modes; m++) {
+      if (m > 1) printf "," >> json
+      printf "\"%s\":{", order[m] >> json
+      first = 1
+      for (n = 1; n <= 1024; n++) {
+        if ((order[m], n) in bytes) {
+          if (!first) printf "," >> json
+          printf "\"%d\":%d", n, bytes[order[m], n] >> json
+          first = 0
+        }
+      }
+      printf "}" >> json
+    }
+    print "}" >> json
+    printf "bench gate: wrote %s\n", json
+    if (fail) exit 1
+    print "bench gate: E22 scale gate OK"
   }
 ' "$2"

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/big"
 	"net"
+	"os"
 	"time"
 
 	"hybriddkg/internal/dataplane"
@@ -130,6 +131,12 @@ type ServerConfig struct {
 	// snapshots). Empty keeps telemetry fully off — every instrument
 	// stays nil and the hot paths pay a single predictable branch.
 	MetricsListen string
+
+	// Logf receives startup diagnostics (configuration adjustments
+	// the server makes on the caller's behalf, e.g. ShardSessions
+	// being forced off by StateDir). Nil logs to stderr; swap in a
+	// no-op to silence.
+	Logf func(format string, args ...any)
 }
 
 // SessionEvent is one completed DKG session on this node.
@@ -215,6 +222,10 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(&nc)
 	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
 	gr, err := group.ByName(nc.groupName)
 	if err != nil {
 		return nil, err
@@ -285,6 +296,9 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 	if shard && cfg.StateDir != "" {
 		// Durable-state checkpoints snapshot runners from the main
 		// loop and must not race concurrently dispatching lanes.
+		// Never silently: callers sizing a deployment around session
+		// lanes need to know the knob was overridden.
+		logf("node %d: ShardSessions disabled: durable state checkpoints (StateDir) require the single event loop", cfg.Self)
 		shard = false
 	}
 	tcfg.ShardSessions = shard
@@ -330,6 +344,7 @@ func Serve(cfg ServerConfig, opts ...Option) (*Server, error) {
 		DedupDealings:  nc.dedupDealings,
 		CompressedWire: nc.compressedWire,
 		DisableBatch:   nc.disableBatch,
+		Certificates:   nc.certificates,
 		Directory:      dir,
 		SignKey:        cfg.Keys.Private,
 		InitialLeader:  leader,
