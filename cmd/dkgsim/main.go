@@ -8,6 +8,12 @@
 //	dkgsim -experiment E2        # one experiment
 //	dkgsim -all                  # everything (default)
 //	dkgsim -all -seed 7          # different scheduling seed
+//
+// The adversarial scenario lab (DESIGN.md E23) lives behind -lab:
+//
+//	dkgsim -lab                              # seed sweep over the full grid
+//	dkgsim -lab -lab-seeds 1-200 -lab-n 13   # bounded soak on one cell
+//	dkgsim -lab-replay 46 -lab-n 13 -lab-backends modp -lab-modes flood
 package main
 
 import (
@@ -35,6 +41,13 @@ func main() {
 		seed = flag.Uint64("seed", 1, "scheduling seed")
 	)
 	flag.Parse()
+	if labRequested() {
+		if err := runLab(); err != nil {
+			fmt.Fprintln(os.Stderr, "dkgsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
 		*all = true
 	}
@@ -76,7 +89,9 @@ func run(one string, all bool, seed uint64) error {
 		}
 		fmt.Printf("## %s — %s (seed=%d)\n\n", e.id, e.name, seed)
 		if err := e.fn(seed); err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			// The seed rides along on every failure so the run is
+			// reproducible from the error line alone.
+			return fmt.Errorf("%s (seed=%d): %w", e.id, seed, err)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"hybriddkg/internal/harness"
+	"hybriddkg/internal/msg"
+)
+
+// Invariant names, as reported in Result.Violation.
+const (
+	// InvAgreement: all completed honest nodes output the same Q, joint
+	// commitment and public key, every share verifies against the
+	// commitment, and t+1 shares interpolate to the public key's
+	// discrete log (Definition 4.1 consistency + correctness).
+	InvAgreement = "agreement"
+	// InvLiveness: within the hybrid model (≤t Byzantine, ≤f
+	// crash-recovery, weakly synchronous links) every honest live node
+	// completes (§4.4).
+	InvLiveness = "liveness"
+	// InvNegative: beyond resilience (t+f+1 permanent crashes leave the
+	// live honest population one short of the n−t−f ready quorum)
+	// nobody may complete — progress there would mean the quorum
+	// arithmetic is broken.
+	InvNegative = "no-progress-beyond-resilience"
+)
+
+// checkInvariants applies the spec's invariant set to a finished run
+// and fills the result's Violation/Detail fields.
+func checkInvariants(spec *Spec, dres *harness.DKGResult, out *Result) {
+	if spec.Negative {
+		if done := dres.HonestDone(); done > 0 {
+			out.Violation = InvNegative
+			out.Detail = fmt.Sprintf("%d honest nodes completed with %d nodes crashed forever (live honest = ready quorum − 1)",
+				done, spec.Cell.T+spec.Cell.F+1)
+		}
+		return
+	}
+	err := dres.CheckConsistency()
+	if err != nil && errors.Is(err, harness.ErrInconsistency) {
+		out.Violation = InvAgreement
+		out.Detail = err.Error()
+		return
+	}
+	if !spec.LivenessAsserted() {
+		// Outside the model only safety is claimed: an incomplete run
+		// is an acceptable outcome, an inconsistent one never is.
+		return
+	}
+	if err != nil { // ErrIncomplete (possibly with timeline suffix)
+		out.Violation = InvLiveness
+		out.Detail = err.Error()
+		return
+	}
+	var stalled []msg.NodeID
+	for i := 1; i <= spec.Cell.N; i++ {
+		id := msg.NodeID(i)
+		node, honest := dres.Nodes[id]
+		if !honest || dres.Net.Crashed(id) {
+			continue
+		}
+		if !node.Done() {
+			stalled = append(stalled, id)
+		}
+	}
+	if len(stalled) > 0 {
+		out.Violation = InvLiveness
+		out.Detail = fmt.Sprintf("honest live nodes %v never completed", stalled)
+	}
+}

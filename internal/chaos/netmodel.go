@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"hybriddkg/internal/msg"
+	"hybriddkg/internal/randutil"
+	"hybriddkg/internal/simnet"
+)
+
+// shaper applies the spec's WAN condition models — latency
+// distribution, per-link loss, scheduled partitions — as a simnet
+// session filter. All its randomness comes from a sub-seeded reader
+// consumed in event order on the simulation goroutine, so the shaped
+// schedule is a pure function of the spec.
+//
+// Partitions of kind "split"/"asym" are implemented as delay-until-
+// heal: cross-cut messages are postponed past the heal time plus
+// jitter, which stays inside the paper's weak synchrony (the link is
+// slow, not lossy) and therefore keeps the liveness claim assertable.
+// Gray partitions and per-link loss drop messages between live nodes —
+// deliberately outside the hybrid model's crash-only loss — and say so
+// via Verdict.AllowDrop with the matching DropPartition/DropLoss
+// reason so the run's Stats separate WAN weather from censorship.
+type shaper struct {
+	spec   Spec
+	rng    *randutil.Reader
+	net    *simnet.Network
+	region []int // node → region (bimodal model), index 0 unused
+}
+
+func newShaper(spec Spec) *shaper {
+	s := &shaper{spec: spec, rng: randutil.NewReader(spec.Seed ^ 0x5a4e7)}
+	if spec.Latency.Model == "bimodal" {
+		regions := spec.Latency.Regions
+		if regions < 2 {
+			regions = 2
+		}
+		// Region assignment is drawn once, up front, from its own
+		// sub-seed so it never perturbs the per-message draw stream.
+		rrng := randutil.NewReader(spec.Seed ^ 0x4e91)
+		s.region = make([]int, spec.Cell.N+1)
+		for i := 1; i <= spec.Cell.N; i++ {
+			s.region[i] = rrng.IntN(regions)
+		}
+	}
+	return s
+}
+
+// bind attaches the network after SetupDKG so the filter can read the
+// virtual clock. Must happen before any events run.
+func (s *shaper) bind(net *simnet.Network) { s.net = net }
+
+// crossCut reports whether from→to crosses the partition boundary in
+// the stalled direction.
+func (s *shaper) crossCut(from, to msg.NodeID) bool {
+	p := s.spec.Partition
+	fromA := int(from) <= p.GroupA
+	toA := int(to) <= p.GroupA
+	if fromA == toA {
+		return false
+	}
+	if p.Kind == "asym" {
+		// Only A→B traffic is stalled; the reverse direction flows.
+		return fromA
+	}
+	return true
+}
+
+func (s *shaper) filter(_ msg.SessionID, from, to msg.NodeID, _ msg.Body) simnet.Verdict {
+	if from == to {
+		return simnet.Verdict{} // loopback never touches the WAN
+	}
+	var v simnet.Verdict
+	p := s.spec.Partition
+	if p.Kind != "" && s.net != nil {
+		now := s.net.Now()
+		if now >= p.From && now < p.Heal && s.crossCut(from, to) {
+			if p.Kind == "gray" {
+				if s.rng.IntN(10000) < p.GrayBP {
+					return simnet.Verdict{Drop: true, AllowDrop: true, Reason: simnet.DropPartition}
+				}
+				v.ExtraDelay += s.rng.Int64N(400)
+			} else {
+				// Stall until heal: a pure (bounded) delay.
+				v.ExtraDelay += p.Heal - now + s.rng.Int64N(50)
+			}
+		}
+	}
+	if s.spec.LossBP > 0 && s.rng.IntN(10000) < s.spec.LossBP {
+		return simnet.Verdict{Drop: true, AllowDrop: true, Reason: simnet.DropLoss}
+	}
+	v.ExtraDelay += s.latencySample(from, to)
+	return v
+}
+
+// latencySample draws one message's extra delay from the spec's model.
+func (s *shaper) latencySample(from, to msg.NodeID) int64 {
+	l := s.spec.Latency
+	switch l.Model {
+	case "uniform":
+		return s.rng.Int64N(l.Base + 1)
+	case "lognormal":
+		// Heavy-tailed WAN: geometric doubling gives the occasional
+		// straggler several multiples of the base delay.
+		d := s.rng.Int64N(l.Base/4+1) + 1
+		for i := 0; i < 6 && s.rng.IntN(4) == 0; i++ {
+			d *= 2
+		}
+		return d
+	case "bimodal":
+		if s.region != nil && s.region[from] == s.region[to] {
+			return s.rng.Int64N(l.Base/4 + 1)
+		}
+		return l.CrossPenalty + s.rng.Int64N(l.Base+1)
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"testing"
+
+	"hybriddkg/internal/msg"
+)
+
+// cleanSpec derives a scenario from (seed, cell) and strips the random
+// faults so a test can install exactly one fault of interest on an
+// otherwise calm, within-model network.
+func cleanSpec(seed uint64, cell Cell) Spec {
+	spec := RandomSpec(seed, cell)
+	spec.Churn = nil
+	spec.Strategies = nil
+	spec.Partition = PartitionSpec{}
+	spec.LossBP = 0
+	spec.Negative = false
+	return spec
+}
+
+// TestStrategiesDirected runs each Byzantine strategy in isolation
+// against an otherwise healthy cluster. Every strategy stays inside
+// the t budget, so the honest majority must still reach agreement and
+// complete — the strategies are adversaries the protocol claims to
+// tolerate, not bug injections.
+func TestStrategiesDirected(t *testing.T) {
+	flood := Cell{N: 13, T: 2, F: 3, Backend: "modp"}
+	cert := Cell{N: 13, T: 2, F: 3, Backend: "modp", Certificates: true}
+	cases := []struct {
+		name   string
+		cell   Cell
+		victim int
+	}{
+		{StratEquivDealer, flood, 3},
+		{StratEchoSplice, flood, 4},
+		{StratSlowLoris, flood, 5},
+		{StratAdaptive, flood, 6},
+		{StratFlood, flood, 7},
+		{StratEquivDealer, cert, 3},
+		{StratWithholdCert, cert, 4},
+		{StratLateCert, cert, 5},
+		{StratAdaptive, cert, 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		mode := "flood"
+		if tc.cell.Certificates {
+			mode = "cert"
+		}
+		t.Run(tc.name+"/"+mode, func(t *testing.T) {
+			t.Parallel()
+			spec := cleanSpec(11, tc.cell)
+			spec.Strategies = []StrategySpec{{Name: tc.name, Node: msg.NodeID(tc.victim)}}
+			r := Run(spec)
+			if r.Failed() {
+				t.Errorf("strategy %s:\n%s", tc.name, r.Report())
+			}
+			if done := r.HonestDone; done < tc.cell.N-tc.cell.T-tc.cell.F {
+				t.Errorf("strategy %s: only %d honest nodes done", tc.name, done)
+			}
+		})
+	}
+}
+
+// TestStrategiesStacked composes two strategies (the spec budget
+// allows up to min(2, t)) and checks the cluster still completes.
+func TestStrategiesStacked(t *testing.T) {
+	spec := cleanSpec(17, Cell{N: 13, T: 2, F: 3, Backend: "modp"})
+	spec.Strategies = []StrategySpec{
+		{Name: StratEquivDealer, Node: 2},
+		{Name: StratSlowLoris, Node: 9},
+	}
+	r := Run(spec)
+	if r.Failed() {
+		t.Fatalf("stacked strategies:\n%s", r.Report())
+	}
+}
+
+// TestStrategyValidation rejects malformed strategy specs instead of
+// running them.
+func TestStrategyValidation(t *testing.T) {
+	spec := cleanSpec(1, Cell{N: 13, T: 2, F: 3, Backend: "modp"})
+	spec.Strategies = []StrategySpec{{Name: "no-such-strategy", Node: 3}}
+	if r := Run(spec); r.Err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	spec.Strategies = []StrategySpec{{Name: StratSlowLoris, Node: 99}}
+	if r := Run(spec); r.Err == nil {
+		t.Error("out-of-range victim accepted")
+	}
+}

@@ -1096,18 +1096,23 @@ func (nd *Node) qstate(prop *Proposal) *qstate {
 
 // HandleRecover is the (L, τ, in, recover) operator message: one help
 // request to every node plus full retransmission of our own logs
-// (DKG and embedded VSS).
+// (DKG and embedded VSS). Retransmissions walk destinations and dealers
+// in ascending NodeID order: the recovery schedule must be a pure
+// function of protocol state so that seeded simulation runs replay
+// event-for-event (map iteration order is not).
 func (nd *Node) HandleRecover() {
 	for j := 1; j <= nd.params.N; j++ {
 		nd.runtime.Send(msg.NodeID(j), &HelpMsg{Tau: nd.tau})
 	}
-	for to, bodies := range nd.outLog {
-		for _, b := range bodies {
-			nd.runtime.Send(to, b)
+	for j := 1; j <= nd.params.N; j++ {
+		for _, b := range nd.outLog[msg.NodeID(j)] {
+			nd.runtime.Send(msg.NodeID(j), b)
 		}
 	}
-	for _, vnode := range nd.vssNodes {
-		vnode.ResendLog()
+	for j := 1; j <= nd.params.N; j++ {
+		if vnode, ok := nd.vssNodes[msg.NodeID(j)]; ok {
+			vnode.ResendLog()
+		}
 	}
 }
 
@@ -1128,8 +1133,11 @@ func (nd *Node) handleHelp(from msg.NodeID, m *HelpMsg) {
 	for _, b := range nd.outLog[from] {
 		nd.runtime.Send(from, b)
 	}
-	for _, vnode := range nd.vssNodes {
-		vnode.ResendLoggedTo(from)
+	// Dealer order fixed for deterministic replay (see HandleRecover).
+	for j := 1; j <= nd.params.N; j++ {
+		if vnode, ok := nd.vssNodes[msg.NodeID(j)]; ok {
+			vnode.ResendLoggedTo(from)
+		}
 	}
 }
 

@@ -47,7 +47,7 @@ func TestCertModeAllRelaysCrashed(t *testing.T) {
 	dropCerts := func(_, _ msg.NodeID, body msg.Body) simnet.Verdict {
 		switch body.(type) {
 		case *vss.CertSignMsg, *vss.CertMsg, *dkg.CertSignMsg, *dkg.CertMsg:
-			return simnet.Verdict{Drop: true}
+			return simnet.Verdict{Drop: true, AllowDrop: true}
 		}
 		return simnet.Verdict{}
 	}

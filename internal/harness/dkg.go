@@ -61,6 +61,15 @@ type DKGOptions struct {
 	RecoverAt        map[msg.NodeID]int64
 	Byzantine        map[msg.NodeID]func(env *simnet.Env) simnet.Handler
 	Filter           simnet.FilterFunc
+	// SessionFilter is the session-aware adversary hook, consulted in
+	// addition to Filter (the chaos lab's fault models install their
+	// shapers here).
+	SessionFilter simnet.SessionFilterFunc
+	// TuneNet, when set, may adjust the assembled simnet options
+	// (delay bounds, event hooks, coalescing windows) just before the
+	// network is built — the scenario lab's seam for wiring
+	// deterministic trace hashing and model-controlled latency.
+	TuneNet func(*simnet.Options)
 	// Simulation bounds.
 	DisableAccounting bool
 	MaxEvents         int
@@ -148,6 +157,7 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 	simOpts := simnet.Options{
 		Seed:              opts.Seed,
 		Filter:            opts.Filter,
+		SessionFilter:     opts.SessionFilter,
 		DisableAccounting: opts.DisableAccounting,
 		Coalesce:          opts.Coalesce,
 	}
@@ -156,6 +166,9 @@ func SetupDKG(opts *DKGOptions) (*DKGResult, error) {
 	if opts.VerifyWorkers > 0 {
 		dir.EnableVerifyCache(0)
 		pool, cache, simOpts.Observer = attachVerifyPipeline(opts.VerifyWorkers, dir, opts.N)
+	}
+	if opts.TuneNet != nil {
+		opts.TuneNet(&simOpts)
 	}
 	net := simnet.New(simOpts)
 	tracer := opts.Trace
@@ -225,26 +238,43 @@ func RunDKG(opts DKGOptions) (*DKGResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	noDeal := make(map[msg.NodeID]bool, len(opts.NoDeal))
-	for _, id := range opts.NoDeal {
+	if err := res.StartDealers(); err != nil {
+		return nil, err
+	}
+	res.RunToCompletion(opts.MaxEvents)
+	return res, nil
+}
+
+// StartDealers starts every live honest dealer (skipping NoDeal
+// participants). Split from RunDKG so scenario drivers can hook fault
+// schedules and shapers between setup and the first dealt sharing.
+func (r *DKGResult) StartDealers() error {
+	noDeal := make(map[msg.NodeID]bool, len(r.Opts.NoDeal))
+	for _, id := range r.Opts.NoDeal {
 		noDeal[id] = true
 	}
 	// Iterate in index order: map order would perturb the event
 	// schedule and break run determinism.
-	for i := 1; i <= opts.N; i++ {
+	for i := 1; i <= r.Opts.N; i++ {
 		id := msg.NodeID(i)
-		node, ok := res.Nodes[id]
-		if !ok || res.Net.Crashed(id) || noDeal[id] {
+		node, ok := r.Nodes[id]
+		if !ok || r.Net.Crashed(id) || noDeal[id] {
 			continue
 		}
-		if err := node.Start(randutil.NewReader(opts.Seed ^ uint64(id)<<24 ^ 0xd ^ uint64(id))); err != nil {
-			return nil, fmt.Errorf("harness: start node %d: %w", id, err)
+		if err := node.Start(randutil.NewReader(r.Opts.Seed ^ uint64(id)<<24 ^ 0xd ^ uint64(id))); err != nil {
+			return fmt.Errorf("harness: start node %d: %w", id, err)
 		}
 	}
-	res.Net.RunUntil(func() bool { return res.allHonestLiveDone() }, opts.MaxEvents)
-	res.Net.Run(opts.MaxEvents)
-	res.Stats = res.Net.Stats()
-	return res, nil
+	return nil
+}
+
+// RunToCompletion drives the simulation until every live honest node
+// finishes (then drains stragglers), each leg bounded by maxEvents,
+// and snapshots the network stats into r.Stats.
+func (r *DKGResult) RunToCompletion(maxEvents int) {
+	r.Net.RunUntil(func() bool { return r.allHonestLiveDone() }, maxEvents)
+	r.Net.Run(maxEvents)
+	r.Stats = r.Net.Stats()
 }
 
 func (r *DKGResult) allHonestLiveDone() bool {

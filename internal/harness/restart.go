@@ -178,15 +178,19 @@ func restoreFromStore(st *store.Store, codec *msg.Codec, sid msg.SessionID, para
 
 func dkgParamsOf(opts DKGOptions, dir *sig.Directory, priv []byte) dkg.Params {
 	return dkg.Params{
-		Group:         opts.Group,
-		N:             opts.N,
-		T:             opts.T,
-		F:             opts.F,
-		HashedEcho:    opts.HashedEcho,
-		Directory:     dir,
-		SignKey:       priv,
-		InitialLeader: opts.InitialLeader,
-		TimeoutBase:   opts.TimeoutBase,
+		Group:          opts.Group,
+		N:              opts.N,
+		T:              opts.T,
+		F:              opts.F,
+		HashedEcho:     opts.HashedEcho,
+		DedupDealings:  opts.DedupDealings,
+		CompressedWire: opts.CompressedWire,
+		DisableBatch:   opts.DisableBatch,
+		Certificates:   opts.Certificates,
+		Directory:      dir,
+		SignKey:        priv,
+		InitialLeader:  opts.InitialLeader,
+		TimeoutBase:    opts.TimeoutBase,
 	}
 }
 

@@ -227,7 +227,7 @@ func TestLateNodeDeliversViaEchoes(t *testing.T) {
 		Seed: 6,
 		Filter: func(from, to msg.NodeID, body msg.Body) simnet.Verdict {
 			if _, isSend := body.(*rbc.SendMsg); isSend && to == 4 {
-				return simnet.Verdict{Drop: true}
+				return simnet.Verdict{Drop: true, AllowDrop: true}
 			}
 			return simnet.Verdict{}
 		},

@@ -137,7 +137,7 @@ func TestSessionFilter(t *testing.T) {
 	net := New(Options{
 		Seed: 7,
 		SessionFilter: func(sid msg.SessionID, _, _ msg.NodeID, _ msg.Body) Verdict {
-			return Verdict{Drop: sid == 2}
+			return Verdict{Drop: sid == 2, AllowDrop: true}
 		},
 	})
 	a1 := &echoNode{env: net.SessionEnv(1, 1)}

@@ -44,15 +44,42 @@ type Handler interface {
 	HandleRecover()
 }
 
+// DropReason classifies an adversarial drop for the Stats books, so
+// scenario reports can distinguish "the adversary censored this" from
+// "a modelled WAN fault ate it".
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropFilter is a plain adversarial drop (the default).
+	DropFilter DropReason = iota
+	// DropPartition marks a message eaten by a lossy network
+	// partition model.
+	DropPartition
+	// DropLoss marks a message eaten by a per-link loss model.
+	DropLoss
+)
+
 // Verdict is an adversarial scheduling decision for one message.
 type Verdict struct {
 	// ExtraDelay postpones delivery by the given virtual time.
 	ExtraDelay int64
-	// Drop discards the message. The hybrid model only permits
-	// dropping messages to/from crashed nodes; tests that drop
-	// arbitrary traffic are modelling *stronger* adversaries
-	// (e.g. the sub-resilience negative experiments).
+	// Drop discards the message. The hybrid model (§2.1) only permits
+	// losing messages to/from *crashed* nodes; between live nodes the
+	// weakly synchronous links eventually deliver. A filter that drops
+	// live-link traffic is therefore modelling a *stronger* adversary
+	// than the protocol's resilience claim covers (lossy WAN faults,
+	// gray partitions, the sub-resilience negative experiments) and
+	// must say so explicitly by also setting AllowDrop — a Drop
+	// without AllowDrop panics, so a scenario that silently exceeds
+	// the model fails loudly instead of silently weakening the claim.
 	Drop bool
+	// AllowDrop acknowledges that this drop steps outside the hybrid
+	// model's guarantees. Mandatory whenever Drop is set.
+	AllowDrop bool
+	// Reason routes the drop to the right Stats counter
+	// (DroppedFilter / DroppedPartition / DroppedLoss).
+	Reason DropReason
 }
 
 // FilterFunc lets a test play the adversary: it sees every message at
@@ -96,6 +123,15 @@ type Options struct {
 	// SessionFilter, when set, is additionally consulted for every
 	// message with its session identifier.
 	SessionFilter SessionFilterFunc
+	// EventHook, when set, receives one TraceEvent for every
+	// scheduling decision the simulator makes: message deliveries and
+	// drops (with their reason), timer fires, operator ops, crashes
+	// and recoveries. The stream is a pure function of (seed, inputs),
+	// so hashing it yields a replay fingerprint: two runs of the same
+	// scenario are event-for-event identical iff their hashes match.
+	// The hook runs on the simulation goroutine and must not touch
+	// protocol or network state.
+	EventHook func(TraceEvent)
 	// Observer, when set, sees every scheduled (non-dropped) message
 	// at send time — before its virtual-time delivery. The harness
 	// installs the verification pipeline's speculator here: workers
@@ -127,10 +163,15 @@ type Stats struct {
 	SessionFrames map[msg.SessionID]int
 	SessionBytes  map[msg.SessionID]int64
 	// DroppedCrash counts messages lost because the receiver was
-	// crashed at delivery time; DroppedFilter counts adversarial
-	// drops.
-	DroppedCrash  int
-	DroppedFilter int
+	// crashed at delivery time; DroppedFilter counts plain adversarial
+	// drops. DroppedPartition and DroppedLoss count drops the fault
+	// models attribute to lossy partitions and per-link loss — kept
+	// distinct from DroppedFilter because they measure modelled WAN
+	// weather, not adversarial censorship.
+	DroppedCrash     int
+	DroppedFilter    int
+	DroppedPartition int
+	DroppedLoss      int
 	// DroppedUnknownSession counts messages addressed to a session the
 	// receiver never registered; DroppedStaleSession counts messages
 	// for sessions the receiver has already retired (completed-session
@@ -146,6 +187,67 @@ type Stats struct {
 	MaxDepth int
 	// Events is the number of events processed.
 	Events int
+}
+
+// TraceKind classifies the entries of the EventHook stream.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceDeliver       TraceKind = iota + 1 // message handed to a handler
+	TraceTimer                              // timer fired into a handler
+	TraceOp                                 // scheduled operator op ran
+	TraceDropCrash                          // receiver crashed at delivery
+	TraceDropFilter                         // adversarial drop at send time
+	TraceDropPartition                      // lossy-partition drop at send time
+	TraceDropLoss                           // link-loss drop at send time
+	TraceDropUnknown                        // unknown-session router rejection
+	TraceDropStale                          // retired-session router rejection
+	TraceCrash                              // node crashed
+	TraceRecover                            // node recovered
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceDeliver:
+		return "deliver"
+	case TraceTimer:
+		return "timer"
+	case TraceOp:
+		return "op"
+	case TraceDropCrash:
+		return "drop-crash"
+	case TraceDropFilter:
+		return "drop-filter"
+	case TraceDropPartition:
+		return "drop-partition"
+	case TraceDropLoss:
+		return "drop-loss"
+	case TraceDropUnknown:
+		return "drop-unknown"
+	case TraceDropStale:
+		return "drop-stale"
+	case TraceCrash:
+		return "crash"
+	case TraceRecover:
+		return "recover"
+	}
+	return "?"
+}
+
+// TraceEvent is one entry of the deterministic scheduling trace
+// (Options.EventHook). Together the entries fully determine a run:
+// every protocol-visible input (delivery, timer, recover signal) and
+// every suppression of one (drop) appears exactly once, in dispatch
+// order, stamped with virtual time.
+type TraceEvent struct {
+	At       int64
+	Kind     TraceKind
+	Session  msg.SessionID
+	From, To msg.NodeID
+	Type     msg.Type
+	TimerID  uint64
 }
 
 type eventKind uint8
@@ -414,6 +516,7 @@ func (n *Network) Crash(id msg.NodeID) {
 	}
 	slot.crashed = true
 	n.stats.Crashes++
+	n.hook(TraceEvent{At: n.now, Kind: TraceCrash, To: id})
 }
 
 // Recover un-crashes a node and delivers the operator recover signal,
@@ -427,6 +530,7 @@ func (n *Network) Recover(id msg.NodeID) {
 	}
 	slot.crashed = false
 	n.stats.Recoveries++
+	n.hook(TraceEvent{At: n.now, Kind: TraceRecover, To: id})
 	n.currentDepth = slot.depth
 	// Snapshot handlers before invoking any of them: a HandleRecover
 	// may retire a sibling session, and the fan-out must not index a
@@ -471,10 +575,34 @@ func (n *Network) send(from, to msg.NodeID, sid msg.SessionID, body msg.Body) {
 	if n.opts.SessionFilter != nil && !verdict.Drop {
 		sv := n.opts.SessionFilter(sid, from, to, body)
 		verdict.Drop = sv.Drop
+		verdict.AllowDrop = sv.AllowDrop
+		verdict.Reason = sv.Reason
 		verdict.ExtraDelay += sv.ExtraDelay
 	}
 	if verdict.Drop {
-		n.stats.DroppedFilter++
+		if !verdict.AllowDrop {
+			// The hybrid model only loses messages to/from crashed
+			// nodes. A drop between live nodes weakens the resilience
+			// claim the tests are supposed to be checking, so it must
+			// be acknowledged explicitly — fail loudly otherwise.
+			panic(fmt.Sprintf(
+				"simnet: filter dropped %v %d→%d without Verdict.AllowDrop: "+
+					"arbitrary drops exceed the hybrid model (crash-only loss); "+
+					"set AllowDrop to model a stronger adversary deliberately",
+				body.MsgType(), from, to))
+		}
+		kind := TraceDropFilter
+		switch verdict.Reason {
+		case DropPartition:
+			n.stats.DroppedPartition++
+			kind = TraceDropPartition
+		case DropLoss:
+			n.stats.DroppedLoss++
+			kind = TraceDropLoss
+		default:
+			n.stats.DroppedFilter++
+		}
+		n.hook(TraceEvent{At: n.now, Kind: kind, Session: sid, From: from, To: to, Type: body.MsgType()})
 		return
 	}
 	if n.opts.Observer != nil {
@@ -576,6 +704,13 @@ func (n *Network) stopTimer(node msg.NodeID, sid msg.SessionID, id uint64) {
 	}
 }
 
+// hook delivers one trace event to the EventHook when installed.
+func (n *Network) hook(ev TraceEvent) {
+	if n.opts.EventHook != nil {
+		n.opts.EventHook(ev)
+	}
+}
+
 func (n *Network) push(ev *event) {
 	ev.seq = n.seq
 	n.seq++
@@ -599,6 +734,7 @@ func (n *Network) Step() bool {
 			n.dispatchTimer(ev)
 		case evOp:
 			n.currentDepth = 0
+			n.hook(TraceEvent{At: n.now, Kind: TraceOp})
 			ev.op()
 		}
 		return true
@@ -613,6 +749,7 @@ func (n *Network) dispatchMessage(ev *event) {
 	}
 	if slot.crashed {
 		n.stats.DroppedCrash++
+		n.hook(TraceEvent{At: n.now, Kind: TraceDropCrash, Session: ev.session, From: ev.from, To: ev.to, Type: ev.body.MsgType()})
 		return
 	}
 	h := slot.handlerFor(ev.session)
@@ -620,11 +757,14 @@ func (n *Network) dispatchMessage(ev *event) {
 		// The demux router rejects traffic for sessions this node
 		// never hosted or has already retired, before any protocol
 		// code (or signature verification) runs.
+		kind := TraceDropUnknown
 		if slot.retired[ev.session] {
 			n.stats.DroppedStaleSession++
+			kind = TraceDropStale
 		} else {
 			n.stats.DroppedUnknownSession++
 		}
+		n.hook(TraceEvent{At: n.now, Kind: kind, Session: ev.session, From: ev.from, To: ev.to, Type: ev.body.MsgType()})
 		return
 	}
 	if ev.depth > slot.depth {
@@ -634,6 +774,7 @@ func (n *Network) dispatchMessage(ev *event) {
 		n.stats.MaxDepth = ev.depth
 	}
 	n.currentDepth = slot.depth
+	n.hook(TraceEvent{At: n.now, Kind: TraceDeliver, Session: ev.session, From: ev.from, To: ev.to, Type: ev.body.MsgType()})
 	h.HandleMessage(ev.from, ev.body)
 }
 
@@ -654,6 +795,7 @@ func (n *Network) dispatchTimer(ev *event) {
 		return
 	}
 	n.currentDepth = slot.depth
+	n.hook(TraceEvent{At: n.now, Kind: TraceTimer, Session: ev.session, To: ev.node, TimerID: ev.timerID})
 	h.HandleTimer(ev.timerID)
 }
 

@@ -223,7 +223,7 @@ func TestFilterDropAndDelay(t *testing.T) {
 		Filter: func(from, to msg.NodeID, body msg.Body) Verdict {
 			if p, ok := body.(pingBody); ok && p.n == 0 {
 				dropped++
-				return Verdict{Drop: true}
+				return Verdict{Drop: true, AllowDrop: true}
 			}
 			return Verdict{ExtraDelay: 500}
 		},
@@ -319,5 +319,95 @@ func TestEnvBasics(t *testing.T) {
 	}
 	if e.Now() != 0 {
 		t.Errorf("Now = %d", e.Now())
+	}
+}
+
+// TestUnacknowledgedDropPanics: the hybrid model only loses messages
+// to crashed nodes, so a filter that drops live-link traffic without
+// the AllowDrop acknowledgement must fail the run loudly.
+func TestUnacknowledgedDropPanics(t *testing.T) {
+	net, a, _ := twoNodes(t, Options{
+		Seed: 3,
+		Filter: func(from, to msg.NodeID, body msg.Body) Verdict {
+			return Verdict{Drop: true} // deliberately missing AllowDrop
+		},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unacknowledged drop")
+		}
+	}()
+	a.env.Send(2, pingBody{n: 0})
+	net.Run(0)
+}
+
+// TestDropReasonCounters: partition- and loss-attributed drops land in
+// their own Stats counters, distinct from plain filter drops.
+func TestDropReasonCounters(t *testing.T) {
+	reasons := []DropReason{DropFilter, DropPartition, DropLoss, DropPartition}
+	i := 0
+	net, a, _ := twoNodes(t, Options{
+		Seed: 4,
+		Filter: func(from, to msg.NodeID, body msg.Body) Verdict {
+			r := reasons[i%len(reasons)]
+			i++
+			return Verdict{Drop: true, AllowDrop: true, Reason: r}
+		},
+	})
+	for k := 0; k < 4; k++ {
+		a.env.Send(2, pingBody{n: 20}) // above bound: no replies
+	}
+	net.Run(0)
+	st := net.Stats()
+	if st.DroppedFilter != 1 || st.DroppedPartition != 2 || st.DroppedLoss != 1 {
+		t.Fatalf("drop counters = filter %d / partition %d / loss %d, want 1/2/1",
+			st.DroppedFilter, st.DroppedPartition, st.DroppedLoss)
+	}
+}
+
+// TestEventHookTrace: the EventHook sees every scheduling decision —
+// deliveries, drops with reasons, timers, ops, crash/recover — and the
+// stream is identical across two runs of the same seed.
+func TestEventHookTrace(t *testing.T) {
+	run := func() []TraceEvent {
+		var trace []TraceEvent
+		dropNext := false
+		net, a, b := twoNodes(t, Options{
+			Seed: 5,
+			Filter: func(from, to msg.NodeID, body msg.Body) Verdict {
+				if dropNext {
+					dropNext = false
+					return Verdict{Drop: true, AllowDrop: true, Reason: DropLoss}
+				}
+				return Verdict{}
+			},
+			EventHook: func(ev TraceEvent) { trace = append(trace, ev) },
+		})
+		_ = b
+		a.env.Send(2, pingBody{n: 8})
+		a.env.SetTimer(7, 50)
+		net.Schedule(10, func() { dropNext = true })
+		net.Schedule(200, func() { net.Crash(2) })
+		net.Schedule(300, func() { net.Recover(2) })
+		net.Run(0)
+		return trace
+	}
+	t1, t2 := run(), run()
+	if len(t1) == 0 || len(t1) != len(t2) {
+		t.Fatalf("trace lengths %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trace diverges at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+	saw := make(map[TraceKind]int)
+	for _, ev := range t1 {
+		saw[ev.Kind]++
+	}
+	for _, k := range []TraceKind{TraceDeliver, TraceTimer, TraceOp, TraceDropLoss, TraceCrash, TraceRecover} {
+		if saw[k] == 0 {
+			t.Errorf("no %v events in trace (saw %v)", k, saw)
+		}
 	}
 }

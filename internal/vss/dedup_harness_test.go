@@ -22,7 +22,7 @@ func TestDedupVictimCompletesWithoutSend(t *testing.T) {
 		DedupDealings: true,
 		Filter: func(from, to msg.NodeID, body msg.Body) simnet.Verdict {
 			if _, isSend := body.(*vss.SendMsg); isSend && to == victim {
-				return simnet.Verdict{Drop: true}
+				return simnet.Verdict{Drop: true, AllowDrop: true}
 			}
 			return simnet.Verdict{}
 		},

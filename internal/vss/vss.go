@@ -990,11 +990,14 @@ func (nd *Node) StartRecover() {
 }
 
 // ResendLog retransmits the entire outgoing log B (recovery of the
-// sending side). Retransmissions are not re-logged.
+// sending side). Retransmissions are not re-logged. Destinations are
+// walked in ascending NodeID order so the recovery schedule is a pure
+// function of protocol state and seeded simulations replay
+// event-for-event.
 func (nd *Node) ResendLog() {
-	for to, bodies := range nd.outLog {
-		for _, b := range bodies {
-			nd.sender.Send(to, b)
+	for j := 1; j <= nd.params.N; j++ {
+		for _, b := range nd.outLog[msg.NodeID(j)] {
+			nd.sender.Send(msg.NodeID(j), b)
 		}
 	}
 }
